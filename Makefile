@@ -1,0 +1,40 @@
+# Convenience targets for the rossf reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench generate experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/ros/ ./internal/bench/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate msgs/ from the IDL tree (run after editing msgs/idl).
+generate:
+	$(GO) run ./cmd/sfmgen -idl msgs/idl -out msgs -capacities msgs/idl/capacities.txt
+	$(GO) build ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/rossf-bench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagepipeline
+	$(GO) run ./examples/servicedemo
+	$(GO) run ./examples/pingpong -messages 15
+	$(GO) run ./examples/slamdemo -frames 15
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

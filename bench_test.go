@@ -1,0 +1,126 @@
+package rossf_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// drives the same harness as cmd/rossf-bench in lockstep mode, so
+// ns/op approximates the end-to-end per-message latency the paper
+// plots; the harness-reported mean is attached as a custom metric.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"rossf/internal/bench"
+	"rossf/internal/msgtest"
+	"rossf/internal/netsim"
+)
+
+// reportMean attaches the harness-measured mean latency.
+func reportMean(b *testing.B, s *bench.LatencySeries) {
+	b.Helper()
+	if len(s.Samples) > 0 {
+		b.ReportMetric(float64(s.Mean().Nanoseconds()), "latency-ns/msg")
+	}
+}
+
+// BenchmarkFig13IntraMachine reproduces Fig. 13: intra-machine
+// publish→subscribe latency, ROS vs ROS-SF, three image sizes.
+func BenchmarkFig13IntraMachine(b *testing.B) {
+	for _, size := range bench.PaperImageSizes {
+		for _, mode := range []string{"ROS", "ROS-SF"} {
+			b.Run(mode+"/"+size.Name, func(b *testing.B) {
+				cfg := bench.Fig13Config{
+					Sizes:    []bench.ImageSize{size},
+					Messages: b.N,
+					Warmup:   2,
+				}
+				var res *bench.Fig13Result
+				var err error
+				b.ReportAllocs()
+				b.ResetTimer()
+				res, err = bench.RunFig13(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				row := res.Rows[0]
+				if mode == "ROS" {
+					reportMean(b, row.ROS)
+				} else {
+					reportMean(b, row.ROSSF)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig14Middlewares reproduces Fig. 14: 6MB image latency per
+// serialization regime over an identical framed-TCP transport.
+func BenchmarkFig14Middlewares(b *testing.B) {
+	for _, name := range bench.MiddlewareNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			s, err := bench.RunFig14One(name, bench.Fig14Config{Messages: b.N, Warmup: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportMean(b, s)
+		})
+	}
+}
+
+// BenchmarkFig16InterMachine reproduces Fig. 16: ping-pong latency over
+// the simulated 10 GbE link, ROS vs ROS-SF, three sizes.
+func BenchmarkFig16InterMachine(b *testing.B) {
+	for _, size := range bench.PaperImageSizes {
+		b.Run(size.Name, func(b *testing.B) {
+			cfg := bench.Fig16Config{
+				Sizes:    []bench.ImageSize{size},
+				Messages: b.N,
+				Warmup:   2,
+				Link:     netsim.TenGigE,
+			}
+			res, err := bench.RunFig16(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row := res.Rows[0]
+			reportMean(b, row.ROSSF)
+			b.ReportMetric(row.Reduction, "reduction-%")
+		})
+	}
+}
+
+// BenchmarkFig18SLAMCaseStudy reproduces Fig. 18: the five-node
+// ORB-SLAM-like graph, end-to-end to the pose output.
+func BenchmarkFig18SLAMCaseStudy(b *testing.B) {
+	res, err := bench.RunFig18(bench.Fig18Config{
+		Frames: max(b.N, 3), Warmup: 2, Width: 640, Height: 480,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportMean(b, res.Pose[1])
+	b.ReportMetric(bench.Reduction(res.Pose[0], res.Pose[1]), "pose-reduction-%")
+	b.ReportMetric(bench.Reduction(res.Debug[0], res.Debug[1]), "debug-reduction-%")
+}
+
+// BenchmarkTable1Applicability reproduces Table 1: checker throughput
+// over the full synthetic corpus (the result is validated in tests).
+func BenchmarkTable1Applicability(b *testing.B) {
+	reg, err := bench.LoadIDLRegistry(msgtest.ModuleRootB(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable1(reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Match {
+			b.Fatal("Table 1 mismatch")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Command rosbag records topic traffic to a bag file and plays it back
+// with original timing, like its ROS namesake. Serialization-free
+// topics record and replay as raw wire images — no transcoding.
+//
+// Usage:
+//
+//	rosbag record -master 127.0.0.1:11311 -out run.bag [-duration 10s] topic...
+//	rosbag info  run.bag
+//	rosbag play  -master 127.0.0.1:11311 [-rate 1.0] [-loop] run.bag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rossf/internal/bag"
+	"rossf/internal/ros"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rosbag:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rosbag <record|info|play> [flags]")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:])
+	case "info":
+		return info(args[1:])
+	case "play":
+		return play(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	out := fs.String("out", "out.bag", "output file")
+	duration := fs.Duration("duration", 10*time.Second, "recording duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topics := fs.Args()
+	if len(topics) == 0 {
+		return fmt.Errorf("record: at least one topic required")
+	}
+
+	master, err := ros.DialMaster(*masterAddr)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	node, err := ros.NewNode("rosbag_record", ros.WithMaster(master), ros.WithoutListener())
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := bag.NewWriter(f)
+	if err != nil {
+		return err
+	}
+
+	infos, err := master.TopicsInfo()
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]ros.TopicInfo, len(infos))
+	for _, ti := range infos {
+		byName[ti.Name] = ti
+	}
+
+	var mu sync.Mutex // serializes bag writes across topic callbacks
+	counts := make(map[string]int)
+	for _, topic := range topics {
+		ti, known := byName[topic]
+		if !known {
+			return fmt.Errorf("record: topic %q not known to the master", topic)
+		}
+		// Subscribe in both regimes; the matching one connects. One bag
+		// connection per (topic, regime).
+		for _, sfm := range []bool{true, false} {
+			format := "ros1"
+			if sfm {
+				format = "sfm"
+			}
+			connID, err := w.AddConnection(bag.Connection{
+				Topic: ti.Name, TypeName: ti.TypeName, MD5: ti.MD5,
+				Format: format, LittleEndian: true, // patched per frame below
+			})
+			if err != nil {
+				return err
+			}
+			name := ti.Name
+			_, err = ros.SubscribeRaw(node, ti.Name, ti.TypeName, ti.MD5, sfm,
+				func(m ros.RawMessage) {
+					mu.Lock()
+					defer mu.Unlock()
+					if err := w.WriteMessage(connID, time.Now(), m.Frame); err == nil {
+						counts[name]++
+					}
+				})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("rosbag: recording %d topic(s) for %v...\n", len(topics), *duration)
+	time.Sleep(*duration)
+	node.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	total := 0
+	for _, topic := range topics {
+		fmt.Printf("  %-40s %d messages\n", topic, counts[topic])
+		total += counts[topic]
+	}
+	fmt.Printf("rosbag: wrote %d messages to %s\n", total, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rosbag info <file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := bag.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	type stat struct {
+		count int
+		bytes int64
+	}
+	stats := make(map[uint32]*stat)
+	var first, last time.Time
+	for {
+		m, err := r.Next()
+		if err != nil {
+			break
+		}
+		s := stats[m.ConnID]
+		if s == nil {
+			s = &stat{}
+			stats[m.ConnID] = s
+		}
+		s.count++
+		s.bytes += int64(len(m.Frame))
+		if first.IsZero() || m.Stamp.Before(first) {
+			first = m.Stamp
+		}
+		if m.Stamp.After(last) {
+			last = m.Stamp
+		}
+	}
+
+	if !first.IsZero() {
+		fmt.Printf("duration: %v\n", last.Sub(first).Round(time.Millisecond))
+	}
+	conns := r.Connections()
+	ids := make([]uint32, 0, len(conns))
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := conns[id]
+		s := stats[id]
+		if s == nil {
+			continue
+		}
+		fmt.Printf("%-40s %-28s [%s] %6d msgs %10d bytes\n",
+			c.Topic, c.TypeName, c.Format, s.count, s.bytes)
+	}
+	return nil
+}
+
+func play(args []string) error {
+	fs := flag.NewFlagSet("play", flag.ContinueOnError)
+	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	rate := fs.Float64("rate", 1.0, "playback speed multiplier")
+	loop := fs.Bool("loop", false, "replay forever")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rosbag play <file>")
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("play: rate must be positive")
+	}
+
+	master, err := ros.DialMaster(*masterAddr)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+	node, err := ros.NewNode("rosbag_play", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	for {
+		n, err := playOnce(node, fs.Arg(0), *rate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rosbag: replayed %d messages\n", n)
+		if !*loop {
+			return nil
+		}
+	}
+}
+
+func playOnce(node *ros.Node, path string, rate float64) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r, err := bag.NewReader(f)
+	if err != nil {
+		return 0, err
+	}
+
+	pubs := make(map[uint32]*ros.RawPublisher)
+	defer func() {
+		for _, p := range pubs {
+			p.Close()
+		}
+	}()
+
+	var bagStart, wallStart time.Time
+	count := 0
+	for {
+		m, err := r.Next()
+		if err != nil {
+			return count, nil // EOF or trailing corruption ends playback
+		}
+		pub, ok := pubs[m.ConnID]
+		if !ok {
+			c, known := r.Connections()[m.ConnID]
+			if !known {
+				continue
+			}
+			pub, err = ros.AdvertiseRaw(node, c.Topic, c.TypeName, c.MD5,
+				c.Format == "sfm", c.LittleEndian)
+			if err != nil {
+				return count, err
+			}
+			pubs[m.ConnID] = pub
+		}
+		if bagStart.IsZero() {
+			bagStart, wallStart = m.Stamp, time.Now()
+			// Give subscribers a beat to discover the new topics.
+			time.Sleep(100 * time.Millisecond)
+		}
+		due := wallStart.Add(time.Duration(float64(m.Stamp.Sub(bagStart)) / rate))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		if err := pub.PublishFrame(m.Frame); err != nil {
+			return count, err
+		}
+		count++
+	}
+}

@@ -1,0 +1,46 @@
+// Command rosmaster runs a standalone graph master, letting nodes in
+// different processes discover each other — the analog of the classic
+// roscore name service.
+//
+// Usage:
+//
+//	rosmaster [-addr 127.0.0.1:11311]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rossf/internal/ros"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rosmaster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rosmaster", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:11311", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := ros.NewMasterServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("rosmaster: serving on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rosmaster: shutting down")
+	return nil
+}

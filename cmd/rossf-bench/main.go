@@ -1,0 +1,182 @@
+// Command rossf-bench regenerates the paper's evaluation: one
+// subcommand per table or figure.
+//
+// Usage:
+//
+//	rossf-bench fig13 [-messages N] [-rate HZ] [-full]
+//	rossf-bench fig14 [-messages N]
+//	rossf-bench fig16 [-messages N] [-rate HZ] [-gbps G] [-latency D]
+//	rossf-bench fig18 [-frames N] [-width W] [-height H]
+//	rossf-bench table1
+//	rossf-bench all
+//
+// -full selects the paper's exact run lengths (2000 messages at 10 Hz),
+// which takes ~2000s per series; the defaults use lockstep runs that
+// preserve the reported shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rossf/internal/bench"
+	"rossf/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rossf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|all> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "fig13":
+		return runFig13(rest)
+	case "fig14":
+		return runFig14(rest)
+	case "fig16":
+		return runFig16(rest)
+	case "fig18":
+		return runFig18(rest)
+	case "table1":
+		return runTable1(rest)
+	case "all":
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1} {
+			if err := c(nil); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func runFig13(args []string) error {
+	fs := flag.NewFlagSet("fig13", flag.ContinueOnError)
+	messages := fs.Int("messages", 200, "messages per configuration")
+	rate := fs.Int("rate", 0, "publish rate in Hz (0 = lockstep)")
+	full := fs.Bool("full", false, "use the paper's 2000 messages at 10 Hz")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Fig13Config{Messages: *messages, RateHz: *rate}
+	if *full {
+		cfg.Messages, cfg.RateHz = 2000, 10
+	}
+	res, err := bench.RunFig13(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig14(args []string) error {
+	fs := flag.NewFlagSet("fig14", flag.ContinueOnError)
+	messages := fs.Int("messages", 100, "messages per middleware")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFig14(bench.Fig14Config{Messages: *messages})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig16(args []string) error {
+	fs := flag.NewFlagSet("fig16", flag.ContinueOnError)
+	messages := fs.Int("messages", 100, "messages per configuration")
+	rate := fs.Int("rate", 0, "publish rate in Hz (0 = lockstep)")
+	gbps := fs.Float64("gbps", 10, "simulated link bandwidth in Gb/s")
+	latency := fs.Duration("latency", 50*time.Microsecond, "simulated one-way latency")
+	full := fs.Bool("full", false, "use the paper's 2000 messages at 10 Hz")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Fig16Config{
+		Messages: *messages,
+		RateHz:   *rate,
+		Link:     netsim.Link{BitsPerSecond: *gbps * 1e9, Latency: *latency},
+	}
+	if *full {
+		cfg.Messages, cfg.RateHz = 2000, 10
+	}
+	res, err := bench.RunFig16(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runFig18(args []string) error {
+	fs := flag.NewFlagSet("fig18", flag.ContinueOnError)
+	frames := fs.Int("frames", 100, "frames per regime")
+	width := fs.Int("width", 640, "frame width")
+	height := fs.Int("height", 480, "frame height")
+	rate := fs.Int("rate", 0, "frame rate in Hz (0 = lockstep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFig18(bench.Fig18Config{
+		Frames: *frames, Width: *width, Height: *height, RateHz: *rate,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	reg, err := bench.LoadIDLRegistry(root)
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunTable1(reg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// containing go.mod, so the tool runs from any subdirectory.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("module root with msgs/idl not found; run inside the repository")
+		}
+		dir = parent
+	}
+}

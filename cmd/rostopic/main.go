@@ -1,0 +1,246 @@
+// Command rostopic is the graph introspection tool: it talks to a
+// rosmaster and inspects live topics, like its ROS namesake.
+//
+// Usage:
+//
+//	rostopic -master 127.0.0.1:11311 list
+//	rostopic -master ... info  <topic>
+//	rostopic -master ... hz    <topic> [-window 50]
+//	rostopic -master ... bw    <topic> [-window 50]
+//	rostopic -master ... echo  <topic> [-count 5] [-idl msgs/idl]
+//
+// echo decodes both ROS1-format and SFM-format topics through the IDL
+// registry (the SFM skeleton layout is recomputed from the IDL with the
+// same rules the generator uses). Cross-endian SFM frames are shown as
+// summaries only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"rossf/internal/msg"
+	"rossf/internal/ros"
+	"rossf/internal/ser/rosser"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rostopic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rostopic", flag.ContinueOnError)
+	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	window := fs.Int("window", 50, "hz/bw: number of messages to sample")
+	count := fs.Int("count", 5, "echo: messages to print before exiting")
+	idlDir := fs.String("idl", "msgs/idl", "echo: IDL directory for decoding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: rostopic [-master addr] <list|info|hz|bw|echo> [topic]")
+	}
+	cmd := fs.Arg(0)
+
+	master, err := ros.DialMaster(*masterAddr)
+	if err != nil {
+		return err
+	}
+	defer master.Close()
+
+	switch cmd {
+	case "list":
+		return list(master)
+	case "info":
+		return info(master, fs.Arg(1))
+	case "hz":
+		return rate(master, fs.Arg(1), *window, false)
+	case "bw":
+		return rate(master, fs.Arg(1), *window, true)
+	case "echo":
+		return echo(master, fs.Arg(1), *count, *idlDir)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func list(master *ros.RemoteMaster) error {
+	infos, err := master.TopicsInfo()
+	if err != nil {
+		return err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	for _, ti := range infos {
+		fmt.Printf("%-40s %-30s %d publisher(s)\n", ti.Name, ti.TypeName, ti.NumPublishers)
+	}
+	return nil
+}
+
+func lookupTopic(master *ros.RemoteMaster, topic string) (ros.TopicInfo, error) {
+	if topic == "" {
+		return ros.TopicInfo{}, fmt.Errorf("topic argument required")
+	}
+	infos, err := master.TopicsInfo()
+	if err != nil {
+		return ros.TopicInfo{}, err
+	}
+	for _, ti := range infos {
+		if ti.Name == topic {
+			return ti, nil
+		}
+	}
+	return ros.TopicInfo{}, fmt.Errorf("topic %q not known to the master", topic)
+}
+
+func info(master *ros.RemoteMaster, topic string) error {
+	ti, err := lookupTopic(master, topic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topic:      %s\ntype:       %s\nmd5sum:     %s\npublishers: %d\n",
+		ti.Name, ti.TypeName, ti.MD5, ti.NumPublishers)
+	return nil
+}
+
+// subscribeBoth attaches raw subscriptions in whichever regime the
+// publisher speaks (tried SFM first, then ROS1; only the matching one
+// connects).
+func subscribeBoth(master *ros.RemoteMaster, ti ros.TopicInfo,
+	cb func(ros.RawMessage)) (*ros.Node, error) {
+	node, err := ros.NewNode("rostopic", ros.WithMaster(master), ros.WithoutListener())
+	if err != nil {
+		return nil, err
+	}
+	for _, sfm := range []bool{true, false} {
+		if _, err := ros.SubscribeRaw(node, ti.Name, ti.TypeName, ti.MD5, sfm, cb); err != nil {
+			node.Close()
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool) error {
+	ti, err := lookupTopic(master, topic)
+	if err != nil {
+		return err
+	}
+	var n atomic.Int64
+	var bytes atomic.Int64
+	start := time.Now()
+	node, err := subscribeBoth(master, ti, func(m ros.RawMessage) {
+		n.Add(1)
+		bytes.Add(int64(len(m.Frame)))
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	for n.Load() < int64(window) {
+		time.Sleep(10 * time.Millisecond)
+		if time.Since(start) > 30*time.Second {
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	got := n.Load()
+	if got == 0 {
+		return fmt.Errorf("no messages on %s within 30s", topic)
+	}
+	if bandwidth {
+		fmt.Printf("%s: %.2f MB/s over %d messages\n",
+			topic, float64(bytes.Load())/elapsed/1e6, got)
+	} else {
+		fmt.Printf("%s: %.2f Hz over %d messages\n", topic, float64(got)/elapsed, got)
+	}
+	return nil
+}
+
+func echo(master *ros.RemoteMaster, topic string, count int, idlDir string) error {
+	ti, err := lookupTopic(master, topic)
+	if err != nil {
+		return err
+	}
+	reg := msg.NewRegistry()
+	if err := reg.LoadFS(os.DirFS(filepath.Dir(idlDir)), filepath.Base(idlDir)); err != nil {
+		return fmt.Errorf("load idl: %w", err)
+	}
+	codec := rosser.New(reg)
+
+	done := make(chan struct{})
+	var printed atomic.Int64
+	node, err := subscribeBoth(master, ti, func(m ros.RawMessage) {
+		if printed.Load() >= int64(count) {
+			return
+		}
+		switch {
+		case m.Format == "ros1":
+			d, err := codec.Unmarshal(m.Frame, ti.TypeName)
+			if err != nil {
+				fmt.Printf("--- (%d bytes, undecodable: %v)\n", len(m.Frame), err)
+			} else {
+				fmt.Printf("---\n%s", formatDynamic(d, ""))
+			}
+		case m.LittleEndian == hostLittleEndian():
+			d, err := reg.DecodeSFM(m.Frame, ti.TypeName)
+			if err != nil {
+				fmt.Printf("--- (sfm frame, %d bytes, undecodable: %v)\n", len(m.Frame), err)
+			} else {
+				fmt.Printf("--- [sfm]\n%s", formatDynamic(d, ""))
+			}
+		default:
+			fmt.Printf("--- (sfm frame, %d bytes, foreign byte order)\n", len(m.Frame))
+		}
+		if printed.Add(1) == int64(count) {
+			close(done)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	select {
+	case <-done:
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("timed out after %d message(s)", printed.Load())
+	}
+}
+
+// hostLittleEndian reports this process's byte order.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// formatDynamic renders a decoded message YAML-ish, eliding large
+// arrays.
+func formatDynamic(d *msg.Dynamic, indent string) string {
+	var b strings.Builder
+	for _, f := range d.Spec.Fields {
+		v := d.Fields[f.Name]
+		switch val := v.(type) {
+		case *msg.Dynamic:
+			fmt.Fprintf(&b, "%s%s:\n%s", indent, f.Name, formatDynamic(val, indent+"  "))
+		case []uint8:
+			fmt.Fprintf(&b, "%s%s: <%d bytes>\n", indent, f.Name, len(val))
+		case []*msg.Dynamic:
+			fmt.Fprintf(&b, "%s%s: <%d messages>\n", indent, f.Name, len(val))
+		default:
+			fmt.Fprintf(&b, "%s%s: %v\n", indent, f.Name, val)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Command sfcheck is the reproduction of the paper's ROS-SF Converter
+// front end (§4.3.2) as a checker: it analyzes Go source files that use
+// the generated message classes and reports, per file, the SFM
+// assumption violations (with the paper's rewrite advice) and the
+// value-typed message declarations that must become heap allocations
+// (Fig. 11).
+//
+// Usage:
+//
+//	sfcheck [-idl msgs/idl] [-table] [-fix] <files-or-directories...>
+//
+// -fix applies the Fig. 11 rewrite in place: value declarations of SF
+// message types become heap allocations via the generated constructors;
+// no other statement changes (Go auto-dereferences field selectors on
+// pointers, playing the role of the C++ reference the paper introduces).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rossf/internal/checker"
+	"rossf/internal/msg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sfcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fsFlags := flag.NewFlagSet("sfcheck", flag.ContinueOnError)
+	idlDir := fsFlags.String("idl", "msgs/idl", "IDL directory defining the message classes")
+	table := fsFlags.Bool("table", false, "print an applicability table over all inputs")
+	fix := fsFlags.Bool("fix", false, "apply the Fig. 11 stack-to-heap rewrite in place")
+	if err := fsFlags.Parse(args); err != nil {
+		return err
+	}
+	if fsFlags.NArg() == 0 {
+		return fmt.Errorf("usage: sfcheck [-idl dir] [-table] <files-or-directories...>")
+	}
+
+	reg := msg.NewRegistry()
+	if err := reg.LoadFS(os.DirFS(filepath.Dir(*idlDir)), filepath.Base(*idlDir)); err != nil {
+		return fmt.Errorf("load idl: %w", err)
+	}
+	if err := reg.Validate(); err != nil {
+		return err
+	}
+	c := checker.New(reg)
+
+	var files []string
+	for _, arg := range fsFlags.Args() {
+		found, err := collectGoFiles(arg)
+		if err != nil {
+			return err
+		}
+		files = append(files, found...)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Go files found")
+	}
+
+	var reports []*checker.FileReport
+	violating := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if *fix {
+			fixed, n, err := c.FixSource(path, src)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				if err := os.WriteFile(path, fixed, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("%s: applied %d Fig. 11 rewrite(s)\n", path, n)
+				src = fixed
+			}
+		}
+		rep, err := c.CheckSource(path, src)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if printReport(path, rep) {
+			violating++
+		}
+	}
+
+	if *table {
+		classes := usedClasses(reports)
+		fmt.Println()
+		fmt.Print(checker.FormatTable(checker.Aggregate(reports, classes)))
+	}
+	fmt.Printf("\n%d files checked, %d with assumption violations\n", len(files), violating)
+	return nil
+}
+
+// printReport emits one file's findings and reports whether it violates.
+func printReport(path string, rep *checker.FileReport) bool {
+	for _, rw := range rep.Rewrites {
+		fmt.Printf("%s:%d: note: %s %q is declared as a value; the converter rewrites this to a heap allocation (var %s = must(core.New[...]))\n",
+			path, rw.Pos.Line, rw.MsgType, rw.Var, rw.Var)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("%s:%d: %s on %s field %s: %s\n",
+			path, v.Pos.Line, v.Kind, v.MsgType, v.Field, v.Detail)
+		switch v.Kind {
+		case checker.StringReassign:
+			fmt.Printf("%s:%d:   fix: prepare the final value before construction and assign once (paper Fig. 19 rewrite)\n", path, v.Pos.Line)
+		case checker.VectorMultiResize:
+			fmt.Printf("%s:%d:   fix: size the vector exactly once at its single construction site (paper Fig. 20)\n", path, v.Pos.Line)
+		case checker.OtherMethod:
+			fmt.Printf("%s:%d:   fix: count elements first, resize once, then assign by index (paper Fig. 21 rewrite)\n", path, v.Pos.Line)
+		}
+	}
+	return len(rep.Violations) > 0
+}
+
+// usedClasses lists every message class any report references, sorted.
+func usedClasses(reports []*checker.FileReport) []string {
+	seen := make(map[string]bool)
+	for _, r := range reports {
+		for c := range r.Uses {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// collectGoFiles expands a path into the non-test Go files beneath it.
+func collectGoFiles(root string) ([]string, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{root}, nil
+	}
+	var out []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		out = append(out, path)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,121 @@
+// Command sfmgen is the reproduction of the paper's SFM Generator
+// (Fig. 10b): it reads ROS .msg definitions and generates, per package,
+// both the regular message classes (with ROS1 serializers, as genmsg
+// would) and their serialization-free SFM counterparts.
+//
+// Usage:
+//
+//	sfmgen -idl msgs/idl -out msgs [-capacities msgs/idl/capacities.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rossf/internal/gen"
+	"rossf/internal/msg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sfmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sfmgen", flag.ContinueOnError)
+	idlDir := fs.String("idl", "msgs/idl", "directory of <pkg>/<Name>.msg definitions")
+	outDir := fs.String("out", "msgs", "output directory for generated packages")
+	capFile := fs.String("capacities", "", "optional capacity table: lines of \"pkg/Name bytes\"")
+	module := fs.String("module", "rossf/msgs", "import path prefix of generated packages")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := msg.NewRegistry()
+	if err := reg.LoadFS(os.DirFS(filepath.Dir(*idlDir)), filepath.Base(*idlDir)); err != nil {
+		return fmt.Errorf("load idl: %w", err)
+	}
+	if err := reg.Validate(); err != nil {
+		return fmt.Errorf("validate idl: %w", err)
+	}
+
+	g := gen.New(reg)
+	g.ModuleBase = *module
+	if *capFile != "" {
+		caps, err := loadCapacities(*capFile)
+		if err != nil {
+			return err
+		}
+		g.Capacities = caps
+	}
+
+	pkgs := make(map[string]bool)
+	for _, full := range reg.Names() {
+		pkg, _, _ := strings.Cut(full, "/")
+		pkgs[pkg] = true
+	}
+	names := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+
+	for _, pkg := range names {
+		src, err := g.Package(pkg)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(*outDir, pkg)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, pkg+".gen.go")
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("generated %s (%d bytes)\n", path, len(src))
+	}
+	return nil
+}
+
+// loadCapacities parses the "pkg/Name bytes" capacity table. Blank lines
+// and '#' comments are skipped.
+func loadCapacities(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"pkg/Name bytes\", got %q", path, lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%s:%d: invalid capacity %q", path, lineNo, fields[1])
+		}
+		out[fields[0]] = n
+	}
+	return out, sc.Err()
+}

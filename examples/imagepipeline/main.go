@@ -1,0 +1,158 @@
+// Image pipeline: the scenario of the paper's first failure case
+// (Fig. 19), written the SFM-compatible way.
+//
+// Three nodes form a pipeline: a camera publishes frames, a rotate node
+// transforms each frame (rotating the image 180°) and republishes it
+// under a new coordinate frame, and a sink verifies the output. The
+// rotate node is exactly the image_rotate_nodelet situation: it must
+// change header.frame_id on its output — the rewrite the paper suggests
+// (set the frame id at the single construction site, never reassign)
+// keeps it serialization-free.
+//
+// Run with: go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+const (
+	width  = 320
+	height = 240
+	frames = 30
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	master := ros.NewLocalMaster()
+	camera, err := ros.NewNode("camera", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer camera.Close()
+	rotate, err := ros.NewNode("image_rotate", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer rotate.Close()
+	sink, err := ros.NewNode("viewer", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+
+	// Rotate node: subscribe raw frames, publish rotated ones.
+	rotPub, err := ros.Advertise[sensor_msgs.ImageSF](rotate, "image/rotated")
+	if err != nil {
+		return err
+	}
+	_, err = ros.Subscribe(rotate, "image/raw", func(in *sensor_msgs.ImageSF) {
+		out, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return
+		}
+		defer core.Release(out)
+		// Fig. 19's rewrite: every field — including the *new* frame id —
+		// is assigned exactly once while constructing the output.
+		out.Header.Seq = in.Header.Seq
+		out.Header.Stamp = in.Header.Stamp
+		out.Header.FrameID.MustSet("camera_rotated")
+		out.Height, out.Width, out.Step = in.Height, in.Width, in.Step
+		out.Encoding.MustSet(in.Encoding.Get())
+		out.Data.MustResize(in.Data.Len())
+		rotate180(in.Data.Slice(), out.Data.Slice())
+		rotPub.Publish(out)
+	})
+	if err != nil {
+		return err
+	}
+
+	// Sink node: verify rotation and report latency.
+	type verdict struct {
+		ok      bool
+		frameID string
+		latency time.Duration
+	}
+	results := make(chan verdict, 1)
+	_, err = ros.Subscribe(sink, "image/rotated", func(img *sensor_msgs.ImageSF) {
+		data := img.Data.Slice()
+		// The first pixel of a rotated frame is the last source pixel;
+		// the camera stamped the frame number into that pixel's blue
+		// channel (its final byte), which lands at index 2.
+		ok := len(data) > 2 && data[2] == byte(img.Header.Seq)
+		results <- verdict{
+			ok:      ok,
+			frameID: img.Header.FrameID.Get(),
+			latency: time.Since(img.Header.Stamp.ToTime()),
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	camPub, err := ros.Advertise[sensor_msgs.ImageSF](camera, "image/raw")
+	if err != nil {
+		return err
+	}
+	for camPub.NumSubscribers() == 0 || rotPub.NumSubscribers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	var total time.Duration
+	bad := 0
+	for i := 0; i < frames; i++ {
+		img, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return err
+		}
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(time.Now())
+		img.Header.FrameID.MustSet("camera")
+		img.Height, img.Width, img.Step = height, width, width*3
+		img.Encoding.MustSet("rgb8")
+		img.Data.MustResize(width * height * 3)
+		data := img.Data.Slice()
+		for p := range data {
+			data[p] = byte(p)
+		}
+		data[len(data)-1] = byte(i) // marker the sink checks after rotation
+
+		if err := camPub.Publish(img); err != nil {
+			return err
+		}
+		core.Release(img)
+
+		v := <-results
+		if !v.ok || v.frameID != "camera_rotated" {
+			bad++
+		}
+		total += v.latency
+	}
+
+	fmt.Printf("pipeline camera -> rotate -> viewer, %d frames of %dx%d rgb8\n", frames, width, height)
+	fmt.Printf("  rotated frames verified: %d/%d (frame_id rewritten to camera_rotated)\n", frames-bad, frames)
+	fmt.Printf("  mean end-to-end latency across both hops: %v\n", total/frames)
+	fmt.Println("  every message crossed two topics with zero serialization")
+	return nil
+}
+
+// rotate180 writes src rotated by 180° into dst (both rgb8).
+func rotate180(src, dst []byte) {
+	n := len(src) / 3
+	for i := 0; i < n; i++ {
+		j := n - 1 - i
+		dst[3*i], dst[3*i+1], dst[3*i+2] = src[3*j], src[3*j+1], src[3*j+2]
+	}
+}

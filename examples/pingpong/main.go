@@ -1,0 +1,46 @@
+// Ping-pong: the paper's Fig. 15 inter-machine topology on the
+// simulated 10 GbE link.
+//
+// Node pub (machine A) publishes images on topic ping; node trans
+// (machine B) echoes each into topic pong with the original timestamp;
+// node sub (machine A) measures the round trip. Cross-machine hops are
+// paced by internal/netsim. Both regimes run back to back.
+//
+// Run with: go run ./examples/pingpong [-gbps 10] [-size 1MB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rossf/internal/bench"
+	"rossf/internal/netsim"
+)
+
+func main() {
+	gbps := flag.Float64("gbps", 10, "simulated link bandwidth, Gb/s")
+	latency := flag.Duration("latency", 50*time.Microsecond, "simulated one-way latency")
+	messages := flag.Int("messages", 30, "ping-pong rounds per size")
+	flag.Parse()
+	if err := run(*gbps, *latency, *messages); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(gbps float64, latency time.Duration, messages int) error {
+	link := netsim.Link{BitsPerSecond: gbps * 1e9, Latency: latency}
+	fmt.Printf("simulated link: %.0f Gb/s, %v one-way latency\n\n", gbps, latency)
+
+	res, err := bench.RunFig16(bench.Fig16Config{
+		Messages: messages,
+		Warmup:   3,
+		Link:     link,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}

@@ -1,0 +1,164 @@
+// Quickstart: the paper's Fig. 3 program pattern in both regimes.
+//
+// A publisher node and a subscriber node exchange sensor_msgs/Image over
+// TCP loopback — first with regular (serializing) messages, then with
+// serialization-free ones. The developer-visible code is the same shape;
+// only the message type changes, and the serialization cost disappears.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+const (
+	imageW   = 800
+	imageH   = 600
+	messages = 50
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("talker", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer pubNode.Close()
+	subNode, err := ros.NewNode("listener", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer subNode.Close()
+
+	regular, err := runRegular(pubNode, subNode)
+	if err != nil {
+		return err
+	}
+	sfm, err := runSFM(pubNode, subNode)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%dx%d rgb8 image (%d KiB), %d messages over TCP loopback:\n",
+		imageW, imageH, imageW*imageH*3/1024, messages)
+	fmt.Printf("  ROS    (serialize + de-serialize): mean %v\n", regular)
+	fmt.Printf("  ROS-SF (serialization-free):       mean %v\n", sfm)
+	fmt.Printf("  reduction: %.1f%%\n", (1-float64(sfm)/float64(regular))*100)
+	return nil
+}
+
+// runRegular is the classic ROS pattern: the publish call serializes,
+// the subscriber callback receives a freshly de-serialized object.
+func runRegular(pubNode, subNode *ros.Node) (time.Duration, error) {
+	got := make(chan time.Duration, 1)
+	sub, err := ros.Subscribe(subNode, "camera/image", func(img *sensor_msgs.Image) {
+		got <- time.Since(img.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return 0, err
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[sensor_msgs.Image](pubNode, "camera/image")
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	awaitAttach(pub.NumSubscribers)
+
+	var total time.Duration
+	for i := 0; i < messages; i++ {
+		img := &sensor_msgs.Image{
+			Height:   imageH,
+			Width:    imageW,
+			Encoding: "rgb8",
+			Step:     imageW * 3,
+			Data:     make([]uint8, imageW*imageH*3),
+		}
+		img.Header.Stamp = msg.NewTime(time.Now())
+		img.Header.FrameID = "camera"
+		fillPixels(img.Data, i)
+
+		if err := pub.Publish(img); err != nil {
+			return 0, err
+		}
+		total += <-got
+	}
+	return total / messages, nil
+}
+
+// runSFM is the same code with the SF message type: the message is
+// constructed inside its own wire buffer, so Publish sends it as-is and
+// the callback sees the received buffer as a live message.
+func runSFM(pubNode, subNode *ros.Node) (time.Duration, error) {
+	got := make(chan time.Duration, 1)
+	sub, err := ros.Subscribe(subNode, "camera/image_sf", func(img *sensor_msgs.ImageSF) {
+		got <- time.Since(img.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return 0, err
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "camera/image_sf")
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	awaitAttach(pub.NumSubscribers)
+
+	var total time.Duration
+	for i := 0; i < messages; i++ {
+		img, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return 0, err
+		}
+		img.Height = imageH
+		img.Width = imageW
+		img.Step = imageW * 3
+		img.Header.Stamp = msg.NewTime(time.Now())
+		if err := img.Header.FrameID.Set("camera"); err != nil {
+			return 0, err
+		}
+		if err := img.Encoding.Set("rgb8"); err != nil {
+			return 0, err
+		}
+		if err := img.Data.Resize(imageW * imageH * 3); err != nil {
+			return 0, err
+		}
+		fillPixels(img.Data.Slice(), i)
+
+		if err := pub.Publish(img); err != nil {
+			return 0, err
+		}
+		if _, err := core.Release(img); err != nil {
+			return 0, err
+		}
+		total += <-got
+	}
+	return total / messages, nil
+}
+
+func fillPixels(data []byte, seed int) {
+	for i := range data {
+		data[i] = byte(i + seed)
+	}
+}
+
+func awaitAttach(num func() int) {
+	for num() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+// Service demo: the request/response half of the middleware, plus
+// latched topics.
+//
+// A "mapping" node serves two services — AddTwoInts (regular messages)
+// and a blob service using serialization-free messages, where request
+// and response travel as arena bytes — and publishes a latched map
+// image that late-joining nodes receive immediately.
+//
+// Run with: go run ./examples/servicedemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+	"rossf/msgs/rospy_tutorials"
+	"rossf/msgs/sensor_msgs"
+	"rossf/msgs/std_srvs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	master := ros.NewLocalMaster()
+	server, err := ros.NewNode("mapping", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	client, err := ros.NewNode("planner", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// 1. A classic regular-message service.
+	sumSrv, err := ros.AdvertiseService(server, rospy_tutorials.AddTwoIntsServiceName,
+		func(req *rospy_tutorials.AddTwoIntsRequest) (*rospy_tutorials.AddTwoIntsResponse, error) {
+			return &rospy_tutorials.AddTwoIntsResponse{Sum: req.A + req.B}, nil
+		})
+	if err != nil {
+		return err
+	}
+	defer sumSrv.Close()
+
+	resp, err := ros.CallService[rospy_tutorials.AddTwoIntsRequest, rospy_tutorials.AddTwoIntsResponse](
+		client, rospy_tutorials.AddTwoIntsServiceName,
+		&rospy_tutorials.AddTwoIntsRequest{A: 1200, B: 34})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("AddTwoInts(1200, 34) = %d\n", resp.Sum)
+
+	// 2. A serialization-free service: enabling "hardware" flips a mode
+	// and answers with an SFM response whose string payload lives in the
+	// response arena.
+	enableSrv, err := ros.AdvertiseService(server, "hardware/enable",
+		func(req *std_srvs.SetBoolRequestSF) (*std_srvs.SetBoolResponseSF, error) {
+			out, err := core.New[std_srvs.SetBoolResponseSF]()
+			if err != nil {
+				return nil, err
+			}
+			out.Success = true
+			if req.Data {
+				out.Message.MustSet("lidar enabled")
+			} else {
+				out.Message.MustSet("lidar disabled")
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	defer enableSrv.Close()
+
+	svcClient, err := ros.NewServiceClient[std_srvs.SetBoolRequestSF, std_srvs.SetBoolResponseSF](
+		client, "hardware/enable")
+	if err != nil {
+		return err
+	}
+	defer svcClient.Close()
+	for _, enable := range []bool{true, false} {
+		req, err := core.New[std_srvs.SetBoolRequestSF]()
+		if err != nil {
+			return err
+		}
+		req.Data = enable
+		out, err := svcClient.Call(req)
+		core.Release(req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SetBool(%v) -> success=%v message=%q (zero serialization)\n",
+			enable, out.Success, out.Message.Get())
+		core.Release(out)
+	}
+
+	// 3. A latched map: published once, delivered to every late joiner.
+	mapPub, err := ros.Advertise[sensor_msgs.ImageSF](server, "map/image", ros.WithLatch())
+	if err != nil {
+		return err
+	}
+	grid, err := sensor_msgs.NewImageSF()
+	if err != nil {
+		return err
+	}
+	grid.Height, grid.Width, grid.Step = 64, 64, 192
+	grid.Encoding.MustSet("rgb8")
+	grid.Data.MustResize(64 * 64 * 3)
+	if err := mapPub.Publish(grid); err != nil {
+		return err
+	}
+	core.Release(grid)
+
+	// The late joiner subscribes well after the publish...
+	late, err := ros.NewNode("late_viewer", ros.WithMaster(master))
+	if err != nil {
+		return err
+	}
+	defer late.Close()
+	gotMap := make(chan int, 1)
+	if _, err := ros.Subscribe(late, "map/image", func(m *sensor_msgs.ImageSF) {
+		gotMap <- m.Data.Len()
+	}); err != nil {
+		return err
+	}
+	select {
+	case n := <-gotMap:
+		fmt.Printf("late subscriber received the latched %d-byte map without a new publish\n", n)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("latched map never arrived")
+	}
+	return nil
+}

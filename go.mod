@@ -1,0 +1,3 @@
+module rossf
+
+go 1.24

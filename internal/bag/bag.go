@@ -1,0 +1,268 @@
+// Package bag implements a rosbag-like recording format for topic
+// traffic: a stream of connection records (topic bindings, including
+// the wire regime and byte order) followed by timestamped message
+// frames. Because serialization-free frames are already wire images,
+// recording an SFM topic is a straight byte capture and playback is a
+// straight byte replay — the same property the transport exploits.
+//
+// File layout (all integers little-endian):
+//
+//	magic "ROSSFBAG" | u32 version
+//	records:
+//	  u8 kind=1 (connection): u32 connID, str topic, str type, str md5,
+//	                          str format, u8 littleEndian
+//	  u8 kind=2 (message):    u32 connID, i64 unixNanos, u32 len, bytes
+//
+// where str is u32 length + bytes.
+package bag
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+const (
+	magic   = "ROSSFBAG"
+	version = 1
+
+	kindConnection = 1
+	kindMessage    = 2
+
+	// maxStringLen bounds metadata strings; maxFrameLen bounds message
+	// payloads (64 MiB, matching the transport's frame bound).
+	maxStringLen = 1 << 16
+	maxFrameLen  = 1 << 26
+)
+
+// ErrCorrupt reports a malformed bag file.
+var ErrCorrupt = errors.New("bag: corrupt file")
+
+// Connection describes one recorded topic binding.
+type Connection struct {
+	ID           uint32
+	Topic        string
+	TypeName     string
+	MD5          string
+	Format       string // "ros1" or "sfm"
+	LittleEndian bool
+}
+
+// Message is one recorded frame.
+type Message struct {
+	ConnID uint32
+	Stamp  time.Time
+	Frame  []byte
+}
+
+// Writer appends records to a bag stream.
+type Writer struct {
+	w      *bufio.Writer
+	nextID uint32
+	closed bool
+}
+
+// NewWriter starts a bag stream on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// AddConnection records a topic binding and returns its connection id.
+func (w *Writer) AddConnection(c Connection) (uint32, error) {
+	if w.closed {
+		return 0, errors.New("bag: writer closed")
+	}
+	id := w.nextID
+	w.nextID++
+	w.w.WriteByte(kindConnection)
+	writeU32(w.w, id)
+	writeString(w.w, c.Topic)
+	writeString(w.w, c.TypeName)
+	writeString(w.w, c.MD5)
+	writeString(w.w, c.Format)
+	b := byte(0)
+	if c.LittleEndian {
+		b = 1
+	}
+	return id, w.w.WriteByte(b)
+}
+
+// WriteMessage records one frame.
+func (w *Writer) WriteMessage(connID uint32, stamp time.Time, frame []byte) error {
+	if w.closed {
+		return errors.New("bag: writer closed")
+	}
+	if len(frame) > maxFrameLen {
+		return fmt.Errorf("bag: frame of %d bytes exceeds limit", len(frame))
+	}
+	w.w.WriteByte(kindMessage)
+	writeU32(w.w, connID)
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], uint64(stamp.UnixNano()))
+	w.w.Write(t[:])
+	writeU32(w.w, uint32(len(frame)))
+	_, err := w.w.Write(frame)
+	return err
+}
+
+// Close flushes the stream. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	w.closed = true
+	return w.w.Flush()
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+// Reader iterates a bag stream.
+type Reader struct {
+	r     *bufio.Reader
+	conns map[uint32]Connection
+}
+
+// NewReader validates the header and returns an iterator.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(head[len(magic):]); v != version {
+		return nil, fmt.Errorf("bag: unsupported version %d", v)
+	}
+	return &Reader{r: br, conns: make(map[uint32]Connection)}, nil
+}
+
+// Connections returns the bindings seen so far (grows as Next is
+// called).
+func (r *Reader) Connections() map[uint32]Connection {
+	out := make(map[uint32]Connection, len(r.conns))
+	for k, v := range r.conns {
+		out[k] = v
+	}
+	return out
+}
+
+// Next returns the next message record, transparently consuming
+// connection records. io.EOF signals a clean end.
+func (r *Reader) Next() (Message, error) {
+	for {
+		kind, err := r.r.ReadByte()
+		if err == io.EOF {
+			return Message{}, io.EOF
+		}
+		if err != nil {
+			return Message{}, err
+		}
+		switch kind {
+		case kindConnection:
+			c, err := r.readConnection()
+			if err != nil {
+				return Message{}, err
+			}
+			r.conns[c.ID] = c
+		case kindMessage:
+			return r.readMessage()
+		default:
+			return Message{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+		}
+	}
+}
+
+func (r *Reader) readConnection() (Connection, error) {
+	var c Connection
+	var err error
+	if c.ID, err = r.readU32(); err != nil {
+		return c, err
+	}
+	if c.Topic, err = r.readString(); err != nil {
+		return c, err
+	}
+	if c.TypeName, err = r.readString(); err != nil {
+		return c, err
+	}
+	if c.MD5, err = r.readString(); err != nil {
+		return c, err
+	}
+	if c.Format, err = r.readString(); err != nil {
+		return c, err
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		return c, fmt.Errorf("%w: truncated connection", ErrCorrupt)
+	}
+	c.LittleEndian = b == 1
+	return c, nil
+}
+
+func (r *Reader) readMessage() (Message, error) {
+	var m Message
+	id, err := r.readU32()
+	if err != nil {
+		return m, err
+	}
+	m.ConnID = id
+	var t [8]byte
+	if _, err := io.ReadFull(r.r, t[:]); err != nil {
+		return m, fmt.Errorf("%w: truncated stamp", ErrCorrupt)
+	}
+	m.Stamp = time.Unix(0, int64(binary.LittleEndian.Uint64(t[:])))
+	n, err := r.readU32()
+	if err != nil {
+		return m, err
+	}
+	if n > maxFrameLen {
+		return m, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorrupt, n)
+	}
+	m.Frame = make([]byte, n)
+	if _, err := io.ReadFull(r.r, m.Frame); err != nil {
+		return m, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+	}
+	return m, nil
+}
+
+func (r *Reader) readU32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated integer", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *Reader) readString() (string, error) {
+	n, err := r.readU32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string of %d bytes exceeds limit", ErrCorrupt, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return "", fmt.Errorf("%w: truncated string", ErrCorrupt)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,126 @@
+package bag
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgConn, err := w.AddConnection(Connection{
+		Topic: "camera/image", TypeName: "sensor_msgs/Image",
+		MD5: "abc", Format: "sfm", LittleEndian: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanConn, err := w.AddConnection(Connection{
+		Topic: "scan", TypeName: "sensor_msgs/LaserScan",
+		MD5: "def", Format: "ros1", LittleEndian: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Unix(100, 500)
+	if err := w.WriteMessage(imgConn, t0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMessage(scanConn, t0.Add(time.Millisecond), []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMessage(imgConn, t0.Add(2*time.Millisecond), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ConnID != imgConn || !m1.Stamp.Equal(t0) || !bytes.Equal(m1.Frame, []byte{1, 2, 3}) {
+		t.Errorf("m1 = %+v", m1)
+	}
+	conns := r.Connections()
+	if conns[imgConn].Topic != "camera/image" || conns[imgConn].Format != "sfm" {
+		t.Errorf("connection = %+v", conns[imgConn])
+	}
+	if conns[scanConn].Format != "ros1" {
+		t.Errorf("scan connection = %+v", conns[scanConn])
+	}
+	m2, _ := r.Next()
+	if m2.ConnID != scanConn || m2.Frame[0] != 9 {
+		t.Errorf("m2 = %+v", m2)
+	}
+	m3, _ := r.Next()
+	if m3.ConnID != imgConn || len(m3.Frame) != 0 {
+		t.Errorf("m3 = %+v", m3)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("trailing Next err = %v, want EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTABAG0\x01\x00\x00\x00"))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTruncationsSurfaceCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	id, _ := w.AddConnection(Connection{Topic: "t", TypeName: "p/T", MD5: "m", Format: "ros1"})
+	w.WriteMessage(id, time.Unix(1, 0), []byte{1, 2, 3, 4})
+	w.Close()
+	full := buf.Bytes()
+
+	for cut := len(magic) + 4; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("cut %d: err = %v", cut, err)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestWriterClosedRejects(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Close()
+	if _, err := w.AddConnection(Connection{}); err == nil {
+		t.Error("AddConnection after close accepted")
+	}
+	if err := w.WriteMessage(0, time.Now(), nil); err == nil {
+		t.Error("WriteMessage after close accepted")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	id, _ := w.AddConnection(Connection{Topic: "t"})
+	if err := w.WriteMessage(id, time.Now(), make([]byte, maxFrameLen+1)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}

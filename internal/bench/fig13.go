@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+// ImageSize is one workload point of Fig. 13/16.
+type ImageSize struct {
+	Name string
+	W, H int
+}
+
+// Bytes returns the pixel payload size (24-bit).
+func (s ImageSize) Bytes() int { return s.W * s.H * 3 }
+
+// PaperImageSizes are the three sizes of Fig. 13: ~200 KB, ~1 MB, ~6 MB.
+var PaperImageSizes = []ImageSize{
+	{Name: "200KB(256x256)", W: 256, H: 256},
+	{Name: "1MB(800x600)", W: 800, H: 600},
+	{Name: "6MB(1920x1080)", W: 1920, H: 1080},
+}
+
+// Fig13Config parameterizes the intra-machine experiment. The paper runs
+// 2000 messages at 10 Hz per size; benchmarks use lockstep (RateHz 0)
+// with fewer messages.
+type Fig13Config struct {
+	Sizes    []ImageSize
+	Messages int
+	RateHz   int
+	// Dial overrides the subscriber transport (Fig. 16 passes a netsim
+	// dialer).
+	Dial ros.DialFunc
+	// Warmup messages are sent and discarded before measuring.
+	Warmup int
+}
+
+func (c *Fig13Config) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = PaperImageSizes
+	}
+	if c.Messages == 0 {
+		c.Messages = 200
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10
+	}
+}
+
+// Fig13Row is one size's result pair.
+type Fig13Row struct {
+	Size      ImageSize
+	ROS       *LatencySeries
+	ROSSF     *LatencySeries
+	Reduction float64 // percent latency reduction of ROS-SF vs ROS
+}
+
+// Fig13Result reproduces Fig. 13.
+type Fig13Result struct {
+	Rows []Fig13Row
+}
+
+// Format renders the figure as a table.
+func (r *Fig13Result) Format() string {
+	var series []*LatencySeries
+	for _, row := range r.Rows {
+		series = append(series, row.ROS, row.ROSSF)
+	}
+	out := FormatSeriesTable("Fig. 13 — intra-machine transmission latency (pub -> TCP loopback -> sub)", series)
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-28s ROS-SF reduces mean latency by %.1f%%\n", row.Size.Name, row.Reduction)
+	}
+	out += "paper: reductions grow with size, up to ~76.3% at 6MB\n"
+	return out
+}
+
+// RunFig13 runs the intra-machine experiment: one publisher node and one
+// subscriber node in this process, connected over TCP loopback (the
+// paper's two-process setup collapsed into one address space; the byte
+// path — serialize, socket, de-serialize — is identical).
+func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
+	cfg.fillDefaults()
+	res := &Fig13Result{}
+	for _, size := range cfg.Sizes {
+		rosSeries, err := runImageLatency(size, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s ros: %w", size.Name, err)
+		}
+		sfSeries, err := runImageLatency(size, cfg, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s ros-sf: %w", size.Name, err)
+		}
+		res.Rows = append(res.Rows, Fig13Row{
+			Size:      size,
+			ROS:       rosSeries,
+			ROSSF:     sfSeries,
+			Reduction: Reduction(rosSeries, sfSeries),
+		})
+	}
+	return res, nil
+}
+
+// pixelSlab builds the reusable pixel source; constructing each message
+// copies from it, so message construction costs are realistic and equal
+// across modes.
+func pixelSlab(n int) []byte {
+	slab := make([]byte, n)
+	for i := range slab {
+		slab[i] = byte(i * 7)
+	}
+	return slab
+}
+
+// runImageLatency measures creation-to-callback latency for one mode.
+func runImageLatency(size ImageSize, cfg Fig13Config, sfm bool) (*LatencySeries, error) {
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+	if err != nil {
+		return nil, err
+	}
+	defer pubNode.Close()
+	subOpts := []ros.Option{ros.WithMaster(master)}
+	if cfg.Dial != nil {
+		subOpts = append(subOpts, ros.WithDialer(cfg.Dial))
+	}
+	subNode, err := ros.NewNode("sub", subOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer subNode.Close()
+
+	label := fmt.Sprintf("ROS    %s", size.Name)
+	if sfm {
+		label = fmt.Sprintf("ROS-SF %s", size.Name)
+	}
+	series := &LatencySeries{Label: label}
+	got := make(chan time.Duration, 1)
+	slab := pixelSlab(size.Bytes())
+
+	if sfm {
+		err = runSFMPair(pubNode, subNode, size, cfg, slab, got, series)
+	} else {
+		err = runRegularPair(pubNode, subNode, size, cfg, slab, got, series)
+	}
+	return series, err
+}
+
+func awaitSample(got <-chan time.Duration) (time.Duration, error) {
+	select {
+	case d := <-got:
+		return d, nil
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("bench: no delivery within 30s")
+	}
+}
+
+func paceStart(rateHz int) func() {
+	if rateHz <= 0 {
+		return func() {}
+	}
+	interval := time.Second / time.Duration(rateHz)
+	next := time.Now()
+	return func() {
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+func runRegularPair(pubNode, subNode *ros.Node, size ImageSize, cfg Fig13Config,
+	slab []byte, got chan time.Duration, series *LatencySeries) error {
+	_, err := ros.Subscribe(subNode, "bench/image", func(m *sensor_msgs.Image) {
+		got <- time.Since(m.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	pub, err := ros.Advertise[sensor_msgs.Image](pubNode, "bench/image")
+	if err != nil {
+		return err
+	}
+	if err := waitSubscribers(pub.NumSubscribers, 1); err != nil {
+		return err
+	}
+
+	pace := paceStart(cfg.RateHz)
+	for i := 0; i < cfg.Warmup+cfg.Messages; i++ {
+		pace()
+		t0 := time.Now()
+		// The paper's pub node: create the message, store the creation
+		// time, set the content, publish. Serialization happens inside
+		// Publish.
+		img := &sensor_msgs.Image{
+			Height:   uint32(size.H),
+			Width:    uint32(size.W),
+			Encoding: "rgb8",
+			Step:     uint32(size.W * 3),
+			Data:     make([]uint8, len(slab)),
+		}
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		img.Header.FrameID = "camera"
+		copy(img.Data, slab)
+		if err := pub.Publish(img); err != nil {
+			return err
+		}
+		d, err := awaitSample(got)
+		if err != nil {
+			return err
+		}
+		if i >= cfg.Warmup {
+			series.Add(d)
+		}
+	}
+	return nil
+}
+
+func runSFMPair(pubNode, subNode *ros.Node, size ImageSize, cfg Fig13Config,
+	slab []byte, got chan time.Duration, series *LatencySeries) error {
+	_, err := ros.Subscribe(subNode, "bench/image", func(m *sensor_msgs.ImageSF) {
+		got <- time.Since(m.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "bench/image")
+	if err != nil {
+		return err
+	}
+	if err := waitSubscribers(pub.NumSubscribers, 1); err != nil {
+		return err
+	}
+
+	pace := paceStart(cfg.RateHz)
+	for i := 0; i < cfg.Warmup+cfg.Messages; i++ {
+		pace()
+		t0 := time.Now()
+		// Identical developer code shape; the type is the only change
+		// (the paper's transparency property). No serialization happens
+		// anywhere below.
+		img, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return err
+		}
+		img.Height = uint32(size.H)
+		img.Width = uint32(size.W)
+		img.Step = uint32(size.W * 3)
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		if err := img.Header.FrameID.Set("camera"); err != nil {
+			return err
+		}
+		if err := img.Encoding.Set("rgb8"); err != nil {
+			return err
+		}
+		if err := img.Data.Resize(len(slab)); err != nil {
+			return err
+		}
+		copy(img.Data.Slice(), slab)
+		if err := pub.Publish(img); err != nil {
+			return err
+		}
+		if _, err := core.Release(img); err != nil {
+			return err
+		}
+		d, err := awaitSample(got)
+		if err != nil {
+			return err
+		}
+		if i >= cfg.Warmup {
+			series.Add(d)
+		}
+	}
+	return nil
+}
+
+// waitSubscribers polls until the publisher sees want attachments.
+func waitSubscribers(num func() int, want int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if num() >= want {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("bench: subscribers did not attach")
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/netsim"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+// Fig16Config parameterizes the inter-machine ping-pong experiment
+// (Fig. 15 topology): pub and sub on "machine A", trans on "machine B",
+// every cross-machine hop paced by the simulated link.
+type Fig16Config struct {
+	Sizes    []ImageSize
+	Messages int
+	RateHz   int
+	Warmup   int
+	Link     netsim.Link
+}
+
+func (c *Fig16Config) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = PaperImageSizes
+	}
+	if c.Messages == 0 {
+		c.Messages = 100
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = netsim.TenGigE
+	}
+}
+
+// Fig16Row is one size's ping-pong result pair.
+type Fig16Row struct {
+	Size      ImageSize
+	ROS       *LatencySeries
+	ROSSF     *LatencySeries
+	Reduction float64
+}
+
+// Fig16Result reproduces Fig. 16.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Format renders the figure as a table.
+func (r *Fig16Result) Format() string {
+	var series []*LatencySeries
+	for _, row := range r.Rows {
+		series = append(series, row.ROS, row.ROSSF)
+	}
+	out := FormatSeriesTable("Fig. 16 — inter-machine ping-pong latency (pub -> link -> trans -> link -> sub, 10GbE netsim)", series)
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-28s ROS-SF reduces mean ping-pong latency by %.1f%%\n",
+			row.Size.Name, row.Reduction)
+	}
+	out += "paper: reductions grow with size, ~69.9% at 6MB; divide by 2 for one-way latency\n"
+	return out
+}
+
+// RunFig16 runs the ping-pong for each size in both regimes.
+func RunFig16(cfg Fig16Config) (*Fig16Result, error) {
+	cfg.fillDefaults()
+	res := &Fig16Result{}
+	for _, size := range cfg.Sizes {
+		rosSeries, err := runPingPong(size, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s ros: %w", size.Name, err)
+		}
+		sfSeries, err := runPingPong(size, cfg, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s ros-sf: %w", size.Name, err)
+		}
+		res.Rows = append(res.Rows, Fig16Row{
+			Size:      size,
+			ROS:       rosSeries,
+			ROSSF:     sfSeries,
+			Reduction: Reduction(rosSeries, sfSeries),
+		})
+	}
+	return res, nil
+}
+
+// runPingPong wires the Fig. 15 graph. The link pacing applies on the
+// two cross-machine subscriptions: trans pulling topic ping from A, and
+// sub pulling topic pong from B.
+func runPingPong(size ImageSize, cfg Fig16Config, sfm bool) (*LatencySeries, error) {
+	master := ros.NewLocalMaster()
+	dial := cfg.Link.Dialer()
+
+	pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+	if err != nil {
+		return nil, err
+	}
+	defer pubNode.Close()
+	transNode, err := ros.NewNode("trans", ros.WithMaster(master), ros.WithDialer(dial))
+	if err != nil {
+		return nil, err
+	}
+	defer transNode.Close()
+	subNode, err := ros.NewNode("sub", ros.WithMaster(master), ros.WithDialer(dial))
+	if err != nil {
+		return nil, err
+	}
+	defer subNode.Close()
+
+	label := fmt.Sprintf("ROS    %s", size.Name)
+	if sfm {
+		label = fmt.Sprintf("ROS-SF %s", size.Name)
+	}
+	series := &LatencySeries{Label: label}
+	got := make(chan time.Duration, 1)
+	slab := pixelSlab(size.Bytes())
+
+	if sfm {
+		err = runPingPongSFM(pubNode, transNode, subNode, size, cfg, slab, got, series)
+	} else {
+		err = runPingPongRegular(pubNode, transNode, subNode, size, cfg, slab, got, series)
+	}
+	return series, err
+}
+
+func runPingPongRegular(pubNode, transNode, subNode *ros.Node, size ImageSize,
+	cfg Fig16Config, slab []byte, got chan time.Duration, series *LatencySeries) error {
+	// trans: on ping, construct a fresh image carrying the same stamp
+	// and publish it as pong (the paper's second construction +
+	// serialization).
+	pongPub, err := ros.Advertise[sensor_msgs.Image](transNode, "bench/pong")
+	if err != nil {
+		return err
+	}
+	_, err = ros.Subscribe(transNode, "bench/ping", func(in *sensor_msgs.Image) {
+		out := &sensor_msgs.Image{
+			Height: in.Height, Width: in.Width, Step: in.Step,
+			Encoding: in.Encoding, Data: make([]uint8, len(in.Data)),
+		}
+		out.Header = in.Header
+		copy(out.Data, in.Data)
+		pongPub.Publish(out)
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	_, err = ros.Subscribe(subNode, "bench/pong", func(m *sensor_msgs.Image) {
+		got <- time.Since(m.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	pingPub, err := ros.Advertise[sensor_msgs.Image](pubNode, "bench/ping")
+	if err != nil {
+		return err
+	}
+	if err := waitSubscribers(pingPub.NumSubscribers, 1); err != nil {
+		return err
+	}
+	if err := waitSubscribers(pongPub.NumSubscribers, 1); err != nil {
+		return err
+	}
+
+	pace := paceStart(cfg.RateHz)
+	for i := 0; i < cfg.Warmup+cfg.Messages; i++ {
+		pace()
+		t0 := time.Now()
+		img := &sensor_msgs.Image{
+			Height: uint32(size.H), Width: uint32(size.W), Step: uint32(size.W * 3),
+			Encoding: "rgb8", Data: make([]uint8, len(slab)),
+		}
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		img.Header.FrameID = "camera"
+		copy(img.Data, slab)
+		if err := pingPub.Publish(img); err != nil {
+			return err
+		}
+		d, err := awaitSample(got)
+		if err != nil {
+			return err
+		}
+		if i >= cfg.Warmup {
+			series.Add(d)
+		}
+	}
+	return nil
+}
+
+func runPingPongSFM(pubNode, transNode, subNode *ros.Node, size ImageSize,
+	cfg Fig16Config, slab []byte, got chan time.Duration, series *LatencySeries) error {
+	pongPub, err := ros.Advertise[sensor_msgs.ImageSF](transNode, "bench/pong")
+	if err != nil {
+		return err
+	}
+	_, err = ros.Subscribe(transNode, "bench/ping", func(in *sensor_msgs.ImageSF) {
+		out, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return
+		}
+		out.Height, out.Width, out.Step = in.Height, in.Width, in.Step
+		out.Header.Seq = in.Header.Seq
+		out.Header.Stamp = in.Header.Stamp
+		out.Header.FrameID.Set(in.Header.FrameID.Get())
+		out.Encoding.Set(in.Encoding.Get())
+		if out.Data.Resize(in.Data.Len()) == nil {
+			copy(out.Data.Slice(), in.Data.Slice())
+		}
+		pongPub.Publish(out)
+		core.Release(out)
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	_, err = ros.Subscribe(subNode, "bench/pong", func(m *sensor_msgs.ImageSF) {
+		got <- time.Since(m.Header.Stamp.ToTime())
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return err
+	}
+	pingPub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "bench/ping")
+	if err != nil {
+		return err
+	}
+	if err := waitSubscribers(pingPub.NumSubscribers, 1); err != nil {
+		return err
+	}
+	if err := waitSubscribers(pongPub.NumSubscribers, 1); err != nil {
+		return err
+	}
+
+	pace := paceStart(cfg.RateHz)
+	for i := 0; i < cfg.Warmup+cfg.Messages; i++ {
+		pace()
+		t0 := time.Now()
+		img, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return err
+		}
+		img.Height, img.Width, img.Step = uint32(size.H), uint32(size.W), uint32(size.W*3)
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		img.Header.FrameID.Set("camera")
+		img.Encoding.Set("rgb8")
+		if err := img.Data.Resize(len(slab)); err != nil {
+			return err
+		}
+		copy(img.Data.Slice(), slab)
+		if err := pingPub.Publish(img); err != nil {
+			return err
+		}
+		core.Release(img)
+		d, err := awaitSample(got)
+		if err != nil {
+			return err
+		}
+		if i >= cfg.Warmup {
+			series.Add(d)
+		}
+	}
+	return nil
+}

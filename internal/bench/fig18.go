@@ -1,0 +1,451 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/dataset"
+	"rossf/internal/msg"
+	"rossf/internal/ros"
+	"rossf/internal/slam"
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+)
+
+// Fig18Config parameterizes the ORB-SLAM application case study
+// (Fig. 17 topology: pub_tum -> slam -> {pose, point cloud, debug
+// image} sinks).
+type Fig18Config struct {
+	Frames int
+	Width  int
+	Height int
+	RateHz int
+	Warmup int
+	Seed   int64
+	// Tracker tunes the compute stage; the defaults below land in the
+	// paper's 30-40ms range on commodity hardware.
+	Tracker slam.Config
+}
+
+func (c *Fig18Config) fillDefaults() {
+	if c.Frames == 0 {
+		c.Frames = 100
+	}
+	if c.Width == 0 {
+		c.Width = 640
+	}
+	if c.Height == 0 {
+		c.Height = 480
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Tracker.PyramidLevels == 0 {
+		c.Tracker.PyramidLevels = 8
+	}
+	if c.Tracker.CellSize == 0 {
+		c.Tracker.CellSize = 8
+	}
+	if c.Tracker.MaxFeatures == 0 {
+		c.Tracker.MaxFeatures = 4000
+	}
+}
+
+// Fig18Result reproduces Fig. 18: end-to-end latency from input-image
+// creation to each output's arrival, for ROS and ROS-SF.
+type Fig18Result struct {
+	// Indexed [topic][mode]: topics pose/cloud/debug, modes ROS/ROS-SF.
+	Pose, Cloud, Debug [2]*LatencySeries
+}
+
+// Format renders the figure as a table.
+func (r *Fig18Result) Format() string {
+	series := []*LatencySeries{
+		r.Pose[0], r.Pose[1], r.Cloud[0], r.Cloud[1], r.Debug[0], r.Debug[1],
+	}
+	out := FormatSeriesTable("Fig. 18 — ORB-SLAM case study end-to-end latency (input creation -> output arrival)", series)
+	out += fmt.Sprintf("pose:        ROS-SF reduces mean latency by %.1f%%\n", Reduction(r.Pose[0], r.Pose[1]))
+	out += fmt.Sprintf("point cloud: ROS-SF reduces mean latency by %.1f%%\n", Reduction(r.Cloud[0], r.Cloud[1]))
+	out += fmt.Sprintf("debug image: ROS-SF reduces mean latency by %.1f%%\n", Reduction(r.Debug[0], r.Debug[1]))
+	out += "paper: SLAM compute (~30-40ms) dominates; overall reduction is small (~5%)\n"
+	return out
+}
+
+// RunFig18 runs the case study in both regimes.
+func RunFig18(cfg Fig18Config) (*Fig18Result, error) {
+	cfg.fillDefaults()
+	res := &Fig18Result{}
+	for mode, sfm := range []bool{false, true} {
+		pose, cloud, debug, err := runSLAMGraph(cfg, sfm)
+		if err != nil {
+			return nil, fmt.Errorf("fig18 sfm=%v: %w", sfm, err)
+		}
+		res.Pose[mode] = pose
+		res.Cloud[mode] = cloud
+		res.Debug[mode] = debug
+	}
+	return res, nil
+}
+
+// slamSample is one frame's three output latencies.
+type slamSample struct {
+	topic string
+	d     time.Duration
+}
+
+func runSLAMGraph(cfg Fig18Config, sfm bool) (pose, cloud, debug *LatencySeries, err error) {
+	seq, err := dataset.NewSequence(dataset.Config{
+		Width: cfg.Width, Height: cfg.Height,
+		Frames: cfg.Warmup + cfg.Frames, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	master := ros.NewLocalMaster()
+	mk := func(name string) (*ros.Node, error) {
+		return ros.NewNode(name, ros.WithMaster(master))
+	}
+	nodes := make([]*ros.Node, 0, 5)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, name := range []string{"pub_tum", "orbslam", "sub_pose", "sub_cloud", "sub_debug"} {
+		n, nerr := mk(name)
+		if nerr != nil {
+			return nil, nil, nil, nerr
+		}
+		nodes = append(nodes, n)
+	}
+	pubNode, slamNode := nodes[0], nodes[1]
+	sinkPose, sinkCloud, sinkDebug := nodes[2], nodes[3], nodes[4]
+
+	mode := "ROS   "
+	if sfm {
+		mode = "ROS-SF"
+	}
+	pose = &LatencySeries{Label: mode + " pose"}
+	cloud = &LatencySeries{Label: mode + " point cloud"}
+	debug = &LatencySeries{Label: mode + " debug image"}
+	samples := make(chan slamSample, 3)
+
+	tracker := slam.NewTracker(cfg.Tracker)
+
+	var publishFrame func(i int) error
+	if sfm {
+		publishFrame, err = wireSLAMGraphSFM(cfg, seq, tracker, pubNode, slamNode,
+			sinkPose, sinkCloud, sinkDebug, samples)
+	} else {
+		publishFrame, err = wireSLAMGraphRegular(cfg, seq, tracker, pubNode, slamNode,
+			sinkPose, sinkCloud, sinkDebug, samples)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	pace := paceStart(cfg.RateHz)
+	for i := 0; i < cfg.Warmup+cfg.Frames; i++ {
+		pace()
+		if err := publishFrame(i); err != nil {
+			return nil, nil, nil, err
+		}
+		for k := 0; k < 3; k++ {
+			select {
+			case s := <-samples:
+				if i < cfg.Warmup {
+					continue
+				}
+				switch s.topic {
+				case "pose":
+					pose.Add(s.d)
+				case "cloud":
+					cloud.Add(s.d)
+				case "debug":
+					debug.Add(s.d)
+				}
+			case <-time.After(30 * time.Second):
+				return nil, nil, nil, fmt.Errorf("fig18: output %d/3 of frame %d missing", k, i)
+			}
+		}
+	}
+	return pose, cloud, debug, nil
+}
+
+// cloudFields builds the x/y/z float32 PointField descriptors.
+func cloudFields() []sensor_msgs.PointField {
+	mkf := func(name string, off uint32) sensor_msgs.PointField {
+		return sensor_msgs.PointField{
+			Name: name, Offset: off,
+			Datatype: sensor_msgs.PointFieldFLOAT32, Count: 1,
+		}
+	}
+	return []sensor_msgs.PointField{mkf("x", 0), mkf("y", 4), mkf("z", 8)}
+}
+
+// packPoints serializes slam points into PointCloud2 data layout.
+func packPoints(points []slam.Point3, dst []byte) {
+	for i, p := range points {
+		binary.LittleEndian.PutUint32(dst[12*i:], math.Float32bits(p.X))
+		binary.LittleEndian.PutUint32(dst[12*i+4:], math.Float32bits(p.Y))
+		binary.LittleEndian.PutUint32(dst[12*i+8:], math.Float32bits(p.Z))
+	}
+}
+
+// wireSLAMGraphRegular builds the regular-message graph and returns the
+// frame publisher.
+func wireSLAMGraphRegular(cfg Fig18Config, seq *dataset.Sequence, tracker *slam.Tracker,
+	pubNode, slamNode, sinkPose, sinkCloud, sinkDebug *ros.Node,
+	samples chan slamSample) (func(int) error, error) {
+
+	posePub, err := ros.Advertise[geometry_msgs.PoseStamped](slamNode, "slam/pose")
+	if err != nil {
+		return nil, err
+	}
+	cloudPub, err := ros.Advertise[sensor_msgs.PointCloud2](slamNode, "slam/cloud")
+	if err != nil {
+		return nil, err
+	}
+	debugPub, err := ros.Advertise[sensor_msgs.Image](slamNode, "slam/debug")
+	if err != nil {
+		return nil, err
+	}
+
+	_, err = ros.Subscribe(slamNode, "slam/image", func(in *sensor_msgs.Image) {
+		w, h := int(in.Width), int(in.Height)
+		res, perr := tracker.Process(in.Data, w, h, nil)
+		if perr != nil {
+			return
+		}
+		pose := &geometry_msgs.PoseStamped{}
+		pose.Header = in.Header
+		pose.Pose.Position.X = res.Pose.X
+		pose.Pose.Position.Y = res.Pose.Y
+		pose.Pose.Orientation.W = 1
+		posePub.Publish(pose)
+
+		pc := &sensor_msgs.PointCloud2{
+			Height: 1, Width: uint32(len(res.Points)),
+			Fields:    cloudFields(),
+			PointStep: 12, RowStep: uint32(12 * len(res.Points)),
+			Data: make([]uint8, 12*len(res.Points)), IsDense: true,
+		}
+		pc.Header = in.Header
+		packPoints(res.Points, pc.Data)
+		cloudPub.Publish(pc)
+
+		dbg := &sensor_msgs.Image{
+			Height: in.Height, Width: in.Width, Step: in.Step,
+			Encoding: in.Encoding, Data: make([]uint8, len(in.Data)),
+		}
+		dbg.Header = in.Header
+		copy(dbg.Data, in.Data)
+		tracker.DrawDebug(dbg.Data, w, h)
+		debugPub.Publish(dbg)
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return nil, err
+	}
+
+	mkSink := func(node *ros.Node, topic, label string) error {
+		switch label {
+		case "pose":
+			_, err := ros.Subscribe(node, topic, func(m *geometry_msgs.PoseStamped) {
+				samples <- slamSample{"pose", time.Since(m.Header.Stamp.ToTime())}
+			}, ros.WithTransport(ros.TransportTCP))
+			return err
+		case "cloud":
+			_, err := ros.Subscribe(node, topic, func(m *sensor_msgs.PointCloud2) {
+				samples <- slamSample{"cloud", time.Since(m.Header.Stamp.ToTime())}
+			}, ros.WithTransport(ros.TransportTCP))
+			return err
+		default:
+			_, err := ros.Subscribe(node, topic, func(m *sensor_msgs.Image) {
+				samples <- slamSample{"debug", time.Since(m.Header.Stamp.ToTime())}
+			}, ros.WithTransport(ros.TransportTCP))
+			return err
+		}
+	}
+	if err := mkSink(sinkPose, "slam/pose", "pose"); err != nil {
+		return nil, err
+	}
+	if err := mkSink(sinkCloud, "slam/cloud", "cloud"); err != nil {
+		return nil, err
+	}
+	if err := mkSink(sinkDebug, "slam/debug", "debug"); err != nil {
+		return nil, err
+	}
+
+	imgPub, err := ros.Advertise[sensor_msgs.Image](pubNode, "slam/image")
+	if err != nil {
+		return nil, err
+	}
+	for _, wait := range []func() int{imgPub.NumSubscribers, posePub.NumSubscribers,
+		cloudPub.NumSubscribers, debugPub.NumSubscribers} {
+		if err := waitSubscribers(wait, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	return func(i int) error {
+		t0 := time.Now()
+		img := &sensor_msgs.Image{
+			Height: uint32(cfg.Height), Width: uint32(cfg.Width),
+			Step: uint32(cfg.Width * 3), Encoding: "rgb8",
+			Data: make([]uint8, cfg.Width*cfg.Height*3),
+		}
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		img.Header.FrameID = "camera"
+		seq.RenderInto(i, img.Data, nil)
+		return imgPub.Publish(img)
+	}, nil
+}
+
+// wireSLAMGraphSFM is the serialization-free variant of the same graph:
+// the code shape is identical, only the message types changed — the
+// paper's transparency claim in action.
+func wireSLAMGraphSFM(cfg Fig18Config, seq *dataset.Sequence, tracker *slam.Tracker,
+	pubNode, slamNode, sinkPose, sinkCloud, sinkDebug *ros.Node,
+	samples chan slamSample) (func(int) error, error) {
+
+	posePub, err := ros.Advertise[geometry_msgs.PoseStampedSF](slamNode, "slam/pose")
+	if err != nil {
+		return nil, err
+	}
+	cloudPub, err := ros.Advertise[sensor_msgs.PointCloud2SF](slamNode, "slam/cloud")
+	if err != nil {
+		return nil, err
+	}
+	debugPub, err := ros.Advertise[sensor_msgs.ImageSF](slamNode, "slam/debug")
+	if err != nil {
+		return nil, err
+	}
+
+	_, err = ros.Subscribe(slamNode, "slam/image", func(in *sensor_msgs.ImageSF) {
+		w, h := int(in.Width), int(in.Height)
+		// Zero-copy view of the received arena feeds the tracker.
+		res, perr := tracker.Process(in.Data.Slice(), w, h, nil)
+		if perr != nil {
+			return
+		}
+		pose, perr2 := geometry_msgs.NewPoseStampedSF()
+		if perr2 != nil {
+			return
+		}
+		pose.Header.Seq = in.Header.Seq
+		pose.Header.Stamp = in.Header.Stamp
+		pose.Header.FrameID.Set(in.Header.FrameID.Get())
+		pose.Pose.Position.X = res.Pose.X
+		pose.Pose.Position.Y = res.Pose.Y
+		pose.Pose.Orientation.W = 1
+		posePub.Publish(pose)
+		core.Release(pose)
+
+		pc, perr2 := sensor_msgs.NewPointCloud2SF()
+		if perr2 != nil {
+			return
+		}
+		pc.Header.Seq = in.Header.Seq
+		pc.Header.Stamp = in.Header.Stamp
+		pc.Header.FrameID.Set(in.Header.FrameID.Get())
+		pc.Height, pc.Width = 1, uint32(len(res.Points))
+		pc.PointStep, pc.RowStep = 12, uint32(12*len(res.Points))
+		pc.IsDense = true
+		if pc.Fields.Resize(3) == nil {
+			for fi, f := range cloudFields() {
+				dst := pc.Fields.At(fi)
+				dst.Name.Set(f.Name)
+				dst.Offset = f.Offset
+				dst.Datatype = f.Datatype
+				dst.Count = f.Count
+			}
+		}
+		if pc.Data.Resize(12*len(res.Points)) == nil {
+			packPoints(res.Points, pc.Data.Slice())
+		}
+		cloudPub.Publish(pc)
+		core.Release(pc)
+
+		dbg, perr2 := sensor_msgs.NewImageSF()
+		if perr2 != nil {
+			return
+		}
+		dbg.Height, dbg.Width, dbg.Step = in.Height, in.Width, in.Step
+		dbg.Header.Seq = in.Header.Seq
+		dbg.Header.Stamp = in.Header.Stamp
+		dbg.Header.FrameID.Set(in.Header.FrameID.Get())
+		dbg.Encoding.Set(in.Encoding.Get())
+		if dbg.Data.Resize(in.Data.Len()) == nil {
+			copy(dbg.Data.Slice(), in.Data.Slice())
+			tracker.DrawDebug(dbg.Data.Slice(), w, h)
+		}
+		debugPub.Publish(dbg)
+		core.Release(dbg)
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return nil, err
+	}
+
+	_, err = ros.Subscribe(sinkPose, "slam/pose", func(m *geometry_msgs.PoseStampedSF) {
+		samples <- slamSample{"pose", time.Since(m.Header.Stamp.ToTime())}
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return nil, err
+	}
+	_, err = ros.Subscribe(sinkCloud, "slam/cloud", func(m *sensor_msgs.PointCloud2SF) {
+		samples <- slamSample{"cloud", time.Since(m.Header.Stamp.ToTime())}
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return nil, err
+	}
+	_, err = ros.Subscribe(sinkDebug, "slam/debug", func(m *sensor_msgs.ImageSF) {
+		samples <- slamSample{"debug", time.Since(m.Header.Stamp.ToTime())}
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		return nil, err
+	}
+
+	imgPub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "slam/image")
+	if err != nil {
+		return nil, err
+	}
+	for _, wait := range []func() int{imgPub.NumSubscribers, posePub.NumSubscribers,
+		cloudPub.NumSubscribers, debugPub.NumSubscribers} {
+		if err := waitSubscribers(wait, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	return func(i int) error {
+		t0 := time.Now()
+		img, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			return err
+		}
+		img.Height, img.Width = uint32(cfg.Height), uint32(cfg.Width)
+		img.Step = uint32(cfg.Width * 3)
+		img.Header.Seq = uint32(i)
+		img.Header.Stamp = msg.NewTime(t0)
+		img.Header.FrameID.Set("camera")
+		img.Encoding.Set("rgb8")
+		if err := img.Data.Resize(cfg.Width * cfg.Height * 3); err != nil {
+			return err
+		}
+		// The dataset renders straight into the arena: the message is
+		// constructed in place, as the paper's pub node does.
+		seq.RenderInto(i, img.Data.Slice(), nil)
+		if err := imgPub.Publish(img); err != nil {
+			return err
+		}
+		_, err = core.Release(img)
+		return err
+	}, nil
+}

@@ -1,0 +1,312 @@
+package bench
+
+import (
+	"fmt"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser/cdrser"
+	"rossf/internal/ser/flatser"
+	"rossf/internal/wire"
+)
+
+// rawImage is the middleware-neutral payload of the Fig. 14 comparison:
+// the fields of sensor_msgs/Image flattened. Each middleware pipeline
+// turns it into (and back out of) its own wire format, standing in for
+// that framework's generated code.
+type rawImage struct {
+	Seq      uint32
+	Stamp    msg.Time
+	FrameID  string
+	Height   uint32
+	Width    uint32
+	Step     uint32
+	Encoding string
+	Data     []byte
+}
+
+// --- ProtoBuf-like generated code for Image -------------------------
+
+// Field numbers in the protobuf-like Image schema.
+const (
+	pbSeq = iota + 1
+	pbStamp
+	pbFrameID
+	pbHeight
+	pbWidth
+	pbStep
+	pbEncoding
+	pbData
+)
+
+func protoEncodeImage(w *wire.Writer, m *rawImage) {
+	w.Reset()
+	w.Varint(uint64(pbSeq)<<3 | 0)
+	w.Varint(uint64(m.Seq))
+	w.Varint(uint64(pbStamp)<<3 | 2)
+	sw := wire.NewWriter(16)
+	sw.Varint(1<<3 | 0)
+	sw.Varint(uint64(m.Stamp.Sec))
+	sw.Varint(2<<3 | 0)
+	sw.Varint(uint64(m.Stamp.Nsec))
+	w.Varint(uint64(sw.Len()))
+	w.Raw(sw.Bytes())
+	w.Varint(uint64(pbFrameID)<<3 | 2)
+	w.Varint(uint64(len(m.FrameID)))
+	w.Raw([]byte(m.FrameID))
+	w.Varint(uint64(pbHeight)<<3 | 0)
+	w.Varint(uint64(m.Height))
+	w.Varint(uint64(pbWidth)<<3 | 0)
+	w.Varint(uint64(m.Width))
+	w.Varint(uint64(pbStep)<<3 | 0)
+	w.Varint(uint64(m.Step))
+	w.Varint(uint64(pbEncoding)<<3 | 2)
+	w.Varint(uint64(len(m.Encoding)))
+	w.Raw([]byte(m.Encoding))
+	w.Varint(uint64(pbData)<<3 | 2)
+	w.Varint(uint64(len(m.Data)))
+	w.Raw(m.Data)
+}
+
+func protoDecodeImage(buf []byte, m *rawImage) error {
+	r := wire.NewReader(buf)
+	for r.Remaining() > 0 {
+		tag := r.Varint()
+		switch tag >> 3 {
+		case pbSeq:
+			m.Seq = uint32(r.Varint())
+		case pbStamp:
+			n := int(r.Varint())
+			sr := wire.NewReader(r.Raw(n))
+			for sr.Remaining() > 0 {
+				t := sr.Varint()
+				v := sr.Varint()
+				if t>>3 == 1 {
+					m.Stamp.Sec = uint32(v)
+				} else {
+					m.Stamp.Nsec = uint32(v)
+				}
+			}
+		case pbFrameID:
+			m.FrameID = string(r.Raw(int(r.Varint())))
+		case pbHeight:
+			m.Height = uint32(r.Varint())
+		case pbWidth:
+			m.Width = uint32(r.Varint())
+		case pbStep:
+			m.Step = uint32(r.Varint())
+		case pbEncoding:
+			m.Encoding = string(r.Raw(int(r.Varint())))
+		case pbData:
+			n := int(r.Varint())
+			src := r.Raw(n)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			m.Data = make([]byte, n)
+			copy(m.Data, src)
+		default:
+			return fmt.Errorf("protobuf image: unknown field %d", tag>>3)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// --- FlatBuffer-like generated code for Image -----------------------
+
+// Slot numbers in the flatbuffer-like Image table.
+const (
+	fbSeq = iota
+	fbStampSec
+	fbStampNsec
+	fbFrameID
+	fbHeight
+	fbWidth
+	fbStep
+	fbEncoding
+	fbData
+	fbNumSlots
+)
+
+// flatBuildImage constructs the message directly in serialized form —
+// FlatBuffer's serialization-free path, builder API and all (§3.3).
+func flatBuildImage(b *flatser.Builder, m *rawImage) []byte {
+	b.Reset()
+	frame := b.CreateString(m.FrameID)
+	enc := b.CreateString(m.Encoding)
+	data := b.CreateByteVector(m.Data)
+	b.StartTable(fbNumSlots)
+	b.SlotScalar(fbSeq, 4, uint64(m.Seq))
+	b.SlotScalar(fbStampSec, 4, uint64(m.Stamp.Sec))
+	b.SlotScalar(fbStampNsec, 4, uint64(m.Stamp.Nsec))
+	b.SlotRef(fbFrameID, frame)
+	b.SlotScalar(fbHeight, 4, uint64(m.Height))
+	b.SlotScalar(fbWidth, 4, uint64(m.Width))
+	b.SlotScalar(fbStep, 4, uint64(m.Step))
+	b.SlotRef(fbEncoding, enc)
+	b.SlotRef(fbData, data)
+	return b.Finish(b.EndTable())
+}
+
+// flatAccessImage reads the received buffer through accessors, with no
+// de-serialization step.
+func flatAccessImage(buf []byte) (stamp msg.Time, checksum uint64, err error) {
+	t, err := flatser.GetRoot(buf)
+	if err != nil {
+		return msg.Time{}, 0, err
+	}
+	stamp = msg.Time{Sec: uint32(t.Scalar(fbStampSec, 4)), Nsec: uint32(t.Scalar(fbStampNsec, 4))}
+	checksum = t.Scalar(fbHeight, 4) + t.Scalar(fbWidth, 4)
+	vec, ok := t.VectorAt(fbData)
+	if !ok {
+		return stamp, 0, fmt.Errorf("flatbuffer image: missing data")
+	}
+	checksum += touch(vec.Bytes())
+	return stamp, checksum, nil
+}
+
+// --- XCDR2 / FlatData generated code for Image ----------------------
+
+// Member ids in the XCDR2-like Image stream.
+const (
+	cdrSeq = iota
+	cdrStamp
+	cdrFrameID
+	cdrHeight
+	cdrWidth
+	cdrStep
+	cdrEncoding
+	cdrData
+)
+
+// cdrEncodeImage writes the member stream. Both the regular RTI path
+// (struct then encode) and the FlatData path (encode directly) produce
+// these bytes; FlatData just skips the intermediate struct.
+func cdrEncodeImage(w *wire.Writer, m *rawImage) {
+	w.Reset()
+	w.U32(0x20000000 | cdrSeq)
+	w.U32(m.Seq)
+	w.U32(0x30000000 | cdrStamp)
+	w.U32(m.Stamp.Sec)
+	w.U32(m.Stamp.Nsec)
+	writeCDRString := func(id int, s string) {
+		padded := (len(s) + 1 + 3) &^ 3
+		w.U32(0x40000000 | uint32(id))
+		w.U32(uint32(padded))
+		w.Raw([]byte(s))
+		w.U8(0)
+		w.Pad(4)
+	}
+	writeCDRString(cdrFrameID, m.FrameID)
+	w.U32(0x20000000 | cdrHeight)
+	w.U32(m.Height)
+	w.U32(0x20000000 | cdrWidth)
+	w.U32(m.Width)
+	w.U32(0x20000000 | cdrStep)
+	w.U32(m.Step)
+	writeCDRString(cdrEncoding, m.Encoding)
+	w.U32(0x40000000 | cdrData)
+	w.U32(uint32(len(m.Data)))
+	w.Raw(m.Data)
+	w.Pad(4)
+}
+
+// cdrDecodeImage de-serializes into a struct — the regular RTI path.
+func cdrDecodeImage(buf []byte, m *rawImage) error {
+	r := wire.NewReader(buf)
+	for r.Remaining() >= 4 {
+		r.Align(4)
+		if r.Remaining() < 4 {
+			break
+		}
+		hdr := r.U32()
+		id := int(hdr & 0x0fffffff)
+		switch hdr >> 28 {
+		case 2:
+			v := r.U32()
+			switch id {
+			case cdrSeq:
+				m.Seq = v
+			case cdrHeight:
+				m.Height = v
+			case cdrWidth:
+				m.Width = v
+			case cdrStep:
+				m.Step = v
+			}
+		case 3:
+			m.Stamp = msg.Time{Sec: r.U32(), Nsec: r.U32()}
+		case 4:
+			n := int(r.U32())
+			body := r.Raw(n)
+			r.Align(4)
+			if r.Err() != nil {
+				return r.Err()
+			}
+			switch id {
+			case cdrFrameID:
+				m.FrameID = cdrTrim(body)
+			case cdrEncoding:
+				m.Encoding = cdrTrim(body)
+			case cdrData:
+				m.Data = make([]byte, n)
+				copy(m.Data, body)
+			}
+		default:
+			return fmt.Errorf("xcdr2 image: bad LC in header %#x", hdr)
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// cdrAccessImage reads the buffer through the FlatData-style scanning
+// accessor, with no de-serialization step.
+func cdrAccessImage(buf []byte) (stamp msg.Time, checksum uint64, err error) {
+	a := cdrser.NewAccessor(buf)
+	_, stampBody, ok := a.Member(cdrStamp)
+	if !ok || len(stampBody) != 8 {
+		return msg.Time{}, 0, fmt.Errorf("flatdata image: missing stamp")
+	}
+	stamp = msg.Time{
+		Sec:  leU32(stampBody),
+		Nsec: leU32(stampBody[4:]),
+	}
+	h, _ := a.U32Member(cdrHeight)
+	w, _ := a.U32Member(cdrWidth)
+	data, ok := a.BytesMember(cdrData)
+	if !ok {
+		return stamp, 0, fmt.Errorf("flatdata image: missing data")
+	}
+	return stamp, uint64(h) + uint64(w) + touch(data), nil
+}
+
+func cdrTrim(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// touch reads one byte per page of the payload so "accessing the data"
+// is part of every receiver, without turning the benchmark into memcmp.
+func touch(data []byte) uint64 {
+	var sum uint64
+	for i := 0; i < len(data); i += 4096 {
+		sum += uint64(data[i])
+	}
+	if len(data) > 0 {
+		sum += uint64(data[len(data)-1])
+	}
+	return sum
+}

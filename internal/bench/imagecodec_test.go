@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser/flatser"
+	"rossf/internal/wire"
+)
+
+func sampleImage() *rawImage {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	return &rawImage{
+		Seq:      42,
+		Stamp:    msg.Time{Sec: 7, Nsec: 9},
+		FrameID:  "camera_link",
+		Height:   20,
+		Width:    25,
+		Step:     75,
+		Encoding: "rgb8",
+		Data:     data,
+	}
+}
+
+func TestProtoImageRoundTrip(t *testing.T) {
+	src := sampleImage()
+	w := wire.NewWriter(4096)
+	protoEncodeImage(w, src)
+	var got rawImage
+	if err := protoDecodeImage(w.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	assertImageEqual(t, src, &got)
+}
+
+func TestCDRImageRoundTrip(t *testing.T) {
+	src := sampleImage()
+	w := wire.NewWriter(4096)
+	cdrEncodeImage(w, src)
+	var got rawImage
+	if err := cdrDecodeImage(w.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	assertImageEqual(t, src, &got)
+}
+
+func TestCDRAccessorAgreesWithDecoder(t *testing.T) {
+	src := sampleImage()
+	w := wire.NewWriter(4096)
+	cdrEncodeImage(w, src)
+
+	stamp, sum, err := cdrAccessImage(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != src.Stamp {
+		t.Errorf("accessor stamp = %+v", stamp)
+	}
+	want := uint64(src.Height) + uint64(src.Width) + touch(src.Data)
+	if sum != want {
+		t.Errorf("accessor checksum = %d, want %d", sum, want)
+	}
+}
+
+func TestFlatImageBuildAndAccess(t *testing.T) {
+	src := sampleImage()
+	b := flatser.NewBuilder(4096)
+	buf := flatBuildImage(b, src)
+
+	stamp, sum, err := flatAccessImage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != src.Stamp {
+		t.Errorf("stamp = %+v", stamp)
+	}
+	want := uint64(src.Height) + uint64(src.Width) + touch(src.Data)
+	if sum != want {
+		t.Errorf("checksum = %d, want %d", sum, want)
+	}
+}
+
+func TestFlatBuilderReuseAcrossMessages(t *testing.T) {
+	b := flatser.NewBuilder(256)
+	for i := 0; i < 5; i++ {
+		src := sampleImage()
+		src.Seq = uint32(i)
+		buf := flatBuildImage(b, src)
+		stamp, _, err := flatAccessImage(buf)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if stamp != src.Stamp {
+			t.Fatalf("round %d stamp lost", i)
+		}
+	}
+}
+
+func TestTouchCoversPayload(t *testing.T) {
+	if touch(nil) != 0 {
+		t.Error("touch(nil) != 0")
+	}
+	small := []byte{5}
+	if touch(small) != 10 { // first page byte + last byte, same byte
+		t.Errorf("touch([5]) = %d", touch(small))
+	}
+}
+
+func assertImageEqual(t *testing.T, a, b *rawImage) {
+	t.Helper()
+	if a.Seq != b.Seq || a.Stamp != b.Stamp || a.FrameID != b.FrameID ||
+		a.Height != b.Height || a.Width != b.Width || a.Step != b.Step ||
+		a.Encoding != b.Encoding {
+		t.Errorf("metadata differs:\n%+v\n%+v", a, b)
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Error("payload differs")
+	}
+}

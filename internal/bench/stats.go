@@ -1,0 +1,100 @@
+// Package bench implements the experiment harness: one runner per table
+// and figure of the paper's evaluation (§5), plus the latency statistics
+// they report. Each runner wires real nodes of the middleware together,
+// drives the paper's workload through them, and returns mean/stddev
+// latencies in the same shape as the corresponding figure.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencySeries collects end-to-end latency samples for one
+// configuration.
+type LatencySeries struct {
+	Label   string
+	Samples []time.Duration
+}
+
+// Add appends one sample.
+func (s *LatencySeries) Add(d time.Duration) {
+	s.Samples = append(s.Samples, d)
+}
+
+// Mean returns the average latency.
+func (s *LatencySeries) Mean() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.Samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.Samples))
+}
+
+// Std returns the sample standard deviation.
+func (s *LatencySeries) Std() time.Duration {
+	n := len(s.Samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, d := range s.Samples {
+		diff := float64(d) - mean
+		acc += diff * diff
+	}
+	return time.Duration(math.Sqrt(acc / float64(n-1)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (s *LatencySeries) Percentile(p float64) time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Reduction returns the relative latency reduction of s versus base, as
+// the paper reports it ("reduce the average transmission latency by
+// about 76.3%").
+func Reduction(base, s *LatencySeries) float64 {
+	b := float64(base.Mean())
+	if b == 0 {
+		return 0
+	}
+	return (b - float64(s.Mean())) / b * 100
+}
+
+// ms renders a duration in milliseconds with two decimals, the unit of
+// the paper's figures.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}
+
+// FormatSeriesTable renders rows of series as an aligned table of
+// mean/std/p99 milliseconds.
+func FormatSeriesTable(title string, series []*LatencySeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s %8s\n", "configuration", "mean(ms)", "std(ms)", "p99(ms)", "n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-28s %12s %12s %12s %8d\n",
+			s.Label, ms(s.Mean()), ms(s.Std()), ms(s.Percentile(99)), len(s.Samples))
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rossf/internal/checker"
+	"rossf/internal/corpus"
+	"rossf/internal/msg"
+)
+
+// Table1Result reproduces the applicability study.
+type Table1Result struct {
+	Rows  []checker.TableRow
+	Paper []checker.TableRow
+	Match bool
+}
+
+// Format renders measured vs published rows.
+func (r *Table1Result) Format() string {
+	out := "Table 1 — applicability study (checker over the synthetic corpus)\n"
+	out += checker.FormatTable(r.Rows)
+	out += "\npublished Table 1:\n"
+	out += checker.FormatTable(r.Paper)
+	if r.Match {
+		out += "\nmeasured counts match the published table exactly\n"
+	} else {
+		out += "\nWARNING: measured counts deviate from the published table\n"
+	}
+	return out
+}
+
+// RunTable1 generates the corpus, runs the assumption checker over every
+// file, and aggregates the per-class counts.
+func RunTable1(reg *msg.Registry) (*Table1Result, error) {
+	c := checker.New(reg)
+	var reports []*checker.FileReport
+	for _, f := range corpus.Generate() {
+		rep, err := c.CheckSource(f.Name, f.Source)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %w", err)
+		}
+		reports = append(reports, rep)
+	}
+	rows := checker.Aggregate(reports, corpus.Classes())
+
+	res := &Table1Result{Rows: rows, Paper: corpus.PaperTable1, Match: true}
+	for i := range rows {
+		if rows[i] != corpus.PaperTable1[i] {
+			res.Match = false
+		}
+	}
+	return res, nil
+}
+
+// LoadIDLRegistry loads the repository's IDL tree relative to the given
+// module root (harness entry point for cmd/rossf-bench).
+func LoadIDLRegistry(root string) (*msg.Registry, error) {
+	reg := msg.NewRegistry()
+	if err := reg.LoadFS(os.DirFS(filepath.Join(root, "msgs")), "idl"); err != nil {
+		return nil, fmt.Errorf("load idl: %w", err)
+	}
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}

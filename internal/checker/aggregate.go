@@ -1,0 +1,58 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableRow is one row of the paper's Table 1: per message class, how
+// many files use it, how many satisfy all three assumptions, and how
+// many violate each one.
+type TableRow struct {
+	MsgType           string
+	Total             int
+	Applicable        int
+	StringReassign    int
+	VectorMultiResize int
+	OtherMethods      int
+}
+
+// Aggregate folds per-file reports into Table 1 rows for the given
+// message classes, in the given order.
+func Aggregate(reports []*FileReport, classes []string) []TableRow {
+	rows := make([]TableRow, len(classes))
+	for i, class := range classes {
+		rows[i].MsgType = class
+		for _, rep := range reports {
+			if !rep.Uses[class] {
+				continue
+			}
+			rows[i].Total++
+			if rep.ApplicableFor(class) {
+				rows[i].Applicable++
+			}
+			if rep.ViolatesFor(class, StringReassign) {
+				rows[i].StringReassign++
+			}
+			if rep.ViolatesFor(class, VectorMultiResize) {
+				rows[i].VectorMultiResize++
+			}
+			if rep.ViolatesFor(class, OtherMethod) {
+				rows[i].OtherMethods++
+			}
+		}
+	}
+	return rows
+}
+
+// FormatTable renders rows in the layout of the paper's Table 1.
+func FormatTable(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %6s %11s %20s %20s %14s\n",
+		"Message Class", "Total", "Applicable", "String Reassignment", "Vector Multi-Resize", "Other Methods")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %6d %11d %20d %20d %14d\n",
+			r.MsgType, r.Total, r.Applicable, r.StringReassign, r.VectorMultiResize, r.OtherMethods)
+	}
+	return b.String()
+}

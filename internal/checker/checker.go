@@ -1,0 +1,675 @@
+// Package checker is the Go analog of the paper's ROS-SF Converter
+// (§4.3.2) and the engine behind the applicability study of §5.4. It
+// statically analyzes Go source that manipulates message types and
+// reports, per file:
+//
+//   - which message classes the file uses;
+//   - violations of the three SFM assumptions — One-Shot String
+//     Assignment, One-Shot Vector Resizing, and No Modifier (append on a
+//     vector field, the Go spelling of push_back);
+//   - value-typed message declarations that the converter would rewrite
+//     to heap allocations (Fig. 11).
+//
+// The analysis is syntactic and flow-insensitive but provenance-aware,
+// matching the paper's conservatism: a message obtained from a function
+// call or parameter may already have its strings set and vectors sized,
+// so any further assignment counts as a potential violation ("for the
+// sake of rigor, we count them all as failure cases").
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+
+	"rossf/internal/msg"
+)
+
+// ViolationKind classifies an assumption violation.
+type ViolationKind int
+
+const (
+	// StringReassign violates the One-Shot String Assignment Assumption.
+	StringReassign ViolationKind = iota + 1
+	// VectorMultiResize violates the One-Shot Vector Resizing Assumption.
+	VectorMultiResize
+	// OtherMethod violates the No Modifier Assumption (append/push_back).
+	OtherMethod
+)
+
+// String returns the column label used in Table 1.
+func (k ViolationKind) String() string {
+	switch k {
+	case StringReassign:
+		return "String Reassignment"
+	case VectorMultiResize:
+		return "Vector Multi-Resize"
+	case OtherMethod:
+		return "Other Methods"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation is one detected assumption violation.
+type Violation struct {
+	Kind    ViolationKind
+	MsgType string // "pkg/Name" the violated object belongs to
+	Field   string // dotted field path, e.g. "header.frame_id"
+	Pos     token.Position
+	Detail  string
+}
+
+// Rewrite is a value-typed message declaration the converter would turn
+// into a heap allocation (Fig. 11).
+type Rewrite struct {
+	MsgType string
+	Var     string
+	Pos     token.Position
+	// SFVariant reports whether the declaration uses the SF type (which
+	// must live in an arena and is therefore auto-fixable); value
+	// declarations of regular types are only migration candidates.
+	SFVariant bool
+	// start/end are the byte offsets of the declaration, for FixSource.
+	start, end int
+	// pkgIdent and typeName reconstruct the constructor call.
+	pkgIdent string
+	typeName string
+}
+
+// FileReport summarizes one analyzed file.
+type FileReport struct {
+	Name       string
+	Uses       map[string]bool // message classes referenced
+	Violations []Violation
+	Rewrites   []Rewrite
+}
+
+// ViolatesFor reports whether the file has a violation of kind k on
+// message class msgType.
+func (r *FileReport) ViolatesFor(msgType string, k ViolationKind) bool {
+	for _, v := range r.Violations {
+		if v.MsgType == msgType && v.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplicableFor reports whether the file uses msgType with no violations
+// on it — the paper's "Applicable" column.
+func (r *FileReport) ApplicableFor(msgType string) bool {
+	if !r.Uses[msgType] {
+		return false
+	}
+	for _, v := range r.Violations {
+		if v.MsgType == msgType {
+			return false
+		}
+	}
+	return true
+}
+
+// Checker analyzes source files against an IDL registry.
+type Checker struct {
+	reg *msg.Registry
+	// pkgIdents maps Go package identifiers (as they appear in selector
+	// expressions) to ROS package names; by convention they are equal.
+	pkgIdents map[string]string
+	// fieldIndex maps "pkg/Name" -> Go field name -> spec.
+	fieldIndex map[string]map[string]msg.FieldSpec
+}
+
+// New builds a checker for all message packages in the registry.
+func New(reg *msg.Registry) *Checker {
+	c := &Checker{
+		reg:        reg,
+		pkgIdents:  make(map[string]string),
+		fieldIndex: make(map[string]map[string]msg.FieldSpec),
+	}
+	for _, full := range reg.Names() {
+		pkg, _, _ := strings.Cut(full, "/")
+		c.pkgIdents[pkg] = pkg
+		spec, _ := reg.Lookup(full)
+		fields := make(map[string]msg.FieldSpec, len(spec.Fields))
+		for _, f := range spec.Fields {
+			fields[goFieldName(f.Name)] = f
+		}
+		c.fieldIndex[full] = fields
+	}
+	return c
+}
+
+// CheckSource parses and analyzes one Go source file.
+func (c *Checker) CheckSource(name string, src []byte) (*FileReport, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("checker: parse %s: %w", name, err)
+	}
+	return c.Check(fset, file), nil
+}
+
+// Check analyzes a parsed file.
+func (c *Checker) Check(fset *token.FileSet, file *ast.File) *FileReport {
+	rep := &FileReport{
+		Name: fset.Position(file.Pos()).Filename,
+		Uses: make(map[string]bool),
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		fc := &funcChecker{c: c, fset: fset, rep: rep, vars: make(map[string]trackedVar)}
+		fc.bindParams(fn.Type)
+		fc.walkBlock(fn.Body, 0)
+	}
+	return rep
+}
+
+// provenance distinguishes messages this function constructed (and thus
+// fully controls) from ones that arrived from elsewhere.
+type provenance int
+
+const (
+	provFresh    provenance = iota + 1 // local zero-value or literal
+	provExternal                       // parameter or call result
+)
+
+type trackedVar struct {
+	msgType string
+	prov    provenance
+	// declDepth is the loop nesting level at the declaration site: an
+	// assignment deeper than it can repeat per construction and is a
+	// violation, while a construct-and-fill wholly inside one loop
+	// iteration is fine.
+	declDepth int
+	// assigns counts per-field-path string assignments and vector
+	// resizes. Shared by reference so re-binding an alias keeps history.
+	assigns map[string]int
+}
+
+// funcChecker analyzes one function body.
+type funcChecker struct {
+	c    *Checker
+	fset *token.FileSet
+	rep  *FileReport
+	vars map[string]trackedVar
+}
+
+// bindParams tracks message-typed parameters as external.
+func (fc *funcChecker) bindParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, p := range ft.Params.List {
+		t := fc.c.msgTypeOf(p.Type)
+		if t == "" {
+			continue
+		}
+		for _, name := range p.Names {
+			fc.track(name.Name, t, provExternal, 0)
+		}
+	}
+}
+
+func (fc *funcChecker) track(name, msgType string, prov provenance, declDepth int) {
+	fc.rep.Uses[msgType] = true
+	fc.vars[name] = trackedVar{
+		msgType: msgType, prov: prov, declDepth: declDepth,
+		assigns: make(map[string]int),
+	}
+}
+
+// msgTypeOf resolves a type expression like sensor_msgs.Image,
+// *sensor_msgs.Image, or their SF variants to a "pkg/Name" class.
+func (c *Checker) msgTypeOf(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.StarExpr:
+		return c.msgTypeOf(e.X)
+	case *ast.SelectorExpr:
+		pkgIdent, ok := e.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		rosPkg, ok := c.pkgIdents[pkgIdent.Name]
+		if !ok {
+			return ""
+		}
+		name := strings.TrimSuffix(e.Sel.Name, "SF")
+		full := rosPkg + "/" + name
+		if _, err := c.reg.Lookup(full); err != nil {
+			return ""
+		}
+		return full
+	default:
+		return ""
+	}
+}
+
+// walkBlock analyzes statements in order. loopDepth > 0 means the
+// statement can execute repeatedly, so a single textual assignment
+// already implies reassignment.
+func (fc *funcChecker) walkBlock(block *ast.BlockStmt, loopDepth int) {
+	for _, stmt := range block.List {
+		fc.walkStmt(stmt, loopDepth)
+	}
+}
+
+func (fc *funcChecker) walkStmt(stmt ast.Stmt, loopDepth int) {
+	switch s := stmt.(type) {
+	case *ast.DeclStmt:
+		fc.handleDecl(s, loopDepth)
+	case *ast.AssignStmt:
+		fc.handleAssign(s, loopDepth)
+	case *ast.ExprStmt:
+		// SFM field mutations are method calls: x.Field.Set(...),
+		// x.Field.Resize(n).
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			fc.handleMethodCall(call, loopDepth)
+		}
+	case *ast.BlockStmt:
+		fc.walkBlock(s, loopDepth)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fc.walkStmt(s.Init, loopDepth)
+		}
+		fc.walkBlock(s.Body, loopDepth)
+		if s.Else != nil {
+			fc.walkStmt(s.Else, loopDepth)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fc.walkStmt(s.Init, loopDepth)
+		}
+		fc.walkBlock(s.Body, loopDepth+1)
+	case *ast.RangeStmt:
+		fc.walkBlock(s.Body, loopDepth+1)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				for _, st := range clause.Body {
+					fc.walkStmt(st, loopDepth)
+				}
+			}
+		}
+	}
+}
+
+// handleMethodCall analyzes SFM-style mutations spelled as method
+// calls: Set/MustSet on string fields, Resize/MustResize on vectors,
+// and CopyFrom (a resize plus copy).
+func (fc *funcChecker) handleMethodCall(call *ast.CallExpr, loopDepth int) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := fun.Sel.Name
+	fieldSel, ok := fun.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch method {
+	case "Set", "MustSet":
+		fc.recordStringAssign(fieldSel, loopDepth)
+	case "Resize", "MustResize", "CopyFrom", "FromPairs":
+		// Resize(0) is the paper's alert-free shrink.
+		if method == "Resize" || method == "MustResize" {
+			if len(call.Args) == 1 {
+				if lit, isLit := call.Args[0].(*ast.BasicLit); isLit && lit.Value == "0" {
+					return
+				}
+			}
+		}
+		fc.recordVectorResize(fieldSel, loopDepth)
+	}
+}
+
+// handleDecl tracks `var x sensor_msgs.Image` declarations; value-typed
+// ones are also converter rewrite sites (Fig. 11).
+func (fc *funcChecker) handleDecl(s *ast.DeclStmt, loopDepth int) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		t := fc.c.msgTypeOf(vs.Type)
+		if t == "" {
+			continue
+		}
+		_, isPtr := vs.Type.(*ast.StarExpr)
+		for _, name := range vs.Names {
+			fc.track(name.Name, t, provFresh, loopDepth)
+			if !isPtr {
+				rw := Rewrite{
+					MsgType: t,
+					Var:     name.Name,
+					Pos:     fc.fset.Position(name.Pos()),
+				}
+				if sel, isSel := vs.Type.(*ast.SelectorExpr); isSel {
+					rw.SFVariant = strings.HasSuffix(sel.Sel.Name, "SF")
+					rw.typeName = sel.Sel.Name
+					if pkgID, isID := sel.X.(*ast.Ident); isID {
+						rw.pkgIdent = pkgID.Name
+					}
+				}
+				// Auto-fix needs the whole declaration and exactly one
+				// uninitialized name.
+				if len(vs.Names) == 1 && len(vs.Values) == 0 {
+					rw.start = fc.fset.Position(s.Pos()).Offset
+					rw.end = fc.fset.Position(s.End()).Offset
+				}
+				fc.rep.Rewrites = append(fc.rep.Rewrites, rw)
+			}
+		}
+	}
+}
+
+// handleAssign processes both variable bindings (x := ...) and field
+// mutations (x.Field = ...).
+func (fc *funcChecker) handleAssign(s *ast.AssignStmt, loopDepth int) {
+	// Bindings first: x := <rhs> tracking.
+	if s.Tok == token.DEFINE {
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(s.Rhs) && len(s.Rhs) != 1 {
+				continue
+			}
+			rhs := s.Rhs[0]
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			if t, prov, ok := fc.c.classifyRHS(rhs); ok {
+				fc.track(id.Name, t, prov, loopDepth)
+			}
+		}
+	}
+	// Field mutations.
+	for i, lhs := range s.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		rhs := s.Rhs[0]
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		}
+		fc.handleFieldAssign(sel, rhs, loopDepth)
+	}
+}
+
+// classifyRHS determines message type and provenance of a binding RHS.
+func (c *Checker) classifyRHS(rhs ast.Expr) (msgType string, prov provenance, ok bool) {
+	switch e := rhs.(type) {
+	case *ast.CompositeLit:
+		if t := c.msgTypeOf(e.Type); t != "" {
+			return t, provFresh, true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, isLit := e.X.(*ast.CompositeLit); isLit {
+				if t := c.msgTypeOf(cl.Type); t != "" {
+					return t, provFresh, true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		// new(sensor_msgs.Image) and the generated pkg.NewXxxSF()
+		// constructors yield fresh zero messages; any other call is
+		// external (we cannot know what the callee already assigned).
+		if id, isIdent := e.Fun.(*ast.Ident); isIdent && id.Name == "new" && len(e.Args) == 1 {
+			if t := c.msgTypeOf(e.Args[0]); t != "" {
+				return t, provFresh, true
+			}
+		}
+		if t := c.constructorMsgType(e); t != "" {
+			return t, provFresh, true
+		}
+		if t := c.resultMsgType(e); t != "" {
+			return t, provExternal, true
+		}
+	}
+	return "", 0, false
+}
+
+// constructorMsgType recognizes the generated zero-value constructors:
+// pkg.NewXxx() / pkg.NewXxxSF().
+func (c *Checker) constructorMsgType(call *ast.CallExpr) string {
+	f, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgID, ok := f.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	rosPkg, known := c.pkgIdents[pkgID.Name]
+	if !known {
+		return ""
+	}
+	n, found := strings.CutPrefix(f.Sel.Name, "New")
+	if !found {
+		return ""
+	}
+	full := rosPkg + "/" + strings.TrimSuffix(n, "SF")
+	if _, err := c.reg.Lookup(full); err != nil {
+		return ""
+	}
+	return full
+}
+
+// resultMsgType guesses the message type produced by a call from
+// NewXxxSF-style constructors and conversion helpers named ToXxxMsg.
+func (c *Checker) resultMsgType(call *ast.CallExpr) string {
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return ""
+	}
+	// Conversion helpers: ToImageMsg, ToPointCloudMsg, ...
+	if n, found := strings.CutPrefix(name, "To"); found {
+		if base, hasMsg := strings.CutSuffix(n, "Msg"); hasMsg {
+			for _, full := range c.reg.Names() {
+				if strings.HasSuffix(full, "/"+base) {
+					return full
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// resolveFieldSel locates the tracked variable and IDL field behind a
+// selector expression.
+func (fc *funcChecker) resolveFieldSel(sel *ast.SelectorExpr) (tv trackedVar, fieldSpec msg.FieldSpec, pathKey string, ok bool) {
+	root, path := rootAndPath(sel)
+	if root == "" {
+		return trackedVar{}, msg.FieldSpec{}, "", false
+	}
+	tv, tracked := fc.vars[root]
+	if !tracked {
+		return trackedVar{}, msg.FieldSpec{}, "", false
+	}
+	fieldSpec, pathKey, ok = fc.c.resolvePath(tv.msgType, path)
+	return tv, fieldSpec, pathKey, ok
+}
+
+func (fc *funcChecker) report(sel *ast.SelectorExpr, tv trackedVar, pathKey string,
+	kind ViolationKind, detail string) {
+	fc.rep.Violations = append(fc.rep.Violations, Violation{
+		Kind: kind, MsgType: tv.msgType, Field: pathKey,
+		Pos: fc.fset.Position(sel.Pos()), Detail: detail,
+	})
+}
+
+// recordStringAssign applies the One-Shot String Assignment rules to
+// one textual assignment/Set of a string field.
+func (fc *funcChecker) recordStringAssign(sel *ast.SelectorExpr, loopDepth int) {
+	tv, fieldSpec, pathKey, ok := fc.resolveFieldSel(sel)
+	if !ok || fieldSpec.Type.Prim != msg.PString || fieldSpec.Type.IsArray {
+		return
+	}
+	tv.assigns[pathKey]++
+	switch {
+	case tv.prov == provExternal:
+		fc.report(sel, tv, pathKey, StringReassign,
+			"string field of an externally produced message may already be set")
+	case tv.assigns[pathKey] > 1:
+		fc.report(sel, tv, pathKey, StringReassign, "string field assigned more than once")
+	case loopDepth > tv.declDepth:
+		fc.report(sel, tv, pathKey, StringReassign,
+			"string field assigned inside a loop around the construction site")
+	}
+}
+
+// recordVectorResize applies the One-Shot Vector Resizing rules.
+func (fc *funcChecker) recordVectorResize(sel *ast.SelectorExpr, loopDepth int) {
+	tv, fieldSpec, pathKey, ok := fc.resolveFieldSel(sel)
+	if !ok || !fieldSpec.Type.IsArray || fieldSpec.Type.ArrayLen >= 0 {
+		return
+	}
+	tv.assigns[pathKey]++
+	switch {
+	case tv.prov == provExternal:
+		fc.report(sel, tv, pathKey, VectorMultiResize,
+			"vector field of an externally produced message may already be sized")
+	case tv.assigns[pathKey] > 1:
+		fc.report(sel, tv, pathKey, VectorMultiResize, "vector field resized more than once")
+	case loopDepth > tv.declDepth:
+		fc.report(sel, tv, pathKey, VectorMultiResize,
+			"vector field resized inside a loop around the construction site")
+	}
+}
+
+// handleFieldAssign analyzes `root.path... = rhs` against the SFM
+// assumptions.
+func (fc *funcChecker) handleFieldAssign(sel *ast.SelectorExpr, rhs ast.Expr, loopDepth int) {
+	tv, fieldSpec, pathKey, ok := fc.resolveFieldSel(sel)
+	if !ok {
+		return
+	}
+	switch {
+	case fieldSpec.Type.Prim == msg.PString && !fieldSpec.Type.IsArray:
+		fc.recordStringAssign(sel, loopDepth)
+	case fieldSpec.Type.IsArray && fieldSpec.Type.ArrayLen < 0:
+		if isAppendTo(rhs, sel) {
+			fc.report(sel, tv, pathKey, OtherMethod, "append on a message vector (push_back)")
+			return
+		}
+		if isResizeRHS(rhs) {
+			fc.recordVectorResize(sel, loopDepth)
+		}
+	}
+}
+
+// rootAndPath decomposes a selector chain into its root identifier and
+// field names.
+func rootAndPath(sel *ast.SelectorExpr) (root string, path []string) {
+	var parts []string
+	cur := ast.Expr(sel)
+	for {
+		switch e := cur.(type) {
+		case *ast.SelectorExpr:
+			parts = append([]string{e.Sel.Name}, parts...)
+			cur = e.X
+		case *ast.Ident:
+			return e.Name, parts
+		default:
+			return "", nil
+		}
+	}
+}
+
+// resolvePath walks Go field names through the IDL schema and returns
+// the final field spec plus a canonical dotted ROS path.
+func (c *Checker) resolvePath(msgType string, path []string) (msg.FieldSpec, string, bool) {
+	cur := msgType
+	var rosPath []string
+	for i, goField := range path {
+		fields, ok := c.fieldIndex[cur]
+		if !ok {
+			return msg.FieldSpec{}, "", false
+		}
+		f, ok := fields[goField]
+		if !ok {
+			return msg.FieldSpec{}, "", false
+		}
+		rosPath = append(rosPath, f.Name)
+		if i == len(path)-1 {
+			return f, strings.Join(rosPath, "."), true
+		}
+		if f.Type.Msg == "" || f.Type.IsArray {
+			return msg.FieldSpec{}, "", false
+		}
+		cur = f.Type.Msg
+	}
+	return msg.FieldSpec{}, "", false
+}
+
+// isResizeRHS reports whether an RHS is a slice (re)allocation — the Go
+// spelling of resize(): make([]T, n) or a composite literal.
+func isResizeRHS(rhs ast.Expr) bool {
+	switch e := rhs.(type) {
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		return ok && id.Name == "make"
+	case *ast.CompositeLit:
+		return true
+	default:
+		return false
+	}
+}
+
+// isAppendTo reports whether rhs is append(<same selector>, ...).
+func isAppendTo(rhs ast.Expr, lhs *ast.SelectorExpr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	argSel, ok := call.Args[0].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	aRoot, aPath := rootAndPath(argSel)
+	lRoot, lPath := rootAndPath(lhs)
+	return aRoot == lRoot && strings.Join(aPath, ".") == strings.Join(lPath, ".")
+}
+
+// goFieldName mirrors the generator's snake_case→CamelCase mapping so
+// the checker can resolve Go selectors back to IDL fields.
+func goFieldName(s string) string {
+	parts := strings.Split(s, "_")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if up, ok := initialisms[strings.ToLower(p)]; ok {
+			b.WriteString(up)
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+var initialisms = map[string]string{
+	"id": "ID", "url": "URL", "uri": "URI", "ip": "IP", "uid": "UID",
+	"rgb": "RGB", "rgba": "RGBA",
+}

@@ -1,0 +1,424 @@
+package checker
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rossf/internal/msgtest"
+)
+
+func newChecker(t *testing.T) *Checker {
+	t.Helper()
+	return New(msgtest.LoadRegistry(t))
+}
+
+func check(t *testing.T, src string) *FileReport {
+	t.Helper()
+	c := newChecker(t)
+	rep, err := c.CheckSource("fixture.go", []byte(src))
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	return rep
+}
+
+func TestCleanConstructionIsApplicable(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func produce() *sensor_msgs.Image {
+	m := &sensor_msgs.Image{}
+	m.Encoding = "rgb8"
+	m.Height = 10
+	m.Width = 10
+	m.Data = make([]uint8, 10*10*3)
+	return m
+}
+`)
+	if !rep.Uses["sensor_msgs/Image"] {
+		t.Fatal("Image usage not detected")
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations = %+v, want none", rep.Violations)
+	}
+	if !rep.ApplicableFor("sensor_msgs/Image") {
+		t.Error("clean file not applicable")
+	}
+}
+
+// TestFailureCase1Fig19 reproduces the paper's first failure case: a
+// conversion helper produces the message, then header.frame_id is
+// assigned — a second assignment the analysis cannot rule out.
+func TestFailureCase1Fig19(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func rotate(msgIn *sensor_msgs.Image) *sensor_msgs.Image {
+	outImg := ToImageMsg(msgIn)
+	outImg.Header.FrameID = "child_frame"
+	return outImg
+}
+`)
+	if !rep.ViolatesFor("sensor_msgs/Image", StringReassign) {
+		t.Errorf("Fig. 19 string reassignment not detected: %+v", rep.Violations)
+	}
+}
+
+// TestFailureCase1Rewritten checks the paper's rewritten version passes:
+// the frame id goes into the message's single construction site.
+func TestFailureCase1Rewritten(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func rotate(childFrame string) *sensor_msgs.Image {
+	outImg := &sensor_msgs.Image{}
+	outImg.Header.FrameID = childFrame
+	outImg.Encoding = "rgb8"
+	outImg.Data = make([]uint8, 300)
+	return outImg
+}
+`)
+	if len(rep.Violations) != 0 {
+		t.Errorf("rewritten Fig. 19 still flagged: %+v", rep.Violations)
+	}
+}
+
+// TestFailureCase2Fig20 reproduces the second failure case: resizing the
+// vector of a message passed in as an output parameter.
+func TestFailureCase2Fig20(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/stereo_msgs"
+
+func processDisparity(disparity *stereo_msgs.DisparityImage) {
+	disparity.Image.Data = make([]uint8, 640*480)
+}
+`)
+	if !rep.ViolatesFor("stereo_msgs/DisparityImage", VectorMultiResize) {
+		t.Errorf("Fig. 20 vector multi-resize not detected: %+v", rep.Violations)
+	}
+}
+
+// TestFailureCase3Fig21 reproduces the third failure case: push_back
+// (append) inside a filtering loop.
+func TestFailureCase3Fig21(t *testing.T) {
+	rep := check(t, `
+package p
+
+import (
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+)
+
+func collect(dense [][]geometry_msgs.Point32) *sensor_msgs.PointCloud {
+	points := &sensor_msgs.PointCloud{}
+	for _, row := range dense {
+		for _, pt := range row {
+			if isValidPoint(pt) {
+				points.Points = append(points.Points, pt)
+			}
+		}
+	}
+	return points
+}
+`)
+	if !rep.ViolatesFor("sensor_msgs/PointCloud", OtherMethod) {
+		t.Errorf("Fig. 21 push_back not detected: %+v", rep.Violations)
+	}
+}
+
+// TestFailureCase3Rewritten checks the paper's count-then-fill rewrite
+// passes: one resize, element assignments by index.
+func TestFailureCase3Rewritten(t *testing.T) {
+	rep := check(t, `
+package p
+
+import (
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+)
+
+func collect(dense []geometry_msgs.Point32, valid int) *sensor_msgs.PointCloud {
+	points := &sensor_msgs.PointCloud{}
+	points.Points = make([]geometry_msgs.Point32, valid)
+	cnt := 0
+	for _, pt := range dense {
+		if isValidPoint(pt) {
+			points.Points[cnt] = pt
+			cnt++
+		}
+	}
+	return points
+}
+`)
+	if len(rep.Violations) != 0 {
+		t.Errorf("rewritten Fig. 21 still flagged: %+v", rep.Violations)
+	}
+}
+
+func TestDoubleStringAssignmentOnFreshVar(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m := &sensor_msgs.CompressedImage{}
+	m.Format = "jpeg"
+	m.Format = "png"
+}
+`)
+	if !rep.ViolatesFor("sensor_msgs/CompressedImage", StringReassign) {
+		t.Error("double assignment not detected")
+	}
+}
+
+func TestAssignInsideLoopDetected(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f(names []string) {
+	m := &sensor_msgs.Image{}
+	for _, n := range names {
+		m.Encoding = n
+	}
+}
+`)
+	if !rep.ViolatesFor("sensor_msgs/Image", StringReassign) {
+		t.Error("loop assignment not detected")
+	}
+}
+
+func TestDoubleResizeOnFreshVar(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m := &sensor_msgs.LaserScan{}
+	m.Ranges = make([]float32, 180)
+	m.Ranges = make([]float32, 360)
+}
+`)
+	if !rep.ViolatesFor("sensor_msgs/LaserScan", VectorMultiResize) {
+		t.Error("double resize not detected")
+	}
+}
+
+func TestValueDeclarationReportsRewrite(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	var img sensor_msgs.Image
+	img.Encoding = "rgb8"
+	_ = img
+}
+`)
+	if len(rep.Rewrites) != 1 || rep.Rewrites[0].MsgType != "sensor_msgs/Image" {
+		t.Errorf("rewrites = %+v, want one Fig. 11 site", rep.Rewrites)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("value declaration flagged as violation: %+v", rep.Violations)
+	}
+}
+
+func TestSFVariantTracked(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m, _ := sensor_msgs.NewImageSF()
+	m.Height = 3
+}
+`)
+	if !rep.Uses["sensor_msgs/Image"] {
+		t.Error("SF constructor result not tracked")
+	}
+}
+
+func TestScalarReassignmentAllowed(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m := &sensor_msgs.Image{}
+	m.Height = 1
+	m.Height = 2
+	m.Height = 3
+}
+`)
+	if len(rep.Violations) != 0 {
+		t.Errorf("scalar reassignment flagged: %+v", rep.Violations)
+	}
+}
+
+func TestNonMessageCodeIgnored(t *testing.T) {
+	rep := check(t, `
+package p
+
+type local struct{ Encoding string }
+
+func f() {
+	l := &local{}
+	l.Encoding = "a"
+	l.Encoding = "b"
+}
+`)
+	if len(rep.Uses) != 0 || len(rep.Violations) != 0 {
+		t.Errorf("non-message code produced findings: %+v", rep)
+	}
+}
+
+func TestSFMethodPatterns(t *testing.T) {
+	t.Run("clean construct-and-fill", func(t *testing.T) {
+		rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func produce() *sensor_msgs.ImageSF {
+	m, _ := sensor_msgs.NewImageSF()
+	m.Encoding.Set("rgb8")
+	m.Header.FrameID.MustSet("camera")
+	m.Data.Resize(300)
+	return m
+}
+`)
+		if len(rep.Violations) != 0 {
+			t.Errorf("clean SF code flagged: %+v", rep.Violations)
+		}
+	})
+
+	t.Run("double Set", func(t *testing.T) {
+		rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m, _ := sensor_msgs.NewImageSF()
+	m.Encoding.Set("rgb8")
+	m.Encoding.Set("bgr8")
+}
+`)
+		if !rep.ViolatesFor("sensor_msgs/Image", StringReassign) {
+			t.Error("double Set not detected")
+		}
+	})
+
+	t.Run("double Resize", func(t *testing.T) {
+		rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m, _ := sensor_msgs.NewImageSF()
+	m.Data.Resize(100)
+	m.Data.Resize(200)
+}
+`)
+		if !rep.ViolatesFor("sensor_msgs/Image", VectorMultiResize) {
+			t.Error("double Resize not detected")
+		}
+	})
+
+	t.Run("Resize(0) shrink is alert-free", func(t *testing.T) {
+		rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	m, _ := sensor_msgs.NewImageSF()
+	m.Data.Resize(100)
+	m.Data.Resize(0)
+}
+`)
+		if len(rep.Violations) != 0 {
+			t.Errorf("Resize(0) flagged: %+v", rep.Violations)
+		}
+	})
+}
+
+// TestConstructInsideLoopNotFlagged: a message constructed and filled
+// wholly inside one loop iteration is the paper's normal publish loop.
+func TestConstructInsideLoopNotFlagged(t *testing.T) {
+	rep := check(t, `
+package p
+
+import "rossf/msgs/sensor_msgs"
+
+func pump(n int) {
+	for i := 0; i < n; i++ {
+		m, _ := sensor_msgs.NewImageSF()
+		m.Encoding.Set("rgb8")
+		m.Data.Resize(300)
+		publish(m)
+	}
+}
+`)
+	if len(rep.Violations) != 0 {
+		t.Errorf("per-iteration construction flagged: %+v", rep.Violations)
+	}
+}
+
+// TestExamplesAreApplicable runs the checker over the repository's own
+// example programs: they must satisfy all three assumptions (they are
+// the "applicable" pattern by construction).
+func TestExamplesAreApplicable(t *testing.T) {
+	c := newChecker(t)
+	root := msgtest.ModuleRoot(t)
+	dirs, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkedFiles := 0
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		path := filepath.Join(root, "examples", d.Name(), "main.go")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		rep, err := c.CheckSource(path, src)
+		if err != nil {
+			t.Fatalf("check %s: %v", path, err)
+		}
+		checkedFiles++
+		for _, v := range rep.Violations {
+			t.Errorf("%s:%d: example violates %s on %s.%s: %s",
+				path, v.Pos.Line, v.Kind, v.MsgType, v.Field, v.Detail)
+		}
+	}
+	if checkedFiles < 3 {
+		t.Fatalf("only %d example files checked", checkedFiles)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	c := newChecker(t)
+	if _, err := c.CheckSource("bad.go", []byte("not go code")); err == nil {
+		t.Error("parse error not reported")
+	}
+}

@@ -1,0 +1,47 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FixSource applies the converter's Fig. 11 rewrite to a source file:
+// every value declaration of an SF message type becomes a heap
+// allocation through the generated constructor,
+//
+//	var img sensor_msgs.ImageSF        // before
+//	img, _ := sensor_msgs.NewImageSF() // after
+//
+// and — as in the paper — no following statement needs to change,
+// because Go auto-dereferences field selectors on pointers exactly
+// where C++ auto-dereferences the introduced reference. Regular
+// (non-SF) value declarations are left alone: they have no arena
+// requirement.
+//
+// It returns the rewritten source and the number of rewrites applied.
+func (c *Checker) FixSource(name string, src []byte) ([]byte, int, error) {
+	rep, err := c.CheckSource(name, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	var fixes []Rewrite
+	for _, rw := range rep.Rewrites {
+		if rw.SFVariant && rw.end > rw.start && rw.pkgIdent != "" {
+			fixes = append(fixes, rw)
+		}
+	}
+	if len(fixes) == 0 {
+		return src, 0, nil
+	}
+	// Apply back to front so earlier offsets stay valid.
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].start > fixes[j].start })
+	out := append([]byte(nil), src...)
+	for _, rw := range fixes {
+		if rw.end > len(out) {
+			return nil, 0, fmt.Errorf("fix %s: rewrite range out of bounds", name)
+		}
+		repl := fmt.Sprintf("%s, _ := %s.New%s()", rw.Var, rw.pkgIdent, rw.typeName)
+		out = append(out[:rw.start], append([]byte(repl), out[rw.end:]...)...)
+	}
+	return out, len(fixes), nil
+}

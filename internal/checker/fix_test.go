@@ -1,0 +1,114 @@
+package checker
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestFixSourceRewritesSFValueDecl reproduces Fig. 11: a local
+// value-typed SFM message becomes a heap allocation; nothing after the
+// declaration changes.
+func TestFixSourceRewritesSFValueDecl(t *testing.T) {
+	c := newChecker(t)
+	src := `package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	var img sensor_msgs.ImageSF
+	img.Encoding.Set("8UC3")
+	img.Height = 10
+	img.Width = 10
+	img.Data.Resize(10 * 10 * 3)
+	publish(img)
+}
+`
+	fixed, n, err := c.FixSource("fig11.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rewrites = %d, want 1", n)
+	}
+	out := string(fixed)
+	if !strings.Contains(out, "img, _ := sensor_msgs.NewImageSF()") {
+		t.Errorf("constructor call missing:\n%s", out)
+	}
+	if strings.Contains(out, "var img sensor_msgs.ImageSF") {
+		t.Errorf("value declaration survived:\n%s", out)
+	}
+	// The following statements are untouched, as in the paper.
+	for _, stmt := range []string{
+		`img.Encoding.Set("8UC3")`,
+		"img.Height = 10",
+		"img.Data.Resize(10 * 10 * 3)",
+	} {
+		if !strings.Contains(out, stmt) {
+			t.Errorf("statement %q was modified", stmt)
+		}
+	}
+	// The rewritten file still parses.
+	if _, err := parser.ParseFile(token.NewFileSet(), "fixed.go", fixed, 0); err != nil {
+		t.Errorf("fixed source does not parse: %v\n%s", err, out)
+	}
+}
+
+// TestFixSourceLeavesRegularDeclsAlone: regular message values have no
+// arena requirement and are not rewritten.
+func TestFixSourceLeavesRegularDeclsAlone(t *testing.T) {
+	c := newChecker(t)
+	src := `package p
+
+import "rossf/msgs/sensor_msgs"
+
+func f() {
+	var img sensor_msgs.Image
+	img.Encoding = "rgb8"
+	_ = img
+}
+`
+	fixed, n, err := c.FixSource("reg.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || string(fixed) != src {
+		t.Errorf("regular declaration rewritten (%d fixes):\n%s", n, fixed)
+	}
+}
+
+// TestFixSourceMultipleDecls rewrites every SF value declaration,
+// including ones on different lines of the same function.
+func TestFixSourceMultipleDecls(t *testing.T) {
+	c := newChecker(t)
+	src := `package p
+
+import (
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+)
+
+func f() {
+	var a sensor_msgs.ImageSF
+	var b geometry_msgs.PoseStampedSF
+	a.Height = 1
+	b.Pose.Position.X = 2
+}
+`
+	fixed, n, err := c.FixSource("multi.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("rewrites = %d, want 2", n)
+	}
+	out := string(fixed)
+	if !strings.Contains(out, "a, _ := sensor_msgs.NewImageSF()") ||
+		!strings.Contains(out, "b, _ := geometry_msgs.NewPoseStampedSF()") {
+		t.Errorf("rewrites missing:\n%s", out)
+	}
+	if _, err := parser.ParseFile(token.NewFileSet(), "fixed.go", fixed, 0); err != nil {
+		t.Errorf("fixed source does not parse: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+)
+
+// New allocates a serialization-free message of type T in the default
+// manager, with the capacity registered for T (or a heuristic default).
+// It is the Go analog of the paper's overloaded global new operator: the
+// returned pointer aims into a managed arena, so ordinary field writes are
+// writes into the eventual wire buffer. The message starts Allocated with
+// one reference owned by the caller.
+func New[T any]() (*T, error) {
+	return NewIn[T](Default(), 0)
+}
+
+// NewWithCapacity is New with an explicit arena capacity in bytes,
+// overriding the registered default (the paper's IDL-declared bound).
+func NewWithCapacity[T any](capacity int) (*T, error) {
+	return NewIn[T](Default(), capacity)
+}
+
+// NewIn allocates a message in manager m. capacity <= 0 selects the
+// registered default.
+func NewIn[T any](m *Manager, capacity int) (*T, error) {
+	t := reflect.TypeFor[T]()
+	l, err := layoutFor(t)
+	if err != nil {
+		return nil, err
+	}
+	if l.Scalar {
+		return nil, fmt.Errorf("%w: %s is not a message struct", ErrInvalidLayout, t)
+	}
+	if capacity <= 0 {
+		capacity = defaultCapacityFor(t, l)
+	}
+	if capacity < int(l.Size) {
+		capacity = int(l.Size)
+	}
+	b := m.GetBuffer(capacity)
+	clear(b.arena[:l.Size]) // pooled memory may be dirty; the skeleton must start zeroed
+	rec := m.register(b, uint32(l.Size), StateAllocated, t)
+	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
+}
+
+// Adopt registers a filled buffer as a live message of type T — the
+// paper's "dummy de-serialization routine": the received bytes become the
+// message object with no transformation. used is the whole-message size
+// (the frame length). The buffer's ownership transfers to the message,
+// which starts Published with one reference owned by the caller.
+func Adopt[T any](b *Buffer, used int) (*T, error) {
+	t := reflect.TypeFor[T]()
+	l, err := layoutFor(t)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil || b.raw == nil {
+		return nil, fmt.Errorf("%w: nil or consumed buffer", ErrBufferMisuse)
+	}
+	if used < int(l.Size) || used > len(b.arena) {
+		return nil, fmt.Errorf("%w: used %d, skeleton %d, capacity %d",
+			ErrBufferMisuse, used, l.Size, len(b.arena))
+	}
+	rec := b.mgr.register(b, uint32(used), StatePublished, t)
+	b.raw, b.arena = nil, nil // ownership moved to the record
+	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
+}
+
+// recordFor resolves the record for a message pointer previously returned
+// by New or Adopt.
+func recordFor(p unsafe.Pointer) (*record, error) {
+	addr := uintptr(p)
+	r := gidx.lookup(addr)
+	if r == nil {
+		return nil, ErrNotManaged
+	}
+	if r.base != addr {
+		return nil, fmt.Errorf("%w: pointer is %d bytes inside a message, not its start",
+			ErrNotManaged, addr-r.base)
+	}
+	return r, nil
+}
+
+// Retain adds a reference to the message, preventing destruction. Every
+// Retain must be paired with a Release.
+func Retain[T any](m *T) error {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return err
+	}
+	return r.retain()
+}
+
+// Release drops a reference. When the count reaches zero the message is
+// destructed and its memory recycled; Release reports whether this call
+// destructed it. Using the message pointer after a destructing Release is
+// a use-after-free, exactly as in the C++ design.
+func Release[T any](m *T) (bool, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return false, err
+	}
+	return r.release()
+}
+
+// MarkPublished transitions the message to the Published state. The
+// transport calls it when the message is handed over for transmission.
+func MarkPublished[T any](m *T) error {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDestructed {
+		return ErrDestructed
+	}
+	r.state = StatePublished
+	return nil
+}
+
+// StateOf returns the message's life-cycle state.
+func StateOf[T any](m *T) (State, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state, nil
+}
+
+// RefCountOf returns the current reference count (for tests and
+// diagnostics).
+func RefCountOf[T any](m *T) (int, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return 0, err
+	}
+	return int(r.refs.Load()), nil
+}
+
+// Bytes returns the whole-message view — skeleton plus payload regions —
+// as a zero-copy slice of the arena. These are exactly the bytes a
+// publisher writes to the wire.
+func Bytes[T any](m *T) ([]byte, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDestructed {
+		return nil, ErrDestructed
+	}
+	return r.arena[:r.used], nil
+}
+
+// UsedSize returns the whole-message size in bytes.
+func UsedSize[T any](m *T) (int, error) {
+	b, err := Bytes(m)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// CapacityOf returns the arena capacity in bytes.
+func CapacityOf[T any](m *T) (int, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return 0, err
+	}
+	return len(r.arena), nil
+}
+
+// Clone performs the whole-message copy the paper generates as the copy
+// constructor: because all offsets are relative, copying the used bytes
+// into a fresh arena yields an independent, fully valid message.
+func Clone[T any](m *T) (*T, error) {
+	src, err := Bytes(m)
+	if err != nil {
+		return nil, err
+	}
+	r, _ := recordFor(unsafe.Pointer(m)) // cannot fail after Bytes
+	b := r.mgr.GetBuffer(len(r.arena))
+	n := copy(b.arena, src)
+	rec := r.mgr.register(b, uint32(n), StateAllocated, r.typ)
+	b.raw, b.arena = nil, nil
+	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
+}
+
+// Ref is a transport-held reference to a message — the "copy of the
+// buffer pointer" handed to ROS in Fig. 8. It keeps the arena alive until
+// transmission completes, independent of the developer releasing the
+// message object.
+type Ref struct {
+	rec *record
+}
+
+// NewRef retains the message and returns a transport reference.
+func NewRef[T any](m *T) (Ref, error) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return Ref{}, err
+	}
+	if err := r.retain(); err != nil {
+		return Ref{}, err
+	}
+	return Ref{rec: r}, nil
+}
+
+// Bytes returns the whole-message view held by the reference.
+func (f Ref) Bytes() []byte {
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	return f.rec.arena[:f.rec.used]
+}
+
+// Release drops the transport reference, destructing the message if it
+// was the last one.
+func (f Ref) Release() (bool, error) {
+	if f.rec == nil {
+		return false, ErrDestructed
+	}
+	return f.rec.release()
+}
+
+// State returns the referenced message's life-cycle state.
+func (f Ref) State() State {
+	f.rec.mu.Lock()
+	defer f.rec.mu.Unlock()
+	return f.rec.state
+}
+
+// LiveMessages reports how many messages are registered process-wide.
+// Tests use it to prove the Destructed transition actually reclaims.
+func LiveMessages() int { return gidx.live() }
+
+// CheckIndexInvariants validates the global record table (sorted,
+// non-overlapping). It exists for property tests.
+func CheckIndexInvariants() error { return gidx.checkInvariants() }

@@ -1,0 +1,40 @@
+// Package core implements the SFM (Serialization-Free Message) format and
+// the message life-cycle manager of ROS-SF (Wang, Dong, Tan — Middleware
+// '22).
+//
+// An SFM message is a Go struct whose storage lives inside a single
+// contiguous arena buffer. The struct — the message "skeleton" — contains
+// only fixed-size, pointer-free fields: primitives, nested skeletons, and
+// the 8-byte {length, offset} descriptors String and Vector. Variable-size
+// payloads (string contents, vector elements) are appended to the same
+// arena behind the skeleton, addressed by offsets *relative to the
+// descriptor field itself*. Because every offset is relative, the whole
+// message is position independent: the arena bytes can be copied, written
+// to a socket, or received into a fresh buffer and overlaid as a live
+// struct — without any serialization or de-serialization step.
+//
+// Construction mirrors the paper's overloaded operator new:
+//
+//	img, err := core.New[sensor_msgs.ImageSF]()   // arena-allocated
+//	img.Height = 10                               // direct memory write
+//	img.Encoding.Set("rgb8")                      // grows the arena
+//	img.Data.Resize(10 * 10 * 3)
+//	copy(img.Data.Slice(), pixels)                // zero-copy element view
+//
+// A process-wide message manager (the paper's sfm::gmm) tracks every live
+// arena in an address-ordered table. When a String or Vector field asks for
+// payload space it only knows its own address; the manager binary-searches
+// the record whose arena contains that address, extends the record's used
+// size, and hands back the new region. The manager also drives the
+// three-state life cycle of Fig. 8/9 — Allocated → Published → Destructed —
+// with explicit reference counts standing in for the C++ smart pointers: a
+// message's memory is freed only when the developer's reference and every
+// in-flight transport reference have been released.
+//
+// The format enforces the paper's three applicability assumptions:
+// reassigning a non-empty String fails with ErrStringReassigned (One-Shot
+// String Assignment), resizing a non-empty Vector fails with
+// ErrVectorMultiResize (One-Shot Vector Resizing), and Vector deliberately
+// has no PushBack/PopBack-style modifiers (No Modifier; the Go analog of
+// the paper's compile error).
+package core

@@ -1,0 +1,44 @@
+package core
+
+import "errors"
+
+var (
+	// ErrNotManaged reports that a pointer does not fall inside any arena
+	// registered with the message manager. It usually means the message was
+	// declared as a plain value instead of being created with New (the
+	// situation the paper's ROS-SF Converter rewrites away).
+	ErrNotManaged = errors.New("sfm: address is not inside a managed message; allocate with core.New")
+
+	// ErrStringReassigned reports a violation of the One-Shot String
+	// Assignment Assumption: a String field that already holds content was
+	// assigned again with a non-empty value.
+	ErrStringReassigned = errors.New("sfm: string field reassigned (One-Shot String Assignment Assumption)")
+
+	// ErrVectorMultiResize reports a violation of the One-Shot Vector
+	// Resizing Assumption: a Vector field that already holds elements was
+	// resized again to a non-zero size.
+	ErrVectorMultiResize = errors.New("sfm: vector field resized twice (One-Shot Vector Resizing Assumption)")
+
+	// ErrCapacityExceeded reports that growing a message would exceed the
+	// arena capacity fixed at allocation time (the size bound the paper
+	// takes from the IDL).
+	ErrCapacityExceeded = errors.New("sfm: message capacity exceeded; allocate with a larger capacity")
+
+	// ErrDestructed reports a life-cycle violation: the message's reference
+	// count already reached zero and its memory has been reclaimed.
+	ErrDestructed = errors.New("sfm: message already destructed")
+
+	// ErrLayoutUnregistered reports that a message type was used with an
+	// operation that needs its Layout (endian conversion, cloning, default
+	// capacity) but RegisterLayout was never called for it.
+	ErrLayoutUnregistered = errors.New("sfm: message layout not registered")
+
+	// ErrInvalidLayout reports that a type cannot be an SFM skeleton, e.g.
+	// because it contains Go pointers, slices, maps, or interfaces.
+	ErrInvalidLayout = errors.New("sfm: type is not a valid SFM skeleton")
+
+	// ErrBufferMisuse reports an Adopt call with an inconsistent buffer,
+	// e.g. used exceeding the buffer length or a buffer smaller than the
+	// message skeleton.
+	ErrBufferMisuse = errors.New("sfm: adopted buffer is inconsistent with message layout")
+)

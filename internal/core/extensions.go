@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// This file implements the two extensions the paper sketches in §4.4.2
+// for features ROS itself lacks:
+//
+//   - optional fields ("an optional field with other types could be
+//     treated as a vector with its upper bound set as 1") — Optional[T];
+//   - ProtoBuf-style maps ("our SFM format can treat it as a vector of
+//     key-value pairs, which is also the solution used by ROS") —
+//     Pair[K, V] and Map[K, V].
+//
+// Both are plain skeleton compositions: they add no new wire concepts,
+// keep the fixed-skeleton property, and inherit the one-shot rules.
+
+// Optional is a field that may be absent: a vector bounded to one
+// element. The zero value is absent. Setting it is one-shot, like every
+// SFM payload.
+type Optional[T any] struct {
+	v Vector[T]
+}
+
+// Set stores the value; a second Set fails with ErrVectorMultiResize,
+// consistent with the one-shot rules.
+func (o *Optional[T]) Set(val T) error {
+	if err := o.v.Resize(1); err != nil {
+		return err
+	}
+	*o.v.At(0) = val
+	return nil
+}
+
+// IsPresent reports whether a value was set.
+func (o *Optional[T]) IsPresent() bool { return o.v.Len() == 1 }
+
+// Get returns the value and whether it is present.
+func (o *Optional[T]) Get() (T, bool) {
+	if !o.IsPresent() {
+		var zero T
+		return zero, false
+	}
+	return *o.v.At(0), true
+}
+
+// Ptr returns a pointer to the stored value for in-place construction
+// of message-typed optionals, or nil when absent.
+func (o *Optional[T]) Ptr() *T {
+	if !o.IsPresent() {
+		return nil
+	}
+	return o.v.At(0)
+}
+
+// OrDefault returns the value or def when absent — the paper's
+// "user-defined default value" reading for fixed-size optionals.
+func (o *Optional[T]) OrDefault(def T) T {
+	if v, ok := o.Get(); ok {
+		return v
+	}
+	return def
+}
+
+// Pair is one key-value entry of a Map skeleton.
+type Pair[K any, V any] struct {
+	Key   K
+	Value V
+}
+
+// Map is a key-value mapping stored as a vector of pairs. Like the rest
+// of the format it is built exactly once (FromPairs) and read many
+// times; Lookup is a linear scan, matching ROS's own representation of
+// map-like data.
+type Map[K comparable, V any] struct {
+	v Vector[Pair[K, V]]
+}
+
+// FromPairs populates the map in one shot. Duplicate keys are rejected
+// so Lookup is unambiguous.
+func (m *Map[K, V]) FromPairs(pairs []Pair[K, V]) error {
+	seen := make(map[K]struct{}, len(pairs))
+	for _, p := range pairs {
+		if _, dup := seen[p.Key]; dup {
+			return fmt.Errorf("sfm: duplicate map key %v", p.Key)
+		}
+		seen[p.Key] = struct{}{}
+	}
+	if err := m.v.Resize(len(pairs)); err != nil {
+		return err
+	}
+	copy(m.v.Slice(), pairs)
+	return nil
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.v.Len() }
+
+// Lookup finds the value for a key.
+func (m *Map[K, V]) Lookup(key K) (V, bool) {
+	for _, p := range m.v.Slice() {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Pairs returns a zero-copy view of the entries.
+func (m *Map[K, V]) Pairs() []Pair[K, V] { return m.v.Slice() }

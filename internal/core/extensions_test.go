@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+type optMsg struct {
+	Flags    uint32
+	Note     Optional[uint64]
+	Sub      Optional[nestedInner]
+	Tags     Map[uint32, uint64]
+	Trailing Vector[uint8]
+}
+
+func TestOptionalAbsentByDefault(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	if m.Note.IsPresent() {
+		t.Error("zero optional reports present")
+	}
+	if _, ok := m.Note.Get(); ok {
+		t.Error("Get on absent optional returned ok")
+	}
+	if got := m.Note.OrDefault(42); got != 42 {
+		t.Errorf("OrDefault = %d", got)
+	}
+	if m.Sub.Ptr() != nil {
+		t.Error("Ptr on absent optional not nil")
+	}
+}
+
+func TestOptionalSetOnce(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	if err := m.Note.Set(7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Note.Get(); !ok || v != 7 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+	if got := m.Note.OrDefault(42); got != 7 {
+		t.Errorf("OrDefault after set = %d", got)
+	}
+	if err := m.Note.Set(8); !errors.Is(err, ErrVectorMultiResize) {
+		t.Errorf("second Set err = %v", err)
+	}
+}
+
+func TestOptionalNestedMessage(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	if err := m.Sub.Set(nestedInner{Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// In-place construction through Ptr, including the inner string.
+	if err := m.Sub.Ptr().Label.Set("inner"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Sub.Get()
+	if !ok || got.Value != 5 {
+		t.Errorf("Sub = %+v, %v", got, ok)
+	}
+	if m.Sub.Ptr().Label.Get() != "inner" {
+		t.Errorf("inner label = %q", m.Sub.Ptr().Label.Get())
+	}
+}
+
+func TestMapFromPairsAndLookup(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	err = m.Tags.FromPairs([]Pair[uint32, uint64]{
+		{Key: 1, Value: 100},
+		{Key: 2, Value: 200},
+		{Key: 9, Value: 900},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tags.Len() != 3 {
+		t.Errorf("len = %d", m.Tags.Len())
+	}
+	if v, ok := m.Tags.Lookup(2); !ok || v != 200 {
+		t.Errorf("Lookup(2) = %d,%v", v, ok)
+	}
+	if _, ok := m.Tags.Lookup(4); ok {
+		t.Error("Lookup of missing key succeeded")
+	}
+	if len(m.Tags.Pairs()) != 3 {
+		t.Error("Pairs view wrong length")
+	}
+}
+
+func TestMapRejectsDuplicateKeys(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	err = m.Tags.FromPairs([]Pair[uint32, uint64]{{Key: 1}, {Key: 1}})
+	if err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+// TestExtensionsSurviveWire: optionals and maps are plain skeleton
+// compositions, so they must relocate like everything else.
+func TestExtensionsSurviveWire(t *testing.T) {
+	m, err := NewWithCapacity[optMsg](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Flags = 3
+	m.Note.Set(11)
+	m.Tags.FromPairs([]Pair[uint32, uint64]{{Key: 4, Value: 44}})
+	m.Trailing.MustResize(5)
+
+	wire, err := Bytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := Default().GetBuffer(len(wire))
+	copy(buf.Bytes(), wire)
+	got, err := Adopt[optMsg](buf, len(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(got)
+	defer Release(m)
+
+	if v, ok := got.Note.Get(); !ok || v != 11 {
+		t.Errorf("optional lost: %d,%v", v, ok)
+	}
+	if v, ok := got.Tags.Lookup(4); !ok || v != 44 {
+		t.Errorf("map lost: %d,%v", v, ok)
+	}
+	if got.Trailing.Len() != 5 {
+		t.Error("trailing vector lost")
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// FieldKind classifies a skeleton field for layout walks (validation,
+// endianness conversion, introspection).
+type FieldKind uint8
+
+const (
+	// KindScalar is a fixed-size primitive (bool, intN, uintN, floatN).
+	KindScalar FieldKind = iota + 1
+	// KindString is a core.String descriptor.
+	KindString
+	// KindVector is a core.Vector descriptor.
+	KindVector
+	// KindNested is an embedded message skeleton.
+	KindNested
+	// KindArray is a fixed-length array of scalars or skeletons.
+	KindArray
+)
+
+// Field describes one skeleton field.
+type Field struct {
+	Name string
+	Off  uintptr // offset within the enclosing skeleton
+	Kind FieldKind
+	Size uintptr // KindScalar: byte width of the primitive
+	Len  int     // KindArray: element count
+	Elem *Layout // element layout (KindVector, KindArray) or nested layout (KindNested)
+}
+
+// Layout describes a skeleton type: its total size/alignment and the
+// fields to visit when walking arena bytes. Scalar layouts describe
+// primitive vector/array elements.
+type Layout struct {
+	TypeName string
+	Size     uintptr
+	Align    uintptr
+	Scalar   bool
+	Fields   []Field
+}
+
+var (
+	layoutMu    sync.RWMutex
+	layoutCache = make(map[reflect.Type]*Layout)
+
+	registeredMu sync.RWMutex
+	registered   = make(map[reflect.Type]registration)
+
+	stringType = reflect.TypeFor[String]()
+	corePkg    = stringType.PkgPath()
+)
+
+type registration struct {
+	name            string
+	defaultCapacity int
+}
+
+// RegisterLayout records the canonical ROS type name and default arena
+// capacity for a skeleton type. Generated code calls it once per message
+// type; the capacity plays the role of the IDL-declared maximum message
+// size from §4.2.
+func RegisterLayout[T any](rosType string, defaultCapacity int) error {
+	t := reflect.TypeFor[T]()
+	if _, err := layoutFor(t); err != nil {
+		return fmt.Errorf("register %s: %w", rosType, err)
+	}
+	registeredMu.Lock()
+	defer registeredMu.Unlock()
+	registered[t] = registration{name: rosType, defaultCapacity: defaultCapacity}
+	return nil
+}
+
+// LayoutOf returns the (cached) layout of a skeleton type, validating it
+// on first use.
+func LayoutOf[T any]() (*Layout, error) {
+	return layoutFor(reflect.TypeFor[T]())
+}
+
+// defaultCapacityFor returns the registered default capacity, or a
+// heuristic multiple of the skeleton size for unregistered types.
+func defaultCapacityFor(t reflect.Type, l *Layout) int {
+	registeredMu.RLock()
+	reg, ok := registered[t]
+	registeredMu.RUnlock()
+	if ok && reg.defaultCapacity > 0 {
+		return reg.defaultCapacity
+	}
+	c := int(l.Size) * 8
+	if c < 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// layoutFor builds (and caches) the layout for t.
+func layoutFor(t reflect.Type) (*Layout, error) {
+	layoutMu.RLock()
+	l, ok := layoutCache[t]
+	layoutMu.RUnlock()
+	if ok {
+		return l, nil
+	}
+	l, err := buildLayout(t, make(map[reflect.Type]bool))
+	if err != nil {
+		return nil, err
+	}
+	layoutMu.Lock()
+	layoutCache[t] = l
+	layoutMu.Unlock()
+	return l, nil
+}
+
+func buildLayout(t reflect.Type, visiting map[reflect.Type]bool) (*Layout, error) {
+	if visiting[t] {
+		return nil, fmt.Errorf("%w: recursive message type %s", ErrInvalidLayout, t)
+	}
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return &Layout{TypeName: t.String(), Size: 1, Align: 1, Scalar: true}, nil
+	case reflect.Int16, reflect.Uint16:
+		return &Layout{TypeName: t.String(), Size: 2, Align: 2, Scalar: true}, nil
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return &Layout{TypeName: t.String(), Size: 4, Align: 4, Scalar: true}, nil
+	case reflect.Int64, reflect.Uint64, reflect.Float64:
+		return &Layout{TypeName: t.String(), Size: 8, Align: 8, Scalar: true}, nil
+	case reflect.Struct:
+		// fall through to the struct walk below
+	default:
+		return nil, fmt.Errorf("%w: field kind %s in %s", ErrInvalidLayout, t.Kind(), t)
+	}
+
+	visiting[t] = true
+	defer delete(visiting, t)
+
+	l := &Layout{TypeName: t.String(), Size: t.Size(), Align: uintptr(t.Align())}
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		ft := sf.Type
+		switch {
+		case ft == stringType:
+			l.Fields = append(l.Fields, Field{Name: sf.Name, Off: sf.Offset, Kind: KindString})
+		case isVectorType(ft):
+			elem, err := buildLayout(ft.Field(0).Type.Elem(), visiting)
+			if err != nil {
+				return nil, fmt.Errorf("vector field %s.%s: %w", t, sf.Name, err)
+			}
+			l.Fields = append(l.Fields, Field{Name: sf.Name, Off: sf.Offset, Kind: KindVector, Elem: elem})
+		case ft.Kind() == reflect.Array:
+			if ft.Len() == 0 {
+				continue // zero-width marker fields carry no data
+			}
+			elem, err := buildLayout(ft.Elem(), visiting)
+			if err != nil {
+				return nil, fmt.Errorf("array field %s.%s: %w", t, sf.Name, err)
+			}
+			l.Fields = append(l.Fields, Field{
+				Name: sf.Name, Off: sf.Offset, Kind: KindArray, Len: ft.Len(), Elem: elem,
+			})
+		case ft.Kind() == reflect.Struct:
+			nested, err := buildLayout(ft, visiting)
+			if err != nil {
+				return nil, fmt.Errorf("nested field %s.%s: %w", t, sf.Name, err)
+			}
+			l.Fields = append(l.Fields, Field{Name: sf.Name, Off: sf.Offset, Kind: KindNested, Elem: nested})
+		default:
+			elem, err := buildLayout(ft, visiting)
+			if err != nil {
+				return nil, fmt.Errorf("field %s.%s: %w", t, sf.Name, err)
+			}
+			l.Fields = append(l.Fields, Field{
+				Name: sf.Name, Off: sf.Offset, Kind: KindScalar, Size: elem.Size,
+			})
+		}
+	}
+	return l, nil
+}
+
+// isVectorType reports whether t is an instantiation of core.Vector.
+func isVectorType(t reflect.Type) bool {
+	if t.Kind() != reflect.Struct || t.PkgPath() != corePkg || t.NumField() != 3 {
+		return false
+	}
+	f0 := t.Field(0)
+	return f0.Type.Kind() == reflect.Array && f0.Type.Len() == 0 &&
+		t.Field(1).Name == "Count" && t.Field(2).Name == "Off"
+}
+
+// NativeLittleEndian reports whether this process stores multi-byte
+// scalars little-endian. SFM frames carry the publisher's endianness
+// (§4.4.1); the subscriber converts only on mismatch.
+func NativeLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// ConvertEndianness converts a whole-message buffer written with
+// srcLittle byte order into native order, in place. It is a no-op when
+// the orders already match. The walk mirrors the skeleton recursively:
+// scalars are byte-swapped; String/Vector descriptors are swapped and
+// then followed to their payload regions.
+func ConvertEndianness(buf []byte, l *Layout, srcLittle bool) error {
+	if srcLittle == NativeLittleEndian() {
+		return nil
+	}
+	return swapRegion(buf, 0, l)
+}
+
+// ForeignizeEndianness converts a native-order whole-message buffer to
+// the opposite byte order in place — the inverse of ConvertEndianness.
+// Tests and cross-endian tooling use it to synthesize frames from a
+// peer of the other byte order; descriptor values are read before being
+// swapped.
+func ForeignizeEndianness(buf []byte, l *Layout) error {
+	return foreignizeRegion(buf, 0, l)
+}
+
+func foreignizeRegion(buf []byte, off uintptr, l *Layout) error {
+	if l.Scalar {
+		return swapScalar(buf, off, l.Size)
+	}
+	for i := range l.Fields {
+		f := &l.Fields[i]
+		fo := off + f.Off
+		switch f.Kind {
+		case KindScalar:
+			if err := swapScalar(buf, fo, f.Size); err != nil {
+				return err
+			}
+		case KindString:
+			if err := swapScalar(buf, fo, 4); err != nil {
+				return err
+			}
+			if err := swapScalar(buf, fo+4, 4); err != nil {
+				return err
+			}
+		case KindVector:
+			if fo+8 > uintptr(len(buf)) {
+				return fmt.Errorf("%w: vector descriptor beyond buffer", ErrBufferMisuse)
+			}
+			count := binary.NativeEndian.Uint32(buf[fo:])
+			rel := binary.NativeEndian.Uint32(buf[fo+4:])
+			if err := swapScalar(buf, fo, 4); err != nil {
+				return err
+			}
+			if err := swapScalar(buf, fo+4, 4); err != nil {
+				return err
+			}
+			base := fo + uintptr(rel)
+			for j := uintptr(0); j < uintptr(count); j++ {
+				if err := foreignizeRegion(buf, base+j*f.Elem.Size, f.Elem); err != nil {
+					return err
+				}
+			}
+		case KindArray:
+			for j := 0; j < f.Len; j++ {
+				if err := foreignizeRegion(buf, fo+uintptr(j)*f.Elem.Size, f.Elem); err != nil {
+					return err
+				}
+			}
+		case KindNested:
+			if err := foreignizeRegion(buf, fo, f.Elem); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// swapRegion byte-swaps the skeleton at off within buf, descending into
+// payload regions. Descriptor values are read after swapping, i.e. the
+// buffer is foreign-order on entry and native-order on exit.
+func swapRegion(buf []byte, off uintptr, l *Layout) error {
+	if l.Scalar {
+		return swapScalar(buf, off, l.Size)
+	}
+	for i := range l.Fields {
+		f := &l.Fields[i]
+		fo := off + f.Off
+		switch f.Kind {
+		case KindScalar:
+			if err := swapScalar(buf, fo, f.Size); err != nil {
+				return err
+			}
+		case KindString:
+			if err := swapScalar(buf, fo, 4); err != nil {
+				return err
+			}
+			if err := swapScalar(buf, fo+4, 4); err != nil {
+				return err
+			}
+			// String payloads are raw bytes; nothing further to swap.
+		case KindVector:
+			if err := swapScalar(buf, fo, 4); err != nil {
+				return err
+			}
+			if err := swapScalar(buf, fo+4, 4); err != nil {
+				return err
+			}
+			count := binary.NativeEndian.Uint32(buf[fo:])
+			rel := binary.NativeEndian.Uint32(buf[fo+4:])
+			if count == 0 {
+				continue
+			}
+			base := fo + uintptr(rel)
+			for j := uintptr(0); j < uintptr(count); j++ {
+				if err := swapRegion(buf, base+j*f.Elem.Size, f.Elem); err != nil {
+					return err
+				}
+			}
+		case KindArray:
+			for j := 0; j < f.Len; j++ {
+				if err := swapRegion(buf, fo+uintptr(j)*f.Elem.Size, f.Elem); err != nil {
+					return err
+				}
+			}
+		case KindNested:
+			if err := swapRegion(buf, fo, f.Elem); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// swapScalar reverses the bytes of one primitive in place.
+func swapScalar(buf []byte, off, size uintptr) error {
+	if off+size > uintptr(len(buf)) {
+		return fmt.Errorf("%w: scalar at %d..%d beyond %d bytes", ErrBufferMisuse, off, off+size, len(buf))
+	}
+	switch size {
+	case 1:
+		// single bytes need no swap
+	case 2:
+		buf[off], buf[off+1] = buf[off+1], buf[off]
+	case 4:
+		buf[off], buf[off+3] = buf[off+3], buf[off]
+		buf[off+1], buf[off+2] = buf[off+2], buf[off+1]
+	case 8:
+		for i := uintptr(0); i < 4; i++ {
+			buf[off+i], buf[off+7-i] = buf[off+7-i], buf[off+i]
+		}
+	default:
+		return fmt.Errorf("%w: scalar size %d", ErrInvalidLayout, size)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// State is the life-cycle state of a serialization-free message (Fig. 8/9
+// of the paper).
+type State uint8
+
+const (
+	// StateAllocated means the message exists and is owned only by the
+	// developer's code.
+	StateAllocated State = iota + 1
+	// StatePublished means the message additionally acts as a serialized
+	// buffer: it has been handed to the transport (publisher side) or was
+	// received from it (subscriber side).
+	StatePublished
+	// StateDestructed means every reference has been released and the
+	// memory has been reclaimed.
+	StateDestructed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateAllocated:
+		return "Allocated"
+	case StatePublished:
+		return "Published"
+	case StateDestructed:
+		return "Destructed"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// record tracks one live arena. It is the paper's "record in the global
+// message manager": start address, current size of the whole message, and
+// the reference count that stands in for the C++ buffer smart pointer.
+type record struct {
+	mu    sync.Mutex // guards used and state
+	base  uintptr    // numeric address of arena[0], for ordering/lookup only
+	end   uintptr    // base + capacity
+	arena []byte     // aligned storage, len == capacity
+	raw   []byte     // original pooled allocation backing arena
+	used  uint32     // bytes of the whole message currently in use
+	state State
+	refs  atomic.Int32
+	mgr   *Manager
+	typ   reflect.Type // skeleton type, nil for untyped adoption
+}
+
+// index is the process-wide address-ordered table of live records. Field
+// methods (String.Set, Vector.Resize) know nothing but their own address,
+// so lookups must be global — this is the paper's sfm::gmm.
+type index struct {
+	mu   sync.RWMutex
+	recs []*record // sorted by base, non-overlapping
+}
+
+var gidx index
+
+// insert registers a record, keeping recs sorted by base address.
+func (ix *index) insert(r *record) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	i := sort.Search(len(ix.recs), func(i int) bool { return ix.recs[i].base >= r.base })
+	ix.recs = append(ix.recs, nil)
+	copy(ix.recs[i+1:], ix.recs[i:])
+	ix.recs[i] = r
+}
+
+// remove unregisters a record by base address.
+func (ix *index) remove(r *record) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	i := sort.Search(len(ix.recs), func(i int) bool { return ix.recs[i].base >= r.base })
+	if i < len(ix.recs) && ix.recs[i] == r {
+		ix.recs = append(ix.recs[:i], ix.recs[i+1:]...)
+	}
+}
+
+// lookup finds the record whose arena contains addr. This is the binary
+// search from §4.3.3: "find the record of a message with an address in the
+// middle of the message".
+func (ix *index) lookup(addr uintptr) *record {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	// First record with base > addr; candidate is the one before it.
+	i := sort.Search(len(ix.recs), func(i int) bool { return ix.recs[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	r := ix.recs[i-1]
+	if addr >= r.base && addr < r.end {
+		return r
+	}
+	return nil
+}
+
+// live reports the number of registered records (for tests and stats).
+func (ix *index) live() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.recs)
+}
+
+// checkInvariants verifies sortedness and non-overlap of the record table.
+// It exists for property tests.
+func (ix *index) checkInvariants() error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for i := 1; i < len(ix.recs); i++ {
+		prev, cur := ix.recs[i-1], ix.recs[i]
+		if prev.base >= cur.base {
+			return fmt.Errorf("record table unsorted at %d: %#x >= %#x", i, prev.base, cur.base)
+		}
+		if prev.end > cur.base {
+			return fmt.Errorf("records overlap at %d: [%#x,%#x) and [%#x,%#x)",
+				i, prev.base, prev.end, cur.base, cur.end)
+		}
+	}
+	return nil
+}
+
+// Stats is a snapshot of a Manager's counters.
+type Stats struct {
+	Allocs    uint64 // messages allocated (New + Adopt)
+	Frees     uint64 // messages destructed
+	Grows     uint64 // payload-region extensions
+	Live      int64  // currently registered messages
+	BytesLive int64  // capacity bytes currently registered
+}
+
+// Manager owns allocation pools and statistics for serialization-free
+// messages. All managers share the process-wide address index, because a
+// field can only identify its message by raw address. Most programs use
+// Default(); tests may create private managers for isolated stats/pools.
+type Manager struct {
+	pool      bufPool
+	allocs    atomic.Uint64
+	frees     atomic.Uint64
+	grows     atomic.Uint64
+	live      atomic.Int64
+	bytesLive atomic.Int64
+}
+
+// NewManager creates a Manager with empty pools and zeroed statistics.
+func NewManager() *Manager {
+	return &Manager{}
+}
+
+var defaultManager = NewManager()
+
+// Default returns the process-wide manager used by New and Adopt — the Go
+// analog of the paper's global message manager object sfm::gmm.
+func Default() *Manager {
+	return defaultManager
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Allocs:    m.allocs.Load(),
+		Frees:     m.frees.Load(),
+		Grows:     m.grows.Load(),
+		Live:      m.live.Load(),
+		BytesLive: m.bytesLive.Load(),
+	}
+}
+
+// register wraps an aligned buffer in a record and inserts it into the
+// global index with one reference held by the caller.
+func (m *Manager) register(b *Buffer, used uint32, st State, typ reflect.Type) *record {
+	base := uintptr(unsafe.Pointer(&b.arena[0]))
+	r := &record{
+		base:  base,
+		end:   base + uintptr(len(b.arena)),
+		arena: b.arena,
+		raw:   b.raw,
+		used:  used,
+		state: st,
+		mgr:   m,
+		typ:   typ,
+	}
+	r.refs.Store(1)
+	gidx.insert(r)
+	m.allocs.Add(1)
+	m.live.Add(1)
+	m.bytesLive.Add(int64(len(b.arena)))
+	return r
+}
+
+// retain increments the record's reference count. It fails once the
+// message has been destructed.
+func (r *record) retain() error {
+	for {
+		n := r.refs.Load()
+		if n <= 0 {
+			return ErrDestructed
+		}
+		if r.refs.CompareAndSwap(n, n+1) {
+			return nil
+		}
+	}
+}
+
+// release decrements the reference count and, on reaching zero, destructs
+// the message: the record leaves the index and the buffer returns to the
+// pool. It reports whether the message was destructed by this call.
+func (r *record) release() (bool, error) {
+	n := r.refs.Add(-1)
+	switch {
+	case n > 0:
+		return false, nil
+	case n < 0:
+		r.refs.Add(1) // undo; the message was already gone
+		return false, ErrDestructed
+	}
+	r.mu.Lock()
+	r.state = StateDestructed
+	r.mu.Unlock()
+	gidx.remove(r)
+	m := r.mgr
+	m.frees.Add(1)
+	m.live.Add(-1)
+	m.bytesLive.Add(-int64(len(r.arena)))
+	m.pool.put(r.raw)
+	r.arena, r.raw = nil, nil
+	return true, nil
+}
+
+// grow extends the whole message that contains fieldAddr by n bytes,
+// aligned to align, zeroes the new region, and returns the region's offset
+// relative to fieldAddr (the value stored in a String/Vector descriptor).
+func grow(fieldAddr uintptr, n, align uint32) (rel uint32, region []byte, err error) {
+	r := gidx.lookup(fieldAddr)
+	if r == nil {
+		return 0, nil, ErrNotManaged
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDestructed {
+		return 0, nil, ErrDestructed
+	}
+	start := alignUp(r.used, align)
+	capacity := uint32(len(r.arena))
+	if n > capacity || start > capacity-n {
+		return 0, nil, fmt.Errorf("%w: need %d bytes at offset %d, capacity %d",
+			ErrCapacityExceeded, n, start, capacity)
+	}
+	region = r.arena[start : start+n]
+	clear(region)
+	r.used = start + n
+	r.mgr.grows.Add(1)
+	// The descriptor always precedes the region it points at, so the
+	// relative offset is positive and fits the paper's uint32 encoding.
+	rel = uint32(r.base + uintptr(start) - fieldAddr)
+	return rel, region, nil
+}
+
+// alignUp rounds x up to the next multiple of a (a must be a power of two).
+func alignUp(x, a uint32) uint32 {
+	return (x + a - 1) &^ (a - 1)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// arenaAlign is the alignment guaranteed for the first byte of every
+// arena, so that float64/uint64 skeleton fields overlay correctly.
+const arenaAlign = 8
+
+// minClass/maxClass bound the pooled size classes: 1 KiB .. 64 MiB.
+// Requests above the largest class are allocated directly.
+const (
+	minClassShift = 10
+	maxClassShift = 26
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// bufPool recycles arena allocations in power-of-two size classes. The
+// paper frees message memory when the reference count reaches zero; the
+// pool turns that free into a recycle so steady-state publishing does not
+// allocate.
+type bufPool struct {
+	classes [numClasses]sync.Pool
+}
+
+// classFor returns the size-class slot for a raw allocation size, or -1 if
+// the request exceeds the largest pooled class.
+func classFor(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	shift := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if shift < minClassShift {
+		shift = minClassShift
+	}
+	if shift > maxClassShift {
+		return -1
+	}
+	return shift - minClassShift
+}
+
+// get returns a raw allocation of at least n bytes.
+func (p *bufPool) get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	size := 1 << (c + minClassShift)
+	if v := p.classes[c].Get(); v != nil {
+		buf, ok := v.(*[]byte)
+		if ok && len(*buf) >= n {
+			return *buf
+		}
+	}
+	return make([]byte, size)
+}
+
+// put returns a raw allocation to its size class. Oversized direct
+// allocations are dropped for the GC.
+func (p *bufPool) put(buf []byte) {
+	if buf == nil {
+		return
+	}
+	n := len(buf)
+	// Only exact class sizes are recycled; anything else was a direct
+	// allocation.
+	if n&(n-1) != 0 {
+		return
+	}
+	c := classFor(n)
+	if c < 0 || 1<<(c+minClassShift) != n {
+		return
+	}
+	p.classes[c].Put(&buf)
+}
+
+// Buffer is an aligned arena handle obtained from a Manager. Transports
+// read incoming frames directly into Bytes() and then Adopt the buffer as
+// a live message, so the socket read is the only copy on the receive path.
+type Buffer struct {
+	raw   []byte
+	arena []byte
+	mgr   *Manager
+}
+
+// GetBuffer returns an arena buffer with at least capacity usable bytes,
+// aligned to arenaAlign.
+func (m *Manager) GetBuffer(capacity int) *Buffer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	raw := m.pool.get(capacity + arenaAlign - 1)
+	off := int((arenaAlign - (uintptr(unsafe.Pointer(&raw[0])) & (arenaAlign - 1))) & (arenaAlign - 1))
+	usable := len(raw) - off
+	return &Buffer{raw: raw, arena: raw[off : off+usable : off+usable], mgr: m}
+}
+
+// Bytes exposes the aligned arena storage. Callers fill it (e.g. from a
+// socket) before Adopt.
+func (b *Buffer) Bytes() []byte { return b.arena }
+
+// Discard returns an unused buffer to the pool. It must not be called
+// after Adopt.
+func (b *Buffer) Discard() {
+	if b.raw != nil {
+		b.mgr.pool.put(b.raw)
+		b.raw, b.arena = nil, nil
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+// TestRelocationProperty is the heart of the format: because every
+// offset is relative, the whole-message bytes can be copied into any
+// other arena and overlaid there unchanged. Randomized contents must
+// survive relocation bit-for-bit.
+func TestRelocationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		src, err := NewWithCapacity[testImage](1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.Height = rng.Uint32()
+		src.Width = rng.Uint32()
+		enc := randString(rng, 1+rng.Intn(40))
+		src.Encoding.MustSet(enc)
+		n := rng.Intn(2000)
+		src.Data.MustResize(n)
+		rng.Read(src.Data.Slice())
+		payload := append([]byte(nil), src.Data.Slice()...)
+
+		wire, err := Bytes(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := Default().GetBuffer(len(wire) + rng.Intn(512))
+		copy(buf.Bytes(), wire)
+		dst, err := Adopt[testImage](buf, len(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if dst.Height != src.Height || dst.Width != src.Width {
+			t.Fatalf("trial %d: scalars changed", trial)
+		}
+		if dst.Encoding.Get() != enc {
+			t.Fatalf("trial %d: string changed: %q vs %q", trial, dst.Encoding.Get(), enc)
+		}
+		if !bytes.Equal(dst.Data.Slice(), payload) {
+			t.Fatalf("trial %d: payload changed", trial)
+		}
+		Release(src)
+		Release(dst)
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// TestPaddedStringSizeProperties pins the Fig. 7 padding rule: the
+// payload always fits content + NUL and is a multiple of 4, minimal.
+func TestPaddedStringSizeProperties(t *testing.T) {
+	f := func(n uint16) bool {
+		p := PaddedStringSize(int(n))
+		return p%4 == 0 && p >= int(n)+1 && p < int(n)+1+4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if PaddedStringSize(4) != 8 {
+		t.Errorf(`PaddedStringSize("rgb8") = %d, want 8 (Fig. 7)`, PaddedStringSize(4))
+	}
+}
+
+// TestAlignUpProperties checks the arena alignment helper.
+func TestAlignUpProperties(t *testing.T) {
+	f := func(x uint16, shift uint8) bool {
+		a := uint32(1) << (shift % 4) // 1,2,4,8
+		got := alignUp(uint32(x), a)
+		return got%a == 0 && got >= uint32(x) && got < uint32(x)+a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkeletonSizesFixed pins the paper's "skeleton size is fixed"
+// feature: descriptors are 8 bytes regardless of element type.
+func TestSkeletonSizesFixed(t *testing.T) {
+	if unsafe.Sizeof(String{}) != 8 {
+		t.Errorf("String skeleton = %d bytes, want 8", unsafe.Sizeof(String{}))
+	}
+	if unsafe.Sizeof(Vector[uint8]{}) != 8 {
+		t.Errorf("Vector[uint8] skeleton = %d bytes, want 8", unsafe.Sizeof(Vector[uint8]{}))
+	}
+	if unsafe.Sizeof(Vector[float64]{}) != 8 {
+		t.Errorf("Vector[float64] skeleton = %d bytes, want 8", unsafe.Sizeof(Vector[float64]{}))
+	}
+	if unsafe.Sizeof(Vector[testImage]{}) != 8 {
+		t.Errorf("Vector[message] skeleton = %d bytes, want 8", unsafe.Sizeof(Vector[testImage]{}))
+	}
+	// The zero-width marker carries element alignment for the arena.
+	if unsafe.Alignof(Vector[float64]{}) != 8 {
+		t.Errorf("Vector[float64] align = %d, want 8", unsafe.Alignof(Vector[float64]{}))
+	}
+}
+
+// TestGrowMonotonic: the whole-message size never shrinks and never
+// exceeds capacity, across a random sequence of grows.
+func TestGrowMonotonic(t *testing.T) {
+	type wide struct {
+		A, B, C Vector[uint64]
+		S1, S2  String
+	}
+	rng := rand.New(rand.NewSource(5))
+	m, err := NewWithCapacity[wide](1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+
+	prev, _ := UsedSize(m)
+	capacity, _ := CapacityOf(m)
+	steps := []func() error{
+		func() error { return m.A.Resize(1 + rng.Intn(64)) },
+		func() error { return m.B.Resize(1 + rng.Intn(64)) },
+		func() error { return m.C.Resize(1 + rng.Intn(64)) },
+		func() error { return m.S1.Set(randString(rng, 1+rng.Intn(32))) },
+		func() error { return m.S2.Set(randString(rng, 1+rng.Intn(32))) },
+	}
+	rng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		used, _ := UsedSize(m)
+		if used < prev {
+			t.Fatalf("step %d: used shrank %d -> %d", i, prev, used)
+		}
+		if used > capacity {
+			t.Fatalf("step %d: used %d exceeds capacity %d", i, used, capacity)
+		}
+		prev = used
+	}
+}
+
+// TestVectorElementAlignment: uint64 elements must land 8-aligned even
+// after odd-sized string payloads.
+func TestVectorElementAlignment(t *testing.T) {
+	type mixed struct {
+		S String
+		V Vector[uint64]
+	}
+	m, err := NewWithCapacity[mixed](4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(m)
+	m.S.MustSet("odd")
+	m.V.MustResize(4)
+	addr := uintptr(unsafe.Pointer(m.V.At(0)))
+	if addr%8 != 0 {
+		t.Errorf("uint64 element at %#x is not 8-aligned", addr)
+	}
+}
+
+// TestConcurrentChurnKeepsInvariants hammers allocation/release from
+// many goroutines and checks the global index stays sorted and
+// non-overlapping (run with -race for the full effect).
+func TestConcurrentChurnKeepsInvariants(t *testing.T) {
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				m, err := NewWithCapacity[testImage](1 << 12)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rng.Intn(2) == 0 {
+					m.Data.Resize(rng.Intn(512))
+				}
+				if _, err := Release(m); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := CheckIndexInvariants(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestBufferDiscardReturnsToPool ensures unadopted receive buffers do
+// not leak registry entries.
+func TestBufferDiscardReturnsToPool(t *testing.T) {
+	before := LiveMessages()
+	b := Default().GetBuffer(4096)
+	if len(b.Bytes()) < 4096 {
+		t.Fatalf("buffer too small: %d", len(b.Bytes()))
+	}
+	b.Discard()
+	if LiveMessages() != before {
+		t.Error("discarded buffer left a registry entry")
+	}
+	// Double discard is harmless.
+	b.Discard()
+}
+
+// TestAdoptRejectsBadSizes covers the receive-path validation.
+func TestAdoptRejectsBadSizes(t *testing.T) {
+	b := Default().GetBuffer(64)
+	if _, err := Adopt[testImage](b, 3); err == nil { // smaller than skeleton
+		t.Error("adopted undersized frame")
+	}
+	b2 := Default().GetBuffer(64)
+	if _, err := Adopt[testImage](b2, 1<<20); err == nil { // larger than buffer
+		t.Error("adopted oversized frame")
+	}
+	b2.Discard()
+	// A consumed/discarded buffer cannot be adopted.
+	b.Discard()
+	if _, err := Adopt[testImage](b, 24); err == nil {
+		t.Error("adopted discarded buffer")
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"unsafe"
+)
+
+// String is the 8-byte skeleton of a variable-length string field (Fig. 7
+// of the paper): Len is the padded payload size in the arena — content, a
+// terminating NUL, and padding to 4 bytes — and Off is the payload offset
+// relative to this descriptor's own address. The zero value is an unset,
+// empty string.
+//
+// Set may be called once with non-empty content (the One-Shot String
+// Assignment Assumption); a second non-empty assignment fails with
+// ErrStringReassigned, mirroring the paper's run-time prompt.
+type String struct {
+	Len uint32
+	Off uint32
+}
+
+// stringPad is the alignment/padding unit for string payloads.
+const stringPad = 4
+
+// PaddedStringSize returns the arena payload size for a string of length
+// n: content + NUL, rounded up to the 4-byte padding unit (so "rgb8"
+// occupies 8 bytes, as in Fig. 7).
+func PaddedStringSize(n int) int {
+	return int(alignUp(uint32(n)+1, stringPad))
+}
+
+// Set assigns the string content, growing the containing message. The
+// receiver must live inside a managed message (core.New / core.Adopt).
+func (s *String) Set(v string) error {
+	if s.Len != 0 {
+		if len(v) == 0 {
+			return nil // assigning empty over empty-or-set content is a no-op alert-free path
+		}
+		return ErrStringReassigned
+	}
+	if len(v) == 0 {
+		return nil
+	}
+	padded := uint32(PaddedStringSize(len(v)))
+	rel, region, err := grow(uintptr(unsafe.Pointer(s)), padded, stringPad)
+	if err != nil {
+		return err
+	}
+	copy(region, v) // region is pre-zeroed: NUL terminator and padding come for free
+	s.Len = padded
+	s.Off = rel
+	return nil
+}
+
+// MustSet is Set for static strings that are known to fit; it panics on
+// error and exists for examples and tests.
+func (s *String) MustSet(v string) {
+	if err := s.Set(v); err != nil {
+		panic(err)
+	}
+}
+
+// payload returns the raw padded payload bytes, or nil when unset.
+func (s *String) payload() []byte {
+	if s.Len == 0 {
+		return nil
+	}
+	p := unsafe.Add(unsafe.Pointer(s), uintptr(s.Off))
+	return unsafe.Slice((*byte)(p), int(s.Len))
+}
+
+// Get returns the string content (up to the terminating NUL). The result
+// is a copy and remains valid after the message is released.
+func (s *String) Get() string {
+	b := s.payload()
+	if b == nil {
+		return ""
+	}
+	n := 0
+	for n < len(b) && b[n] != 0 {
+		n++
+	}
+	return string(b[:n])
+}
+
+// View returns a zero-copy view of the string content. The view aliases
+// the message arena and must not outlive the message.
+func (s *String) View() []byte {
+	b := s.payload()
+	if b == nil {
+		return nil
+	}
+	n := 0
+	for n < len(b) && b[n] != 0 {
+		n++
+	}
+	return b[:n]
+}
+
+// IsSet reports whether the string holds content.
+func (s *String) IsSet() bool { return s.Len != 0 }
+
+// String implements fmt.Stringer.
+func (s *String) String() string { return s.Get() }
+
+// Vector is the 8-byte skeleton of a variable-length sequence field:
+// Count elements of type E stored contiguously at Off bytes past this
+// descriptor's own address. E must itself be a fixed-size, pointer-free
+// skeleton type (a primitive or a generated SFM message struct). The
+// zero-width leading field carries E's alignment and lets reflection
+// discover the element type without changing the 8-byte wire size.
+//
+// Resize may be called once with a non-zero size (the One-Shot Vector
+// Resizing Assumption); a second non-zero resize fails with
+// ErrVectorMultiResize. There are deliberately no PushBack/PopBack-style
+// modifiers (the No Modifier Assumption): code that needs them fails to
+// compile, exactly as with the paper's sfm::vector.
+type Vector[E any] struct {
+	_     [0]E
+	Count uint32
+	Off   uint32
+}
+
+// elemLayout returns sizeof(E) and alignof(E) capped at the arena
+// alignment.
+func (v *Vector[E]) elemLayout() (size, align uint32) {
+	var zero E
+	size = uint32(unsafe.Sizeof(zero))
+	align = uint32(unsafe.Alignof(zero))
+	if align < 1 {
+		align = 1
+	}
+	return size, align
+}
+
+// Resize allocates storage for n elements, zero-initialized so nested
+// skeletons start in their unset state.
+func (v *Vector[E]) Resize(n int) error {
+	if v.Count != 0 {
+		if n == 0 {
+			v.Count = 0 // shrinking to empty is allowed and alert-free, as in the paper
+			return nil
+		}
+		return ErrVectorMultiResize
+	}
+	if n == 0 {
+		return nil
+	}
+	size, align := v.elemLayout()
+	total := uint32(n) * size
+	rel, _, err := grow(uintptr(unsafe.Pointer(v)), total, align)
+	if err != nil {
+		return err
+	}
+	v.Count = uint32(n)
+	v.Off = rel
+	return nil
+}
+
+// MustResize is Resize for sizes that are known to fit; it panics on
+// error and exists for examples and tests.
+func (v *Vector[E]) MustResize(n int) {
+	if err := v.Resize(n); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of elements.
+func (v *Vector[E]) Len() int { return int(v.Count) }
+
+// At returns a pointer to element i, addressable exactly like an element
+// of a C++ array. It panics on out-of-range i, matching slice semantics.
+func (v *Vector[E]) At(i int) *E {
+	if i < 0 || uint32(i) >= v.Count {
+		panic("sfm: vector index out of range")
+	}
+	size, _ := v.elemLayout()
+	p := unsafe.Add(unsafe.Pointer(v), uintptr(v.Off)+uintptr(i)*uintptr(size))
+	return (*E)(p)
+}
+
+// Slice returns a zero-copy []E view of the elements. The view aliases
+// the message arena and must not outlive the message; writing through it
+// writes the wire bytes directly.
+func (v *Vector[E]) Slice() []E {
+	if v.Count == 0 {
+		return nil
+	}
+	p := unsafe.Add(unsafe.Pointer(v), uintptr(v.Off))
+	return unsafe.Slice((*E)(p), int(v.Count))
+}
+
+// CopyFrom resizes the vector to len(src) and copies src into the arena.
+// It is a convenience over Resize+Slice and obeys the one-shot rule.
+func (v *Vector[E]) CopyFrom(src []E) error {
+	if err := v.Resize(len(src)); err != nil {
+		return err
+	}
+	copy(v.Slice(), src)
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package corpus generates the synthetic applicability-study corpus for
+// reproducing the paper's Table 1. The original study manually inspected
+// 486 C++ source files across 125 official ROS packages; those sources
+// are a stand-in here: this package deterministically emits Go files
+// that use the generated message classes with the usage patterns the
+// paper describes — clean one-shot construction, the Fig. 19 string
+// reassignment after a conversion helper, the Fig. 20 resize of an
+// output-parameter message, and the Fig. 21 push_back loop — seeded so
+// the per-class violation counts equal Table 1 exactly. The checker
+// (internal/checker) is the component under test; the corpus provides
+// ground truth to validate it against.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"rossf/internal/checker"
+)
+
+// File is one synthetic source file plus its ground-truth labels.
+type File struct {
+	Name   string
+	Source []byte
+	// Class is the message class the file exercises.
+	Class string
+	// Ground truth: which violations the file was seeded with.
+	WantSR, WantVR, WantOM bool
+}
+
+// PaperTable1 is the published Table 1, the target distribution.
+var PaperTable1 = []checker.TableRow{
+	{MsgType: "sensor_msgs/Image", Total: 49, Applicable: 40, StringReassign: 8, VectorMultiResize: 6, OtherMethods: 0},
+	{MsgType: "sensor_msgs/CompressedImage", Total: 7, Applicable: 2, StringReassign: 5, VectorMultiResize: 5, OtherMethods: 0},
+	{MsgType: "sensor_msgs/PointCloud", Total: 14, Applicable: 0, StringReassign: 13, VectorMultiResize: 12, OtherMethods: 2},
+	{MsgType: "sensor_msgs/PointCloud2", Total: 15, Applicable: 1, StringReassign: 7, VectorMultiResize: 7, OtherMethods: 8},
+	{MsgType: "sensor_msgs/LaserScan", Total: 18, Applicable: 5, StringReassign: 13, VectorMultiResize: 12, OtherMethods: 1},
+}
+
+// Classes lists the Table 1 message classes in row order.
+func Classes() []string {
+	out := make([]string, len(PaperTable1))
+	for i, r := range PaperTable1 {
+		out[i] = r.MsgType
+	}
+	return out
+}
+
+// Generate emits the full corpus: for every Table 1 row, Applicable
+// clean files plus violating files whose per-kind marks sum to the
+// row's columns, and a handful of filler files using unrelated message
+// types (the study's other ~380 files).
+func Generate() []File {
+	var files []File
+	for _, row := range PaperTable1 {
+		files = append(files, generateClass(row)...)
+	}
+	for i := 0; i < 12; i++ {
+		files = append(files, fillerFile(i))
+	}
+	return files
+}
+
+// generateClass emits one row's files. Violators are marked with the
+// alignment scheme: StringReassign on the first SR violators,
+// VectorMultiResize on the last VR violators, OtherMethods on the first
+// OM violators; for every Table 1 row this covers all violating files.
+func generateClass(row checker.TableRow) []File {
+	class := row.MsgType
+	short := shortName(class)
+	var files []File
+	for i := 0; i < row.Applicable; i++ {
+		files = append(files, File{
+			Name:   fmt.Sprintf("%s_clean_%02d.go", strings.ToLower(short), i),
+			Source: cleanSource(class, i),
+			Class:  class,
+		})
+	}
+	violators := row.Total - row.Applicable
+	for i := 0; i < violators; i++ {
+		f := File{
+			Name:   fmt.Sprintf("%s_viol_%02d.go", strings.ToLower(short), i),
+			Class:  class,
+			WantSR: i < row.StringReassign,
+			WantVR: i >= violators-row.VectorMultiResize,
+			WantOM: i < row.OtherMethods,
+		}
+		f.Source = violatingSource(class, i, f.WantSR, f.WantVR, f.WantOM)
+		files = append(files, f)
+	}
+	return files
+}
+
+func shortName(class string) string {
+	_, name, _ := strings.Cut(class, "/")
+	return name
+}
+
+// classFields returns the string field, vector field (with its element
+// expression), and append element literal used in generated patterns.
+func classFields(class string) (strField, vecField, vecMake, appendElem string) {
+	switch class {
+	case "sensor_msgs/Image":
+		return "Encoding", "Data", "make([]uint8, 640*480*3)", "uint8(0)"
+	case "sensor_msgs/CompressedImage":
+		return "Format", "Data", "make([]uint8, 65536)", "uint8(0)"
+	case "sensor_msgs/PointCloud":
+		return "Header.FrameID", "Points", "make([]geometry_msgs.Point32, 1024)", "geometry_msgs.Point32{}"
+	case "sensor_msgs/PointCloud2":
+		return "Header.FrameID", "Data", "make([]uint8, 1024*32)", "uint8(0)"
+	case "sensor_msgs/LaserScan":
+		return "Header.FrameID", "Ranges", "make([]float32, 360)", "float32(0)"
+	default:
+		return "Header.FrameID", "Data", "make([]uint8, 16)", "uint8(0)"
+	}
+}
+
+func classImports(class string) string {
+	imp := "\t\"rossf/msgs/sensor_msgs\"\n"
+	if class == "sensor_msgs/PointCloud" {
+		imp += "\t\"rossf/msgs/geometry_msgs\"\n"
+	}
+	return imp
+}
+
+// cleanSource emits a file constructing the message once, assigning each
+// field exactly once — the applicable pattern of Fig. 3.
+func cleanSource(class string, i int) []byte {
+	short := shortName(class)
+	strField, vecField, vecMake, _ := classFields(class)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Synthetic corpus file: clean %s usage (pattern of the paper's Fig. 3).\n", class)
+	fmt.Fprintf(&b, "package corpus\n\nimport (\n%s)\n\n", classImports(class))
+	fmt.Fprintf(&b, "func produce%s%02d() *sensor_msgs.%s {\n", short, i, short)
+	fmt.Fprintf(&b, "\tm := &sensor_msgs.%s{}\n", short)
+	fmt.Fprintf(&b, "\tm.%s = \"value\"\n", strField)
+	fmt.Fprintf(&b, "\tm.%s = %s\n", vecField, vecMake)
+	fmt.Fprintf(&b, "\treturn m\n}\n")
+	return []byte(b.String())
+}
+
+// violatingSource composes the requested violation patterns into one
+// file, alongside a clean accessor so the file reads realistically.
+func violatingSource(class string, i int, sr, vr, om bool) []byte {
+	short := shortName(class)
+	strField, vecField, vecMake, appendElem := classFields(class)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Synthetic corpus file: %s with seeded assumption violations.\n", class)
+	fmt.Fprintf(&b, "package corpus\n\nimport (\n%s)\n\n", classImports(class))
+
+	if sr {
+		if i%2 == 0 {
+			// Fig. 19: a conversion helper returns the message, then a
+			// string field is assigned again.
+			fmt.Fprintf(&b, "func rotate%s%02d(in *sensor_msgs.%s) *sensor_msgs.%s {\n",
+				short, i, short, short)
+			fmt.Fprintf(&b, "\tout := To%sMsg(in)\n", short)
+			fmt.Fprintf(&b, "\tout.%s = \"transformed\" // violates One-Shot String Assignment\n", strField)
+			fmt.Fprintf(&b, "\treturn out\n}\n\n")
+		} else {
+			fmt.Fprintf(&b, "func retag%s%02d() *sensor_msgs.%s {\n", short, i, short)
+			fmt.Fprintf(&b, "\tm := &sensor_msgs.%s{}\n", short)
+			fmt.Fprintf(&b, "\tm.%s = \"first\"\n", strField)
+			fmt.Fprintf(&b, "\tm.%s = \"second\" // violates One-Shot String Assignment\n", strField)
+			fmt.Fprintf(&b, "\treturn m\n}\n\n")
+		}
+	}
+	if vr {
+		if i%2 == 0 {
+			// Fig. 20: the message arrives as an output parameter whose
+			// vector may already be sized.
+			fmt.Fprintf(&b, "func fill%s%02d(out *sensor_msgs.%s) {\n", short, i, short)
+			fmt.Fprintf(&b, "\tout.%s = %s // violates One-Shot Vector Resizing\n", vecField, vecMake)
+			fmt.Fprintf(&b, "}\n\n")
+		} else {
+			fmt.Fprintf(&b, "func regrow%s%02d() *sensor_msgs.%s {\n", short, i, short)
+			fmt.Fprintf(&b, "\tm := &sensor_msgs.%s{}\n", short)
+			fmt.Fprintf(&b, "\tm.%s = %s\n", vecField, vecMake)
+			fmt.Fprintf(&b, "\tm.%s = %s // violates One-Shot Vector Resizing\n", vecField, vecMake)
+			fmt.Fprintf(&b, "\treturn m\n}\n\n")
+		}
+	}
+	if om {
+		// Fig. 21: a filtering loop pushes elements one by one.
+		fmt.Fprintf(&b, "func collect%s%02d(n int) *sensor_msgs.%s {\n", short, i, short)
+		fmt.Fprintf(&b, "\tm := &sensor_msgs.%s{}\n", short)
+		fmt.Fprintf(&b, "\tfor j := 0; j < n; j++ {\n")
+		fmt.Fprintf(&b, "\t\tm.%s = append(m.%s, %s) // violates No Modifier (push_back)\n",
+			vecField, vecField, appendElem)
+		fmt.Fprintf(&b, "\t}\n\treturn m\n}\n\n")
+	}
+	// A clean consumer keeps the file realistic without adding marks.
+	fmt.Fprintf(&b, "func consume%s%02d(m *sensor_msgs.%s) int {\n", short, i, short)
+	fmt.Fprintf(&b, "\treturn len(m.%s)\n}\n", vecField)
+	return []byte(b.String())
+}
+
+// fillerFile uses unrelated message classes cleanly, standing in for the
+// study's files that touch none of the Table 1 classes.
+func fillerFile(i int) File {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Synthetic corpus file: unrelated message usage.\n")
+	fmt.Fprintf(&b, "package corpus\n\nimport (\n\t\"rossf/msgs/geometry_msgs\"\n)\n\n")
+	fmt.Fprintf(&b, "func pose%02d() *geometry_msgs.PoseStamped {\n", i)
+	fmt.Fprintf(&b, "\tp := &geometry_msgs.PoseStamped{}\n")
+	fmt.Fprintf(&b, "\tp.Header.FrameID = \"map\"\n")
+	fmt.Fprintf(&b, "\tp.Pose.Position.X = %d\n", i)
+	fmt.Fprintf(&b, "\treturn p\n}\n")
+	return File{
+		Name:   fmt.Sprintf("filler_%02d.go", i),
+		Source: []byte(b.String()),
+		Class:  "geometry_msgs/PoseStamped",
+	}
+}

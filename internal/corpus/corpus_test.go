@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"testing"
+
+	"rossf/internal/checker"
+	"rossf/internal/msgtest"
+)
+
+// TestTable1Reproduction is the reproduction of the paper's Table 1:
+// running the checker over the synthetic corpus must recover exactly the
+// published per-class counts, validating the analyzer against the seeded
+// ground truth.
+func TestTable1Reproduction(t *testing.T) {
+	c := checker.New(msgtest.LoadRegistry(t))
+	files := Generate()
+
+	var reports []*checker.FileReport
+	for _, f := range files {
+		rep, err := c.CheckSource(f.Name, f.Source)
+		if err != nil {
+			t.Fatalf("check %s: %v", f.Name, err)
+		}
+		reports = append(reports, rep)
+	}
+	rows := checker.Aggregate(reports, Classes())
+
+	for i, want := range PaperTable1 {
+		got := rows[i]
+		if got != want {
+			t.Errorf("row %s:\n got  %+v\n want %+v", want.MsgType, got, want)
+		}
+	}
+	t.Logf("\n%s", checker.FormatTable(rows))
+}
+
+// TestPerFileGroundTruth checks every seeded file individually: the
+// checker must find exactly the violations the generator planted.
+func TestPerFileGroundTruth(t *testing.T) {
+	c := checker.New(msgtest.LoadRegistry(t))
+	for _, f := range Generate() {
+		rep, err := c.CheckSource(f.Name, f.Source)
+		if err != nil {
+			t.Fatalf("check %s: %v", f.Name, err)
+		}
+		if got := rep.ViolatesFor(f.Class, checker.StringReassign); got != f.WantSR {
+			t.Errorf("%s: StringReassign = %v, want %v\n%s", f.Name, got, f.WantSR, f.Source)
+		}
+		if got := rep.ViolatesFor(f.Class, checker.VectorMultiResize); got != f.WantVR {
+			t.Errorf("%s: VectorMultiResize = %v, want %v\n%s", f.Name, got, f.WantVR, f.Source)
+		}
+		if got := rep.ViolatesFor(f.Class, checker.OtherMethod); got != f.WantOM {
+			t.Errorf("%s: OtherMethod = %v, want %v\n%s", f.Name, got, f.WantOM, f.Source)
+		}
+		if !rep.Uses[f.Class] {
+			t.Errorf("%s: class %s not detected as used", f.Name, f.Class)
+		}
+	}
+}
+
+// TestCorpusDeterministic ensures two generations are identical, so the
+// reproduced table is stable.
+func TestCorpusDeterministic(t *testing.T) {
+	a, b := Generate(), Generate()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || string(a[i].Source) != string(b[i].Source) {
+			t.Fatalf("file %d differs between generations", i)
+		}
+	}
+}
+
+func TestCorpusSize(t *testing.T) {
+	files := Generate()
+	// 103 Table 1 files + 12 fillers.
+	if len(files) != 103+12 {
+		t.Errorf("corpus size = %d, want 115", len(files))
+	}
+}

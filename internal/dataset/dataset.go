@@ -1,0 +1,205 @@
+// Package dataset generates a procedural RGB-D image sequence standing
+// in for the TUM RGBD dataset of the paper's §5.3 (which is not
+// redistributable here). A large pseudo-random world texture — smooth
+// value noise overlaid with hard-edged blocks that give the feature
+// detector strong corners — is observed through a camera window that
+// translates along a known trajectory, so every frame comes with ground
+// truth motion. Frame sizes and rates match the paper's workloads, and
+// the imagery is trackable by the internal/slam pipeline, preserving the
+// property Fig. 18 depends on: large image messages flowing into a
+// compute stage of a few tens of milliseconds.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rossf/internal/msg"
+)
+
+// Config describes a synthetic sequence.
+type Config struct {
+	// Width and Height are the frame dimensions in pixels.
+	Width, Height int
+	// Frames is the sequence length.
+	Frames int
+	// Seed makes the world and trajectory reproducible.
+	Seed int64
+	// StepPixels is the camera translation per frame (trajectory
+	// amplitude); default 3.
+	StepPixels float64
+	// FPS sets frame timestamps; default 10 (the paper publishes at
+	// 10 Hz).
+	FPS int
+}
+
+// Frame is one observation.
+type Frame struct {
+	Index int
+	// RGB is the 8-bit interleaved image, Width*Height*3 bytes.
+	RGB []byte
+	// Depth is a synthetic 16-bit depth plane, Width*Height values in
+	// millimeters.
+	Depth []uint16
+	// Stamp is the frame timestamp at the configured FPS.
+	Stamp msg.Time
+	// TrueDX/TrueDY is the ground-truth camera translation (pixels)
+	// relative to frame 0.
+	TrueDX, TrueDY float64
+}
+
+// Sequence is a generated dataset. The world texture is shared across
+// frames; each Frame call renders one camera window.
+type Sequence struct {
+	cfg   Config
+	world []byte // grayscale world texture
+	ww    int    // world width
+	wh    int    // world height
+}
+
+// NewSequence builds the world texture for a configuration.
+func NewSequence(cfg Config) (*Sequence, error) {
+	if cfg.Width <= 16 || cfg.Height <= 16 {
+		return nil, fmt.Errorf("dataset: frame size %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("dataset: need at least one frame")
+	}
+	if cfg.StepPixels == 0 {
+		cfg.StepPixels = 3
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 10
+	}
+
+	// The world must cover the frame plus the whole trajectory.
+	margin := int(cfg.StepPixels*float64(cfg.Frames)) + 64
+	s := &Sequence{
+		cfg: cfg,
+		ww:  cfg.Width + margin,
+		wh:  cfg.Height + margin,
+	}
+	s.world = renderWorld(s.ww, s.wh, cfg.Seed)
+	return s, nil
+}
+
+// Config returns the sequence configuration.
+func (s *Sequence) Config() Config { return s.cfg }
+
+// renderWorld paints smooth value noise plus hard-edged blocks.
+func renderWorld(w, h int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	const cell = 32
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([]float64, gw*gh)
+	for i := range grid {
+		grid[i] = rng.Float64()
+	}
+
+	world := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		gy := y / cell
+		fy := float64(y%cell) / cell
+		for x := 0; x < w; x++ {
+			gx := x / cell
+			fx := float64(x%cell) / cell
+			v00 := grid[gy*gw+gx]
+			v10 := grid[gy*gw+gx+1]
+			v01 := grid[(gy+1)*gw+gx]
+			v11 := grid[(gy+1)*gw+gx+1]
+			v := v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+			world[y*w+x] = byte(40 + v*120)
+		}
+	}
+
+	// Hard-edged rectangles create strong, trackable corners.
+	nBlocks := (w * h) / 8000
+	for i := 0; i < nBlocks; i++ {
+		bw := 8 + rng.Intn(40)
+		bh := 8 + rng.Intn(40)
+		bx := rng.Intn(w - bw)
+		by := rng.Intn(h - bh)
+		val := byte(rng.Intn(2) * 215)
+		for y := by; y < by+bh; y++ {
+			for x := bx; x < bx+bw; x++ {
+				world[y*w+x] = val
+			}
+		}
+	}
+	return world
+}
+
+// trajectory returns the camera offset for frame i: a diagonal drift
+// with a sinusoidal sway, smooth enough to track frame to frame.
+func (s *Sequence) trajectory(i int) (ox, oy float64) {
+	step := s.cfg.StepPixels
+	ox = step * float64(i)
+	oy = step * 0.5 * float64(i) * (1 + 0.2*math.Sin(float64(i)/7))
+	max := float64(s.ww - s.cfg.Width - 1)
+	if ox > max {
+		ox = max
+	}
+	maxY := float64(s.wh - s.cfg.Height - 1)
+	if oy > maxY {
+		oy = maxY
+	}
+	return ox, oy
+}
+
+// Frame renders frame i. It fills dst if large enough (avoiding
+// allocation for arena-backed destinations) or allocates.
+func (s *Sequence) Frame(i int) (*Frame, error) {
+	if i < 0 || i >= s.cfg.Frames {
+		return nil, fmt.Errorf("dataset: frame %d out of range [0,%d)", i, s.cfg.Frames)
+	}
+	f := &Frame{
+		Index: i,
+		RGB:   make([]byte, s.cfg.Width*s.cfg.Height*3),
+		Depth: make([]uint16, s.cfg.Width*s.cfg.Height),
+	}
+	s.RenderInto(i, f.RGB, f.Depth)
+	ox, oy := s.trajectory(i)
+	f.TrueDX, f.TrueDY = ox, oy
+	ns := uint64(i) * uint64(1e9) / uint64(s.cfg.FPS)
+	f.Stamp = msg.Time{Sec: uint32(ns / 1e9), Nsec: uint32(ns % 1e9)}
+	return f, nil
+}
+
+// RenderInto renders frame i's RGB (and optional depth) into caller
+// storage — used by the benchmarks to construct images directly inside
+// SFM arenas, as the paper's pub node constructs messages in place.
+func (s *Sequence) RenderInto(i int, rgb []byte, depth []uint16) {
+	ox, oy := s.trajectory(i)
+	ix, iy := int(ox), int(oy)
+	w, h := s.cfg.Width, s.cfg.Height
+	for y := 0; y < h; y++ {
+		src := (y+iy)*s.ww + ix
+		row := s.world[src : src+w]
+		dst := y * w * 3
+		for x, g := range row {
+			// Slight per-channel tint keeps the data "rgb8" shaped.
+			rgb[dst+3*x] = g
+			rgb[dst+3*x+1] = g
+			b := int(g) - 10
+			if b < 0 {
+				b = 0
+			}
+			rgb[dst+3*x+2] = byte(b)
+		}
+		if depth != nil {
+			for x := 0; x < w; x++ {
+				// Depth correlates inversely with brightness: bright
+				// blocks are "near".
+				depth[y*w+x] = 500 + uint16(row[x])*14
+			}
+		}
+	}
+}
+
+// TrueMotion returns the ground-truth translation between two frames.
+func (s *Sequence) TrueMotion(from, to int) (dx, dy float64) {
+	x0, y0 := s.trajectory(from)
+	x1, y1 := s.trajectory(to)
+	return x1 - x0, y1 - y0
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSequenceDeterministic(t *testing.T) {
+	cfg := Config{Width: 128, Height: 96, Frames: 5, Seed: 3}
+	a, err := NewSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := a.Frame(2)
+	fb, _ := b.Frame(2)
+	if !bytes.Equal(fa.RGB, fb.RGB) {
+		t.Error("same seed produced different frames")
+	}
+}
+
+func TestFrameShapeAndTimestamps(t *testing.T) {
+	s, err := NewSequence(Config{Width: 64, Height: 48, Frames: 20, Seed: 1, FPS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Frame(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.RGB) != 64*48*3 || len(f.Depth) != 64*48 {
+		t.Errorf("sizes rgb=%d depth=%d", len(f.RGB), len(f.Depth))
+	}
+	if f.Stamp.Sec != 1 || f.Stamp.Nsec != 0 {
+		t.Errorf("stamp of frame 10 @10fps = %+v, want 1s", f.Stamp)
+	}
+}
+
+func TestFramesActuallyMove(t *testing.T) {
+	s, err := NewSequence(Config{Width: 128, Height: 96, Frames: 10, Seed: 5, StepPixels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, _ := s.Frame(0)
+	f5, _ := s.Frame(5)
+	if bytes.Equal(f0.RGB, f5.RGB) {
+		t.Error("camera motion produced identical frames")
+	}
+	dx, dy := s.TrueMotion(0, 5)
+	if dx <= 0 || dy <= 0 {
+		t.Errorf("true motion = (%f, %f), want positive drift", dx, dy)
+	}
+}
+
+func TestFrameOutOfRange(t *testing.T) {
+	s, _ := NewSequence(Config{Width: 64, Height: 48, Frames: 3, Seed: 1})
+	if _, err := s.Frame(3); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+	if _, err := s.Frame(-1); err == nil {
+		t.Error("negative frame accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewSequence(Config{Width: 4, Height: 4, Frames: 1}); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	if _, err := NewSequence(Config{Width: 64, Height: 64, Frames: 0}); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestRenderIntoMatchesFrame(t *testing.T) {
+	s, _ := NewSequence(Config{Width: 96, Height: 64, Frames: 4, Seed: 9})
+	f, _ := s.Frame(2)
+	rgb := make([]byte, 96*64*3)
+	s.RenderInto(2, rgb, nil)
+	if !bytes.Equal(rgb, f.RGB) {
+		t.Error("RenderInto differs from Frame")
+	}
+}

@@ -1,0 +1,456 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"rossf/internal/msg"
+)
+
+// primGoType maps ROS primitives to Go types shared by both
+// representations.
+var primGoType = map[msg.Prim]string{
+	msg.PBool: "bool", msg.PInt8: "int8", msg.PUint8: "uint8",
+	msg.PInt16: "int16", msg.PUint16: "uint16", msg.PInt32: "int32",
+	msg.PUint32: "uint32", msg.PInt64: "int64", msg.PUint64: "uint64",
+	msg.PFloat32: "float32", msg.PFloat64: "float64",
+}
+
+// baseType renders the non-array part of a field type. sfm selects the
+// serialization-free representation.
+func (g *Generator) baseType(f *fileWriter, curPkg string, t msg.TypeSpec, sfm bool) string {
+	if s, ok := primGoType[t.Prim]; ok {
+		return s
+	}
+	switch t.Prim {
+	case msg.PString:
+		if sfm {
+			f.addImport(g.CorePath)
+			return "core.String"
+		}
+		return "string"
+	case msg.PTime:
+		f.addImport(g.MsgPath)
+		return "msg.Time"
+	case msg.PDuration:
+		f.addImport(g.MsgPath)
+		return "msg.Duration"
+	case msg.PNone:
+		pkg, name, _ := strings.Cut(t.Msg, "/")
+		if sfm {
+			name += "SF"
+		}
+		if pkg == curPkg {
+			return name
+		}
+		f.addImport(g.ModuleBase + "/" + pkg)
+		return pkg + "." + name
+	default:
+		return fmt.Sprintf("/* unsupported %v */any", t.Prim)
+	}
+}
+
+// fieldType renders a full field type.
+func (g *Generator) fieldType(f *fileWriter, curPkg string, t msg.TypeSpec, sfm bool) string {
+	base := g.baseType(f, curPkg, t.Base(), sfm)
+	if !t.IsArray {
+		return base
+	}
+	if t.ArrayLen >= 0 {
+		return fmt.Sprintf("[%d]%s", t.ArrayLen, base)
+	}
+	if sfm {
+		f.addImport(g.CorePath)
+		return fmt.Sprintf("core.Vector[%s]", base)
+	}
+	return "[]" + base
+}
+
+// emitMessage generates everything for one spec: constants, the regular
+// struct with its ROS1 codec, and the SFM struct.
+func (g *Generator) emitMessage(f *fileWriter, spec *msg.Spec) error {
+	md5, err := g.Reg.MD5(spec.FullName())
+	if err != nil {
+		return err
+	}
+	g.emitConsts(f, spec)
+	if err := g.emitRegular(f, spec, md5); err != nil {
+		return err
+	}
+	g.emitSFM(f, spec, md5)
+	return nil
+}
+
+// emitConsts renders message constants as typed Go constants.
+func (g *Generator) emitConsts(f *fileWriter, spec *msg.Spec) {
+	if len(spec.Consts) == 0 {
+		return
+	}
+	f.printf("// Constants declared by %s.\nconst (\n", spec.FullName())
+	for _, c := range spec.Consts {
+		goType := primGoType[c.Type.Prim]
+		val := c.Value
+		switch c.Type.Prim {
+		case msg.PString:
+			goType = "string"
+			val = fmt.Sprintf("%q", c.Value)
+		case msg.PBool:
+			switch strings.ToLower(c.Value) {
+			case "true", "1":
+				val = "true"
+			default:
+				val = "false"
+			}
+		}
+		f.printf("\t%s%s %s = %s\n", spec.Name, constName(c.Name), goType, val)
+	}
+	f.printf(")\n\n")
+}
+
+// emitRegular renders the regular struct and its ROS1 serializers.
+func (g *Generator) emitRegular(f *fileWriter, spec *msg.Spec, md5 string) error {
+	name := spec.Name
+	f.printf("// %s is the regular (serializing) representation of %s.\n", name, spec.FullName())
+	f.printf("type %s struct {\n", name)
+	for _, fd := range spec.Fields {
+		f.printf("\t%s %s\n", goName(fd.Name), g.fieldType(f, spec.Package, fd.Type, false))
+	}
+	f.printf("}\n\n")
+
+	f.printf("// ROSMessageType returns the canonical ROS type name.\n")
+	f.printf("func (*%s) ROSMessageType() string { return %q }\n\n", name, spec.FullName())
+	f.printf("// ROSMD5Sum returns the ROS definition checksum.\n")
+	f.printf("func (*%s) ROSMD5Sum() string { return %q }\n\n", name, md5)
+
+	f.printf("// SerializedSizeROS returns the exact ROS1 wire size — genmsg's\n")
+	f.printf("// serializationLength, used to allocate the buffer once.\n")
+	f.printf("func (m *%s) SerializedSizeROS() int {\n\tn := 0\n", name)
+	for _, fd := range spec.Fields {
+		g.emitFieldSize(f, "m."+goName(fd.Name), fd.Type)
+	}
+	f.printf("\treturn n\n}\n\n")
+
+	f.addImport(g.WirePath)
+	f.printf("// SerializeROS appends the ROS1 wire form of the message.\n")
+	f.printf("func (m *%s) SerializeROS(w *wire.Writer) error {\n", name)
+	for _, fd := range spec.Fields {
+		if err := g.emitFieldSerialize(f, "m."+goName(fd.Name), fd.Type); err != nil {
+			return fmt.Errorf("field %s: %w", fd.Name, err)
+		}
+	}
+	f.printf("\treturn nil\n}\n\n")
+
+	f.printf("// DeserializeROS reconstructs the message from its ROS1 wire form.\n")
+	f.printf("func (m *%s) DeserializeROS(r *wire.Reader) error {\n", name)
+	for _, fd := range spec.Fields {
+		if err := g.emitFieldDeserialize(f, "m."+goName(fd.Name), fd.Type, spec.Package); err != nil {
+			return fmt.Errorf("field %s: %w", fd.Name, err)
+		}
+	}
+	f.printf("\treturn r.Err()\n}\n\n")
+	return nil
+}
+
+// primWireSize returns the fixed ROS1 size of a primitive, or 0 for
+// strings.
+func primWireSize(p msg.Prim) int {
+	return p.FixedSize()
+}
+
+// emitFieldSize renders size accounting for one field.
+func (g *Generator) emitFieldSize(f *fileWriter, expr string, t msg.TypeSpec) {
+	base := t.Base()
+	elemFixed := primWireSize(base.Prim)
+	switch {
+	case !t.IsArray && base.Prim == msg.PString:
+		f.printf("\tn += 4 + len(%s)\n", expr)
+	case !t.IsArray && base.Prim == msg.PNone:
+		f.printf("\tn += %s.SerializedSizeROS()\n", expr)
+	case !t.IsArray:
+		f.printf("\tn += %d\n", elemFixed)
+	case t.ArrayLen >= 0 && elemFixed > 0:
+		f.printf("\tn += %d\n", t.ArrayLen*elemFixed)
+	case t.ArrayLen < 0 && elemFixed > 0:
+		f.printf("\tn += 4 + %d*len(%s)\n", elemFixed, expr)
+	default:
+		// Variable-size elements: account per element.
+		if t.ArrayLen < 0 {
+			f.printf("\tn += 4\n")
+		}
+		idx := loopVar(expr)
+		f.printf("\tfor %s := range %s {\n", idx, expr)
+		if base.Prim == msg.PString {
+			f.printf("\t\tn += 4 + len(%s[%s])\n", expr, idx)
+		} else {
+			f.printf("\t\tn += %s[%s].SerializedSizeROS()\n", expr, idx)
+		}
+		f.printf("\t}\n")
+	}
+}
+
+// scalarWriteCall returns the wire.Writer call for one scalar value
+// expression, or "" if the type is not a plain scalar.
+func scalarWriteCall(p msg.Prim, expr string) string {
+	switch p {
+	case msg.PBool:
+		return fmt.Sprintf("w.Bool(%s)", expr)
+	case msg.PInt8:
+		return fmt.Sprintf("w.I8(%s)", expr)
+	case msg.PUint8:
+		return fmt.Sprintf("w.U8(%s)", expr)
+	case msg.PInt16:
+		return fmt.Sprintf("w.I16(%s)", expr)
+	case msg.PUint16:
+		return fmt.Sprintf("w.U16(%s)", expr)
+	case msg.PInt32:
+		return fmt.Sprintf("w.I32(%s)", expr)
+	case msg.PUint32:
+		return fmt.Sprintf("w.U32(%s)", expr)
+	case msg.PInt64:
+		return fmt.Sprintf("w.I64(%s)", expr)
+	case msg.PUint64:
+		return fmt.Sprintf("w.U64(%s)", expr)
+	case msg.PFloat32:
+		return fmt.Sprintf("w.F32(%s)", expr)
+	case msg.PFloat64:
+		return fmt.Sprintf("w.F64(%s)", expr)
+	default:
+		return ""
+	}
+}
+
+// scalarReadCall returns the wire.Reader expression producing one scalar.
+func scalarReadCall(p msg.Prim) string {
+	switch p {
+	case msg.PBool:
+		return "r.Bool()"
+	case msg.PInt8:
+		return "r.I8()"
+	case msg.PUint8:
+		return "r.U8()"
+	case msg.PInt16:
+		return "r.I16()"
+	case msg.PUint16:
+		return "r.U16()"
+	case msg.PInt32:
+		return "r.I32()"
+	case msg.PUint32:
+		return "r.U32()"
+	case msg.PInt64:
+		return "r.I64()"
+	case msg.PUint64:
+		return "r.U64()"
+	case msg.PFloat32:
+		return "r.F32()"
+	case msg.PFloat64:
+		return "r.F64()"
+	default:
+		return ""
+	}
+}
+
+// emitElemSerialize renders serialization of one element expression.
+func (g *Generator) emitElemSerialize(f *fileWriter, expr string, t msg.TypeSpec) error {
+	if call := scalarWriteCall(t.Prim, expr); call != "" {
+		f.printf("\t%s\n", call)
+		return nil
+	}
+	switch t.Prim {
+	case msg.PString:
+		f.printf("\tw.String(%s)\n", expr)
+	case msg.PTime:
+		f.printf("\tw.U32(%s.Sec)\n\tw.U32(%s.Nsec)\n", expr, expr)
+	case msg.PDuration:
+		f.printf("\tw.I32(%s.Sec)\n\tw.I32(%s.Nsec)\n", expr, expr)
+	case msg.PNone:
+		f.printf("\tif err := %s.SerializeROS(w); err != nil {\n\t\treturn err\n\t}\n", expr)
+	default:
+		return fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+	return nil
+}
+
+// emitFieldSerialize renders serialization of one field.
+func (g *Generator) emitFieldSerialize(f *fileWriter, expr string, t msg.TypeSpec) error {
+	if !t.IsArray {
+		return g.emitElemSerialize(f, expr, t)
+	}
+	if t.ArrayLen < 0 {
+		f.printf("\tw.U32(uint32(len(%s)))\n", expr)
+		if t.Prim == msg.PUint8 {
+			f.printf("\tw.Raw(%s)\n", expr)
+			return nil
+		}
+	} else if t.Prim == msg.PUint8 {
+		f.printf("\tw.Raw(%s[:])\n", expr)
+		return nil
+	}
+	idx := loopVar(expr)
+	f.printf("\tfor %s := range %s {\n\t", idx, expr)
+	if err := g.emitElemSerialize(f, fmt.Sprintf("%s[%s]", expr, idx), t.Base()); err != nil {
+		return err
+	}
+	f.printf("\t}\n")
+	return nil
+}
+
+// emitElemDeserialize renders decoding into one element expression.
+func (g *Generator) emitElemDeserialize(f *fileWriter, expr string, t msg.TypeSpec) error {
+	if call := scalarReadCall(t.Prim); call != "" {
+		f.printf("\t%s = %s\n", expr, call)
+		return nil
+	}
+	switch t.Prim {
+	case msg.PString:
+		f.printf("\t%s = r.String()\n", expr)
+	case msg.PTime:
+		f.printf("\t%s.Sec = r.U32()\n\t%s.Nsec = r.U32()\n", expr, expr)
+	case msg.PDuration:
+		f.printf("\t%s.Sec = r.I32()\n\t%s.Nsec = r.I32()\n", expr, expr)
+	case msg.PNone:
+		f.printf("\tif err := %s.DeserializeROS(r); err != nil {\n\t\treturn err\n\t}\n", expr)
+	default:
+		return fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+	return nil
+}
+
+// emitFieldDeserialize renders decoding of one field.
+func (g *Generator) emitFieldDeserialize(f *fileWriter, expr string, t msg.TypeSpec, curPkg string) error {
+	if !t.IsArray {
+		return g.emitElemDeserialize(f, expr, t)
+	}
+	idx := loopVar(expr)
+	if t.ArrayLen >= 0 {
+		if t.Prim == msg.PUint8 {
+			f.printf("\tcopy(%s[:], r.Raw(%d))\n", expr, t.ArrayLen)
+			return nil
+		}
+		f.printf("\tfor %s := range %s {\n\t", idx, expr)
+		if err := g.emitElemDeserialize(f, fmt.Sprintf("%s[%s]", expr, idx), t.Base()); err != nil {
+			return err
+		}
+		f.printf("\t}\n")
+		return nil
+	}
+	n := lenVar(expr)
+	f.printf("\t%s := int(r.U32())\n", n)
+	f.printf("\tif err := r.Err(); err != nil {\n\t\treturn err\n\t}\n")
+	f.printf("\tif %s > r.Remaining() {\n\t\treturn wire.ErrShortBuffer\n\t}\n", n)
+	if t.Prim == msg.PUint8 {
+		f.printf("\t%s = make([]uint8, %s)\n\tcopy(%s, r.Raw(%s))\n", expr, n, expr, n)
+		return nil
+	}
+	f.printf("\t%s = make([]%s, %s)\n", expr, g.baseType(f, curPkg, t.Base(), false), n)
+	f.printf("\tfor %s := range %s {\n\t", idx, expr)
+	if err := g.emitElemDeserialize(f, fmt.Sprintf("%s[%s]", expr, idx), t.Base()); err != nil {
+		return err
+	}
+	f.printf("\t}\n")
+	return nil
+}
+
+// loopVar derives a collision-free loop variable from a field path.
+func loopVar(expr string) string {
+	return "i" + sanitize(expr)
+}
+
+// lenVar derives a collision-free length variable from a field path.
+func lenVar(expr string) string {
+	return "n" + sanitize(expr)
+}
+
+func sanitize(expr string) string {
+	var b strings.Builder
+	for _, r := range expr {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// emitSFM renders the serialization-free struct: same fields over SFM
+// skeleton types, plus the metadata methods the transport dispatches on.
+func (g *Generator) emitSFM(f *fileWriter, spec *msg.Spec, md5 string) {
+	name := spec.Name + "SF"
+	f.printf("// %s is the serialization-free representation of %s:\n", name, spec.FullName())
+	f.printf("// a fixed-size skeleton whose storage lives in a managed arena, so\n")
+	f.printf("// that publishing and receiving it involves no serialization. Create\n")
+	f.printf("// instances with New%s (never as plain values).\n", name)
+	f.printf("type %s struct {\n", name)
+	for _, fd := range spec.Fields {
+		f.printf("\t%s %s\n", goName(fd.Name), g.fieldType(f, spec.Package, fd.Type, true))
+	}
+	f.printf("}\n\n")
+
+	f.printf("// ROSMessageType returns the canonical ROS type name (shared with %s).\n", spec.Name)
+	f.printf("func (*%s) ROSMessageType() string { return %q }\n\n", name, spec.FullName())
+	f.printf("// ROSMD5Sum returns the ROS definition checksum (shared with %s).\n", spec.Name)
+	f.printf("func (*%s) ROSMD5Sum() string { return %q }\n\n", name, md5)
+	f.printf("// SFMMessage marks the type as serialization-free.\n")
+	f.printf("func (*%s) SFMMessage() {}\n\n", name)
+
+	f.addImport(g.CorePath)
+	f.printf("// New%s allocates a %s in the default arena manager — the analog\n", name, name)
+	f.printf("// of the overloaded new operator in the paper's generated headers.\n")
+	f.printf("func New%s() (*%s, error) { return core.New[%s]() }\n\n", name, name, name)
+}
+
+// emitServices renders descriptors for the package's .srv definitions:
+// the service name and combined checksum used by the connection
+// handshake.
+func (g *Generator) emitServices(f *fileWriter, pkg string) error {
+	for _, full := range g.Reg.ServiceNames() {
+		if !strings.HasPrefix(full, pkg+"/") {
+			continue
+		}
+		srv, err := g.Reg.LookupService(full)
+		if err != nil {
+			return err
+		}
+		md5, err := g.Reg.ServiceMD5(full)
+		if err != nil {
+			return err
+		}
+		f.printf("// %sServiceName identifies the %s service; pair it with\n", srv.Name, full)
+		f.printf("// the generated %sRequest/%sResponse types (or their SF\n", srv.Name, srv.Name)
+		f.printf("// variants) in ros.AdvertiseService / ros.CallService.\n")
+		f.printf("const %sServiceName = %q\n\n", srv.Name, full)
+		f.printf("// %sServiceMD5 is the combined request+response checksum.\n", srv.Name)
+		f.printf("const %sServiceMD5 = %q\n\n", srv.Name, md5)
+	}
+	return nil
+}
+
+// emitRegistration renders the package's layout registration and the
+// compile-time interface assertions.
+func (g *Generator) emitRegistration(f *fileWriter, pkg string, names []string) {
+	f.addImport(g.CorePath)
+	f.addImport(g.RosPath)
+
+	f.printf("// Compile-time checks that every generated type satisfies the\n")
+	f.printf("// transport contracts.\nvar (\n")
+	for _, full := range names {
+		_, n, _ := strings.Cut(full, "/")
+		f.printf("\t_ ros.Serializable = (*%s)(nil)\n", n)
+		f.printf("\t_ ros.SFMessage    = (*%sSF)(nil)\n", n)
+	}
+	f.printf(")\n\n")
+
+	f.printf("// The registrations below declare each SFM layout and its arena\n")
+	f.printf("// capacity (the paper's IDL-declared maximum message size) with the\n")
+	f.printf("// global message manager. This is the registry-hook pattern: it has\n")
+	f.printf("// no I/O and is deterministic.\n")
+	f.printf("func init() {\n")
+	for _, full := range names {
+		_, n, _ := strings.Cut(full, "/")
+		capacity := g.Capacities[full]
+		if capacity <= 0 {
+			capacity = DefaultCapacity
+		}
+		f.printf("\tmustRegister(core.RegisterLayout[%sSF](%q, %d))\n", n, full, capacity)
+	}
+	f.printf("}\n\n")
+	f.printf("func mustRegister(err error) {\n\tif err != nil {\n\t\tpanic(err)\n\t}\n}\n")
+}

@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"rossf/internal/msg"
+)
+
+func testGenerator(t *testing.T) *Generator {
+	t.Helper()
+	reg := msg.NewRegistry()
+	defs := []struct{ pkg, name, text string }{
+		{"std_msgs", "Header", "uint32 seq\ntime stamp\nstring frame_id\n"},
+		{"demo", "Blob", "uint8 KIND_RAW=1\nuint8 KIND_PNG=2\nHeader header\nstring name\nuint8 kind\nuint8[] data\nfloat64[4] quat\nInner[] parts\n"},
+		{"demo", "Inner", "string label\nint64 value\n"},
+	}
+	for _, d := range defs {
+		if _, err := reg.ParseAndRegister(d.pkg, d.name, d.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := New(reg)
+	g.Capacities["demo/Blob"] = 12345
+	return g
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	g := testGenerator(t)
+	for _, pkg := range []string{"demo", "std_msgs"} {
+		src, err := g.Package(pkg)
+		if err != nil {
+			t.Fatalf("Package(%s): %v", pkg, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, pkg+".go", src, 0); err != nil {
+			t.Fatalf("generated %s does not parse: %v\n%s", pkg, err, src)
+		}
+	}
+}
+
+func TestGeneratedDeclarations(t *testing.T) {
+	g := testGenerator(t)
+	src, err := g.Package("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collapse gofmt's column alignment so substring checks are
+	// whitespace-insensitive.
+	out := strings.Join(strings.Fields(string(src)), " ")
+	for _, want := range []string{
+		"type Blob struct {",
+		"type BlobSF struct {",
+		"Header std_msgs.Header",     // regular nested cross-package
+		"Header std_msgs.HeaderSF",   // SFM nested cross-package
+		"Name core.String",           // string -> descriptor in SFM
+		"Data core.Vector[uint8]",    // dynamic array -> vector
+		"Quat [4]float64",            // fixed array stays an array
+		"Parts core.Vector[InnerSF]", // vector of nested skeletons
+		"func (m *Blob) SerializeROS(w *wire.Writer) error",
+		"func (m *Blob) DeserializeROS(r *wire.Reader) error",
+		"func (m *Blob) SerializedSizeROS() int",
+		"func NewBlobSF() (*BlobSF, error)",
+		"func (*BlobSF) SFMMessage()",
+		`core.RegisterLayout[BlobSF]("demo/Blob", 12345)`,
+		"BlobKINDRAW uint8 = 1",
+		"_ ros.Serializable = (*Blob)(nil)",
+		"_ ros.SFMessage = (*BlobSF)(nil)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestSharedMetadataBetweenVariants(t *testing.T) {
+	g := testGenerator(t)
+	src, err := g.Package("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	md5, err := g.Reg.MD5("demo/Blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, md5); got != 2 {
+		t.Errorf("MD5 %s appears %d times, want 2 (regular + SF)", md5, got)
+	}
+	if got := strings.Count(out, `"demo/Blob"`); got < 3 {
+		t.Errorf("type name appears %d times, want >= 3", got)
+	}
+}
+
+func TestUnknownPackageRejected(t *testing.T) {
+	g := testGenerator(t)
+	if _, err := g.Package("nope"); err == nil {
+		t.Error("unknown package accepted")
+	}
+}
+
+func TestGoNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"seq":          "Seq",
+		"frame_id":     "FrameID",
+		"is_bigendian": "IsBigendian",
+		"point_step":   "PointStep",
+		"rgb":          "RGB",
+		"camera_url":   "CameraURL",
+		"x":            "X",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultCapacityApplied(t *testing.T) {
+	g := testGenerator(t)
+	src, err := g.Package("std_msgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "65536") {
+		t.Errorf("default capacity %d not applied", DefaultCapacity)
+	}
+}

@@ -1,0 +1,10 @@
+// Package msg implements the ROS1 message IDL toolchain that the ROS-SF
+// paper builds on: a parser for .msg definition files, a process-wide type
+// registry, ROS-compatible MD5 type checksums, and a dynamic (schema-
+// driven) message representation used by the serializer substrates and by
+// cross-format property tests.
+//
+// The static, generated representations (regular structs with ROS1
+// serializers, and SFM skeleton structs) are produced from these specs by
+// cmd/sfmgen; see internal/gen.
+package msg

@@ -1,0 +1,59 @@
+package msg
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// MD5 computes the ROS1-style type checksum for a message. Following
+// genmsg: the hashed text lists constants ("type NAME=value") first, then
+// fields; a built-in field keeps its array suffix ("uint8[] data"), while
+// an embedded message type is replaced by that message's own MD5 (array
+// suffix dropped). Publishers and subscribers exchange this checksum in
+// the connection header and refuse mismatched definitions.
+func (r *Registry) MD5(fullName string) (string, error) {
+	return r.md5For(fullName, nil)
+}
+
+func (r *Registry) md5For(fullName string, chain []string) (string, error) {
+	r.mu.RLock()
+	cached, ok := r.md5s[fullName]
+	r.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	for _, c := range chain {
+		if c == fullName {
+			return "", fmt.Errorf("recursive message embedding at %s", fullName)
+		}
+	}
+	s, err := r.Lookup(fullName)
+	if err != nil {
+		return "", err
+	}
+
+	var lines []string
+	for _, c := range s.Consts {
+		lines = append(lines, fmt.Sprintf("%s %s=%s", c.Type.String(), c.Name, c.Value))
+	}
+	for _, f := range s.Fields {
+		if f.Type.Prim != PNone {
+			lines = append(lines, fmt.Sprintf("%s %s", f.Type.String(), f.Name))
+			continue
+		}
+		sub, err := r.md5For(f.Type.Msg, append(chain, fullName))
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, fmt.Sprintf("%s %s", sub, f.Name))
+	}
+
+	sum := md5.Sum([]byte(strings.Join(lines, "\n")))
+	digest := hex.EncodeToString(sum[:])
+	r.mu.Lock()
+	r.md5s[fullName] = digest
+	r.mu.Unlock()
+	return digest, nil
+}

@@ -1,0 +1,37 @@
+package msg
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMD5MatchesRealROS pins our genmsg-compatible checksum algorithm
+// against the MD5 sums published by real ROS1 (from the rosmsg tool /
+// ROS message documentation). Matching them means a publisher built
+// with this repository would interoperate with a genuine roscpp peer's
+// type checking.
+func TestMD5MatchesRealROS(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.LoadFS(os.DirFS("../../msgs"), "idl"); err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]string{
+		"std_msgs/Header":          "2176decaecbce78abc3b96ef049fabed",
+		"std_msgs/String":          "992ce8a1687cec8c8bd883ec73ca41d1",
+		"geometry_msgs/Point":      "4a842b65f413084dc2b10fb484ea7f17",
+		"geometry_msgs/Vector3":    "4a842b65f413084dc2b10fb484ea7f17",
+		"geometry_msgs/Quaternion": "a779879fadf0160734f906b8c19c7004",
+		"geometry_msgs/Pose":       "e45d45a5a1ce597b249e23fb30fc871f",
+		"sensor_msgs/Image":        "060021388200f6f0f447d0fcd9c64743",
+		"sensor_msgs/CameraInfo":   "c9a58c1b0b154e0e6da7578cb991d214",
+	}
+	for name, want := range known {
+		got, err := reg.MD5(name)
+		if err != nil {
+			t.Fatalf("MD5(%s): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("MD5(%s) = %s, want real-ROS %s", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package msg
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func loadTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.LoadFS(os.DirFS("../../msgs"), "idl"); err != nil {
+		t.Fatalf("LoadFS: %v", err)
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return reg
+}
+
+func TestParseImage(t *testing.T) {
+	reg := loadTestRegistry(t)
+	s, err := reg.Lookup("sensor_msgs/Image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		typ  string
+	}{
+		{"header", "std_msgs/Header"},
+		{"height", "uint32"},
+		{"width", "uint32"},
+		{"encoding", "string"},
+		{"is_bigendian", "uint8"},
+		{"step", "uint32"},
+		{"data", "uint8[]"},
+	}
+	if len(s.Fields) != len(want) {
+		t.Fatalf("fields = %d, want %d", len(s.Fields), len(want))
+	}
+	for i, w := range want {
+		f := s.Fields[i]
+		if f.Name != w.name || f.Type.String() != w.typ {
+			t.Errorf("field %d = %s %s, want %s %s", i, f.Type, f.Name, w.typ, w.name)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	reg := loadTestRegistry(t)
+	s, err := reg.Lookup("sensor_msgs/PointField")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Consts) != 8 {
+		t.Fatalf("consts = %d, want 8", len(s.Consts))
+	}
+	if s.Consts[0].Name != "INT8" || s.Consts[0].Value != "1" {
+		t.Errorf("first const = %+v", s.Consts[0])
+	}
+	if s.Consts[7].Name != "FLOAT64" || s.Consts[7].Value != "8" {
+		t.Errorf("last const = %+v", s.Consts[7])
+	}
+}
+
+func TestParseStringConstantKeepsHash(t *testing.T) {
+	s, err := Parse("test", "M", "string GREETING=hello # not a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Consts[0].Value; got != "hello # not a comment" {
+		t.Errorf("value = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"missing name", "uint32\n", "missing field name"},
+		{"bad type", "not-a-type x\n", "invalid type"},
+		{"bad array", "uint8[-1] x\n", "invalid array length"},
+		{"bad ident", "uint32 9lives\n", "invalid field name"},
+		{"dup field", "uint32 a\nuint32 a\n", "duplicate field"},
+		{"array const", "uint8[] C=1\n", "constants must have scalar"},
+		{"bad int const", "int32 C=zap\n", "invalid integer constant"},
+		{"bad bool const", "bool C=maybe\n", "invalid bool constant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("p", "M", tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+			var pe *ParseError
+			if err != nil && !errors.As(err, &pe) {
+				t.Errorf("err is not a *ParseError: %T", err)
+			}
+		})
+	}
+}
+
+func TestBareHeaderResolvesToStdMsgs(t *testing.T) {
+	s, err := Parse("sensor_msgs", "X", "Header header\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields[0].Type.Msg != "std_msgs/Header" {
+		t.Errorf("type = %q", s.Fields[0].Type.Msg)
+	}
+}
+
+func TestBareTypeResolvesWithinPackage(t *testing.T) {
+	s, err := Parse("geometry_msgs", "Pose", "Point position\nQuaternion orientation\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields[0].Type.Msg != "geometry_msgs/Point" {
+		t.Errorf("type = %q", s.Fields[0].Type.Msg)
+	}
+}
+
+func TestParseFormatFixpoint(t *testing.T) {
+	reg := loadTestRegistry(t)
+	for _, name := range reg.Names() {
+		s, _ := reg.Lookup(name)
+		text := s.Format()
+		s2, err := Parse(s.Package, s.Name, text)
+		if err != nil {
+			t.Fatalf("reparse %s: %v", name, err)
+		}
+		if s2.Format() != text {
+			t.Errorf("%s: Format∘Parse is not a fixpoint:\n%q\nvs\n%q", name, text, s2.Format())
+		}
+	}
+}
+
+func TestMD5StableAndDistinct(t *testing.T) {
+	reg := loadTestRegistry(t)
+	seen := make(map[string]string)
+	for _, name := range reg.Names() {
+		sum, err := reg.MD5(name)
+		if err != nil {
+			t.Fatalf("MD5(%s): %v", name, err)
+		}
+		if len(sum) != 32 {
+			t.Errorf("MD5(%s) = %q, want 32 hex chars", name, sum)
+		}
+		// Identical definitions legitimately share an MD5 (in real ROS,
+		// geometry_msgs/Point and Vector3 do); only differing bodies may
+		// not collide.
+		if prev, dup := seen[sum]; dup {
+			ps, _ := reg.Lookup(prev)
+			cs, _ := reg.Lookup(name)
+			if ps.Format() != cs.Format() {
+				t.Errorf("MD5 collision between differing types %s and %s", prev, name)
+			}
+		}
+		seen[sum] = name
+		again, _ := reg.MD5(name)
+		if again != sum {
+			t.Errorf("MD5(%s) unstable", name)
+		}
+	}
+}
+
+func TestMD5ChangesWithDefinition(t *testing.T) {
+	reg := NewRegistry()
+	reg.ParseAndRegister("t", "A", "uint32 x\n")
+	sum1, _ := reg.MD5("t/A")
+	reg.ParseAndRegister("t", "A", "uint32 y\n")
+	sum2, _ := reg.MD5("t/A")
+	if sum1 == sum2 {
+		t.Error("MD5 did not change when field renamed")
+	}
+}
+
+func TestMD5PropagatesThroughEmbedding(t *testing.T) {
+	reg := NewRegistry()
+	reg.ParseAndRegister("t", "Inner", "uint32 x\n")
+	reg.ParseAndRegister("t", "Outer", "Inner i\n")
+	before, _ := reg.MD5("t/Outer")
+	reg.ParseAndRegister("t", "Inner", "uint64 x\n")
+	after, _ := reg.MD5("t/Outer")
+	if before == after {
+		t.Error("outer MD5 did not change when inner definition changed")
+	}
+}
+
+func TestValidateDetectsMissingType(t *testing.T) {
+	reg := NewRegistry()
+	reg.ParseAndRegister("t", "Outer", "Missing m\n")
+	if err := reg.Validate(); err == nil {
+		t.Error("Validate accepted unresolved reference")
+	}
+}
+
+func TestValidateDetectsRecursion(t *testing.T) {
+	reg := NewRegistry()
+	reg.ParseAndRegister("t", "A", "B b\n")
+	reg.ParseAndRegister("t", "B", "A a\n")
+	if err := reg.Validate(); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("err = %v, want recursion error", err)
+	}
+}
+
+func TestFixedWireSize(t *testing.T) {
+	reg := loadTestRegistry(t)
+	cases := []struct {
+		typ   string
+		size  int
+		fixed bool
+	}{
+		{"geometry_msgs/Point", 24, true},
+		{"geometry_msgs/Quaternion", 32, true},
+		{"geometry_msgs/Pose", 56, true},
+		{"geometry_msgs/PoseWithCovariance", 56 + 36*8, true},
+		{"std_msgs/Header", 0, false},   // embeds a string
+		{"sensor_msgs/Image", 0, false}, // dynamic array
+		{"stereo_msgs/DisparityImage", 0, false},
+	}
+	for _, tc := range cases {
+		n, fixed, err := reg.FixedWireSize(TypeSpec{Msg: tc.typ})
+		if err != nil {
+			t.Fatalf("FixedWireSize(%s): %v", tc.typ, err)
+		}
+		if fixed != tc.fixed || (fixed && n != tc.size) {
+			t.Errorf("FixedWireSize(%s) = %d,%v want %d,%v", tc.typ, n, fixed, tc.size, tc.fixed)
+		}
+	}
+}
+
+func TestDynamicZeroValues(t *testing.T) {
+	reg := loadTestRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, err := NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.Get("header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, ok := h.(*Dynamic)
+	if !ok {
+		t.Fatalf("header is %T", h)
+	}
+	if fid, _ := hd.Get("frame_id"); fid != "" {
+		t.Errorf("frame_id = %v", fid)
+	}
+	if data, _ := d.Get("data"); len(data.([]uint8)) != 0 {
+		t.Errorf("data not empty")
+	}
+	if _, err := d.Get("nope"); err == nil {
+		t.Error("Get of unknown field succeeded")
+	}
+	if err := d.Set("nope", 1); err == nil {
+		t.Error("Set of unknown field succeeded")
+	}
+}
+
+func TestDynamicFixedArrayPresized(t *testing.T) {
+	reg := loadTestRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/CameraInfo")
+	d, err := NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := d.Get("K")
+	if len(k.([]float64)) != 9 {
+		t.Errorf("K len = %d, want 9", len(k.([]float64)))
+	}
+}
+
+func TestRandomDynamicEqualSelf(t *testing.T) {
+	reg := loadTestRegistry(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range reg.Names() {
+		spec, _ := reg.Lookup(name)
+		d, err := RandomDynamic(spec, reg, rng, 6)
+		if err != nil {
+			t.Fatalf("RandomDynamic(%s): %v", name, err)
+		}
+		if !Equal(d, d) {
+			t.Errorf("%s: message not Equal to itself", name)
+		}
+		z, _ := NewDynamic(spec, reg)
+		d2, _ := RandomDynamic(spec, reg, rng, 6)
+		_ = z
+		_ = d2
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	reg := loadTestRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	a, _ := NewDynamic(spec, reg)
+	b, _ := NewDynamic(spec, reg)
+	if !Equal(a, b) {
+		t.Fatal("zero messages not equal")
+	}
+	b.Set("height", uint32(7))
+	if Equal(a, b) {
+		t.Error("Equal missed scalar difference")
+	}
+	b.Set("height", uint32(0))
+	b.Set("data", []uint8{1})
+	if Equal(a, b) {
+		t.Error("Equal missed slice difference")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	now := time.Unix(1700000000, 123456789).UTC()
+	rt := NewTime(now)
+	if got := rt.ToTime(); !got.Equal(now) {
+		t.Errorf("round trip = %v, want %v", got, now)
+	}
+	if rt.IsZero() {
+		t.Error("nonzero time reports zero")
+	}
+	later := rt.Add(1500 * time.Millisecond)
+	if !rt.Before(later) {
+		t.Error("Before failed")
+	}
+	if d := later.Sub(rt); d != 1500*time.Millisecond {
+		t.Errorf("Sub = %v", d)
+	}
+
+	rd := NewDuration(-2500 * time.Millisecond)
+	if got := rd.ToDuration(); got != -2500*time.Millisecond {
+		t.Errorf("duration round trip = %v", got)
+	}
+}
+
+func TestTimeOrderingProperty(t *testing.T) {
+	f := func(s1, n1, s2, n2 uint32) bool {
+		a := Time{Sec: s1, Nsec: n1 % 1e9}
+		b := Time{Sec: s2, Nsec: n2 % 1e9}
+		// Before must agree with Sub's sign.
+		if a.Before(b) {
+			return a.Sub(b) < 0
+		}
+		return a.Sub(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package msg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error in a .msg definition with its line.
+type ParseError struct {
+	Type string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse %s: line %d: %s", e.Type, e.Line, e.Msg)
+}
+
+// Parse parses a ROS1 .msg definition. pkg and name identify the message
+// (e.g. "sensor_msgs", "Image"); the text follows ROS1 .msg syntax:
+//
+//	# comment
+//	uint32 height
+//	uint8[] data
+//	float64[9] K
+//	std_msgs/Header header
+//	int32 SOME_CONSTANT=42
+//	string NAME=anything after the equals sign
+func Parse(pkg, name, text string) (*Spec, error) {
+	s := &Spec{Package: pkg, Name: name, Raw: text}
+	perr := func(line int, format string, args ...any) error {
+		return &ParseError{Type: pkg + "/" + name, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i, raw := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		line := raw
+		// A '#' starts a comment, except inside a string-constant value
+		// (handled below by re-splitting on the original text).
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		typeTok, rest, ok := splitToken(line)
+		if !ok {
+			return nil, perr(lineNo, "missing field name after type %q", typeTok)
+		}
+		ts, err := parseType(pkg, typeTok)
+		if err != nil {
+			return nil, perr(lineNo, "%v", err)
+		}
+
+		if eq := strings.IndexByte(rest, '='); eq >= 0 {
+			cname := strings.TrimSpace(rest[:eq])
+			if !validIdent(cname) {
+				return nil, perr(lineNo, "invalid constant name %q", cname)
+			}
+			if ts.IsArray || ts.Prim == PNone || ts.Prim == PTime || ts.Prim == PDuration {
+				return nil, perr(lineNo, "constants must have scalar primitive types, got %s", ts)
+			}
+			value := strings.TrimSpace(rest[eq+1:])
+			if ts.Prim == PString {
+				// ROS string constants take the raw remainder of the line,
+				// including any '#': recover it from the uncommented text.
+				if origEq := strings.IndexByte(raw, '='); origEq >= 0 {
+					value = strings.TrimSpace(raw[origEq+1:])
+				}
+			} else if err := checkNumericConst(ts.Prim, value); err != nil {
+				return nil, perr(lineNo, "%v", err)
+			}
+			s.Consts = append(s.Consts, ConstSpec{Name: cname, Type: ts, Value: value})
+			continue
+		}
+
+		fname := strings.TrimSpace(rest)
+		if !validIdent(fname) {
+			return nil, perr(lineNo, "invalid field name %q", fname)
+		}
+		for _, f := range s.Fields {
+			if f.Name == fname {
+				return nil, perr(lineNo, "duplicate field %q", fname)
+			}
+		}
+		s.Fields = append(s.Fields, FieldSpec{Name: fname, Type: ts})
+	}
+	return s, nil
+}
+
+// splitToken splits off the first whitespace-delimited token.
+func splitToken(s string) (tok, rest string, ok bool) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimSpace(s[i:]), true
+}
+
+// parseType parses a .msg type token such as "uint8[]", "float64[9]",
+// "std_msgs/Header", or "Header" (which resolves within pkg, with the ROS
+// special case that a bare Header means std_msgs/Header).
+func parseType(pkg, tok string) (TypeSpec, error) {
+	var ts TypeSpec
+	base := tok
+	if i := strings.IndexByte(tok, '['); i >= 0 {
+		if !strings.HasSuffix(tok, "]") {
+			return ts, fmt.Errorf("malformed array suffix in %q", tok)
+		}
+		ts.IsArray = true
+		dim := tok[i+1 : len(tok)-1]
+		if dim == "" {
+			ts.ArrayLen = -1
+		} else {
+			n, err := strconv.Atoi(dim)
+			if err != nil || n <= 0 {
+				return ts, fmt.Errorf("invalid array length %q", dim)
+			}
+			ts.ArrayLen = n
+		}
+		base = tok[:i]
+	}
+	if p, ok := primByName[base]; ok {
+		ts.Prim = p
+		return ts, nil
+	}
+	switch {
+	case base == "Header":
+		ts.Msg = "std_msgs/Header"
+	case strings.Contains(base, "/"):
+		parts := strings.Split(base, "/")
+		if len(parts) != 2 || !validIdent(parts[0]) || !validIdent(parts[1]) {
+			return ts, fmt.Errorf("invalid message type %q", base)
+		}
+		ts.Msg = base
+	default:
+		if !validIdent(base) {
+			return ts, fmt.Errorf("invalid type %q", base)
+		}
+		ts.Msg = pkg + "/" + base
+	}
+	return ts, nil
+}
+
+// validIdent reports whether s is a legal ROS identifier.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkNumericConst validates a numeric or bool constant literal against
+// its declared primitive type.
+func checkNumericConst(p Prim, v string) error {
+	switch p {
+	case PBool:
+		switch strings.ToLower(v) {
+		case "true", "false", "0", "1":
+			return nil
+		}
+		return fmt.Errorf("invalid bool constant %q", v)
+	case PFloat32, PFloat64:
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return fmt.Errorf("invalid float constant %q", v)
+		}
+		return nil
+	case PUint8, PUint16, PUint32, PUint64:
+		if _, err := strconv.ParseUint(v, 0, 64); err != nil {
+			return fmt.Errorf("invalid unsigned constant %q", v)
+		}
+		return nil
+	default:
+		if _, err := strconv.ParseInt(v, 0, 64); err != nil {
+			return fmt.Errorf("invalid integer constant %q", v)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,140 @@
+package msg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomDynamic builds a randomized message for property tests. maxElems
+// bounds dynamic-array lengths and string lengths; depth recursion is
+// bounded by the registry's non-recursive guarantee.
+func RandomDynamic(spec *Spec, reg *Registry, rng *rand.Rand, maxElems int) (*Dynamic, error) {
+	if maxElems < 1 {
+		maxElems = 1
+	}
+	d := &Dynamic{Spec: spec, Fields: make(map[string]any, len(spec.Fields))}
+	for _, f := range spec.Fields {
+		v, err := randomValue(f.Type, reg, rng, maxElems)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", spec.FullName(), f.Name, err)
+		}
+		d.Fields[f.Name] = v
+	}
+	return d, nil
+}
+
+func randomValue(t TypeSpec, reg *Registry, rng *rand.Rand, maxElems int) (any, error) {
+	if t.IsArray {
+		n := t.ArrayLen
+		if n < 0 {
+			n = rng.Intn(maxElems + 1)
+		}
+		return randomSlice(t.Base(), n, reg, rng, maxElems)
+	}
+	switch t.Prim {
+	case PBool:
+		return rng.Intn(2) == 1, nil
+	case PInt8:
+		return int8(rng.Uint32()), nil
+	case PUint8:
+		return uint8(rng.Uint32()), nil
+	case PInt16:
+		return int16(rng.Uint32()), nil
+	case PUint16:
+		return uint16(rng.Uint32()), nil
+	case PInt32:
+		return int32(rng.Uint32()), nil
+	case PUint32:
+		return rng.Uint32(), nil
+	case PInt64:
+		return int64(rng.Uint64()), nil
+	case PUint64:
+		return rng.Uint64(), nil
+	case PFloat32:
+		return float32(rng.NormFloat64()), nil
+	case PFloat64:
+		return rng.NormFloat64(), nil
+	case PString:
+		return randomString(rng, rng.Intn(maxElems+1)), nil
+	case PTime:
+		return Time{Sec: rng.Uint32(), Nsec: uint32(rng.Intn(1e9))}, nil
+	case PDuration:
+		return Duration{Sec: int32(rng.Uint32()), Nsec: int32(rng.Intn(1e9))}, nil
+	case PNone:
+		sub, err := reg.Lookup(t.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return RandomDynamic(sub, reg, rng, maxElems)
+	default:
+		return nil, fmt.Errorf("unknown primitive %d", t.Prim)
+	}
+}
+
+func randomSlice(base TypeSpec, n int, reg *Registry, rng *rand.Rand, maxElems int) (any, error) {
+	switch base.Prim {
+	case PBool:
+		return fillSlice(n, func() bool { return rng.Intn(2) == 1 }), nil
+	case PInt8:
+		return fillSlice(n, func() int8 { return int8(rng.Uint32()) }), nil
+	case PUint8:
+		return fillSlice(n, func() uint8 { return uint8(rng.Uint32()) }), nil
+	case PInt16:
+		return fillSlice(n, func() int16 { return int16(rng.Uint32()) }), nil
+	case PUint16:
+		return fillSlice(n, func() uint16 { return uint16(rng.Uint32()) }), nil
+	case PInt32:
+		return fillSlice(n, func() int32 { return int32(rng.Uint32()) }), nil
+	case PUint32:
+		return fillSlice(n, rng.Uint32), nil
+	case PInt64:
+		return fillSlice(n, func() int64 { return int64(rng.Uint64()) }), nil
+	case PUint64:
+		return fillSlice(n, rng.Uint64), nil
+	case PFloat32:
+		return fillSlice(n, func() float32 { return float32(rng.NormFloat64()) }), nil
+	case PFloat64:
+		return fillSlice(n, rng.NormFloat64), nil
+	case PString:
+		return fillSlice(n, func() string { return randomString(rng, rng.Intn(maxElems+1)) }), nil
+	case PTime:
+		return fillSlice(n, func() Time { return Time{Sec: rng.Uint32(), Nsec: uint32(rng.Intn(1e9))} }), nil
+	case PDuration:
+		return fillSlice(n, func() Duration {
+			return Duration{Sec: int32(rng.Uint32()), Nsec: int32(rng.Intn(1e9))}
+		}), nil
+	case PNone:
+		sub, err := reg.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*Dynamic, n)
+		for i := range out {
+			out[i], err = RandomDynamic(sub, reg, rng, maxElems)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown primitive %d", base.Prim)
+	}
+}
+
+func fillSlice[T any](n int, gen func() T) []T {
+	s := make([]T, n)
+	for i := range s {
+		s[i] = gen()
+	}
+	return s
+}
+
+const randomAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_/"
+
+func randomString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = randomAlphabet[rng.Intn(len(randomAlphabet))]
+	}
+	return string(b)
+}

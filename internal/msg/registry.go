@@ -1,0 +1,180 @@
+package msg
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry resolves message type names to parsed specs. It plays the role
+// of the ROS package index that genmsg consults when a message embeds
+// another message.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec
+	md5s  map[string]string
+	srvs  map[string]*ServiceSpec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		specs: make(map[string]*Spec),
+		md5s:  make(map[string]string),
+	}
+}
+
+// Register adds a spec. Re-registering the same full name replaces it and
+// invalidates cached checksums.
+func (r *Registry) Register(s *Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.specs[s.FullName()] = s
+	r.md5s = make(map[string]string) // checksums may transitively change
+}
+
+// ParseAndRegister parses a definition and adds it.
+func (r *Registry) ParseAndRegister(pkg, name, text string) (*Spec, error) {
+	s, err := Parse(pkg, name, text)
+	if err != nil {
+		return nil, err
+	}
+	r.Register(s)
+	return s, nil
+}
+
+// Lookup returns the spec for a "pkg/Name" type.
+func (r *Registry) Lookup(fullName string) (*Spec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[fullName]
+	if !ok {
+		return nil, fmt.Errorf("message type %q not registered", fullName)
+	}
+	return s, nil
+}
+
+// Names returns all registered full names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks that every message type referenced by any registered
+// spec is itself registered, and that there are no recursive embeddings.
+func (r *Registry) Validate() error {
+	for _, name := range r.Names() {
+		if err := r.checkResolvable(name, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) checkResolvable(fullName string, chain []string) error {
+	for _, c := range chain {
+		if c == fullName {
+			return fmt.Errorf("recursive message embedding: %s", strings.Join(append(chain, fullName), " -> "))
+		}
+	}
+	s, err := r.Lookup(fullName)
+	if err != nil {
+		if len(chain) > 0 {
+			return fmt.Errorf("%s references %v", chain[len(chain)-1], err)
+		}
+		return err
+	}
+	for _, f := range s.Fields {
+		if f.Type.Msg == "" {
+			continue
+		}
+		if err := r.checkResolvable(f.Type.Msg, append(chain, fullName)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFS registers every "<pkg>/<Name>.msg" file found under root in
+// fsys. It is how the toolchain ingests the msgs/idl tree.
+func (r *Registry) LoadFS(fsys fs.FS, root string) error {
+	return fs.WalkDir(fsys, root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		isMsg := strings.HasSuffix(p, ".msg")
+		isSrv := strings.HasSuffix(p, ".srv")
+		if d.IsDir() || (!isMsg && !isSrv) {
+			return nil
+		}
+		rel := strings.TrimPrefix(p, root)
+		rel = strings.TrimPrefix(rel, "/")
+		dir, file := path.Split(rel)
+		pkg := path.Base(strings.TrimSuffix(dir, "/"))
+		if pkg == "." || pkg == "" {
+			return fmt.Errorf("idl file %q is not inside a package directory", p)
+		}
+		data, err := fs.ReadFile(fsys, p)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", p, err)
+		}
+		if isSrv {
+			name := strings.TrimSuffix(file, ".srv")
+			srv, err := ParseSrv(pkg, name, string(data))
+			if err != nil {
+				return err
+			}
+			r.RegisterService(srv)
+			return nil
+		}
+		name := strings.TrimSuffix(file, ".msg")
+		if _, err := r.ParseAndRegister(pkg, name, string(data)); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// FixedWireSize returns the ROS1 serialized size of a type if it is
+// constant regardless of content, and whether it is. Strings and dynamic
+// arrays (and anything embedding them) are variable.
+func (r *Registry) FixedWireSize(t TypeSpec) (int, bool, error) {
+	base := t.Base()
+	var elem int
+	switch {
+	case base.Prim == PString:
+		return 0, false, nil
+	case base.Prim != PNone:
+		elem = base.Prim.FixedSize()
+	default:
+		s, err := r.Lookup(base.Msg)
+		if err != nil {
+			return 0, false, err
+		}
+		total := 0
+		for _, f := range s.Fields {
+			n, fixed, err := r.FixedWireSize(f.Type)
+			if err != nil || !fixed {
+				return 0, false, err
+			}
+			total += n
+		}
+		elem = total
+	}
+	if !t.IsArray {
+		return elem, true, nil
+	}
+	if t.ArrayLen < 0 {
+		return 0, false, nil
+	}
+	return elem * t.ArrayLen, true, nil
+}

@@ -1,0 +1,58 @@
+package msg
+
+import "time"
+
+// Time is the ROS1 time primitive: seconds and nanoseconds since the Unix
+// epoch, each 32 bits on the wire. It is a fixed-size, pointer-free type
+// and therefore valid inside SFM skeletons.
+type Time struct {
+	Sec  uint32
+	Nsec uint32
+}
+
+// NewTime converts a time.Time to ROS time.
+func NewTime(t time.Time) Time {
+	return Time{Sec: uint32(t.Unix()), Nsec: uint32(t.Nanosecond())}
+}
+
+// ToTime converts ROS time to time.Time in UTC.
+func (t Time) ToTime() time.Time {
+	return time.Unix(int64(t.Sec), int64(t.Nsec)).UTC()
+}
+
+// IsZero reports whether the time is unset.
+func (t Time) IsZero() bool { return t.Sec == 0 && t.Nsec == 0 }
+
+// Before reports whether t is earlier than u.
+func (t Time) Before(u Time) bool {
+	return t.Sec < u.Sec || (t.Sec == u.Sec && t.Nsec < u.Nsec)
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration {
+	return time.Duration(int64(t.Sec)-int64(u.Sec))*time.Second +
+		time.Duration(int64(t.Nsec)-int64(u.Nsec))
+}
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time {
+	return NewTime(t.ToTime().Add(d))
+}
+
+// Duration is the ROS1 duration primitive: signed seconds and nanoseconds,
+// each 32 bits on the wire.
+type Duration struct {
+	Sec  int32
+	Nsec int32
+}
+
+// NewDuration converts a time.Duration to ROS duration.
+func NewDuration(d time.Duration) Duration {
+	sec := d / time.Second
+	return Duration{Sec: int32(sec), Nsec: int32(d - sec*time.Second)}
+}
+
+// ToDuration converts ROS duration to time.Duration.
+func (d Duration) ToDuration() time.Duration {
+	return time.Duration(d.Sec)*time.Second + time.Duration(d.Nsec)
+}

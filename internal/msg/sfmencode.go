@@ -1,0 +1,232 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// EncodeSFM builds a native-endian SFM whole-message frame from a
+// Dynamic value using only the IDL — the spec-driven counterpart of
+// constructing a generated struct in an arena. The resulting frame can
+// be adopted by a matching generated type or decoded with DecodeSFM.
+func (r *Registry) EncodeSFM(d *Dynamic) ([]byte, error) {
+	l, err := r.SFMLayoutOf(d.Spec.FullName())
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, l.Size, l.Size*4)
+	frame, err = r.encodeSFMAt(frame, 0, l, d)
+	if err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// encodeSFMAt fills the skeleton at base (already zeroed) and appends
+// payload regions at the end of frame, returning the grown frame.
+func (r *Registry) encodeSFMAt(frame []byte, base int, l *SFMLayout, d *Dynamic) ([]byte, error) {
+	for i := range l.Fields {
+		f := &l.Fields[i]
+		v, ok := d.Fields[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("%s: missing field %s", l.TypeName, f.Name)
+		}
+		var err error
+		frame, err = r.encodeSFMField(frame, base+f.Off, f, v)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", l.TypeName, f.Name, err)
+		}
+	}
+	return frame, nil
+}
+
+func (r *Registry) encodeSFMField(frame []byte, at int, f *SFMField, v any) ([]byte, error) {
+	t := f.Type
+	base := t.Base()
+	switch {
+	case !t.IsArray && base.Prim == PString:
+		return encodeSFMString(frame, at, v.(string))
+	case !t.IsArray && base.Prim == PNone:
+		sub, ok := v.(*Dynamic)
+		if !ok {
+			return nil, fmt.Errorf("expected *Dynamic, got %T", v)
+		}
+		return r.encodeSFMAt(frame, at, f.Nested, sub)
+	case !t.IsArray:
+		return frame, encodeSFMScalar(frame, at, base.Prim, v)
+	case t.ArrayLen >= 0:
+		return r.encodeSFMElems(frame, at, f, v, t.ArrayLen)
+	default:
+		rv := reflect.ValueOf(v)
+		if rv.Kind() != reflect.Slice {
+			return nil, fmt.Errorf("expected slice, got %T", v)
+		}
+		count := rv.Len()
+		if count == 0 {
+			return frame, nil // zero descriptor = empty vector
+		}
+		// Grow the payload region, aligned like core.Vector.Resize.
+		align := f.ElemAlign
+		if align < 1 {
+			align = 1
+		}
+		start := alignInt(len(frame), align)
+		need := start + count*f.ElemSize
+		for len(frame) < need {
+			frame = append(frame, 0)
+		}
+		binary.NativeEndian.PutUint32(frame[at:], uint32(count))
+		binary.NativeEndian.PutUint32(frame[at+4:], uint32(start-at))
+		return r.encodeSFMElems(frame, start, f, v, count)
+	}
+}
+
+func (r *Registry) encodeSFMElems(frame []byte, at int, f *SFMField, v any, count int) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Slice {
+		return nil, fmt.Errorf("expected slice, got %T", v)
+	}
+	if rv.Len() != count {
+		return nil, fmt.Errorf("have %d elements, want %d", rv.Len(), count)
+	}
+	base := f.Type.Base()
+	for i := 0; i < count; i++ {
+		pos := at + i*f.ElemSize
+		elem := rv.Index(i).Interface()
+		var err error
+		switch {
+		case base.Prim == PString:
+			frame, err = encodeSFMString(frame, pos, elem.(string))
+		case base.Prim == PNone:
+			sub, ok := elem.(*Dynamic)
+			if !ok {
+				return nil, fmt.Errorf("expected *Dynamic element, got %T", elem)
+			}
+			frame, err = r.encodeSFMAt(frame, pos, f.Nested, sub)
+		default:
+			err = encodeSFMScalar(frame, pos, base.Prim, elem)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}
+
+func encodeSFMString(frame []byte, at int, s string) ([]byte, error) {
+	if len(s) == 0 {
+		return frame, nil // zero descriptor = unset/empty
+	}
+	padded := alignInt(len(s)+1, 4)
+	start := alignInt(len(frame), 4)
+	need := start + padded
+	for len(frame) < need {
+		frame = append(frame, 0)
+	}
+	copy(frame[start:], s)
+	binary.NativeEndian.PutUint32(frame[at:], uint32(padded))
+	binary.NativeEndian.PutUint32(frame[at+4:], uint32(start-at))
+	return frame, nil
+}
+
+func encodeSFMScalar(frame []byte, at int, p Prim, v any) error {
+	b := frame[at:]
+	switch p {
+	case PBool:
+		if v.(bool) {
+			b[0] = 1
+		} else {
+			b[0] = 0
+		}
+	case PInt8:
+		b[0] = byte(v.(int8))
+	case PUint8:
+		b[0] = v.(uint8)
+	case PInt16:
+		binary.NativeEndian.PutUint16(b, uint16(v.(int16)))
+	case PUint16:
+		binary.NativeEndian.PutUint16(b, v.(uint16))
+	case PInt32:
+		binary.NativeEndian.PutUint32(b, uint32(v.(int32)))
+	case PUint32:
+		binary.NativeEndian.PutUint32(b, v.(uint32))
+	case PInt64:
+		binary.NativeEndian.PutUint64(b, uint64(v.(int64)))
+	case PUint64:
+		binary.NativeEndian.PutUint64(b, v.(uint64))
+	case PFloat32:
+		binary.NativeEndian.PutUint32(b, math.Float32bits(v.(float32)))
+	case PFloat64:
+		binary.NativeEndian.PutUint64(b, math.Float64bits(v.(float64)))
+	case PTime:
+		tv := v.(Time)
+		binary.NativeEndian.PutUint32(b, tv.Sec)
+		binary.NativeEndian.PutUint32(b[4:], tv.Nsec)
+	case PDuration:
+		dv := v.(Duration)
+		binary.NativeEndian.PutUint32(b, uint32(dv.Sec))
+		binary.NativeEndian.PutUint32(b[4:], uint32(dv.Nsec))
+	default:
+		return fmt.Errorf("unsupported scalar %v", p)
+	}
+	return nil
+}
+
+// buildTypedSlice mirrors ser.BuildSlice for package-internal use.
+func buildTypedSlice(base TypeSpec, n int, next func() (any, error)) (any, error) {
+	switch base.Prim {
+	case PBool:
+		return fillTyped[bool](n, next)
+	case PInt8:
+		return fillTyped[int8](n, next)
+	case PUint8:
+		return fillTyped[uint8](n, next)
+	case PInt16:
+		return fillTyped[int16](n, next)
+	case PUint16:
+		return fillTyped[uint16](n, next)
+	case PInt32:
+		return fillTyped[int32](n, next)
+	case PUint32:
+		return fillTyped[uint32](n, next)
+	case PInt64:
+		return fillTyped[int64](n, next)
+	case PUint64:
+		return fillTyped[uint64](n, next)
+	case PFloat32:
+		return fillTyped[float32](n, next)
+	case PFloat64:
+		return fillTyped[float64](n, next)
+	case PString:
+		return fillTyped[string](n, next)
+	case PTime:
+		return fillTyped[Time](n, next)
+	case PDuration:
+		return fillTyped[Duration](n, next)
+	case PNone:
+		return fillTyped[*Dynamic](n, next)
+	default:
+		return nil, fmt.Errorf("unsupported primitive %v", base.Prim)
+	}
+}
+
+func fillTyped[T any](n int, next func() (any, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := range out {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		tv, ok := v.(T)
+		if !ok {
+			return nil, fmt.Errorf("element %d: expected %T, got %T", i, out[i], v)
+		}
+		out[i] = tv
+	}
+	return out, nil
+}
+
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

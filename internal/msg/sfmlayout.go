@@ -1,0 +1,270 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file computes SFM skeleton layouts directly from message specs,
+// mirroring the Go struct layout rules the generator relies on (field
+// order preserved, natural alignment, trailing padding to the struct
+// alignment). It powers spec-driven decoding/encoding of SFM frames for
+// tools without compiled-in types (cmd/rostopic echo) and for tests
+// that cross-validate the generated structs against an independent
+// layout computation.
+
+// SFMField is one field of a computed skeleton layout.
+type SFMField struct {
+	Name string
+	Type TypeSpec
+	Off  int
+	// Nested is the element layout for message-typed fields, vector
+	// elements, and fixed-array elements.
+	Nested *SFMLayout
+	// ElemSize/ElemAlign describe one vector or array element.
+	ElemSize  int
+	ElemAlign int
+}
+
+// SFMLayout is the computed skeleton layout of a message type.
+type SFMLayout struct {
+	TypeName string
+	Size     int
+	Align    int
+	Fields   []SFMField
+}
+
+// SFMLayoutOf computes (and caches per call tree) the skeleton layout
+// for a registered type.
+func (r *Registry) SFMLayoutOf(fullName string) (*SFMLayout, error) {
+	return r.sfmLayout(fullName, nil)
+}
+
+func (r *Registry) sfmLayout(fullName string, chain []string) (*SFMLayout, error) {
+	for _, c := range chain {
+		if c == fullName {
+			return nil, fmt.Errorf("sfm layout: recursive type %s", fullName)
+		}
+	}
+	spec, err := r.Lookup(fullName)
+	if err != nil {
+		return nil, err
+	}
+	l := &SFMLayout{TypeName: fullName, Align: 1}
+	off := 0
+	for _, f := range spec.Fields {
+		size, align, nested, elemSize, elemAlign, err := r.sfmFieldShape(f.Type, append(chain, fullName))
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", fullName, f.Name, err)
+		}
+		off = alignInt(off, align)
+		l.Fields = append(l.Fields, SFMField{
+			Name: f.Name, Type: f.Type, Off: off,
+			Nested: nested, ElemSize: elemSize, ElemAlign: elemAlign,
+		})
+		off += size
+		if align > l.Align {
+			l.Align = align
+		}
+	}
+	// Note: a fieldless request (e.g. std_srvs/Trigger) has size 0, the
+	// same as the corresponding empty Go struct.
+	l.Size = alignInt(off, l.Align)
+	return l, nil
+}
+
+// sfmFieldShape returns the in-skeleton size/alignment of a field plus
+// element metadata for arrays and vectors.
+func (r *Registry) sfmFieldShape(t TypeSpec, chain []string) (size, align int, nested *SFMLayout, elemSize, elemAlign int, err error) {
+	base := t.Base()
+	switch {
+	case base.Prim == PString:
+		elemSize, elemAlign = 8, 4
+	case base.Prim == PTime || base.Prim == PDuration:
+		elemSize, elemAlign = 8, 4
+	case base.Prim != PNone:
+		elemSize = base.Prim.FixedSize()
+		elemAlign = elemSize
+	default:
+		nested, err = r.sfmLayout(base.Msg, chain)
+		if err != nil {
+			return 0, 0, nil, 0, 0, err
+		}
+		elemSize, elemAlign = nested.Size, nested.Align
+	}
+
+	switch {
+	case !t.IsArray:
+		return elemSize, elemAlign, nested, elemSize, elemAlign, nil
+	case t.ArrayLen >= 0:
+		return elemSize * t.ArrayLen, elemAlign, nested, elemSize, elemAlign, nil
+	default:
+		// A core.Vector descriptor: 8 bytes, aligned to max(4, elem).
+		a := elemAlign
+		if a < 4 {
+			a = 4
+		}
+		return 8, a, nested, elemSize, elemAlign, nil
+	}
+}
+
+func alignInt(x, a int) int {
+	if a <= 1 {
+		return x
+	}
+	return (x + a - 1) &^ (a - 1)
+}
+
+// --- decoding ---------------------------------------------------------
+
+// DecodeSFM interprets a native-endian SFM whole-message frame as a
+// Dynamic value, using only the IDL. This is the spec-driven counterpart
+// of overlaying the generated struct.
+func (r *Registry) DecodeSFM(frame []byte, fullName string) (*Dynamic, error) {
+	l, err := r.SFMLayoutOf(fullName)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := r.Lookup(fullName)
+	if err != nil {
+		return nil, err
+	}
+	return r.decodeSFMAt(frame, 0, l, spec)
+}
+
+func (r *Registry) decodeSFMAt(frame []byte, base int, l *SFMLayout, spec *Spec) (*Dynamic, error) {
+	if base+l.Size > len(frame) {
+		return nil, fmt.Errorf("sfm decode: %s skeleton at %d exceeds %d-byte frame",
+			l.TypeName, base, len(frame))
+	}
+	d := &Dynamic{Spec: spec, Fields: make(map[string]any, len(l.Fields))}
+	for i := range l.Fields {
+		f := &l.Fields[i]
+		v, err := r.decodeSFMField(frame, base+f.Off, f)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", l.TypeName, f.Name, err)
+		}
+		d.Fields[f.Name] = v
+	}
+	return d, nil
+}
+
+func (r *Registry) decodeSFMField(frame []byte, at int, f *SFMField) (any, error) {
+	t := f.Type
+	base := t.Base()
+	switch {
+	case !t.IsArray && base.Prim == PString:
+		return decodeSFMString(frame, at)
+	case !t.IsArray && base.Prim == PNone:
+		spec, err := r.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return r.decodeSFMAt(frame, at, f.Nested, spec)
+	case !t.IsArray:
+		return decodeSFMScalar(frame, at, base.Prim)
+	case t.ArrayLen >= 0:
+		return r.decodeSFMElems(frame, at, f, t.ArrayLen)
+	default:
+		if at+8 > len(frame) {
+			return nil, fmt.Errorf("vector descriptor out of range")
+		}
+		count := int(binary.NativeEndian.Uint32(frame[at:]))
+		rel := int(binary.NativeEndian.Uint32(frame[at+4:]))
+		if count == 0 {
+			return zeroSlice(base, 0, r)
+		}
+		start := at + rel
+		if start < 0 || start+count*f.ElemSize > len(frame) {
+			return nil, fmt.Errorf("vector payload [%d,%d) out of %d-byte frame",
+				start, start+count*f.ElemSize, len(frame))
+		}
+		return r.decodeSFMElems(frame, start, f, count)
+	}
+}
+
+// decodeSFMElems reads count contiguous elements starting at `at`.
+func (r *Registry) decodeSFMElems(frame []byte, at int, f *SFMField, count int) (any, error) {
+	base := f.Type.Base()
+	var spec *Spec
+	if base.Prim == PNone {
+		var err error
+		spec, err = r.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	i := 0
+	return buildTypedSlice(base, count, func() (any, error) {
+		pos := at + i*f.ElemSize
+		i++
+		switch {
+		case base.Prim == PString:
+			return decodeSFMString(frame, pos)
+		case base.Prim == PNone:
+			return r.decodeSFMAt(frame, pos, f.Nested, spec)
+		default:
+			return decodeSFMScalar(frame, pos, base.Prim)
+		}
+	})
+}
+
+func decodeSFMString(frame []byte, at int) (string, error) {
+	if at+8 > len(frame) {
+		return "", fmt.Errorf("string descriptor out of range")
+	}
+	padded := int(binary.NativeEndian.Uint32(frame[at:]))
+	rel := int(binary.NativeEndian.Uint32(frame[at+4:]))
+	if padded == 0 {
+		return "", nil
+	}
+	start := at + rel
+	if start < 0 || start+padded > len(frame) {
+		return "", fmt.Errorf("string payload [%d,%d) out of %d-byte frame", start, start+padded, len(frame))
+	}
+	b := frame[start : start+padded]
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), nil
+		}
+	}
+	return string(b), nil
+}
+
+func decodeSFMScalar(frame []byte, at int, p Prim) (any, error) {
+	n := p.FixedSize()
+	if at+n > len(frame) {
+		return nil, fmt.Errorf("scalar out of range")
+	}
+	b := frame[at:]
+	switch p {
+	case PBool:
+		return b[0] != 0, nil
+	case PInt8:
+		return int8(b[0]), nil
+	case PUint8:
+		return b[0], nil
+	case PInt16:
+		return int16(binary.NativeEndian.Uint16(b)), nil
+	case PUint16:
+		return binary.NativeEndian.Uint16(b), nil
+	case PInt32:
+		return int32(binary.NativeEndian.Uint32(b)), nil
+	case PUint32:
+		return binary.NativeEndian.Uint32(b), nil
+	case PInt64:
+		return int64(binary.NativeEndian.Uint64(b)), nil
+	case PUint64:
+		return binary.NativeEndian.Uint64(b), nil
+	case PFloat32:
+		return float32frombits(binary.NativeEndian.Uint32(b)), nil
+	case PFloat64:
+		return float64frombits(binary.NativeEndian.Uint64(b)), nil
+	case PTime:
+		return Time{Sec: binary.NativeEndian.Uint32(b), Nsec: binary.NativeEndian.Uint32(b[4:])}, nil
+	case PDuration:
+		return Duration{Sec: int32(binary.NativeEndian.Uint32(b)), Nsec: int32(binary.NativeEndian.Uint32(b[4:]))}, nil
+	default:
+		return nil, fmt.Errorf("unsupported scalar %v", p)
+	}
+}

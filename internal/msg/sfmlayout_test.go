@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSFMDynamicRoundTrip: EncodeSFM∘DecodeSFM is the identity on
+// randomized messages of every registered type.
+func TestSFMDynamicRoundTrip(t *testing.T) {
+	reg := loadTestRegistry(t)
+	rng := rand.New(rand.NewSource(17))
+	for _, name := range reg.Names() {
+		spec, _ := reg.Lookup(name)
+		for trial := 0; trial < 6; trial++ {
+			d, err := RandomDynamic(spec, reg, rng, 5)
+			if err != nil {
+				t.Fatalf("random %s: %v", name, err)
+			}
+			frame, err := reg.EncodeSFM(d)
+			if err != nil {
+				t.Fatalf("encode %s: %v", name, err)
+			}
+			got, err := reg.DecodeSFM(frame, name)
+			if err != nil {
+				t.Fatalf("decode %s: %v", name, err)
+			}
+			if !Equal(d, got) {
+				t.Fatalf("%s trial %d: SFM dynamic round trip mismatch", name, trial)
+			}
+		}
+	}
+}
+
+// TestSFMZeroRoundTrip covers the all-defaults corner (zero descriptors
+// everywhere).
+func TestSFMZeroRoundTrip(t *testing.T) {
+	reg := loadTestRegistry(t)
+	for _, name := range reg.Names() {
+		spec, _ := reg.Lookup(name)
+		d, _ := NewDynamic(spec, reg)
+		frame, err := reg.EncodeSFM(d)
+		if err != nil {
+			t.Fatalf("encode zero %s: %v", name, err)
+		}
+		got, err := reg.DecodeSFM(frame, name)
+		if err != nil {
+			t.Fatalf("decode zero %s: %v", name, err)
+		}
+		if !Equal(d, got) {
+			t.Errorf("%s: zero round trip mismatch", name)
+		}
+	}
+}
+
+// TestSFMLayoutProperties pins structural facts of the computed
+// layouts: descriptor fields are 8 bytes, offsets increase and respect
+// alignment, the struct size covers all fields.
+func TestSFMLayoutProperties(t *testing.T) {
+	reg := loadTestRegistry(t)
+	for _, name := range reg.Names() {
+		l, err := reg.SFMLayoutOf(name)
+		if err != nil {
+			t.Fatalf("layout %s: %v", name, err)
+		}
+		prevEnd := 0
+		for _, f := range l.Fields {
+			if f.Off < prevEnd {
+				t.Errorf("%s.%s: offset %d overlaps previous end %d", name, f.Name, f.Off, prevEnd)
+			}
+			size := f.ElemSize
+			if f.Type.IsArray && f.Type.ArrayLen >= 0 {
+				size = f.ElemSize * f.Type.ArrayLen
+			} else if f.Type.IsArray {
+				size = 8
+			}
+			prevEnd = f.Off + size
+		}
+		if l.Size < prevEnd {
+			t.Errorf("%s: size %d smaller than last field end %d", name, l.Size, prevEnd)
+		}
+		if l.Size%l.Align != 0 {
+			t.Errorf("%s: size %d not a multiple of align %d", name, l.Size, l.Align)
+		}
+	}
+}
+
+// TestSFMDecodeRejectsTruncation: truncated frames must error, not
+// panic or read out of bounds.
+func TestSFMDecodeRejectsTruncation(t *testing.T) {
+	reg := loadTestRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, _ := NewDynamic(spec, reg)
+	d.Set("encoding", "rgb8")
+	d.Set("data", make([]uint8, 64))
+	frame, err := reg.EncodeSFM(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut += 3 {
+		if _, err := reg.DecodeSFM(frame[:cut], "sensor_msgs/Image"); err == nil && cut < len(frame)-64 {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package msg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prim enumerates the ROS1 built-in field types.
+type Prim uint8
+
+// Built-in primitive types. PNone marks a complex (message) field type.
+const (
+	PNone Prim = iota
+	PBool
+	PInt8
+	PUint8
+	PInt16
+	PUint16
+	PInt32
+	PUint32
+	PInt64
+	PUint64
+	PFloat32
+	PFloat64
+	PString
+	PTime
+	PDuration
+)
+
+var primNames = map[Prim]string{
+	PBool: "bool", PInt8: "int8", PUint8: "uint8", PInt16: "int16",
+	PUint16: "uint16", PInt32: "int32", PUint32: "uint32", PInt64: "int64",
+	PUint64: "uint64", PFloat32: "float32", PFloat64: "float64",
+	PString: "string", PTime: "time", PDuration: "duration",
+}
+
+var primByName = map[string]Prim{
+	"bool": PBool, "int8": PInt8, "uint8": PUint8, "int16": PInt16,
+	"uint16": PUint16, "int32": PInt32, "uint32": PUint32, "int64": PInt64,
+	"uint64": PUint64, "float32": PFloat32, "float64": PFloat64,
+	"string": PString, "time": PTime, "duration": PDuration,
+	// ROS1 deprecated aliases.
+	"byte": PInt8, "char": PUint8,
+}
+
+// String returns the ROS spelling of the primitive.
+func (p Prim) String() string {
+	if s, ok := primNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Prim(%d)", uint8(p))
+}
+
+// FixedSize returns the wire size of a fixed-size primitive, or 0 for
+// string (variable) and PNone.
+func (p Prim) FixedSize() int {
+	switch p {
+	case PBool, PInt8, PUint8:
+		return 1
+	case PInt16, PUint16:
+		return 2
+	case PInt32, PUint32, PFloat32:
+		return 4
+	case PInt64, PUint64, PFloat64, PTime, PDuration:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// TypeSpec is a field's type: a primitive or a message reference, possibly
+// wrapped in a fixed ([N]) or dynamic ([]) array.
+type TypeSpec struct {
+	Prim     Prim   // PNone for message types
+	Msg      string // "pkg/Name" for message types
+	IsArray  bool
+	ArrayLen int // -1 for dynamic arrays, element count for fixed ones
+}
+
+// Base returns the type without its array wrapper.
+func (t TypeSpec) Base() TypeSpec {
+	t.IsArray, t.ArrayLen = false, 0
+	return t
+}
+
+// String formats the type in .msg syntax.
+func (t TypeSpec) String() string {
+	var b strings.Builder
+	if t.Prim != PNone {
+		b.WriteString(t.Prim.String())
+	} else {
+		b.WriteString(t.Msg)
+	}
+	if t.IsArray {
+		if t.ArrayLen >= 0 {
+			fmt.Fprintf(&b, "[%d]", t.ArrayLen)
+		} else {
+			b.WriteString("[]")
+		}
+	}
+	return b.String()
+}
+
+// FieldSpec is one declared field of a message.
+type FieldSpec struct {
+	Name string
+	Type TypeSpec
+}
+
+// ConstSpec is one declared constant of a message.
+type ConstSpec struct {
+	Name  string
+	Type  TypeSpec // always a non-array primitive
+	Value string   // literal text as written in the .msg file
+}
+
+// Spec is a parsed message definition.
+type Spec struct {
+	Package string // e.g. "sensor_msgs"
+	Name    string // e.g. "Image"
+	Fields  []FieldSpec
+	Consts  []ConstSpec
+	Raw     string // original definition text
+}
+
+// FullName returns the canonical "pkg/Name" type name.
+func (s *Spec) FullName() string { return s.Package + "/" + s.Name }
+
+// Format renders the spec back to canonical .msg syntax. Parse∘Format is a
+// fixpoint, which the property tests rely on.
+func (s *Spec) Format() string {
+	var b strings.Builder
+	for _, c := range s.Consts {
+		fmt.Fprintf(&b, "%s %s=%s\n", c.Type.String(), c.Name, c.Value)
+	}
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, "%s %s\n", f.Type.String(), f.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ServiceSpec is a parsed .srv definition: a request and a response
+// message separated by "---", as in ROS.
+type ServiceSpec struct {
+	Package string
+	Name    string
+	Request *Spec // registered as "<pkg>/<Name>Request"
+	Reply   *Spec // registered as "<pkg>/<Name>Response"
+}
+
+// FullName returns the canonical "pkg/Name" service name.
+func (s *ServiceSpec) FullName() string { return s.Package + "/" + s.Name }
+
+// ParseSrv parses a ROS1 .srv definition.
+func ParseSrv(pkg, name, text string) (*ServiceSpec, error) {
+	parts := splitSrv(text)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("parse %s/%s: a .srv needs exactly one \"---\" separator", pkg, name)
+	}
+	req, err := Parse(pkg, name+"Request", parts[0])
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Parse(pkg, name+"Response", parts[1])
+	if err != nil {
+		return nil, err
+	}
+	return &ServiceSpec{Package: pkg, Name: name, Request: req, Reply: resp}, nil
+}
+
+// splitSrv splits on the first line that is exactly "---" (ignoring
+// surrounding whitespace).
+func splitSrv(text string) []string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "---" {
+			return []string{
+				strings.Join(lines[:i], "\n"),
+				strings.Join(lines[i+1:], "\n"),
+			}
+		}
+	}
+	return []string{text}
+}
+
+// RegisterService adds a service's request/response specs to the
+// registry and records the service itself.
+func (r *Registry) RegisterService(s *ServiceSpec) {
+	r.Register(s.Request)
+	r.Register(s.Reply)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.srvs == nil {
+		r.srvs = make(map[string]*ServiceSpec)
+	}
+	r.srvs[s.FullName()] = s
+}
+
+// LookupService returns a registered service spec.
+func (r *Registry) LookupService(fullName string) (*ServiceSpec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.srvs[fullName]
+	if !ok {
+		return nil, fmt.Errorf("service type %q not registered", fullName)
+	}
+	return s, nil
+}
+
+// ServiceNames returns all registered service names, sorted.
+func (r *Registry) ServiceNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.srvs))
+	for n := range r.srvs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServiceMD5 computes the combined request+response checksum used in
+// the service connection handshake.
+func (r *Registry) ServiceMD5(fullName string) (string, error) {
+	s, err := r.LookupService(fullName)
+	if err != nil {
+		return "", err
+	}
+	reqMD5, err := r.MD5(s.Request.FullName())
+	if err != nil {
+		return "", err
+	}
+	respMD5, err := r.MD5(s.Reply.FullName())
+	if err != nil {
+		return "", err
+	}
+	return reqMD5 + respMD5, nil
+}

@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// loopbackPair returns a connected TCP pair over loopback.
+func loopbackPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestTxTime(t *testing.T) {
+	l := Link{BitsPerSecond: 10e9}
+	if got := l.txTime(1250); got != time.Microsecond {
+		t.Errorf("txTime(1250B @10Gb/s) = %v, want 1µs", got)
+	}
+	if got := (Link{}).txTime(1 << 20); got != 0 {
+		t.Errorf("unpaced txTime = %v, want 0", got)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	client, server := loopbackPair(t)
+	// 100 Mb/s: 1 MiB should take ~84 ms to "cross the wire".
+	link := Link{BitsPerSecond: 100e6}
+	paced := link.Wrap(client)
+
+	const size = 1 << 20
+	go func() {
+		buf := make([]byte, size)
+		server.Write(buf)
+	}()
+
+	start := time.Now()
+	if _, err := io.ReadFull(paced, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	wantMin := link.txTime(size) * 9 / 10
+	if elapsed < wantMin {
+		t.Errorf("1 MiB over 100Mb/s took %v, want >= %v", elapsed, wantMin)
+	}
+	if elapsed > 5*link.txTime(size) {
+		t.Errorf("pacing too slow: %v for expected %v", elapsed, link.txTime(size))
+	}
+}
+
+func TestLatencyDominatesSmallMessages(t *testing.T) {
+	client, server := loopbackPair(t)
+	link := Link{BitsPerSecond: 10e9, Latency: 20 * time.Millisecond}
+	paced := link.Wrap(client)
+
+	go func() { server.Write([]byte("ping")) }()
+	start := time.Now()
+	if _, err := io.ReadFull(paced, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < link.Latency {
+		t.Errorf("4B message arrived in %v, want >= %v latency", elapsed, link.Latency)
+	}
+}
+
+func TestWritePacingAppliesBackpressure(t *testing.T) {
+	client, server := loopbackPair(t)
+	link := Link{BitsPerSecond: 50e6} // 50 Mb/s
+	paced := link.Wrap(client)
+
+	const size = 256 << 10
+	drained := make(chan struct{})
+	go func() {
+		io.ReadFull(server, make([]byte, size))
+		close(drained)
+	}()
+	start := time.Now()
+	if _, err := paced.Write(make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	<-drained
+	if wantMin := link.txTime(size) * 9 / 10; elapsed < wantMin {
+		t.Errorf("write of %dB returned after %v, want >= %v", size, elapsed, wantMin)
+	}
+}
+
+func TestDialerWorksEndToEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("hello"))
+	}()
+
+	dial := TenGigE.Dialer()
+	c, err := dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("got %q", buf)
+	}
+}

@@ -1,0 +1,134 @@
+package ros
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"rossf/internal/wire"
+)
+
+// Connection-header keys, following TCPROS conventions with two
+// additions: "format" selects the wire regime (ros1 or sfm) and "endian"
+// carries the publisher's byte order for SFM frames (§4.4.1).
+const (
+	hdrTopic    = "topic"
+	hdrType     = "type"
+	hdrMD5      = "md5sum"
+	hdrCallerID = "callerid"
+	hdrFormat   = "format"
+	hdrEndian   = "endian"
+	hdrError    = "error"
+
+	formatROS1 = "ros1"
+	formatSFM  = "sfm"
+
+	endianLittle = "little"
+	endianBig    = "big"
+)
+
+// maxHeaderSize bounds connection headers; real TCPROS headers are tiny.
+const maxHeaderSize = 1 << 16
+
+// maxFrameSize bounds message frames (64 MiB, matching the largest arena
+// size class).
+const maxFrameSize = 1 << 26
+
+// ErrHandshake reports a connection-header negotiation failure.
+var ErrHandshake = errors.New("ros: handshake failed")
+
+const handshakeTimeout = 5 * time.Second
+
+// nowPlusHandshake returns the deadline for a handshake exchange.
+func nowPlusHandshake() time.Time { return time.Now().Add(handshakeTimeout) }
+
+// zeroTime clears a connection deadline.
+func zeroTime() time.Time { return time.Time{} }
+
+// writeHeader sends a TCPROS-style connection header: u32 total size,
+// then per field u32 length + "key=value".
+func writeHeader(conn net.Conn, fields map[string]string) error {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(128)
+	w.Skip(4)
+	for _, k := range keys {
+		kv := k + "=" + fields[k]
+		w.U32(uint32(len(kv)))
+		w.Raw([]byte(kv))
+	}
+	w.PutU32(0, uint32(w.Len()-4))
+	_, err := conn.Write(w.Bytes())
+	return err
+}
+
+// readHeader receives a TCPROS-style connection header.
+func readHeader(conn net.Conn) (map[string]string, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	total := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
+	if total > maxHeaderSize {
+		return nil, fmt.Errorf("%w: header size %d exceeds limit", ErrHandshake, total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(body)
+	fields := make(map[string]string)
+	for r.Remaining() > 0 {
+		n := int(r.U32())
+		kv := r.Raw(n)
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		k, v, ok := strings.Cut(string(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: malformed field %q", ErrHandshake, kv)
+		}
+		fields[k] = v
+	}
+	return fields, nil
+}
+
+// writeFrame sends one length-prefixed message frame.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var lenBuf [4]byte
+	n := len(payload)
+	lenBuf[0], lenBuf[1], lenBuf[2], lenBuf[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrameLen reads the next frame's length prefix.
+func readFrameLen(conn net.Conn) (int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return 0, err
+	}
+	n := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
+	if n < 0 || n > maxFrameSize {
+		return 0, fmt.Errorf("ros: frame size %d out of range", n)
+	}
+	return n, nil
+}
+
+// nativeEndianName returns this process's byte order header value.
+func nativeEndianName(little bool) string {
+	if little {
+		return endianLittle
+	}
+	return endianBig
+}

@@ -1,0 +1,34 @@
+// Package ros implements the middleware substrate of the reproduction: a
+// miniature ROS1-like publish/subscribe system with a graph master, nodes,
+// topics, and a TCPROS-like transport. It supports the three IPC
+// categories of the paper's §2.1 —
+//
+//   - intra-process: publisher and subscriber in the same process share
+//     the serialization-free message arena directly, reference counted;
+//   - intra-machine: TCP over loopback, the setting of Fig. 13;
+//   - inter-machine: the same TCP path dialed through a simulated
+//     bandwidth/latency link (internal/netsim), the setting of Fig. 16;
+//
+// and two message regimes on the same API:
+//
+//   - regular messages (generated structs with ROS1 serializers):
+//     Publish serializes into a frame, the subscriber de-serializes into
+//     a fresh object — the baseline "ROS" measurements;
+//   - serialization-free messages (SFM skeletons from internal/core):
+//     Publish writes the arena bytes as the frame, the subscriber adopts
+//     the received buffer as a live message — the "ROS-SF" measurements.
+//
+// Which path a topic uses is decided by the message type alone, so
+// switching a program from ROS to ROS-SF is exactly the paper's
+// recompile-against-generated-headers step: swap sensor_msgs.Image for
+// sensor_msgs.ImageSF and nothing else.
+//
+// Beyond publish/subscribe the package provides the rest of a usable
+// graph: request/response services (AdvertiseService, CallService,
+// persistent ServiceClient) in both regimes, latched topics
+// (WithLatch), bounded drop-oldest queues on both ends (WithQueueSize,
+// WithSubscriberQueue), raw frame access for tools (SubscribeRaw,
+// AdvertiseRaw — the machinery behind cmd/rostopic and cmd/rosbag), a
+// TCP master protocol for multi-process graphs (MasterServer,
+// DialMaster, cmd/rosmaster), and cross-endian peers per §4.4.1.
+package ros

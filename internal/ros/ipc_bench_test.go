@@ -1,0 +1,132 @@
+package ros_test
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+)
+
+// BenchmarkIPCCategories compares the three IPC categories of the
+// paper's §2.1 on the same serialization-free message: intra-process
+// (shared arena, reference counted), intra-machine (TCP loopback), and
+// the regular serializing path on loopback for contrast.
+func BenchmarkIPCCategories(b *testing.B) {
+	const payload = 256 << 10
+
+	b.Run("intra-process-sfm", func(b *testing.B) {
+		master := ros.NewLocalMaster()
+		node, err := ros.NewNode("solo", ros.WithMaster(master))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer node.Close()
+		benchSFMRoundTrip(b, node, node, ros.TransportAuto, payload)
+	})
+
+	b.Run("intra-machine-sfm", func(b *testing.B) {
+		master := ros.NewLocalMaster()
+		pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pubNode.Close()
+		subNode, err := ros.NewNode("sub", ros.WithMaster(master))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer subNode.Close()
+		benchSFMRoundTrip(b, pubNode, subNode, ros.TransportTCP, payload)
+	})
+
+	b.Run("intra-machine-ros1", func(b *testing.B) {
+		master := ros.NewLocalMaster()
+		pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pubNode.Close()
+		subNode, err := ros.NewNode("sub", ros.WithMaster(master))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer subNode.Close()
+
+		done := make(chan struct{}, 1)
+		_, err = ros.Subscribe(subNode, "bench/ipc", func(m *testImage) {
+			done <- struct{}{}
+		}, ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pub, err := ros.Advertise[testImage](pubNode, "bench/ipc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		awaitSubs(b, pub.NumSubscribers)
+
+		src := make([]byte, payload)
+		b.SetBytes(payload)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			img := &testImage{Height: 1, Width: 1, Encoding: "rgb8",
+				Data: make([]byte, payload)}
+			copy(img.Data, src)
+			if err := pub.Publish(img); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	})
+}
+
+func benchSFMRoundTrip(b *testing.B, pubNode, subNode *ros.Node, mode ros.TransportMode, payload int) {
+	b.Helper()
+	done := make(chan struct{}, 1)
+	_, err := ros.Subscribe(subNode, "bench/ipc", func(m *testImageSF) {
+		done <- struct{}{}
+	}, ros.WithTransport(mode))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := ros.Advertise[testImageSF](pubNode, "bench/ipc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	awaitSubs(b, pub.NumSubscribers)
+
+	src := make([]byte, payload)
+	b.SetBytes(int64(payload))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := core.NewWithCapacity[testImageSF](payload + 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img.Height, img.Width = 1, 1
+		if err := img.Data.Resize(payload); err != nil {
+			b.Fatal(err)
+		}
+		copy(img.Data.Slice(), src)
+		if err := pub.Publish(img); err != nil {
+			b.Fatal(err)
+		}
+		core.Release(img)
+		<-done
+	}
+}
+
+func awaitSubs(b *testing.B, num func() int) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if num() > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatal("no subscriber attached")
+}

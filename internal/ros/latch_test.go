@@ -1,0 +1,165 @@
+package ros_test
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+)
+
+// TestLatchedRegularDeliversToLateSubscriber: the classic ROS latch —
+// a subscriber that attaches after the publish still gets the message.
+func TestLatchedRegularDeliversToLateSubscriber(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	pub, err := ros.Advertise[testImage](pubNode, "map", ros.WithLatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(&testImage{Height: 77, Encoding: "map"}); err != nil {
+		t.Fatal(err)
+	}
+
+	subNode := newNode(t, "sub", m)
+	got := make(chan *testImage, 1)
+	if _, err := ros.Subscribe(subNode, "map", func(img *testImage) { got <- img },
+		ros.WithTransport(ros.TransportTCP)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case img := <-got:
+		if img.Height != 77 || img.Encoding != "map" {
+			t.Errorf("latched message = %+v", img)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late subscriber never received the latched message")
+	}
+}
+
+// TestLatchedSFMDeliversToLateSubscriber covers both transports for the
+// serialization-free path, where latching must hold an arena reference.
+func TestLatchedSFMDeliversToLateSubscriber(t *testing.T) {
+	for _, mode := range []ros.TransportMode{ros.TransportTCP, ros.TransportAuto} {
+		m := ros.NewLocalMaster()
+		pubNode := newNode(t, "pub", m)
+		pub, err := ros.Advertise[testImageSF](pubNode, "map_sf", ros.WithLatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := core.NewWithCapacity[testImageSF](4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img.Height = 88
+		img.Encoding.MustSet("map")
+		if err := pub.Publish(img); err != nil {
+			t.Fatal(err)
+		}
+		// Developer releases; only the latch keeps the arena alive.
+		if destructed, _ := core.Release(img); destructed {
+			t.Fatal("latch did not retain the message")
+		}
+
+		subNode := newNode(t, "sub", m)
+		got := make(chan uint32, 1)
+		if _, err := ros.Subscribe(subNode, "map_sf", func(im *testImageSF) {
+			if im.Encoding.Get() == "map" {
+				got <- im.Height
+			}
+		}, ros.WithTransport(mode)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case h := <-got:
+			if h != 88 {
+				t.Errorf("mode %v: latched height = %d", mode, h)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("mode %v: latched SFM message not delivered", mode)
+		}
+		pub.Close()
+		pubNode.Close()
+		subNode.Close()
+	}
+}
+
+// TestLatchReplacedByNewerPublish: only the most recent message is
+// latched, and the previous one's reference is dropped.
+func TestLatchReplacedByNewerPublish(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	pub, err := ros.Advertise[testImageSF](pubNode, "latest", ros.WithLatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := core.NewWithCapacity[testImageSF](4096)
+	first.Height = 1
+	pub.Publish(first)
+	core.Release(first)
+
+	second, _ := core.NewWithCapacity[testImageSF](4096)
+	second.Height = 2
+	pub.Publish(second)
+	core.Release(second)
+
+	// Replacing the latch must destruct the first message.
+	if _, err := core.RefCountOf(first); err == nil {
+		t.Error("previous latched message still alive")
+	}
+
+	subNode := newNode(t, "sub", m)
+	got := make(chan uint32, 1)
+	ros.Subscribe(subNode, "latest", func(im *testImageSF) { got <- im.Height })
+	select {
+	case h := <-got:
+		if h != 2 {
+			t.Errorf("latched height = %d, want 2 (the newest)", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no latched delivery")
+	}
+}
+
+// TestLatchReleasedOnClose: closing the publisher drops the latch hold.
+func TestLatchReleasedOnClose(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	pub, err := ros.Advertise[testImageSF](pubNode, "bye", ros.WithLatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := core.NewWithCapacity[testImageSF](4096)
+	pub.Publish(img)
+	core.Release(img)
+	pub.Close()
+	if _, err := core.RefCountOf(img); err == nil {
+		t.Error("latched message survived publisher close")
+	}
+}
+
+// TestUnlatchedDoesNotReplay: without WithLatch, late subscribers get
+// nothing.
+func TestUnlatchedDoesNotReplay(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	pub, err := ros.Advertise[testImage](pubNode, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Publish(&testImage{Height: 5})
+
+	subNode := newNode(t, "sub", m)
+	got := make(chan *testImage, 1)
+	sub, err := ros.Subscribe(subNode, "plain", func(img *testImage) { got <- img },
+		ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "attach", func() bool { return sub.NumPublishers() == 1 })
+	select {
+	case <-got:
+		t.Error("unlatched topic replayed an old message")
+	case <-time.After(200 * time.Millisecond):
+	}
+}

@@ -1,0 +1,237 @@
+package ros
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrTypeMismatch reports a topic being used with two different message
+// types or definitions.
+var ErrTypeMismatch = errors.New("ros: topic type mismatch")
+
+// PublisherInfo describes one advertised publisher endpoint.
+type PublisherInfo struct {
+	NodeName string
+	Addr     string // "host:port" of the publisher's topic listener; "" for inproc-only
+	TypeName string
+	MD5      string
+
+	// direct is set when the publisher lives in this process (LocalMaster
+	// only); subscribers attach to it without a socket — the intra-process
+	// IPC category. Remote masters never populate it.
+	direct *pubEndpoint
+}
+
+// ServiceInfo describes one registered service server.
+type ServiceInfo struct {
+	NodeName string
+	Addr     string // the serving node's listener address
+	ReqType  string
+	RespType string
+	MD5      string // combined request/response checksum
+}
+
+// Master is the graph name service: publishers register their endpoints
+// per topic, subscribers learn about them (including late-arriving ones)
+// through a watch callback, and service servers register under unique
+// names.
+type Master interface {
+	// RegisterPublisher announces a publisher. The returned func
+	// unregisters it.
+	RegisterPublisher(topic string, info PublisherInfo) (unregister func(), err error)
+	// WatchPublishers delivers the current publisher set immediately and
+	// again on every change, until the returned cancel func is called.
+	// The callback must not block.
+	WatchPublishers(topic, typeName, md5 string, cb func([]PublisherInfo)) (cancel func(), err error)
+	// RegisterService announces a service server; a name can have at
+	// most one server at a time.
+	RegisterService(name string, info ServiceInfo) (unregister func(), err error)
+	// LookupService resolves a service name.
+	LookupService(name string) (ServiceInfo, bool, error)
+}
+
+// LocalMaster is the in-process Master used by single-process graphs and
+// tests. cmd/rosmaster wraps it with a TCP protocol for multi-process
+// graphs.
+type LocalMaster struct {
+	mu       sync.Mutex
+	topics   map[string]*topicState
+	services map[string]ServiceInfo
+}
+
+type topicState struct {
+	typeName string
+	md5      string
+	pubs     map[int64]PublisherInfo
+	watchers map[int64]func([]PublisherInfo)
+	nextID   int64
+}
+
+var _ Master = (*LocalMaster)(nil)
+
+// NewLocalMaster returns an empty in-process master.
+func NewLocalMaster() *LocalMaster {
+	return &LocalMaster{
+		topics:   make(map[string]*topicState),
+		services: make(map[string]ServiceInfo),
+	}
+}
+
+// RegisterService implements Master. Duplicate registrations are
+// refused (in ROS the newer server silently replaces the older one; we
+// prefer the explicit error).
+func (m *LocalMaster) RegisterService(name string, info ServiceInfo) (func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, dup := m.services[name]; dup {
+		return nil, fmt.Errorf("ros: service %q already served by node %s", name, prev.NodeName)
+	}
+	m.services[name] = info
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if cur, ok := m.services[name]; ok && cur == info {
+			delete(m.services, name)
+		}
+	}, nil
+}
+
+// LookupService implements Master.
+func (m *LocalMaster) LookupService(name string) (ServiceInfo, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.services[name]
+	return info, ok, nil
+}
+
+func (m *LocalMaster) topic(name, typeName, md5 string) (*topicState, error) {
+	ts, ok := m.topics[name]
+	if !ok {
+		ts = &topicState{
+			typeName: typeName,
+			md5:      md5,
+			pubs:     make(map[int64]PublisherInfo),
+			watchers: make(map[int64]func([]PublisherInfo)),
+		}
+		m.topics[name] = ts
+		return ts, nil
+	}
+	if ts.typeName != typeName || ts.md5 != md5 {
+		return nil, fmt.Errorf("%w: topic %q is %s (%s), requested %s (%s)",
+			ErrTypeMismatch, name, ts.typeName, ts.md5, typeName, md5)
+	}
+	return ts, nil
+}
+
+// snapshot returns the sorted publisher list. Callers hold m.mu.
+func (ts *topicState) snapshot() []PublisherInfo {
+	out := make([]PublisherInfo, 0, len(ts.pubs))
+	for _, p := range ts.pubs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeName != out[j].NodeName {
+			return out[i].NodeName < out[j].NodeName
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// notify fans the current snapshot out to all watchers. Callers hold
+// m.mu; callbacks must not block.
+func (ts *topicState) notify() {
+	snap := ts.snapshot()
+	for _, cb := range ts.watchers {
+		cb(snap)
+	}
+}
+
+// CheckTopic validates (and reserves) a topic's type binding without
+// registering anything. The master protocol server uses it to report
+// type mismatches before acknowledging a watch.
+func (m *LocalMaster) CheckTopic(topic, typeName, md5 string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.topic(topic, typeName, md5)
+	return err
+}
+
+// RegisterPublisher implements Master.
+func (m *LocalMaster) RegisterPublisher(topic string, info PublisherInfo) (func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, err := m.topic(topic, info.TypeName, info.MD5)
+	if err != nil {
+		return nil, err
+	}
+	id := ts.nextID
+	ts.nextID++
+	ts.pubs[id] = info
+	ts.notify()
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(ts.pubs, id)
+		ts.notify()
+	}, nil
+}
+
+// WatchPublishers implements Master.
+func (m *LocalMaster) WatchPublishers(topic, typeName, md5 string, cb func([]PublisherInfo)) (func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, err := m.topic(topic, typeName, md5)
+	if err != nil {
+		return nil, err
+	}
+	id := ts.nextID
+	ts.nextID++
+	ts.watchers[id] = cb
+	cb(ts.snapshot())
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(ts.watchers, id)
+	}, nil
+}
+
+// Topics returns the names of all known topics, sorted (for
+// introspection tools).
+func (m *LocalMaster) Topics() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.topics))
+	for name := range m.topics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopicInfo summarizes one topic for introspection tools (rostopic).
+type TopicInfo struct {
+	Name          string
+	TypeName      string
+	MD5           string
+	NumPublishers int
+}
+
+// TopicsInfo returns all topics with their bindings, sorted by name.
+func (m *LocalMaster) TopicsInfo() []TopicInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TopicInfo, 0, len(m.topics))
+	for name, ts := range m.topics {
+		out = append(out, TopicInfo{
+			Name:          name,
+			TypeName:      ts.typeName,
+			MD5:           ts.md5,
+			NumPublishers: len(ts.pubs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

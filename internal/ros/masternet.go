@@ -1,0 +1,469 @@
+package ros
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP master protocol lets nodes in different processes share one
+// graph master (the paper's multi-process intra-machine setting, and
+// cmd/rosmaster's job). It is newline-delimited JSON over a persistent
+// connection per client:
+//
+//	client -> server  {"op":"regpub","id":1,"topic":"t","node":"n","addr":"a","type":"y","md5":"m"}
+//	                  {"op":"unregpub","id":2,"handle":7}
+//	                  {"op":"watch","id":3,"topic":"t","type":"y","md5":"m"}
+//	server -> client  {"op":"ok","id":1,"handle":7}
+//	                  {"op":"err","id":1,"msg":"..."}
+//	                  {"op":"pubs","handle":9,"pubs":[{"node":"n","addr":"a"}]}  (async push)
+
+// masterMsg is the single wire envelope of the master protocol.
+type masterMsg struct {
+	Op     string       `json:"op"`
+	ID     int64        `json:"id,omitempty"`
+	Handle int64        `json:"handle,omitempty"`
+	Topic  string       `json:"topic,omitempty"`
+	Node   string       `json:"node,omitempty"`
+	Addr   string       `json:"addr,omitempty"`
+	Type   string       `json:"type,omitempty"`
+	MD5    string       `json:"md5,omitempty"`
+	Msg    string       `json:"msg,omitempty"`
+	Resp   string       `json:"resp,omitempty"`  // service response type
+	Found  bool         `json:"found,omitempty"` // lookupsrv result
+	Pubs   []masterPub  `json:"pubs,omitempty"`
+	Topics []wireTopics `json:"topics,omitempty"`
+}
+
+// wireTopics is the JSON shape of TopicInfo.
+type wireTopics struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	MD5  string `json:"md5"`
+	Pubs int    `json:"pubs"`
+}
+
+type masterPub struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+	Type string `json:"type"`
+	MD5  string `json:"md5"`
+}
+
+// MasterServer serves a LocalMaster over TCP.
+type MasterServer struct {
+	master   *LocalMaster
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewMasterServer starts serving on addr (e.g. "127.0.0.1:11311", the
+// traditional ROS master port).
+func NewMasterServer(addr string) (*MasterServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ros: master listen: %w", err)
+	}
+	s := &MasterServer{
+		master:   NewLocalMaster(),
+		listener: l,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *MasterServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and disconnects all clients.
+func (s *MasterServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *MasterServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveClient(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serveClient owns one client connection: requests are served in order;
+// watch pushes are serialized through the shared encoder mutex.
+func (s *MasterServer) serveClient(conn net.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	enc := json.NewEncoder(conn)
+	send := func(m masterMsg) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		enc.Encode(m) //nolint:errcheck // a broken client tears down via the read loop
+	}
+
+	var handleMu sync.Mutex
+	nextHandle := int64(1)
+	cancels := make(map[int64]func())
+	defer func() {
+		handleMu.Lock()
+		defer handleMu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var req masterMsg
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			send(masterMsg{Op: "err", Msg: "malformed request: " + err.Error()})
+			continue
+		}
+		switch req.Op {
+		case "regpub":
+			unregister, err := s.master.RegisterPublisher(req.Topic, PublisherInfo{
+				NodeName: req.Node, Addr: req.Addr, TypeName: req.Type, MD5: req.MD5,
+			})
+			if err != nil {
+				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				continue
+			}
+			handleMu.Lock()
+			h := nextHandle
+			nextHandle++
+			cancels[h] = unregister
+			handleMu.Unlock()
+			send(masterMsg{Op: "ok", ID: req.ID, Handle: h})
+		case "unregpub", "unwatch", "unregsrv":
+			handleMu.Lock()
+			cancel := cancels[req.Handle]
+			delete(cancels, req.Handle)
+			handleMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			send(masterMsg{Op: "ok", ID: req.ID})
+		case "watch":
+			// Validate first, acknowledge second, subscribe third: the
+			// client must know the handle before the initial snapshot
+			// push arrives.
+			if err := s.master.CheckTopic(req.Topic, req.Type, req.MD5); err != nil {
+				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				continue
+			}
+			handleMu.Lock()
+			h := nextHandle
+			nextHandle++
+			handleMu.Unlock()
+			send(masterMsg{Op: "ok", ID: req.ID, Handle: h})
+			cancel, err := s.master.WatchPublishers(req.Topic, req.Type, req.MD5,
+				func(pubs []PublisherInfo) {
+					out := make([]masterPub, len(pubs))
+					for i, p := range pubs {
+						out[i] = masterPub{Node: p.NodeName, Addr: p.Addr, Type: p.TypeName, MD5: p.MD5}
+					}
+					send(masterMsg{Op: "pubs", Handle: h, Pubs: out})
+				})
+			if err != nil {
+				continue // validated above; only a concurrent re-type could race here
+			}
+			handleMu.Lock()
+			cancels[h] = cancel
+			handleMu.Unlock()
+		case "regsrv":
+			unregister, err := s.master.RegisterService(req.Topic, ServiceInfo{
+				NodeName: req.Node, Addr: req.Addr,
+				ReqType: req.Type, RespType: req.Resp, MD5: req.MD5,
+			})
+			if err != nil {
+				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				continue
+			}
+			handleMu.Lock()
+			h := nextHandle
+			nextHandle++
+			cancels[h] = unregister
+			handleMu.Unlock()
+			send(masterMsg{Op: "ok", ID: req.ID, Handle: h})
+		case "lookupsrv":
+			info, found, err := s.master.LookupService(req.Topic)
+			if err != nil {
+				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				continue
+			}
+			send(masterMsg{Op: "ok", ID: req.ID, Found: found,
+				Node: info.NodeName, Addr: info.Addr,
+				Type: info.ReqType, Resp: info.RespType, MD5: info.MD5})
+		case "topics":
+			infos := s.master.TopicsInfo()
+			out := make([]wireTopics, len(infos))
+			for i, ti := range infos {
+				out[i] = wireTopics{Name: ti.Name, Type: ti.TypeName, MD5: ti.MD5, Pubs: ti.NumPublishers}
+			}
+			send(masterMsg{Op: "ok", ID: req.ID, Topics: out})
+		default:
+			send(masterMsg{Op: "err", ID: req.ID, Msg: "unknown op " + req.Op})
+		}
+	}
+}
+
+// RemoteMaster is the client side: a Master implementation backed by a
+// MasterServer elsewhere.
+type RemoteMaster struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	nextID  int64
+	replies map[int64]chan masterMsg
+	watches map[int64]func([]PublisherInfo)
+	// pending buffers pushes that arrive between the server's "ok" and
+	// the local callback registration.
+	pending map[int64][][]PublisherInfo
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Master = (*RemoteMaster)(nil)
+
+// DialMaster connects to a master server.
+func DialMaster(addr string) (*RemoteMaster, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ros: dial master: %w", err)
+	}
+	m := &RemoteMaster{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		replies: make(map[int64]chan masterMsg),
+		watches: make(map[int64]func([]PublisherInfo)),
+		pending: make(map[int64][][]PublisherInfo),
+	}
+	m.wg.Add(1)
+	go m.readLoop()
+	return m, nil
+}
+
+// Close disconnects from the master; all registrations vanish server-
+// side with the connection.
+func (m *RemoteMaster) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.conn.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *RemoteMaster) readLoop() {
+	defer m.wg.Done()
+	sc := bufio.NewScanner(m.conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var resp masterMsg
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		switch resp.Op {
+		case "pubs":
+			pubs := make([]PublisherInfo, len(resp.Pubs))
+			for i, p := range resp.Pubs {
+				pubs[i] = PublisherInfo{NodeName: p.Node, Addr: p.Addr, TypeName: p.Type, MD5: p.MD5}
+			}
+			m.mu.Lock()
+			cb := m.watches[resp.Handle]
+			if cb == nil {
+				m.pending[resp.Handle] = append(m.pending[resp.Handle], pubs)
+			}
+			m.mu.Unlock()
+			if cb != nil {
+				cb(pubs)
+			}
+		default:
+			m.mu.Lock()
+			ch := m.replies[resp.ID]
+			delete(m.replies, resp.ID)
+			m.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		}
+	}
+	// Connection gone: fail all pending calls.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, ch := range m.replies {
+		ch <- masterMsg{Op: "err", Msg: "master connection closed"}
+		delete(m.replies, id)
+	}
+}
+
+// call performs one request/response exchange.
+func (m *RemoteMaster) call(req masterMsg) (masterMsg, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return masterMsg{}, errors.New("ros: remote master closed")
+	}
+	m.nextID++
+	req.ID = m.nextID
+	ch := make(chan masterMsg, 1)
+	m.replies[req.ID] = ch
+	err := m.enc.Encode(req)
+	m.mu.Unlock()
+	if err != nil {
+		return masterMsg{}, err
+	}
+	resp := <-ch
+	if resp.Op == "err" {
+		if resp.Msg == "" {
+			resp.Msg = "master error"
+		}
+		// Preserve the type-mismatch category across the wire so callers
+		// can match it as with a LocalMaster.
+		return masterMsg{}, fmt.Errorf("%w: %s", ErrTypeMismatch, resp.Msg)
+	}
+	return resp, nil
+}
+
+// RegisterPublisher implements Master.
+func (m *RemoteMaster) RegisterPublisher(topic string, info PublisherInfo) (func(), error) {
+	resp, err := m.call(masterMsg{
+		Op: "regpub", Topic: topic,
+		Node: info.NodeName, Addr: info.Addr, Type: info.TypeName, MD5: info.MD5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handle := resp.Handle
+	return func() {
+		m.call(masterMsg{Op: "unregpub", Handle: handle}) //nolint:errcheck // best-effort on teardown
+	}, nil
+}
+
+// RegisterService implements Master.
+func (m *RemoteMaster) RegisterService(name string, info ServiceInfo) (func(), error) {
+	resp, err := m.call(masterMsg{
+		Op: "regsrv", Topic: name,
+		Node: info.NodeName, Addr: info.Addr,
+		Type: info.ReqType, Resp: info.RespType, MD5: info.MD5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handle := resp.Handle
+	return func() {
+		m.call(masterMsg{Op: "unregsrv", Handle: handle}) //nolint:errcheck // best-effort on teardown
+	}, nil
+}
+
+// LookupService implements Master.
+func (m *RemoteMaster) LookupService(name string) (ServiceInfo, bool, error) {
+	resp, err := m.call(masterMsg{Op: "lookupsrv", Topic: name})
+	if err != nil {
+		return ServiceInfo{}, false, err
+	}
+	if !resp.Found {
+		return ServiceInfo{}, false, nil
+	}
+	return ServiceInfo{
+		NodeName: resp.Node, Addr: resp.Addr,
+		ReqType: resp.Type, RespType: resp.Resp, MD5: resp.MD5,
+	}, true, nil
+}
+
+// TopicsInfo queries the server's topic table (for introspection
+// tools).
+func (m *RemoteMaster) TopicsInfo() ([]TopicInfo, error) {
+	resp, err := m.call(masterMsg{Op: "topics"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TopicInfo, len(resp.Topics))
+	for i, ti := range resp.Topics {
+		out[i] = TopicInfo{Name: ti.Name, TypeName: ti.Type, MD5: ti.MD5, NumPublishers: ti.Pubs}
+	}
+	return out, nil
+}
+
+// WatchPublishers implements Master.
+func (m *RemoteMaster) WatchPublishers(topic, typeName, md5 string, cb func([]PublisherInfo)) (func(), error) {
+	// Register the callback under the handle the server will assign;
+	// the server sends "ok" before the first push on this connection,
+	// and both are delivered in order by the read loop.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("ros: remote master closed")
+	}
+	m.mu.Unlock()
+
+	resp, err := m.call(masterMsg{Op: "watch", Topic: topic, Type: typeName, MD5: md5})
+	if err != nil {
+		return nil, err
+	}
+	handle := resp.Handle
+	m.mu.Lock()
+	m.watches[handle] = cb
+	buffered := m.pending[handle]
+	delete(m.pending, handle)
+	m.mu.Unlock()
+	for _, pubs := range buffered {
+		cb(pubs)
+	}
+	return func() {
+		m.mu.Lock()
+		delete(m.watches, handle)
+		m.mu.Unlock()
+		m.call(masterMsg{Op: "unwatch", Handle: handle}) //nolint:errcheck // best-effort on teardown
+	}, nil
+}

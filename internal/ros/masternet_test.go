@@ -1,0 +1,133 @@
+package ros_test
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/ros"
+)
+
+// TestRemoteMasterPubSub runs a full pub/sub graph where discovery goes
+// through the TCP master protocol instead of the in-process master.
+func TestRemoteMasterPubSub(t *testing.T) {
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pubMaster, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubMaster.Close()
+	subMaster, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subMaster.Close()
+
+	pubNode := newNode(t, "pub", pubMaster)
+	subNode := newNode(t, "sub", subMaster)
+
+	got := make(chan *testImage, 1)
+	if _, err := ros.Subscribe(subNode, "remote/topic", func(m *testImage) { got <- m }); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	pub, err := ros.Advertise[testImage](pubNode, "remote/topic")
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	eventually(t, "cross-process discovery", func() bool { return pub.NumSubscribers() == 1 })
+
+	pub.Publish(&testImage{Height: 99, Encoding: "mono8"})
+	select {
+	case m := <-got:
+		if m.Height != 99 || m.Encoding != "mono8" {
+			t.Errorf("received %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message through remote-master graph")
+	}
+}
+
+// TestRemoteMasterWatchBeforePublisher checks late discovery: the watch
+// exists before any publisher registers.
+func TestRemoteMasterWatchBeforePublisher(t *testing.T) {
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	updates := make(chan int, 8)
+	cancel, err := m.WatchPublishers("late/topic", "t/T", "m5", func(pubs []ros.PublisherInfo) {
+		updates <- len(pubs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	select {
+	case n := <-updates:
+		if n != 0 {
+			t.Errorf("initial snapshot has %d pubs", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no initial snapshot")
+	}
+
+	unregister, err := m.RegisterPublisher("late/topic", ros.PublisherInfo{
+		NodeName: "p", Addr: "127.0.0.1:1", TypeName: "t/T", MD5: "m5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-updates:
+		if n != 1 {
+			t.Errorf("post-register snapshot has %d pubs", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update after register")
+	}
+
+	unregister()
+	select {
+	case n := <-updates:
+		if n != 0 {
+			t.Errorf("post-unregister snapshot has %d pubs", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update after unregister")
+	}
+}
+
+// TestRemoteMasterTypeMismatch checks the error category survives the
+// wire.
+func TestRemoteMasterTypeMismatch(t *testing.T) {
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if _, err := m.RegisterPublisher("tt", ros.PublisherInfo{TypeName: "a/A", MD5: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.WatchPublishers("tt", "b/B", "2", func([]ros.PublisherInfo) {})
+	if err == nil {
+		t.Fatal("mismatched watch accepted")
+	}
+}

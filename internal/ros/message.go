@@ -1,0 +1,65 @@
+package ros
+
+import (
+	"rossf/internal/wire"
+)
+
+// Message is the metadata contract every generated message type (regular
+// or SFM) satisfies. The methods are nil-receiver safe: they report
+// static type properties.
+type Message interface {
+	// ROSMessageType returns the canonical "pkg/Name" topic type.
+	ROSMessageType() string
+	// ROSMD5Sum returns the definition checksum exchanged in connection
+	// headers; mismatched definitions refuse to connect, as in ROS.
+	ROSMD5Sum() string
+}
+
+// Serializable is implemented by regular generated messages: the normal
+// ROS1 serialize/de-serialize pipeline the paper's baseline measures.
+type Serializable interface {
+	Message
+	// SerializedSizeROS returns the exact wire size (genmsg's
+	// serializationLength), letting the transport allocate once.
+	SerializedSizeROS() int
+	// SerializeROS appends the ROS1 wire form.
+	SerializeROS(w *wire.Writer) error
+	// DeserializeROS reconstructs the message from the ROS1 wire form.
+	DeserializeROS(r *wire.Reader) error
+}
+
+// SFMessage is implemented by generated serialization-free messages. It
+// is a marker: the transport recognizes it and switches to the zero-copy
+// arena path (the paper's overloaded serialization routines).
+type SFMessage interface {
+	Message
+	// SFMMessage marks the type as an SFM skeleton living in a managed
+	// arena.
+	SFMMessage()
+}
+
+// isSFMType reports whether *T is a serialization-free message type.
+// Metadata methods are nil-safe, so a typed nil suffices.
+func isSFMType[T any]() bool {
+	var p *T
+	_, ok := any(p).(SFMessage)
+	return ok
+}
+
+// isSerializableType reports whether *T implements the regular ROS1
+// pipeline.
+func isSerializableType[T any]() bool {
+	var p *T
+	_, ok := any(p).(Serializable)
+	return ok
+}
+
+// typeInfoOf extracts topic type metadata from *T.
+func typeInfoOf[T any]() (typeName, md5 string, ok bool) {
+	var p *T
+	m, isMsg := any(p).(Message)
+	if !isMsg {
+		return "", "", false
+	}
+	return m.ROSMessageType(), m.ROSMD5Sum(), true
+}

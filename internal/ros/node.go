@@ -1,0 +1,270 @@
+package ros
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DialFunc opens a transport connection to a publisher endpoint. The
+// default is plain TCP; experiments substitute a netsim-wrapped dialer to
+// model an inter-machine link.
+type DialFunc func(addr string) (net.Conn, error)
+
+// nodeConfig collects NewNode options.
+type nodeConfig struct {
+	master     Master
+	listenAddr string
+	noListener bool
+	dial       DialFunc
+}
+
+// Option configures a Node.
+type Option func(*nodeConfig)
+
+// WithMaster selects the graph master (default: a private LocalMaster,
+// useful only for self-contained single-node programs; real graphs share
+// one).
+func WithMaster(m Master) Option {
+	return func(c *nodeConfig) { c.master = m }
+}
+
+// WithListenAddress sets the TCP address for inbound subscriber
+// connections (default "127.0.0.1:0").
+func WithListenAddress(addr string) Option {
+	return func(c *nodeConfig) { c.listenAddr = addr }
+}
+
+// WithoutListener disables the TCP listener; the node can only publish
+// to intra-process subscribers and subscribe.
+func WithoutListener() Option {
+	return func(c *nodeConfig) { c.noListener = true }
+}
+
+// WithDialer replaces the subscriber-side transport dialer.
+func WithDialer(d DialFunc) Option {
+	return func(c *nodeConfig) { c.dial = d }
+}
+
+// Node is a participant in the graph — the analog of a roscpp
+// NodeHandle plus its process-wide connection machinery. Create with
+// NewNode, release with Close.
+type Node struct {
+	name   string
+	master Master
+	dial   DialFunc
+
+	listener net.Listener
+	addr     string
+
+	mu       sync.Mutex
+	pubs     map[string]*pubEndpoint
+	subs     map[*Subscriber]struct{}
+	services map[string]*serviceEndpoint
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewNode creates a node, starts its topic listener (unless disabled),
+// and returns it ready to advertise and subscribe.
+func NewNode(name string, opts ...Option) (*Node, error) {
+	if name == "" {
+		return nil, errors.New("ros: node name must not be empty")
+	}
+	cfg := nodeConfig{
+		listenAddr: "127.0.0.1:0",
+		dial: func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.master == nil {
+		cfg.master = NewLocalMaster()
+	}
+	n := &Node{
+		name:     name,
+		master:   cfg.master,
+		dial:     cfg.dial,
+		pubs:     make(map[string]*pubEndpoint),
+		subs:     make(map[*Subscriber]struct{}),
+		services: make(map[string]*serviceEndpoint),
+	}
+	if !cfg.noListener {
+		l, err := net.Listen("tcp", cfg.listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("ros: node %s listen: %w", name, err)
+		}
+		n.listener = l
+		n.addr = l.Addr().String()
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node's topic listener address, or "" if disabled.
+func (n *Node) Addr() string { return n.addr }
+
+// Master returns the node's graph master.
+func (n *Node) Master() Master { return n.master }
+
+// acceptLoop serves inbound subscriber connections.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveSubscriber(conn)
+		}()
+	}
+}
+
+// serveSubscriber performs the server side of the handshake: topic
+// subscriptions attach to the topic's endpoint, service calls (header
+// carries "service") run their request loop on this goroutine.
+func (n *Node) serveSubscriber(conn net.Conn) {
+	conn.SetDeadline(nowPlusHandshake())
+	req, err := readHeader(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+
+	if svcName, isService := req[hdrService]; isService {
+		n.mu.Lock()
+		svc := n.services[svcName]
+		n.mu.Unlock()
+		if svc == nil {
+			writeHeader(conn, map[string]string{
+				hdrError: fmt.Sprintf("node %s does not serve %q", n.name, svcName),
+			})
+			conn.Close()
+			return
+		}
+		svc.serveCall(conn, req) //nolint:errcheck // handshake errors already answered the peer
+		conn.Close()
+		return
+	}
+
+	n.mu.Lock()
+	ep := n.pubs[req[hdrTopic]]
+	n.mu.Unlock()
+	if ep == nil {
+		writeHeader(conn, map[string]string{
+			hdrError: fmt.Sprintf("node %s does not publish topic %q", n.name, req[hdrTopic]),
+		})
+		conn.Close()
+		return
+	}
+	if err := ep.acceptConn(conn, req); err != nil {
+		conn.Close()
+	}
+}
+
+// Close shuts the node down: every publisher is unregistered, every
+// subscriber detached, all connections closed, and all goroutines
+// joined.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	pubs := make([]*pubEndpoint, 0, len(n.pubs))
+	for _, p := range n.pubs {
+		pubs = append(pubs, p)
+	}
+	subs := make([]*Subscriber, 0, len(n.subs))
+	for s := range n.subs {
+		subs = append(subs, s)
+	}
+	svcs := make([]*serviceEndpoint, 0, len(n.services))
+	for _, s := range n.services {
+		svcs = append(svcs, s)
+	}
+	n.mu.Unlock()
+
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	for _, p := range pubs {
+		p.close()
+	}
+	for _, s := range subs {
+		s.Close()
+	}
+	for _, s := range svcs {
+		s.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// registerPub attaches an endpoint under its topic.
+func (n *Node) registerPub(topic string, ep *pubEndpoint) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("ros: node closed")
+	}
+	if _, dup := n.pubs[topic]; dup {
+		return fmt.Errorf("ros: node %s already advertises %q", n.name, topic)
+	}
+	n.pubs[topic] = ep
+	return nil
+}
+
+func (n *Node) unregisterPub(topic string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pubs, topic)
+}
+
+// registerService attaches a service endpoint under its name.
+func (n *Node) registerService(name string, ep *serviceEndpoint) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("ros: node closed")
+	}
+	if _, dup := n.services[name]; dup {
+		return fmt.Errorf("ros: node %s already serves %q", n.name, name)
+	}
+	n.services[name] = ep
+	return nil
+}
+
+func (n *Node) unregisterService(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.services, name)
+}
+
+func (n *Node) registerSub(s *Subscriber) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("ros: node closed")
+	}
+	n.subs[s] = struct{}{}
+	return nil
+}
+
+func (n *Node) unregisterSub(s *Subscriber) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.subs, s)
+}

@@ -1,0 +1,541 @@
+package ros
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/wire"
+)
+
+// defaultQueueSize is the per-connection outbound queue depth, analogous
+// to the queue_size argument of roscpp advertise.
+const defaultQueueSize = 16
+
+// PubOption configures Advertise.
+type PubOption func(*pubConfig)
+
+type pubConfig struct {
+	queueSize int
+	latch     bool
+}
+
+// WithQueueSize sets the per-subscriber outbound queue depth. When the
+// queue is full the oldest frame is dropped, as in ROS.
+func WithQueueSize(n int) PubOption {
+	return func(c *pubConfig) {
+		if n > 0 {
+			c.queueSize = n
+		}
+	}
+}
+
+// WithLatch enables ROS latching: the last published message is kept
+// (reference counted, for SFM messages) and delivered to every
+// subscriber that attaches later.
+func WithLatch() PubOption {
+	return func(c *pubConfig) { c.latch = true }
+}
+
+// Publisher publishes messages of type *T on one topic. Create with
+// Advertise.
+type Publisher[T any] struct {
+	ep *pubEndpoint
+}
+
+// Advertise declares a topic with the message type *T and returns a
+// Publisher for it — the analog of NodeHandle::advertise. Whether the
+// topic uses the serializing ROS1 path or the serialization-free SFM path
+// is decided by the message type alone.
+func Advertise[T any](n *Node, topic string, opts ...PubOption) (*Publisher[T], error) {
+	typeName, md5, ok := typeInfoOf[T]()
+	if !ok {
+		return nil, fmt.Errorf("ros: type %T does not implement ros.Message", new(T))
+	}
+	sfm := isSFMType[T]()
+	if !sfm && !isSerializableType[T]() {
+		return nil, fmt.Errorf("ros: type %T implements neither Serializable nor SFMessage", new(T))
+	}
+	cfg := pubConfig{queueSize: defaultQueueSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ep := &pubEndpoint{
+		node:      n,
+		topic:     topic,
+		typeName:  typeName,
+		md5:       md5,
+		sfm:       sfm,
+		queueSize: cfg.queueSize,
+		latch:     cfg.latch,
+		conns:     make(map[*pubConn]struct{}),
+		inproc:    make(map[inprocTarget]struct{}),
+	}
+	if err := n.registerPub(topic, ep); err != nil {
+		return nil, err
+	}
+	unregister, err := n.master.RegisterPublisher(topic, PublisherInfo{
+		NodeName: n.name,
+		Addr:     n.addr,
+		TypeName: typeName,
+		MD5:      md5,
+		direct:   ep,
+	})
+	if err != nil {
+		n.unregisterPub(topic)
+		return nil, err
+	}
+	ep.unregister = unregister
+	return &Publisher[T]{ep: ep}, nil
+}
+
+// Topic returns the advertised topic name.
+func (p *Publisher[T]) Topic() string { return p.ep.topic }
+
+// NumSubscribers returns the number of attached subscribers (TCP
+// connections plus intra-process attachments).
+func (p *Publisher[T]) NumSubscribers() int { return p.ep.numSubscribers() }
+
+// Close withdraws the advertisement and disconnects subscribers.
+func (p *Publisher[T]) Close() { p.ep.close() }
+
+// Publish sends a message to every attached subscriber.
+//
+// For serialization-free messages this is the paper's Fig. 8 hand-over:
+// the message transitions to Published, the transport takes reference-
+// counted views of the arena (the "copy of the buffer pointer"), and no
+// byte of the message is serialized or copied before the socket write.
+// The caller keeps its own reference and releases it when done with the
+// object.
+//
+// For regular messages the ROS1 serializer runs once and the resulting
+// frame fans out to all connections — the baseline cost ROS-SF removes.
+func (p *Publisher[T]) Publish(m *T) error {
+	ep := p.ep
+	if ep.isClosed() {
+		return errors.New("ros: publisher closed")
+	}
+	if ep.sfm {
+		return publishSFM(ep, m)
+	}
+	s, ok := any(m).(Serializable)
+	if !ok {
+		return fmt.Errorf("ros: %T is not serializable", m)
+	}
+	w := wire.NewWriter(s.SerializedSizeROS())
+	if err := s.SerializeROS(w); err != nil {
+		return fmt.Errorf("ros: serialize %s: %w", ep.typeName, err)
+	}
+	ep.fanoutFrame(w.Bytes())
+	if ep.latch {
+		ep.setLatched(&latchedMsg{frame: w.Bytes()})
+	}
+	return nil
+}
+
+// publishSFM distributes an arena-backed message without serialization.
+func publishSFM[T any](ep *pubEndpoint, m *T) error {
+	if err := core.MarkPublished(m); err != nil {
+		return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
+	}
+	ep.mu.Lock()
+	conns := make([]*pubConn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+	}
+	targets := make([]inprocTarget, 0, len(ep.inproc))
+	for t := range ep.inproc {
+		targets = append(targets, t)
+	}
+	ep.mu.Unlock()
+
+	for _, c := range conns {
+		ref, err := core.NewRef(m)
+		if err != nil {
+			return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
+		}
+		c.enqueue(frameItem{ref: &ref})
+	}
+	for _, t := range targets {
+		if err := core.Retain(m); err != nil {
+			return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
+		}
+		mm := m // capture for the release closure
+		t.deliverShared(any(mm), func() { core.Release(mm) })
+	}
+
+	if ep.latch {
+		// The latch holds its own reference; the closures mint more for
+		// each late subscriber, which is safe while that hold exists.
+		hold, err := core.NewRef(m)
+		if err != nil {
+			return fmt.Errorf("ros: latch %s: %w", ep.typeName, err)
+		}
+		mm := m
+		ep.setLatched(&latchedMsg{
+			mkItem: func() (frameItem, error) {
+				r, err := core.NewRef(mm)
+				if err != nil {
+					return frameItem{}, err
+				}
+				return frameItem{ref: &r}, nil
+			},
+			mkShared: func() (any, func(), bool) {
+				if core.Retain(mm) != nil {
+					return nil, nil, false
+				}
+				return any(mm), func() { core.Release(mm) }, true
+			},
+			drop: func() { hold.Release() },
+		})
+	}
+	return nil
+}
+
+// inprocTarget is a same-process subscriber attachment.
+type inprocTarget interface {
+	// deliverShared hands over a shared serialization-free message; the
+	// target must call release exactly once when done.
+	deliverShared(m any, release func())
+	// deliverFrame hands over a serialized ROS1 frame. The frame must not
+	// be retained after return.
+	deliverFrame(frame []byte)
+}
+
+// frameItem is one outbound queue entry: either a plain serialized frame
+// or a reference-counted view of an SFM arena.
+type frameItem struct {
+	data []byte
+	ref  *core.Ref
+}
+
+func (it frameItem) bytes() []byte {
+	if it.ref != nil {
+		return it.ref.Bytes()
+	}
+	return it.data
+}
+
+func (it frameItem) release() {
+	if it.ref != nil {
+		it.ref.Release()
+	}
+}
+
+// pubEndpoint is the type-erased per-topic publisher state serving all
+// subscriber attachments.
+type pubEndpoint struct {
+	node      *Node
+	topic     string
+	typeName  string
+	md5       string
+	sfm       bool
+	queueSize int
+	latch     bool
+	// endianName is advertised in the connection header; normally the
+	// process's native order, but raw publishers replaying recorded
+	// frames advertise the recorded order.
+	endianName string
+	unregister func()
+
+	mu      sync.Mutex
+	conns   map[*pubConn]struct{}
+	inproc  map[inprocTarget]struct{}
+	latched *latchedMsg
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// latchedMsg retains the last published message for late subscribers.
+// For SFM messages the closures mint fresh arena references per
+// consumer; for regular messages frame is the immutable serialized
+// form.
+type latchedMsg struct {
+	frame    []byte                     // regular path
+	mkItem   func() (frameItem, error)  // SFM: per-connection queue item
+	mkShared func() (any, func(), bool) // SFM: intra-process delivery
+	drop     func()                     // release the latch's own hold
+}
+
+// setLatched replaces the retained message, dropping the previous one.
+func (ep *pubEndpoint) setLatched(l *latchedMsg) {
+	ep.mu.Lock()
+	prev := ep.latched
+	ep.latched = l
+	ep.mu.Unlock()
+	if prev != nil && prev.drop != nil {
+		prev.drop()
+	}
+}
+
+// deliverLatchedTCP enqueues the retained message on a new connection.
+func (ep *pubEndpoint) deliverLatchedTCP(pc *pubConn) {
+	ep.mu.Lock()
+	l := ep.latched
+	ep.mu.Unlock()
+	if l == nil {
+		return
+	}
+	if l.mkItem != nil {
+		if it, err := l.mkItem(); err == nil {
+			pc.enqueue(it)
+		}
+		return
+	}
+	if l.frame != nil {
+		pc.enqueue(frameItem{data: l.frame})
+	}
+}
+
+// deliverLatchedInproc hands the retained message to a new same-process
+// subscriber.
+func (ep *pubEndpoint) deliverLatchedInproc(t inprocTarget) {
+	ep.mu.Lock()
+	l := ep.latched
+	ep.mu.Unlock()
+	if l == nil {
+		return
+	}
+	if l.mkShared != nil {
+		if m, release, ok := l.mkShared(); ok {
+			t.deliverShared(m, release)
+		}
+		return
+	}
+	if l.frame != nil {
+		t.deliverFrame(l.frame)
+	}
+}
+
+func (ep *pubEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
+}
+
+func (ep *pubEndpoint) numSubscribers() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.conns) + len(ep.inproc)
+}
+
+// fanoutFrame distributes a serialized frame to all attachments. The
+// frame is shared read-only; it must not be mutated afterwards.
+func (ep *pubEndpoint) fanoutFrame(frame []byte) {
+	ep.mu.Lock()
+	conns := make([]*pubConn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+	}
+	targets := make([]inprocTarget, 0, len(ep.inproc))
+	for t := range ep.inproc {
+		targets = append(targets, t)
+	}
+	ep.mu.Unlock()
+	for _, c := range conns {
+		c.enqueue(frameItem{data: frame})
+	}
+	for _, t := range targets {
+		t.deliverFrame(frame)
+	}
+}
+
+// acceptConn completes the publisher side of the subscriber handshake.
+func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
+	fail := func(msg string) error {
+		writeHeader(conn, map[string]string{hdrError: msg})
+		return fmt.Errorf("%w: %s", ErrHandshake, msg)
+	}
+	if req[hdrType] != ep.typeName {
+		return fail(fmt.Sprintf("topic %q is %s, subscriber wants %s", ep.topic, ep.typeName, req[hdrType]))
+	}
+	if req[hdrMD5] != ep.md5 {
+		return fail(fmt.Sprintf("md5 mismatch on %q: %s vs %s", ep.topic, ep.md5, req[hdrMD5]))
+	}
+	wantFormat := formatROS1
+	if ep.sfm {
+		wantFormat = formatSFM
+	}
+	if req[hdrFormat] != wantFormat {
+		return fail(fmt.Sprintf("format mismatch on %q: publisher %s, subscriber %s",
+			ep.topic, wantFormat, req[hdrFormat]))
+	}
+	endian := ep.endianName
+	if endian == "" {
+		endian = nativeEndianName(core.NativeLittleEndian())
+	}
+	err := writeHeader(conn, map[string]string{
+		hdrType:     ep.typeName,
+		hdrMD5:      ep.md5,
+		hdrCallerID: ep.node.name,
+		hdrFormat:   wantFormat,
+		hdrEndian:   endian,
+	})
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+
+	pc := &pubConn{
+		conn: conn,
+		ch:   make(chan frameItem, ep.queueSize),
+		stop: make(chan struct{}),
+	}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		conn.Close()
+		return errors.New("ros: publisher closed")
+	}
+	ep.conns[pc] = struct{}{}
+	ep.mu.Unlock()
+
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		pc.writeLoop()
+		ep.dropConn(pc)
+	}()
+	ep.deliverLatchedTCP(pc)
+	return nil
+}
+
+// attachInproc adds a same-process subscriber. The subscriber's wire
+// regime must match the publisher's, as on the TCP path.
+func (ep *pubEndpoint) attachInproc(t inprocTarget) error {
+	if _, subSFM := t.(sfmMarker); subSFM != ep.sfm {
+		return fmt.Errorf("%w: format mismatch on %q", ErrHandshake, ep.topic)
+	}
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return errors.New("ros: publisher closed")
+	}
+	ep.inproc[t] = struct{}{}
+	ep.mu.Unlock()
+	ep.deliverLatchedInproc(t)
+	return nil
+}
+
+// detachInproc removes a same-process subscriber.
+func (ep *pubEndpoint) detachInproc(t inprocTarget) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	delete(ep.inproc, t)
+}
+
+func (ep *pubEndpoint) dropConn(pc *pubConn) {
+	ep.mu.Lock()
+	delete(ep.conns, pc)
+	ep.mu.Unlock()
+	pc.teardown()
+}
+
+func (ep *pubEndpoint) close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	conns := make([]*pubConn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+	}
+	ep.conns = make(map[*pubConn]struct{})
+	ep.inproc = make(map[inprocTarget]struct{})
+	latched := ep.latched
+	ep.latched = nil
+	ep.mu.Unlock()
+
+	if latched != nil && latched.drop != nil {
+		latched.drop()
+	}
+
+	for _, c := range conns {
+		c.teardown()
+	}
+	if ep.unregister != nil {
+		ep.unregister()
+	}
+	ep.node.unregisterPub(ep.topic)
+	ep.wg.Wait()
+}
+
+// pubConn is one subscriber TCP attachment with a bounded outbound
+// queue.
+type pubConn struct {
+	conn net.Conn
+	ch   chan frameItem
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// enqueue adds a frame, dropping the oldest queued frame when full (ROS
+// queue_size semantics). A frame enqueued while the connection tears
+// down must still be released: teardown drains the queue once, so after
+// a successful send we re-check stop and drain one item ourselves if
+// the connection stopped concurrently — every post-stop enqueue then
+// releases exactly one item, leaving nothing stranded.
+func (pc *pubConn) enqueue(it frameItem) {
+	for {
+		select {
+		case <-pc.stop:
+			it.release()
+			return
+		case pc.ch <- it:
+			select {
+			case <-pc.stop:
+				select {
+				case old := <-pc.ch:
+					old.release()
+				default:
+				}
+			default:
+			}
+			return
+		default:
+		}
+		select {
+		case old := <-pc.ch:
+			old.release()
+		default:
+		}
+	}
+}
+
+func (pc *pubConn) writeLoop() {
+	for {
+		select {
+		case <-pc.stop:
+			return
+		case it := <-pc.ch:
+			err := writeFrame(pc.conn, it.bytes())
+			it.release()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (pc *pubConn) teardown() {
+	pc.stopOnce.Do(func() {
+		close(pc.stop)
+		pc.conn.Close()
+		// Drain and release anything still queued.
+		for {
+			select {
+			case it := <-pc.ch:
+				it.release()
+			default:
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package ros
+
+import (
+	"errors"
+	"io"
+	"net"
+)
+
+// RawMessage is one frame delivered to a raw subscriber, with the
+// publisher-declared wire regime.
+type RawMessage struct {
+	// Frame is the wire payload: a ROS1 serialization or an SFM
+	// whole-message image, depending on Format. It is only valid during
+	// the callback.
+	Frame []byte
+	// Format is "ros1" or "sfm".
+	Format string
+	// LittleEndian is the publisher's byte order (meaningful for SFM
+	// frames).
+	LittleEndian bool
+}
+
+// SubscribeRaw attaches to a topic without compiled-in message types,
+// delivering raw frames — the mechanism behind introspection tools like
+// cmd/rostopic. typeName/md5 must match the topic binding (obtain them
+// from the master's TopicsInfo); sfm selects which wire regime to
+// negotiate. Raw subscriptions always use the TCP transport.
+func SubscribeRaw(n *Node, topic, typeName, md5 string, sfm bool,
+	cb func(RawMessage)) (*Subscriber, error) {
+	s := &Subscriber{
+		node:   n,
+		topic:  topic,
+		conns:  make(map[string]*subConn),
+		inproc: make(map[*pubEndpoint]struct{}),
+	}
+	rt := &rawRuntime{sub: s, cb: cb, typeName: typeName, md5: md5, sfm: sfm}
+	if sfm {
+		s.rt = &rawSFMRuntime{rawRuntime: rt}
+	} else {
+		s.rt = rt
+	}
+	if err := n.registerSub(s); err != nil {
+		return nil, err
+	}
+	cancel, err := n.master.WatchPublishers(topic, typeName, md5, func(pubs []PublisherInfo) {
+		s.onPublishers(pubs, TransportTCP)
+	})
+	if err != nil {
+		n.unregisterSub(s)
+		return nil, err
+	}
+	s.cancelWatch = cancel
+	return s, nil
+}
+
+// RawPublisher publishes pre-encoded frames under an explicit topic
+// binding — the mechanism behind rosbag playback. The frames must be in
+// the declared format; littleEndian declares the byte order of SFM
+// frames (e.g. the order they were recorded in).
+type RawPublisher struct {
+	ep *pubEndpoint
+}
+
+// AdvertiseRaw declares a topic with explicit metadata and returns a
+// frame-level publisher.
+func AdvertiseRaw(n *Node, topic, typeName, md5 string, sfm, littleEndian bool,
+	opts ...PubOption) (*RawPublisher, error) {
+	cfg := pubConfig{queueSize: defaultQueueSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ep := &pubEndpoint{
+		node:       n,
+		topic:      topic,
+		typeName:   typeName,
+		md5:        md5,
+		sfm:        sfm,
+		queueSize:  cfg.queueSize,
+		latch:      cfg.latch,
+		endianName: nativeEndianName(littleEndian),
+		conns:      make(map[*pubConn]struct{}),
+		inproc:     make(map[inprocTarget]struct{}),
+	}
+	if err := n.registerPub(topic, ep); err != nil {
+		return nil, err
+	}
+	unregister, err := n.master.RegisterPublisher(topic, PublisherInfo{
+		NodeName: n.name, Addr: n.addr, TypeName: typeName, MD5: md5, direct: ep,
+	})
+	if err != nil {
+		n.unregisterPub(topic)
+		return nil, err
+	}
+	ep.unregister = unregister
+	return &RawPublisher{ep: ep}, nil
+}
+
+// Topic returns the advertised topic.
+func (p *RawPublisher) Topic() string { return p.ep.topic }
+
+// NumSubscribers returns the number of attached subscribers.
+func (p *RawPublisher) NumSubscribers() int { return p.ep.numSubscribers() }
+
+// Close withdraws the advertisement.
+func (p *RawPublisher) Close() { p.ep.close() }
+
+// PublishFrame fans a pre-encoded frame out to all subscribers. The
+// frame is not retained after the last write completes; callers may
+// reuse it only after Close.
+func (p *RawPublisher) PublishFrame(frame []byte) error {
+	if p.ep.isClosed() {
+		return errors.New("ros: publisher closed")
+	}
+	p.ep.fanoutFrame(frame)
+	if p.ep.latch {
+		cp := append([]byte(nil), frame...)
+		p.ep.setLatched(&latchedMsg{frame: cp})
+	}
+	return nil
+}
+
+// rawRuntime pumps frames to the callback without decoding them.
+type rawRuntime struct {
+	sub      *Subscriber
+	cb       func(RawMessage)
+	typeName string
+	md5      string
+	sfm      bool
+}
+
+func (r *rawRuntime) topicMeta() (string, string) { return r.typeName, r.md5 }
+
+func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
+	format := pubHeader[hdrFormat]
+	little := pubHeader[hdrEndian] != endianBig
+	scratch := make([]byte, 0, 4096)
+	for {
+		n, err := readFrameLen(conn)
+		if err != nil {
+			return
+		}
+		if cap(scratch) < n {
+			scratch = make([]byte, n)
+		}
+		buf := scratch[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		r.cb(RawMessage{Frame: buf, Format: format, LittleEndian: little})
+	}
+}
+
+func (r *rawRuntime) deliverFrame(frame []byte) {
+	r.cb(RawMessage{Frame: frame, Format: formatROS1, LittleEndian: true})
+}
+
+func (r *rawRuntime) deliverShared(m any, release func()) {
+	// Raw subscriptions negotiate TCP only; guard the release contract.
+	defer release()
+}
+
+// rawSFMRuntime is rawRuntime tagged to negotiate the SFM regime.
+type rawSFMRuntime struct {
+	*rawRuntime
+}
+
+func (*rawSFMRuntime) sfmRuntimeMarker() {}

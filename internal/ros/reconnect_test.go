@@ -1,0 +1,108 @@
+package ros_test
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/ros"
+)
+
+// TestSubscriberFollowsReplacedPublisher: when a publisher dies and a
+// new node advertises the same topic, the standing subscription must
+// discover and attach to the replacement — the master-watch machinery
+// under failure.
+func TestSubscriberFollowsReplacedPublisher(t *testing.T) {
+	m := ros.NewLocalMaster()
+	subNode := newNode(t, "sub", m)
+	got := make(chan uint32, 8)
+	sub, err := ros.Subscribe(subNode, "phoenix", func(img *testImage) {
+		got <- img.Height
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First incarnation.
+	pubNode1 := newNode(t, "pub1", m)
+	pub1, err := ros.Advertise[testImage](pubNode1, "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "first attach", func() bool { return pub1.NumSubscribers() == 1 })
+	pub1.Publish(&testImage{Height: 1})
+	select {
+	case h := <-got:
+		if h != 1 {
+			t.Fatalf("first message height = %d", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first incarnation never delivered")
+	}
+
+	// Kill it — the whole node, connection and all.
+	pubNode1.Close()
+	eventually(t, "detach", func() bool { return sub.NumPublishers() == 0 })
+
+	// Second incarnation on a fresh node and port.
+	pubNode2 := newNode(t, "pub2", m)
+	pub2, err := ros.Advertise[testImage](pubNode2, "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "re-attach", func() bool { return pub2.NumSubscribers() == 1 })
+	pub2.Publish(&testImage{Height: 2})
+	select {
+	case h := <-got:
+		if h != 2 {
+			t.Fatalf("second message height = %d", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replacement publisher never delivered")
+	}
+}
+
+// TestPublisherSurvivesSubscriberCrash: a subscriber vanishing
+// mid-stream must not wedge the publisher; remaining subscribers keep
+// receiving.
+func TestPublisherSurvivesSubscriberCrash(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	pub, err := ros.Advertise[testImage](pubNode, "robust")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim subscriber node will be torn down abruptly.
+	victimNode := newNode(t, "victim", m)
+	_, err = ros.Subscribe(victimNode, "robust", func(*testImage) {},
+		ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivorNode := newNode(t, "survivor", m)
+	got := make(chan uint32, 16)
+	_, err = ros.Subscribe(survivorNode, "robust", func(img *testImage) { got <- img.Height },
+		ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "both attached", func() bool { return pub.NumSubscribers() == 2 })
+
+	victimNode.Close()
+	for i := uint32(1); i <= 20; i++ {
+		if err := pub.Publish(&testImage{Height: i}); err != nil {
+			t.Fatalf("publish %d after crash: %v", i, err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case h := <-got:
+			if h == 20 {
+				return // survivor saw the final message
+			}
+		case <-deadline:
+			t.Fatal("survivor stopped receiving after peer crash")
+		}
+	}
+}

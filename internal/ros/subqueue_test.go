@@ -1,0 +1,142 @@
+package ros_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+)
+
+// TestSubscriberQueueAsyncDelivery: callbacks run off the reader
+// goroutine and still see every message when the consumer keeps up.
+func TestSubscriberQueueAsyncDelivery(t *testing.T) {
+	m := ros.NewLocalMaster()
+	pubNode := newNode(t, "pub", m)
+	subNode := newNode(t, "sub", m)
+
+	var received atomic.Int32
+	done := make(chan struct{}, 32)
+	_, err := ros.Subscribe(subNode, "aq", func(img *testImage) {
+		received.Add(1)
+		done <- struct{}{}
+	}, ros.WithTransport(ros.TransportTCP), ros.WithSubscriberQueue(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ros.Advertise[testImage](pubNode, "aq", ros.WithQueueSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "attach", func() bool { return pub.NumSubscribers() == 1 })
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(&testImage{Height: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+		<-done // consumer keeps up: lockstep
+	}
+	if got := received.Load(); got != n {
+		t.Errorf("received %d, want %d", got, n)
+	}
+}
+
+// TestSubscriberQueueDropsOldestAndReleases: a slow callback causes
+// drop-oldest eviction, and evicted SFM messages release their arena
+// references (no leaks).
+func TestSubscriberQueueDropsOldestAndReleases(t *testing.T) {
+	m := ros.NewLocalMaster()
+	node := newNode(t, "solo", m)
+
+	gate := make(chan struct{})
+	var deliveredHeights []uint32
+	deliveredDone := make(chan struct{})
+	_, err := ros.Subscribe(node, "slow", func(img *testImageSF) {
+		<-gate // block the dispatcher on the first message
+		deliveredHeights = append(deliveredHeights, img.Height)
+		if img.Height == 99 {
+			close(deliveredDone)
+		}
+	}, ros.WithSubscriberQueue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ros.Advertise[testImageSF](node, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "attach", func() bool { return pub.NumSubscribers() == 1 })
+
+	before := core.LiveMessages()
+	// First message occupies the dispatcher; the queue (depth 2) then
+	// overflows, evicting the oldest pending ones.
+	publish := func(h uint32) {
+		img, err := core.NewWithCapacity[testImageSF](4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img.Height = h
+		if err := pub.Publish(img); err != nil {
+			t.Fatal(err)
+		}
+		core.Release(img)
+	}
+	publish(0)
+	eventually(t, "dispatcher busy", func() bool { return core.LiveMessages() > before })
+	for h := uint32(1); h <= 6; h++ {
+		publish(h)
+	}
+	publish(99) // the newest must survive
+
+	close(gate)
+	select {
+	case <-deliveredDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("final message never delivered")
+	}
+
+	// Evictions must have happened (queue depth 2 cannot hold 7), and
+	// every evicted arena must be reclaimed.
+	if len(deliveredHeights) > 4 {
+		t.Errorf("delivered %d messages through a depth-2 queue: %v",
+			len(deliveredHeights), deliveredHeights)
+	}
+	if deliveredHeights[len(deliveredHeights)-1] != 99 {
+		t.Errorf("newest message lost: %v", deliveredHeights)
+	}
+	eventually(t, "arena reclamation", func() bool { return core.LiveMessages() <= before })
+}
+
+// TestSubscriberQueueCloseReleasesPending: closing a subscription with
+// queued messages must release them all.
+func TestSubscriberQueueCloseReleasesPending(t *testing.T) {
+	m := ros.NewLocalMaster()
+	node := newNode(t, "solo", m)
+
+	gate := make(chan struct{})
+	sub, err := ros.Subscribe(node, "pending", func(img *testImageSF) {
+		<-gate
+	}, ros.WithSubscriberQueue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ros.Advertise[testImageSF](node, "pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "attach", func() bool { return pub.NumSubscribers() == 1 })
+
+	before := core.LiveMessages()
+	for i := 0; i < 5; i++ {
+		img, _ := core.NewWithCapacity[testImageSF](4096)
+		pub.Publish(img)
+		core.Release(img)
+	}
+	eventually(t, "messages pending", func() bool { return core.LiveMessages() > before })
+
+	close(gate) // unblock the dispatcher so Close can join it
+	sub.Close()
+	eventually(t, "pending released", func() bool { return core.LiveMessages() <= before })
+}

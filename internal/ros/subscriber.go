@@ -1,0 +1,557 @@
+package ros
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rossf/internal/core"
+	"rossf/internal/wire"
+)
+
+// TransportMode selects how a subscriber reaches publishers.
+type TransportMode int
+
+const (
+	// TransportAuto attaches intra-process when the publisher shares the
+	// process, otherwise dials TCP. This is the default.
+	TransportAuto TransportMode = iota
+	// TransportTCP always dials the publisher's listener, even in the
+	// same process — the configuration of the paper's Fig. 13, where pub
+	// and sub are separate entities exchanging bytes over loopback.
+	TransportTCP
+	// TransportInproc only attaches to same-process publishers.
+	TransportInproc
+)
+
+// SubOption configures Subscribe.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	transport TransportMode
+	manager   *core.Manager
+	queueSize int
+}
+
+// WithTransport selects the subscriber transport mode.
+func WithTransport(m TransportMode) SubOption {
+	return func(c *subConfig) { c.transport = m }
+}
+
+// WithSubscriberQueue dispatches callbacks asynchronously through a
+// bounded queue of depth n, dropping the oldest pending message when
+// full — roscpp's subscribe queue_size semantics. The default (0) runs
+// callbacks synchronously on the reader goroutine.
+func WithSubscriberQueue(n int) SubOption {
+	return func(c *subConfig) {
+		if n > 0 {
+			c.queueSize = n
+		}
+	}
+}
+
+// WithManager selects the arena manager for received serialization-free
+// messages (default core.Default()).
+func WithManager(m *core.Manager) SubOption {
+	return func(c *subConfig) { c.manager = m }
+}
+
+// Subscriber is a topic subscription. Create with Subscribe, release
+// with Close.
+type Subscriber struct {
+	node  *Node
+	topic string
+
+	cancelWatch func()
+	rt          subRuntime
+	queue       *dispatchQueue // nil = synchronous callbacks
+
+	mu     sync.Mutex
+	conns  map[string]*subConn // keyed by publisher address
+	inproc map[*pubEndpoint]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// dispatchQueue decouples callbacks from reader goroutines with
+// drop-oldest overflow. Each item carries the callback invocation and a
+// drop action that releases resources when the item is evicted.
+type dispatchQueue struct {
+	ch       chan dispatchItem
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type dispatchItem struct {
+	run  func()
+	drop func()
+}
+
+func newDispatchQueue(depth int) *dispatchQueue {
+	q := &dispatchQueue{
+		ch:   make(chan dispatchItem, depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go q.loop()
+	return q
+}
+
+func (q *dispatchQueue) loop() {
+	defer close(q.done)
+	for {
+		select {
+		case <-q.stop:
+			return
+		case it := <-q.ch:
+			it.run()
+		}
+	}
+}
+
+// enqueue mirrors pubConn.enqueue's drop-oldest discipline, including
+// the post-send recheck against a concurrent close.
+func (q *dispatchQueue) enqueue(it dispatchItem) {
+	for {
+		select {
+		case <-q.stop:
+			it.drop()
+			return
+		case q.ch <- it:
+			select {
+			case <-q.stop:
+				select {
+				case old := <-q.ch:
+					old.drop()
+				default:
+				}
+			default:
+			}
+			return
+		default:
+		}
+		select {
+		case old := <-q.ch:
+			old.drop()
+		default:
+		}
+	}
+}
+
+func (q *dispatchQueue) close() {
+	q.stopOnce.Do(func() {
+		close(q.stop)
+		<-q.done
+		for {
+			select {
+			case it := <-q.ch:
+				it.drop()
+			default:
+				return
+			}
+		}
+	})
+}
+
+// dispatch routes one delivery through the queue, or runs it inline
+// when the subscription is synchronous.
+func (s *Subscriber) dispatch(run, drop func()) {
+	if s.queue == nil {
+		run()
+		return
+	}
+	s.queue.enqueue(dispatchItem{run: run, drop: drop})
+}
+
+// subRuntime is the type-specific receive machinery behind a
+// Subscriber.
+type subRuntime interface {
+	inprocTarget
+	// runConn consumes frames from an established publisher connection
+	// until it fails or is closed.
+	runConn(conn net.Conn, pubHeader map[string]string)
+}
+
+// Subscribe registers a callback for every message arriving on topic —
+// the analog of NodeHandle::subscribe. The message type decides the
+// regime:
+//
+//   - regular messages: each frame is de-serialized into a fresh *T (the
+//     callback's Image::ConstPtr);
+//   - serialization-free messages: the received buffer itself becomes
+//     the *T (the paper's dummy de-serialization routine, Fig. 9). The
+//     message is released when the callback returns; call core.Retain
+//     inside the callback to keep it alive longer.
+//
+// The callback runs on the connection's reader goroutine; a slow
+// callback applies backpressure on that one connection, as in roscpp
+// with queue size 0.
+func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*Subscriber, error) {
+	typeName, md5, ok := typeInfoOf[T]()
+	if !ok {
+		return nil, fmt.Errorf("ros: type %T does not implement ros.Message", new(T))
+	}
+	cfg := subConfig{manager: core.Default()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	s := &Subscriber{
+		node:   n,
+		topic:  topic,
+		conns:  make(map[string]*subConn),
+		inproc: make(map[*pubEndpoint]struct{}),
+	}
+	if cfg.queueSize > 0 {
+		s.queue = newDispatchQueue(cfg.queueSize)
+	}
+	switch {
+	case isSFMType[T]():
+		layout, err := core.LayoutOf[T]()
+		if err != nil {
+			return nil, fmt.Errorf("ros: subscribe %s: %w", typeName, err)
+		}
+		s.rt = &sfmRuntime[T]{sub: s, cb: cb, layout: layout, mgr: cfg.manager,
+			typeName: typeName, md5: md5}
+	case isSerializableType[T]():
+		s.rt = &ros1Runtime[T]{sub: s, cb: cb, typeName: typeName, md5: md5}
+	default:
+		return nil, fmt.Errorf("ros: type %T implements neither Serializable nor SFMessage", new(T))
+	}
+
+	if err := n.registerSub(s); err != nil {
+		return nil, err
+	}
+	cancel, err := n.master.WatchPublishers(topic, typeName, md5, func(pubs []PublisherInfo) {
+		s.onPublishers(pubs, cfg.transport)
+	})
+	if err != nil {
+		n.unregisterSub(s)
+		return nil, err
+	}
+	s.cancelWatch = cancel
+	return s, nil
+}
+
+// Topic returns the subscribed topic name.
+func (s *Subscriber) Topic() string { return s.topic }
+
+// NumPublishers returns the number of currently attached publishers.
+func (s *Subscriber) NumPublishers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns) + len(s.inproc)
+}
+
+// onPublishers reconciles the attachment set with the master's current
+// publisher list. It must not block (master callback contract), so new
+// dials happen on fresh goroutines.
+func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+
+	wantTCP := make(map[string]bool)
+	wantInproc := make(map[*pubEndpoint]bool)
+	for _, p := range pubs {
+		useInproc := p.direct != nil && mode != TransportTCP
+		if useInproc {
+			wantInproc[p.direct] = true
+			continue
+		}
+		if p.Addr != "" && mode != TransportInproc {
+			wantTCP[p.Addr] = true
+		}
+	}
+
+	// Attach new intra-process publishers.
+	for ep := range wantInproc {
+		if _, ok := s.inproc[ep]; ok {
+			continue
+		}
+		if err := ep.attachInproc(s.rt); err == nil {
+			s.inproc[ep] = struct{}{}
+		}
+	}
+	// Detach vanished ones.
+	for ep := range s.inproc {
+		if !wantInproc[ep] {
+			ep.detachInproc(s.rt)
+			delete(s.inproc, ep)
+		}
+	}
+
+	// Dial new TCP publishers.
+	for addr := range wantTCP {
+		if _, ok := s.conns[addr]; ok {
+			continue
+		}
+		sc := &subConn{addr: addr}
+		s.conns[addr] = sc
+		s.wg.Add(1)
+		go func(addr string, sc *subConn) {
+			defer s.wg.Done()
+			s.dialAndRun(addr, sc)
+		}(addr, sc)
+	}
+	// Drop vanished TCP publishers.
+	for addr, sc := range s.conns {
+		if !wantTCP[addr] {
+			sc.close()
+			delete(s.conns, addr)
+		}
+	}
+}
+
+// dialAndRun connects to one publisher and pumps its frames.
+func (s *Subscriber) dialAndRun(addr string, sc *subConn) {
+	defer func() {
+		s.mu.Lock()
+		if s.conns[addr] == sc {
+			delete(s.conns, addr)
+		}
+		s.mu.Unlock()
+	}()
+
+	conn, err := s.node.dial(addr)
+	if err != nil {
+		return
+	}
+	if !sc.bind(conn) {
+		conn.Close()
+		return
+	}
+	typeName, md5, _ := typeInfoOf0(s.rt)
+	format := formatROS1
+	if _, sfm := s.rt.(sfmMarker); sfm {
+		format = formatSFM
+	}
+	conn.SetDeadline(nowPlusHandshake())
+	err = writeHeader(conn, map[string]string{
+		hdrTopic:    s.topic,
+		hdrType:     typeName,
+		hdrMD5:      md5,
+		hdrCallerID: s.node.name,
+		hdrFormat:   format,
+		hdrEndian:   nativeEndianName(core.NativeLittleEndian()),
+	})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	reply, err := readHeader(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if errMsg, bad := reply[hdrError]; bad {
+		conn.Close()
+		_ = errMsg // the master-level type check makes this unreachable in-process
+		return
+	}
+	conn.SetDeadline(zeroTime())
+	s.rt.runConn(conn, reply)
+	conn.Close()
+}
+
+// Close cancels the subscription, closes connections, and joins all
+// goroutines.
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*subConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	inproc := make([]*pubEndpoint, 0, len(s.inproc))
+	for ep := range s.inproc {
+		inproc = append(inproc, ep)
+	}
+	s.conns = make(map[string]*subConn)
+	s.inproc = make(map[*pubEndpoint]struct{})
+	s.mu.Unlock()
+
+	if s.cancelWatch != nil {
+		s.cancelWatch()
+	}
+	for _, ep := range inproc {
+		ep.detachInproc(s.rt)
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+	if s.queue != nil {
+		s.queue.close()
+	}
+	s.node.unregisterSub(s)
+}
+
+// subConn tracks one outbound connection so Close can interrupt a
+// blocked read.
+type subConn struct {
+	mu     sync.Mutex
+	addr   string
+	conn   net.Conn
+	closed bool
+}
+
+func (c *subConn) bind(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.conn = conn
+	return true
+}
+
+func (c *subConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// sfmMarker tags the SFM runtime for format negotiation.
+type sfmMarker interface{ sfmRuntimeMarker() }
+
+// typeInfoOf0 recovers topic metadata from a runtime.
+func typeInfoOf0(rt subRuntime) (typeName, md5 string, ok bool) {
+	type meta interface{ topicMeta() (string, string) }
+	if m, isMeta := rt.(meta); isMeta {
+		t, s := m.topicMeta()
+		return t, s, true
+	}
+	return "", "", false
+}
+
+// ros1Runtime receives regular serialized messages.
+type ros1Runtime[T any] struct {
+	sub      *Subscriber
+	cb       func(*T)
+	typeName string
+	md5      string
+}
+
+func (r *ros1Runtime[T]) topicMeta() (string, string) { return r.typeName, r.md5 }
+
+func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
+	scratch := make([]byte, 0, 4096)
+	for {
+		n, err := readFrameLen(conn)
+		if err != nil {
+			return
+		}
+		if cap(scratch) < n {
+			scratch = make([]byte, n)
+		}
+		buf := scratch[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		r.deliverFrame(buf)
+	}
+}
+
+func (r *ros1Runtime[T]) deliverFrame(frame []byte) {
+	m := new(T)
+	sz, ok := any(m).(Serializable)
+	if !ok {
+		return
+	}
+	rd := wire.NewReader(frame)
+	if err := sz.DeserializeROS(rd); err != nil {
+		return // a malformed frame is dropped, as roscpp does
+	}
+	r.sub.dispatch(func() { r.cb(m) }, func() {})
+}
+
+func (r *ros1Runtime[T]) deliverShared(m any, release func()) {
+	// A regular subscriber never negotiates a shared SFM message; guard
+	// anyway to keep release-exactly-once.
+	defer release()
+}
+
+// sfmRuntime receives serialization-free messages: frames are adopted as
+// live messages with zero transformation.
+type sfmRuntime[T any] struct {
+	sub      *Subscriber
+	cb       func(*T)
+	layout   *core.Layout
+	mgr      *core.Manager
+	typeName string
+	md5      string
+}
+
+func (r *sfmRuntime[T]) sfmRuntimeMarker()           {}
+func (r *sfmRuntime[T]) topicMeta() (string, string) { return r.typeName, r.md5 }
+
+func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
+	srcLittle := pubHeader[hdrEndian] != endianBig
+	for {
+		n, err := readFrameLen(conn)
+		if err != nil {
+			return
+		}
+		buf := r.mgr.GetBuffer(n)
+		if _, err := io.ReadFull(conn, buf.Bytes()[:n]); err != nil {
+			buf.Discard()
+			return
+		}
+		// §4.4.1: the message arrives in the publisher's byte order; the
+		// subscriber converts only on mismatch.
+		if err := core.ConvertEndianness(buf.Bytes()[:n], r.layout, srcLittle); err != nil {
+			buf.Discard()
+			return
+		}
+		m, err := core.Adopt[T](buf, n)
+		if err != nil {
+			buf.Discard()
+			continue
+		}
+		r.sub.dispatch(
+			func() { r.cb(m); core.Release(m) },
+			func() { core.Release(m) },
+		)
+	}
+}
+
+func (r *sfmRuntime[T]) deliverShared(m any, release func()) {
+	t, ok := m.(*T)
+	if !ok {
+		release()
+		return
+	}
+	r.sub.dispatch(
+		func() { r.cb(t); release() },
+		release,
+	)
+}
+
+func (r *sfmRuntime[T]) deliverFrame(frame []byte) {
+	// An SFM subscriber attached to a regular publisher is prevented at
+	// negotiation time; adopt defensively if it ever happens.
+	buf := r.mgr.GetBuffer(len(frame))
+	copy(buf.Bytes(), frame)
+	m, err := core.Adopt[T](buf, len(frame))
+	if err != nil {
+		buf.Discard()
+		return
+	}
+	r.sub.dispatch(
+		func() { r.cb(m); core.Release(m) },
+		func() { core.Release(m) },
+	)
+}

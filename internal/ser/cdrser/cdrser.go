@@ -1,0 +1,254 @@
+// Package cdrser implements an XCDR2-like serialization with
+// parameterized member headers — the format RTI Connext uses for both its
+// regular DDS path and the FlatData serialization-free path, and the
+// layout of the paper's Fig. 5.
+//
+// Each member is 4-byte aligned and starts with an EMHEADER word
+// LC<<28|id, where id is the member index and LC encodes the length:
+// 0/1/2/3 for inline 1/2/4/8-byte values, 4 for a NEXTINT u32 length
+// followed by that many bytes. Because member offsets are not fixed,
+// field access on a received buffer must scan members until the wanted
+// id is found (Accessor) — the transparency limitation of §3.2 that
+// motivates SFM.
+package cdrser
+
+import (
+	"fmt"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser"
+	"rossf/internal/wire"
+)
+
+// Length codes in the EMHEADER top nibble.
+const (
+	lc1Byte = 0
+	lc2Byte = 1
+	lc4Byte = 2
+	lc8Byte = 3
+	lcNext  = 4
+	lcShift = 28
+	idMask  = (1 << lcShift) - 1
+)
+
+func emheader(lc, id int) uint32 { return uint32(lc)<<lcShift | uint32(id) }
+
+// Codec serializes dynamic messages in the XCDR2-like format.
+type Codec struct {
+	reg *msg.Registry
+}
+
+var _ ser.Codec = (*Codec)(nil)
+
+// New returns an XCDR2-like codec resolving embedded types through reg.
+func New(reg *msg.Registry) *Codec { return &Codec{reg: reg} }
+
+// Name implements ser.Codec.
+func (c *Codec) Name() string { return "xcdr2" }
+
+// Marshal implements ser.Codec.
+func (c *Codec) Marshal(d *msg.Dynamic) ([]byte, error) {
+	w := wire.NewWriter(256)
+	if err := c.encode(w, d); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// MarshalInto encodes into an existing writer — the FlatData-like
+// in-place construction path used by the benchmarks.
+func (c *Codec) MarshalInto(w *wire.Writer, d *msg.Dynamic) error {
+	w.Reset()
+	return c.encode(w, d)
+}
+
+func (c *Codec) encode(w *wire.Writer, d *msg.Dynamic) error {
+	for i, f := range d.Spec.Fields {
+		if err := c.encodeMember(w, i, f.Type, d.Fields[f.Name]); err != nil {
+			return fmt.Errorf("%s.%s: %w", d.Spec.FullName(), f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Codec) encodeMember(w *wire.Writer, id int, t msg.TypeSpec, v any) error {
+	w.Pad(4)
+	if t.IsArray {
+		return c.encodeVectorMember(w, id, t.Base(), v)
+	}
+	switch t.Prim {
+	case msg.PBool:
+		w.U32(emheader(lc1Byte, id))
+		w.Bool(v.(bool))
+	case msg.PInt8:
+		w.U32(emheader(lc1Byte, id))
+		w.I8(v.(int8))
+	case msg.PUint8:
+		w.U32(emheader(lc1Byte, id))
+		w.U8(v.(uint8))
+	case msg.PInt16:
+		w.U32(emheader(lc2Byte, id))
+		w.I16(v.(int16))
+	case msg.PUint16:
+		w.U32(emheader(lc2Byte, id))
+		w.U16(v.(uint16))
+	case msg.PInt32:
+		w.U32(emheader(lc4Byte, id))
+		w.I32(v.(int32))
+	case msg.PUint32:
+		w.U32(emheader(lc4Byte, id))
+		w.U32(v.(uint32))
+	case msg.PFloat32:
+		w.U32(emheader(lc4Byte, id))
+		w.F32(v.(float32))
+	case msg.PInt64:
+		w.U32(emheader(lc8Byte, id))
+		w.I64(v.(int64))
+	case msg.PUint64:
+		w.U32(emheader(lc8Byte, id))
+		w.U64(v.(uint64))
+	case msg.PFloat64:
+		w.U32(emheader(lc8Byte, id))
+		w.F64(v.(float64))
+	case msg.PTime:
+		tv := v.(msg.Time)
+		w.U32(emheader(lc8Byte, id))
+		w.U32(tv.Sec)
+		w.U32(tv.Nsec)
+	case msg.PDuration:
+		dv := v.(msg.Duration)
+		w.U32(emheader(lc8Byte, id))
+		w.I32(dv.Sec)
+		w.I32(dv.Nsec)
+	case msg.PString:
+		s := v.(string)
+		padded := paddedLen(len(s) + 1)
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(padded))
+		w.Raw([]byte(s))
+		w.U8(0)
+		w.Pad(4)
+	case msg.PNone:
+		sub, ok := v.(*msg.Dynamic)
+		if !ok {
+			return fmt.Errorf("expected *Dynamic for %s, got %T", t.Msg, v)
+		}
+		body := wire.NewWriter(64)
+		if err := c.encode(body, sub); err != nil {
+			return err
+		}
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(body.Len()))
+		w.Raw(body.Bytes())
+		w.Pad(4)
+	default:
+		return fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+	return nil
+}
+
+func (c *Codec) encodeVectorMember(w *wire.Writer, id int, base msg.TypeSpec, v any) error {
+	switch base.Prim {
+	case msg.PString:
+		ss := v.([]string)
+		body := wire.NewWriter(64)
+		body.U32(uint32(len(ss)))
+		for _, s := range ss {
+			body.U32(uint32(paddedLen(len(s) + 1)))
+			body.Raw([]byte(s))
+			body.U8(0)
+			body.Pad(4)
+		}
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(body.Len()))
+		w.Raw(body.Bytes())
+	case msg.PNone:
+		ds := v.([]*msg.Dynamic)
+		body := wire.NewWriter(128)
+		body.U32(uint32(len(ds)))
+		for _, d := range ds {
+			elem := wire.NewWriter(64)
+			if err := c.encode(elem, d); err != nil {
+				return err
+			}
+			body.U32(uint32(elem.Len()))
+			body.Raw(elem.Bytes())
+			body.Pad(4)
+		}
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(body.Len()))
+		w.Raw(body.Bytes())
+	case msg.PTime:
+		ts := v.([]msg.Time)
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(8 * len(ts)))
+		for _, t := range ts {
+			w.U32(t.Sec)
+			w.U32(t.Nsec)
+		}
+	case msg.PDuration:
+		ds := v.([]msg.Duration)
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(8 * len(ds)))
+		for _, d := range ds {
+			w.I32(d.Sec)
+			w.I32(d.Nsec)
+		}
+	default:
+		// Packed primitive vector: length = count * elemSize, exactly as
+		// the 300-byte data member of Fig. 5.
+		n, err := ser.ArrayLen(v)
+		if err != nil {
+			return err
+		}
+		elemSize := base.Prim.FixedSize()
+		w.U32(emheader(lcNext, id))
+		w.U32(uint32(n * elemSize))
+		err = ser.ForEach(v, func(e any) error {
+			return encodePrim(w, base.Prim, e)
+		})
+		if err != nil {
+			return err
+		}
+		w.Pad(4)
+	}
+	w.Pad(4)
+	return nil
+}
+
+func encodePrim(w *wire.Writer, p msg.Prim, v any) error {
+	switch p {
+	case msg.PBool:
+		w.Bool(v.(bool))
+	case msg.PInt8:
+		w.I8(v.(int8))
+	case msg.PUint8:
+		w.U8(v.(uint8))
+	case msg.PInt16:
+		w.I16(v.(int16))
+	case msg.PUint16:
+		w.U16(v.(uint16))
+	case msg.PInt32:
+		w.I32(v.(int32))
+	case msg.PUint32:
+		w.U32(v.(uint32))
+	case msg.PInt64:
+		w.I64(v.(int64))
+	case msg.PUint64:
+		w.U64(v.(uint64))
+	case msg.PFloat32:
+		w.F32(v.(float32))
+	case msg.PFloat64:
+		w.F64(v.(float64))
+	default:
+		return fmt.Errorf("unsupported packed primitive %v", p)
+	}
+	return nil
+}
+
+func paddedLen(n int) int {
+	if rem := n % 4; rem != 0 {
+		n += 4 - rem
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package cdrser
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"rossf/internal/msg"
+	"rossf/internal/wire"
+)
+
+// fig5Registry builds the paper's simplified Image with the member-id
+// assignment of Fig. 5: height=0, width=1, encoding=2, data=3.
+func fig5Registry(t *testing.T) (*msg.Registry, *msg.Dynamic) {
+	t.Helper()
+	reg := msg.NewRegistry()
+	spec, err := reg.ParseAndRegister("test", "Image",
+		"uint32 height\nuint32 width\nstring encoding\nuint8[] data\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set("height", uint32(10))
+	d.Set("width", uint32(10))
+	d.Set("encoding", "rgb8")
+	d.Set("data", make([]uint8, 300))
+	return reg, d
+}
+
+// TestFig5Layout pins the EMHEADER words and member lengths of the
+// paper's Fig. 5. The paper's RTI stream emits members in construction
+// order; our codec emits in member-id order, but every header word and
+// length matches the figure: 0x20000000/0x20000001 for the 4-byte
+// height/width members, 0x40000002 with length 8 for encoding
+// ("rgb8" + NUL + padding), 0x40000003 with length 300 for data.
+func TestFig5Layout(t *testing.T) {
+	reg, d := fig5Registry(t)
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(buf[off:]) }
+
+	if got := u32(0x00); got != 0x20000000 {
+		t.Errorf("height header = %#x, want 0x20000000", got)
+	}
+	if got := u32(0x04); got != 10 {
+		t.Errorf("height value = %d, want 10", got)
+	}
+	if got := u32(0x08); got != 0x20000001 {
+		t.Errorf("width header = %#x, want 0x20000001", got)
+	}
+	if got := u32(0x0c); got != 10 {
+		t.Errorf("width value = %d, want 10", got)
+	}
+	if got := u32(0x10); got != 0x40000002 {
+		t.Errorf("encoding header = %#x, want 0x40000002", got)
+	}
+	if got := u32(0x14); got != 8 {
+		t.Errorf("encoding length = %d, want 8 (content + NUL + padding)", got)
+	}
+	if !bytes.Equal(buf[0x18:0x1d], []byte("rgb8\x00")) {
+		t.Errorf("encoding payload = %q", buf[0x18:0x1d])
+	}
+	if got := u32(0x20); got != 0x40000003 {
+		t.Errorf("data header = %#x, want 0x40000003", got)
+	}
+	if got := u32(0x24); got != 300 {
+		t.Errorf("data length = %d, want 300", got)
+	}
+	if len(buf) != 0x28+300 {
+		t.Errorf("total size = %d, want %d", len(buf), 0x28+300)
+	}
+}
+
+// TestAccessorScan verifies the FlatData-style access path: fields are
+// found by scanning members — including that a late member requires
+// walking past all earlier ones.
+func TestAccessorScan(t *testing.T) {
+	reg, d := fig5Registry(t)
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccessor(buf)
+
+	if v, ok := a.U32Member(0); !ok || v != 10 {
+		t.Errorf("height = %d,%v", v, ok)
+	}
+	if v, ok := a.U32Member(1); !ok || v != 10 {
+		t.Errorf("width = %d,%v", v, ok)
+	}
+	if s, ok := a.StringMember(2); !ok || s != "rgb8" {
+		t.Errorf("encoding = %q,%v", s, ok)
+	}
+	if b, ok := a.BytesMember(3); !ok || len(b) != 300 {
+		t.Errorf("data = %d bytes,%v", len(b), ok)
+	}
+	if _, _, ok := a.Member(9); ok {
+		t.Error("found nonexistent member")
+	}
+	if _, ok := a.U32Member(2); ok {
+		t.Error("U32Member accepted a NEXTINT member")
+	}
+}
+
+// TestInPlaceConstructionMatchesMarshal checks that the FlatData-like
+// MarshalInto path produces the identical wire image.
+func TestInPlaceConstructionMatchesMarshal(t *testing.T) {
+	reg, d := fig5Registry(t)
+	c := New(reg)
+	ref, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(256)
+	if err := c.MarshalInto(w, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Bytes(), ref) {
+		t.Error("MarshalInto differs from Marshal")
+	}
+}
+
+// TestEightByteMembers covers LC=3 members (uint64, time, duration).
+func TestEightByteMembers(t *testing.T) {
+	reg := msg.NewRegistry()
+	spec, err := reg.ParseAndRegister("test", "Wide",
+		"uint64 big\ntime stamp\nduration d\nfloat64 x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("big", uint64(1<<40))
+	d.Set("stamp", msg.Time{Sec: 7, Nsec: 8})
+	d.Set("d", msg.Duration{Sec: -1, Nsec: -2})
+	d.Set("x", 3.5)
+
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(buf); got != 0x30000000 {
+		t.Errorf("first header = %#x, want LC=3 id=0", got)
+	}
+	got, err := c.Unmarshal(buf, "test/Wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(d, got) {
+		t.Error("round trip mismatch")
+	}
+}

@@ -1,0 +1,304 @@
+package cdrser
+
+import (
+	"fmt"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser"
+	"rossf/internal/wire"
+)
+
+// Unmarshal implements ser.Codec.
+func (c *Codec) Unmarshal(data []byte, typeName string) (*msg.Dynamic, error) {
+	spec, err := c.reg.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	return c.decode(data, spec)
+}
+
+func (c *Codec) decode(data []byte, spec *msg.Spec) (*msg.Dynamic, error) {
+	d, err := msg.NewDynamic(spec, c.reg)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(data)
+	for r.Remaining() >= 4 {
+		r.Align(4)
+		if r.Remaining() < 4 {
+			break
+		}
+		hdr := r.U32()
+		lc := int(hdr >> lcShift)
+		id := int(hdr & idMask)
+		if id >= len(spec.Fields) {
+			return nil, fmt.Errorf("xcdr2: member id %d out of range for %s", id, spec.FullName())
+		}
+		f := spec.Fields[id]
+		v, err := c.decodeMember(r, lc, f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", spec.FullName(), f.Name, err)
+		}
+		if rerr := r.Err(); rerr != nil {
+			return nil, rerr
+		}
+		d.Fields[f.Name] = v
+	}
+	return d, r.Err()
+}
+
+func (c *Codec) decodeMember(r *wire.Reader, lc int, t msg.TypeSpec) (any, error) {
+	if t.IsArray {
+		if lc != lcNext {
+			return nil, fmt.Errorf("array member has LC %d", lc)
+		}
+		n := int(r.U32())
+		body := r.Raw(n)
+		r.Align(4)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return c.decodeVectorBody(body, t)
+	}
+	switch t.Prim {
+	case msg.PBool:
+		v := r.Bool()
+		r.Align(4)
+		return v, r.Err()
+	case msg.PInt8:
+		v := r.I8()
+		r.Align(4)
+		return v, r.Err()
+	case msg.PUint8:
+		v := r.U8()
+		r.Align(4)
+		return v, r.Err()
+	case msg.PInt16:
+		v := r.I16()
+		r.Align(4)
+		return v, r.Err()
+	case msg.PUint16:
+		v := r.U16()
+		r.Align(4)
+		return v, r.Err()
+	case msg.PInt32:
+		return r.I32(), r.Err()
+	case msg.PUint32:
+		return r.U32(), r.Err()
+	case msg.PFloat32:
+		return r.F32(), r.Err()
+	case msg.PInt64:
+		return r.I64(), r.Err()
+	case msg.PUint64:
+		return r.U64(), r.Err()
+	case msg.PFloat64:
+		return r.F64(), r.Err()
+	case msg.PTime:
+		return msg.Time{Sec: r.U32(), Nsec: r.U32()}, r.Err()
+	case msg.PDuration:
+		return msg.Duration{Sec: r.I32(), Nsec: r.I32()}, r.Err()
+	case msg.PString:
+		n := int(r.U32())
+		b := r.Raw(n)
+		r.Align(4)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return trimNUL(b), nil
+	case msg.PNone:
+		n := int(r.U32())
+		body := r.Raw(n)
+		r.Align(4)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		sub, err := c.reg.Lookup(t.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return c.decode(body, sub)
+	default:
+		return nil, fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+}
+
+func (c *Codec) decodeVectorBody(body []byte, t msg.TypeSpec) (any, error) {
+	base := t.Base()
+	r := wire.NewReader(body)
+	switch base.Prim {
+	case msg.PString:
+		count := int(r.U32())
+		out := make([]string, 0, count)
+		for i := 0; i < count; i++ {
+			n := int(r.U32())
+			b := r.Raw(n)
+			r.Align(4)
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			out = append(out, trimNUL(b))
+		}
+		return out, nil
+	case msg.PNone:
+		count := int(r.U32())
+		sub, err := c.reg.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*msg.Dynamic, 0, count)
+		for i := 0; i < count; i++ {
+			n := int(r.U32())
+			eb := r.Raw(n)
+			r.Align(4)
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			d, err := c.decode(eb, sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+		}
+		return out, nil
+	case msg.PTime:
+		count := len(body) / 8
+		out := make([]msg.Time, count)
+		for i := range out {
+			out[i] = msg.Time{Sec: r.U32(), Nsec: r.U32()}
+		}
+		return out, r.Err()
+	case msg.PDuration:
+		count := len(body) / 8
+		out := make([]msg.Duration, count)
+		for i := range out {
+			out[i] = msg.Duration{Sec: r.I32(), Nsec: r.I32()}
+		}
+		return out, r.Err()
+	default:
+		elemSize := base.Prim.FixedSize()
+		if elemSize == 0 {
+			return nil, fmt.Errorf("variable element in packed vector")
+		}
+		count := len(body) / elemSize
+		return ser.BuildSlice(base, count, func() (any, error) {
+			return decodePrim(r, base.Prim)
+		})
+	}
+}
+
+func decodePrim(r *wire.Reader, p msg.Prim) (any, error) {
+	switch p {
+	case msg.PBool:
+		return r.Bool(), r.Err()
+	case msg.PInt8:
+		return r.I8(), r.Err()
+	case msg.PUint8:
+		return r.U8(), r.Err()
+	case msg.PInt16:
+		return r.I16(), r.Err()
+	case msg.PUint16:
+		return r.U16(), r.Err()
+	case msg.PInt32:
+		return r.I32(), r.Err()
+	case msg.PUint32:
+		return r.U32(), r.Err()
+	case msg.PInt64:
+		return r.I64(), r.Err()
+	case msg.PUint64:
+		return r.U64(), r.Err()
+	case msg.PFloat32:
+		return r.F32(), r.Err()
+	case msg.PFloat64:
+		return r.F64(), r.Err()
+	default:
+		return nil, fmt.Errorf("unsupported packed primitive %v", p)
+	}
+}
+
+func trimNUL(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Accessor provides FlatData-style field access on a received XCDR2
+// buffer: every lookup scans the member stream from the start until the
+// wanted member id is found. The paper's §3.2 points out this traversal
+// cost as inherent to the format.
+type Accessor struct {
+	buf []byte
+}
+
+// NewAccessor wraps a received buffer.
+func NewAccessor(buf []byte) Accessor { return Accessor{buf: buf} }
+
+// Member locates member id and returns its LC code and value bytes
+// (inline scalar bytes for LC 0-3, the NEXTINT body for LC 4).
+func (a Accessor) Member(id int) (lc int, value []byte, ok bool) {
+	r := wire.NewReader(a.buf)
+	for r.Remaining() >= 4 {
+		r.Align(4)
+		if r.Remaining() < 4 {
+			break
+		}
+		hdr := r.U32()
+		mlc := int(hdr >> lcShift)
+		mid := int(hdr & idMask)
+		var body []byte
+		switch mlc {
+		case lc1Byte:
+			body = r.Raw(1)
+			r.Align(4)
+		case lc2Byte:
+			body = r.Raw(2)
+			r.Align(4)
+		case lc4Byte:
+			body = r.Raw(4)
+		case lc8Byte:
+			body = r.Raw(8)
+		case lcNext:
+			n := int(r.U32())
+			body = r.Raw(n)
+			r.Align(4)
+		default:
+			return 0, nil, false
+		}
+		if r.Err() != nil {
+			return 0, nil, false
+		}
+		if mid == id {
+			return mlc, body, true
+		}
+	}
+	return 0, nil, false
+}
+
+// U32Member reads a 4-byte member as uint32.
+func (a Accessor) U32Member(id int) (uint32, bool) {
+	lc, body, ok := a.Member(id)
+	if !ok || lc != lc4Byte || len(body) != 4 {
+		return 0, false
+	}
+	return uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24, true
+}
+
+// BytesMember reads a NEXTINT member's body (e.g. a packed byte vector).
+func (a Accessor) BytesMember(id int) ([]byte, bool) {
+	lc, body, ok := a.Member(id)
+	if !ok || lc != lcNext {
+		return nil, false
+	}
+	return body, true
+}
+
+// StringMember reads a NEXTINT member as a NUL-terminated string.
+func (a Accessor) StringMember(id int) (string, bool) {
+	body, ok := a.BytesMember(id)
+	if !ok {
+		return "", false
+	}
+	return trimNUL(body), true
+}

@@ -1,0 +1,257 @@
+// Package flatser implements a FlatBuffer-like serialization-free format:
+// the second comparator of the paper's Fig. 14 and the layout of its
+// Fig. 6. Messages are built back-to-front with a Builder (so the
+// first-assigned field ends up at the end of the buffer, as the paper
+// observes), tables reference a vtable that maps field slots to inline
+// offsets, and variable data is reached through relative offsets. Access
+// therefore goes through accessor methods — the indirection that costs
+// FlatBuffer its transparency.
+package flatser
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Pos identifies a created object as its distance from the end of the
+// buffer, which is stable across builder growth.
+type Pos = int
+
+// Builder assembles a FlatBuffer-like message back-to-front: payloads are
+// created first (ending up at the back of the buffer), then the tables
+// that reference them, and finally the root offset. Children must be
+// finished before their parents — the construction-order restriction the
+// paper criticizes in §3.3.
+type Builder struct {
+	buf  []byte
+	head int // index of the first used byte; the message is buf[head:]
+
+	// Table under construction: slot index -> pending value.
+	slots []pendingSlot
+}
+
+type pendingSlot struct {
+	set    bool
+	size   int    // inline size (4 for refs)
+	isRef  bool   // value is a Pos to patch relative
+	ref    Pos    // target when isRef
+	scalar uint64 // raw little-endian scalar bits otherwise
+}
+
+// NewBuilder returns a builder with the given initial capacity.
+func NewBuilder(capacity int) *Builder {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &Builder{buf: make([]byte, capacity), head: capacity}
+}
+
+// Reset discards all content, keeping the allocation.
+func (b *Builder) Reset() {
+	b.head = len(b.buf)
+	b.slots = nil
+}
+
+// pos converts the current head to an end-distance Pos.
+func (b *Builder) pos() Pos { return len(b.buf) - b.head }
+
+// index converts an end-distance Pos to a buffer index.
+func (b *Builder) index(p Pos) int { return len(b.buf) - p }
+
+func (b *Builder) ensure(n int) {
+	if b.head >= n {
+		return
+	}
+	used := len(b.buf) - b.head
+	newCap := len(b.buf) * 2
+	for newCap-used < n {
+		newCap *= 2
+	}
+	nb := make([]byte, newCap)
+	copy(nb[newCap-used:], b.buf[b.head:])
+	b.buf = nb
+	b.head = newCap - used
+}
+
+// prepend reserves n zeroed bytes at the front of the used region and
+// returns their starting buffer index.
+func (b *Builder) prepend(n int) int {
+	b.ensure(n)
+	b.head -= n
+	clear(b.buf[b.head : b.head+n])
+	return b.head
+}
+
+// pad aligns the used-region size to a multiple of n.
+func (b *Builder) pad(n int) {
+	if rem := b.pos() % n; rem != 0 {
+		b.prepend(n - rem)
+	}
+}
+
+// CreateString writes string payload (u32 length, bytes, NUL, padding to
+// 4) and returns its position.
+func (b *Builder) CreateString(s string) Pos {
+	b.pad(4)
+	total := len(s) + 1
+	if rem := total % 4; rem != 0 {
+		total += 4 - rem
+	}
+	p := b.prepend(total)
+	copy(b.buf[p:], s)
+	lp := b.prepend(4)
+	binary.LittleEndian.PutUint32(b.buf[lp:], uint32(len(s)))
+	return b.pos()
+}
+
+// CreateByteVector writes a byte vector (u32 count, bytes, padding) and
+// returns its position.
+func (b *Builder) CreateByteVector(data []byte) Pos {
+	b.pad(4)
+	total := len(data)
+	if rem := total % 4; rem != 0 {
+		total += 4 - rem
+	}
+	p := b.prepend(total)
+	copy(b.buf[p:], data)
+	lp := b.prepend(4)
+	binary.LittleEndian.PutUint32(b.buf[lp:], uint32(len(data)))
+	return b.pos()
+}
+
+// CreateScalarVector writes a packed scalar vector with elemSize-byte
+// little-endian elements provided as raw bits, and returns its position.
+func (b *Builder) CreateScalarVector(elemSize int, elems []uint64) Pos {
+	b.pad(4)
+	total := elemSize * len(elems)
+	if rem := total % 4; rem != 0 {
+		total += 4 - rem
+	}
+	p := b.prepend(total)
+	for i, e := range elems {
+		putScalar(b.buf[p+i*elemSize:], elemSize, e)
+	}
+	lp := b.prepend(4)
+	binary.LittleEndian.PutUint32(b.buf[lp:], uint32(len(elems)))
+	return b.pos()
+}
+
+// CreateRefVector writes a vector of relative references to previously
+// created positions and returns its position.
+func (b *Builder) CreateRefVector(refs []Pos) Pos {
+	b.pad(4)
+	p := b.prepend(4 * len(refs))
+	for i, r := range refs {
+		slotIdx := p + 4*i
+		targetIdx := b.index(r)
+		binary.LittleEndian.PutUint32(b.buf[slotIdx:], uint32(targetIdx-slotIdx))
+	}
+	lp := b.prepend(4)
+	binary.LittleEndian.PutUint32(b.buf[lp:], uint32(len(refs)))
+	return b.pos()
+}
+
+// StartTable begins a table with numFields slots. Tables cannot nest in
+// construction: finish children first (EndTable), then reference them.
+func (b *Builder) StartTable(numFields int) {
+	b.slots = make([]pendingSlot, numFields)
+}
+
+// SlotScalar sets an inline scalar slot from raw little-endian bits.
+func (b *Builder) SlotScalar(i, size int, bits uint64) {
+	b.slots[i] = pendingSlot{set: true, size: size, scalar: bits}
+}
+
+// SlotF32 sets a float32 slot.
+func (b *Builder) SlotF32(i int, v float32) { b.SlotScalar(i, 4, uint64(math.Float32bits(v))) }
+
+// SlotF64 sets a float64 slot.
+func (b *Builder) SlotF64(i int, v float64) { b.SlotScalar(i, 8, math.Float64bits(v)) }
+
+// SlotRef sets a reference slot pointing at a previously created string,
+// vector, or table.
+func (b *Builder) SlotRef(i int, target Pos) {
+	b.slots[i] = pendingSlot{set: true, size: 4, isRef: true, ref: target}
+}
+
+// EndTable writes the table (vtable backref + inline slots) and then its
+// vtable, returning the table position.
+func (b *Builder) EndTable() Pos {
+	slots := b.slots
+	b.slots = nil
+
+	// Lay out inline data: offsets from table start, slot 0 first. The
+	// vtable backref occupies table bytes [0,4).
+	offs := make([]int, len(slots))
+	inline := 4
+	for i, s := range slots {
+		if !s.set {
+			continue
+		}
+		if rem := inline % s.size; rem != 0 {
+			inline += s.size - rem
+		}
+		offs[i] = inline
+		inline += s.size
+	}
+	if rem := inline % 4; rem != 0 {
+		inline += 4 - rem
+	}
+
+	b.pad(4)
+	tp := b.prepend(inline)
+	for i, s := range slots {
+		if !s.set {
+			continue
+		}
+		slotIdx := tp + offs[i]
+		if s.isRef {
+			targetIdx := b.index(s.ref)
+			binary.LittleEndian.PutUint32(b.buf[slotIdx:], uint32(targetIdx-slotIdx))
+		} else {
+			putScalar(b.buf[slotIdx:], s.size, s.scalar)
+		}
+	}
+	tablePos := b.pos()
+
+	// VTable: u16 vtable size, u16 inline size, u16 slot offsets.
+	vtSize := 4 + 2*len(slots)
+	if rem := vtSize % 4; rem != 0 {
+		vtSize += 4 - rem
+	}
+	vp := b.prepend(vtSize)
+	binary.LittleEndian.PutUint16(b.buf[vp:], uint16(4+2*len(slots)))
+	binary.LittleEndian.PutUint16(b.buf[vp+2:], uint16(inline))
+	for i, s := range slots {
+		if s.set {
+			binary.LittleEndian.PutUint16(b.buf[vp+4+2*i:], uint16(offs[i]))
+		}
+	}
+
+	// Patch the table's vtable backref: distance from table to vtable.
+	tIdx := b.index(tablePos)
+	binary.LittleEndian.PutUint32(b.buf[tIdx:], uint32(tIdx-vp))
+	return tablePos
+}
+
+// Finish prepends the root offset and returns the completed message.
+// The returned slice aliases the builder; copy it before Reset.
+func (b *Builder) Finish(root Pos) []byte {
+	rp := b.prepend(4)
+	targetIdx := b.index(root)
+	binary.LittleEndian.PutUint32(b.buf[rp:], uint32(targetIdx-rp))
+	return b.buf[b.head:]
+}
+
+func putScalar(dst []byte, size int, bits uint64) {
+	switch size {
+	case 1:
+		dst[0] = byte(bits)
+	case 2:
+		binary.LittleEndian.PutUint16(dst, uint16(bits))
+	case 4:
+		binary.LittleEndian.PutUint32(dst, uint32(bits))
+	case 8:
+		binary.LittleEndian.PutUint64(dst, bits)
+	}
+}

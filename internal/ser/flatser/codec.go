@@ -1,0 +1,331 @@
+package flatser
+
+import (
+	"fmt"
+	"math"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser"
+)
+
+// Codec serializes dynamic messages in the FlatBuffer-like format.
+type Codec struct {
+	reg *msg.Registry
+}
+
+var _ ser.Codec = (*Codec)(nil)
+
+// New returns a FlatBuffer-like codec resolving embedded types through
+// reg.
+func New(reg *msg.Registry) *Codec { return &Codec{reg: reg} }
+
+// Name implements ser.Codec.
+func (c *Codec) Name() string { return "flatbuffer" }
+
+// Marshal implements ser.Codec.
+func (c *Codec) Marshal(d *msg.Dynamic) ([]byte, error) {
+	b := NewBuilder(1024)
+	root, err := c.encodeTable(b, d)
+	if err != nil {
+		return nil, err
+	}
+	out := b.Finish(root)
+	cp := make([]byte, len(out))
+	copy(cp, out)
+	return cp, nil
+}
+
+// MarshalInto builds the message inside b and returns the finished view
+// (aliasing b) — the allocation-free path used by the benchmarks.
+func (c *Codec) MarshalInto(b *Builder, d *msg.Dynamic) ([]byte, error) {
+	b.Reset()
+	root, err := c.encodeTable(b, d)
+	if err != nil {
+		return nil, err
+	}
+	return b.Finish(root), nil
+}
+
+func (c *Codec) encodeTable(b *Builder, d *msg.Dynamic) (Pos, error) {
+	// Children (out-of-line payloads) must be created before the table;
+	// this is the bottom-up construction restriction of §3.3.
+	refs := make(map[int]Pos, len(d.Spec.Fields))
+	for i, f := range d.Spec.Fields {
+		v := d.Fields[f.Name]
+		if f.Type.IsArray {
+			p, err := c.encodeVector(b, f.Type.Base(), v)
+			if err != nil {
+				return 0, fmt.Errorf("%s.%s: %w", d.Spec.FullName(), f.Name, err)
+			}
+			refs[i] = p
+			continue
+		}
+		switch f.Type.Prim {
+		case msg.PString:
+			refs[i] = b.CreateString(v.(string))
+		case msg.PNone:
+			sub, ok := v.(*msg.Dynamic)
+			if !ok {
+				return 0, fmt.Errorf("%s.%s: expected *Dynamic, got %T", d.Spec.FullName(), f.Name, v)
+			}
+			p, err := c.encodeTable(b, sub)
+			if err != nil {
+				return 0, err
+			}
+			refs[i] = p
+		}
+	}
+
+	b.StartTable(len(d.Spec.Fields))
+	for i, f := range d.Spec.Fields {
+		if p, ok := refs[i]; ok {
+			b.SlotRef(i, p)
+			continue
+		}
+		bits, size, err := scalarBits(f.Type.Prim, d.Fields[f.Name])
+		if err != nil {
+			return 0, fmt.Errorf("%s.%s: %w", d.Spec.FullName(), f.Name, err)
+		}
+		b.SlotScalar(i, size, bits)
+	}
+	return b.EndTable(), nil
+}
+
+func (c *Codec) encodeVector(b *Builder, base msg.TypeSpec, v any) (Pos, error) {
+	switch base.Prim {
+	case msg.PUint8:
+		return b.CreateByteVector(v.([]uint8)), nil
+	case msg.PString:
+		ss := v.([]string)
+		refs := make([]Pos, len(ss))
+		for i := len(ss) - 1; i >= 0; i-- { // children back-to-front
+			refs[i] = b.CreateString(ss[i])
+		}
+		return b.CreateRefVector(refs), nil
+	case msg.PNone:
+		ds := v.([]*msg.Dynamic)
+		refs := make([]Pos, len(ds))
+		for i := len(ds) - 1; i >= 0; i-- {
+			p, err := c.encodeTable(b, ds[i])
+			if err != nil {
+				return 0, err
+			}
+			refs[i] = p
+		}
+		return b.CreateRefVector(refs), nil
+	default:
+		n, err := ser.ArrayLen(v)
+		if err != nil {
+			return 0, err
+		}
+		elems := make([]uint64, 0, n)
+		size := 0
+		err = ser.ForEach(v, func(e any) error {
+			bits, s, err := scalarBits(base.Prim, e)
+			if err != nil {
+				return err
+			}
+			size = s
+			elems = append(elems, bits)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if size == 0 {
+			size = base.Prim.FixedSize()
+			if size == 0 {
+				size = 4
+			}
+		}
+		return b.CreateScalarVector(size, elems), nil
+	}
+}
+
+// scalarBits converts a scalar value to raw little-endian bits and its
+// inline size. Time and Duration pack as {low: sec, high: nsec}.
+func scalarBits(p msg.Prim, v any) (bits uint64, size int, err error) {
+	switch p {
+	case msg.PBool:
+		if v.(bool) {
+			return 1, 1, nil
+		}
+		return 0, 1, nil
+	case msg.PInt8:
+		return uint64(uint8(v.(int8))), 1, nil
+	case msg.PUint8:
+		return uint64(v.(uint8)), 1, nil
+	case msg.PInt16:
+		return uint64(uint16(v.(int16))), 2, nil
+	case msg.PUint16:
+		return uint64(v.(uint16)), 2, nil
+	case msg.PInt32:
+		return uint64(uint32(v.(int32))), 4, nil
+	case msg.PUint32:
+		return uint64(v.(uint32)), 4, nil
+	case msg.PInt64:
+		return uint64(v.(int64)), 8, nil
+	case msg.PUint64:
+		return v.(uint64), 8, nil
+	case msg.PFloat32:
+		return uint64(math.Float32bits(v.(float32))), 4, nil
+	case msg.PFloat64:
+		return math.Float64bits(v.(float64)), 8, nil
+	case msg.PTime:
+		tv := v.(msg.Time)
+		return uint64(tv.Sec) | uint64(tv.Nsec)<<32, 8, nil
+	case msg.PDuration:
+		dv := v.(msg.Duration)
+		return uint64(uint32(dv.Sec)) | uint64(uint32(dv.Nsec))<<32, 8, nil
+	default:
+		return 0, 0, fmt.Errorf("not a scalar primitive: %v", p)
+	}
+}
+
+// scalarFromBits is the inverse of scalarBits.
+func scalarFromBits(p msg.Prim, bits uint64) (any, error) {
+	switch p {
+	case msg.PBool:
+		return bits != 0, nil
+	case msg.PInt8:
+		return int8(bits), nil
+	case msg.PUint8:
+		return uint8(bits), nil
+	case msg.PInt16:
+		return int16(bits), nil
+	case msg.PUint16:
+		return uint16(bits), nil
+	case msg.PInt32:
+		return int32(bits), nil
+	case msg.PUint32:
+		return uint32(bits), nil
+	case msg.PInt64:
+		return int64(bits), nil
+	case msg.PUint64:
+		return bits, nil
+	case msg.PFloat32:
+		return math.Float32frombits(uint32(bits)), nil
+	case msg.PFloat64:
+		return math.Float64frombits(bits), nil
+	case msg.PTime:
+		return msg.Time{Sec: uint32(bits), Nsec: uint32(bits >> 32)}, nil
+	case msg.PDuration:
+		return msg.Duration{Sec: int32(uint32(bits)), Nsec: int32(uint32(bits >> 32))}, nil
+	default:
+		return nil, fmt.Errorf("not a scalar primitive: %v", p)
+	}
+}
+
+func scalarSize(p msg.Prim) int {
+	switch p {
+	case msg.PBool, msg.PInt8, msg.PUint8:
+		return 1
+	case msg.PInt16, msg.PUint16:
+		return 2
+	case msg.PInt32, msg.PUint32, msg.PFloat32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Unmarshal implements ser.Codec.
+func (c *Codec) Unmarshal(data []byte, typeName string) (*msg.Dynamic, error) {
+	spec, err := c.reg.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	root, err := GetRoot(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeTable(root, spec)
+}
+
+func (c *Codec) decodeTable(t Table, spec *msg.Spec) (*msg.Dynamic, error) {
+	d := &msg.Dynamic{Spec: spec, Fields: make(map[string]any, len(spec.Fields))}
+	for i, f := range spec.Fields {
+		v, err := c.decodeField(t, i, f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", spec.FullName(), f.Name, err)
+		}
+		d.Fields[f.Name] = v
+	}
+	return d, nil
+}
+
+func (c *Codec) decodeField(t Table, i int, ft msg.TypeSpec) (any, error) {
+	if ft.IsArray {
+		vec, ok := t.VectorAt(i)
+		if !ok {
+			return msgZero(ft, c.reg)
+		}
+		return c.decodeVector(vec, ft.Base())
+	}
+	switch ft.Prim {
+	case msg.PString:
+		return t.StringAt(i), nil
+	case msg.PNone:
+		sub, ok := t.SubTable(i)
+		if !ok {
+			return msgZero(ft, c.reg)
+		}
+		spec, err := c.reg.Lookup(ft.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return c.decodeTable(sub, spec)
+	default:
+		return scalarFromBits(ft.Prim, t.Scalar(i, scalarSize(ft.Prim)))
+	}
+}
+
+func (c *Codec) decodeVector(vec Vector, base msg.TypeSpec) (any, error) {
+	n := vec.Len()
+	switch base.Prim {
+	case msg.PUint8:
+		return append([]uint8(nil), vec.Bytes()...), nil
+	case msg.PString:
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vec.StringElem(i)
+		}
+		return out, nil
+	case msg.PNone:
+		spec, err := c.reg.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*msg.Dynamic, n)
+		for i := range out {
+			sub, ok := vec.TableElem(i)
+			if !ok {
+				return nil, fmt.Errorf("flatbuffer: missing table element %d", i)
+			}
+			out[i], err = c.decodeTable(sub, spec)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		size := scalarSize(base.Prim)
+		i := 0
+		return ser.BuildSlice(base, n, func() (any, error) {
+			v, err := scalarFromBits(base.Prim, vec.ScalarElem(i, size))
+			i++
+			return v, err
+		})
+	}
+}
+
+// msgZero returns the zero value for a field that is absent in the
+// buffer.
+func msgZero(ft msg.TypeSpec, reg *msg.Registry) (any, error) {
+	holder := &msg.Spec{Package: "flatser", Name: "zero", Fields: []msg.FieldSpec{{Name: "v", Type: ft}}}
+	d, err := msg.NewDynamic(holder, reg)
+	if err != nil {
+		return nil, err
+	}
+	return d.Fields["v"], nil
+}

@@ -1,0 +1,212 @@
+package flatser
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"rossf/internal/msg"
+)
+
+func simplifiedImage(t *testing.T) (*msg.Registry, *msg.Dynamic) {
+	t.Helper()
+	reg := msg.NewRegistry()
+	spec, err := reg.ParseAndRegister("test", "Image",
+		"string encoding\nuint32 height\nuint32 width\nuint8[] data\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set("encoding", "rgb8")
+	d.Set("height", uint32(10))
+	d.Set("width", uint32(10))
+	d.Set("data", make([]uint8, 300))
+	return reg, d
+}
+
+// TestFig6Structure pins the structural properties of the paper's Fig. 6
+// FlatBuffer layout: a root offset word, a vtable of size 4+2*numFields
+// recording per-field inline offsets, a root table beginning with the
+// vtable backref, and out-of-line length-prefixed string/vector payloads
+// reached through relative offsets. The first-created payload (encoding,
+// built first) sits at the very end of the buffer — the stack property
+// of §3.3.
+func TestFig6Structure(t *testing.T) {
+	reg, d := simplifiedImage(t)
+	buf, err := New(reg).Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := int(binary.LittleEndian.Uint32(buf))
+	vtOff := int(binary.LittleEndian.Uint32(buf[root:]))
+	vt := root - vtOff
+	if vt < 4 {
+		t.Fatalf("vtable position %d", vt)
+	}
+	vtSize := int(binary.LittleEndian.Uint16(buf[vt:]))
+	if vtSize != 4+2*4 {
+		t.Errorf("vtable size = %d, want 12", vtSize)
+	}
+	inline := int(binary.LittleEndian.Uint16(buf[vt+2:]))
+	if inline < 4+4+4+4+4 {
+		t.Errorf("inline size = %d, want >= 20", inline)
+	}
+	// Every field has a nonzero slot, none overlapping the backref.
+	for i := 0; i < 4; i++ {
+		so := int(binary.LittleEndian.Uint16(buf[vt+4+2*i:]))
+		if so < 4 {
+			t.Errorf("slot %d offset = %d", i, so)
+		}
+	}
+
+	// The first-created payload is the encoding string: its bytes are the
+	// final bytes of the buffer (after padding).
+	if !bytes.Contains(buf[len(buf)-12:], []byte("rgb8\x00")) {
+		t.Errorf("encoding payload not at buffer end: %q", buf[len(buf)-12:])
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	reg, d := simplifiedImage(t)
+	buf, err := New(reg).Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := GetRoot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.StringAt(0); got != "rgb8" {
+		t.Errorf("encoding = %q", got)
+	}
+	if got := uint32(root.Scalar(1, 4)); got != 10 {
+		t.Errorf("height = %d", got)
+	}
+	if got := uint32(root.Scalar(2, 4)); got != 10 {
+		t.Errorf("width = %d", got)
+	}
+	vec, ok := root.VectorAt(3)
+	if !ok || vec.Len() != 300 {
+		t.Errorf("data len = %d, ok=%v", vec.Len(), ok)
+	}
+	if len(vec.Bytes()) != 300 {
+		t.Errorf("data bytes = %d", len(vec.Bytes()))
+	}
+}
+
+func TestGetRootErrors(t *testing.T) {
+	if _, err := GetRoot(nil); err == nil {
+		t.Error("accepted empty buffer")
+	}
+	if _, err := GetRoot([]byte{0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("accepted out-of-range root")
+	}
+}
+
+func TestBuilderGrowthPreservesReferences(t *testing.T) {
+	// Start tiny so several growth cycles happen mid-construction.
+	b := NewBuilder(64)
+	strs := make([]Pos, 40)
+	for i := range strs {
+		strs[i] = b.CreateString("payload-payload-payload")
+	}
+	vec := b.CreateRefVector(strs)
+	b.StartTable(1)
+	b.SlotRef(0, vec)
+	root := b.EndTable()
+	buf := b.Finish(root)
+
+	tbl, err := GetRoot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tbl.VectorAt(0)
+	if !ok || v.Len() != 40 {
+		t.Fatalf("vector len = %d", v.Len())
+	}
+	for i := 0; i < 40; i++ {
+		if got := v.StringElem(i); got != "payload-payload-payload" {
+			t.Fatalf("elem %d = %q", i, got)
+		}
+	}
+}
+
+func TestBuilderResetReuse(t *testing.T) {
+	b := NewBuilder(256)
+	for round := 0; round < 3; round++ {
+		b.Reset()
+		s := b.CreateString("x")
+		b.StartTable(1)
+		b.SlotRef(0, s)
+		buf := b.Finish(b.EndTable())
+		tbl, err := GetRoot(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.StringAt(0) != "x" {
+			t.Fatalf("round %d content lost", round)
+		}
+	}
+}
+
+func TestAbsentSlotsReadAsDefaults(t *testing.T) {
+	b := NewBuilder(128)
+	b.StartTable(3)
+	b.SlotScalar(1, 4, 77)
+	buf := b.Finish(b.EndTable())
+	tbl, err := GetRoot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Scalar(0, 4); got != 0 {
+		t.Errorf("absent slot 0 = %d", got)
+	}
+	if got := tbl.Scalar(1, 4); got != 77 {
+		t.Errorf("slot 1 = %d", got)
+	}
+	if got := tbl.StringAt(2); got != "" {
+		t.Errorf("absent string = %q", got)
+	}
+	if _, ok := tbl.VectorAt(2); ok {
+		t.Error("absent vector reported present")
+	}
+	if got := tbl.Scalar(9, 4); got != 0 {
+		t.Errorf("out-of-vtable slot = %d", got)
+	}
+}
+
+func TestNestedTables(t *testing.T) {
+	reg := msg.NewRegistry()
+	reg.ParseAndRegister("test", "Inner", "string name\nuint32 v\n")
+	spec, err := reg.ParseAndRegister("test", "Outer", "Inner one\nInner[] many\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := msg.NewDynamic(spec, reg)
+	innerSpec, _ := reg.Lookup("test/Inner")
+	mk := func(name string, v uint32) *msg.Dynamic {
+		in, _ := msg.NewDynamic(innerSpec, reg)
+		in.Set("name", name)
+		in.Set("v", v)
+		return in
+	}
+	d.Set("one", mk("solo", 1))
+	d.Set("many", []*msg.Dynamic{mk("a", 2), mk("b", 3)})
+
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Unmarshal(buf, "test/Outer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(d, got) {
+		t.Error("nested round trip mismatch")
+	}
+}

@@ -1,0 +1,179 @@
+package flatser
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Table is a read-only view of a table inside a finished message. Field
+// access resolves the slot through the vtable — the per-access
+// indirection that motivates the paper's SFM design.
+type Table struct {
+	buf []byte
+	pos int
+}
+
+// GetRoot returns the root table of a finished message.
+func GetRoot(buf []byte) (Table, error) {
+	if len(buf) < 4 {
+		return Table{}, fmt.Errorf("flatbuffer: message shorter than root offset")
+	}
+	root := int(binary.LittleEndian.Uint32(buf))
+	if root < 4 || root+4 > len(buf) {
+		return Table{}, fmt.Errorf("flatbuffer: root offset %d out of range", root)
+	}
+	return Table{buf: buf, pos: root}, nil
+}
+
+// slotPos resolves slot i through the vtable; 0 means absent.
+func (t Table) slotPos(i int) int {
+	vtOff := int(binary.LittleEndian.Uint32(t.buf[t.pos:]))
+	vt := t.pos - vtOff
+	if vt < 0 || vt+4 > len(t.buf) {
+		return 0
+	}
+	vtLen := int(binary.LittleEndian.Uint16(t.buf[vt:]))
+	entry := 4 + 2*i
+	if entry+2 > vtLen || vt+entry+2 > len(t.buf) {
+		return 0
+	}
+	off := int(binary.LittleEndian.Uint16(t.buf[vt+entry:]))
+	if off == 0 {
+		return 0
+	}
+	return t.pos + off
+}
+
+// Scalar reads an inline scalar slot as raw little-endian bits; absent
+// slots read as zero (the FlatBuffer default-value rule).
+func (t Table) Scalar(i, size int) uint64 {
+	p := t.slotPos(i)
+	if p == 0 || p+size > len(t.buf) {
+		return 0
+	}
+	switch size {
+	case 1:
+		return uint64(t.buf[p])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(t.buf[p:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(t.buf[p:]))
+	case 8:
+		return binary.LittleEndian.Uint64(t.buf[p:])
+	}
+	return 0
+}
+
+// ref follows a reference slot to its target position; 0 means absent.
+func (t Table) ref(i int) int {
+	p := t.slotPos(i)
+	if p == 0 || p+4 > len(t.buf) {
+		return 0
+	}
+	return p + int(binary.LittleEndian.Uint32(t.buf[p:]))
+}
+
+// StringAt reads a string slot; absent slots read as "".
+func (t Table) StringAt(i int) string {
+	p := t.ref(i)
+	if p == 0 || p+4 > len(t.buf) {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(t.buf[p:]))
+	if p+4+n > len(t.buf) {
+		return ""
+	}
+	return string(t.buf[p+4 : p+4+n])
+}
+
+// SubTable reads an embedded table slot.
+func (t Table) SubTable(i int) (Table, bool) {
+	p := t.ref(i)
+	if p == 0 || p+4 > len(t.buf) {
+		return Table{}, false
+	}
+	return Table{buf: t.buf, pos: p}, true
+}
+
+// Vector is a read-only view of a vector payload.
+type Vector struct {
+	buf []byte
+	pos int // position of the count word
+}
+
+// VectorAt reads a vector slot.
+func (t Table) VectorAt(i int) (Vector, bool) {
+	p := t.ref(i)
+	if p == 0 || p+4 > len(t.buf) {
+		return Vector{}, false
+	}
+	return Vector{buf: t.buf, pos: p}, true
+}
+
+// Len returns the element count.
+func (v Vector) Len() int {
+	if v.buf == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(v.buf[v.pos:]))
+}
+
+// Bytes returns the packed byte payload of a uint8 vector, zero-copy.
+func (v Vector) Bytes() []byte {
+	n := v.Len()
+	start := v.pos + 4
+	if start+n > len(v.buf) {
+		return nil
+	}
+	return v.buf[start : start+n]
+}
+
+// ScalarElem reads element i of a packed scalar vector as raw bits.
+func (v Vector) ScalarElem(i, size int) uint64 {
+	p := v.pos + 4 + i*size
+	if p+size > len(v.buf) {
+		return 0
+	}
+	switch size {
+	case 1:
+		return uint64(v.buf[p])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(v.buf[p:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(v.buf[p:]))
+	case 8:
+		return binary.LittleEndian.Uint64(v.buf[p:])
+	}
+	return 0
+}
+
+// RefElem follows reference element i (vectors of strings or tables).
+func (v Vector) RefElem(i int) int {
+	p := v.pos + 4 + i*4
+	if p+4 > len(v.buf) {
+		return 0
+	}
+	return p + int(binary.LittleEndian.Uint32(v.buf[p:]))
+}
+
+// StringElem reads string element i.
+func (v Vector) StringElem(i int) string {
+	p := v.RefElem(i)
+	if p == 0 || p+4 > len(v.buf) {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(v.buf[p:]))
+	if p+4+n > len(v.buf) {
+		return ""
+	}
+	return string(v.buf[p+4 : p+4+n])
+}
+
+// TableElem reads table element i.
+func (v Vector) TableElem(i int) (Table, bool) {
+	p := v.RefElem(i)
+	if p == 0 {
+		return Table{}, false
+	}
+	return Table{buf: v.buf, pos: p}, true
+}

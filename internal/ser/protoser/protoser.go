@@ -1,0 +1,418 @@
+// Package protoser implements a Protocol-Buffers-like serialization: the
+// prefix-encoding comparator of the paper's Fig. 14. Fields carry
+// tag bytes (field number and wire type), integers are base-128 varints
+// (zigzag for signed), floats are fixed 32/64-bit, and strings, embedded
+// messages, and packed numeric arrays are length-delimited. Prefix
+// encoding shrinks messages with small values at the cost of extra
+// serialize/de-serialize work — exactly the trade-off the paper measures.
+package protoser
+
+import (
+	"fmt"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser"
+	"rossf/internal/wire"
+)
+
+// Wire types, as in protobuf.
+const (
+	wtVarint  = 0
+	wtFixed64 = 1
+	wtBytes   = 2
+	wtFixed32 = 5
+)
+
+// Codec serializes dynamic messages in the protobuf-like format.
+type Codec struct {
+	reg *msg.Registry
+}
+
+var _ ser.Codec = (*Codec)(nil)
+
+// New returns a protobuf-like codec resolving embedded types through reg.
+func New(reg *msg.Registry) *Codec { return &Codec{reg: reg} }
+
+// Name implements ser.Codec.
+func (c *Codec) Name() string { return "protobuf" }
+
+// Marshal implements ser.Codec.
+func (c *Codec) Marshal(d *msg.Dynamic) ([]byte, error) {
+	w := wire.NewWriter(256)
+	if err := c.encode(w, d); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func tag(field, wt int) uint64 { return uint64(field)<<3 | uint64(wt) }
+
+func (c *Codec) encode(w *wire.Writer, d *msg.Dynamic) error {
+	for i, f := range d.Spec.Fields {
+		if err := c.encodeField(w, i+1, f.Type, d.Fields[f.Name]); err != nil {
+			return fmt.Errorf("%s.%s: %w", d.Spec.FullName(), f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Codec) encodeField(w *wire.Writer, num int, t msg.TypeSpec, v any) error {
+	if t.IsArray {
+		return c.encodeArray(w, num, t, v)
+	}
+	switch t.Prim {
+	case msg.PBool:
+		w.Varint(tag(num, wtVarint))
+		if v.(bool) {
+			w.Varint(1)
+		} else {
+			w.Varint(0)
+		}
+	case msg.PInt8, msg.PInt16, msg.PInt32, msg.PInt64:
+		w.Varint(tag(num, wtVarint))
+		w.Zigzag(signedOf(v))
+	case msg.PUint8, msg.PUint16, msg.PUint32, msg.PUint64:
+		w.Varint(tag(num, wtVarint))
+		w.Varint(unsignedOf(v))
+	case msg.PFloat32:
+		w.Varint(tag(num, wtFixed32))
+		w.F32(v.(float32))
+	case msg.PFloat64:
+		w.Varint(tag(num, wtFixed64))
+		w.F64(v.(float64))
+	case msg.PString:
+		w.Varint(tag(num, wtBytes))
+		s := v.(string)
+		w.Varint(uint64(len(s)))
+		w.Raw([]byte(s))
+	case msg.PTime:
+		tv := v.(msg.Time)
+		c.encodeLenDelimited(w, num, func(inner *wire.Writer) {
+			inner.Varint(tag(1, wtVarint))
+			inner.Varint(uint64(tv.Sec))
+			inner.Varint(tag(2, wtVarint))
+			inner.Varint(uint64(tv.Nsec))
+		})
+	case msg.PDuration:
+		dv := v.(msg.Duration)
+		c.encodeLenDelimited(w, num, func(inner *wire.Writer) {
+			inner.Varint(tag(1, wtVarint))
+			inner.Zigzag(int64(dv.Sec))
+			inner.Varint(tag(2, wtVarint))
+			inner.Zigzag(int64(dv.Nsec))
+		})
+	case msg.PNone:
+		sub, ok := v.(*msg.Dynamic)
+		if !ok {
+			return fmt.Errorf("expected *Dynamic for %s, got %T", t.Msg, v)
+		}
+		body := wire.NewWriter(64)
+		if err := c.encode(body, sub); err != nil {
+			return err
+		}
+		w.Varint(tag(num, wtBytes))
+		w.Varint(uint64(body.Len()))
+		w.Raw(body.Bytes())
+	default:
+		return fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+	return nil
+}
+
+func (c *Codec) encodeLenDelimited(w *wire.Writer, num int, body func(*wire.Writer)) {
+	inner := wire.NewWriter(16)
+	body(inner)
+	w.Varint(tag(num, wtBytes))
+	w.Varint(uint64(inner.Len()))
+	w.Raw(inner.Bytes())
+}
+
+func (c *Codec) encodeArray(w *wire.Writer, num int, t msg.TypeSpec, v any) error {
+	base := t.Base()
+	switch base.Prim {
+	case msg.PString, msg.PNone, msg.PTime, msg.PDuration:
+		// Repeated length-delimited entries sharing one field number.
+		return ser.ForEach(v, func(elem any) error {
+			return c.encodeField(w, num, base, elem)
+		})
+	default:
+		// Packed numeric array: one length-delimited record.
+		inner := wire.NewWriter(64)
+		err := ser.ForEach(v, func(elem any) error {
+			switch base.Prim {
+			case msg.PBool:
+				if elem.(bool) {
+					inner.Varint(1)
+				} else {
+					inner.Varint(0)
+				}
+			case msg.PInt8, msg.PInt16, msg.PInt32, msg.PInt64:
+				inner.Zigzag(signedOf(elem))
+			case msg.PUint8, msg.PUint16, msg.PUint32, msg.PUint64:
+				inner.Varint(unsignedOf(elem))
+			case msg.PFloat32:
+				inner.F32(elem.(float32))
+			case msg.PFloat64:
+				inner.F64(elem.(float64))
+			default:
+				return fmt.Errorf("unsupported packed primitive %v", base.Prim)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		w.Varint(tag(num, wtBytes))
+		w.Varint(uint64(inner.Len()))
+		w.Raw(inner.Bytes())
+		return nil
+	}
+}
+
+func signedOf(v any) int64 {
+	switch x := v.(type) {
+	case int8:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	default:
+		return 0
+	}
+}
+
+func unsignedOf(v any) uint64 {
+	switch x := v.(type) {
+	case uint8:
+		return uint64(x)
+	case uint16:
+		return uint64(x)
+	case uint32:
+		return uint64(x)
+	case uint64:
+		return x
+	default:
+		return 0
+	}
+}
+
+// Unmarshal implements ser.Codec.
+func (c *Codec) Unmarshal(data []byte, typeName string) (*msg.Dynamic, error) {
+	spec, err := c.reg.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	return c.decode(data, spec)
+}
+
+func (c *Codec) decode(data []byte, spec *msg.Spec) (*msg.Dynamic, error) {
+	d, err := msg.NewDynamic(spec, c.reg)
+	if err != nil {
+		return nil, err
+	}
+	// Repeated (non-packed) fields accumulate across records.
+	repeated := make(map[string][]any)
+
+	r := wire.NewReader(data)
+	for r.Remaining() > 0 {
+		tg := r.Varint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		num := int(tg >> 3)
+		wt := int(tg & 7)
+		if num < 1 || num > len(spec.Fields) {
+			return nil, fmt.Errorf("protobuf: unknown field number %d in %s", num, spec.FullName())
+		}
+		f := spec.Fields[num-1]
+		if err := c.decodeField(r, wt, f, d, repeated); err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", spec.FullName(), f.Name, err)
+		}
+	}
+	// Materialize repeated accumulations as typed slices.
+	for name, elems := range repeated {
+		var ft msg.TypeSpec
+		for _, f := range spec.Fields {
+			if f.Name == name {
+				ft = f.Type
+				break
+			}
+		}
+		i := 0
+		v, err := ser.BuildSlice(ft.Base(), len(elems), func() (any, error) {
+			e := elems[i]
+			i++
+			return e, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.Fields[name] = v
+	}
+	return d, r.Err()
+}
+
+func (c *Codec) decodeField(r *wire.Reader, wt int, f msg.FieldSpec, d *msg.Dynamic, repeated map[string][]any) error {
+	t := f.Type
+	base := t.Base()
+	if t.IsArray {
+		switch base.Prim {
+		case msg.PString, msg.PNone, msg.PTime, msg.PDuration:
+			v, err := c.decodeScalar(r, wt, base)
+			if err != nil {
+				return err
+			}
+			repeated[f.Name] = append(repeated[f.Name], v)
+			return nil
+		default:
+			if wt != wtBytes {
+				return fmt.Errorf("packed array has wire type %d", wt)
+			}
+			n := int(r.Varint())
+			body := r.Raw(n)
+			if err := r.Err(); err != nil {
+				return err
+			}
+			br := wire.NewReader(body)
+			var elems []any
+			for br.Remaining() > 0 {
+				v, err := c.decodePacked(br, base)
+				if err != nil {
+					return err
+				}
+				elems = append(elems, v)
+			}
+			i := 0
+			v, err := ser.BuildSlice(base, len(elems), func() (any, error) {
+				e := elems[i]
+				i++
+				return e, nil
+			})
+			if err != nil {
+				return err
+			}
+			d.Fields[f.Name] = v
+			return nil
+		}
+	}
+	v, err := c.decodeScalar(r, wt, base)
+	if err != nil {
+		return err
+	}
+	d.Fields[f.Name] = v
+	return nil
+}
+
+func (c *Codec) decodePacked(r *wire.Reader, base msg.TypeSpec) (any, error) {
+	switch base.Prim {
+	case msg.PBool:
+		return r.Varint() != 0, r.Err()
+	case msg.PInt8:
+		return int8(r.Zigzag()), r.Err()
+	case msg.PInt16:
+		return int16(r.Zigzag()), r.Err()
+	case msg.PInt32:
+		return int32(r.Zigzag()), r.Err()
+	case msg.PInt64:
+		return r.Zigzag(), r.Err()
+	case msg.PUint8:
+		return uint8(r.Varint()), r.Err()
+	case msg.PUint16:
+		return uint16(r.Varint()), r.Err()
+	case msg.PUint32:
+		return uint32(r.Varint()), r.Err()
+	case msg.PUint64:
+		return r.Varint(), r.Err()
+	case msg.PFloat32:
+		return r.F32(), r.Err()
+	case msg.PFloat64:
+		return r.F64(), r.Err()
+	default:
+		return nil, fmt.Errorf("unsupported packed primitive %v", base.Prim)
+	}
+}
+
+func (c *Codec) decodeScalar(r *wire.Reader, wt int, base msg.TypeSpec) (any, error) {
+	switch base.Prim {
+	case msg.PBool, msg.PInt8, msg.PInt16, msg.PInt32, msg.PInt64,
+		msg.PUint8, msg.PUint16, msg.PUint32, msg.PUint64:
+		if wt != wtVarint {
+			return nil, fmt.Errorf("integer field has wire type %d", wt)
+		}
+		return c.decodePacked(r, base)
+	case msg.PFloat32:
+		if wt != wtFixed32 {
+			return nil, fmt.Errorf("float32 field has wire type %d", wt)
+		}
+		return r.F32(), r.Err()
+	case msg.PFloat64:
+		if wt != wtFixed64 {
+			return nil, fmt.Errorf("float64 field has wire type %d", wt)
+		}
+		return r.F64(), r.Err()
+	case msg.PString:
+		if wt != wtBytes {
+			return nil, fmt.Errorf("string field has wire type %d", wt)
+		}
+		n := int(r.Varint())
+		b := r.Raw(n)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return string(b), nil
+	case msg.PTime:
+		sec, nsec, err := c.decodeTimePair(r, false)
+		if err != nil {
+			return nil, err
+		}
+		return msg.Time{Sec: uint32(sec), Nsec: uint32(nsec)}, nil
+	case msg.PDuration:
+		sec, nsec, err := c.decodeTimePair(r, true)
+		if err != nil {
+			return nil, err
+		}
+		return msg.Duration{Sec: int32(sec), Nsec: int32(nsec)}, nil
+	case msg.PNone:
+		n := int(r.Varint())
+		body := r.Raw(n)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		sub, err := c.reg.Lookup(base.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return c.decode(body, sub)
+	default:
+		return nil, fmt.Errorf("unsupported primitive %v", base.Prim)
+	}
+}
+
+func (c *Codec) decodeTimePair(r *wire.Reader, signed bool) (int64, int64, error) {
+	n := int(r.Varint())
+	body := r.Raw(n)
+	if err := r.Err(); err != nil {
+		return 0, 0, err
+	}
+	br := wire.NewReader(body)
+	var sec, nsec int64
+	for br.Remaining() > 0 {
+		tg := br.Varint()
+		var v int64
+		if signed {
+			v = br.Zigzag()
+		} else {
+			v = int64(br.Varint())
+		}
+		switch tg >> 3 {
+		case 1:
+			sec = v
+		case 2:
+			nsec = v
+		}
+	}
+	return sec, nsec, br.Err()
+}

@@ -1,0 +1,187 @@
+package protoser
+
+import (
+	"math/rand"
+	"testing"
+
+	"rossf/internal/msg"
+	"rossf/internal/wire"
+)
+
+func testRegistry(t *testing.T) *msg.Registry {
+	t.Helper()
+	reg := msg.NewRegistry()
+	defs := []struct{ pkg, name, text string }{
+		{"std_msgs", "Header", "uint32 seq\ntime stamp\nstring frame_id\n"},
+		{"test", "Scalars", "bool b\nint8 i8\nuint8 u8\nint16 i16\nuint16 u16\nint32 i32\nuint32 u32\nint64 i64\nuint64 u64\nfloat32 f32\nfloat64 f64\nstring s\ntime t\nduration d\n"},
+		{"test", "Arrays", "uint8[] blob\nint32[] nums\nfloat64[3] fixed\nstring[] names\nstd_msgs/Header[] heads\ntime[] stamps\n"},
+		{"test", "Nested", "Header h\nScalars inner\n"},
+	}
+	for _, d := range defs {
+		if _, err := reg.ParseAndRegister(d.pkg, d.name, d.text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestScalarRoundTrip(t *testing.T) {
+	reg := testRegistry(t)
+	spec, _ := reg.Lookup("test/Scalars")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("b", true)
+	d.Set("i8", int8(-8))
+	d.Set("u8", uint8(200))
+	d.Set("i16", int16(-3000))
+	d.Set("u16", uint16(60000))
+	d.Set("i32", int32(-2000000))
+	d.Set("u32", uint32(4000000000))
+	d.Set("i64", int64(-1<<50))
+	d.Set("u64", uint64(1<<60))
+	d.Set("f32", float32(1.5))
+	d.Set("f64", -0.125)
+	d.Set("s", "hello")
+	d.Set("t", msg.Time{Sec: 9, Nsec: 10})
+	d.Set("d", msg.Duration{Sec: -3, Nsec: -4})
+
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Unmarshal(buf, "test/Scalars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(d, got) {
+		t.Error("scalar round trip mismatch")
+	}
+}
+
+func TestArraysRoundTrip(t *testing.T) {
+	reg := testRegistry(t)
+	spec, _ := reg.Lookup("test/Arrays")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("blob", []uint8{1, 2, 3})
+	d.Set("nums", []int32{-1, 0, 7})
+	d.Set("fixed", []float64{1, 2, 3})
+	d.Set("names", []string{"a", "", "ccc"})
+	hspec, _ := reg.Lookup("std_msgs/Header")
+	h1, _ := msg.NewDynamic(hspec, reg)
+	h1.Set("frame_id", "one")
+	h2, _ := msg.NewDynamic(hspec, reg)
+	h2.Set("seq", uint32(2))
+	d.Set("heads", []*msg.Dynamic{h1, h2})
+	d.Set("stamps", []msg.Time{{Sec: 1}, {Nsec: 2}})
+
+	c := New(reg)
+	buf, err := c.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Unmarshal(buf, "test/Arrays")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Equal(d, got) {
+		t.Error("arrays round trip mismatch")
+	}
+}
+
+func TestPrefixEncodingCompressesSmallValues(t *testing.T) {
+	reg := testRegistry(t)
+	spec, _ := reg.Lookup("test/Scalars")
+	small, _ := msg.NewDynamic(spec, reg)
+	big, _ := msg.NewDynamic(spec, reg)
+	big.Set("u64", uint64(1<<63))
+	big.Set("i64", int64(-1<<62))
+
+	c := New(reg)
+	smallBuf, _ := c.Marshal(small)
+	bigBuf, _ := c.Marshal(big)
+	if len(smallBuf) >= len(bigBuf) {
+		t.Errorf("small-value message (%dB) not smaller than big-value one (%dB)",
+			len(smallBuf), len(bigBuf))
+	}
+}
+
+func TestUnknownFieldNumberRejected(t *testing.T) {
+	reg := testRegistry(t)
+	w := wire.NewWriter(8)
+	w.Varint(99<<3 | 0)
+	w.Varint(1)
+	if _, err := New(reg).Unmarshal(w.Bytes(), "std_msgs/Header"); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestWireTypeMismatchRejected(t *testing.T) {
+	reg := testRegistry(t)
+	w := wire.NewWriter(8)
+	w.Varint(1<<3 | 2) // seq declared varint, sent as length-delimited
+	w.Varint(0)
+	if _, err := New(reg).Unmarshal(w.Bytes(), "std_msgs/Header"); err == nil {
+		t.Error("wire type mismatch accepted")
+	}
+}
+
+func TestDecodeFillsUnsentFieldsWithZero(t *testing.T) {
+	reg := testRegistry(t)
+	// An empty buffer is a valid proto message: all defaults.
+	got, err := New(reg).Unmarshal(nil, "test/Scalars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := reg.Lookup("test/Scalars")
+	zero, _ := msg.NewDynamic(spec, reg)
+	if !msg.Equal(zero, got) {
+		t.Error("defaults not zero")
+	}
+}
+
+func TestNestedRoundTripFuzz(t *testing.T) {
+	reg := testRegistry(t)
+	spec, _ := reg.Lookup("test/Nested")
+	c := New(reg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		d, err := msg.RandomDynamic(spec, reg, rng, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := c.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Unmarshal(buf, "test/Nested")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Equal(d, got) {
+			t.Fatalf("trial %d: nested round trip mismatch", i)
+		}
+	}
+}
+
+func TestTruncationsDoNotPanic(t *testing.T) {
+	reg := testRegistry(t)
+	spec, _ := reg.Lookup("test/Arrays")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("blob", make([]uint8, 100))
+	d.Set("names", []string{"abcdefg"})
+	c := New(reg)
+	buf, _ := c.Marshal(d)
+	for cut := 0; cut <= len(buf); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at cut %d: %v", cut, r)
+				}
+			}()
+			c.Unmarshal(buf[:cut], "test/Arrays") //nolint:errcheck // errors are fine
+		}()
+	}
+}

@@ -1,0 +1,206 @@
+// Package rosser implements ROS1 message serialization — the baseline the
+// paper's ROS-SF eliminates. The format is little-endian throughout:
+// scalars are packed with no padding, strings are a uint32 length plus
+// bytes, dynamic arrays a uint32 count plus elements, fixed arrays just
+// their elements, and embedded messages are inlined.
+package rosser
+
+import (
+	"fmt"
+
+	"rossf/internal/msg"
+	"rossf/internal/ser"
+	"rossf/internal/wire"
+)
+
+// Codec serializes dynamic messages in the ROS1 format.
+type Codec struct {
+	reg *msg.Registry
+}
+
+var _ ser.Codec = (*Codec)(nil)
+
+// New returns a ROS1 codec resolving embedded types through reg.
+func New(reg *msg.Registry) *Codec { return &Codec{reg: reg} }
+
+// Name implements ser.Codec.
+func (c *Codec) Name() string { return "ros1" }
+
+// Marshal implements ser.Codec.
+func (c *Codec) Marshal(d *msg.Dynamic) ([]byte, error) {
+	w := wire.NewWriter(256)
+	if err := c.encode(w, d); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func (c *Codec) encode(w *wire.Writer, d *msg.Dynamic) error {
+	for _, f := range d.Spec.Fields {
+		v := d.Fields[f.Name]
+		if err := c.encodeValue(w, f.Type, v); err != nil {
+			return fmt.Errorf("%s.%s: %w", d.Spec.FullName(), f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Codec) encodeValue(w *wire.Writer, t msg.TypeSpec, v any) error {
+	if t.IsArray {
+		return c.encodeArray(w, t, v)
+	}
+	switch t.Prim {
+	case msg.PBool:
+		w.Bool(v.(bool))
+	case msg.PInt8:
+		w.I8(v.(int8))
+	case msg.PUint8:
+		w.U8(v.(uint8))
+	case msg.PInt16:
+		w.I16(v.(int16))
+	case msg.PUint16:
+		w.U16(v.(uint16))
+	case msg.PInt32:
+		w.I32(v.(int32))
+	case msg.PUint32:
+		w.U32(v.(uint32))
+	case msg.PInt64:
+		w.I64(v.(int64))
+	case msg.PUint64:
+		w.U64(v.(uint64))
+	case msg.PFloat32:
+		w.F32(v.(float32))
+	case msg.PFloat64:
+		w.F64(v.(float64))
+	case msg.PString:
+		w.String(v.(string))
+	case msg.PTime:
+		tv := v.(msg.Time)
+		w.U32(tv.Sec)
+		w.U32(tv.Nsec)
+	case msg.PDuration:
+		dv := v.(msg.Duration)
+		w.I32(dv.Sec)
+		w.I32(dv.Nsec)
+	case msg.PNone:
+		sub, ok := v.(*msg.Dynamic)
+		if !ok {
+			return fmt.Errorf("expected *Dynamic for %s, got %T", t.Msg, v)
+		}
+		return c.encode(w, sub)
+	default:
+		return fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+	return nil
+}
+
+func (c *Codec) encodeArray(w *wire.Writer, t msg.TypeSpec, v any) error {
+	base := t.Base()
+	n, err := ser.ArrayLen(v)
+	if err != nil {
+		return err
+	}
+	if t.ArrayLen >= 0 {
+		if n != t.ArrayLen {
+			return fmt.Errorf("fixed array %s has %d elements, want %d", t, n, t.ArrayLen)
+		}
+	} else {
+		w.U32(uint32(n))
+	}
+	return ser.ForEach(v, func(elem any) error {
+		return c.encodeValue(w, base, elem)
+	})
+}
+
+// Unmarshal implements ser.Codec.
+func (c *Codec) Unmarshal(data []byte, typeName string) (*msg.Dynamic, error) {
+	spec, err := c.reg.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(data)
+	d, err := c.decode(r, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("ros1: %d trailing bytes after %s", r.Remaining(), typeName)
+	}
+	return d, nil
+}
+
+func (c *Codec) decode(r *wire.Reader, spec *msg.Spec) (*msg.Dynamic, error) {
+	d := &msg.Dynamic{Spec: spec, Fields: make(map[string]any, len(spec.Fields))}
+	for _, f := range spec.Fields {
+		v, err := c.decodeValue(r, f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", spec.FullName(), f.Name, err)
+		}
+		d.Fields[f.Name] = v
+	}
+	return d, nil
+}
+
+func (c *Codec) decodeValue(r *wire.Reader, t msg.TypeSpec) (any, error) {
+	if t.IsArray {
+		return c.decodeArray(r, t)
+	}
+	switch t.Prim {
+	case msg.PBool:
+		return r.Bool(), r.Err()
+	case msg.PInt8:
+		return r.I8(), r.Err()
+	case msg.PUint8:
+		return r.U8(), r.Err()
+	case msg.PInt16:
+		return r.I16(), r.Err()
+	case msg.PUint16:
+		return r.U16(), r.Err()
+	case msg.PInt32:
+		return r.I32(), r.Err()
+	case msg.PUint32:
+		return r.U32(), r.Err()
+	case msg.PInt64:
+		return r.I64(), r.Err()
+	case msg.PUint64:
+		return r.U64(), r.Err()
+	case msg.PFloat32:
+		return r.F32(), r.Err()
+	case msg.PFloat64:
+		return r.F64(), r.Err()
+	case msg.PString:
+		return r.String(), r.Err()
+	case msg.PTime:
+		return msg.Time{Sec: r.U32(), Nsec: r.U32()}, r.Err()
+	case msg.PDuration:
+		return msg.Duration{Sec: r.I32(), Nsec: r.I32()}, r.Err()
+	case msg.PNone:
+		sub, err := c.reg.Lookup(t.Msg)
+		if err != nil {
+			return nil, err
+		}
+		return c.decode(r, sub)
+	default:
+		return nil, fmt.Errorf("unsupported primitive %v", t.Prim)
+	}
+}
+
+func (c *Codec) decodeArray(r *wire.Reader, t msg.TypeSpec) (any, error) {
+	n := t.ArrayLen
+	if n < 0 {
+		n = int(r.U32())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > r.Remaining() {
+			return nil, fmt.Errorf("ros1: array count %d exceeds remaining %d bytes", n, r.Remaining())
+		}
+	}
+	base := t.Base()
+	return ser.BuildSlice(base, n, func() (any, error) {
+		return c.decodeValue(r, base)
+	})
+}

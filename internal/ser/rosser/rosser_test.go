@@ -1,0 +1,124 @@
+package rosser
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"rossf/internal/msg"
+)
+
+func imageRegistry(t *testing.T) (*msg.Registry, *msg.Dynamic) {
+	t.Helper()
+	reg := msg.NewRegistry()
+	spec, err := reg.ParseAndRegister("test", "Image",
+		"string encoding\nuint32 height\nuint32 width\nuint8[] data\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set("encoding", "rgb8")
+	d.Set("height", uint32(10))
+	d.Set("width", uint32(10))
+	d.Set("data", []uint8{1, 2, 3})
+	return reg, d
+}
+
+// TestGoldenBytes pins the exact ROS1 wire image: 4-byte string length +
+// content (no NUL), packed little-endian scalars, 4-byte array count +
+// elements.
+func TestGoldenBytes(t *testing.T) {
+	reg, d := imageRegistry(t)
+	buf, err := New(reg).Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		4, 0, 0, 0, 'r', 'g', 'b', '8',
+		10, 0, 0, 0,
+		10, 0, 0, 0,
+		3, 0, 0, 0, 1, 2, 3,
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("wire = % x\nwant  % x", buf, want)
+	}
+}
+
+func TestFixedArrayHasNoCount(t *testing.T) {
+	reg := msg.NewRegistry()
+	reg.ParseAndRegister("test", "K", "float64[3] k\n")
+	spec, _ := reg.Lookup("test/K")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("k", []float64{1, 2, 3})
+	buf, err := New(reg).Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 24 {
+		t.Errorf("fixed array serialized to %d bytes, want 24 (no count prefix)", len(buf))
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != 0x3ff0000000000000 {
+		t.Errorf("first element bits = %#x", got)
+	}
+}
+
+func TestFixedArrayWrongLengthRejected(t *testing.T) {
+	reg := msg.NewRegistry()
+	reg.ParseAndRegister("test", "K", "float64[3] k\n")
+	spec, _ := reg.Lookup("test/K")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("k", []float64{1})
+	if _, err := New(reg).Marshal(d); err == nil || !strings.Contains(err.Error(), "fixed array") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	reg, d := imageRegistry(t)
+	c := New(reg)
+	buf, _ := c.Marshal(d)
+	if _, err := c.Unmarshal(append(buf, 0xEE), "test/Image"); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestShortBufferRejected(t *testing.T) {
+	reg, d := imageRegistry(t)
+	c := New(reg)
+	buf, _ := c.Marshal(d)
+	if _, err := c.Unmarshal(buf[:5], "test/Image"); err == nil {
+		t.Error("accepted truncated buffer")
+	}
+}
+
+func TestHugeArrayCountRejected(t *testing.T) {
+	reg := msg.NewRegistry()
+	reg.ParseAndRegister("test", "V", "uint8[] data\n")
+	// count says 2^31 but there are no bytes: must error, not allocate.
+	buf := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, err := New(reg).Unmarshal(buf, "test/V"); err == nil ||
+		!strings.Contains(err.Error(), "exceeds remaining") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	reg := msg.NewRegistry()
+	reg.ParseAndRegister("test", "S", "uint32 x\n")
+	spec, _ := reg.Lookup("test/S")
+	d, _ := msg.NewDynamic(spec, reg)
+	d.Set("x", "not a uint32")
+	defer func() {
+		if r := recover(); r != nil {
+			return // a type-assertion panic is also acceptable feedback here
+		}
+	}()
+	if _, err := New(reg).Marshal(d); err == nil {
+		t.Skip("marshal tolerated mismatched value")
+	}
+}

@@ -1,0 +1,24 @@
+// Package ser defines the common interface implemented by the serializer
+// substrates the paper evaluates against each other in Fig. 14: ROS1
+// (rosser), ProtoBuf-like prefix encoding (protoser), FlatBuffer-like
+// vtable layout (flatser), and XCDR2-like parameterized CDR (cdrser).
+//
+// Every codec encodes and decodes the schema-driven msg.Dynamic
+// representation, which lets cross-format property tests assert that all
+// four round-trip the same randomized messages. Hot benchmark paths use
+// message-specific code instead (generated, or hand-written per format in
+// internal/bench), mirroring each framework's generated accessors.
+package ser
+
+import "rossf/internal/msg"
+
+// Codec serializes and de-serializes dynamic messages in one wire format.
+type Codec interface {
+	// Name identifies the format ("ros1", "protobuf", "flatbuffer",
+	// "xcdr2").
+	Name() string
+	// Marshal encodes a message.
+	Marshal(d *msg.Dynamic) ([]byte, error)
+	// Unmarshal decodes a message of the named registered type.
+	Unmarshal(data []byte, typeName string) (*msg.Dynamic, error)
+}

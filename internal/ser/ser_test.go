@@ -1,0 +1,182 @@
+package ser_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rossf/internal/msg"
+	"rossf/internal/msgtest"
+	"rossf/internal/ser"
+	"rossf/internal/ser/cdrser"
+	"rossf/internal/ser/flatser"
+	"rossf/internal/ser/protoser"
+	"rossf/internal/ser/rosser"
+)
+
+func codecs(reg *msg.Registry) []ser.Codec {
+	return []ser.Codec{
+		rosser.New(reg),
+		protoser.New(reg),
+		flatser.New(reg),
+		cdrser.New(reg),
+	}
+}
+
+// TestRoundTripAllCodecsAllTypes is the cross-format property test: every
+// codec must round-trip randomized instances of every registered message
+// type.
+func TestRoundTripAllCodecsAllTypes(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range codecs(reg) {
+		t.Run(c.Name(), func(t *testing.T) {
+			for _, name := range reg.Names() {
+				spec, _ := reg.Lookup(name)
+				for trial := 0; trial < 8; trial++ {
+					d, err := msg.RandomDynamic(spec, reg, rng, 5)
+					if err != nil {
+						t.Fatalf("random %s: %v", name, err)
+					}
+					data, err := c.Marshal(d)
+					if err != nil {
+						t.Fatalf("%s marshal %s: %v", c.Name(), name, err)
+					}
+					got, err := c.Unmarshal(data, name)
+					if err != nil {
+						t.Fatalf("%s unmarshal %s: %v", c.Name(), name, err)
+					}
+					if !msg.Equal(d, got) {
+						t.Fatalf("%s: %s round trip mismatch (trial %d)", c.Name(), name, trial)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestZeroValueRoundTrip checks the all-defaults corner for each codec.
+func TestZeroValueRoundTrip(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	for _, c := range codecs(reg) {
+		for _, name := range reg.Names() {
+			spec, _ := reg.Lookup(name)
+			d, err := msg.NewDynamic(spec, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := c.Marshal(d)
+			if err != nil {
+				t.Fatalf("%s marshal zero %s: %v", c.Name(), name, err)
+			}
+			got, err := c.Unmarshal(data, name)
+			if err != nil {
+				t.Fatalf("%s unmarshal zero %s: %v", c.Name(), name, err)
+			}
+			if !msg.Equal(d, got) {
+				t.Errorf("%s: zero %s round trip mismatch", c.Name(), name)
+			}
+		}
+	}
+}
+
+// TestUnmarshalUnknownType ensures codecs reject unregistered names.
+func TestUnmarshalUnknownType(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	for _, c := range codecs(reg) {
+		if _, err := c.Unmarshal([]byte{0, 0, 0, 0}, "no_such/Type"); err == nil {
+			t.Errorf("%s: accepted unknown type", c.Name())
+		}
+	}
+}
+
+// TestCorruptInputsDoNotPanic fuzzes truncations: decoders must return
+// errors (or degrade) rather than panic on short buffers.
+func TestCorruptInputsDoNotPanic(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	rng := rand.New(rand.NewSource(9))
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, err := msg.RandomDynamic(spec, reg, rng, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range codecs(reg) {
+		data, err := c.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(data); cut += 1 + len(data)/37 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s: panic on truncation at %d: %v", c.Name(), cut, r)
+					}
+				}()
+				c.Unmarshal(data[:cut], "sensor_msgs/Image") //nolint:errcheck // errors expected
+			}()
+		}
+	}
+}
+
+// TestSizeShapes pins the size relationships the paper relies on: prefix
+// encoding (protobuf) compresses small-valued numeric payloads relative
+// to ROS1's fixed-width encoding.
+func TestSizeShapes(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set("height", uint32(2))
+	d.Set("width", uint32(3))
+	d.Set("encoding", "rgb8")
+	d.Set("data", make([]uint8, 18))
+
+	ros, _ := rosser.New(reg).Marshal(d)
+	pb, _ := protoser.New(reg).Marshal(d)
+	if len(pb) >= len(ros)+8 {
+		t.Errorf("protobuf (%dB) not compact vs ros1 (%dB) for small values", len(pb), len(ros))
+	}
+}
+
+func BenchmarkMarshalImage(b *testing.B) {
+	reg := msg.NewRegistry()
+	mustRegisterBench(b, reg)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Set("encoding", "rgb8")
+	d.Set("height", uint32(256))
+	d.Set("width", uint32(256))
+	d.Set("step", uint32(768))
+	d.Set("data", make([]uint8, 256*256*3))
+
+	for _, c := range codecs(reg) {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Marshal(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustRegisterBench(b *testing.B, reg *msg.Registry) {
+	b.Helper()
+	defs := map[string]string{
+		"Header": "uint32 seq\ntime stamp\nstring frame_id\n",
+	}
+	for n, text := range defs {
+		if _, err := reg.ParseAndRegister("std_msgs", n, text); err != nil {
+			b.Fatal(err)
+		}
+	}
+	img := "Header header\nuint32 height\nuint32 width\nstring encoding\nuint8 is_bigendian\nuint32 step\nuint8[] data\n"
+	if _, err := reg.ParseAndRegister("sensor_msgs", "Image", img); err != nil {
+		b.Fatal(err)
+	}
+}

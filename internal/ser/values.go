@@ -1,0 +1,86 @@
+package ser
+
+import (
+	"fmt"
+	"reflect"
+
+	"rossf/internal/msg"
+)
+
+// ArrayLen returns the element count of a dynamic-message array value.
+func ArrayLen(v any) (int, error) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Slice {
+		return 0, fmt.Errorf("expected slice value, got %T", v)
+	}
+	return rv.Len(), nil
+}
+
+// ForEach visits every element of a dynamic-message array value.
+func ForEach(v any, fn func(elem any) error) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Slice {
+		return fmt.Errorf("expected slice value, got %T", v)
+	}
+	for i := 0; i < rv.Len(); i++ {
+		if err := fn(rv.Index(i).Interface()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildSlice constructs the typed slice for a dynamic-message array of n
+// elements, filling each from next.
+func BuildSlice(base msg.TypeSpec, n int, next func() (any, error)) (any, error) {
+	switch base.Prim {
+	case msg.PBool:
+		return fill[bool](n, next)
+	case msg.PInt8:
+		return fill[int8](n, next)
+	case msg.PUint8:
+		return fill[uint8](n, next)
+	case msg.PInt16:
+		return fill[int16](n, next)
+	case msg.PUint16:
+		return fill[uint16](n, next)
+	case msg.PInt32:
+		return fill[int32](n, next)
+	case msg.PUint32:
+		return fill[uint32](n, next)
+	case msg.PInt64:
+		return fill[int64](n, next)
+	case msg.PUint64:
+		return fill[uint64](n, next)
+	case msg.PFloat32:
+		return fill[float32](n, next)
+	case msg.PFloat64:
+		return fill[float64](n, next)
+	case msg.PString:
+		return fill[string](n, next)
+	case msg.PTime:
+		return fill[msg.Time](n, next)
+	case msg.PDuration:
+		return fill[msg.Duration](n, next)
+	case msg.PNone:
+		return fill[*msg.Dynamic](n, next)
+	default:
+		return nil, fmt.Errorf("unsupported primitive %v", base.Prim)
+	}
+}
+
+func fill[T any](n int, next func() (any, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := range out {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		tv, ok := v.(T)
+		if !ok {
+			return nil, fmt.Errorf("element %d: expected %T, got %T", i, out[i], v)
+		}
+		out[i] = tv
+	}
+	return out, nil
+}

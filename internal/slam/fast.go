@@ -1,0 +1,153 @@
+// Package slam implements the visual-tracking workload standing in for
+// ORB-SLAM in the paper's application case study (§5.3). The pipeline is
+// a real (if compact) feature tracker: FAST-style corner detection with
+// non-maximum suppression, patch descriptors, brute-force matching
+// against the previous frame, robust translation estimation, and the
+// three outputs of Fig. 17 — a camera pose, a feature point cloud, and a
+// debug image with the features drawn in. At the paper's 640x480-ish
+// frame sizes the computation takes tens of milliseconds, preserving the
+// compute-to-transport ratio that makes the Fig. 18 end-to-end gain
+// small (~5%).
+package slam
+
+// circle16 is the FAST detection circle: 16 offsets (dx, dy) of radius 3
+// in Bresenham order.
+var circle16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// Corner is one detected feature.
+type Corner struct {
+	X, Y  int
+	Score int
+}
+
+// detectFAST finds FAST-9 corners in a grayscale image: pixels where at
+// least 9 contiguous circle samples are all brighter or all darker than
+// the center by threshold. Non-maximum suppression keeps the strongest
+// corner per cellSize x cellSize cell, bounding the feature count.
+func detectFAST(gray []byte, w, h int, threshold uint8, cellSize, maxFeatures int) []Corner {
+	if cellSize < 8 {
+		cellSize = 8
+	}
+	cw := (w + cellSize - 1) / cellSize
+	ch := (h + cellSize - 1) / cellSize
+	best := make([]Corner, cw*ch)
+
+	thr := int(threshold)
+	for y := 3; y < h-3; y++ {
+		row := y * w
+		for x := 3; x < w-3; x++ {
+			c := int(gray[row+x])
+			hi := c + thr
+			lo := c - thr
+
+			// Quick reject using the four compass samples: a 9-contiguous
+			// arc of the 16-sample circle always covers at least two
+			// compass positions, so fewer than two qualifying compass
+			// samples rules a corner out.
+			n, s := int(gray[row-3*w+x]), int(gray[row+3*w+x])
+			e, wv := int(gray[row+x+3]), int(gray[row+x-3])
+			brighter := b2i(n > hi) + b2i(s > hi) + b2i(e > hi) + b2i(wv > hi)
+			darker := b2i(n < lo) + b2i(s < lo) + b2i(e < lo) + b2i(wv < lo)
+			if brighter < 2 && darker < 2 {
+				continue
+			}
+
+			score := fastScore(gray, w, x, y, c, thr)
+			if score == 0 {
+				continue
+			}
+			cell := (y/cellSize)*cw + x/cellSize
+			if score > best[cell].Score {
+				best[cell] = Corner{X: x, Y: y, Score: score}
+			}
+		}
+	}
+
+	corners := make([]Corner, 0, maxFeatures)
+	for _, c := range best {
+		if c.Score > 0 {
+			corners = append(corners, c)
+			if len(corners) == maxFeatures {
+				break
+			}
+		}
+	}
+	return corners
+}
+
+// fastScore checks the 9-contiguous criterion and returns a corner
+// strength (sum of absolute differences of the qualifying arc), or 0.
+func fastScore(gray []byte, w, x, y, c, thr int) int {
+	var vals [16]int
+	for i, o := range circle16 {
+		vals[i] = int(gray[(y+o[1])*w+x+o[0]])
+	}
+	hi, lo := c+thr, c-thr
+
+	// Walk the doubled circle looking for >= 9 contiguous qualifying
+	// samples.
+	score := arcScore(vals[:], hi, true, c)
+	if s := arcScore(vals[:], lo, false, c); s > score {
+		score = s
+	}
+	return score
+}
+
+func arcScore(vals []int, bound int, brighter bool, c int) int {
+	run, bestRun, runSum, bestSum := 0, 0, 0, 0
+	for i := 0; i < len(vals)*2; i++ {
+		v := vals[i%len(vals)]
+		ok := v > bound
+		if !brighter {
+			ok = v < bound
+		}
+		if !ok {
+			run, runSum = 0, 0
+			continue
+		}
+		run++
+		d := v - c
+		if d < 0 {
+			d = -d
+		}
+		runSum += d
+		if run > bestRun {
+			bestRun, bestSum = run, runSum
+		}
+		if run >= len(vals) {
+			break
+		}
+	}
+	if bestRun >= 9 {
+		return bestSum
+	}
+	return 0
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// grayFromRGB converts an interleaved rgb8 image to grayscale in dst
+// (allocated if needed) using integer luma weights.
+func grayFromRGB(rgb []byte, w, h int, dst []byte) []byte {
+	if cap(dst) < w*h {
+		dst = make([]byte, w*h)
+	}
+	dst = dst[:w*h]
+	for i := 0; i < w*h; i++ {
+		r := int(rgb[3*i])
+		g := int(rgb[3*i+1])
+		b := int(rgb[3*i+2])
+		dst[i] = byte((77*r + 150*g + 29*b) >> 8)
+	}
+	return dst
+}

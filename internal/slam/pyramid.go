@@ -1,0 +1,72 @@
+package slam
+
+// Image pyramid support: like ORB-SLAM, features are detected at
+// multiple scales so the tracker survives scale change — and the
+// per-level detection, description, and matching account for most of
+// the pipeline's compute, which is what gives the Fig. 18 case study
+// its ~30-40 ms processing stage.
+
+// pyramidLevel is one scale of the pyramid.
+type pyramidLevel struct {
+	gray  []byte
+	w, h  int
+	scale float64 // multiply level coordinates by this to get level-0 pixels
+}
+
+// buildPyramid downsamples gray by factor 1/1.2 per level, reusing the
+// scratch slices when possible.
+func buildPyramid(gray []byte, w, h, levels int, scratch []pyramidLevel) []pyramidLevel {
+	if levels < 1 {
+		levels = 1
+	}
+	out := scratch[:0]
+	out = append(out, pyramidLevel{gray: gray, w: w, h: h, scale: 1})
+	const factor = 1.2
+	for l := 1; l < levels; l++ {
+		prev := out[l-1]
+		nw := int(float64(prev.w) / factor)
+		nh := int(float64(prev.h) / factor)
+		if nw < 32 || nh < 32 {
+			break
+		}
+		var buf []byte
+		if l < len(scratch) && cap(scratch[l].gray) >= nw*nh {
+			buf = scratch[l].gray[:nw*nh]
+		} else {
+			buf = make([]byte, nw*nh)
+		}
+		resample(prev.gray, prev.w, prev.h, buf, nw, nh)
+		out = append(out, pyramidLevel{gray: buf, w: nw, h: nh, scale: out[l-1].scale * factor})
+	}
+	return out
+}
+
+// resample performs bilinear downsampling.
+func resample(src []byte, sw, sh int, dst []byte, dw, dh int) {
+	xr := float64(sw-1) / float64(dw)
+	yr := float64(sh-1) / float64(dh)
+	for y := 0; y < dh; y++ {
+		sy := float64(y) * yr
+		y0 := int(sy)
+		fy := sy - float64(y0)
+		if y0 >= sh-1 {
+			y0 = sh - 2
+			fy = 1
+		}
+		for x := 0; x < dw; x++ {
+			sx := float64(x) * xr
+			x0 := int(sx)
+			fx := sx - float64(x0)
+			if x0 >= sw-1 {
+				x0 = sw - 2
+				fx = 1
+			}
+			p00 := float64(src[y0*sw+x0])
+			p10 := float64(src[y0*sw+x0+1])
+			p01 := float64(src[(y0+1)*sw+x0])
+			p11 := float64(src[(y0+1)*sw+x0+1])
+			v := p00*(1-fx)*(1-fy) + p10*fx*(1-fy) + p01*(1-fx)*fy + p11*fx*fy
+			dst[y*dw+x] = byte(v)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package slam
+
+import (
+	"math"
+	"testing"
+
+	"rossf/internal/dataset"
+)
+
+// synthCorner paints a bright square on a dark background: an
+// unambiguous corner source.
+func synthCorner(w, h int) []byte {
+	gray := make([]byte, w*h)
+	for y := h / 4; y < 3*h/4; y++ {
+		for x := w / 4; x < 3*w/4; x++ {
+			gray[y*w+x] = 220
+		}
+	}
+	return gray
+}
+
+func TestFASTDetectsSquareCorners(t *testing.T) {
+	const w, h = 64, 64
+	gray := synthCorner(w, h)
+	corners := detectFAST(gray, w, h, 24, 8, 100)
+	if len(corners) == 0 {
+		t.Fatal("no corners on a high-contrast square")
+	}
+	// Every detection must be near one of the four square corners.
+	targets := [][2]int{{16, 16}, {47, 16}, {16, 47}, {47, 47}}
+	for _, c := range corners {
+		near := false
+		for _, tg := range targets {
+			dx, dy := c.X-tg[0], c.Y-tg[1]
+			if dx*dx+dy*dy <= 25 {
+				near = true
+				break
+			}
+		}
+		if !near {
+			t.Errorf("corner at (%d,%d) is not near a square corner", c.X, c.Y)
+		}
+	}
+}
+
+func TestFASTIgnoresFlatImage(t *testing.T) {
+	const w, h = 64, 64
+	gray := make([]byte, w*h)
+	for i := range gray {
+		gray[i] = 128
+	}
+	if corners := detectFAST(gray, w, h, 24, 8, 100); len(corners) != 0 {
+		t.Errorf("flat image produced %d corners", len(corners))
+	}
+}
+
+func TestTrackerRecoversTranslation(t *testing.T) {
+	seq, err := dataset.NewSequence(dataset.Config{
+		Width: 320, Height: 240, Frames: 8, Seed: 11, StepPixels: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(Config{})
+	var estX, estY float64
+	for i := 0; i < 8; i++ {
+		f, err := seq.Frame(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Process(f.RGB, 320, 240, f.Depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		estX += res.DX
+		estY += res.DY
+		if i > 0 && res.Matches == 0 {
+			t.Fatalf("frame %d: no matches", i)
+		}
+	}
+	wantX, wantY := seq.TrueMotion(0, 7)
+	if math.Abs(estX-wantX) > 4 || math.Abs(estY-wantY) > 4 {
+		t.Errorf("integrated motion = (%.1f, %.1f), truth = (%.1f, %.1f)",
+			estX, estY, wantX, wantY)
+	}
+	if pose := tr.Pose(); math.Abs(pose.X-estX) > 1e-9 {
+		t.Errorf("pose %.1f does not integrate DX sum %.1f", pose.X, estX)
+	}
+}
+
+func TestPointCloudBackProjection(t *testing.T) {
+	seq, _ := dataset.NewSequence(dataset.Config{Width: 160, Height: 120, Frames: 2, Seed: 2})
+	tr := NewTracker(Config{})
+	f, _ := seq.Frame(0)
+	res, err := tr.Process(f.RGB, 160, 120, f.Depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points produced")
+	}
+	for _, p := range res.Points {
+		if p.Z <= 0 || p.Z > 10 {
+			t.Fatalf("implausible depth %f", p.Z)
+		}
+	}
+}
+
+func TestDrawDebugMarksFeatures(t *testing.T) {
+	seq, _ := dataset.NewSequence(dataset.Config{Width: 160, Height: 120, Frames: 2, Seed: 2})
+	tr := NewTracker(Config{})
+	f, _ := seq.Frame(0)
+	if _, err := tr.Process(f.RGB, 160, 120, nil); err != nil {
+		t.Fatal(err)
+	}
+	rgb := append([]byte(nil), f.RGB...)
+	n := tr.DrawDebug(rgb, 160, 120)
+	if n == 0 {
+		t.Fatal("no markers drawn")
+	}
+	// At least one pixel must have turned marker-green.
+	found := false
+	for i := 0; i+2 < len(rgb); i += 3 {
+		if rgb[i] == 0 && rgb[i+1] == 255 && rgb[i+2] == 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no green marker pixels present")
+	}
+}
+
+func TestProcessRejectsShortBuffer(t *testing.T) {
+	tr := NewTracker(Config{})
+	if _, err := tr.Process(make([]byte, 10), 64, 64, nil); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func BenchmarkTrackerVGA(b *testing.B) {
+	seq, err := dataset.NewSequence(dataset.Config{Width: 640, Height: 480, Frames: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f0, _ := seq.Frame(0)
+	f1, _ := seq.Frame(1)
+	tr := NewTracker(Config{})
+	tr.Process(f0.RGB, 640, 480, f0.Depth)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Process(f1.RGB, 640, 480, f1.Depth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package slam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// descSize is the descriptor patch side; descriptors are descSize² bytes
+// sampled around the corner.
+const descSize = 8
+
+// descriptor is a normalized intensity patch.
+type descriptor [descSize * descSize]byte
+
+// Config tunes the tracker workload.
+type Config struct {
+	// Threshold is the FAST intensity threshold (default 24).
+	Threshold uint8
+	// MaxFeatures bounds the per-frame feature count (default 600).
+	MaxFeatures int
+	// CellSize is the non-max-suppression grid (default 12).
+	CellSize int
+	// MatchRadius bounds the displacement search in pixels (default 48).
+	MatchRadius int
+	// PyramidLevels is the number of image scales (factor 1.2 apart, as
+	// in ORB) to detect on; default 4. More levels mean more compute,
+	// which is how the Fig. 18 workload reaches ORB-SLAM's 30-40 ms.
+	PyramidLevels int
+	// FocalLength and Baseline parameterize the synthetic depth
+	// back-projection for the point cloud output.
+	FocalLength float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 24
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = 600
+	}
+	if c.CellSize == 0 {
+		c.CellSize = 12
+	}
+	if c.MatchRadius == 0 {
+		c.MatchRadius = 48
+	}
+	if c.FocalLength == 0 {
+		c.FocalLength = 525 // the TUM RGBD intrinsics ballpark
+	}
+	if c.PyramidLevels == 0 {
+		c.PyramidLevels = 4
+	}
+}
+
+// Pose is the integrated camera position (pixels in the world plane;
+// a planar stand-in for the SE(3) pose ORB-SLAM emits).
+type Pose struct {
+	X, Y float64
+	// Confidence is the inlier fraction of the last estimate.
+	Confidence float64
+}
+
+// Point3 is one reconstructed feature point.
+type Point3 struct {
+	X, Y, Z float32
+}
+
+// Result is the output of processing one frame: the three topics of
+// Fig. 17.
+type Result struct {
+	Pose     Pose
+	Points   []Point3
+	Matches  int
+	Features int
+	// DX/DY is the estimated frame-to-frame translation.
+	DX, DY float64
+}
+
+// feature couples a corner with its descriptor.
+type feature struct {
+	c    Corner
+	desc descriptor
+}
+
+// Tracker is the stateful visual pipeline: it matches each frame
+// against the previous one and integrates the estimated motion.
+type Tracker struct {
+	cfg  Config
+	prev []feature
+	pose Pose
+
+	gray []byte         // scratch, reused across frames
+	pyr  []pyramidLevel // scratch pyramid storage
+}
+
+// NewTracker returns a tracker with defaulted configuration.
+func NewTracker(cfg Config) *Tracker {
+	cfg.fillDefaults()
+	return &Tracker{cfg: cfg}
+}
+
+// Pose returns the current integrated pose.
+func (t *Tracker) Pose() Pose { return t.pose }
+
+// Process runs the pipeline on one rgb8 frame. depth may be nil; when
+// present it back-projects matched features into 3D.
+func (t *Tracker) Process(rgb []byte, w, h int, depth []uint16) (*Result, error) {
+	if len(rgb) < w*h*3 {
+		return nil, fmt.Errorf("slam: rgb buffer %d too small for %dx%d", len(rgb), w, h)
+	}
+	t.gray = grayFromRGB(rgb, w, h, t.gray)
+	t.pyr = buildPyramid(t.gray, w, h, t.cfg.PyramidLevels, t.pyr)
+
+	var feats []feature
+	for _, lvl := range t.pyr {
+		corners := detectFAST(lvl.gray, lvl.w, lvl.h, t.cfg.Threshold, t.cfg.CellSize, t.cfg.MaxFeatures)
+		for _, c := range corners {
+			if c.X < descSize/2 || c.Y < descSize/2 ||
+				c.X >= lvl.w-descSize/2 || c.Y >= lvl.h-descSize/2 {
+				continue
+			}
+			// Descriptors sample the level image; coordinates report in
+			// level-0 pixels so matching and outputs are scale-free.
+			f := feature{c: Corner{
+				X:     min(int(float64(c.X)*lvl.scale), w-1),
+				Y:     min(int(float64(c.Y)*lvl.scale), h-1),
+				Score: c.Score,
+			}}
+			extractDescriptor(lvl.gray, lvl.w, c.X, c.Y, &f.desc)
+			feats = append(feats, f)
+		}
+	}
+
+	res := &Result{Features: len(feats)}
+	if len(t.prev) > 0 {
+		fdx, fdy, matches, inliers := matchAndEstimate(t.prev, feats, t.cfg.MatchRadius)
+		// Features shift opposite to the camera: negate to report camera
+		// motion.
+		dx, dy := -fdx, -fdy
+		res.DX, res.DY = dx, dy
+		res.Matches = matches
+		t.pose.X += dx
+		t.pose.Y += dy
+		if matches > 0 {
+			t.pose.Confidence = float64(inliers) / float64(matches)
+		}
+	}
+	res.Pose = t.pose
+
+	// Back-project matched features using depth (or a flat plane).
+	res.Points = make([]Point3, 0, len(feats))
+	for _, f := range feats {
+		z := 1.5
+		if depth != nil {
+			z = float64(depth[f.c.Y*w+f.c.X]) / 1000.0
+		}
+		res.Points = append(res.Points, Point3{
+			X: float32((float64(f.c.X) - float64(w)/2) * z / t.cfg.FocalLength),
+			Y: float32((float64(f.c.Y) - float64(h)/2) * z / t.cfg.FocalLength),
+			Z: float32(z),
+		})
+	}
+
+	t.prev = feats
+	return res, nil
+}
+
+// DrawDebug overlays detected features onto an rgb8 image in place —
+// the debug output topic of Fig. 17. It returns the number of markers
+// drawn.
+func (t *Tracker) DrawDebug(rgb []byte, w, h int) int {
+	n := 0
+	for _, f := range t.prev {
+		drawMarker(rgb, w, h, f.c.X, f.c.Y)
+		n++
+	}
+	return n
+}
+
+func drawMarker(rgb []byte, w, h, x, y int) {
+	for d := -2; d <= 2; d++ {
+		for _, p := range [2][2]int{{x + d, y}, {x, y + d}} {
+			px, py := p[0], p[1]
+			if px < 0 || py < 0 || px >= w || py >= h {
+				continue
+			}
+			i := (py*w + px) * 3
+			rgb[i], rgb[i+1], rgb[i+2] = 0, 255, 0
+		}
+	}
+}
+
+// extractDescriptor samples a normalized descSize² patch.
+func extractDescriptor(gray []byte, w, cx, cy int, d *descriptor) {
+	var sum int
+	i := 0
+	for dy := -descSize / 2; dy < descSize/2; dy++ {
+		row := (cy + dy) * w
+		for dx := -descSize / 2; dx < descSize/2; dx++ {
+			v := gray[row+cx+dx]
+			d[i] = v
+			sum += int(v)
+			i++
+		}
+	}
+	mean := sum / len(d)
+	for j := range d {
+		// Mean-centered (shifted to keep byte range): robust to the
+		// dataset's brightness tint.
+		v := int(d[j]) - mean + 128
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		d[j] = byte(v)
+	}
+}
+
+// sad is the sum of absolute differences between descriptors.
+func sad(a, b *descriptor) int {
+	s := 0
+	for i := range a {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// matchAndEstimate brute-force matches features against the previous
+// frame within a displacement radius, then estimates translation as the
+// component-wise median of match displacements and counts inliers
+// within 2 pixels of it.
+func matchAndEstimate(prev, cur []feature, radius int) (dx, dy float64, matches, inliers int) {
+	r2 := radius * radius
+	dxs := make([]int, 0, len(cur))
+	dys := make([]int, 0, len(cur))
+	for i := range cur {
+		bestSAD := 1 << 30
+		secondSAD := 1 << 30
+		bestJ := -1
+		for j := range prev {
+			ddx := cur[i].c.X - prev[j].c.X
+			ddy := cur[i].c.Y - prev[j].c.Y
+			if ddx*ddx+ddy*ddy > r2 {
+				continue
+			}
+			s := sad(&cur[i].desc, &prev[j].desc)
+			if s < bestSAD {
+				secondSAD = bestSAD
+				bestSAD, bestJ = s, j
+			} else if s < secondSAD {
+				secondSAD = s
+			}
+		}
+		// Lowe-style ratio test rejects ambiguous matches.
+		if bestJ < 0 || bestSAD*10 >= secondSAD*8 {
+			continue
+		}
+		dxs = append(dxs, cur[i].c.X-prev[bestJ].c.X)
+		dys = append(dys, cur[i].c.Y-prev[bestJ].c.Y)
+	}
+	matches = len(dxs)
+	if matches == 0 {
+		return 0, 0, 0, 0
+	}
+	mdx := median(dxs)
+	mdy := median(dys)
+	for i := range dxs {
+		ex, ey := dxs[i]-mdx, dys[i]-mdy
+		if ex*ex+ey*ey <= 4 {
+			inliers++
+		}
+	}
+	return float64(mdx), float64(mdy), matches, inliers
+}
+
+func median(xs []int) int {
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,282 @@
+// Package wire provides little-endian buffer encoding and decoding
+// primitives shared by the serializer substrates (ROS1, ProtoBuf-like,
+// FlatBuffer-like, XCDR2-like) and by the transport framing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer reports a read past the end of the input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrVarintOverflow reports a malformed or oversized varint.
+var ErrVarintOverflow = errors.New("wire: varint overflow")
+
+// Writer appends little-endian values to a growing buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with pre-allocated capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the buffer, keeping capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Bool writes a single 0/1 byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I8 writes one signed byte.
+func (w *Writer) I8(v int8) { w.U8(uint8(v)) }
+
+// I16 writes a little-endian int16.
+func (w *Writer) I16(v int16) { w.U16(uint16(v)) }
+
+// I32 writes a little-endian int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 writes a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F32 writes an IEEE-754 float32.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// F64 writes an IEEE-754 float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Raw appends bytes verbatim.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// String writes a ROS1 string: uint32 length followed by the bytes, no
+// terminator.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Varint writes a protobuf base-128 varint.
+func (w *Writer) Varint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Zigzag writes a protobuf zigzag-encoded signed varint.
+func (w *Writer) Zigzag(v int64) {
+	w.Varint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// Pad appends zero bytes until the length is a multiple of n.
+func (w *Writer) Pad(n int) {
+	for len(w.buf)%n != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// PutU16 patches a little-endian uint16 at an absolute offset.
+func (w *Writer) PutU16(off int, v uint16) { binary.LittleEndian.PutUint16(w.buf[off:], v) }
+
+// PutU32 patches a little-endian uint32 at an absolute offset.
+func (w *Writer) PutU32(off int, v uint32) { binary.LittleEndian.PutUint32(w.buf[off:], v) }
+
+// Skip appends n zero bytes and returns the offset where they start,
+// for later patching.
+func (w *Writer) Skip(n int) int {
+	off := len(w.buf)
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	return off
+}
+
+// Reader consumes little-endian values from a buffer with a sticky error:
+// after the first failure every subsequent read returns zero values and
+// Err() reports the cause.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a buffer.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Offset returns the current read position.
+func (r *Reader) Offset() int { return r.off }
+
+// Seek moves the read position to an absolute offset.
+func (r *Reader) Seek(off int) {
+	if r.err != nil {
+		return
+	}
+	if off < 0 || off > len(r.buf) {
+		r.fail(off - len(r.buf))
+		return
+	}
+	r.off = off
+}
+
+func (r *Reader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: need %d more bytes at offset %d", ErrShortBuffer, n, r.off)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(r.off + n - len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Bool reads a single byte as a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I8 reads one signed byte.
+func (r *Reader) I8() int8 { return int8(r.U8()) }
+
+// I16 reads a little-endian int16.
+func (r *Reader) I16() int16 { return int16(r.U16()) }
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F32 reads an IEEE-754 float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Raw reads n bytes without copying; the result aliases the input.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// String reads a ROS1 string: uint32 length followed by the bytes.
+func (r *Reader) String() string {
+	n := r.U32()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Varint reads a protobuf base-128 varint.
+func (r *Reader) Varint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if r.err == nil {
+			r.err = ErrVarintOverflow
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Zigzag reads a protobuf zigzag-encoded signed varint.
+func (r *Reader) Zigzag() int64 {
+	v := r.Varint()
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// Align skips forward to the next multiple of n. Trailing alignment
+// padding at the end of a buffer is optional, so Align clamps to the end
+// rather than failing.
+func (r *Reader) Align(n int) {
+	if r.err != nil {
+		return
+	}
+	rem := r.off % n
+	if rem == 0 {
+		return
+	}
+	skip := n - rem
+	if skip > len(r.buf)-r.off {
+		r.off = len(r.buf)
+		return
+	}
+	r.off += skip
+}

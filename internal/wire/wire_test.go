@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrips(t *testing.T) {
+	w := NewWriter(64)
+	w.Bool(true)
+	w.Bool(false)
+	w.U8(0xAB)
+	w.I8(-5)
+	w.U16(0xBEEF)
+	w.I16(-1234)
+	w.U32(0xDEADBEEF)
+	w.I32(-123456789)
+	w.U64(0x0123456789ABCDEF)
+	w.I64(-987654321012345)
+	w.F32(3.5)
+	w.F64(-2.25)
+	w.String("hello")
+	w.Raw([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip")
+	}
+	if r.U8() != 0xAB || r.I8() != -5 {
+		t.Error("8-bit round trip")
+	}
+	if r.U16() != 0xBEEF || r.I16() != -1234 {
+		t.Error("16-bit round trip")
+	}
+	if r.U32() != 0xDEADBEEF || r.I32() != -123456789 {
+		t.Error("32-bit round trip")
+	}
+	if r.U64() != 0x0123456789ABCDEF || r.I64() != -987654321012345 {
+		t.Error("64-bit round trip")
+	}
+	if r.F32() != 3.5 || r.F64() != -2.25 {
+		t.Error("float round trip")
+	}
+	if r.String() != "hello" {
+		t.Error("string round trip")
+	}
+	raw := r.Raw(3)
+	if len(raw) != 3 || raw[2] != 3 {
+		t.Error("raw round trip")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(0x01020304)
+	b := w.Bytes()
+	if b[0] != 4 || b[1] != 3 || b[2] != 2 || b[3] != 1 {
+		t.Errorf("layout = % x, want little endian", b)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U32() // short
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Every later read is a harmless zero.
+	if r.U64() != 0 || r.String() != "" || r.Raw(5) != nil || r.F64() != 0 {
+		t.Error("reads after error not zero")
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(16)
+		w.Varint(v)
+		r := NewReader(w.Bytes())
+		return r.Varint() == v && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter(16)
+		w.Zigzag(v)
+		r := NewReader(w.Bytes())
+		return r.Zigzag() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagSmallMagnitudesAreShort(t *testing.T) {
+	for _, v := range []int64{-64, -1, 0, 1, 63} {
+		w := NewWriter(16)
+		w.Zigzag(v)
+		if w.Len() != 1 {
+			t.Errorf("zigzag(%d) took %d bytes, want 1", v, w.Len())
+		}
+	}
+}
+
+func TestVarintOverflowRejected(t *testing.T) {
+	// 11 continuation bytes overflow a uvarint.
+	bad := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+	r := NewReader(bad)
+	r.Varint()
+	if !errors.Is(r.Err(), ErrVarintOverflow) {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestFloatBitPatterns(t *testing.T) {
+	w := NewWriter(16)
+	w.F64(math.NaN())
+	w.F32(float32(math.Inf(-1)))
+	r := NewReader(w.Bytes())
+	if !math.IsNaN(r.F64()) {
+		t.Error("NaN lost")
+	}
+	if !math.IsInf(float64(r.F32()), -1) {
+		t.Error("-Inf lost")
+	}
+}
+
+func TestPadAndAlign(t *testing.T) {
+	w := NewWriter(16)
+	w.U8(1)
+	w.Pad(4)
+	if w.Len() != 4 {
+		t.Errorf("pad to %d, want 4", w.Len())
+	}
+	w.Pad(4) // already aligned: no-op
+	if w.Len() != 4 {
+		t.Errorf("idempotent pad grew to %d", w.Len())
+	}
+
+	r := NewReader(w.Bytes())
+	r.U8()
+	r.Align(4)
+	if r.Offset() != 4 {
+		t.Errorf("align to %d, want 4", r.Offset())
+	}
+	r.Align(4)
+	if r.Offset() != 4 {
+		t.Error("idempotent align moved")
+	}
+}
+
+func TestAlignClampsAtEnd(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.U8()
+	r.Align(8)
+	if r.Err() != nil {
+		t.Errorf("align at EOF errored: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestSkipAndPatch(t *testing.T) {
+	w := NewWriter(16)
+	off := w.Skip(4)
+	w.U16(7)
+	w.PutU32(off, uint32(w.Len()))
+	r := NewReader(w.Bytes())
+	if got := r.U32(); got != 6 {
+		t.Errorf("patched length = %d, want 6", got)
+	}
+	w2 := NewWriter(8)
+	o := w2.Skip(2)
+	w2.PutU16(o, 0x1234)
+	if NewReader(w2.Bytes()).U16() != 0x1234 {
+		t.Error("PutU16 failed")
+	}
+}
+
+func TestSeek(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4})
+	r.Seek(2)
+	if r.U8() != 3 {
+		t.Error("seek forward")
+	}
+	r.Seek(0)
+	if r.U8() != 1 {
+		t.Error("seek back")
+	}
+	r.Seek(99)
+	if r.Err() == nil {
+		t.Error("out-of-range seek accepted")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(42)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Error("reset kept content")
+	}
+	w.U8(1)
+	if w.Len() != 1 {
+		t.Error("writer unusable after reset")
+	}
+}
+
+func TestStringWithArbitraryBytes(t *testing.T) {
+	f := func(s string) bool {
+		w := NewWriter(len(s) + 8)
+		w.String(s)
+		r := NewReader(w.Bytes())
+		return r.String() == s && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRawAliasesInput(t *testing.T) {
+	src := []byte{9, 8, 7, 6}
+	r := NewReader(src)
+	got := r.Raw(4)
+	src[0] = 1
+	if got[0] != 1 {
+		t.Error("Raw copied; want zero-copy alias")
+	}
+}

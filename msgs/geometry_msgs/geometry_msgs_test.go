@@ -1,0 +1,114 @@
+package geometry_msgs_test
+
+import (
+	"testing"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/msgtest"
+	"rossf/internal/wire"
+	"rossf/msgs/geometry_msgs"
+)
+
+func TestPoseStampedRoundTrip(t *testing.T) {
+	in := &geometry_msgs.PoseStamped{}
+	in.Header.Seq = 3
+	in.Header.FrameID = "odom"
+	in.Pose.Position = geometry_msgs.Point{X: 1.5, Y: -2.5, Z: 0.25}
+	in.Pose.Orientation = geometry_msgs.Quaternion{W: 1}
+
+	w := wire.NewWriter(in.SerializedSizeROS())
+	if err := in.SerializeROS(w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != in.SerializedSizeROS() {
+		t.Errorf("serialized %d bytes, SerializedSizeROS says %d", w.Len(), in.SerializedSizeROS())
+	}
+	var out geometry_msgs.PoseStamped
+	if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out.Header.FrameID != "odom" || out.Pose.Position != in.Pose.Position ||
+		out.Pose.Orientation != in.Pose.Orientation {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+}
+
+func TestPoseWithCovarianceFixedArray(t *testing.T) {
+	in := &geometry_msgs.PoseWithCovariance{}
+	for i := range in.Covariance {
+		in.Covariance[i] = float64(i) / 4
+	}
+	w := wire.NewWriter(in.SerializedSizeROS())
+	if err := in.SerializeROS(w); err != nil {
+		t.Fatal(err)
+	}
+	// 56 bytes of pose + 36 float64s, no count prefix for the fixed
+	// array.
+	if w.Len() != 56+36*8 {
+		t.Errorf("size = %d, want %d", w.Len(), 56+36*8)
+	}
+	var out geometry_msgs.PoseWithCovariance
+	if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out.Covariance != in.Covariance {
+		t.Error("covariance lost")
+	}
+}
+
+func TestPoseStampedSFConstruction(t *testing.T) {
+	p, err := geometry_msgs.NewPoseStampedSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(p)
+	p.Header.FrameID.MustSet("map")
+	p.Pose.Position.X = 4
+	p.Pose.Orientation.W = 1
+
+	frame, err := core.Bytes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := core.Default().GetBuffer(len(frame))
+	copy(buf.Bytes(), frame)
+	got, err := core.Adopt[geometry_msgs.PoseStampedSF](buf, len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(got)
+	if got.Header.FrameID.Get() != "map" || got.Pose.Position.X != 4 || got.Pose.Orientation.W != 1 {
+		t.Errorf("adopted pose lost data")
+	}
+}
+
+// TestFixedWireSizesAgree cross-checks the generated SerializedSizeROS
+// against the registry's FixedWireSize for the fully fixed types.
+func TestFixedWireSizesAgree(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	var (
+		point geometry_msgs.Point
+		quat  geometry_msgs.Quaternion
+		pose  geometry_msgs.Pose
+		twist geometry_msgs.Twist
+	)
+	cases := []struct {
+		name string
+		size int
+	}{
+		{"geometry_msgs/Point", point.SerializedSizeROS()},
+		{"geometry_msgs/Quaternion", quat.SerializedSizeROS()},
+		{"geometry_msgs/Pose", pose.SerializedSizeROS()},
+		{"geometry_msgs/Twist", twist.SerializedSizeROS()},
+	}
+	for _, tc := range cases {
+		n, fixed, err := reg.FixedWireSize(msg.TypeSpec{Msg: tc.name})
+		if err != nil || !fixed {
+			t.Fatalf("FixedWireSize(%s): %d %v %v", tc.name, n, fixed, err)
+		}
+		if n != tc.size {
+			t.Errorf("%s: registry %d vs generated %d", tc.name, n, tc.size)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package sensor_msgs_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/msgtest"
+	"rossf/internal/ros"
+	"rossf/internal/ser/rosser"
+	"rossf/internal/wire"
+	"rossf/msgs/sensor_msgs"
+	"rossf/msgs/std_msgs"
+)
+
+// TestGeneratedMatchesDynamicCodec cross-validates the generated ROS1
+// serializer against the schema-driven rosser codec: identical field
+// values must produce identical wire bytes.
+func TestGeneratedMatchesDynamicCodec(t *testing.T) {
+	m := &sensor_msgs.Image{
+		Header: std_msgs.Header{
+			Seq:     7,
+			Stamp:   msg.Time{Sec: 100, Nsec: 2000},
+			FrameID: "camera_link",
+		},
+		Height:      2,
+		Width:       3,
+		Encoding:    "rgb8",
+		IsBigendian: 0,
+		Step:        9,
+		Data:        []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18},
+	}
+	w := wire.NewWriter(256)
+	if err := m.SerializeROS(w); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := msgtest.LoadRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/Image")
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := d.Fields["header"].(*msg.Dynamic)
+	hdr.Set("seq", uint32(7))
+	hdr.Set("stamp", msg.Time{Sec: 100, Nsec: 2000})
+	hdr.Set("frame_id", "camera_link")
+	d.Set("height", uint32(2))
+	d.Set("width", uint32(3))
+	d.Set("encoding", "rgb8")
+	d.Set("is_bigendian", uint8(0))
+	d.Set("step", uint32(9))
+	d.Set("data", m.Data)
+
+	dynBytes, err := rosser.New(reg).Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Bytes(), dynBytes) {
+		t.Errorf("generated and dynamic serializations differ:\n% x\n% x", w.Bytes(), dynBytes)
+	}
+}
+
+func TestGeneratedRoundTrip(t *testing.T) {
+	in := &sensor_msgs.CameraInfo{
+		Height:          480,
+		Width:           640,
+		DistortionModel: "plumb_bob",
+		D:               []float64{0.1, -0.2, 0.3},
+		K:               [9]float64{500, 0, 320, 0, 500, 240, 0, 0, 1},
+		Roi:             sensor_msgs.RegionOfInterest{Width: 640, Height: 480, DoRectify: true},
+	}
+	in.Header.FrameID = "cam"
+	w := wire.NewWriter(256)
+	if err := in.SerializeROS(w); err != nil {
+		t.Fatal(err)
+	}
+	var out sensor_msgs.CameraInfo
+	if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out.DistortionModel != "plumb_bob" || out.K != in.K || len(out.D) != 3 ||
+		!out.Roi.DoRectify || out.Header.FrameID != "cam" {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+}
+
+// TestMD5MatchesIDLRegistry checks the generated checksums equal the
+// registry-computed ones, and that regular and SF variants share them.
+func TestMD5MatchesIDLRegistry(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	want, err := reg.MD5("sensor_msgs/Image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img sensor_msgs.Image
+	var imgSF sensor_msgs.ImageSF
+	if img.ROSMD5Sum() != want {
+		t.Errorf("Image MD5 = %s, want %s", img.ROSMD5Sum(), want)
+	}
+	if imgSF.ROSMD5Sum() != want || imgSF.ROSMessageType() != img.ROSMessageType() {
+		t.Error("SFM variant metadata differs from regular variant")
+	}
+}
+
+func TestSFMImageConstructAndAdopt(t *testing.T) {
+	img, err := sensor_msgs.NewImageSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Header.Seq = 9
+	img.Header.Stamp = msg.Time{Sec: 1, Nsec: 2}
+	if err := img.Header.FrameID.Set("camera_link"); err != nil {
+		t.Fatal(err)
+	}
+	img.Height, img.Width, img.Step = 4, 4, 12
+	img.Encoding.MustSet("rgb8")
+	img.Data.MustResize(48)
+	for i := range img.Data.Slice() {
+		img.Data.Slice()[i] = byte(i * 3)
+	}
+
+	wireBytes, err := core.Bytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := core.Default().GetBuffer(len(wireBytes))
+	copy(buf.Bytes(), wireBytes)
+	got, err := core.Adopt[sensor_msgs.ImageSF](buf, len(wireBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(got)
+	defer core.Release(img)
+
+	if got.Header.FrameID.Get() != "camera_link" || got.Header.Seq != 9 {
+		t.Errorf("header lost: %q seq=%d", got.Header.FrameID.Get(), got.Header.Seq)
+	}
+	if got.Encoding.Get() != "rgb8" || got.Data.Len() != 48 || got.Data.At(47) == nil {
+		t.Errorf("payload lost")
+	}
+	if got.Data.Slice()[15] != 45 {
+		t.Errorf("data[15] = %d, want 45", got.Data.Slice()[15])
+	}
+}
+
+func TestSFMNestedVectorOfMessages(t *testing.T) {
+	pc, err := sensor_msgs.NewPointCloudSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(pc)
+	pc.Header.FrameID.MustSet("map")
+	pc.Points.MustResize(3)
+	for i := 0; i < 3; i++ {
+		p := pc.Points.At(i)
+		p.X, p.Y, p.Z = float32(i), float32(i*2), float32(i*3)
+	}
+	pc.Channels.MustResize(1)
+	ch := pc.Channels.At(0)
+	ch.Name.MustSet("intensity")
+	ch.Values.MustResize(3)
+	ch.Values.Slice()[2] = 7.5
+
+	if pc.Points.At(2).Z != 6 {
+		t.Errorf("points lost: %v", pc.Points.At(2))
+	}
+	if pc.Channels.At(0).Name.Get() != "intensity" || pc.Channels.At(0).Values.Slice()[2] != 7.5 {
+		t.Error("nested channel data lost")
+	}
+}
+
+// TestGeneratedEndToEndPubSub runs the real generated types through the
+// middleware in both regimes.
+func TestGeneratedEndToEndPubSub(t *testing.T) {
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubNode.Close()
+	subNode, err := ros.NewNode("sub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subNode.Close()
+
+	t.Run("regular", func(t *testing.T) {
+		got := make(chan *sensor_msgs.Image, 1)
+		_, err := ros.Subscribe(subNode, "img_reg", func(m *sensor_msgs.Image) { got <- m },
+			ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := ros.Advertise[sensor_msgs.Image](pubNode, "img_reg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, func() bool { return pub.NumSubscribers() == 1 })
+		pub.Publish(&sensor_msgs.Image{Height: 10, Width: 10, Encoding: "rgb8",
+			Data: make([]uint8, 300)})
+		select {
+		case m := <-got:
+			if m.Height != 10 || m.Encoding != "rgb8" || len(m.Data) != 300 {
+				t.Errorf("received %+v", m)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	})
+
+	t.Run("sfm", func(t *testing.T) {
+		got := make(chan uint32, 1)
+		_, err := ros.Subscribe(subNode, "img_sfm", func(m *sensor_msgs.ImageSF) {
+			if m.Encoding.Get() == "rgb8" && m.Data.Len() == 300 {
+				got <- m.Height
+			}
+		}, ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "img_sfm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, func() bool { return pub.NumSubscribers() == 1 })
+
+		m, err := sensor_msgs.NewImageSF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Height, m.Width = 10, 10
+		m.Encoding.MustSet("rgb8")
+		m.Data.MustResize(300)
+		if err := pub.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+		core.Release(m)
+		select {
+		case h := <-got:
+			if h != 10 {
+				t.Errorf("height = %d", h)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timeout waiting for condition")
+}

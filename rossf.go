@@ -1,0 +1,29 @@
+// Package rossf is a from-scratch Go reproduction of "ROS-SF: A
+// Transparent and Efficient ROS Middleware using Serialization-Free
+// Message" (Wang, Dong, Tan — Middleware '22).
+//
+// The repository implements the paper's contribution and every substrate
+// it depends on:
+//
+//   - internal/core — the SFM serialization-free message format and the
+//     message life-cycle manager (the paper's §4);
+//   - internal/msg + cmd/sfmgen — the ROS .msg IDL toolchain and code
+//     generator producing both regular and SFM message classes (msgs/);
+//   - internal/ros — a miniature ROS1-like middleware (graph master,
+//     nodes, topics, TCPROS-like transport) carrying both regimes;
+//   - internal/ser/{rosser,protoser,flatser,cdrser} — the serialization
+//     baselines of the paper's Fig. 14 comparison;
+//   - internal/checker + cmd/sfcheck — the ROS-SF Converter analog and
+//     the applicability study of Table 1;
+//   - internal/netsim, internal/dataset, internal/slam — the simulated
+//     10 GbE link, TUM-like dataset, and ORB-SLAM-like workload behind
+//     Figs. 16 and 18;
+//   - internal/bench + cmd/rossf-bench — the harness regenerating every
+//     table and figure of the evaluation.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package rossf
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
