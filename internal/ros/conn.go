@@ -100,29 +100,49 @@ func readHeader(conn net.Conn) (map[string]string, error) {
 	return fields, nil
 }
 
-// writeFrame sends one length-prefixed message frame.
+// writeFrame sends one checked message frame: a wire.FrameMagic header
+// carrying the payload length and CRC-32C, then the payload itself. The
+// payload is written directly from its backing storage (an arena, for
+// SFM messages) — the checksum costs one pass over the bytes but no
+// copy, preserving the serialization-free property.
 func writeFrame(conn net.Conn, payload []byte) error {
-	var lenBuf [4]byte
-	n := len(payload)
-	lenBuf[0], lenBuf[1], lenBuf[2], lenBuf[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
-	if _, err := conn.Write(lenBuf[:]); err != nil {
+	var hdr [wire.FrameHeaderSize]byte
+	wire.PutFrameHeader(hdr[:], len(payload), wire.Checksum(payload))
+	if _, err := conn.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := conn.Write(payload)
 	return err
 }
 
-// readFrameLen reads the next frame's length prefix.
-func readFrameLen(conn net.Conn) (int, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-		return 0, err
-	}
-	n := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
-	if n < 0 || n > maxFrameSize {
-		return 0, fmt.Errorf("ros: frame size %d out of range", n)
-	}
-	return n, nil
+// frameReader consumes checked frames from a connection, rejecting
+// corrupted payloads and resynchronizing after stream damage. It wraps
+// wire.FrameScanner with the transport's frame-size bound.
+type frameReader struct {
+	conn net.Conn
+	scan *wire.FrameScanner
+}
+
+func newFrameReader(conn net.Conn) *frameReader {
+	return &frameReader{conn: conn, scan: wire.NewFrameScanner(conn, maxFrameSize)}
+}
+
+// next returns the next frame's payload length and expected checksum.
+// The caller reads exactly that many bytes from the connection and
+// validates them with fr.verify.
+func (fr *frameReader) next() (int, uint32, error) {
+	return fr.scan.Next()
+}
+
+// skipped reports the bytes discarded so far while resynchronizing.
+func (fr *frameReader) skipped() uint64 { return fr.scan.SkippedBytes() }
+
+// verify checks a received payload against its header checksum. A false
+// result means the frame must be dropped; the stream itself remains
+// usable (the next header is re-validated by magic, so a
+// desynchronized stream recovers by scanning).
+func (fr *frameReader) verify(payload []byte, crc uint32) bool {
+	return wire.Checksum(payload) == crc
 }
 
 // nativeEndianName returns this process's byte order header value.

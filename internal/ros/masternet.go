@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP master protocol lets nodes in different processes share one
@@ -141,7 +142,16 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 	send := func(m masterMsg) {
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		enc.Encode(m) //nolint:errcheck // a broken client tears down via the read loop
+		// Watch pushes run on the master's notify path; a stalled client
+		// must not wedge fanout to every other watcher. Deadline the
+		// write and sever the client if it cannot keep up — the read
+		// loop then tears down its registrations.
+		conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+		if err := enc.Encode(m); err != nil {
+			conn.Close()
+			return
+		}
+		conn.SetWriteDeadline(time.Time{})
 	}
 
 	var handleMu sync.Mutex
@@ -347,6 +357,11 @@ func (m *RemoteMaster) readLoop() {
 	}
 }
 
+// masterCallTimeout bounds one master request/response exchange; the
+// master is a lightweight local or same-site service, so an answer this
+// slow means the connection is effectively dead.
+const masterCallTimeout = 30 * time.Second
+
 // call performs one request/response exchange.
 func (m *RemoteMaster) call(req masterMsg) (masterMsg, error) {
 	m.mu.Lock()
@@ -363,7 +378,17 @@ func (m *RemoteMaster) call(req masterMsg) (masterMsg, error) {
 	if err != nil {
 		return masterMsg{}, err
 	}
-	resp := <-ch
+	var resp masterMsg
+	timer := time.NewTimer(masterCallTimeout)
+	defer timer.Stop()
+	select {
+	case resp = <-ch:
+	case <-timer.C:
+		m.mu.Lock()
+		delete(m.replies, req.ID)
+		m.mu.Unlock()
+		return masterMsg{}, errors.New("ros: master call timed out")
+	}
 	if resp.Op == "err" {
 		if resp.Msg == "" {
 			resp.Msg = "master error"

@@ -15,12 +15,20 @@ import (
 // to the queue_size argument of roscpp advertise.
 const defaultQueueSize = 16
 
+// defaultWriteTimeout bounds how long one frame write to one subscriber
+// may block. A subscriber that stops reading (wedged process, stalled
+// link) exhausts TCP buffering and would otherwise pin the connection's
+// writer goroutine forever; the deadline converts the stall into a
+// connection drop that the subscriber's reconnect machinery repairs.
+const defaultWriteTimeout = 30 * time.Second
+
 // PubOption configures Advertise.
 type PubOption func(*pubConfig)
 
 type pubConfig struct {
-	queueSize int
-	latch     bool
+	queueSize    int
+	latch        bool
+	writeTimeout time.Duration
 }
 
 // WithQueueSize sets the per-subscriber outbound queue depth. When the
@@ -38,6 +46,13 @@ func WithQueueSize(n int) PubOption {
 // subscriber that attaches later.
 func WithLatch() PubOption {
 	return func(c *pubConfig) { c.latch = true }
+}
+
+// WithWriteTimeout bounds each frame write to a subscriber connection
+// (default 30s); a write that exceeds it drops that connection instead
+// of wedging the publisher. d <= 0 disables the deadline.
+func WithWriteTimeout(d time.Duration) PubOption {
+	return func(c *pubConfig) { c.writeTimeout = d }
 }
 
 // Publisher publishes messages of type *T on one topic. Create with
@@ -59,20 +74,21 @@ func Advertise[T any](n *Node, topic string, opts ...PubOption) (*Publisher[T], 
 	if !sfm && !isSerializableType[T]() {
 		return nil, fmt.Errorf("ros: type %T implements neither Serializable nor SFMessage", new(T))
 	}
-	cfg := pubConfig{queueSize: defaultQueueSize}
+	cfg := pubConfig{queueSize: defaultQueueSize, writeTimeout: defaultWriteTimeout}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	ep := &pubEndpoint{
-		node:      n,
-		topic:     topic,
-		typeName:  typeName,
-		md5:       md5,
-		sfm:       sfm,
-		queueSize: cfg.queueSize,
-		latch:     cfg.latch,
-		conns:     make(map[*pubConn]struct{}),
-		inproc:    make(map[inprocTarget]struct{}),
+		node:         n,
+		topic:        topic,
+		typeName:     typeName,
+		md5:          md5,
+		sfm:          sfm,
+		queueSize:    cfg.queueSize,
+		latch:        cfg.latch,
+		writeTimeout: cfg.writeTimeout,
+		conns:        make(map[*pubConn]struct{}),
+		inproc:       make(map[inprocTarget]struct{}),
 	}
 	if err := n.registerPub(topic, ep); err != nil {
 		return nil, err
@@ -228,13 +244,14 @@ func (it frameItem) release() {
 // pubEndpoint is the type-erased per-topic publisher state serving all
 // subscriber attachments.
 type pubEndpoint struct {
-	node      *Node
-	topic     string
-	typeName  string
-	md5       string
-	sfm       bool
-	queueSize int
-	latch     bool
+	node         *Node
+	topic        string
+	typeName     string
+	md5          string
+	sfm          bool
+	queueSize    int
+	latch        bool
+	writeTimeout time.Duration
 	// endianName is advertised in the connection header; normally the
 	// process's native order, but raw publishers replaying recorded
 	// frames advertise the recorded order.
@@ -381,9 +398,10 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	conn.SetDeadline(time.Time{})
 
 	pc := &pubConn{
-		conn: conn,
-		ch:   make(chan frameItem, ep.queueSize),
-		stop: make(chan struct{}),
+		conn:         conn,
+		writeTimeout: ep.writeTimeout,
+		ch:           make(chan frameItem, ep.queueSize),
+		stop:         make(chan struct{}),
 	}
 	ep.mu.Lock()
 	if ep.closed {
@@ -469,8 +487,9 @@ func (ep *pubEndpoint) close() {
 // pubConn is one subscriber TCP attachment with a bounded outbound
 // queue.
 type pubConn struct {
-	conn net.Conn
-	ch   chan frameItem
+	conn         net.Conn
+	writeTimeout time.Duration
+	ch           chan frameItem
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -515,6 +534,13 @@ func (pc *pubConn) writeLoop() {
 		case <-pc.stop:
 			return
 		case it := <-pc.ch:
+			// A per-frame write deadline: if this subscriber has stopped
+			// draining the socket, fail the write and drop the connection
+			// rather than wedging the fanout goroutine. The subscriber's
+			// retry loop re-establishes the link once it recovers.
+			if pc.writeTimeout > 0 {
+				pc.conn.SetWriteDeadline(time.Now().Add(pc.writeTimeout))
+			}
 			err := writeFrame(pc.conn, it.bytes())
 			it.release()
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rossf/internal/core"
+	"rossf/internal/wire"
 )
 
 // stubConn satisfies net.Conn for queue tests without any I/O.
@@ -168,10 +169,15 @@ func TestFrameSizeBounds(t *testing.T) {
 	defer server.Close()
 	errs := make(chan error, 1)
 	go func() {
-		_, err := readFrameLen(server)
+		_, _, err := newFrameReader(server).next()
 		errs <- err
 	}()
-	client.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // ~2 GiB
+	// A well-formed header claiming a ~2 GiB payload: the scanner must
+	// treat it as stream damage (scan past it) rather than allocate.
+	var hdr [wire.FrameHeaderSize]byte
+	wire.PutFrameHeader(hdr[:], 0x7fffffff, 0)
+	client.Write(hdr[:])
+	client.Close()
 	select {
 	case err := <-errs:
 		if err == nil {

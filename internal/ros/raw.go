@@ -30,6 +30,7 @@ func SubscribeRaw(n *Node, topic, typeName, md5 string, sfm bool,
 	s := &Subscriber{
 		node:   n,
 		topic:  topic,
+		retry:  RetryPolicy{}.withDefaults(),
 		conns:  make(map[string]*subConn),
 		inproc: make(map[*pubEndpoint]struct{}),
 	}
@@ -65,21 +66,22 @@ type RawPublisher struct {
 // frame-level publisher.
 func AdvertiseRaw(n *Node, topic, typeName, md5 string, sfm, littleEndian bool,
 	opts ...PubOption) (*RawPublisher, error) {
-	cfg := pubConfig{queueSize: defaultQueueSize}
+	cfg := pubConfig{queueSize: defaultQueueSize, writeTimeout: defaultWriteTimeout}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	ep := &pubEndpoint{
-		node:       n,
-		topic:      topic,
-		typeName:   typeName,
-		md5:        md5,
-		sfm:        sfm,
-		queueSize:  cfg.queueSize,
-		latch:      cfg.latch,
-		endianName: nativeEndianName(littleEndian),
-		conns:      make(map[*pubConn]struct{}),
-		inproc:     make(map[inprocTarget]struct{}),
+		node:         n,
+		topic:        topic,
+		typeName:     typeName,
+		md5:          md5,
+		sfm:          sfm,
+		queueSize:    cfg.queueSize,
+		latch:        cfg.latch,
+		writeTimeout: cfg.writeTimeout,
+		endianName:   nativeEndianName(littleEndian),
+		conns:        make(map[*pubConn]struct{}),
+		inproc:       make(map[inprocTarget]struct{}),
 	}
 	if err := n.registerPub(topic, ep); err != nil {
 		return nil, err
@@ -133,9 +135,11 @@ func (r *rawRuntime) topicMeta() (string, string) { return r.typeName, r.md5 }
 func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
 	format := pubHeader[hdrFormat]
 	little := pubHeader[hdrEndian] != endianBig
+	fr := newFrameReader(conn)
+	defer r.sub.noteStreamDamage(fr)
 	scratch := make([]byte, 0, 4096)
 	for {
-		n, err := readFrameLen(conn)
+		n, crc, err := fr.next()
 		if err != nil {
 			return
 		}
@@ -145,6 +149,10 @@ func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
 		buf := scratch[:n]
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
+		}
+		if !fr.verify(buf, crc) {
+			r.sub.corrupt.Add(1)
+			continue
 		}
 		r.cb(RawMessage{Frame: buf, Format: format, LittleEndian: little})
 	}

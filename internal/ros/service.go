@@ -232,9 +232,10 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 		ep.mu.Unlock()
 	}()
 
+	fr := newFrameReader(conn)
 	scratch := make([]byte, 0, 4096)
 	for {
-		n, err := readFrameLen(conn)
+		n, crc, err := fr.next()
 		if err != nil {
 			return nil // client hung up
 		}
@@ -245,10 +246,28 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return nil
 		}
-		respFrame, release, herr := ep.handle(frame, srcLittle)
+		var respFrame []byte
+		var release func()
+		var herr error
+		if !fr.verify(frame, crc) {
+			// The request arrived damaged; tell the caller rather than
+			// handing garbage to the handler. The connection stays up —
+			// the next header is re-validated by magic.
+			herr = errors.New("corrupt request frame")
+		} else {
+			respFrame, release, herr = ep.handle(frame, srcLittle)
+		}
+		// A wedged or vanished caller must not pin this goroutine in a
+		// blocked Write forever.
+		conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
 		if herr != nil {
-			conn.Write([]byte{0})
-			writeFrame(conn, []byte(herr.Error()))
+			if _, err := conn.Write([]byte{0}); err != nil {
+				return nil
+			}
+			if err := writeFrame(conn, []byte(herr.Error())); err != nil {
+				return nil
+			}
+			conn.SetWriteDeadline(zeroTime())
 			continue
 		}
 		if _, err := conn.Write([]byte{1}); err != nil {
@@ -264,6 +283,7 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 		if werr != nil {
 			return nil
 		}
+		conn.SetWriteDeadline(zeroTime())
 	}
 }
 
@@ -296,11 +316,20 @@ func (ep *serviceEndpoint) close() {
 type ServiceClient[Req, Resp any] struct {
 	name    string
 	conn    net.Conn
+	fr      *frameReader
 	sfm     bool
 	layout  *core.Layout // response layout for endian conversion (SFM)
 	little  bool         // server byte order
+	timeout time.Duration
 	scratch []byte
 }
+
+// SetCallTimeout bounds each subsequent Call: the whole exchange
+// (request write through response read) must finish within d or the
+// call fails with a deadline error. Zero (the default) waits forever.
+// On an unreliable link a dropped request would otherwise block Call
+// indefinitely; with a timeout the caller can retry.
+func (c *ServiceClient[Req, Resp]) SetCallTimeout(d time.Duration) { c.timeout = d }
 
 // NewServiceClient resolves and connects to a service.
 func NewServiceClient[Req, Resp any](n *Node, name string) (*ServiceClient[Req, Resp], error) {
@@ -360,6 +389,7 @@ func NewServiceClient[Req, Resp any](n *Node, name string) (*ServiceClient[Req, 
 	c := &ServiceClient[Req, Resp]{
 		name:   name,
 		conn:   conn,
+		fr:     newFrameReader(conn),
 		sfm:    sfm,
 		little: reply[hdrEndian] != endianBig,
 	}
@@ -380,6 +410,10 @@ func (c *ServiceClient[Req, Resp]) Close() error { return c.conn.Close() }
 // types the returned response is arena-backed: release it with
 // core.Release when done.
 func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(zeroTime())
+	}
 	// Send the request in the appropriate regime.
 	if c.sfm {
 		frame, err := core.Bytes(req)
@@ -408,7 +442,7 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
 		return nil, err
 	}
-	n, err := readFrameLen(c.conn)
+	n, crc, err := c.fr.next()
 	if err != nil {
 		return nil, err
 	}
@@ -416,6 +450,9 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 		msg := make([]byte, n)
 		if _, err := io.ReadFull(c.conn, msg); err != nil {
 			return nil, err
+		}
+		if !c.fr.verify(msg, crc) {
+			return nil, fmt.Errorf("ros: service %q reply: %w", c.name, wire.ErrCorruptFrame)
 		}
 		return nil, &ServiceError{Service: c.name, Msg: string(msg)}
 	}
@@ -425,6 +462,13 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 		if _, err := io.ReadFull(c.conn, buf.Bytes()[:n]); err != nil {
 			buf.Discard()
 			return nil, err
+		}
+		// Verify before endianness conversion mutates the bytes and
+		// before the buffer is adopted — a corrupt frame must never
+		// become a live message.
+		if !c.fr.verify(buf.Bytes()[:n], crc) {
+			buf.Discard()
+			return nil, fmt.Errorf("ros: service %q reply: %w", c.name, wire.ErrCorruptFrame)
 		}
 		if err := core.ConvertEndianness(buf.Bytes()[:n], c.layout, c.little); err != nil {
 			buf.Discard()
@@ -438,6 +482,9 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 	frame := c.scratch[:n]
 	if _, err := io.ReadFull(c.conn, frame); err != nil {
 		return nil, err
+	}
+	if !c.fr.verify(frame, crc) {
+		return nil, fmt.Errorf("ros: service %q reply: %w", c.name, wire.ErrCorruptFrame)
 	}
 	resp := new(Resp)
 	rs, _ := any(resp).(Serializable)

@@ -3,8 +3,12 @@ package ros
 import (
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rossf/internal/core"
 	"rossf/internal/wire"
@@ -25,6 +29,103 @@ const (
 	TransportInproc
 )
 
+// ConnState describes the health of one publisher link, as reported
+// through the WithConnState callback — the subscriber-visible
+// degradation signal. A link cycles Connected -> Retrying -> Connected
+// under transient faults; it reaches GaveUp only when a bounded
+// RetryPolicy exhausts its attempts (or the publisher permanently
+// refuses the handshake), after which the link is abandoned until the
+// master announces the publisher again.
+type ConnState int
+
+const (
+	// ConnConnected: the handshake completed and frames are flowing.
+	ConnConnected ConnState = iota
+	// ConnRetrying: the link failed and the subscriber is backing off
+	// before the next dial.
+	ConnRetrying
+	// ConnGaveUp: the retry budget is exhausted or the publisher
+	// rejected the handshake; the subscriber will not redial this
+	// address unless the master re-announces it.
+	ConnGaveUp
+)
+
+// String implements fmt.Stringer.
+func (s ConnState) String() string {
+	switch s {
+	case ConnConnected:
+		return "connected"
+	case ConnRetrying:
+		return "retrying"
+	case ConnGaveUp:
+		return "gave-up"
+	default:
+		return fmt.Sprintf("ConnState(%d)", int(s))
+	}
+}
+
+// RetryPolicy bounds the subscriber's reconnect loop: exponential
+// backoff between InitialBackoff and MaxBackoff with multiplicative
+// growth and randomized jitter. Zero fields take the defaults of
+// DefaultRetryPolicy.
+type RetryPolicy struct {
+	// InitialBackoff is the delay before the first redial.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// Multiplier is the per-attempt growth factor (>= 1).
+	Multiplier float64
+	// Jitter randomizes each delay within ±Jitter fraction of its
+	// nominal value, de-synchronizing reconnect storms (0..1).
+	Jitter float64
+	// MaxAttempts is the number of consecutive failed dials before the
+	// link reports ConnGaveUp and is abandoned; 0 retries until the
+	// subscription closes or the master withdraws the publisher.
+	MaxAttempts int
+}
+
+// DefaultRetryPolicy is the reconnect schedule used unless WithRetry
+// overrides it: 50ms doubling to a 2s ceiling with ±50% jitter,
+// retrying for as long as the publisher remains registered.
+var DefaultRetryPolicy = RetryPolicy{
+	InitialBackoff: 50 * time.Millisecond,
+	MaxBackoff:     2 * time.Second,
+	Multiplier:     2,
+	Jitter:         0.5,
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = DefaultRetryPolicy.InitialBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultRetryPolicy.Multiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = DefaultRetryPolicy.Jitter
+	}
+	return p
+}
+
+// backoff returns the jittered delay before attempt n (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := float64(p.InitialBackoff) * math.Pow(p.Multiplier, float64(attempt-1))
+	if d > float64(p.MaxBackoff) || math.IsInf(d, 1) || math.IsNaN(d) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
 // SubOption configures Subscribe.
 type SubOption func(*subConfig)
 
@@ -32,6 +133,8 @@ type subConfig struct {
 	transport TransportMode
 	manager   *core.Manager
 	queueSize int
+	retry     RetryPolicy
+	connState func(addr string, state ConnState)
 }
 
 // WithTransport selects the subscriber transport mode.
@@ -57,6 +160,21 @@ func WithManager(m *core.Manager) SubOption {
 	return func(c *subConfig) { c.manager = m }
 }
 
+// WithRetry replaces the reconnect schedule (default
+// DefaultRetryPolicy). Zero fields keep their defaults.
+func WithRetry(p RetryPolicy) SubOption {
+	return func(c *subConfig) { c.retry = p }
+}
+
+// WithConnState registers a callback observing each publisher link's
+// health transitions (Connected, Retrying, GaveUp), keyed by the
+// publisher's address. The callback runs on transport goroutines and
+// must not block; use it to degrade gracefully — switch to a fallback
+// sensor, raise an alert — instead of silently losing data.
+func WithConnState(cb func(addr string, state ConnState)) SubOption {
+	return func(c *subConfig) { c.connState = cb }
+}
+
 // Subscriber is a topic subscription. Create with Subscribe, release
 // with Close.
 type Subscriber struct {
@@ -66,6 +184,11 @@ type Subscriber struct {
 	cancelWatch func()
 	rt          subRuntime
 	queue       *dispatchQueue // nil = synchronous callbacks
+	retry       RetryPolicy
+	connState   func(addr string, state ConnState)
+
+	corrupt atomic.Uint64 // frames rejected by checksum
+	resyncs atomic.Uint64 // bytes skipped resynchronizing damaged streams
 
 	mu     sync.Mutex
 	conns  map[string]*subConn // keyed by publisher address
@@ -73,6 +196,35 @@ type Subscriber struct {
 	closed bool
 
 	wg sync.WaitGroup
+}
+
+// CorruptFrames reports how many received frames failed their checksum
+// and were dropped instead of being delivered.
+func (s *Subscriber) CorruptFrames() uint64 { return s.corrupt.Load() }
+
+// ResyncedBytes reports how many stream bytes were discarded while
+// hunting for a frame boundary after damage.
+func (s *Subscriber) ResyncedBytes() uint64 { return s.resyncs.Load() }
+
+// noteStreamDamage folds one connection's resync counter into the
+// subscription total when its frame pump exits (corruption rejections
+// are counted live at each drop).
+func (s *Subscriber) noteStreamDamage(fr *frameReader) {
+	s.resyncs.Add(fr.skipped())
+}
+
+// notifyState reports a link transition to the WithConnState callback,
+// if any.
+func (s *Subscriber) notifyState(addr string, state ConnState) {
+	if s.connState != nil {
+		s.connState(addr, state)
+	}
+}
+
+func (s *Subscriber) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // dispatchQueue decouples callbacks from reader goroutines with
@@ -200,10 +352,12 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 	}
 
 	s := &Subscriber{
-		node:   n,
-		topic:  topic,
-		conns:  make(map[string]*subConn),
-		inproc: make(map[*pubEndpoint]struct{}),
+		node:      n,
+		topic:     topic,
+		retry:     cfg.retry.withDefaults(),
+		connState: cfg.connState,
+		conns:     make(map[string]*subConn),
+		inproc:    make(map[*pubEndpoint]struct{}),
 	}
 	if cfg.queueSize > 0 {
 		s.queue = newDispatchQueue(cfg.queueSize)
@@ -291,7 +445,7 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 		if _, ok := s.conns[addr]; ok {
 			continue
 		}
-		sc := &subConn{addr: addr}
+		sc := newSubConn(addr)
 		s.conns[addr] = sc
 		s.wg.Add(1)
 		go func(addr string, sc *subConn) {
@@ -308,7 +462,12 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 	}
 }
 
-// dialAndRun connects to one publisher and pumps its frames.
+// dialAndRun owns one publisher link for its whole lifetime: it dials,
+// runs the frame pump, and on failure redials under the subscription's
+// RetryPolicy — bounded exponential backoff with jitter — until the
+// link closes (subscription closed or publisher withdrawn), the
+// publisher permanently refuses the handshake, or the retry budget runs
+// out (ConnGaveUp).
 func (s *Subscriber) dialAndRun(addr string, sc *subConn) {
 	defer func() {
 		s.mu.Lock()
@@ -318,14 +477,49 @@ func (s *Subscriber) dialAndRun(addr string, sc *subConn) {
 		s.mu.Unlock()
 	}()
 
+	attempt := 0
+	for {
+		if sc.isClosed() || s.isClosed() {
+			return
+		}
+		connected, permanent := s.runOnce(addr, sc)
+		if connected {
+			attempt = 0
+		}
+		if sc.isClosed() || s.isClosed() {
+			return
+		}
+		if permanent {
+			// The publisher answered the handshake with an error (type,
+			// md5, or format mismatch): redialing cannot fix it.
+			s.notifyState(addr, ConnGaveUp)
+			return
+		}
+		attempt++
+		if s.retry.MaxAttempts > 0 && attempt > s.retry.MaxAttempts {
+			s.notifyState(addr, ConnGaveUp)
+			return
+		}
+		s.notifyState(addr, ConnRetrying)
+		if !sc.sleep(s.retry.backoff(attempt)) {
+			return
+		}
+	}
+}
+
+// runOnce performs one dial + handshake + frame-pump cycle. connected
+// reports whether the handshake completed (resetting the backoff);
+// permanent reports a handshake rejection that no retry can cure.
+func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent bool) {
 	conn, err := s.node.dial(addr)
 	if err != nil {
-		return
+		return false, false
 	}
 	if !sc.bind(conn) {
 		conn.Close()
-		return
+		return false, false
 	}
+	defer conn.Close()
 	typeName, md5, _ := typeInfoOf0(s.rt)
 	format := formatROS1
 	if _, sfm := s.rt.(sfmMarker); sfm {
@@ -341,22 +535,19 @@ func (s *Subscriber) dialAndRun(addr string, sc *subConn) {
 		hdrEndian:   nativeEndianName(core.NativeLittleEndian()),
 	})
 	if err != nil {
-		conn.Close()
-		return
+		return false, false
 	}
 	reply, err := readHeader(conn)
 	if err != nil {
-		conn.Close()
-		return
+		return false, false
 	}
-	if errMsg, bad := reply[hdrError]; bad {
-		conn.Close()
-		_ = errMsg // the master-level type check makes this unreachable in-process
-		return
+	if _, bad := reply[hdrError]; bad {
+		return false, true
 	}
 	conn.SetDeadline(zeroTime())
+	s.notifyState(addr, ConnConnected)
 	s.rt.runConn(conn, reply)
-	conn.Close()
+	return true, false
 }
 
 // Close cancels the subscription, closes connections, and joins all
@@ -396,13 +587,19 @@ func (s *Subscriber) Close() {
 	s.node.unregisterSub(s)
 }
 
-// subConn tracks one outbound connection so Close can interrupt a
-// blocked read.
+// subConn tracks one outbound link so Close can interrupt a blocked
+// read or a backoff sleep. Across reconnect attempts the same subConn
+// is rebound to each new connection.
 type subConn struct {
 	mu     sync.Mutex
 	addr   string
 	conn   net.Conn
 	closed bool
+	done   chan struct{}
+}
+
+func newSubConn(addr string) *subConn {
+	return &subConn{addr: addr, done: make(chan struct{})}
 }
 
 func (c *subConn) bind(conn net.Conn) bool {
@@ -415,10 +612,36 @@ func (c *subConn) bind(conn net.Conn) bool {
 	return true
 }
 
+func (c *subConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// sleep waits for d or until the link closes; it reports false when the
+// link closed (abandon the retry loop).
+func (c *subConn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !c.isClosed()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 func (c *subConn) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
 	c.closed = true
+	close(c.done)
 	if c.conn != nil {
 		c.conn.Close()
 	}
@@ -448,9 +671,11 @@ type ros1Runtime[T any] struct {
 func (r *ros1Runtime[T]) topicMeta() (string, string) { return r.typeName, r.md5 }
 
 func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
+	fr := newFrameReader(conn)
+	defer r.sub.noteStreamDamage(fr)
 	scratch := make([]byte, 0, 4096)
 	for {
-		n, err := readFrameLen(conn)
+		n, crc, err := fr.next()
 		if err != nil {
 			return
 		}
@@ -460,6 +685,10 @@ func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
 		buf := scratch[:n]
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
+		}
+		if !fr.verify(buf, crc) {
+			r.sub.corrupt.Add(1)
+			continue // corrupted in transit: reject, resync, never deliver
 		}
 		r.deliverFrame(buf)
 	}
@@ -500,8 +729,10 @@ func (r *sfmRuntime[T]) topicMeta() (string, string) { return r.typeName, r.md5 
 
 func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 	srcLittle := pubHeader[hdrEndian] != endianBig
+	fr := newFrameReader(conn)
+	defer r.sub.noteStreamDamage(fr)
 	for {
-		n, err := readFrameLen(conn)
+		n, crc, err := fr.next()
 		if err != nil {
 			return
 		}
@@ -509,6 +740,13 @@ func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 		if _, err := io.ReadFull(conn, buf.Bytes()[:n]); err != nil {
 			buf.Discard()
 			return
+		}
+		// The checksum runs before the bytes are adopted as a live
+		// message: a corrupted arena image must never reach a callback.
+		if !fr.verify(buf.Bytes()[:n], crc) {
+			r.sub.corrupt.Add(1)
+			buf.Discard()
+			continue
 		}
 		// §4.4.1: the message arrives in the publisher's byte order; the
 		// subscriber converts only on mismatch.

@@ -1,0 +1,147 @@
+package rospy_tutorials_test
+
+import (
+	"testing"
+
+	"rossf/internal/core"
+	"rossf/internal/msgtest"
+	"rossf/internal/ros"
+	"rossf/internal/wire"
+	"rossf/msgs/rospy_tutorials"
+)
+
+// TestRoundTrips serializes and deserializes the service halves,
+// checking that SerializedSizeROS is exact.
+func TestRoundTrips(t *testing.T) {
+	t.Run("AddTwoIntsRequest", func(t *testing.T) {
+		in := &rospy_tutorials.AddTwoIntsRequest{A: -9_000_000_000, B: 123}
+		w := wire.NewWriter(in.SerializedSizeROS())
+		if err := in.SerializeROS(w); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != in.SerializedSizeROS() {
+			t.Errorf("serialized %d bytes, SerializedSizeROS says %d", w.Len(), in.SerializedSizeROS())
+		}
+		var out rospy_tutorials.AddTwoIntsRequest
+		if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if out != *in {
+			t.Errorf("round trip lost data: %+v", out)
+		}
+	})
+	t.Run("AddTwoIntsResponse", func(t *testing.T) {
+		in := &rospy_tutorials.AddTwoIntsResponse{Sum: 1 << 40}
+		w := wire.NewWriter(in.SerializedSizeROS())
+		if err := in.SerializeROS(w); err != nil {
+			t.Fatal(err)
+		}
+		var out rospy_tutorials.AddTwoIntsResponse
+		if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if out != *in {
+			t.Errorf("round trip lost data: %+v", out)
+		}
+	})
+}
+
+// TestMD5MatchesRegistry pins the generated checksums — including the
+// combined service checksum used in the connection handshake — against
+// an independent computation from the IDL source.
+func TestMD5MatchesRegistry(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	cases := []struct {
+		full string
+		got  string
+	}{
+		{"rospy_tutorials/AddTwoIntsRequest", (*rospy_tutorials.AddTwoIntsRequest)(nil).ROSMD5Sum()},
+		{"rospy_tutorials/AddTwoIntsResponse", (*rospy_tutorials.AddTwoIntsResponse)(nil).ROSMD5Sum()},
+		{"rospy_tutorials/AddTwoIntsRequest", (*rospy_tutorials.AddTwoIntsRequestSF)(nil).ROSMD5Sum()},
+		{"rospy_tutorials/AddTwoIntsResponse", (*rospy_tutorials.AddTwoIntsResponseSF)(nil).ROSMD5Sum()},
+	}
+	for _, tc := range cases {
+		want, err := reg.MD5(tc.full)
+		if err != nil {
+			t.Fatalf("registry MD5(%s): %v", tc.full, err)
+		}
+		if tc.got != want {
+			t.Errorf("%s: generated %s, registry %s", tc.full, tc.got, want)
+		}
+	}
+	srvMD5, err := reg.ServiceMD5(rospy_tutorials.AddTwoIntsServiceName)
+	if err != nil {
+		t.Fatalf("registry ServiceMD5: %v", err)
+	}
+	if rospy_tutorials.AddTwoIntsServiceMD5 != srvMD5 {
+		t.Errorf("service MD5: generated %s, registry %s",
+			rospy_tutorials.AddTwoIntsServiceMD5, srvMD5)
+	}
+}
+
+// TestServiceEndToEndBothRegimes calls AddTwoInts through the
+// middleware in both wire regimes.
+func TestServiceEndToEndBothRegimes(t *testing.T) {
+	master := ros.NewLocalMaster()
+	serverNode, err := ros.NewNode("server", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverNode.Close()
+	clientNode, err := ros.NewNode("client", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientNode.Close()
+
+	t.Run("regular", func(t *testing.T) {
+		srv, err := ros.AdvertiseService(serverNode, rospy_tutorials.AddTwoIntsServiceName,
+			func(req *rospy_tutorials.AddTwoIntsRequest) (*rospy_tutorials.AddTwoIntsResponse, error) {
+				return &rospy_tutorials.AddTwoIntsResponse{Sum: req.A + req.B}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		resp, err := ros.CallService[rospy_tutorials.AddTwoIntsRequest, rospy_tutorials.AddTwoIntsResponse](
+			clientNode, rospy_tutorials.AddTwoIntsServiceName,
+			&rospy_tutorials.AddTwoIntsRequest{A: -5, B: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Sum != 2 {
+			t.Errorf("Sum = %d", resp.Sum)
+		}
+	})
+
+	t.Run("sfm", func(t *testing.T) {
+		srv, err := ros.AdvertiseService(serverNode, "add_sf",
+			func(req *rospy_tutorials.AddTwoIntsRequestSF) (*rospy_tutorials.AddTwoIntsResponseSF, error) {
+				resp, err := rospy_tutorials.NewAddTwoIntsResponseSF()
+				if err != nil {
+					return nil, err
+				}
+				resp.Sum = req.A + req.B
+				return resp, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		req, err := rospy_tutorials.NewAddTwoIntsRequestSF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.A, req.B = 40, 2
+		resp, err := ros.CallService[rospy_tutorials.AddTwoIntsRequestSF, rospy_tutorials.AddTwoIntsResponseSF](
+			clientNode, "add_sf", req)
+		core.Release(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer core.Release(resp)
+		if resp.Sum != 42 {
+			t.Errorf("Sum = %d", resp.Sum)
+		}
+	})
+}

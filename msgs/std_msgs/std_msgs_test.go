@@ -1,0 +1,202 @@
+package std_msgs_test
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msgtest"
+	"rossf/internal/ros"
+	"rossf/internal/wire"
+	"rossf/msgs/std_msgs"
+)
+
+// TestRoundTrips serializes and deserializes every regular std_msgs
+// type, checking that SerializedSizeROS is exact.
+func TestRoundTrips(t *testing.T) {
+	t.Run("ColorRGBA", func(t *testing.T) {
+		in := &std_msgs.ColorRGBA{R: 0.25, G: 0.5, B: 0.75, A: 1}
+		w := wire.NewWriter(in.SerializedSizeROS())
+		if err := in.SerializeROS(w); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != in.SerializedSizeROS() {
+			t.Errorf("serialized %d bytes, SerializedSizeROS says %d", w.Len(), in.SerializedSizeROS())
+		}
+		var out std_msgs.ColorRGBA
+		if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if out != *in {
+			t.Errorf("round trip lost data: %+v", out)
+		}
+	})
+	t.Run("Header", func(t *testing.T) {
+		in := &std_msgs.Header{Seq: 7, FrameID: "base_link"}
+		in.Stamp.Sec, in.Stamp.Nsec = 1700000000, 500
+		w := wire.NewWriter(in.SerializedSizeROS())
+		if err := in.SerializeROS(w); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != in.SerializedSizeROS() {
+			t.Errorf("serialized %d bytes, SerializedSizeROS says %d", w.Len(), in.SerializedSizeROS())
+		}
+		var out std_msgs.Header
+		if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if out != *in {
+			t.Errorf("round trip lost data: %+v", out)
+		}
+	})
+	t.Run("String", func(t *testing.T) {
+		in := &std_msgs.String{Data: "hello, wire"}
+		w := wire.NewWriter(in.SerializedSizeROS())
+		if err := in.SerializeROS(w); err != nil {
+			t.Fatal(err)
+		}
+		var out std_msgs.String
+		if err := out.DeserializeROS(wire.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if out.Data != in.Data {
+			t.Errorf("round trip lost data: %q", out.Data)
+		}
+	})
+}
+
+// TestMD5MatchesRegistry pins the generated checksums against an
+// independent computation from the IDL source — the compatibility
+// contract with genmsg-era ROS nodes.
+func TestMD5MatchesRegistry(t *testing.T) {
+	reg := msgtest.LoadRegistry(t)
+	cases := []struct {
+		full string
+		got  string
+	}{
+		{"std_msgs/ColorRGBA", (*std_msgs.ColorRGBA)(nil).ROSMD5Sum()},
+		{"std_msgs/Header", (*std_msgs.Header)(nil).ROSMD5Sum()},
+		{"std_msgs/String", (*std_msgs.String)(nil).ROSMD5Sum()},
+		{"std_msgs/ColorRGBA", (*std_msgs.ColorRGBASF)(nil).ROSMD5Sum()},
+		{"std_msgs/Header", (*std_msgs.HeaderSF)(nil).ROSMD5Sum()},
+		{"std_msgs/String", (*std_msgs.StringSF)(nil).ROSMD5Sum()},
+	}
+	for _, tc := range cases {
+		want, err := reg.MD5(tc.full)
+		if err != nil {
+			t.Fatalf("registry MD5(%s): %v", tc.full, err)
+		}
+		if tc.got != want {
+			t.Errorf("%s: generated %s, registry %s", tc.full, tc.got, want)
+		}
+	}
+}
+
+// TestSFMConstruction exercises the serialization-free variants
+// through the arena: allocate, populate, image, adopt.
+func TestSFMConstruction(t *testing.T) {
+	h, err := std_msgs.NewHeaderSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Seq = 42
+	h.Stamp.Sec = 100
+	h.FrameID.MustSet("lidar")
+	img, err := core.Bytes(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := core.Default().GetBuffer(len(img))
+	copy(buf.Bytes(), img)
+	got, err := core.Adopt[std_msgs.HeaderSF](buf, len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || got.Stamp.Sec != 100 || got.FrameID.Get() != "lidar" {
+		t.Errorf("adopted header lost data: seq=%d frame=%q", got.Seq, got.FrameID.Get())
+	}
+	core.Release(got)
+	core.Release(h)
+}
+
+// TestPubSubBothRegimes round-trips String and StringSF through the
+// middleware over TCP.
+func TestPubSubBothRegimes(t *testing.T) {
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("pub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubNode.Close()
+	subNode, err := ros.NewNode("sub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subNode.Close()
+
+	t.Run("regular", func(t *testing.T) {
+		got := make(chan string, 1)
+		sub, err := ros.Subscribe(subNode, "/strings", func(m *std_msgs.String) {
+			select {
+			case got <- m.Data:
+			default:
+			}
+		}, ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		pub, err := ros.Advertise[std_msgs.String](pubNode, "/strings", ros.WithLatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pub.Close()
+		if err := pub.Publish(&std_msgs.String{Data: "over the wire"}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case v := <-got:
+			if v != "over the wire" {
+				t.Errorf("received %q", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no delivery")
+		}
+	})
+
+	t.Run("sfm", func(t *testing.T) {
+		got := make(chan string, 1)
+		sub, err := ros.Subscribe(subNode, "/strings_sf", func(m *std_msgs.StringSF) {
+			select {
+			case got <- m.Data.Get():
+			default:
+			}
+		}, ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		pub, err := ros.Advertise[std_msgs.StringSF](pubNode, "/strings_sf", ros.WithLatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pub.Close()
+		m, err := std_msgs.NewStringSF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Data.MustSet("zero copies")
+		if err := pub.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+		core.Release(m)
+		select {
+		case v := <-got:
+			if v != "zero copies" {
+				t.Errorf("received %q", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no delivery")
+		}
+	})
+}
