@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench chaos fuzz generate experiments examples clean
+.PHONY: all build test race bench chaos fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -39,6 +39,12 @@ generate:
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/rossf-bench all
+
+# End-to-end observability check: rosmaster + rospub -metrics +
+# rostopic stats, then curl the /metrics endpoint and validate the JSON
+# schema (see scripts/stats_smoke.sh).
+stats-smoke:
+	sh scripts/stats_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

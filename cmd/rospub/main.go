@@ -6,6 +6,11 @@
 //
 //	rospub [-master 127.0.0.1:11311] [-topic camera/image]
 //	       [-rate 10] [-width 256] [-height 256] [-sfm] [-count 0]
+//	       [-metrics 127.0.0.1:0]
+//
+// With -metrics, the node serves its observability snapshot (per-topic
+// publisher instruments plus message life-cycle gauges) as JSON on
+// /metrics, and the standard pprof handlers on /debug/pprof.
 package main
 
 import (
@@ -36,6 +41,7 @@ func run(args []string) error {
 	height := fs.Int("height", 256, "image height")
 	sfm := fs.Bool("sfm", false, "publish serialization-free messages")
 	count := fs.Int("count", 0, "messages to publish (0 = forever)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics JSON on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,11 +51,18 @@ func run(args []string) error {
 		return err
 	}
 	defer master.Close()
-	node, err := ros.NewNode("rospub", ros.WithMaster(master))
+	opts := []ros.Option{ros.WithMaster(master)}
+	if *metricsAddr != "" {
+		opts = append(opts, ros.WithMetricsAddr(*metricsAddr))
+	}
+	node, err := ros.NewNode("rospub", opts...)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if addr := node.MetricsAddr(); addr != "" {
+		fmt.Printf("rospub: metrics on %s\n", addr)
+	}
 
 	interval := time.Second / time.Duration(*rate)
 	payload := *width * *height * 3

@@ -7,12 +7,20 @@
 //	rostopic -master ... info  <topic>
 //	rostopic -master ... hz    <topic> [-window 50]
 //	rostopic -master ... bw    <topic> [-window 50]
+//	rostopic -master ... stats <topic> [-duration 5s]
 //	rostopic -master ... echo  <topic> [-count 5] [-idl msgs/idl]
 //
 // echo decodes both ROS1-format and SFM-format topics through the IDL
 // registry (the SFM skeleton layout is recomputed from the IDL with the
 // same rules the generator uses). Cross-endian SFM frames are shown as
 // summaries only.
+//
+// hz, bw, and stats all read the observability registry (internal/obs)
+// that the node's subscriber instruments write into — the same counters
+// a long-running node exports over its /metrics endpoint — rather than
+// ad-hoc callback counting. stats samples a topic for -duration and
+// reports message rate, bandwidth, drops, and delivery-latency
+// quantiles.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"unsafe"
 
 	"rossf/internal/msg"
+	"rossf/internal/obs"
 	"rossf/internal/ros"
 	"rossf/internal/ser/rosser"
 )
@@ -44,11 +53,12 @@ func run(args []string) error {
 	window := fs.Int("window", 50, "hz/bw: number of messages to sample")
 	count := fs.Int("count", 5, "echo: messages to print before exiting")
 	idlDir := fs.String("idl", "msgs/idl", "echo: IDL directory for decoding")
+	duration := fs.Duration("duration", 5*time.Second, "stats: sampling window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: rostopic [-master addr] <list|info|hz|bw|echo> [topic]")
+		return fmt.Errorf("usage: rostopic [-master addr] <list|info|hz|bw|stats|echo> [topic]")
 	}
 	cmd := fs.Arg(0)
 
@@ -67,6 +77,8 @@ func run(args []string) error {
 		return rate(master, fs.Arg(1), *window, false)
 	case "bw":
 		return rate(master, fs.Arg(1), *window, true)
+	case "stats":
+		return stats(master, fs.Arg(1), *duration)
 	case "echo":
 		return echo(master, fs.Arg(1), *count, *idlDir)
 	default:
@@ -114,10 +126,12 @@ func info(master *ros.RemoteMaster, topic string) error {
 
 // subscribeBoth attaches raw subscriptions in whichever regime the
 // publisher speaks (tried SFM first, then ROS1; only the matching one
-// connects).
-func subscribeBoth(master *ros.RemoteMaster, ti ros.TopicInfo,
+// connects). The node records into reg, so callers read traffic off the
+// per-topic subscriber instruments instead of counting in callbacks.
+func subscribeBoth(master *ros.RemoteMaster, ti ros.TopicInfo, reg *obs.Registry,
 	cb func(ros.RawMessage)) (*ros.Node, error) {
-	node, err := ros.NewNode("rostopic", ros.WithMaster(master), ros.WithoutListener())
+	node, err := ros.NewNode("rostopic", ros.WithMaster(master), ros.WithoutListener(),
+		ros.WithMetrics(reg))
 	if err != nil {
 		return nil, err
 	}
@@ -130,40 +144,74 @@ func subscribeBoth(master *ros.RemoteMaster, ti ros.TopicInfo,
 	return node, nil
 }
 
+// topicSample reads the live subscriber instruments for one topic.
+func topicSample(reg *obs.Registry, topic string) obs.SubSnapshot {
+	return reg.Snapshot().Subscribers[topic]
+}
+
 func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool) error {
 	ti, err := lookupTopic(master, topic)
 	if err != nil {
 		return err
 	}
-	var n atomic.Int64
-	var bytes atomic.Int64
+	reg := obs.NewRegistry()
 	start := time.Now()
-	node, err := subscribeBoth(master, ti, func(m ros.RawMessage) {
-		n.Add(1)
-		bytes.Add(int64(len(m.Frame)))
-	})
+	node, err := subscribeBoth(master, ti, reg, func(ros.RawMessage) {})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
 
-	for n.Load() < int64(window) {
+	for topicSample(reg, topic).Messages < uint64(window) {
 		time.Sleep(10 * time.Millisecond)
 		if time.Since(start) > 30*time.Second {
 			break
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	got := n.Load()
-	if got == 0 {
+	s := topicSample(reg, topic)
+	if s.Messages == 0 {
 		return fmt.Errorf("no messages on %s within 30s", topic)
 	}
 	if bandwidth {
 		fmt.Printf("%s: %.2f MB/s over %d messages\n",
-			topic, float64(bytes.Load())/elapsed/1e6, got)
+			topic, float64(s.Bytes)/elapsed/1e6, s.Messages)
 	} else {
-		fmt.Printf("%s: %.2f Hz over %d messages\n", topic, float64(got)/elapsed, got)
+		fmt.Printf("%s: %.2f Hz over %d messages\n", topic, float64(s.Messages)/elapsed, s.Messages)
 	}
+	return nil
+}
+
+// stats samples a topic for the given duration and prints the full
+// instrument set: rate, bandwidth, drops, and latency quantiles.
+func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error {
+	ti, err := lookupTopic(master, topic)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	start := time.Now()
+	node, err := subscribeBoth(master, ti, reg, func(ros.RawMessage) {})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	time.Sleep(duration)
+	elapsed := time.Since(start).Seconds()
+	s := topicSample(reg, topic)
+	if s.Messages == 0 {
+		return fmt.Errorf("no messages on %s within %s", topic, duration)
+	}
+	fmt.Printf("topic:     %s\n", topic)
+	fmt.Printf("type:      %s\n", ti.TypeName)
+	fmt.Printf("rate:      %.2f msg/s (%d messages in %.1fs)\n",
+		float64(s.Messages)/elapsed, s.Messages, elapsed)
+	fmt.Printf("bandwidth: %.2f MB/s (%d bytes)\n", float64(s.Bytes)/elapsed/1e6, s.Bytes)
+	fmt.Printf("drops:     %d   reconnects: %d   corrupt frames: %d\n",
+		s.Drops, s.Reconnects, s.Corrupt)
+	fmt.Printf("latency:   p50 %v   p95 %v   p99 %v   (min %v, max %v)\n",
+		s.Latency.P50, s.Latency.P95, s.Latency.P99, s.Latency.Min, s.Latency.Max)
 	return nil
 }
 
@@ -180,7 +228,7 @@ func echo(master *ros.RemoteMaster, topic string, count int, idlDir string) erro
 
 	done := make(chan struct{})
 	var printed atomic.Int64
-	node, err := subscribeBoth(master, ti, func(m ros.RawMessage) {
+	node, err := subscribeBoth(master, ti, obs.NewRegistry(), func(m ros.RawMessage) {
 		if printed.Load() >= int64(count) {
 			return
 		}

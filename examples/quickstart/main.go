@@ -6,15 +6,22 @@
 // only the message type changes, and the serialization cost disappears.
 //
 // Run with: go run ./examples/quickstart
+//
+// Pass -metrics to print the observability snapshot afterwards: the
+// per-topic instruments both regimes accumulated and the message
+// manager's life-cycle gauges (allocs, frees, live high-water marks) —
+// the same data a long-running node exports on its /metrics endpoint.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"rossf/internal/core"
 	"rossf/internal/msg"
+	"rossf/internal/obs"
 	"rossf/internal/ros"
 	"rossf/msgs/sensor_msgs"
 )
@@ -26,19 +33,22 @@ const (
 )
 
 func main() {
-	if err := run(); err != nil {
+	showMetrics := flag.Bool("metrics", false, "print the observability snapshot at the end")
+	flag.Parse()
+	if err := run(*showMetrics); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(showMetrics bool) error {
 	master := ros.NewLocalMaster()
-	pubNode, err := ros.NewNode("talker", ros.WithMaster(master))
+	reg := obs.NewRegistry()
+	pubNode, err := ros.NewNode("talker", ros.WithMaster(master), ros.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
 	defer pubNode.Close()
-	subNode, err := ros.NewNode("listener", ros.WithMaster(master))
+	subNode, err := ros.NewNode("listener", ros.WithMaster(master), ros.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -58,7 +68,31 @@ func run() error {
 	fmt.Printf("  ROS    (serialize + de-serialize): mean %v\n", regular)
 	fmt.Printf("  ROS-SF (serialization-free):       mean %v\n", sfm)
 	fmt.Printf("  reduction: %.1f%%\n", (1-float64(sfm)/float64(regular))*100)
+
+	if showMetrics {
+		printMetrics(reg)
+	}
 	return nil
+}
+
+// printMetrics renders the registry snapshot: per-topic instruments and
+// the core life-cycle gauges.
+func printMetrics(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	fmt.Printf("\nobservability snapshot:\n")
+	for _, topic := range reg.Topics() {
+		if ps, ok := snap.Publishers[topic]; ok {
+			fmt.Printf("  pub %-20s %d msgs, %d bytes, %d drops\n",
+				topic, ps.Messages, ps.Bytes, ps.Drops)
+		}
+		if ss, ok := snap.Subscribers[topic]; ok {
+			fmt.Printf("  sub %-20s %d msgs, p50 %v, p99 %v\n",
+				topic, ss.Messages, ss.Latency.P50, ss.Latency.P99)
+		}
+	}
+	c := snap.Core
+	fmt.Printf("  core: %d allocs, %d frees, %d live (max %d, %d bytes peak)\n",
+		c.Allocs, c.Frees, c.Live, c.MaxLive, c.MaxBytesLive)
 }
 
 // runRegular is the classic ROS pattern: the publish call serializes,

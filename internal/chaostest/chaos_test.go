@@ -309,6 +309,19 @@ func TestPartitionHealReconnects(t *testing.T) {
 	if bad := rec.corrupted(); len(bad) > 0 {
 		t.Fatalf("corrupted payloads delivered: %d", len(bad))
 	}
+	// The observability layer must have seen the same story: retries
+	// counted on the subscriber instrument, traffic on both sides.
+	snap := h.reg.Snapshot()
+	ss := snap.Subscribers["/chaos/partition"]
+	if ss.Reconnects == 0 {
+		t.Errorf("subscriber instrument recorded no reconnects across a partition")
+	}
+	if ss.Messages == 0 || snap.Publishers["/chaos/partition"].Messages == 0 {
+		t.Errorf("instruments recorded no traffic: sub=%+v pub=%+v",
+			ss, snap.Publishers["/chaos/partition"])
+	}
+	// Message leak-freedom after Heal is asserted for every scenario by
+	// the harness's obs.CheckLeaks cleanup once both nodes tear down.
 }
 
 // TestRetryBudgetExhaustedGivesUp pins the bounded-retry contract:

@@ -13,7 +13,11 @@
 //   - service calls fail cleanly — never with garbage — and succeed on
 //     retry,
 //   - nothing leaks: every test checks the goroutine count returns to
-//     its baseline after teardown.
+//     its baseline after teardown, and the message life-cycle gauges
+//     (obs.CheckLeaks over the core manager's live counts) confirm that
+//     every arena allocated during the scenario was destructed — a
+//     dropped frame, a severed connection, or an abandoned latch must
+//     release its reference even when the fault plan fires mid-handoff.
 //
 // The fault schedules are seeded, so a failure reproduces with the
 // same `go test -run` invocation. Run the whole matrix with the race
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"rossf/internal/netsim"
+	"rossf/internal/obs"
 	"rossf/internal/ros"
 )
 
@@ -48,21 +53,28 @@ type harness struct {
 	pubNode *ros.Node
 	subNode *ros.Node
 	fault   *netsim.Fault
+	reg     *obs.Registry
 }
 
 // newHarness builds the topology and registers teardown plus a
-// goroutine-leak check on t.
+// goroutine-leak check and a message-leak check on t.
 func newHarness(t *testing.T, fault *netsim.Fault) *harness {
 	t.Helper()
+	// Leak checks are registered before the node teardown cleanup:
+	// t.Cleanup runs LIFO, so they observe the state AFTER both nodes
+	// have closed and drained.
 	checkGoroutines(t)
+	obs.CheckLeaks(t, 10*time.Second)
 	link := netsim.Link{Fault: fault} // no pacing: fault behavior only
 	master := ros.NewLocalMaster()
-	pubNode, err := ros.NewNode("chaos_pub", ros.WithMaster(master))
+	reg := obs.NewRegistry()
+	pubNode, err := ros.NewNode("chaos_pub", ros.WithMaster(master),
+		ros.WithMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	subNode, err := ros.NewNode("chaos_sub", ros.WithMaster(master),
-		ros.WithDialer(link.Dialer()))
+		ros.WithDialer(link.Dialer()), ros.WithMetrics(reg))
 	if err != nil {
 		pubNode.Close()
 		t.Fatal(err)
@@ -71,7 +83,8 @@ func newHarness(t *testing.T, fault *netsim.Fault) *harness {
 		subNode.Close()
 		pubNode.Close()
 	})
-	return &harness{master: master, pubNode: pubNode, subNode: subNode, fault: fault}
+	return &harness{master: master, pubNode: pubNode, subNode: subNode,
+		fault: fault, reg: reg}
 }
 
 // checkGoroutines records the goroutine count and fails the test if it

@@ -74,7 +74,7 @@ func recordFor(p unsafe.Pointer) (*record, error) {
 	addr := uintptr(p)
 	r := gidx.lookup(addr)
 	if r == nil {
-		return nil, ErrNotManaged
+		return nil, staleOrUnmanaged(addr)
 	}
 	if r.base != addr {
 		return nil, fmt.Errorf("%w: pointer is %d bytes inside a message, not its start",
@@ -113,11 +113,17 @@ func MarkPublished[T any](m *T) error {
 		return err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.state == StateDestructed {
+	prev := r.state
+	if prev == StateDestructed {
+		r.mu.Unlock()
 		return ErrDestructed
 	}
 	r.state = StatePublished
+	r.mu.Unlock()
+	if prev != StatePublished {
+		r.mgr.noteTransition(prev, StatePublished)
+		traceEmit(TracePublish, r, StatePublished, 0)
+	}
 	return nil
 }
 
@@ -180,14 +186,32 @@ func CapacityOf[T any](m *T) (int, error) {
 // constructor: because all offsets are relative, copying the used bytes
 // into a fresh arena yields an independent, fully valid message.
 func Clone[T any](m *T) (*T, error) {
-	src, err := Bytes(m)
+	r, err := recordFor(unsafe.Pointer(m))
 	if err != nil {
 		return nil, err
 	}
-	r, _ := recordFor(unsafe.Pointer(m)) // cannot fail after Bytes
+	// Hold a reference across the whole clone: a concurrent final Release
+	// would otherwise destruct the record between looking it up and using
+	// it (nil arena, nil-deref on r.mgr).
+	if err := r.retain(); err != nil {
+		return nil, err
+	}
+	defer r.release()
+	// The capacity is fixed for the record's lifetime, so it can be read
+	// before taking the lock; GetBuffer must not run under r.mu.
 	b := r.mgr.GetBuffer(len(r.arena))
-	n := copy(b.arena, src)
-	rec := r.mgr.register(b, uint32(n), StateAllocated, r.typ)
+	// Copy under the record lock so a concurrent grow cannot extend the
+	// message halfway through the copy (torn descriptor/payload).
+	r.mu.Lock()
+	if r.state == StateDestructed {
+		r.mu.Unlock()
+		b.Discard()
+		return nil, ErrDestructed
+	}
+	n := copy(b.arena, r.arena[:r.used])
+	typ := r.typ
+	r.mu.Unlock()
+	rec := r.mgr.register(b, uint32(n), StateAllocated, typ)
 	b.raw, b.arena = nil, nil
 	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
 }
@@ -212,27 +236,44 @@ func NewRef[T any](m *T) (Ref, error) {
 	return Ref{rec: r}, nil
 }
 
-// Bytes returns the whole-message view held by the reference.
-func (f Ref) Bytes() []byte {
-	f.rec.mu.Lock()
-	defer f.rec.mu.Unlock()
-	return f.rec.arena[:f.rec.used]
+// Bytes returns the whole-message view held by the reference, or nil if
+// the reference was already released or the message destructed (instead
+// of panicking on the reclaimed arena).
+func (f *Ref) Bytes() []byte {
+	rec := f.rec
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.state == StateDestructed || rec.arena == nil {
+		return nil
+	}
+	return rec.arena[:rec.used]
 }
 
 // Release drops the transport reference, destructing the message if it
-// was the last one.
-func (f Ref) Release() (bool, error) {
-	if f.rec == nil {
+// was the last one. Releasing an already-released Ref deterministically
+// returns ErrDestructed without disturbing other references.
+func (f *Ref) Release() (bool, error) {
+	rec := f.rec
+	if rec == nil {
 		return false, ErrDestructed
 	}
-	return f.rec.release()
+	f.rec = nil
+	return rec.release()
 }
 
-// State returns the referenced message's life-cycle state.
-func (f Ref) State() State {
-	f.rec.mu.Lock()
-	defer f.rec.mu.Unlock()
-	return f.rec.state
+// State returns the referenced message's life-cycle state, or
+// StateDestructed if the reference was already released.
+func (f *Ref) State() State {
+	rec := f.rec
+	if rec == nil {
+		return StateDestructed
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.state
 }
 
 // LiveMessages reports how many messages are registered process-wide.

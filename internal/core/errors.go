@@ -41,4 +41,11 @@ var (
 	// e.g. used exceeding the buffer length or a buffer smaller than the
 	// message skeleton.
 	ErrBufferMisuse = errors.New("sfm: adopted buffer is inconsistent with message layout")
+
+	// ErrStaleGeneration reports an access through a dangling pointer into
+	// an arena that has since been destructed — the address-reuse (ABA)
+	// hazard caught by lifecycle-debug mode (SetLifecycleDebug). Without
+	// debug mode the same access would silently read or grow whatever
+	// message now occupies the reissued address.
+	ErrStaleGeneration = errors.New("sfm: stale access to a destructed arena generation")
 )

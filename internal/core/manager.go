@@ -47,6 +47,7 @@ type record struct {
 	mu    sync.Mutex // guards used and state
 	base  uintptr    // numeric address of arena[0], for ordering/lookup only
 	end   uintptr    // base + capacity
+	gen   uint64     // incarnation number; disambiguates reissued addresses
 	arena []byte     // aligned storage, len == capacity
 	raw   []byte     // original pooled allocation backing arena
 	used  uint32     // bytes of the whole message currently in use
@@ -55,6 +56,12 @@ type record struct {
 	mgr   *Manager
 	typ   reflect.Type // skeleton type, nil for untyped adoption
 }
+
+// genCounter issues record generations. A pooled buffer reissued at the
+// same base address gets a fresh generation, so trace events (and the
+// lifecycle-debug quarantine) can tell incarnations apart even when the
+// address cannot.
+var genCounter atomic.Uint64
 
 // index is the process-wide address-ordered table of live records. Field
 // methods (String.Set, Vector.Resize) know nothing but their own address,
@@ -131,11 +138,15 @@ func (ix *index) checkInvariants() error {
 
 // Stats is a snapshot of a Manager's counters.
 type Stats struct {
-	Allocs    uint64 // messages allocated (New + Adopt)
-	Frees     uint64 // messages destructed
-	Grows     uint64 // payload-region extensions
-	Live      int64  // currently registered messages
-	BytesLive int64  // capacity bytes currently registered
+	Allocs         uint64 // messages allocated (New + Adopt)
+	Frees          uint64 // messages destructed
+	Grows          uint64 // payload-region extensions
+	Live           int64  // currently registered messages
+	BytesLive      int64  // capacity bytes currently registered
+	StateAllocated int64  // live messages currently in StateAllocated
+	StatePublished int64  // live messages currently in StatePublished
+	MaxLive        int64  // high-water mark of Live
+	MaxBytesLive   int64  // high-water mark of BytesLive
 }
 
 // Manager owns allocation pools and statistics for serialization-free
@@ -143,12 +154,50 @@ type Stats struct {
 // field can only identify its message by raw address. Most programs use
 // Default(); tests may create private managers for isolated stats/pools.
 type Manager struct {
-	pool      bufPool
-	allocs    atomic.Uint64
-	frees     atomic.Uint64
-	grows     atomic.Uint64
-	live      atomic.Int64
-	bytesLive atomic.Int64
+	pool           bufPool
+	allocs         atomic.Uint64
+	frees          atomic.Uint64
+	grows          atomic.Uint64
+	live           atomic.Int64
+	bytesLive      atomic.Int64
+	stateAllocated atomic.Int64
+	statePublished atomic.Int64
+	maxLive        atomic.Int64
+	maxBytesLive   atomic.Int64
+}
+
+// raiseMax lifts hwm to at least v (monotonic CAS loop; lock-free).
+func raiseMax(hwm *atomic.Int64, v int64) {
+	for {
+		cur := hwm.Load()
+		if v <= cur || hwm.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// stateCounter returns the per-state live gauge for st, or nil for
+// states that have no gauge (Destructed messages are not live).
+func (m *Manager) stateCounter(st State) *atomic.Int64 {
+	switch st {
+	case StateAllocated:
+		return &m.stateAllocated
+	case StatePublished:
+		return &m.statePublished
+	default:
+		return nil
+	}
+}
+
+// noteTransition moves one live message from state `from` to state `to`
+// in the per-state gauges. Either side may be untracked.
+func (m *Manager) noteTransition(from, to State) {
+	if c := m.stateCounter(from); c != nil {
+		c.Add(-1)
+	}
+	if c := m.stateCounter(to); c != nil {
+		c.Add(1)
+	}
 }
 
 // NewManager creates a Manager with empty pools and zeroed statistics.
@@ -167,11 +216,15 @@ func Default() *Manager {
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Allocs:    m.allocs.Load(),
-		Frees:     m.frees.Load(),
-		Grows:     m.grows.Load(),
-		Live:      m.live.Load(),
-		BytesLive: m.bytesLive.Load(),
+		Allocs:         m.allocs.Load(),
+		Frees:          m.frees.Load(),
+		Grows:          m.grows.Load(),
+		Live:           m.live.Load(),
+		BytesLive:      m.bytesLive.Load(),
+		StateAllocated: m.stateAllocated.Load(),
+		StatePublished: m.statePublished.Load(),
+		MaxLive:        m.maxLive.Load(),
+		MaxBytesLive:   m.maxBytesLive.Load(),
 	}
 }
 
@@ -182,6 +235,7 @@ func (m *Manager) register(b *Buffer, used uint32, st State, typ reflect.Type) *
 	r := &record{
 		base:  base,
 		end:   base + uintptr(len(b.arena)),
+		gen:   genCounter.Add(1),
 		arena: b.arena,
 		raw:   b.raw,
 		used:  used,
@@ -192,8 +246,16 @@ func (m *Manager) register(b *Buffer, used uint32, st State, typ reflect.Type) *
 	r.refs.Store(1)
 	gidx.insert(r)
 	m.allocs.Add(1)
-	m.live.Add(1)
-	m.bytesLive.Add(int64(len(b.arena)))
+	raiseMax(&m.maxLive, m.live.Add(1))
+	raiseMax(&m.maxBytesLive, m.bytesLive.Add(int64(len(b.arena))))
+	if c := m.stateCounter(st); c != nil {
+		c.Add(1)
+	}
+	op := TraceAlloc
+	if st == StatePublished {
+		op = TraceAdopt
+	}
+	traceEmit(op, r, st, len(b.arena))
 	return r
 }
 
@@ -224,6 +286,7 @@ func (r *record) release() (bool, error) {
 		return false, ErrDestructed
 	}
 	r.mu.Lock()
+	prev := r.state
 	r.state = StateDestructed
 	r.mu.Unlock()
 	gidx.remove(r)
@@ -231,7 +294,18 @@ func (r *record) release() (bool, error) {
 	m.frees.Add(1)
 	m.live.Add(-1)
 	m.bytesLive.Add(-int64(len(r.arena)))
-	m.pool.put(r.raw)
+	if c := m.stateCounter(prev); c != nil {
+		c.Add(-1)
+	}
+	traceEmit(TraceDestruct, r, StateDestructed, 0)
+	if lifecycleDebug.Load() {
+		// Quarantine instead of pooling so a dangling pointer into this
+		// arena is caught as ErrStaleGeneration, not silently resolved to
+		// whichever message is reissued at the same address.
+		quarantine(r, r.raw)
+	} else {
+		m.pool.put(r.raw)
+	}
 	r.arena, r.raw = nil, nil
 	return true, nil
 }
@@ -242,17 +316,32 @@ func (r *record) release() (bool, error) {
 func grow(fieldAddr uintptr, n, align uint32) (rel uint32, region []byte, err error) {
 	r := gidx.lookup(fieldAddr)
 	if r == nil {
-		return 0, nil, ErrNotManaged
+		// In lifecycle-debug mode an index miss may be a dangling pointer
+		// into a quarantined (destructed) arena — report it as such.
+		return 0, nil, staleOrUnmanaged(fieldAddr)
 	}
+	var st State
+	rel, region, st, err = r.growInto(fieldAddr, n, align)
+	if err != nil {
+		return 0, nil, err
+	}
+	traceEmit(TraceGrow, r, st, int(n))
+	return rel, region, nil
+}
+
+// growInto performs the arena extension under the record lock and
+// returns the state it observed, so the caller can emit trace events
+// after the lock is dropped.
+func (r *record) growInto(fieldAddr uintptr, n, align uint32) (rel uint32, region []byte, st State, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.state == StateDestructed {
-		return 0, nil, ErrDestructed
+		return 0, nil, StateDestructed, ErrDestructed
 	}
 	start := alignUp(r.used, align)
 	capacity := uint32(len(r.arena))
 	if n > capacity || start > capacity-n {
-		return 0, nil, fmt.Errorf("%w: need %d bytes at offset %d, capacity %d",
+		return 0, nil, r.state, fmt.Errorf("%w: need %d bytes at offset %d, capacity %d",
 			ErrCapacityExceeded, n, start, capacity)
 	}
 	region = r.arena[start : start+n]
@@ -262,7 +351,7 @@ func grow(fieldAddr uintptr, n, align uint32) (rel uint32, region []byte, err er
 	// The descriptor always precedes the region it points at, so the
 	// relative offset is positive and fits the paper's uint32 encoding.
 	rel = uint32(r.base + uintptr(start) - fieldAddr)
-	return rel, region, nil
+	return rel, region, r.state, nil
 }
 
 // alignUp rounds x up to the next multiple of a (a must be a power of two).

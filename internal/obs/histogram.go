@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// histRing is the number of retained samples. A power of two keeps the
+// modulo cheap; 1024 samples bound the memory per instrument to 8 KiB
+// while giving stable tail quantiles at steady state.
+const histRing = 1024
+
+// Histogram records durations into a fixed ring of recent samples and
+// computes quantiles over them on demand. Observe is one atomic
+// fetch-add plus one atomic store — no locks, no allocation — so it is
+// safe on the publish/dispatch hot path. Quantiles are computed over the
+// most recent histRing observations (a sliding window, not the full
+// history), which is what a live `rostopic stats` wants anyway.
+type Histogram struct {
+	n     atomic.Uint64
+	slots [histRing]atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Safe on a nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := h.n.Add(1) - 1
+	h.slots[i%histRing].Store(int64(d))
+}
+
+// Count returns the total number of observations ever recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// LatencyStats is a quantile summary of a Histogram window.
+type LatencyStats struct {
+	Count uint64        `json:"count"`  // observations ever recorded
+	Min   time.Duration `json:"min_ns"` // over the retained window
+	Max   time.Duration `json:"max_ns"` //
+	P50   time.Duration `json:"p50_ns"` //
+	P95   time.Duration `json:"p95_ns"` //
+	P99   time.Duration `json:"p99_ns"` //
+}
+
+// Stats summarises the retained window. Concurrent Observe calls may
+// tear individual slots between the count read and the copy; for a
+// monitoring summary that imprecision is acceptable and documented.
+func (h *Histogram) Stats() LatencyStats {
+	if h == nil {
+		return LatencyStats{}
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	w := int(n)
+	if w > histRing {
+		w = histRing
+	}
+	samples := make([]int64, w)
+	for i := 0; i < w; i++ {
+		samples[i] = h.slots[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(w-1))
+		return time.Duration(samples[i])
+	}
+	return LatencyStats{
+		Count: n,
+		Min:   time.Duration(samples[0]),
+		Max:   time.Duration(samples[w-1]),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"rossf/internal/core"
+)
+
+// LeakGuard detects leaked serialization-free messages: every arena a
+// test allocates must be destructed by the time the test tears down, or
+// the pool-recycling design silently accumulates pinned memory. The
+// guard captures the live-message baseline at construction and verifies
+// the process returns to it.
+type LeakGuard struct {
+	baseLive  int   // global index entries at construction
+	baseMgr   int64 // default-manager live gauge at construction
+	baseBytes int64 // default-manager live-bytes gauge at construction
+}
+
+// NewLeakGuard captures the current live-message baseline.
+func NewLeakGuard() *LeakGuard {
+	st := core.Default().Stats()
+	return &LeakGuard{
+		baseLive:  core.LiveMessages(),
+		baseMgr:   st.Live,
+		baseBytes: st.BytesLive,
+	}
+}
+
+// Check polls until the live-message gauges return to the baseline or
+// timeout elapses, then reports any excess as an error. Polling (rather
+// than a single read) absorbs asynchronous teardown: transport
+// goroutines release their refs on their own schedule after Close.
+func (g *LeakGuard) Check(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		live := core.LiveMessages()
+		st := core.Default().Stats()
+		if live <= g.baseLive && st.Live <= g.baseMgr && st.BytesLive <= g.baseBytes {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf(
+				"leaked messages: %d live globally (baseline %d), manager live %d (baseline %d), %d bytes live (baseline %d)",
+				live, g.baseLive, st.Live, g.baseMgr, st.BytesLive, g.baseBytes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TB is the subset of *testing.T that CheckLeaks needs; an interface so
+// this package does not import testing into production binaries.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// CheckLeaks captures the current baseline and registers a cleanup on
+// tb that fails the test if live messages have not returned to it
+// within timeout. Call it FIRST in a test (or harness constructor) so
+// its LIFO-ordered cleanup runs after every other teardown.
+func CheckLeaks(tb TB, timeout time.Duration) {
+	g := NewLeakGuard()
+	tb.Cleanup(func() {
+		tb.Helper()
+		if err := g.Check(timeout); err != nil {
+			tb.Errorf("obs.CheckLeaks: %v", err)
+		}
+	})
+}

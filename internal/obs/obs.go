@@ -1,0 +1,311 @@
+// Package obs is the middleware's observability substrate: a lock-cheap
+// metrics registry with per-topic publisher/subscriber instruments,
+// ring-buffer latency histograms, life-cycle tracing glue for
+// internal/core, and a leak-detection helper for tests.
+//
+// The design constraint is the paper's transparency claim: measuring the
+// serialization-free fast path must not change it. Every instrument
+// update is a single atomic operation on pre-allocated state, so an
+// instrumented publish performs zero additional heap allocations; the
+// life-cycle trace costs one atomic pointer load when disabled.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rossf/internal/core"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a signed instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// PubStats instruments one publisher endpoint.
+type PubStats struct {
+	Messages Counter // publishes fanned out
+	Bytes    Counter // payload bytes handed to the transport
+	Drops    Counter // frames dropped by per-connection send queues
+	FanOut   Gauge   // current subscriber connections (TCP + in-process)
+	Latched  Gauge   // 1 when a latched message is retained
+}
+
+// SubStats instruments one subscriber.
+type SubStats struct {
+	Messages   Counter   // messages delivered to the callback
+	Bytes      Counter   // payload bytes delivered
+	Drops      Counter   // messages dropped by the dispatch queue
+	Reconnects Counter   // dial retries after a connection failure
+	Corrupt    Counter   // frames rejected by integrity checks
+	Latency    Histogram // receive/publish → callback-return latency
+}
+
+// ServiceStats instruments one service endpoint.
+type ServiceStats struct {
+	Calls   Counter   // requests served
+	Errors  Counter   // requests that failed
+	Latency Histogram // request → response latency
+}
+
+// Registry is a namespace of per-topic and per-service instruments.
+// Instrument lookup takes a mutex; the instruments themselves are
+// returned once, cached by the caller, and updated with atomics only —
+// nothing on a message hot path ever touches the registry lock.
+type Registry struct {
+	mu   sync.Mutex
+	pubs map[string]*PubStats
+	subs map[string]*SubStats
+	svcs map[string]*ServiceStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		pubs: make(map[string]*PubStats),
+		subs: make(map[string]*SubStats),
+		svcs: make(map[string]*ServiceStats),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Publisher returns the publisher instruments for topic, creating them
+// on first use. Safe on a nil registry (returns nil; all instrument
+// methods tolerate nil receivers).
+func (r *Registry) Publisher(topic string) *PubStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.pubs[topic]
+	if s == nil {
+		s = &PubStats{}
+		r.pubs[topic] = s
+	}
+	return s
+}
+
+// Subscriber returns the subscriber instruments for topic, creating
+// them on first use.
+func (r *Registry) Subscriber(topic string) *SubStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.subs[topic]
+	if s == nil {
+		s = &SubStats{}
+		r.subs[topic] = s
+	}
+	return s
+}
+
+// Service returns the service instruments for name, creating them on
+// first use.
+func (r *Registry) Service(name string) *ServiceStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.svcs[name]
+	if s == nil {
+		s = &ServiceStats{}
+		r.svcs[name] = s
+	}
+	return s
+}
+
+// PubSnapshot is the JSON form of one publisher's instruments.
+type PubSnapshot struct {
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
+	Drops    uint64 `json:"drops"`
+	FanOut   int64  `json:"fan_out"`
+	Latched  int64  `json:"latched"`
+}
+
+// SubSnapshot is the JSON form of one subscriber's instruments.
+type SubSnapshot struct {
+	Messages   uint64       `json:"messages"`
+	Bytes      uint64       `json:"bytes"`
+	Drops      uint64       `json:"drops"`
+	Reconnects uint64       `json:"reconnects"`
+	Corrupt    uint64       `json:"corrupt_frames"`
+	Latency    LatencyStats `json:"latency"`
+}
+
+// ServiceSnapshot is the JSON form of one service's instruments.
+type ServiceSnapshot struct {
+	Calls   uint64       `json:"calls"`
+	Errors  uint64       `json:"errors"`
+	Latency LatencyStats `json:"latency"`
+}
+
+// CoreSnapshot is the JSON form of the message manager's life-cycle
+// gauges.
+type CoreSnapshot struct {
+	Allocs         uint64 `json:"allocs"`
+	Frees          uint64 `json:"frees"`
+	Grows          uint64 `json:"grows"`
+	Live           int64  `json:"live"`
+	BytesLive      int64  `json:"bytes_live"`
+	StateAllocated int64  `json:"state_allocated"`
+	StatePublished int64  `json:"state_published"`
+	MaxLive        int64  `json:"max_live"`
+	MaxBytesLive   int64  `json:"max_bytes_live"`
+	LiveGlobal     int    `json:"live_global"`
+}
+
+// Snapshot is a point-in-time JSON-serialisable view of a registry plus
+// the default message manager's life-cycle counters.
+type Snapshot struct {
+	Time        time.Time                  `json:"time"`
+	Core        CoreSnapshot               `json:"core"`
+	Publishers  map[string]PubSnapshot     `json:"publishers"`
+	Subscribers map[string]SubSnapshot     `json:"subscribers"`
+	Services    map[string]ServiceSnapshot `json:"services"`
+}
+
+// Snapshot captures every instrument in the registry and the default
+// manager's life-cycle stats.
+func (r *Registry) Snapshot() Snapshot {
+	st := core.Default().Stats()
+	snap := Snapshot{
+		Time: time.Now(),
+		Core: CoreSnapshot{
+			Allocs:         st.Allocs,
+			Frees:          st.Frees,
+			Grows:          st.Grows,
+			Live:           st.Live,
+			BytesLive:      st.BytesLive,
+			StateAllocated: st.StateAllocated,
+			StatePublished: st.StatePublished,
+			MaxLive:        st.MaxLive,
+			MaxBytesLive:   st.MaxBytesLive,
+			LiveGlobal:     core.LiveMessages(),
+		},
+		Publishers:  map[string]PubSnapshot{},
+		Subscribers: map[string]SubSnapshot{},
+		Services:    map[string]ServiceSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	pubs := make(map[string]*PubStats, len(r.pubs))
+	for k, v := range r.pubs {
+		pubs[k] = v
+	}
+	subs := make(map[string]*SubStats, len(r.subs))
+	for k, v := range r.subs {
+		subs[k] = v
+	}
+	svcs := make(map[string]*ServiceStats, len(r.svcs))
+	for k, v := range r.svcs {
+		svcs[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range pubs {
+		snap.Publishers[k] = PubSnapshot{
+			Messages: v.Messages.Load(),
+			Bytes:    v.Bytes.Load(),
+			Drops:    v.Drops.Load(),
+			FanOut:   v.FanOut.Load(),
+			Latched:  v.Latched.Load(),
+		}
+	}
+	for k, v := range subs {
+		snap.Subscribers[k] = SubSnapshot{
+			Messages:   v.Messages.Load(),
+			Bytes:      v.Bytes.Load(),
+			Drops:      v.Drops.Load(),
+			Reconnects: v.Reconnects.Load(),
+			Corrupt:    v.Corrupt.Load(),
+			Latency:    v.Latency.Stats(),
+		}
+	}
+	for k, v := range svcs {
+		snap.Services[k] = ServiceSnapshot{
+			Calls:   v.Calls.Load(),
+			Errors:  v.Errors.Load(),
+			Latency: v.Latency.Stats(),
+		}
+	}
+	return snap
+}
+
+// Topics returns the sorted union of topics with publisher or
+// subscriber instruments (for CLI display).
+func (r *Registry) Topics() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	set := make(map[string]struct{}, len(r.pubs)+len(r.subs))
+	for k := range r.pubs {
+		set[k] = struct{}{}
+	}
+	for k := range r.subs {
+		set[k] = struct{}{}
+	}
+	r.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

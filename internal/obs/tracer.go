@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"rossf/internal/core"
+)
+
+// Tracer collects core life-cycle trace events (Allocated → Published →
+// Destructed, grows, and stale-access detections) into a bounded ring.
+// It exists for diagnosis and tests; while no Tracer is enabled the SFM
+// fast path pays only the disabled-hook nil check inside core.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []core.TraceEvent
+	next   int
+	full   bool
+	counts [8]uint64 // indexed by TraceOp
+}
+
+// EnableTracing installs a Tracer as the process-wide life-cycle hook,
+// retaining the most recent capacity events (minimum 64). It replaces
+// any previously installed hook; call Stop to uninstall.
+func EnableTracing(capacity int) *Tracer {
+	if capacity < 64 {
+		capacity = 64
+	}
+	t := &Tracer{ring: make([]core.TraceEvent, capacity)}
+	core.SetTrace(t.record)
+	return t
+}
+
+// Stop uninstalls the trace hook. Collected events remain readable.
+func (t *Tracer) Stop() { core.SetTrace(nil) }
+
+func (t *Tracer) record(ev core.TraceEvent) {
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	if int(ev.Op) < len(t.counts) {
+		t.counts[ev.Op]++
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in arrival order.
+func (t *Tracer) Events() []core.TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]core.TraceEvent(nil), t.ring[:t.next]...)
+	}
+	out := make([]core.TraceEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Count returns how many events of op were observed (including ones
+// that have rotated out of the ring).
+func (t *Tracer) Count(op core.TraceOp) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(op) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[op]
+}
+
+// Format renders one event for logs.
+func Format(ev core.TraceEvent) string {
+	return fmt.Sprintf("%s %s base=%#x gen=%d state=%s refs=%d bytes=%d",
+		ev.Time.Format("15:04:05.000000"), ev.Op, ev.Base, ev.Gen, ev.State, ev.Refs, ev.Bytes)
+}

@@ -1,0 +1,55 @@
+package ros
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"rossf/internal/obs"
+)
+
+// MetricsPayload is the JSON document served by the node's /metrics and
+// /debug/vars endpoints: the node identity plus a full registry
+// snapshot (per-topic publisher/subscriber instruments, per-service
+// instruments, and the message manager's life-cycle gauges).
+type MetricsPayload struct {
+	Node string       `json:"node"`
+	Obs  obs.Snapshot `json:"obs"`
+}
+
+// startMetricsServer binds the HTTP observability endpoint. It uses a
+// private mux (never http.DefaultServeMux) so multiple nodes in one
+// process can each export their own registry, and registers the pprof
+// handlers explicitly for the same reason.
+func (n *Node) startMetricsServer(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ros: node %s metrics listen: %w", n.name, err)
+	}
+	mux := http.NewServeMux()
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(MetricsPayload{Node: n.name, Obs: n.metrics.Snapshot()}) //nolint:errcheck
+	}
+	mux.HandleFunc("/metrics", serveJSON)
+	mux.HandleFunc("/debug/vars", serveJSON)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	n.metricsLis = lis
+	n.metricsAddr = lis.Addr().String()
+	n.metricsSrv = &http.Server{Handler: mux}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.metricsSrv.Serve(lis) //nolint:errcheck // exits when Close closes the listener
+	}()
+	return nil
+}

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
+
+	"rossf/internal/obs"
 )
 
 // DialFunc opens a transport connection to a publisher endpoint. The
@@ -14,10 +17,13 @@ type DialFunc func(addr string) (net.Conn, error)
 
 // nodeConfig collects NewNode options.
 type nodeConfig struct {
-	master     Master
-	listenAddr string
-	noListener bool
-	dial       DialFunc
+	master      Master
+	listenAddr  string
+	noListener  bool
+	dial        DialFunc
+	metrics     *obs.Registry
+	metricsSet  bool
+	metricsAddr string
 }
 
 // Option configures a Node.
@@ -47,16 +53,42 @@ func WithDialer(d DialFunc) Option {
 	return func(c *nodeConfig) { c.dial = d }
 }
 
+// WithMetrics selects the observability registry recording this node's
+// per-topic and per-service instruments (default obs.Default()). Pass
+// nil to disable instrumentation entirely — endpoints then carry nil
+// instrument pointers and skip every recording site.
+func WithMetrics(r *obs.Registry) Option {
+	return func(c *nodeConfig) {
+		c.metrics = r
+		c.metricsSet = true
+	}
+}
+
+// WithMetricsAddr starts an HTTP metrics endpoint on addr (e.g.
+// "127.0.0.1:0") serving /metrics and /debug/vars (an expvar-style JSON
+// snapshot of the node's registry plus the message manager's life-cycle
+// gauges) and the standard /debug/pprof profiling handlers. The
+// endpoint shuts down with the node; MetricsAddr reports the bound
+// address.
+func WithMetricsAddr(addr string) Option {
+	return func(c *nodeConfig) { c.metricsAddr = addr }
+}
+
 // Node is a participant in the graph — the analog of a roscpp
 // NodeHandle plus its process-wide connection machinery. Create with
 // NewNode, release with Close.
 type Node struct {
-	name   string
-	master Master
-	dial   DialFunc
+	name    string
+	master  Master
+	dial    DialFunc
+	metrics *obs.Registry // nil = instrumentation disabled
 
 	listener net.Listener
 	addr     string
+
+	metricsLis  net.Listener
+	metricsSrv  *http.Server
+	metricsAddr string
 
 	mu       sync.Mutex
 	pubs     map[string]*pubEndpoint
@@ -85,10 +117,14 @@ func NewNode(name string, opts ...Option) (*Node, error) {
 	if cfg.master == nil {
 		cfg.master = NewLocalMaster()
 	}
+	if !cfg.metricsSet {
+		cfg.metrics = obs.Default()
+	}
 	n := &Node{
 		name:     name,
 		master:   cfg.master,
 		dial:     cfg.dial,
+		metrics:  cfg.metrics,
 		pubs:     make(map[string]*pubEndpoint),
 		subs:     make(map[*Subscriber]struct{}),
 		services: make(map[string]*serviceEndpoint),
@@ -103,6 +139,15 @@ func NewNode(name string, opts ...Option) (*Node, error) {
 		n.wg.Add(1)
 		go n.acceptLoop()
 	}
+	if cfg.metricsAddr != "" {
+		if err := n.startMetricsServer(cfg.metricsAddr); err != nil {
+			if n.listener != nil {
+				n.listener.Close()
+				n.wg.Wait()
+			}
+			return nil, err
+		}
+	}
 	return n, nil
 }
 
@@ -114,6 +159,14 @@ func (n *Node) Addr() string { return n.addr }
 
 // Master returns the node's graph master.
 func (n *Node) Master() Master { return n.master }
+
+// Metrics returns the node's observability registry (nil when disabled
+// via WithMetrics(nil)).
+func (n *Node) Metrics() *obs.Registry { return n.metrics }
+
+// MetricsAddr returns the bound address of the HTTP metrics endpoint,
+// or "" when WithMetricsAddr was not used.
+func (n *Node) MetricsAddr() string { return n.metricsAddr }
 
 // acceptLoop serves inbound subscriber connections.
 func (n *Node) acceptLoop() {
@@ -199,6 +252,11 @@ func (n *Node) Close() error {
 
 	if n.listener != nil {
 		n.listener.Close()
+	}
+	if n.metricsSrv != nil {
+		// Close (not just the listener) also hangs up in-flight and
+		// keep-alive metrics connections so Close leaves no goroutines.
+		n.metricsSrv.Close()
 	}
 	for _, p := range pubs {
 		p.close()

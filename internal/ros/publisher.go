@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rossf/internal/core"
+	"rossf/internal/obs"
 	"rossf/internal/wire"
 )
 
@@ -87,8 +88,9 @@ func Advertise[T any](n *Node, topic string, opts ...PubOption) (*Publisher[T], 
 		queueSize:    cfg.queueSize,
 		latch:        cfg.latch,
 		writeTimeout: cfg.writeTimeout,
+		stats:        n.metrics.Publisher(topic),
 		conns:        make(map[*pubConn]struct{}),
-		inproc:       make(map[inprocTarget]struct{}),
+		inproc:       make(map[inprocTarget]uint64),
 	}
 	if err := n.registerPub(topic, ep); err != nil {
 		return nil, err
@@ -145,28 +147,55 @@ func (p *Publisher[T]) Publish(m *T) error {
 	if err := s.SerializeROS(w); err != nil {
 		return fmt.Errorf("ros: serialize %s: %w", ep.typeName, err)
 	}
-	ep.fanoutFrame(w.Bytes())
+	var l *latchedMsg
 	if ep.latch {
-		ep.setLatched(&latchedMsg{frame: w.Bytes()})
+		l = &latchedMsg{frame: w.Bytes()}
 	}
+	ep.fanoutFrame(w.Bytes(), l)
 	return nil
 }
 
 // publishSFM distributes an arena-backed message without serialization.
+//
+// When the topic latches, the new latch is built BEFORE the fan-out
+// snapshot and installed inside the same critical section that captures
+// the connection set. Installing it after the fan-out (the old order)
+// left a window in which a subscriber accepted mid-publish received the
+// previous latched message and permanently missed the newest one.
 func publishSFM[T any](ep *pubEndpoint, m *T) error {
 	if err := core.MarkPublished(m); err != nil {
 		return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
 	}
-	ep.mu.Lock()
-	conns := make([]*pubConn, 0, len(ep.conns))
-	for c := range ep.conns {
-		conns = append(conns, c)
+	var l *latchedMsg
+	if ep.latch {
+		// The latch holds its own reference; the closures mint more for
+		// each late subscriber, which is safe while that hold exists.
+		hold, err := core.NewRef(m)
+		if err != nil {
+			return fmt.Errorf("ros: latch %s: %w", ep.typeName, err)
+		}
+		mm := m
+		l = &latchedMsg{
+			mkItem: func() (frameItem, error) {
+				r, err := core.NewRef(mm)
+				if err != nil {
+					return frameItem{}, err
+				}
+				return frameItem{ref: &r}, nil
+			},
+			mkShared: func() (any, func(), bool) {
+				if core.Retain(mm) != nil {
+					return nil, nil, false
+				}
+				return any(mm), func() { core.Release(mm) }, true
+			},
+			drop: func() { hold.Release() },
+		}
 	}
-	targets := make([]inprocTarget, 0, len(ep.inproc))
-	for t := range ep.inproc {
-		targets = append(targets, t)
+	conns, targets, prev := ep.snapshotForPublish(l)
+	if prev != nil && prev.drop != nil {
+		prev.drop()
 	}
-	ep.mu.Unlock()
 
 	for _, c := range conns {
 		ref, err := core.NewRef(m)
@@ -183,30 +212,15 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 		t.deliverShared(any(mm), func() { core.Release(mm) })
 	}
 
-	if ep.latch {
-		// The latch holds its own reference; the closures mint more for
-		// each late subscriber, which is safe while that hold exists.
-		hold, err := core.NewRef(m)
-		if err != nil {
-			return fmt.Errorf("ros: latch %s: %w", ep.typeName, err)
+	if st := ep.stats; st != nil {
+		st.Messages.Inc()
+		if n, err := core.UsedSize(m); err == nil {
+			st.Bytes.Add(uint64(n))
 		}
-		mm := m
-		ep.setLatched(&latchedMsg{
-			mkItem: func() (frameItem, error) {
-				r, err := core.NewRef(mm)
-				if err != nil {
-					return frameItem{}, err
-				}
-				return frameItem{ref: &r}, nil
-			},
-			mkShared: func() (any, func(), bool) {
-				if core.Retain(mm) != nil {
-					return nil, nil, false
-				}
-				return any(mm), func() { core.Release(mm) }, true
-			},
-			drop: func() { hold.Release() },
-		})
+		st.FanOut.Set(int64(len(conns) + len(targets)))
+		if l != nil {
+			st.Latched.Set(1)
+		}
 	}
 	return nil
 }
@@ -257,10 +271,17 @@ type pubEndpoint struct {
 	// frames advertise the recorded order.
 	endianName string
 	unregister func()
+	stats      *obs.PubStats // nil when the node's metrics are disabled
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// pubSeq numbers publishes. Each attachment remembers the sequence
+	// of the last publish whose fan-out included it (pubConn.latchSeen,
+	// the inproc map value), so latched delivery to a late subscriber
+	// can tell "already received via fan-out" from "needs the latch" —
+	// giving exactly-once delivery of the newest message.
+	pubSeq  uint64
 	conns   map[*pubConn]struct{}
-	inproc  map[inprocTarget]struct{}
+	inproc  map[inprocTarget]uint64 // value: latchSeen sequence
 	latched *latchedMsg
 	closed  bool
 
@@ -272,31 +293,56 @@ type pubEndpoint struct {
 // consumer; for regular messages frame is the immutable serialized
 // form.
 type latchedMsg struct {
+	seq      uint64                     // pubSeq of the publish that latched it
 	frame    []byte                     // regular path
 	mkItem   func() (frameItem, error)  // SFM: per-connection queue item
 	mkShared func() (any, func(), bool) // SFM: intra-process delivery
 	drop     func()                     // release the latch's own hold
 }
 
-// setLatched replaces the retained message, dropping the previous one.
-func (ep *pubEndpoint) setLatched(l *latchedMsg) {
+// snapshotForPublish captures the fan-out set and, when l is non-nil,
+// installs it as the new latch — in ONE critical section. This is the
+// fix for the latched-publish race: with the latch installed after the
+// fan-out, a subscriber accepted in between received the previous
+// latched message and missed the newest until the next publish. Every
+// snapshotted attachment is stamped with this publish's sequence so the
+// latched-delivery paths can skip attachments the fan-out already
+// covered (no duplicate of the newest message either). The previous
+// latch is returned for the caller to drop outside the lock.
+func (ep *pubEndpoint) snapshotForPublish(l *latchedMsg) (conns []*pubConn, targets []inprocTarget, prev *latchedMsg) {
 	ep.mu.Lock()
-	prev := ep.latched
-	ep.latched = l
-	ep.mu.Unlock()
-	if prev != nil && prev.drop != nil {
-		prev.drop()
+	ep.pubSeq++
+	seq := ep.pubSeq
+	conns = make([]*pubConn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+		c.latchSeen = seq
 	}
+	targets = make([]inprocTarget, 0, len(ep.inproc))
+	for t := range ep.inproc {
+		targets = append(targets, t)
+		ep.inproc[t] = seq
+	}
+	if l != nil {
+		l.seq = seq
+		prev = ep.latched
+		ep.latched = l
+	}
+	ep.mu.Unlock()
+	return conns, targets, prev
 }
 
-// deliverLatchedTCP enqueues the retained message on a new connection.
+// deliverLatchedTCP enqueues the retained message on a new connection,
+// unless the connection already received it through a publish fan-out.
 func (ep *pubEndpoint) deliverLatchedTCP(pc *pubConn) {
 	ep.mu.Lock()
 	l := ep.latched
-	ep.mu.Unlock()
-	if l == nil {
+	if l == nil || pc.latchSeen >= l.seq {
+		ep.mu.Unlock()
 		return
 	}
+	pc.latchSeen = l.seq
+	ep.mu.Unlock()
 	if l.mkItem != nil {
 		if it, err := l.mkItem(); err == nil {
 			pc.enqueue(it)
@@ -309,14 +355,17 @@ func (ep *pubEndpoint) deliverLatchedTCP(pc *pubConn) {
 }
 
 // deliverLatchedInproc hands the retained message to a new same-process
-// subscriber.
+// subscriber, with the same already-seen dedup as the TCP path.
 func (ep *pubEndpoint) deliverLatchedInproc(t inprocTarget) {
 	ep.mu.Lock()
 	l := ep.latched
-	ep.mu.Unlock()
-	if l == nil {
+	seen, attached := ep.inproc[t]
+	if l == nil || !attached || seen >= l.seq {
+		ep.mu.Unlock()
 		return
 	}
+	ep.inproc[t] = l.seq
+	ep.mu.Unlock()
 	if l.mkShared != nil {
 		if m, release, ok := l.mkShared(); ok {
 			t.deliverShared(m, release)
@@ -340,24 +389,28 @@ func (ep *pubEndpoint) numSubscribers() int {
 	return len(ep.conns) + len(ep.inproc)
 }
 
-// fanoutFrame distributes a serialized frame to all attachments. The
-// frame is shared read-only; it must not be mutated afterwards.
-func (ep *pubEndpoint) fanoutFrame(frame []byte) {
-	ep.mu.Lock()
-	conns := make([]*pubConn, 0, len(ep.conns))
-	for c := range ep.conns {
-		conns = append(conns, c)
+// fanoutFrame distributes a serialized frame to all attachments and,
+// when l is non-nil, installs it as the new latch atomically with the
+// fan-out snapshot (see snapshotForPublish). The frame is shared
+// read-only; it must not be mutated afterwards.
+func (ep *pubEndpoint) fanoutFrame(frame []byte, l *latchedMsg) {
+	conns, targets, prev := ep.snapshotForPublish(l)
+	if prev != nil && prev.drop != nil {
+		prev.drop()
 	}
-	targets := make([]inprocTarget, 0, len(ep.inproc))
-	for t := range ep.inproc {
-		targets = append(targets, t)
-	}
-	ep.mu.Unlock()
 	for _, c := range conns {
 		c.enqueue(frameItem{data: frame})
 	}
 	for _, t := range targets {
 		t.deliverFrame(frame)
+	}
+	if st := ep.stats; st != nil {
+		st.Messages.Inc()
+		st.Bytes.Add(uint64(len(frame)))
+		st.FanOut.Set(int64(len(conns) + len(targets)))
+		if l != nil {
+			st.Latched.Set(1)
+		}
 	}
 }
 
@@ -400,6 +453,7 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	pc := &pubConn{
 		conn:         conn,
 		writeTimeout: ep.writeTimeout,
+		stats:        ep.stats,
 		ch:           make(chan frameItem, ep.queueSize),
 		stop:         make(chan struct{}),
 	}
@@ -433,7 +487,7 @@ func (ep *pubEndpoint) attachInproc(t inprocTarget) error {
 		ep.mu.Unlock()
 		return errors.New("ros: publisher closed")
 	}
-	ep.inproc[t] = struct{}{}
+	ep.inproc[t] = 0
 	ep.mu.Unlock()
 	ep.deliverLatchedInproc(t)
 	return nil
@@ -465,7 +519,7 @@ func (ep *pubEndpoint) close() {
 		conns = append(conns, c)
 	}
 	ep.conns = make(map[*pubConn]struct{})
-	ep.inproc = make(map[inprocTarget]struct{})
+	ep.inproc = make(map[inprocTarget]uint64)
 	latched := ep.latched
 	ep.latched = nil
 	ep.mu.Unlock()
@@ -489,7 +543,12 @@ func (ep *pubEndpoint) close() {
 type pubConn struct {
 	conn         net.Conn
 	writeTimeout time.Duration
+	stats        *obs.PubStats // nil when metrics are disabled
 	ch           chan frameItem
+
+	// latchSeen is the pubSeq of the last publish whose fan-out included
+	// this connection; guarded by the owning endpoint's mu.
+	latchSeen uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -523,6 +582,9 @@ func (pc *pubConn) enqueue(it frameItem) {
 		select {
 		case old := <-pc.ch:
 			old.release()
+			if pc.stats != nil {
+				pc.stats.Drops.Inc()
+			}
 		default:
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 )
 
 // RawMessage is one frame delivered to a raw subscriber, with the
@@ -31,6 +32,7 @@ func SubscribeRaw(n *Node, topic, typeName, md5 string, sfm bool,
 		node:   n,
 		topic:  topic,
 		retry:  RetryPolicy{}.withDefaults(),
+		stats:  n.metrics.Subscriber(topic),
 		conns:  make(map[string]*subConn),
 		inproc: make(map[*pubEndpoint]struct{}),
 	}
@@ -80,8 +82,9 @@ func AdvertiseRaw(n *Node, topic, typeName, md5 string, sfm, littleEndian bool,
 		latch:        cfg.latch,
 		writeTimeout: cfg.writeTimeout,
 		endianName:   nativeEndianName(littleEndian),
+		stats:        n.metrics.Publisher(topic),
 		conns:        make(map[*pubConn]struct{}),
-		inproc:       make(map[inprocTarget]struct{}),
+		inproc:       make(map[inprocTarget]uint64),
 	}
 	if err := n.registerPub(topic, ep); err != nil {
 		return nil, err
@@ -113,11 +116,14 @@ func (p *RawPublisher) PublishFrame(frame []byte) error {
 	if p.ep.isClosed() {
 		return errors.New("ros: publisher closed")
 	}
-	p.ep.fanoutFrame(frame)
+	// The latch copy is built first and installed atomically with the
+	// fan-out snapshot (same latched-publish race as the typed path).
+	var l *latchedMsg
 	if p.ep.latch {
 		cp := append([]byte(nil), frame...)
-		p.ep.setLatched(&latchedMsg{frame: cp})
+		l = &latchedMsg{frame: cp}
 	}
+	p.ep.fanoutFrame(frame, l)
 	return nil
 }
 
@@ -151,10 +157,20 @@ func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
 			return
 		}
 		if !fr.verify(buf, crc) {
-			r.sub.corrupt.Add(1)
+			r.sub.noteCorrupt()
 			continue
 		}
+		st := r.sub.stats
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
 		r.cb(RawMessage{Frame: buf, Format: format, LittleEndian: little})
+		if st != nil {
+			st.Messages.Inc()
+			st.Bytes.Add(uint64(n))
+			st.Latency.Observe(time.Since(t0))
+		}
 	}
 }
 

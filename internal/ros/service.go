@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rossf/internal/core"
+	"rossf/internal/obs"
 	"rossf/internal/wire"
 )
 
@@ -60,6 +61,7 @@ type serviceEndpoint struct {
 	sfm        bool
 	handle     func(reqFrame []byte, srcLittle bool) (respFrame []byte, release func(), err error)
 	unregister func()
+	stats      *obs.ServiceStats // nil when the node's metrics are disabled
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -101,6 +103,7 @@ func AdvertiseService[Req, Resp any](n *Node, name string,
 		respType: respType,
 		md5:      reqMD5 + respMD5,
 		sfm:      reqSFM,
+		stats:    n.metrics.Service(name),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	if reqSFM {
@@ -249,6 +252,10 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 		var respFrame []byte
 		var release func()
 		var herr error
+		var t0 time.Time
+		if ep.stats != nil {
+			t0 = time.Now()
+		}
 		if !fr.verify(frame, crc) {
 			// The request arrived damaged; tell the caller rather than
 			// handing garbage to the handler. The connection stays up —
@@ -256,6 +263,13 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 			herr = errors.New("corrupt request frame")
 		} else {
 			respFrame, release, herr = ep.handle(frame, srcLittle)
+		}
+		if st := ep.stats; st != nil {
+			st.Calls.Inc()
+			if herr != nil {
+				st.Errors.Inc()
+			}
+			st.Latency.Observe(time.Since(t0))
 		}
 		// A wedged or vanished caller must not pin this goroutine in a
 		// blocked Write forever.

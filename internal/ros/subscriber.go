@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rossf/internal/core"
+	"rossf/internal/obs"
 	"rossf/internal/wire"
 )
 
@@ -186,6 +187,7 @@ type Subscriber struct {
 	queue       *dispatchQueue // nil = synchronous callbacks
 	retry       RetryPolicy
 	connState   func(addr string, state ConnState)
+	stats       *obs.SubStats // nil when the node's metrics are disabled
 
 	corrupt atomic.Uint64 // frames rejected by checksum
 	resyncs atomic.Uint64 // bytes skipped resynchronizing damaged streams
@@ -211,6 +213,15 @@ func (s *Subscriber) ResyncedBytes() uint64 { return s.resyncs.Load() }
 // are counted live at each drop).
 func (s *Subscriber) noteStreamDamage(fr *frameReader) {
 	s.resyncs.Add(fr.skipped())
+}
+
+// noteCorrupt records one frame rejected by an integrity check, both in
+// the subscription's own counter and the observability registry.
+func (s *Subscriber) noteCorrupt() {
+	s.corrupt.Add(1)
+	if s.stats != nil {
+		s.stats.Corrupt.Inc()
+	}
 }
 
 // notifyState reports a link transition to the WithConnState callback,
@@ -356,6 +367,7 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 		topic:     topic,
 		retry:     cfg.retry.withDefaults(),
 		connState: cfg.connState,
+		stats:     n.metrics.Subscriber(topic),
 		conns:     make(map[string]*subConn),
 		inproc:    make(map[*pubEndpoint]struct{}),
 	}
@@ -499,6 +511,9 @@ func (s *Subscriber) dialAndRun(addr string, sc *subConn) {
 		if s.retry.MaxAttempts > 0 && attempt > s.retry.MaxAttempts {
 			s.notifyState(addr, ConnGaveUp)
 			return
+		}
+		if s.stats != nil {
+			s.stats.Reconnects.Inc()
 		}
 		s.notifyState(addr, ConnRetrying)
 		if !sc.sleep(s.retry.backoff(attempt)) {
@@ -687,7 +702,7 @@ func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
 			return
 		}
 		if !fr.verify(buf, crc) {
-			r.sub.corrupt.Add(1)
+			r.sub.noteCorrupt()
 			continue // corrupted in transit: reject, resync, never deliver
 		}
 		r.deliverFrame(buf)
@@ -704,7 +719,26 @@ func (r *ros1Runtime[T]) deliverFrame(frame []byte) {
 	if err := sz.DeserializeROS(rd); err != nil {
 		return // a malformed frame is dropped, as roscpp does
 	}
-	r.sub.dispatch(func() { r.cb(m) }, func() {})
+	st := r.sub.stats
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
+	sz0 := len(frame)
+	r.sub.dispatch(
+		func() {
+			r.cb(m)
+			if st != nil {
+				st.Messages.Inc()
+				st.Bytes.Add(uint64(sz0))
+				st.Latency.Observe(time.Since(t0))
+			}
+		},
+		func() {
+			if st != nil {
+				st.Drops.Inc()
+			}
+		})
 }
 
 func (r *ros1Runtime[T]) deliverShared(m any, release func()) {
@@ -744,7 +778,7 @@ func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 		// The checksum runs before the bytes are adopted as a live
 		// message: a corrupted arena image must never reach a callback.
 		if !fr.verify(buf.Bytes()[:n], crc) {
-			r.sub.corrupt.Add(1)
+			r.sub.noteCorrupt()
 			buf.Discard()
 			continue
 		}
@@ -759,9 +793,28 @@ func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 			buf.Discard()
 			continue
 		}
+		st := r.sub.stats
+		var t0 time.Time
+		if st != nil {
+			t0 = time.Now()
+		}
+		sz0 := n
 		r.sub.dispatch(
-			func() { r.cb(m); core.Release(m) },
-			func() { core.Release(m) },
+			func() {
+				r.cb(m)
+				core.Release(m)
+				if st != nil {
+					st.Messages.Inc()
+					st.Bytes.Add(uint64(sz0))
+					st.Latency.Observe(time.Since(t0))
+				}
+			},
+			func() {
+				core.Release(m)
+				if st != nil {
+					st.Drops.Inc()
+				}
+			},
 		)
 	}
 }
@@ -772,9 +825,35 @@ func (r *sfmRuntime[T]) deliverShared(m any, release func()) {
 		release()
 		return
 	}
+	// t0 is captured only when instruments exist, so the uninstrumented
+	// intra-process hand-over takes no timestamp and records nothing —
+	// this path is the SFM publish fast path whose allocation count the
+	// zero-overhead test pins.
+	st := r.sub.stats
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
 	r.sub.dispatch(
-		func() { r.cb(t); release() },
-		release,
+		func() {
+			r.cb(t)
+			if st != nil {
+				st.Messages.Inc()
+				if n, err := core.UsedSize(t); err == nil {
+					st.Bytes.Add(uint64(n))
+				}
+			}
+			release()
+			if st != nil {
+				st.Latency.Observe(time.Since(t0))
+			}
+		},
+		func() {
+			release()
+			if st != nil {
+				st.Drops.Inc()
+			}
+		},
 	)
 }
 
@@ -788,8 +867,27 @@ func (r *sfmRuntime[T]) deliverFrame(frame []byte) {
 		buf.Discard()
 		return
 	}
+	st := r.sub.stats
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
+	sz0 := len(frame)
 	r.sub.dispatch(
-		func() { r.cb(m); core.Release(m) },
-		func() { core.Release(m) },
+		func() {
+			r.cb(m)
+			core.Release(m)
+			if st != nil {
+				st.Messages.Inc()
+				st.Bytes.Add(uint64(sz0))
+				st.Latency.Observe(time.Since(t0))
+			}
+		},
+		func() {
+			core.Release(m)
+			if st != nil {
+				st.Drops.Inc()
+			}
+		},
 	)
 }

@@ -1,0 +1,92 @@
+#!/bin/sh
+# stats_smoke.sh — end-to-end check of the observability surface.
+#
+# Boots a standalone rosmaster and a synthetic SFM publisher with its
+# metrics endpoint enabled, then verifies that
+#
+#   1. `rostopic stats` reports live per-topic instrument data (rate,
+#      bandwidth, drops, latency quantiles), and
+#   2. the node's /metrics endpoint serves a JSON snapshot with the
+#      expected schema (node name, per-topic publisher instruments,
+#      core life-cycle gauges).
+#
+# Run via `make stats-smoke`. Requires curl; uses jq for JSON schema
+# validation when available, plain key grep otherwise.
+set -eu
+
+BIN="$(mktemp -d)"
+MASTER_PID=""
+PUB_PID=""
+cleanup() {
+    [ -n "$PUB_PID" ] && kill "$PUB_PID" 2>/dev/null || true
+    [ -n "$MASTER_PID" ] && kill "$MASTER_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+echo "stats-smoke: building tools"
+go build -o "$BIN" ./cmd/rosmaster ./cmd/rospub ./cmd/rostopic
+
+"$BIN/rosmaster" -addr 127.0.0.1:0 >"$BIN/master.log" 2>&1 &
+MASTER_PID=$!
+MASTER=""
+for _ in $(seq 1 100); do
+    MASTER=$(sed -n 's/^rosmaster: serving on //p' "$BIN/master.log")
+    [ -n "$MASTER" ] && break
+    sleep 0.1
+done
+if [ -z "$MASTER" ]; then
+    echo "stats-smoke: rosmaster did not start" >&2
+    cat "$BIN/master.log" >&2
+    exit 1
+fi
+
+"$BIN/rospub" -master "$MASTER" -sfm -rate 100 -width 64 -height 64 \
+    -metrics 127.0.0.1:0 >"$BIN/pub.log" 2>&1 &
+PUB_PID=$!
+METRICS=""
+for _ in $(seq 1 100); do
+    METRICS=$(sed -n 's/^rospub: metrics on //p' "$BIN/pub.log")
+    [ -n "$METRICS" ] && break
+    sleep 0.1
+done
+if [ -z "$METRICS" ]; then
+    echo "stats-smoke: rospub did not expose a metrics endpoint" >&2
+    cat "$BIN/pub.log" >&2
+    exit 1
+fi
+
+echo "stats-smoke: sampling topic instruments via rostopic stats"
+OUT=$("$BIN/rostopic" -master "$MASTER" -duration 2s stats camera/image)
+echo "$OUT"
+for want in "rate:" "bandwidth:" "drops:" "p50" "p95" "p99"; do
+    if ! echo "$OUT" | grep -q "$want"; then
+        echo "stats-smoke: stats output missing \"$want\"" >&2
+        exit 1
+    fi
+done
+
+echo "stats-smoke: checking /metrics JSON schema"
+JSON=$(curl -fsS "http://$METRICS/metrics")
+if command -v jq >/dev/null 2>&1; then
+    echo "$JSON" | jq -e '
+        .node == "rospub"
+        and (.obs.publishers["camera/image"].messages > 0)
+        and (.obs.core | has("live") and has("max_live")
+             and has("state_published") and has("bytes_live"))
+        and (.obs | has("subscribers") and has("services"))
+    ' >/dev/null || {
+        echo "stats-smoke: /metrics JSON failed schema check:" >&2
+        echo "$JSON" >&2
+        exit 1
+    }
+else
+    for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"'; do
+        if ! echo "$JSON" | grep -q "$key"; then
+            echo "stats-smoke: /metrics JSON missing $key" >&2
+            exit 1
+        fi
+    done
+fi
+
+echo "stats-smoke: OK"
