@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench chaos fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc chaos fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/ros/ ./internal/bench/
+	$(GO) test -race ./internal/core/ ./internal/ros/ ./internal/shm/ ./internal/bench/
 
 # Fault-injection matrix (see TESTING.md) under the race detector,
 # plus a fuzz smoke over the wire framing and IDL parsers.
@@ -30,6 +30,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Intra-machine transport matrix (inproc / shm / tcp) -> BENCH_ipc.json.
+# The shm rows need a mappable backing directory (normally /dev/shm);
+# the runner skips them gracefully where the platform lacks one.
+bench-ipc:
+	$(GO) run ./cmd/rossf-bench ipc -out BENCH_ipc.json
 
 # Regenerate msgs/ from the IDL tree (run after editing msgs/idl).
 generate:

@@ -8,6 +8,7 @@
 //	rossf-bench fig16 [-messages N] [-rate HZ] [-gbps G] [-latency D]
 //	rossf-bench fig18 [-frames N] [-width W] [-height H]
 //	rossf-bench table1
+//	rossf-bench ipc [-messages N] [-out BENCH_ipc.json]
 //	rossf-bench all
 //
 // -full selects the paper's exact run lengths (2000 messages at 10 Hz),
@@ -35,7 +36,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -49,8 +50,10 @@ func run(args []string) error {
 		return runFig18(rest)
 	case "table1":
 		return runTable1(rest)
+	case "ipc":
+		return runIPC(rest)
 	case "all":
-		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1} {
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC} {
 			if err := c(nil); err != nil {
 				return err
 			}
@@ -159,6 +162,31 @@ func runTable1(args []string) error {
 		return err
 	}
 	fmt.Print(res.Format())
+	return nil
+}
+
+func runIPC(args []string) error {
+	fs := flag.NewFlagSet("ipc", flag.ContinueOnError)
+	messages := fs.Int("messages", 200, "messages per (size, transport) cell")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_ipc.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunIPC(bench.IPCConfig{Messages: *messages})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
 	return nil
 }
 

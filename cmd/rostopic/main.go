@@ -199,7 +199,8 @@ func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error
 
 	time.Sleep(duration)
 	elapsed := time.Since(start).Seconds()
-	s := topicSample(reg, topic)
+	snap := reg.Snapshot()
+	s := snap.Subscribers[topic]
 	if s.Messages == 0 {
 		return fmt.Errorf("no messages on %s within %s", topic, duration)
 	}
@@ -208,10 +209,18 @@ func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error
 	fmt.Printf("rate:      %.2f msg/s (%d messages in %.1fs)\n",
 		float64(s.Messages)/elapsed, s.Messages, elapsed)
 	fmt.Printf("bandwidth: %.2f MB/s (%d bytes)\n", float64(s.Bytes)/elapsed/1e6, s.Bytes)
-	fmt.Printf("drops:     %d   reconnects: %d   corrupt frames: %d\n",
-		s.Drops, s.Reconnects, s.Corrupt)
+	fmt.Printf("drops:     %d   reconnects: %d   corrupt frames: %d   stale shm descriptors: %d\n",
+		s.Drops, s.Reconnects, s.Corrupt, s.Stale)
 	fmt.Printf("latency:   p50 %v   p95 %v   p99 %v   (min %v, max %v)\n",
 		s.Latency.P50, s.Latency.P95, s.Latency.P99, s.Latency.Min, s.Latency.Max)
+	if sh := snap.Shm; sh.SegmentsMapped > 0 || sh.DescriptorSends > 0 || sh.Fallbacks > 0 {
+		fmt.Printf("shm:       %d segments mapped (%d bytes)   %d descriptor transfers   %d tcp fallbacks   %d leases reaped\n",
+			sh.SegmentsMapped, sh.BytesShared, sh.DescriptorSends, sh.Fallbacks, sh.LeasesReaped)
+	}
+	if s.TransportUnavailable > 0 {
+		fmt.Printf("warning:   publishers exist but were unreachable over this transport in %d reconcile passes\n",
+			s.TransportUnavailable)
+	}
 	return nil
 }
 

@@ -64,7 +64,7 @@ func Adopt[T any](b *Buffer, used int) (*T, error) {
 			ErrBufferMisuse, used, l.Size, len(b.arena))
 	}
 	rec := b.mgr.register(b, uint32(used), StatePublished, t)
-	b.raw, b.arena = nil, nil // ownership moved to the record
+	b.raw, b.arena, b.free = nil, nil, nil // ownership moved to the record
 	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
 }
 
@@ -212,7 +212,7 @@ func Clone[T any](m *T) (*T, error) {
 	typ := r.typ
 	r.mu.Unlock()
 	rec := r.mgr.register(b, uint32(n), StateAllocated, typ)
-	b.raw, b.arena = nil, nil
+	b.raw, b.arena, b.free = nil, nil, nil
 	return (*T)(unsafe.Pointer(&rec.arena[0])), nil
 }
 

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// BackingStore is a pluggable arena source for a Manager. The default
+// source is the process-private heap pool; a store substitutes memory
+// that outlives or escapes the process heap — mmap-backed shared-memory
+// segments (internal/shm), for the paper's multi-process setting.
+//
+// A store-backed arena carries an opaque handle that transports can
+// translate into a cross-process descriptor (segment id, slot, offset)
+// via SharedHandleOf, so publishing the message costs a descriptor send
+// instead of a payload copy.
+type BackingStore interface {
+	// Acquire returns storage of at least capacity bytes whose first
+	// byte is arenaAlign-aligned, plus an opaque handle identifying the
+	// allocation. ok=false declines the request (store full, capacity
+	// over its limit); the Manager then falls back to the heap pool.
+	Acquire(capacity int) (raw []byte, handle uint64, ok bool)
+	// Release returns storage previously acquired. It is called exactly
+	// once per successful Acquire, when the owning message destructs or
+	// its buffer is discarded unused.
+	Release(handle uint64, raw []byte)
+}
+
+// storeBox wraps a BackingStore for atomic publication on the Manager.
+type storeBox struct{ bs BackingStore }
+
+// SetBackingStore installs (or, with nil, removes) the Manager's arena
+// source. Buffers already handed out keep the release path of the store
+// they came from, so swapping stores mid-flight is safe.
+func (m *Manager) SetBackingStore(bs BackingStore) {
+	if bs == nil {
+		m.store.Store(nil)
+		return
+	}
+	m.store.Store(&storeBox{bs: bs})
+}
+
+// BackingStoreOf returns the Manager's current arena source, or nil when
+// arenas come from the heap pool.
+func (m *Manager) BackingStoreOf() BackingStore {
+	if b := m.store.Load(); b != nil {
+		return b.bs
+	}
+	return nil
+}
+
+// NewExternalBuffer wraps caller-owned memory (e.g. a mapped shared-
+// memory slot on the subscriber side) as an arena buffer ready for
+// Adopt. mem must be arenaAlign-aligned; free, if non-nil, runs exactly
+// once when the adopted message destructs or the buffer is discarded
+// unused. The memory must stay valid until then.
+func (m *Manager) NewExternalBuffer(mem []byte, free func()) (*Buffer, error) {
+	if len(mem) == 0 {
+		return nil, fmt.Errorf("%w: empty external buffer", ErrBufferMisuse)
+	}
+	if uintptr(unsafe.Pointer(&mem[0]))&(arenaAlign-1) != 0 {
+		return nil, fmt.Errorf("%w: external buffer is not %d-byte aligned", ErrBufferMisuse, arenaAlign)
+	}
+	b := &Buffer{raw: mem, arena: mem, mgr: m}
+	if free != nil {
+		b.free = func([]byte) { free() }
+	} else {
+		b.free = func([]byte) {}
+	}
+	return b, nil
+}
+
+// SharedHandleOf returns the backing-store handle of a message whose
+// arena was acquired from bs, plus its whole-message size. ok=false
+// means the arena came from the heap pool, external memory, or a
+// DIFFERENT store — a handle is only meaningful to the store that
+// issued it, so the identity check keeps a transport from resolving one
+// store's handle against another's segments. The transport must then
+// fall back to sending the bytes.
+func SharedHandleOf[T any](m *T, bs BackingStore) (handle uint64, used int, ok bool) {
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.hasShared || r.bs != bs || r.state == StateDestructed {
+		return 0, 0, false
+	}
+	return r.shared, int(r.used), true
+}

@@ -55,6 +55,12 @@ type record struct {
 	refs  atomic.Int32
 	mgr   *Manager
 	typ   reflect.Type // skeleton type, nil for untyped adoption
+	// free, when non-nil, returns the raw storage to its BackingStore or
+	// external owner on destruction instead of the heap pool.
+	free      func([]byte)
+	shared    uint64 // BackingStore handle (valid when hasShared)
+	hasShared bool
+	bs        BackingStore // store that issued the handle
 }
 
 // genCounter issues record generations. A pooled buffer reissued at the
@@ -155,6 +161,7 @@ type Stats struct {
 // Default(); tests may create private managers for isolated stats/pools.
 type Manager struct {
 	pool           bufPool
+	store          atomic.Pointer[storeBox]
 	allocs         atomic.Uint64
 	frees          atomic.Uint64
 	grows          atomic.Uint64
@@ -233,15 +240,19 @@ func (m *Manager) Stats() Stats {
 func (m *Manager) register(b *Buffer, used uint32, st State, typ reflect.Type) *record {
 	base := uintptr(unsafe.Pointer(&b.arena[0]))
 	r := &record{
-		base:  base,
-		end:   base + uintptr(len(b.arena)),
-		gen:   genCounter.Add(1),
-		arena: b.arena,
-		raw:   b.raw,
-		used:  used,
-		state: st,
-		mgr:   m,
-		typ:   typ,
+		base:      base,
+		end:       base + uintptr(len(b.arena)),
+		gen:       genCounter.Add(1),
+		arena:     b.arena,
+		raw:       b.raw,
+		used:      used,
+		state:     st,
+		mgr:       m,
+		typ:       typ,
+		free:      b.free,
+		shared:    b.shared,
+		hasShared: b.hasShared,
+		bs:        b.bs,
 	}
 	r.refs.Store(1)
 	gidx.insert(r)
@@ -298,15 +309,26 @@ func (r *record) release() (bool, error) {
 		c.Add(-1)
 	}
 	traceEmit(TraceDestruct, r, StateDestructed, 0)
-	if lifecycleDebug.Load() {
+	switch {
+	case r.free != nil:
+		// Store-backed or external storage returns to its owner. In
+		// lifecycle-debug mode the incarnation is still tombstoned (for
+		// stale-pointer diagnostics) but without pinning the storage: the
+		// owner — not this process's allocator — decides when the range
+		// recirculates, so the quarantine window here is advisory.
+		if lifecycleDebug.Load() {
+			quarantine(r, nil)
+		}
+		r.free(r.raw)
+	case lifecycleDebug.Load():
 		// Quarantine instead of pooling so a dangling pointer into this
 		// arena is caught as ErrStaleGeneration, not silently resolved to
 		// whichever message is reissued at the same address.
 		quarantine(r, r.raw)
-	} else {
+	default:
 		m.pool.put(r.raw)
 	}
-	r.arena, r.raw = nil, nil
+	r.arena, r.raw, r.free = nil, nil, nil
 	return true, nil
 }
 

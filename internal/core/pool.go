@@ -46,7 +46,10 @@ func classFor(n int) int {
 func (p *bufPool) get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
-		return make([]byte, n)
+		// Over-max requests are allocated directly, rounded up to a
+		// multiple of arenaAlign so the alignment slice in GetBuffer can
+		// never come up short of the requested capacity.
+		return make([]byte, (n+arenaAlign-1)&^(arenaAlign-1))
 	}
 	size := 1 << (c + minClassShift)
 	if v := p.classes[c].Get(); v != nil {
@@ -84,13 +87,36 @@ type Buffer struct {
 	raw   []byte
 	arena []byte
 	mgr   *Manager
+	// free, when non-nil, replaces the heap pool on the release path:
+	// store-backed and external arenas return to their owner, never to
+	// the pool. shared/hasShared carry the BackingStore handle through to
+	// the record for SharedHandleOf.
+	free      func([]byte)
+	shared    uint64
+	hasShared bool
+	bs        BackingStore // source store, for SharedHandleOf identity checks
 }
 
 // GetBuffer returns an arena buffer with at least capacity usable bytes,
-// aligned to arenaAlign.
+// aligned to arenaAlign. When the Manager has a BackingStore, the store
+// is tried first; a declined request falls back to the heap pool.
 func (m *Manager) GetBuffer(capacity int) *Buffer {
 	if capacity < 16 {
 		capacity = 16
+	}
+	if box := m.store.Load(); box != nil {
+		if raw, h, ok := box.bs.Acquire(capacity); ok {
+			bs := box.bs
+			return &Buffer{
+				raw:       raw,
+				arena:     raw,
+				mgr:       m,
+				free:      func(b []byte) { bs.Release(h, b) },
+				shared:    h,
+				hasShared: true,
+				bs:        bs,
+			}
+		}
 	}
 	raw := m.pool.get(capacity + arenaAlign - 1)
 	off := int((arenaAlign - (uintptr(unsafe.Pointer(&raw[0])) & (arenaAlign - 1))) & (arenaAlign - 1))
@@ -102,11 +128,16 @@ func (m *Manager) GetBuffer(capacity int) *Buffer {
 // socket) before Adopt.
 func (b *Buffer) Bytes() []byte { return b.arena }
 
-// Discard returns an unused buffer to the pool. It must not be called
-// after Adopt.
+// Discard returns an unused buffer to its source (heap pool or backing
+// store). It must not be called after Adopt.
 func (b *Buffer) Discard() {
-	if b.raw != nil {
-		b.mgr.pool.put(b.raw)
-		b.raw, b.arena = nil, nil
+	if b.raw == nil {
+		return
 	}
+	if b.free != nil {
+		b.free(b.raw)
+	} else {
+		b.mgr.pool.put(b.raw)
+	}
+	b.raw, b.arena, b.free = nil, nil, nil
 }

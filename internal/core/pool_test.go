@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// TestClassForBoundaries pins the size-class mapping at the exact edges
+// where an off-by-one would either waste a class or hand out a short
+// buffer: the minimum, each power-of-two boundary, and one past the
+// largest pooled class.
+func TestClassForBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{-1, 0}, // degenerate requests clamp to the smallest class
+		{0, 0},
+		{1, 0},         // below minimum class → class 0 (1 KiB)
+		{1 << 10, 0},   // exactly 1 KiB → class 0
+		{1<<10 + 1, 1}, // one past 1 KiB → next class (2 KiB)
+		{1 << 11, 1},
+		{1 << 26, maxClassShift - minClassShift}, // exactly 64 MiB → largest class
+		{1<<26 + 1, -1},                          // one past the largest class → direct allocation
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPoolGetNeverShort is the property behind classFor: whatever the
+// request size — inside the classes, at their boundaries, or past the
+// largest class — get must return at least that many bytes, and
+// GetBuffer's aligned arena must still cover the requested capacity.
+func TestPoolGetNeverShort(t *testing.T) {
+	var p bufPool
+	sizes := []int{1, 2, 1023, 1 << 10, 1<<10 + 1, 4096, 1<<26 - 1, 1 << 26, 1<<26 + 1, 1<<26 + 7}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		sizes = append(sizes, 1+rng.Intn(1<<20))
+	}
+	for _, n := range sizes {
+		buf := p.get(n)
+		if len(buf) < n {
+			t.Fatalf("pool.get(%d) returned %d bytes", n, len(buf))
+		}
+		if c := classFor(n); c < 0 {
+			// Over-max direct allocations are rounded up to arenaAlign so
+			// the alignment slice in GetBuffer can never be short.
+			if len(buf)%arenaAlign != 0 {
+				t.Fatalf("pool.get(%d) over-max allocation has unaligned length %d", n, len(buf))
+			}
+		}
+		p.put(buf)
+	}
+
+	m := NewManager()
+	for _, capacity := range []int{16, 1 << 10, 1<<10 + 1, 1 << 26, 1<<26 + 1} {
+		b := m.GetBuffer(capacity)
+		if len(b.Bytes()) < capacity {
+			t.Fatalf("GetBuffer(%d) arena has only %d bytes", capacity, len(b.Bytes()))
+		}
+		if uintptr(unsafe.Pointer(&b.Bytes()[0]))&(arenaAlign-1) != 0 {
+			t.Fatalf("GetBuffer(%d) arena misaligned", capacity)
+		}
+		b.Discard()
+	}
+}

@@ -79,12 +79,29 @@ type PubStats struct {
 
 // SubStats instruments one subscriber.
 type SubStats struct {
-	Messages   Counter   // messages delivered to the callback
-	Bytes      Counter   // payload bytes delivered
-	Drops      Counter   // messages dropped by the dispatch queue
-	Reconnects Counter   // dial retries after a connection failure
-	Corrupt    Counter   // frames rejected by integrity checks
-	Latency    Histogram // receive/publish → callback-return latency
+	Messages   Counter // messages delivered to the callback
+	Bytes      Counter // payload bytes delivered
+	Drops      Counter // messages dropped by the dispatch queue
+	Reconnects Counter // dial retries after a connection failure
+	Corrupt    Counter // frames rejected by integrity checks
+	Stale      Counter // shm descriptors rejected by generation checks
+	// TransportUnavailable counts reconcile passes in which publishers
+	// exist for the topic but none is reachable over the subscription's
+	// transport mode (e.g. TransportInproc with only remote publishers) —
+	// the signal behind the "silent empty subscription" log line.
+	TransportUnavailable Counter
+	Latency              Histogram // receive/publish → callback-return latency
+}
+
+// ShmStats instruments the shared-memory transport, registry-wide: one
+// set of gauges per process serves every store and mapper wired to the
+// registry.
+type ShmStats struct {
+	SegmentsMapped  Gauge   // segments currently mmap'd (store + mapper sides)
+	BytesShared     Gauge   // bytes of segment capacity currently mapped
+	DescriptorSends Counter // messages delivered as descriptors instead of payloads
+	Fallbacks       Counter // shm-capable paths that fell back to TCP (negotiation or per-message)
+	LeasesReaped    Counter // crashed/expired subscriber leases reclaimed by publishers
 }
 
 // ServiceStats instruments one service endpoint.
@@ -103,6 +120,7 @@ type Registry struct {
 	pubs map[string]*PubStats
 	subs map[string]*SubStats
 	svcs map[string]*ServiceStats
+	shm  ShmStats
 }
 
 // NewRegistry returns an empty registry.
@@ -112,6 +130,16 @@ func NewRegistry() *Registry {
 		subs: make(map[string]*SubStats),
 		svcs: make(map[string]*ServiceStats),
 	}
+}
+
+// Shm returns the registry's shared-memory transport instruments. Safe
+// on a nil registry (returns nil; instrument methods tolerate nil
+// receivers and nil structs return zero snapshots).
+func (r *Registry) Shm() *ShmStats {
+	if r == nil {
+		return nil
+	}
+	return &r.shm
 }
 
 var defaultRegistry = NewRegistry()
@@ -179,12 +207,23 @@ type PubSnapshot struct {
 
 // SubSnapshot is the JSON form of one subscriber's instruments.
 type SubSnapshot struct {
-	Messages   uint64       `json:"messages"`
-	Bytes      uint64       `json:"bytes"`
-	Drops      uint64       `json:"drops"`
-	Reconnects uint64       `json:"reconnects"`
-	Corrupt    uint64       `json:"corrupt_frames"`
-	Latency    LatencyStats `json:"latency"`
+	Messages             uint64       `json:"messages"`
+	Bytes                uint64       `json:"bytes"`
+	Drops                uint64       `json:"drops"`
+	Reconnects           uint64       `json:"reconnects"`
+	Corrupt              uint64       `json:"corrupt_frames"`
+	Stale                uint64       `json:"stale_descriptors"`
+	TransportUnavailable uint64       `json:"transport_unavailable"`
+	Latency              LatencyStats `json:"latency"`
+}
+
+// ShmSnapshot is the JSON form of the shared-memory transport gauges.
+type ShmSnapshot struct {
+	SegmentsMapped  int64  `json:"segments_mapped"`
+	BytesShared     int64  `json:"bytes_shared"`
+	DescriptorSends uint64 `json:"descriptor_sends"`
+	Fallbacks       uint64 `json:"fallbacks"`
+	LeasesReaped    uint64 `json:"leases_reaped"`
 }
 
 // ServiceSnapshot is the JSON form of one service's instruments.
@@ -214,6 +253,7 @@ type CoreSnapshot struct {
 type Snapshot struct {
 	Time        time.Time                  `json:"time"`
 	Core        CoreSnapshot               `json:"core"`
+	Shm         ShmSnapshot                `json:"shm"`
 	Publishers  map[string]PubSnapshot     `json:"publishers"`
 	Subscribers map[string]SubSnapshot     `json:"subscribers"`
 	Services    map[string]ServiceSnapshot `json:"services"`
@@ -244,6 +284,13 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
+	snap.Shm = ShmSnapshot{
+		SegmentsMapped:  r.shm.SegmentsMapped.Load(),
+		BytesShared:     r.shm.BytesShared.Load(),
+		DescriptorSends: r.shm.DescriptorSends.Load(),
+		Fallbacks:       r.shm.Fallbacks.Load(),
+		LeasesReaped:    r.shm.LeasesReaped.Load(),
+	}
 	r.mu.Lock()
 	pubs := make(map[string]*PubStats, len(r.pubs))
 	for k, v := range r.pubs {
@@ -269,12 +316,14 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range subs {
 		snap.Subscribers[k] = SubSnapshot{
-			Messages:   v.Messages.Load(),
-			Bytes:      v.Bytes.Load(),
-			Drops:      v.Drops.Load(),
-			Reconnects: v.Reconnects.Load(),
-			Corrupt:    v.Corrupt.Load(),
-			Latency:    v.Latency.Stats(),
+			Messages:             v.Messages.Load(),
+			Bytes:                v.Bytes.Load(),
+			Drops:                v.Drops.Load(),
+			Reconnects:           v.Reconnects.Load(),
+			Corrupt:              v.Corrupt.Load(),
+			Stale:                v.Stale.Load(),
+			TransportUnavailable: v.TransportUnavailable.Load(),
+			Latency:              v.Latency.Stats(),
 		}
 	}
 	for k, v := range svcs {

@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
-	"strings"
 	"time"
 
 	"rossf/internal/wire"
@@ -50,22 +48,10 @@ func nowPlusHandshake() time.Time { return time.Now().Add(handshakeTimeout) }
 func zeroTime() time.Time { return time.Time{} }
 
 // writeHeader sends a TCPROS-style connection header: u32 total size,
-// then per field u32 length + "key=value".
+// then per field u32 length + "key=value". Encoding lives in
+// internal/wire so the codec is shared and fuzzable.
 func writeHeader(conn net.Conn, fields map[string]string) error {
-	keys := make([]string, 0, len(fields))
-	for k := range fields {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w := wire.NewWriter(128)
-	w.Skip(4)
-	for _, k := range keys {
-		kv := k + "=" + fields[k]
-		w.U32(uint32(len(kv)))
-		w.Raw([]byte(kv))
-	}
-	w.PutU32(0, uint32(w.Len()-4))
-	_, err := conn.Write(w.Bytes())
+	_, err := conn.Write(wire.AppendHeader(nil, fields))
 	return err
 }
 
@@ -83,19 +69,9 @@ func readHeader(conn net.Conn) (map[string]string, error) {
 	if _, err := io.ReadFull(conn, body); err != nil {
 		return nil, err
 	}
-	r := wire.NewReader(body)
-	fields := make(map[string]string)
-	for r.Remaining() > 0 {
-		n := int(r.U32())
-		kv := r.Raw(n)
-		if err := r.Err(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
-		}
-		k, v, ok := strings.Cut(string(kv), "=")
-		if !ok {
-			return nil, fmt.Errorf("%w: malformed field %q", ErrHandshake, kv)
-		}
-		fields[k] = v
+	fields, err := wire.ParseHeader(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	return fields, nil
 }

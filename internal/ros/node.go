@@ -3,11 +3,13 @@ package ros
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"sync"
 
 	"rossf/internal/obs"
+	"rossf/internal/shm"
 )
 
 // DialFunc opens a transport connection to a publisher endpoint. The
@@ -21,9 +23,12 @@ type nodeConfig struct {
 	listenAddr  string
 	noListener  bool
 	dial        DialFunc
+	customDial  bool
 	metrics     *obs.Registry
 	metricsSet  bool
 	metricsAddr string
+	shmStore    *shm.Store
+	enableShm   bool
 }
 
 // Option configures a Node.
@@ -48,9 +53,35 @@ func WithoutListener() Option {
 	return func(c *nodeConfig) { c.noListener = true }
 }
 
-// WithDialer replaces the subscriber-side transport dialer.
+// WithDialer replaces the subscriber-side transport dialer. A node with
+// a custom dialer never offers the shared-memory transport: the dialer
+// may tunnel through simulated or remote links, so a dialed address
+// says nothing about whether publisher and subscriber share a machine.
 func WithDialer(d DialFunc) Option {
-	return func(c *nodeConfig) { c.dial = d }
+	return func(c *nodeConfig) {
+		c.dial = d
+		c.customDial = true
+	}
+}
+
+// WithShm enables the shared-memory transport for this node's SFM
+// publishers using the process-wide store (shm.Enable): message arenas
+// land in mmap-backed segments and same-machine subscribers that offer
+// shm receive descriptors instead of payload bytes. Best-effort — if
+// the platform cannot back segments the node logs once and serves plain
+// TCP, keeping the API transparent.
+func WithShm() Option {
+	return func(c *nodeConfig) { c.enableShm = true }
+}
+
+// WithShmStore is WithShm with an explicit store (for tests and
+// processes managing several stores). The caller owns the store's
+// lifetime: it must outlive the node and be closed only after every
+// message allocated from it has been released. The store only turns
+// into zero-copy publishes when it is also installed as the BackingStore
+// of the core.Manager the publisher allocates from.
+func WithShmStore(s *shm.Store) Option {
+	return func(c *nodeConfig) { c.shmStore = s }
 }
 
 // WithMetrics selects the observability registry recording this node's
@@ -78,10 +109,12 @@ func WithMetricsAddr(addr string) Option {
 // NodeHandle plus its process-wide connection machinery. Create with
 // NewNode, release with Close.
 type Node struct {
-	name    string
-	master  Master
-	dial    DialFunc
-	metrics *obs.Registry // nil = instrumentation disabled
+	name       string
+	master     Master
+	dial       DialFunc
+	customDial bool
+	metrics    *obs.Registry // nil = instrumentation disabled
+	shmStore   *shm.Store    // nil = shared-memory transport disabled
 
 	listener net.Listener
 	addr     string
@@ -120,14 +153,24 @@ func NewNode(name string, opts ...Option) (*Node, error) {
 	if !cfg.metricsSet {
 		cfg.metrics = obs.Default()
 	}
+	if cfg.enableShm && cfg.shmStore == nil {
+		s, err := shm.Enable()
+		if err != nil {
+			log.Printf("ros: node %s: shared-memory transport unavailable (%v); falling back to TCP", name, err)
+		} else {
+			cfg.shmStore = s
+		}
+	}
 	n := &Node{
-		name:     name,
-		master:   cfg.master,
-		dial:     cfg.dial,
-		metrics:  cfg.metrics,
-		pubs:     make(map[string]*pubEndpoint),
-		subs:     make(map[*Subscriber]struct{}),
-		services: make(map[string]*serviceEndpoint),
+		name:       name,
+		master:     cfg.master,
+		dial:       cfg.dial,
+		customDial: cfg.customDial,
+		metrics:    cfg.metrics,
+		shmStore:   cfg.shmStore,
+		pubs:       make(map[string]*pubEndpoint),
+		subs:       make(map[*Subscriber]struct{}),
+		services:   make(map[string]*serviceEndpoint),
 	}
 	if !cfg.noListener {
 		l, err := net.Listen("tcp", cfg.listenAddr)

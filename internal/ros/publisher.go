@@ -198,6 +198,26 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 	}
 
 	for _, c := range conns {
+		if c.shm != nil {
+			// Zero-copy path: the subscriber gets a 24-byte descriptor into
+			// the shared slot the message already lives in.
+			if it, ok := shmItemFor(c, m); ok {
+				c.enqueue(it)
+				continue
+			}
+			// Arena not in this connection's store (heap-backed, oversized,
+			// or from another store): the bytes travel inline, still framed
+			// for the tagged connection.
+			if st := ep.node.shmStats(); st != nil {
+				st.Fallbacks.Inc()
+			}
+			ref, err := core.NewRef(m)
+			if err != nil {
+				return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
+			}
+			c.enqueue(frameItem{ref: &ref, tag: tagInline})
+			continue
+		}
 		ref, err := core.NewRef(m)
 		if err != nil {
 			return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
@@ -235,11 +255,20 @@ type inprocTarget interface {
 	deliverFrame(frame []byte)
 }
 
-// frameItem is one outbound queue entry: either a plain serialized frame
-// or a reference-counted view of an SFM arena.
+// frameItem is one outbound queue entry: a plain serialized frame, a
+// reference-counted view of an SFM arena, or (on shm connections) an
+// encoded shared-memory descriptor. tag selects the transport framing
+// on tagged connections; zero means untagged/inline. undo, when set,
+// returns the shm peer reference minted for a descriptor that never
+// reached the wire — the write loop clears it before the first write
+// attempt, because after any byte may have reached the subscriber the
+// reference belongs to the peer (or, if the peer died, to its lease
+// reaper), never to an undo.
 type frameItem struct {
 	data []byte
 	ref  *core.Ref
+	tag  byte
+	undo func()
 }
 
 func (it frameItem) bytes() []byte {
@@ -249,7 +278,13 @@ func (it frameItem) bytes() []byte {
 	return it.data
 }
 
+// release disposes of an item that is leaving the queue unsent (or, for
+// ref-only items, after its send): the arena reference drops and any
+// unsent descriptor's peer reference is returned.
 func (it frameItem) release() {
+	if it.undo != nil {
+		it.undo()
+	}
 	if it.ref != nil {
 		it.ref.Release()
 	}
@@ -438,14 +473,21 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	if endian == "" {
 		endian = nativeEndianName(core.NativeLittleEndian())
 	}
-	err := writeHeader(conn, map[string]string{
+	reply := map[string]string{
 		hdrType:     ep.typeName,
 		hdrMD5:      ep.md5,
 		hdrCallerID: ep.node.name,
 		hdrFormat:   wantFormat,
 		hdrEndian:   endian,
-	})
-	if err != nil {
+	}
+	shmFields, sender := ep.negotiateShm(req)
+	for k, v := range shmFields {
+		reply[k] = v
+	}
+	if err := writeHeader(conn, reply); err != nil {
+		if sender != nil {
+			sender.store.RetirePeer(sender.peer)
+		}
 		return err
 	}
 	conn.SetDeadline(time.Time{})
@@ -454,6 +496,7 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 		conn:         conn,
 		writeTimeout: ep.writeTimeout,
 		stats:        ep.stats,
+		shm:          sender,
 		ch:           make(chan frameItem, ep.queueSize),
 		stop:         make(chan struct{}),
 	}
@@ -461,6 +504,9 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	if ep.closed {
 		ep.mu.Unlock()
 		conn.Close()
+		if sender != nil {
+			sender.store.RetirePeer(sender.peer)
+		}
 		return errors.New("ros: publisher closed")
 	}
 	ep.conns[pc] = struct{}{}
@@ -544,6 +590,7 @@ type pubConn struct {
 	conn         net.Conn
 	writeTimeout time.Duration
 	stats        *obs.PubStats // nil when metrics are disabled
+	shm          *shmSender    // non-nil on connections that negotiated shm
 	ch           chan frameItem
 
 	// latchSeen is the pubSeq of the last publish whose fan-out included
@@ -603,7 +650,19 @@ func (pc *pubConn) writeLoop() {
 			if pc.writeTimeout > 0 {
 				pc.conn.SetWriteDeadline(time.Now().Add(pc.writeTimeout))
 			}
-			err := writeFrame(pc.conn, it.bytes())
+			// From here the descriptor may reach the peer, so the peer (or
+			// its lease reaper) owns the shm reference — never the undo.
+			it.undo = nil
+			var err error
+			if pc.shm != nil {
+				tag := it.tag
+				if tag == 0 {
+					tag = tagInline // latched/legacy items carry message bytes
+				}
+				err = writeTaggedFrame(pc.conn, tag, it.bytes())
+			} else {
+				err = writeFrame(pc.conn, it.bytes())
+			}
 			it.release()
 			if err != nil {
 				return
@@ -617,13 +676,20 @@ func (pc *pubConn) teardown() {
 		close(pc.stop)
 		pc.conn.Close()
 		// Drain and release anything still queued.
+	drain:
 		for {
 			select {
 			case it := <-pc.ch:
 				it.release()
 			default:
-				return
+				break drain
 			}
+		}
+		// The subscriber is gone: mark its lease draining. References it
+		// still holds are released by its own process as callbacks finish,
+		// or reclaimed by the reaper once its heartbeat goes stale.
+		if pc.shm != nil {
+			pc.shm.store.RetirePeer(pc.shm.peer)
 		}
 	})
 }

@@ -1,0 +1,267 @@
+package ros
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/obs"
+	"rossf/internal/shm"
+	"rossf/internal/wire"
+)
+
+// Shared-memory transport negotiation and framing.
+//
+// The subscriber's connection header may carry a transport offer; the
+// publisher answers with its selection. Both sides are pure header
+// extension — an old publisher ignores the offer, an old subscriber
+// never sees a selection, and either way the connection converges on
+// plain TCP framing (fuzzed in internal/wire).
+//
+//	subscriber → publisher: transports=shm,tcp  pid=<pid>  bootid=<id>
+//	publisher → subscriber: transport=shm  shmprefix=<path>
+//	                        shmpeer=<id>   shmlease=<ms>
+//
+// On a connection that negotiated shm, every frame payload is prefixed
+// with a one-byte tag: tagDescriptor frames carry a 24-byte shm
+// descriptor instead of the message bytes (the zero-copy path), and
+// tagInline frames carry the message bytes themselves — the per-message
+// fallback for messages whose arena is not in a shared slot (heap-
+// backed, oversized). The frame CRC covers tag plus body.
+const (
+	hdrTransports = "transports" // subscriber → publisher offer
+	hdrPID        = "pid"
+	hdrBootID     = "bootid"
+	hdrTransport  = "transport" // publisher → subscriber selection
+	hdrShmPrefix  = "shmprefix"
+	hdrShmPeer    = "shmpeer"
+	hdrShmLeaseMS = "shmlease"
+)
+
+const (
+	tagInline     byte = 0x01
+	tagDescriptor byte = 0x02
+)
+
+// shmRuntime marks a subscriber runtime able to pump a shm-negotiated
+// connection (only the SFM runtime is).
+type shmRuntime interface {
+	runConnShm(conn net.Conn, mp *shm.Mapper)
+}
+
+// shmSender is a pubConn's grant to publish into shared memory: the
+// node's store plus the peer lease the subscriber holds.
+type shmSender struct {
+	store *shm.Store
+	peer  int
+}
+
+// shmStats returns the node's shared-memory instruments, or nil when
+// metrics are disabled. Callers must nil-check: the struct pointer
+// itself (unlike the Counter/Gauge methods) is not nil-safe.
+func (n *Node) shmStats() *obs.ShmStats { return n.metrics.Shm() }
+
+// writeTaggedFrame sends one checked frame whose payload is tag||body,
+// without materializing the concatenation: the tag rides in the same
+// write as the frame header and the body is written from its backing
+// storage (the arena, for inline SFM messages).
+func writeTaggedFrame(conn net.Conn, tag byte, body []byte) error {
+	var hdr [wire.FrameHeaderSize + 1]byte
+	hdr[wire.FrameHeaderSize] = tag
+	wire.PutFrameHeader(hdr[:wire.FrameHeaderSize], len(body)+1, wire.Checksum2(hdr[wire.FrameHeaderSize:], body))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}
+
+// negotiateShm runs the publisher side of transport selection: shm is
+// chosen only for an SFM topic, on a node with a store, for a
+// subscriber that offered shm from the same boot (same machine), and
+// only while a peer lease slot is free. Every other combination — and
+// any failure — selects TCP. It returns the header fields to merge into
+// the handshake reply and, for shm, the sender granting this
+// connection's pubConn descriptor access.
+func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *shmSender) {
+	store := ep.node.shmStore
+	shmOK := ep.sfm && store != nil && req[hdrBootID] == shm.BootID()
+	if wire.NegotiateTransport(req[hdrTransports], shmOK) != wire.TransportNameShm {
+		return map[string]string{hdrTransport: wire.TransportNameTCP}, nil
+	}
+	pid, _ := strconv.ParseUint(req[hdrPID], 10, 32)
+	peer, err := store.AcquirePeer(uint32(pid))
+	if err != nil {
+		// Peer table full: this subscriber runs over TCP.
+		if st := ep.node.shmStats(); st != nil {
+			st.Fallbacks.Inc()
+		}
+		return map[string]string{hdrTransport: wire.TransportNameTCP}, nil
+	}
+	return map[string]string{
+		hdrTransport:  wire.TransportNameShm,
+		hdrShmPrefix:  store.Prefix(),
+		hdrShmPeer:    strconv.Itoa(peer),
+		hdrShmLeaseMS: strconv.FormatInt(store.LeaseTimeout().Milliseconds(), 10),
+	}, &shmSender{store: store, peer: peer}
+}
+
+// shmItemFor builds a descriptor queue item for message m on c's shm
+// grant: it verifies the arena lives in this connection's store, mints
+// the peer's slot reference, and encodes the descriptor. ok=false means
+// the message cannot travel as a descriptor and must go inline.
+func shmItemFor[T any](c *pubConn, m *T) (frameItem, bool) {
+	h, used, ok := core.SharedHandleOf(m, c.shm.store)
+	if !ok {
+		return frameItem{}, false
+	}
+	d, err := c.shm.store.Share(h, c.shm.peer, used)
+	if err != nil {
+		return frameItem{}, false
+	}
+	store, peer := c.shm.store, c.shm.peer
+	return frameItem{
+		data: d.AppendTo(nil),
+		tag:  tagDescriptor,
+		undo: func() { store.Unshare(h, peer) },
+	}, true
+}
+
+// newShmReceiver stands up the subscriber side from the publisher's
+// reply: a mapper over the publisher's segments with the heartbeat that
+// keeps this peer's lease alive. Any failure here is a negotiation
+// failure — the caller falls back to a TCP redial.
+func newShmReceiver(reply map[string]string, stats *obs.ShmStats) (*shm.Mapper, error) {
+	peer, err := strconv.Atoi(reply[hdrShmPeer])
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad shm peer %q", ErrHandshake, reply[hdrShmPeer])
+	}
+	prefix := reply[hdrShmPrefix]
+	if prefix == "" {
+		return nil, fmt.Errorf("%w: missing shm prefix", ErrHandshake)
+	}
+	leaseMS, err := strconv.ParseInt(reply[hdrShmLeaseMS], 10, 64)
+	if err != nil || leaseMS <= 0 {
+		leaseMS = shm.DefaultLeaseTimeout.Milliseconds()
+	}
+	m, err := shm.NewMapper(prefix, peer, stats)
+	if err != nil {
+		return nil, err
+	}
+	// Heartbeat at a fifth of the lease: several beats fit inside one
+	// timeout, so a single missed tick never loses the lease.
+	interval := time.Duration(leaseMS) * time.Millisecond / 5
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	if err := m.StartHeartbeat(interval); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// runConnShm is the shm frame pump: tagged frames, descriptors resolved
+// through the mapper, inline fallbacks adopted exactly like the TCP
+// path. Endianness conversion is skipped by construction — negotiation
+// only picks shm for same-boot peers.
+func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
+	fr := newFrameReader(conn)
+	defer r.sub.noteStreamDamage(fr)
+	for {
+		n, crc, err := fr.next()
+		if err != nil {
+			return
+		}
+		if n < 1 {
+			r.sub.noteCorrupt()
+			continue
+		}
+		var tag [1]byte
+		if _, err := io.ReadFull(conn, tag[:]); err != nil {
+			return
+		}
+		body := n - 1
+		switch tag[0] {
+		case tagDescriptor:
+			var db [shm.DescriptorSize]byte
+			if body != shm.DescriptorSize {
+				if !discardBody(conn, body) {
+					return
+				}
+				r.sub.noteCorrupt()
+				continue
+			}
+			if _, err := io.ReadFull(conn, db[:]); err != nil {
+				return
+			}
+			if wire.Checksum2(tag[:], db[:]) != crc {
+				r.sub.noteCorrupt()
+				continue
+			}
+			d, err := shm.ParseDescriptor(db[:])
+			if err != nil {
+				r.sub.noteCorrupt()
+				continue
+			}
+			mem, release, err := mp.Resolve(d)
+			if err != nil {
+				// A stale or unmappable descriptor drops this message only;
+				// the stream stays healthy.
+				if r.sub.stats != nil {
+					r.sub.stats.Stale.Inc()
+				}
+				continue
+			}
+			buf, err := r.mgr.NewExternalBuffer(mem, release)
+			if err != nil {
+				release()
+				continue
+			}
+			m, err := core.Adopt[T](buf, len(mem))
+			if err != nil {
+				buf.Discard()
+				continue
+			}
+			r.deliverAdopted(m, len(mem))
+		case tagInline:
+			buf := r.mgr.GetBuffer(body)
+			if _, err := io.ReadFull(conn, buf.Bytes()[:body]); err != nil {
+				buf.Discard()
+				return
+			}
+			if wire.Checksum2(tag[:], buf.Bytes()[:body]) != crc {
+				r.sub.noteCorrupt()
+				buf.Discard()
+				continue
+			}
+			m, err := core.Adopt[T](buf, body)
+			if err != nil {
+				buf.Discard()
+				continue
+			}
+			r.deliverAdopted(m, body)
+		default:
+			// Unknown tag from a future build: skip the frame, keep the
+			// stream.
+			if !discardBody(conn, body) {
+				return
+			}
+			r.sub.noteCorrupt()
+		}
+	}
+}
+
+// discardBody consumes and drops body bytes of an unusable frame so the
+// stream stays framed; false means the connection died.
+func discardBody(conn net.Conn, body int) bool {
+	_, err := io.CopyN(io.Discard, conn, int64(body))
+	return err == nil
+}
+
+// pidString is this process's pid for the handshake offer.
+func pidString() string { return strconv.Itoa(os.Getpid()) }

@@ -1,0 +1,429 @@
+package ros_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/obs"
+	"rossf/internal/ros"
+	"rossf/internal/shm"
+)
+
+// newShmStore builds a private store on a throwaway directory and makes
+// sure it outlives the nodes of the test (node cleanups registered
+// later run first).
+func newShmStore(t *testing.T, reg *obs.Registry) *shm.Store {
+	t.Helper()
+	if !shm.Available() {
+		t.Skip("shared-memory transport unavailable on this platform")
+	}
+	s, err := shm.NewStore(shm.Options{Dir: t.TempDir(), Stats: reg.Shm()})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	t.Cleanup(func() {
+		waitIdle(t, s)
+		s.Close()
+	})
+	return s
+}
+
+// waitIdle polls until every slot reference the store handed out has
+// been returned (publisher releases plus subscriber-side descriptor
+// releases, which travel back through shared memory asynchronously).
+func waitIdle(t *testing.T, s *shm.Store) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Idle() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("shm store never returned to idle (leaked slot references)")
+}
+
+func newNodeOpts(t *testing.T, name string, opts ...ros.Option) *ros.Node {
+	t.Helper()
+	n, err := ros.NewNode(name, opts...)
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", name, err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// TestShmDescriptorPath exercises the full shm pipeline between two
+// nodes: store-backed allocation, transport negotiation, descriptor
+// framing, mapper resolution, and adoption — asserting that the payload
+// actually traveled as a descriptor, not inline bytes.
+func TestShmDescriptorPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := newShmStore(t, reg)
+	mgr := core.NewManager()
+	mgr.SetBackingStore(store)
+
+	m := ros.NewLocalMaster()
+	pubNode := newNodeOpts(t, "pub", ros.WithMaster(m), ros.WithShmStore(store), ros.WithMetrics(reg))
+	subNode := newNodeOpts(t, "sub", ros.WithMaster(m), ros.WithMetrics(reg))
+
+	type result struct {
+		height uint32
+		data   []byte
+		state  core.State
+	}
+	got := make(chan result, 8)
+	_, err := ros.Subscribe(subNode, "camera/image", func(img *testImageSF) {
+		st, _ := core.StateOf(img)
+		got <- result{img.Height, append([]byte(nil), img.Data.Slice()...), st}
+	}, ros.WithTransport(ros.TransportShm))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	pub, err := ros.Advertise[testImageSF](pubNode, "camera/image")
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	eventually(t, "subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	img, err := core.NewIn[testImageSF](mgr, 1<<16)
+	if err != nil {
+		t.Fatalf("core.NewIn: %v", err)
+	}
+	img.Height = 7
+	img.Data.MustResize(4096)
+	for i := range img.Data.Slice() {
+		img.Data.Slice()[i] = byte(i)
+	}
+	if err := pub.Publish(img); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	select {
+	case r := <-got:
+		if r.height != 7 || len(r.data) != 4096 || r.data[100] != 100 {
+			t.Errorf("received height=%d len=%d", r.height, len(r.data))
+		}
+		if r.state != core.StatePublished {
+			t.Errorf("subscriber-side state = %v, want Published", r.state)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message received over shm")
+	}
+	if _, err := core.Release(img); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+
+	if store.Shares() == 0 {
+		t.Error("store recorded zero shares: message traveled inline, not as a descriptor")
+	}
+	snap := reg.Snapshot()
+	if snap.Shm.DescriptorSends == 0 {
+		t.Error("DescriptorSends == 0, want > 0")
+	}
+	if snap.Shm.Fallbacks != 0 {
+		t.Errorf("Fallbacks = %d, want 0", snap.Shm.Fallbacks)
+	}
+}
+
+// TestShmOfferFallsBackWithoutStore checks new-subscriber/old-publisher
+// convergence: a subscriber offering shm to a node with no store must
+// get plain TCP delivery with no API-visible difference.
+func TestShmOfferFallsBackWithoutStore(t *testing.T) {
+	if !shm.Available() {
+		t.Skip("shared-memory transport unavailable on this platform")
+	}
+	m := ros.NewLocalMaster()
+	pubNode := newNodeOpts(t, "pub", ros.WithMaster(m))
+	subNode := newNodeOpts(t, "sub", ros.WithMaster(m))
+
+	got := make(chan uint32, 8)
+	_, err := ros.Subscribe(subNode, "t", func(img *testImageSF) { got <- img.Height },
+		ros.WithTransport(ros.TransportShm))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	pub, err := ros.Advertise[testImageSF](pubNode, "t")
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	eventually(t, "subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	img, _ := core.NewWithCapacity[testImageSF](4096)
+	img.Height = 42
+	if err := pub.Publish(img); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case h := <-got:
+		if h != 42 {
+			t.Errorf("received height %d, want 42", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message received after TCP fallback")
+	}
+	core.Release(img)
+}
+
+// TestShmNotOfferedWithCustomDialer: a netsim-style dialer models a
+// remote link, so the subscriber must not offer shm even though both
+// ends share this process; the store sees zero shares.
+func TestShmNotOfferedWithCustomDialer(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := newShmStore(t, reg)
+	mgr := core.NewManager()
+	mgr.SetBackingStore(store)
+
+	m := ros.NewLocalMaster()
+	pubNode := newNodeOpts(t, "pub", ros.WithMaster(m), ros.WithShmStore(store), ros.WithMetrics(reg))
+	subNode := newNodeOpts(t, "sub", ros.WithMaster(m),
+		ros.WithDialer(func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }))
+
+	got := make(chan uint32, 8)
+	_, err := ros.Subscribe(subNode, "t", func(img *testImageSF) { got <- img.Height },
+		ros.WithTransport(ros.TransportAuto))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	pub, err := ros.Advertise[testImageSF](pubNode, "t")
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	eventually(t, "subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	img, err := core.NewIn[testImageSF](mgr, 4096)
+	if err != nil {
+		t.Fatalf("core.NewIn: %v", err)
+	}
+	img.Height = 9
+	if err := pub.Publish(img); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	select {
+	case h := <-got:
+		if h != 9 {
+			t.Errorf("received height %d, want 9", h)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message received")
+	}
+	core.Release(img)
+	if n := store.Shares(); n != 0 {
+		t.Errorf("store.Shares() = %d, want 0 (custom dialer must suppress the shm offer)", n)
+	}
+}
+
+// TestTransportUnavailableCounter covers the silent-empty-subscription
+// satellite: publishers exist for the topic but none is reachable over
+// the subscription's transport mode, so the subscriber increments
+// transport_unavailable (and logs once) instead of failing silently.
+func TestTransportUnavailableCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := ros.NewLocalMaster()
+	// The publisher has no TCP listener, so a TCP-only subscriber in
+	// another node can see it in the graph but never reach it.
+	pubNode := newNodeOpts(t, "pub", ros.WithMaster(m), ros.WithoutListener())
+	subNode := newNodeOpts(t, "sub", ros.WithMaster(m), ros.WithMetrics(reg))
+
+	if _, err := ros.Advertise[testImageSF](pubNode, "t"); err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	_, err := ros.Subscribe(subNode, "t", func(img *testImageSF) {},
+		ros.WithTransport(ros.TransportTCP))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	eventually(t, "transport_unavailable counter", func() bool {
+		return reg.Subscriber("t").TransportUnavailable.Load() >= 1
+	})
+}
+
+// Environment protocol for the two-process acceptance test below.
+const (
+	shmChildEnv   = "ROSSF_SHM_TEST_CHILD"
+	shmMasterEnv  = "ROSSF_SHM_TEST_MASTER"
+	shmTopicEnv   = "ROSSF_SHM_TEST_TOPIC"
+	shmWantEnv    = "ROSSF_SHM_TEST_WANT"
+	shmPayloadEnv = "ROSSF_SHM_TEST_SIZE"
+)
+
+// TestShmTwoProcessZeroCopy is the acceptance test for the transport:
+// a real child process subscribes over shm, the parent publishes 1 MiB
+// messages, and the instruments prove every delivered payload traveled
+// as a 24-byte descriptor (zero per-message payload copies) — the
+// child's mapper resolved segments, the parent recorded descriptor
+// sends and no per-message fallbacks.
+func TestShmTwoProcessZeroCopy(t *testing.T) {
+	if !shm.Available() {
+		t.Skip("shared-memory transport unavailable on this platform")
+	}
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	const (
+		topic   = "shm/acceptance"
+		want    = 8
+		payload = 1 << 20
+	)
+
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewMasterServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	reg := obs.NewRegistry()
+	store := newShmStore(t, reg)
+	mgr := core.NewManager()
+	mgr.SetBackingStore(store)
+
+	rm, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatalf("DialMaster: %v", err)
+	}
+	t.Cleanup(func() { rm.Close() })
+	node := newNodeOpts(t, "shmparent", ros.WithMaster(rm), ros.WithShmStore(store), ros.WithMetrics(reg))
+	pub, err := ros.Advertise[testImageSF](node, topic)
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestShmChildHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		shmChildEnv+"=1",
+		shmMasterEnv+"="+srv.Addr(),
+		shmTopicEnv+"="+topic,
+		shmWantEnv+"="+strconv.Itoa(want),
+		shmPayloadEnv+"="+strconv.Itoa(payload),
+	)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	var waitErr error
+	exited := make(chan struct{})
+	go func() { waitErr = cmd.Wait(); close(exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	})
+
+	eventually(t, "child subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	// Publish until the child confirms receipt of `want` messages; the
+	// generous cap only bounds a broken run.
+	done := false
+	for i := 0; i < 500 && !done; i++ {
+		img, err := core.NewIn[testImageSF](mgr, payload+8192)
+		if err != nil {
+			t.Fatalf("core.NewIn: %v", err)
+		}
+		img.Height = uint32(i)
+		img.Data.MustResize(payload)
+		d := img.Data.Slice()
+		d[0], d[payload/2], d[payload-1] = byte(i), byte(i), byte(i)
+		if err := pub.Publish(img); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		if _, err := core.Release(img); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		select {
+		case <-exited:
+			done = true
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !done {
+		select {
+		case <-exited:
+		case <-time.After(25 * time.Second):
+			t.Fatalf("child never exited; output so far:\n%s", out.String())
+		}
+	}
+	if waitErr != nil {
+		t.Fatalf("child failed: %v\n%s", waitErr, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("CHILD_OK")) {
+		t.Fatalf("child did not confirm zero-copy receipt:\n%s", out.String())
+	}
+
+	snap := reg.Snapshot()
+	if snap.Shm.DescriptorSends < want {
+		t.Errorf("DescriptorSends = %d, want >= %d", snap.Shm.DescriptorSends, want)
+	}
+	if snap.Shm.Fallbacks != 0 {
+		t.Errorf("Fallbacks = %d, want 0 (every message must travel as a descriptor)", snap.Shm.Fallbacks)
+	}
+}
+
+// TestShmChildHelper is the subscriber half of TestShmTwoProcessZeroCopy,
+// run in a child process. It subscribes over shm, verifies each 1 MiB
+// payload in place, and prints CHILD_OK once it has received enough —
+// including proof (mapped segments) that delivery used descriptors.
+func TestShmChildHelper(t *testing.T) {
+	if os.Getenv(shmChildEnv) != "1" {
+		t.Skip("helper for TestShmTwoProcessZeroCopy")
+	}
+	want, _ := strconv.Atoi(os.Getenv(shmWantEnv))
+	payload, _ := strconv.Atoi(os.Getenv(shmPayloadEnv))
+	topic := os.Getenv(shmTopicEnv)
+
+	reg := obs.NewRegistry()
+	rm, err := ros.DialMaster(os.Getenv(shmMasterEnv))
+	if err != nil {
+		t.Fatalf("DialMaster: %v", err)
+	}
+	defer rm.Close()
+	node, err := ros.NewNode("shmchild", ros.WithMaster(rm), ros.WithMetrics(reg))
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer node.Close()
+
+	type report struct {
+		seq uint32
+		ok  bool
+	}
+	got := make(chan report, 64)
+	_, err = ros.Subscribe(node, topic, func(img *testImageSF) {
+		d := img.Data.Slice()
+		b := byte(img.Height)
+		ok := len(d) == payload && d[0] == b && d[payload/2] == b && d[payload-1] == b
+		got <- report{img.Height, ok}
+	}, ros.WithTransport(ros.TransportShm))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	deadline := time.After(20 * time.Second)
+	received := 0
+	for received < want {
+		select {
+		case r := <-got:
+			if !r.ok {
+				t.Fatalf("message %d failed in-place verification", r.seq)
+			}
+			received++
+		case <-deadline:
+			t.Fatalf("received only %d/%d messages before timeout", received, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Shm.SegmentsMapped == 0 {
+		t.Fatalf("no segments mapped: delivery did not use shared memory")
+	}
+	fmt.Printf("CHILD_OK n=%d mapped=%d\n", received, snap.Shm.SegmentsMapped)
+}

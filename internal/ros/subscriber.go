@@ -3,6 +3,7 @@ package ros
 import (
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"math/rand"
 	"net"
@@ -12,6 +13,7 @@ import (
 
 	"rossf/internal/core"
 	"rossf/internal/obs"
+	"rossf/internal/shm"
 	"rossf/internal/wire"
 )
 
@@ -28,6 +30,17 @@ const (
 	TransportTCP
 	// TransportInproc only attaches to same-process publishers.
 	TransportInproc
+	// TransportShm dials publishers like TransportTCP but offers the
+	// shared-memory transport in the handshake: same-machine SFM topics
+	// then exchange 24-byte descriptors into mmap'd segments instead of
+	// payload bytes. Publishers that cannot serve shm — remote host,
+	// different boot, no store, old build — transparently fall back to
+	// TCP framing on the same connection address. TransportAuto also
+	// offers shm for the links it dials; TransportShm additionally skips
+	// the intra-process attachment path, forcing the cross-process
+	// machinery even inside one process (useful for tests and
+	// benchmarks).
+	TransportShm
 )
 
 // ConnState describes the health of one publisher link, as reported
@@ -186,6 +199,7 @@ type Subscriber struct {
 	rt          subRuntime
 	queue       *dispatchQueue // nil = synchronous callbacks
 	retry       RetryPolicy
+	transport   TransportMode
 	connState   func(addr string, state ConnState)
 	stats       *obs.SubStats // nil when the node's metrics are disabled
 
@@ -196,6 +210,11 @@ type Subscriber struct {
 	conns  map[string]*subConn // keyed by publisher address
 	inproc map[*pubEndpoint]struct{}
 	closed bool
+	// loggedUnavailable de-duplicates the "publishers exist but none is
+	// reachable over this transport" warning (satellite of the shm work:
+	// a TransportInproc/TransportShm subscription facing only
+	// unreachable publishers used to stay silently empty).
+	loggedUnavailable bool
 
 	wg sync.WaitGroup
 }
@@ -366,6 +385,7 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 		node:      n,
 		topic:     topic,
 		retry:     cfg.retry.withDefaults(),
+		transport: cfg.transport,
 		connState: cfg.connState,
 		stats:     n.metrics.Subscriber(topic),
 		conns:     make(map[string]*subConn),
@@ -425,13 +445,28 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 	wantTCP := make(map[string]bool)
 	wantInproc := make(map[*pubEndpoint]bool)
 	for _, p := range pubs {
-		useInproc := p.direct != nil && mode != TransportTCP
+		useInproc := p.direct != nil && mode != TransportTCP && mode != TransportShm
 		if useInproc {
 			wantInproc[p.direct] = true
 			continue
 		}
 		if p.Addr != "" && mode != TransportInproc {
 			wantTCP[p.Addr] = true
+		}
+	}
+
+	// Publishers exist, but none is reachable over this subscription's
+	// transport mode (e.g. TransportInproc with only remote publishers,
+	// or TransportShm/TCP facing listener-less in-process publishers):
+	// without this warning the subscription sits silently empty forever.
+	if len(pubs) > 0 && len(wantTCP) == 0 && len(wantInproc) == 0 {
+		if s.stats != nil {
+			s.stats.TransportUnavailable.Inc()
+		}
+		if !s.loggedUnavailable {
+			s.loggedUnavailable = true
+			log.Printf("ros: subscription %q: %d publisher(s) registered but none reachable over transport mode %d; delivering nothing",
+				s.topic, len(pubs), mode)
 		}
 	}
 
@@ -537,19 +572,25 @@ func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent boo
 	defer conn.Close()
 	typeName, md5, _ := typeInfoOf0(s.rt)
 	format := formatROS1
-	if _, sfm := s.rt.(sfmMarker); sfm {
+	_, sfm := s.rt.(sfmMarker)
+	if sfm {
 		format = formatSFM
 	}
 	conn.SetDeadline(nowPlusHandshake())
-	err = writeHeader(conn, map[string]string{
+	fields := map[string]string{
 		hdrTopic:    s.topic,
 		hdrType:     typeName,
 		hdrMD5:      md5,
 		hdrCallerID: s.node.name,
 		hdrFormat:   format,
 		hdrEndian:   nativeEndianName(core.NativeLittleEndian()),
-	})
-	if err != nil {
+	}
+	if sfm && s.offersShm() && !sc.shmDisabled() {
+		fields[hdrTransports] = wire.TransportNameShm + "," + wire.TransportNameTCP
+		fields[hdrPID] = pidString()
+		fields[hdrBootID] = shm.BootID()
+	}
+	if err := writeHeader(conn, fields); err != nil {
 		return false, false
 	}
 	reply, err := readHeader(conn)
@@ -560,9 +601,42 @@ func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent boo
 		return false, true
 	}
 	conn.SetDeadline(zeroTime())
+	if reply[hdrTransport] == wire.TransportNameShm {
+		rt, okRT := s.rt.(shmRuntime)
+		var mp *shm.Mapper
+		if okRT {
+			mp, err = newShmReceiver(reply, s.node.shmStats())
+		}
+		if !okRT || err != nil {
+			// The publisher selected shm but this side cannot stand it up
+			// (mapping failure, malformed reply): disable shm on this link
+			// and redial — the next handshake offers TCP only.
+			sc.disableShm()
+			if st := s.node.shmStats(); st != nil {
+				st.Fallbacks.Inc()
+			}
+			return false, false
+		}
+		s.notifyState(addr, ConnConnected)
+		rt.runConnShm(conn, mp)
+		mp.Close()
+		return true, false
+	}
 	s.notifyState(addr, ConnConnected)
 	s.rt.runConn(conn, reply)
 	return true, false
+}
+
+// offersShm reports whether this subscription advertises the shared-
+// memory transport when dialing: the mode must allow it, the platform
+// must support it, and the node must use the stock dialer — a custom
+// dialer (netsim links, tunnels) means the connection's address says
+// nothing about machine locality, so shm is never offered through one.
+func (s *Subscriber) offersShm() bool {
+	if s.transport != TransportAuto && s.transport != TransportShm {
+		return false
+	}
+	return shm.Available() && !s.node.customDial
 }
 
 // Close cancels the subscription, closes connections, and joins all
@@ -610,6 +684,7 @@ type subConn struct {
 	addr   string
 	conn   net.Conn
 	closed bool
+	noShm  bool // link-local shm opt-out after a failed shm setup
 	done   chan struct{}
 }
 
@@ -631,6 +706,19 @@ func (c *subConn) isClosed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.closed
+}
+
+// disableShm stops this link from offering shm on future redials.
+func (c *subConn) disableShm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noShm = true
+}
+
+func (c *subConn) shmDisabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.noShm
 }
 
 // sleep waits for d or until the link closes; it reports false when the
@@ -793,30 +881,36 @@ func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 			buf.Discard()
 			continue
 		}
-		st := r.sub.stats
-		var t0 time.Time
-		if st != nil {
-			t0 = time.Now()
-		}
-		sz0 := n
-		r.sub.dispatch(
-			func() {
-				r.cb(m)
-				core.Release(m)
-				if st != nil {
-					st.Messages.Inc()
-					st.Bytes.Add(uint64(sz0))
-					st.Latency.Observe(time.Since(t0))
-				}
-			},
-			func() {
-				core.Release(m)
-				if st != nil {
-					st.Drops.Inc()
-				}
-			},
-		)
+		r.deliverAdopted(m, n)
 	}
+}
+
+// deliverAdopted dispatches an adopted message to the callback with the
+// release-exactly-once and instrumentation discipline shared by every
+// receive path: TCP frames, shm descriptors, and inline shm fallbacks.
+func (r *sfmRuntime[T]) deliverAdopted(m *T, sz int) {
+	st := r.sub.stats
+	var t0 time.Time
+	if st != nil {
+		t0 = time.Now()
+	}
+	r.sub.dispatch(
+		func() {
+			r.cb(m)
+			core.Release(m)
+			if st != nil {
+				st.Messages.Inc()
+				st.Bytes.Add(uint64(sz))
+				st.Latency.Observe(time.Since(t0))
+			}
+		},
+		func() {
+			core.Release(m)
+			if st != nil {
+				st.Drops.Inc()
+			}
+		},
+	)
 }
 
 func (r *sfmRuntime[T]) deliverShared(m any, release func()) {
@@ -867,27 +961,5 @@ func (r *sfmRuntime[T]) deliverFrame(frame []byte) {
 		buf.Discard()
 		return
 	}
-	st := r.sub.stats
-	var t0 time.Time
-	if st != nil {
-		t0 = time.Now()
-	}
-	sz0 := len(frame)
-	r.sub.dispatch(
-		func() {
-			r.cb(m)
-			core.Release(m)
-			if st != nil {
-				st.Messages.Inc()
-				st.Bytes.Add(uint64(sz0))
-				st.Latency.Observe(time.Since(t0))
-			}
-		},
-		func() {
-			core.Release(m)
-			if st != nil {
-				st.Drops.Inc()
-			}
-		},
-	)
+	r.deliverAdopted(m, len(frame))
 }

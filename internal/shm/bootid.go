@@ -1,0 +1,29 @@
+package shm
+
+import (
+	"os"
+	"strings"
+	"sync"
+)
+
+var bootIDOnce = sync.OnceValue(func() string {
+	if b, err := os.ReadFile("/proc/sys/kernel/random/boot_id"); err == nil {
+		if id := strings.TrimSpace(string(b)); id != "" {
+			return id
+		}
+	}
+	// No kernel boot id (non-Linux): the hostname still distinguishes
+	// machines, which is the property negotiation needs — two processes
+	// may only pick shm when a descriptor minted by one is mappable by
+	// the other.
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return "host:" + h
+	}
+	return "unknown"
+})
+
+// BootID identifies this machine's current boot. Subscriber handshakes
+// advertise it; publishers select the shm transport only when both ends
+// report the same value, which rules out cross-machine connections
+// (including ones tunnelled through port forwards that look local).
+func BootID() string { return bootIDOnce() }

@@ -1,0 +1,202 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"rossf/internal/obs"
+)
+
+// Mapper is the subscriber side of the transport for one publisher
+// connection: it lazily maps the publisher's segment files, resolves
+// descriptors to the exact bytes the publisher wrote, and keeps the
+// peer lease alive with a heartbeat. Resolutions pin their segment
+// mapping — Close defers the munmap until every resolved message has
+// been released, so a message adopted into a callback can never see
+// its memory unmapped underneath it.
+type Mapper struct {
+	mu          sync.Mutex
+	prefix      string
+	peer        int
+	stats       *obs.ShmStats
+	segs        map[uint64]*segment
+	outstanding int
+	closed      bool
+	ctl         []byte
+	stopHB      chan struct{}
+	hbDone      chan struct{}
+}
+
+// NewMapper creates a mapper for the store at prefix, holding peer
+// lease id peer (both from the connection handshake). stats may be nil.
+func NewMapper(prefix string, peer int, stats *obs.ShmStats) (*Mapper, error) {
+	if !mmapSupported {
+		return nil, ErrUnavailable
+	}
+	if peer < 0 || peer >= MaxPeers {
+		return nil, fmt.Errorf("shm: peer id %d out of range", peer)
+	}
+	if stats == nil {
+		stats = new(obs.ShmStats)
+	}
+	return &Mapper{
+		prefix: prefix,
+		peer:   peer,
+		stats:  stats,
+		segs:   make(map[uint64]*segment),
+	}, nil
+}
+
+// StartHeartbeat maps the publisher's control segment and begins
+// refreshing this peer's heartbeat every interval. Must be called once,
+// before the first Resolve deadline matters; stopped by Close.
+func (m *Mapper) StartHeartbeat(interval time.Duration) error {
+	f, err := os.OpenFile(ctlPath(m.prefix), os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if int(fi.Size()) < ctlSize() {
+		return fmt.Errorf("%w: control segment truncated", ErrBadSegment)
+	}
+	ctl, err := mapFile(f, ctlSize())
+	if err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(ctl[0:]) != ctlMagic ||
+		binary.LittleEndian.Uint32(ctl[4:]) != shmVer {
+		unmapFile(ctl)
+		return fmt.Errorf("%w: control segment bad magic/version", ErrBadSegment)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.ctl != nil {
+		unmapFile(ctl)
+		return fmt.Errorf("shm: heartbeat already started or mapper closed")
+	}
+	m.ctl = ctl
+	m.stopHB = make(chan struct{})
+	m.hbDone = make(chan struct{})
+	entry := peerAt(ctl, m.peer)
+	entry.heartbeat.Store(time.Now().UnixNano())
+	go func() {
+		defer close(m.hbDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stopHB:
+				return
+			case <-tick.C:
+				entry.heartbeat.Store(time.Now().UnixNano())
+			}
+		}
+	}()
+	return nil
+}
+
+// Resolve maps a descriptor to its payload bytes and returns a release
+// function that must be called exactly once when the subscriber is done
+// with the message (internal/ros wires it into the adopted message's
+// destructor). A generation mismatch — the slot was recycled, or this
+// peer's lease was reaped — fails with an error wrapping
+// core.ErrStaleGeneration.
+func (m *Mapper) Resolve(d Descriptor) ([]byte, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, ErrClosed
+	}
+	seg := m.segs[d.SegID]
+	if seg == nil {
+		var err error
+		seg, err = openSegment(segPath(m.prefix, d.SegID), d.SegID)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.segs[d.SegID] = seg
+		m.stats.SegmentsMapped.Add(1)
+		m.stats.BytesShared.Add(int64(seg.size()))
+	}
+	if int(d.Slot) >= seg.slotCount || int(d.Length) > seg.slotSize {
+		return nil, nil, fmt.Errorf("%w: descriptor out of bounds (slot %d, len %d)", ErrBadSegment, d.Slot, d.Length)
+	}
+	st := seg.slot(int(d.Slot))
+	bit := uint32(1) << uint(m.peer)
+	// Generation and ownership must both check out: a cleared owner bit
+	// means the publisher's reaper already took back this reference
+	// (lease expired), so the bytes may be recycled at any moment.
+	if st.gen.Load() != d.Gen || st.owner.Load()&bit == 0 {
+		return nil, nil, ErrStale
+	}
+	m.outstanding++
+	mem := seg.data(int(d.Slot))[:d.Length]
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			releaseShared(st, m.peer)
+			m.mu.Lock()
+			m.outstanding--
+			done := m.closed && m.outstanding == 0
+			m.mu.Unlock()
+			if done {
+				m.unmapAll()
+			}
+		})
+	}
+	return mem, release, nil
+}
+
+// Outstanding reports resolutions not yet released (test visibility).
+func (m *Mapper) Outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.outstanding
+}
+
+// Close stops the heartbeat and unmaps the control segment. Data
+// segments are unmapped once the last outstanding resolution is
+// released; until then their mappings (and the publisher's view of the
+// references) stay valid.
+func (m *Mapper) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	stop, done := m.stopHB, m.hbDone
+	ctl := m.ctl
+	m.ctl = nil
+	drained := m.outstanding == 0
+	m.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	unmapFile(ctl)
+	if drained {
+		m.unmapAll()
+	}
+}
+
+// unmapAll releases every data-segment mapping. Called only after
+// close with zero outstanding resolutions.
+func (m *Mapper) unmapAll() {
+	m.mu.Lock()
+	segs := m.segs
+	m.segs = make(map[uint64]*segment)
+	m.mu.Unlock()
+	for _, seg := range segs {
+		m.stats.SegmentsMapped.Add(-1)
+		m.stats.BytesShared.Add(-int64(seg.size()))
+		seg.close(false)
+	}
+}

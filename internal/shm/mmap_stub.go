@@ -1,0 +1,11 @@
+//go:build !unix
+
+package shm
+
+import "os"
+
+const mmapSupported = false
+
+func mapFile(f *os.File, size int) ([]byte, error) { return nil, ErrUnavailable }
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mapFile maps size bytes of f shared and writable. Mappings are
+// writable on both sides: subscribers update reference counts and
+// heartbeats in place, which is the whole point of the transport.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,167 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Segment file layout (all integers little-endian, header fields fixed
+// at creation, per-slot state updated atomically in place):
+//
+//	offset 0            64-byte file header
+//	  +0  u32  magic "RSHS"
+//	  +4  u32  version
+//	  +8  u64  segment id
+//	  +16 u32  slot size (power of two)
+//	  +20 u32  slot count
+//	  +24 u64  creation time, unix nanos
+//	offset 64           slot header ring: slotCount × 64-byte entries
+//	  +0  i32  refs     — atomic; publisher baseline + one per sharing peer
+//	  +4  u32  owner    — atomic bitmask of peers holding a reference
+//	  +8  u64  gen      — atomic generation, bumped when the slot is reused
+//	  +16 u32  used     — payload length of the current message
+//	offset align4K(64+slotCount*64)   slot data: slotCount × slotSize bytes
+//
+// The refs/owner pair implements idempotent cross-process release: a
+// releaser (subscriber callback return, or the publisher's lease reaper
+// acting for a dead subscriber) first atomically clears its peer bit
+// and only decrements refs if the bit was still set. Both paths can
+// race freely; exactly one decrement happens per shared reference.
+type segment struct {
+	id        uint64
+	slotSize  int
+	slotCount int
+	dataOff   int
+	mem       []byte
+	file      string
+}
+
+type slotState struct {
+	refs  atomic.Int32
+	owner atomic.Uint32
+	gen   atomic.Uint64
+	used  uint32
+	_     [slotHdr - 24]byte
+}
+
+// segmentSize returns the file size for a geometry.
+func segmentSize(slotSize, slotCount int) int {
+	return alignUp(hdrBytes+slotCount*slotHdr, pageSize) + slotCount*slotSize
+}
+
+// createSegment creates and maps a new segment file.
+func createSegment(path string, id uint64, slotSize, slotCount int, now int64) (*segment, error) {
+	size := segmentSize(slotSize, slotCount)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(size)); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	mem, err := mapFile(f, size)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(mem[0:], segMagic)
+	binary.LittleEndian.PutUint32(mem[4:], shmVer)
+	binary.LittleEndian.PutUint64(mem[8:], id)
+	binary.LittleEndian.PutUint32(mem[16:], uint32(slotSize))
+	binary.LittleEndian.PutUint32(mem[20:], uint32(slotCount))
+	binary.LittleEndian.PutUint64(mem[24:], uint64(now))
+	return &segment{
+		id:        id,
+		slotSize:  slotSize,
+		slotCount: slotCount,
+		dataOff:   alignUp(hdrBytes+slotCount*slotHdr, pageSize),
+		mem:       mem,
+		file:      path,
+	}, nil
+}
+
+// openSegment maps an existing segment file (subscriber side) and
+// validates its header against this build's layout.
+func openSegment(path string, wantID uint64) (*segment, error) {
+	// Read-write: subscribers update reference counts in place.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() < hdrBytes {
+		return nil, fmt.Errorf("%w: %s truncated", ErrBadSegment, path)
+	}
+	mem, err := mapFile(f, int(fi.Size()))
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{mem: mem, file: path}
+	if binary.LittleEndian.Uint32(mem[0:]) != segMagic ||
+		binary.LittleEndian.Uint32(mem[4:]) != shmVer {
+		unmapFile(mem)
+		return nil, fmt.Errorf("%w: %s bad magic/version", ErrBadSegment, path)
+	}
+	s.id = binary.LittleEndian.Uint64(mem[8:])
+	s.slotSize = int(binary.LittleEndian.Uint32(mem[16:]))
+	s.slotCount = int(binary.LittleEndian.Uint32(mem[20:]))
+	s.dataOff = alignUp(hdrBytes+s.slotCount*slotHdr, pageSize)
+	if s.id != wantID || s.slotSize < minSlotSize || s.slotSize > maxSlotSize ||
+		s.slotCount <= 0 || s.slotCount > maxSlots ||
+		int(fi.Size()) < segmentSize(s.slotSize, s.slotCount) {
+		unmapFile(mem)
+		return nil, fmt.Errorf("%w: %s inconsistent geometry", ErrBadSegment, path)
+	}
+	return s, nil
+}
+
+// slot returns the in-place state of slot i. The mapping is page-
+// aligned and entries are 64-byte strided, so the atomics are always
+// naturally aligned.
+func (s *segment) slot(i int) *slotState {
+	return (*slotState)(unsafe.Pointer(&s.mem[hdrBytes+i*slotHdr]))
+}
+
+// data returns slot i's full data window.
+func (s *segment) data(i int) []byte {
+	off := s.dataOff + i*s.slotSize
+	return s.mem[off : off+s.slotSize : off+s.slotSize]
+}
+
+// setUsed records the payload length for the slot's current message.
+// Written only by the publisher between allocation and share, so a
+// plain store ordered before the descriptor send is sufficient.
+func (s *segment) setUsed(i int, n int) {
+	binary.LittleEndian.PutUint32(s.mem[hdrBytes+i*slotHdr+16:], uint32(n))
+}
+
+func (s *segment) size() int { return segmentSize(s.slotSize, s.slotCount) }
+
+// close unmaps the segment and optionally unlinks its file.
+func (s *segment) close(unlink bool) {
+	unmapFile(s.mem)
+	s.mem = nil
+	if unlink {
+		os.Remove(s.file)
+	}
+}
+
+// releaseShared performs the idempotent peer release on a slot: clear
+// the peer's owner bit, and decrement refs only if this call was the
+// one that cleared it. Safe to invoke from any process, any number of
+// times, concurrently with the publisher's lease reaper.
+func releaseShared(st *slotState, peer int) {
+	bit := uint32(1) << uint(peer)
+	if old := st.owner.And(^bit); old&bit != 0 {
+		st.refs.Add(-1)
+	}
+}

@@ -1,0 +1,307 @@
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/obs"
+)
+
+func testStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if !Available() {
+		t.Skip("shared-memory transport unavailable on this platform")
+	}
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir() // exercised layout, isolated from /dev/shm
+	}
+	s, err := NewStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDescriptorRoundTrip(t *testing.T) {
+	d := Descriptor{SegID: 7, Gen: 1 << 40, Slot: 511, Length: 1 << 20}
+	got, err := ParseDescriptor(d.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Fatalf("round trip %+v != %+v", got, d)
+	}
+	if _, err := ParseDescriptor(make([]byte, DescriptorSize-1)); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+}
+
+func TestSlotSizeFor(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, minSlotSize}, {1, minSlotSize}, {minSlotSize, minSlotSize},
+		{minSlotSize + 1, minSlotSize << 1}, {maxSlotSize, maxSlotSize}, {maxSlotSize + 1, 0},
+	}
+	for _, c := range cases {
+		if got := slotSizeFor(c.in); got != c.want {
+			t.Errorf("slotSizeFor(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestAcquireReuseGeneration pins the slot life cycle: a fully released
+// slot is reused rather than growing the segment, and reuse bumps the
+// generation so descriptors minted for the old occupant go stale.
+func TestAcquireReuseGeneration(t *testing.T) {
+	s := testStore(t, Options{})
+	raw1, h1, ok := s.Acquire(100)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	if len(raw1) < 100 {
+		t.Fatalf("short slot: %d", len(raw1))
+	}
+	seg, slot, _ := s.lookup(h1)
+	gen1 := seg.slot(slot).gen.Load()
+	s.Release(h1, raw1)
+	raw2, h2, ok := s.Acquire(100)
+	if !ok {
+		t.Fatal("second Acquire declined")
+	}
+	if h2 != h1 {
+		t.Fatalf("released slot not reused: %#x then %#x", h1, h2)
+	}
+	if gen2 := seg.slot(slot).gen.Load(); gen2 == gen1 {
+		t.Fatal("slot reuse did not bump generation")
+	}
+	s.Release(h2, raw2)
+	if !s.Idle() {
+		t.Fatal("store not idle after full release")
+	}
+	if _, _, ok := s.Acquire(maxSlotSize + 1); ok {
+		t.Fatal("Acquire accepted capacity above the largest slot class")
+	}
+}
+
+// TestShareResolveRoundTrip drives the full descriptor path inside one
+// process: publisher writes into a slot, shares it with a peer, the
+// mapper resolves the descriptor to the same bytes, and releases bring
+// the slot back to fully-free.
+func TestShareResolveRoundTrip(t *testing.T) {
+	var stats obs.ShmStats
+	s := testStore(t, Options{Stats: &stats})
+	peer, err := s.AcquirePeer(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, ok := s.Acquire(4096)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	payload := bytes.Repeat([]byte("rossf"), 100)
+	copy(raw, payload)
+	d, err := s.Share(h, peer, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs, owner := s.SlotRefs(h); refs != 2 || owner != 1<<uint(peer) {
+		t.Fatalf("after share: refs=%d owner=%#x", refs, owner)
+	}
+
+	m, err := NewMapper(s.Prefix(), peer, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, release, err := m.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem, payload) {
+		t.Fatal("resolved bytes differ from published bytes")
+	}
+	release()
+	release() // must be idempotent
+	if refs, owner := s.SlotRefs(h); refs != 1 || owner != 0 {
+		t.Fatalf("after subscriber release: refs=%d owner=%#x", refs, owner)
+	}
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after all releases")
+	}
+	m.Close()
+	if stats.DescriptorSends.Load() != 1 {
+		t.Fatalf("descriptor_sends = %d, want 1", stats.DescriptorSends.Load())
+	}
+	if stats.SegmentsMapped.Load() != 1 { // store's own segment still mapped
+		t.Fatalf("segments_mapped = %d, want 1 after mapper close", stats.SegmentsMapped.Load())
+	}
+}
+
+// TestStaleDescriptorRejected is the cross-process ABA guard: once a
+// slot is recycled for a new message, a descriptor for the old occupant
+// must fail with core.ErrStaleGeneration, never alias the new bytes.
+func TestStaleDescriptorRejected(t *testing.T) {
+	s := testStore(t, Options{})
+	peer, err := s.AcquirePeer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, _ := s.Acquire(4096)
+	d, err := s.Share(h, peer, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapper(s.Prefix(), peer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Release everything and recycle the slot for a new message.
+	s.Unshare(h, peer)
+	s.Release(h, raw)
+	if _, h2, ok := s.Acquire(4096); !ok || h2 != h {
+		t.Fatalf("expected slot reuse, got ok=%v h2=%#x", ok, h2)
+	}
+	if _, _, err := m.Resolve(d); !errors.Is(err, core.ErrStaleGeneration) {
+		t.Fatalf("stale descriptor resolved: err=%v", err)
+	}
+}
+
+// TestLeaseReap kills the subscriber implicitly — no heartbeat ever
+// runs — and verifies the reaper returns its references and frees the
+// peer entry within the lease timeout.
+func TestLeaseReap(t *testing.T) {
+	var stats obs.ShmStats
+	s := testStore(t, Options{LeaseTimeout: 80 * time.Millisecond, Stats: &stats})
+	peer, err := s.AcquirePeer(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, _ := s.Acquire(4096)
+	if _, err := s.Share(h, peer, 16); err != nil {
+		t.Fatal(err)
+	}
+	s.RetirePeer(peer)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if refs, owner := s.SlotRefs(h); refs == 1 && owner == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			refs, owner := s.SlotRefs(h)
+			t.Fatalf("lease never reaped: refs=%d owner=%#x", refs, owner)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats.LeasesReaped.Load() == 0 {
+		t.Fatal("leases_reaped not incremented")
+	}
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after reap + release")
+	}
+	// The freed entry must be reusable.
+	if _, err := s.AcquirePeer(100); err != nil {
+		t.Fatalf("peer slot not recycled: %v", err)
+	}
+}
+
+// TestHeartbeatKeepsLeaseAlive is the counterpart: a live subscriber
+// heartbeating inside the lease interval is never reaped, even while
+// idle far longer than the timeout.
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	s := testStore(t, Options{LeaseTimeout: 80 * time.Millisecond})
+	peer, err := s.AcquirePeer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, _ := s.Acquire(4096)
+	if _, err := s.Share(h, peer, 16); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapper(s.Prefix(), peer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartHeartbeat(16 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond) // 5× the lease timeout
+	if refs, owner := s.SlotRefs(h); refs != 2 || owner == 0 {
+		t.Fatalf("live lease reaped: refs=%d owner=%#x", refs, owner)
+	}
+	m.Close() // heartbeat stops; reaper may now collect
+	s.Unshare(h, peer)
+	s.Release(h, raw)
+}
+
+// TestManagerIntegration plugs a Store into a core.Manager: New lands
+// the message in a shared slot, SharedHandleOf exposes the handle, and
+// a mapper-resolved external buffer adopts into an identical message —
+// the zero-copy path the ros layer is built on.
+func TestManagerIntegration(t *testing.T) {
+	type msg struct {
+		A uint32
+		B uint64
+	}
+	s := testStore(t, Options{})
+	mgr := core.NewManager()
+	mgr.SetBackingStore(s)
+
+	p, err := core.NewIn[msg](mgr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.A, p.B = 0xdeadbeef, 1<<40
+	h, used, ok := core.SharedHandleOf(p, s)
+	if !ok {
+		t.Fatal("store-backed message has no shared handle")
+	}
+	if _, _, ok := core.SharedHandleOf(p, nil); ok {
+		t.Fatal("handle resolved against the wrong store")
+	}
+	peer, err := s.AcquirePeer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Share(h, peer, used)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewMapper(s.Prefix(), peer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, release, err := m.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := mgr.NewExternalBuffer(mem, release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.Adopt[msg](buf, used)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.A != p.A || q.B != p.B {
+		t.Fatalf("adopted message differs: %+v vs %+v", *q, *p)
+	}
+	if _, err := core.Release(q); err != nil { // frees mapper reference
+		t.Fatal(err)
+	}
+	if _, err := core.Release(p); err != nil { // frees publisher baseline via BackingStore.Release
+		t.Fatal(err)
+	}
+	if !s.Idle() {
+		t.Fatal("store not idle after both releases")
+	}
+	m.Close()
+	if m.Outstanding() != 0 {
+		t.Fatal("outstanding resolutions after release")
+	}
+}

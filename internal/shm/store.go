@@ -1,0 +1,415 @@
+package shm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"rossf/internal/obs"
+)
+
+// Control file layout (`<prefix>.ctl`): the publisher's peer lease
+// table, mapped by every shm subscriber of this process.
+//
+//	offset 0        64-byte header
+//	  +0  u32  magic "RSHC"
+//	  +4  u32  version
+//	  +8  u32  publisher pid
+//	  +16 u64  creation time, unix nanos
+//	offset 64       MaxPeers × 64-byte peer entries
+//	  +0  u32  state     — atomic: free / active / draining
+//	  +4  u32  subscriber pid
+//	  +8  i64  heartbeat — atomic unix nanos, stored by the subscriber
+//
+// A subscriber refreshes its heartbeat for as long as it may still hold
+// slot references. When the publisher sees a heartbeat older than the
+// lease timeout — subscriber crashed, or drained and left — the reaper
+// clears that peer's owner bit from every slot (releasing the reference
+// iff the bit was still set) and frees the entry. Idempotence of
+// releaseShared makes the reaper safe to race with a slow subscriber
+// that is still releasing normally.
+type peerSlot struct {
+	state     atomic.Uint32
+	pid       uint32
+	heartbeat atomic.Int64
+	_         [peerEntry - 16]byte
+}
+
+func ctlSize() int { return alignUp(hdrBytes+MaxPeers*peerEntry, pageSize) }
+
+func peerAt(ctl []byte, p int) *peerSlot {
+	return (*peerSlot)(unsafe.Pointer(&ctl[hdrBytes+p*peerEntry]))
+}
+
+func segPath(prefix string, id uint64) string { return fmt.Sprintf("%s-seg%d", prefix, id) }
+func ctlPath(prefix string) string            { return prefix + ".ctl" }
+
+// DefaultLeaseTimeout is how long a silent subscriber keeps its slot
+// references before the publisher reclaims them.
+const DefaultLeaseTimeout = 2 * time.Second
+
+// Options configures a Store.
+type Options struct {
+	// Dir overrides the segment directory (default Dir()).
+	Dir string
+	// LeaseTimeout overrides DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// Stats receives transport instruments (default: none).
+	Stats *obs.ShmStats
+}
+
+// Store is the publisher side of the transport: it owns the segment
+// files, implements core.BackingStore so message allocations land in
+// shared slots, tracks per-subscriber leases, and reaps references
+// abandoned by crashed subscribers. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	prefix  string
+	ctl     []byte
+	segs    []*segment
+	lease   time.Duration
+	stats   *obs.ShmStats
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+	shareSq uint64 // descriptor sends, for tests
+}
+
+// NewStore creates a segment store under opts.Dir and starts its lease
+// reaper. The caller must Close it; Close only after every store-backed
+// message has been released, since it unmaps the publisher's view of
+// the segments.
+func NewStore(opts Options) (*Store, error) {
+	if !mmapSupported {
+		return nil, ErrUnavailable
+	}
+	dir := opts.Dir
+	if dir == "" {
+		if dir = Dir(); dir == "" {
+			return nil, ErrUnavailable
+		}
+	}
+	lease := opts.LeaseTimeout
+	if lease <= 0 {
+		lease = DefaultLeaseTimeout
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = new(obs.ShmStats)
+	}
+	s := &Store{
+		lease: lease,
+		stats: stats,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// The O_EXCL create of the control file claims the prefix.
+	for attempt := 0; ; attempt++ {
+		prefix := fmt.Sprintf("%s%crossf-%d-%d", dir, os.PathSeparator, os.Getpid(), attempt)
+		f, err := os.OpenFile(ctlPath(prefix), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if os.IsExist(err) && attempt < 1024 {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Truncate(int64(ctlSize())); err == nil {
+			s.ctl, err = mapFile(f, ctlSize())
+		}
+		f.Close()
+		if s.ctl == nil {
+			os.Remove(ctlPath(prefix))
+			return nil, fmt.Errorf("shm: mapping control segment: %w", err)
+		}
+		s.prefix = prefix
+		break
+	}
+	binary.LittleEndian.PutUint32(s.ctl[0:], ctlMagic)
+	binary.LittleEndian.PutUint32(s.ctl[4:], shmVer)
+	binary.LittleEndian.PutUint32(s.ctl[8:], uint32(os.Getpid()))
+	binary.LittleEndian.PutUint64(s.ctl[16:], uint64(time.Now().UnixNano()))
+	go s.reapLoop()
+	return s, nil
+}
+
+// Prefix returns the path prefix subscribers use to locate this store's
+// segment and control files (sent in the connection handshake).
+func (s *Store) Prefix() string { return s.prefix }
+
+// LeaseTimeout returns the store's lease timeout (sent in the
+// handshake so subscribers heartbeat well inside it).
+func (s *Store) LeaseTimeout() time.Duration { return s.lease }
+
+// handle packs a segment index and slot index.
+func handleFor(segIdx, slot int) uint64 { return uint64(segIdx)<<32 | uint64(uint32(slot)) }
+
+// lookup resolves a handle. Caller holds s.mu.
+func (s *Store) lookup(handle uint64) (*segment, int, bool) {
+	segIdx, slot := int(handle>>32), int(uint32(handle))
+	if segIdx >= len(s.segs) {
+		return nil, 0, false
+	}
+	seg := s.segs[segIdx]
+	if seg == nil || slot >= seg.slotCount {
+		return nil, 0, false
+	}
+	return seg, slot, true
+}
+
+// Acquire implements core.BackingStore: it claims a free slot (reusing
+// one whose references have all dropped, else growing a new segment)
+// and returns its page-aligned data window. Declines — capacity above
+// the largest slot class, store closed, or segment creation failure —
+// make the manager fall back to its process-local heap, which at the
+// transport level means the message travels inline over TCP framing.
+func (s *Store) Acquire(capacity int) ([]byte, uint64, bool) {
+	slotSize := slotSizeFor(capacity)
+	if slotSize == 0 {
+		return nil, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, false
+	}
+	for segIdx, seg := range s.segs {
+		if seg == nil || seg.slotSize != slotSize {
+			continue
+		}
+		for i := 0; i < seg.slotCount; i++ {
+			st := seg.slot(i)
+			// owner==0 then refs==0 is a stable "fully released" state:
+			// references only reach zero after the last owner bit is
+			// cleared, and no new references appear without this lock.
+			if st.owner.Load() == 0 && st.refs.Load() == 0 {
+				s.claimLocked(seg, i)
+				return seg.data(i), handleFor(segIdx, i), true
+			}
+		}
+	}
+	slotCount := targetSegBytes / slotSize
+	if slotCount < minSlots {
+		slotCount = minSlots
+	}
+	if slotCount > maxSlots {
+		slotCount = maxSlots
+	}
+	id := uint64(len(s.segs))
+	seg, err := createSegment(segPath(s.prefix, id), id, slotSize, slotCount, time.Now().UnixNano())
+	if err != nil {
+		return nil, 0, false
+	}
+	s.segs = append(s.segs, seg)
+	s.stats.SegmentsMapped.Add(1)
+	s.stats.BytesShared.Add(int64(seg.size()))
+	s.claimLocked(seg, 0)
+	return seg.data(0), handleFor(int(id), 0), true
+}
+
+// claimLocked initializes a slot for a new message: next generation
+// (invalidating any stale descriptor), publisher baseline reference,
+// no peer owners.
+func (s *Store) claimLocked(seg *segment, slot int) {
+	st := seg.slot(slot)
+	st.gen.Add(1)
+	st.owner.Store(0)
+	st.refs.Store(1)
+	seg.setUsed(slot, 0)
+}
+
+// Release implements core.BackingStore: the manager destructed the
+// message, dropping the publisher's baseline reference. Peers still
+// reading the slot keep it pinned through their own references.
+func (s *Store) Release(handle uint64, raw []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seg, slot, ok := s.lookup(handle); ok {
+		seg.slot(slot).refs.Add(-1)
+	}
+}
+
+// Share grants peer a reference to the message in handle's slot and
+// returns the descriptor to send. length is the payload size actually
+// used. The caller must still hold the message (publisher baseline
+// alive), which guarantees the slot cannot be recycled concurrently.
+func (s *Store) Share(handle uint64, peer int, length int) (Descriptor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Descriptor{}, ErrClosed
+	}
+	seg, slot, ok := s.lookup(handle)
+	if !ok || peer < 0 || peer >= MaxPeers {
+		return Descriptor{}, fmt.Errorf("shm: share: bad handle %#x / peer %d", handle, peer)
+	}
+	if peerAt(s.ctl, peer).state.Load() != peerActive {
+		return Descriptor{}, fmt.Errorf("shm: share: peer %d not active", peer)
+	}
+	if length < 0 || length > seg.slotSize {
+		return Descriptor{}, fmt.Errorf("shm: share: length %d exceeds slot size %d", length, seg.slotSize)
+	}
+	st := seg.slot(slot)
+	bit := uint32(1) << uint(peer)
+	if st.owner.Load()&bit == 0 {
+		st.refs.Add(1)
+		st.owner.Or(bit)
+	}
+	seg.setUsed(slot, length)
+	s.shareSq++
+	s.stats.DescriptorSends.Inc()
+	return Descriptor{SegID: seg.id, Gen: st.gen.Load(), Slot: uint32(slot), Length: uint32(length)}, nil
+}
+
+// Unshare returns peer's reference on handle's slot without the
+// descriptor ever reaching the subscriber — the undo path for frames
+// dropped from a full send queue.
+func (s *Store) Unshare(handle uint64, peer int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seg, slot, ok := s.lookup(handle); ok && peer >= 0 && peer < MaxPeers {
+		releaseShared(seg.slot(slot), peer)
+	}
+}
+
+// AcquirePeer leases a peer id to a subscriber with the given pid. The
+// lease starts with a fresh heartbeat; the subscriber keeps it fresh
+// via Mapper.StartHeartbeat.
+func (s *Store) AcquirePeer(pid uint32) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	for p := 0; p < MaxPeers; p++ {
+		e := peerAt(s.ctl, p)
+		if e.state.Load() == peerFree {
+			e.pid = pid
+			e.heartbeat.Store(time.Now().UnixNano())
+			e.state.Store(peerActive)
+			return p, nil
+		}
+	}
+	return 0, ErrNoPeerSlot
+}
+
+// RetirePeer marks a peer draining: the connection is gone, but the
+// subscriber process may still be releasing references from callbacks
+// in flight. The reaper collects the entry — and any references the
+// subscriber never returned — once its heartbeat goes stale.
+func (s *Store) RetirePeer(peer int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if peer >= 0 && peer < MaxPeers {
+		e := peerAt(s.ctl, peer)
+		if e.state.Load() == peerActive {
+			e.state.Store(peerDraining)
+		}
+	}
+}
+
+// reapLoop periodically reclaims peers whose heartbeat exceeded the
+// lease timeout.
+func (s *Store) reapLoop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.lease / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.reapStale()
+		}
+	}
+}
+
+func (s *Store) reapStale() {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for p := 0; p < MaxPeers; p++ {
+		e := peerAt(s.ctl, p)
+		if e.state.Load() == peerFree {
+			continue
+		}
+		if now-e.heartbeat.Load() <= s.lease.Nanoseconds() {
+			continue
+		}
+		for _, seg := range s.segs {
+			for i := 0; i < seg.slotCount; i++ {
+				releaseShared(seg.slot(i), p)
+			}
+		}
+		e.pid = 0
+		e.state.Store(peerFree)
+		s.stats.LeasesReaped.Inc()
+	}
+}
+
+// SlotRefs reports (refs, owner) for a handle — test and debug
+// visibility into the cross-process life cycle.
+func (s *Store) SlotRefs(handle uint64) (int32, uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seg, slot, ok := s.lookup(handle); ok {
+		st := seg.slot(slot)
+		return st.refs.Load(), st.owner.Load()
+	}
+	return 0, 0
+}
+
+// Idle reports whether every slot in every segment is fully released —
+// the shm analogue of obs.CheckLeaks' "no live messages" baseline.
+func (s *Store) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		for i := 0; i < seg.slotCount; i++ {
+			st := seg.slot(i)
+			if st.refs.Load() != 0 || st.owner.Load() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Shares returns the total number of successful Share calls.
+func (s *Store) Shares() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shareSq
+}
+
+// Close stops the reaper, unmaps every segment and unlinks the files.
+// All store-backed messages must have been released first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		s.stats.SegmentsMapped.Add(-1)
+		s.stats.BytesShared.Add(-int64(seg.size()))
+		seg.close(true)
+	}
+	s.segs = nil
+	unmapFile(s.ctl)
+	s.ctl = nil
+	return os.Remove(ctlPath(s.prefix))
+}

@@ -45,6 +45,13 @@ func Checksum(payload []byte) uint32 {
 	return crc32.Checksum(payload, castagnoli)
 }
 
+// Checksum2 returns the CRC-32C of the concatenation a||b without
+// joining them — used for tagged frames, where a one-byte transport tag
+// precedes a payload that must not be copied just to checksum it.
+func Checksum2(a, b []byte) uint32 {
+	return crc32.Update(crc32.Checksum(a, castagnoli), castagnoli, b)
+}
+
 // PutFrameHeader encodes a frame header into hdr, which must be at
 // least FrameHeaderSize bytes.
 func PutFrameHeader(hdr []byte, payloadLen int, crc uint32) {
