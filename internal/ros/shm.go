@@ -24,7 +24,7 @@ import (
 //
 //	subscriber → publisher: transports=shm,tcp  pid=<pid>  bootid=<id>
 //	publisher → subscriber: transport=shm  shmprefix=<path>
-//	                        shmpeer=<id>   shmlease=<ms>
+//	                        shmpeer=<id>   shmlease=<ms>  shmgen=<gen>
 //
 // On a connection that negotiated shm, every frame payload is prefixed
 // with a one-byte tag: tagDescriptor frames carry a 24-byte shm
@@ -40,6 +40,7 @@ const (
 	hdrShmPrefix  = "shmprefix"
 	hdrShmPeer    = "shmpeer"
 	hdrShmLeaseMS = "shmlease"
+	hdrShmGen     = "shmgen"
 )
 
 const (
@@ -54,10 +55,12 @@ type shmRuntime interface {
 }
 
 // shmSender is a pubConn's grant to publish into shared memory: the
-// node's store plus the peer lease the subscriber holds.
+// node's store plus the peer lease (id and generation) the subscriber
+// holds.
 type shmSender struct {
 	store *shm.Store
 	peer  int
+	gen   uint32
 }
 
 // shmStats returns the node's shared-memory instruments, or nil when
@@ -94,7 +97,7 @@ func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *
 		return map[string]string{hdrTransport: wire.TransportNameTCP}, nil
 	}
 	pid, _ := strconv.ParseUint(req[hdrPID], 10, 32)
-	peer, err := store.AcquirePeer(uint32(pid))
+	peer, gen, err := store.AcquirePeer(uint32(pid))
 	if err != nil {
 		// Peer table full: this subscriber runs over TCP.
 		if st := ep.node.shmStats(); st != nil {
@@ -107,7 +110,8 @@ func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *
 		hdrShmPrefix:  store.Prefix(),
 		hdrShmPeer:    strconv.Itoa(peer),
 		hdrShmLeaseMS: strconv.FormatInt(store.LeaseTimeout().Milliseconds(), 10),
-	}, &shmSender{store: store, peer: peer}
+		hdrShmGen:     strconv.FormatUint(uint64(gen), 10),
+	}, &shmSender{store: store, peer: peer, gen: gen}
 }
 
 // shmItemFor builds a descriptor queue item for message m on c's shm
@@ -119,15 +123,15 @@ func shmItemFor[T any](c *pubConn, m *T) (frameItem, bool) {
 	if !ok {
 		return frameItem{}, false
 	}
-	d, err := c.shm.store.Share(h, c.shm.peer, used)
+	d, err := c.shm.store.Share(h, c.shm.peer, c.shm.gen, used)
 	if err != nil {
 		return frameItem{}, false
 	}
-	store, peer := c.shm.store, c.shm.peer
+	store, peer, gen := c.shm.store, c.shm.peer, c.shm.gen
 	return frameItem{
 		data: d.AppendTo(nil),
 		tag:  tagDescriptor,
-		undo: func() { store.Unshare(h, peer) },
+		undo: func() { store.Unshare(h, peer, gen) },
 	}, true
 }
 
@@ -148,7 +152,13 @@ func newShmReceiver(reply map[string]string, stats *obs.ShmStats) (*shm.Mapper, 
 	if err != nil || leaseMS <= 0 {
 		leaseMS = shm.DefaultLeaseTimeout.Milliseconds()
 	}
-	m, err := shm.NewMapper(prefix, peer, stats)
+	// A missing generation (publisher predating lease generations) parses
+	// to 0, which disables the mapper's lease validation.
+	gen64, genErr := strconv.ParseUint(reply[hdrShmGen], 10, 32)
+	if genErr != nil {
+		gen64 = 0
+	}
+	m, err := shm.NewMapper(prefix, peer, uint32(gen64), stats)
 	if err != nil {
 		return nil, err
 	}

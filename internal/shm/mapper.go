@@ -13,14 +13,16 @@ import (
 // Mapper is the subscriber side of the transport for one publisher
 // connection: it lazily maps the publisher's segment files, resolves
 // descriptors to the exact bytes the publisher wrote, and keeps the
-// peer lease alive with a heartbeat. Resolutions pin their segment
-// mapping — Close defers the munmap until every resolved message has
-// been released, so a message adopted into a callback can never see
-// its memory unmapped underneath it.
+// peer lease alive with a heartbeat. Resolutions pin the whole mapper —
+// Close defers the heartbeat stop, the control unmap, and the data
+// unmaps until every resolved message has been released, so a message
+// adopted into a callback (or parked in a dispatch queue) can never see
+// its lease reaped or its memory unmapped underneath it.
 type Mapper struct {
 	mu          sync.Mutex
 	prefix      string
 	peer        int
+	gen         uint32 // lease generation from the handshake; 0 disables validation
 	stats       *obs.ShmStats
 	segs        map[uint64]*segment
 	outstanding int
@@ -31,8 +33,10 @@ type Mapper struct {
 }
 
 // NewMapper creates a mapper for the store at prefix, holding peer
-// lease id peer (both from the connection handshake). stats may be nil.
-func NewMapper(prefix string, peer int, stats *obs.ShmStats) (*Mapper, error) {
+// lease id peer under lease generation gen (all from the connection
+// handshake; gen 0 means the publisher predates lease generations and
+// disables validation). stats may be nil.
+func NewMapper(prefix string, peer int, gen uint32, stats *obs.ShmStats) (*Mapper, error) {
 	if !mmapSupported {
 		return nil, ErrUnavailable
 	}
@@ -45,6 +49,7 @@ func NewMapper(prefix string, peer int, stats *obs.ShmStats) (*Mapper, error) {
 	return &Mapper{
 		prefix: prefix,
 		peer:   peer,
+		gen:    gen,
 		stats:  stats,
 		segs:   make(map[uint64]*segment),
 	}, nil
@@ -52,7 +57,9 @@ func NewMapper(prefix string, peer int, stats *obs.ShmStats) (*Mapper, error) {
 
 // StartHeartbeat maps the publisher's control segment and begins
 // refreshing this peer's heartbeat every interval. Must be called once,
-// before the first Resolve deadline matters; stopped by Close.
+// before the first Resolve deadline matters; the heartbeat runs until
+// the mapper is closed AND drained, because the lease is what keeps
+// outstanding resolutions' slots from being reclaimed.
 func (m *Mapper) StartHeartbeat(interval time.Duration) error {
 	f, err := os.OpenFile(ctlPath(m.prefix), os.O_RDWR, 0)
 	if err != nil {
@@ -75,6 +82,11 @@ func (m *Mapper) StartHeartbeat(interval time.Duration) error {
 		unmapFile(ctl)
 		return fmt.Errorf("%w: control segment bad magic/version", ErrBadSegment)
 	}
+	entry := peerAt(ctl, m.peer)
+	if m.gen != 0 && entry.gen.Load() != m.gen {
+		unmapFile(ctl)
+		return fmt.Errorf("shm: peer %d lease lost before heartbeat start", m.peer)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed || m.ctl != nil {
@@ -84,22 +96,42 @@ func (m *Mapper) StartHeartbeat(interval time.Duration) error {
 	m.ctl = ctl
 	m.stopHB = make(chan struct{})
 	m.hbDone = make(chan struct{})
-	entry := peerAt(ctl, m.peer)
 	entry.heartbeat.Store(time.Now().UnixNano())
+	// Captured locally: finish nils the fields under m.mu while this
+	// goroutine runs.
+	stop, done := m.stopHB, m.hbDone
 	go func() {
-		defer close(m.hbDone)
+		defer close(done)
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for {
 			select {
-			case <-m.stopHB:
+			case <-stop:
 				return
 			case <-tick.C:
+				// A changed generation means our lease was reaped and the
+				// entry may belong to a new subscriber: stop writing into
+				// it rather than spuriously keeping someone else's lease
+				// fresh.
+				if m.gen != 0 && entry.gen.Load() != m.gen {
+					return
+				}
 				entry.heartbeat.Store(time.Now().UnixNano())
 			}
 		}
 	}()
 	return nil
+}
+
+// leaseHeldLocked reports whether this mapper's peer lease is still the
+// one the publisher issued it. With no control mapping or no lease
+// generation (direct test construction, old-build publisher) there is
+// nothing to check and the lease is assumed held.
+func (m *Mapper) leaseHeldLocked() bool {
+	if m.ctl == nil || m.gen == 0 {
+		return true
+	}
+	return peerAt(m.ctl, m.peer).gen.Load() == m.gen
 }
 
 // Resolve maps a descriptor to its payload bytes and returns a release
@@ -113,6 +145,9 @@ func (m *Mapper) Resolve(d Descriptor) ([]byte, func(), error) {
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, nil, ErrClosed
+	}
+	if !m.leaseHeldLocked() {
+		return nil, nil, ErrStale
 	}
 	seg := m.segs[d.SegID]
 	if seg == nil {
@@ -141,13 +176,19 @@ func (m *Mapper) Resolve(d Descriptor) ([]byte, func(), error) {
 	var once sync.Once
 	release := func() {
 		once.Do(func() {
-			releaseShared(st, m.peer)
 			m.mu.Lock()
+			// If the lease was reaped while this resolution was held, the
+			// reaper already returned the reference — and the peer id may
+			// have been re-leased, in which case the slot bit now counts
+			// for the new subscriber and must not be touched.
+			if m.leaseHeldLocked() {
+				releaseShared(st, m.peer)
+			}
 			m.outstanding--
 			done := m.closed && m.outstanding == 0
 			m.mu.Unlock()
 			if done {
-				m.unmapAll()
+				m.finish()
 			}
 		})
 	}
@@ -161,10 +202,12 @@ func (m *Mapper) Outstanding() int {
 	return m.outstanding
 }
 
-// Close stops the heartbeat and unmaps the control segment. Data
-// segments are unmapped once the last outstanding resolution is
-// released; until then their mappings (and the publisher's view of the
-// references) stay valid.
+// Close marks the mapper done. If no resolutions are outstanding the
+// mapper tears down immediately; otherwise the heartbeat, the control
+// mapping, and the data mappings all stay alive until the last resolved
+// message is released — a subscriber must heartbeat for as long as it
+// may hold slot references, or the publisher's reaper would recycle
+// slots still being read.
 func (m *Mapper) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -172,19 +215,35 @@ func (m *Mapper) Close() {
 		return
 	}
 	m.closed = true
-	stop, done := m.stopHB, m.hbDone
-	ctl := m.ctl
-	m.ctl = nil
 	drained := m.outstanding == 0
+	m.mu.Unlock()
+	if drained {
+		m.finish()
+	}
+}
+
+// finish tears the mapper down once it is closed and drained: stop the
+// heartbeat, publish the drained sentinel so the publisher's reaper can
+// free the peer entry immediately, then unmap everything. Called
+// exactly once, by whichever of Close / the last release observed
+// closed && outstanding == 0.
+func (m *Mapper) finish() {
+	m.mu.Lock()
+	stop, hbDone := m.stopHB, m.hbDone
+	ctl := m.ctl
+	m.ctl, m.stopHB, m.hbDone = nil, nil, nil
 	m.mu.Unlock()
 	if stop != nil {
 		close(stop)
-		<-done
+		<-hbDone
+		// Only stamp the sentinel while the lease is still ours — after a
+		// reap the entry may already belong to a new subscriber.
+		if entry := peerAt(ctl, m.peer); m.gen == 0 || entry.gen.Load() == m.gen {
+			entry.heartbeat.Store(hbDrained)
+		}
 	}
 	unmapFile(ctl)
-	if drained {
-		m.unmapAll()
-	}
+	m.unmapAll()
 }
 
 // unmapAll releases every data-segment mapping. Called only after

@@ -9,3 +9,5 @@ const mmapSupported = false
 func mapFile(f *os.File, size int) ([]byte, error) { return nil, ErrUnavailable }
 
 func unmapFile(b []byte) error { return nil }
+
+func pidAlive(pid uint32) bool { return false }

@@ -3,6 +3,7 @@
 package shm
 
 import (
+	"errors"
 	"os"
 	"syscall"
 )
@@ -21,4 +22,18 @@ func unmapFile(b []byte) error {
 		return nil
 	}
 	return syscall.Munmap(b)
+}
+
+// pidAlive probes whether a process with the given pid exists: signal 0
+// delivers nothing but still runs the kernel's existence check. EPERM
+// means the process exists but belongs to someone else — alive. A pid
+// of 0 (a peer that never sent one in the handshake) is unverifiable
+// and reported dead, so the reaper falls back to age-based
+// reclamation for it.
+func pidAlive(pid uint32) bool {
+	if pid == 0 {
+		return false
+	}
+	err := syscall.Kill(int(pid), 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
 }

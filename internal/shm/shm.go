@@ -70,6 +70,13 @@ const (
 	peerDraining = 2
 )
 
+// hbDrained is the heartbeat sentinel a mapper publishes after its last
+// slot reference has been released: the peer holds nothing, so the
+// publisher's reaper may free the entry immediately, regardless of
+// lease age or process liveness. AcquirePeer always stamps a real
+// (positive) timestamp, so the sentinel is unambiguous.
+const hbDrained = 0
+
 // Errors surfaced by the transport. ErrStale wraps
 // core.ErrStaleGeneration so callers can use a single errors.Is check
 // for both in-process and cross-process dangling accesses.

@@ -3,12 +3,43 @@ package shm
 import (
 	"bytes"
 	"errors"
+	"os"
+	"os/exec"
 	"testing"
 	"time"
 
 	"rossf/internal/core"
 	"rossf/internal/obs"
 )
+
+// deadPID returns the pid of a process that has already exited, for
+// leases whose "subscriber" must look crashed to the reaper's liveness
+// probe.
+func deadPID(t *testing.T) uint32 {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn helper process: %v", err)
+	}
+	return uint32(cmd.Process.Pid)
+}
+
+// waitSlot polls until handle's slot reaches (refs, owner) or fails the
+// test after two seconds.
+func waitSlot(t *testing.T, s *Store, h uint64, refs int32, owner uint32, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r, o := s.SlotRefs(h)
+		if r == refs && o == owner {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: refs=%d owner=%#x, want refs=%d owner=%#x", what, r, o, refs, owner)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 func testStore(t *testing.T, opts Options) *Store {
 	t.Helper()
@@ -93,7 +124,7 @@ func TestAcquireReuseGeneration(t *testing.T) {
 func TestShareResolveRoundTrip(t *testing.T) {
 	var stats obs.ShmStats
 	s := testStore(t, Options{Stats: &stats})
-	peer, err := s.AcquirePeer(1234)
+	peer, gen, err := s.AcquirePeer(1234)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +134,7 @@ func TestShareResolveRoundTrip(t *testing.T) {
 	}
 	payload := bytes.Repeat([]byte("rossf"), 100)
 	copy(raw, payload)
-	d, err := s.Share(h, peer, len(payload))
+	d, err := s.Share(h, peer, gen, len(payload))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +142,7 @@ func TestShareResolveRoundTrip(t *testing.T) {
 		t.Fatalf("after share: refs=%d owner=%#x", refs, owner)
 	}
 
-	m, err := NewMapper(s.Prefix(), peer, &stats)
+	m, err := NewMapper(s.Prefix(), peer, gen, &stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,22 +176,22 @@ func TestShareResolveRoundTrip(t *testing.T) {
 // must fail with core.ErrStaleGeneration, never alias the new bytes.
 func TestStaleDescriptorRejected(t *testing.T) {
 	s := testStore(t, Options{})
-	peer, err := s.AcquirePeer(1)
+	peer, gen, err := s.AcquirePeer(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw, h, _ := s.Acquire(4096)
-	d, err := s.Share(h, peer, 64)
+	d, err := s.Share(h, peer, gen, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMapper(s.Prefix(), peer, nil)
+	m, err := NewMapper(s.Prefix(), peer, gen, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
 	// Release everything and recycle the slot for a new message.
-	s.Unshare(h, peer)
+	s.Unshare(h, peer, gen)
 	s.Release(h, raw)
 	if _, h2, ok := s.Acquire(4096); !ok || h2 != h {
 		t.Fatalf("expected slot reuse, got ok=%v h2=%#x", ok, h2)
@@ -176,12 +207,12 @@ func TestStaleDescriptorRejected(t *testing.T) {
 func TestLeaseReap(t *testing.T) {
 	var stats obs.ShmStats
 	s := testStore(t, Options{LeaseTimeout: 80 * time.Millisecond, Stats: &stats})
-	peer, err := s.AcquirePeer(99)
+	peer, gen, err := s.AcquirePeer(99)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw, h, _ := s.Acquire(4096)
-	if _, err := s.Share(h, peer, 16); err != nil {
+	if _, err := s.Share(h, peer, gen, 16); err != nil {
 		t.Fatal(err)
 	}
 	s.RetirePeer(peer)
@@ -204,7 +235,7 @@ func TestLeaseReap(t *testing.T) {
 		t.Fatal("store not idle after reap + release")
 	}
 	// The freed entry must be reusable.
-	if _, err := s.AcquirePeer(100); err != nil {
+	if _, _, err := s.AcquirePeer(100); err != nil {
 		t.Fatalf("peer slot not recycled: %v", err)
 	}
 }
@@ -214,15 +245,15 @@ func TestLeaseReap(t *testing.T) {
 // idle far longer than the timeout.
 func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 	s := testStore(t, Options{LeaseTimeout: 80 * time.Millisecond})
-	peer, err := s.AcquirePeer(7)
+	peer, gen, err := s.AcquirePeer(7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw, h, _ := s.Acquire(4096)
-	if _, err := s.Share(h, peer, 16); err != nil {
+	if _, err := s.Share(h, peer, gen, 16); err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMapper(s.Prefix(), peer, nil)
+	m, err := NewMapper(s.Prefix(), peer, gen, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,8 +265,205 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 		t.Fatalf("live lease reaped: refs=%d owner=%#x", refs, owner)
 	}
 	m.Close() // heartbeat stops; reaper may now collect
-	s.Unshare(h, peer)
+	s.Unshare(h, peer, gen)
 	s.Release(h, raw)
+}
+
+// TestCloseDefersLeaseTeardown pins the async-dispatch fix: Close with
+// a resolution still outstanding (a message parked in a dispatch queue
+// after the frame pump exited) must keep the heartbeat — and therefore
+// the lease and the slot references — alive until the last release.
+// The lease pid is a dead process, so if Close stopped the heartbeat
+// early the reaper would immediately reclaim the peer.
+func TestCloseDefersLeaseTeardown(t *testing.T) {
+	var stats obs.ShmStats
+	s := testStore(t, Options{LeaseTimeout: 80 * time.Millisecond, Stats: &stats})
+	peer, gen, err := s.AcquirePeer(deadPID(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, ok := s.Acquire(4096)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	copy(raw, payload)
+	d, err := s.Share(h, peer, gen, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapper(s.Prefix(), peer, gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartHeartbeat(16 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	mem, release, err := m.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()                          // a callback still holds mem: teardown must wait
+	time.Sleep(400 * time.Millisecond) // 5× the lease timeout
+	if refs, owner := s.SlotRefs(h); refs != 2 || owner != 1<<uint(peer) {
+		t.Fatalf("lease reaped while a resolution was outstanding: refs=%d owner=%#x", refs, owner)
+	}
+	if !bytes.Equal(mem, payload) {
+		t.Fatal("mapped bytes changed while a resolution was outstanding")
+	}
+	release()
+	if n := m.Outstanding(); n != 0 {
+		t.Fatalf("outstanding = %d after release", n)
+	}
+	// The release itself returned the slot reference; the drained
+	// sentinel lets the reaper free the peer entry on its next tick
+	// instead of waiting out the lease (the pid probe would otherwise
+	// defer it forever for a live process, and here the pid is dead but
+	// the entry was fresh moments ago).
+	waitSlot(t, s, h, 1, 0, "slot reference not returned after drain")
+	deadline := time.Now().Add(2 * time.Second)
+	for stats.LeasesReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drained peer entry never reaped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after all releases")
+	}
+}
+
+// TestReapSparesLiveStalledPeer: a subscriber whose heartbeat went
+// stale but whose process is alive (SIGSTOP, swap, long GC) must NOT be
+// reaped while its lease is active — its references are still in use.
+// Once the publisher retires the peer (connection gone), age-based
+// reaping applies again.
+func TestReapSparesLiveStalledPeer(t *testing.T) {
+	var stats obs.ShmStats
+	s := testStore(t, Options{LeaseTimeout: 60 * time.Millisecond, Stats: &stats})
+	peer, gen, err := s.AcquirePeer(uint32(os.Getpid())) // this very-much-alive process
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, ok := s.Acquire(4096)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	if _, err := s.Share(h, peer, gen, 16); err != nil {
+		t.Fatal(err)
+	}
+	// No heartbeat ever runs: the lease is stale almost immediately.
+	time.Sleep(300 * time.Millisecond) // 5× the lease timeout
+	if refs, owner := s.SlotRefs(h); refs != 2 || owner != 1<<uint(peer) {
+		t.Fatalf("live stalled peer reaped: refs=%d owner=%#x", refs, owner)
+	}
+	if n := stats.LeasesReaped.Load(); n != 0 {
+		t.Fatalf("leases_reaped = %d for a live peer", n)
+	}
+	s.RetirePeer(peer)
+	waitSlot(t, s, h, 1, 0, "retired stale peer not reaped")
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after reap + release")
+	}
+}
+
+// TestReapActiveDeadProcess: an ACTIVE lease whose process has exited
+// (SIGKILL before the connection teardown could retire it) is reaped on
+// heartbeat age once the pid probe confirms the process is gone.
+func TestReapActiveDeadProcess(t *testing.T) {
+	s := testStore(t, Options{LeaseTimeout: 60 * time.Millisecond})
+	peer, gen, err := s.AcquirePeer(deadPID(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, ok := s.Acquire(4096)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	if _, err := s.Share(h, peer, gen, 16); err != nil {
+		t.Fatal(err)
+	}
+	// No RetirePeer: the entry stays active, as after a crash whose
+	// connection teardown raced the reaper.
+	waitSlot(t, s, h, 1, 0, "dead active peer not reaped")
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after reap + release")
+	}
+}
+
+// TestLeaseGenerationGuardsReusedPeer reconstructs the reap/re-lease
+// ABA: a stalled subscriber's peer id is reclaimed and re-leased to a
+// new subscriber while the old one still holds a resolution. The old
+// mapper must neither resolve further descriptors nor — critically —
+// decrement the new lease's references on its late release, and the
+// publisher must refuse Shares minted against the old generation.
+func TestLeaseGenerationGuardsReusedPeer(t *testing.T) {
+	s := testStore(t, Options{LeaseTimeout: 60 * time.Millisecond})
+	peer1, gen1, err := s.AcquirePeer(deadPID(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, h, ok := s.Acquire(4096)
+	if !ok {
+		t.Fatal("Acquire declined")
+	}
+	d, err := s.Share(h, peer1, gen1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapper(s.Prefix(), peer1, gen1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One beat, then silence: the interval is far longer than the lease,
+	// so the heartbeat goes stale while the resolution is outstanding —
+	// the "subscriber stalled past its lease" scenario (and the pid is
+	// dead, so the reaper acts on it).
+	if err := m.StartHeartbeat(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := m.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSlot(t, s, h, 1, 0, "stalled dead peer not reaped")
+	// The freed id goes to a new subscriber under a new generation.
+	peer2, gen2, err := s.AcquirePeer(uint32(os.Getpid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer2 != peer1 {
+		t.Fatalf("expected peer id reuse, got %d then %d", peer1, peer2)
+	}
+	if gen2 == gen1 {
+		t.Fatal("lease generation not bumped on reuse")
+	}
+	if _, err := s.Share(h, peer2, gen2, 16); err != nil {
+		t.Fatal(err)
+	}
+	// A Share against the reaped generation is refused.
+	if _, err := s.Share(h, peer1, gen1, 16); err == nil {
+		t.Fatal("Share accepted a reaped lease generation")
+	}
+	// The stale mapper can no longer resolve: its lease is gone.
+	if _, _, err := m.Resolve(d); !errors.Is(err, core.ErrStaleGeneration) {
+		t.Fatalf("stale-lease resolve: err=%v, want ErrStaleGeneration", err)
+	}
+	// Its late release of the pre-reap resolution must not steal the new
+	// lease's reference.
+	release()
+	if refs, owner := s.SlotRefs(h); refs != 2 || owner != 1<<uint(peer2) {
+		t.Fatalf("stale release corrupted the re-leased peer: refs=%d owner=%#x", refs, owner)
+	}
+	m.Close()
+	s.Unshare(h, peer2, gen2)
+	s.Release(h, raw)
+	if !s.Idle() {
+		t.Fatal("store not idle after all releases")
+	}
 }
 
 // TestManagerIntegration plugs a Store into a core.Manager: New lands
@@ -263,16 +491,16 @@ func TestManagerIntegration(t *testing.T) {
 	if _, _, ok := core.SharedHandleOf(p, nil); ok {
 		t.Fatal("handle resolved against the wrong store")
 	}
-	peer, err := s.AcquirePeer(1)
+	peer, gen, err := s.AcquirePeer(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := s.Share(h, peer, used)
+	d, err := s.Share(h, peer, gen, used)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	m, err := NewMapper(s.Prefix(), peer, nil)
+	m, err := NewMapper(s.Prefix(), peer, gen, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,19 +24,28 @@ import (
 //	  +0  u32  state     — atomic: free / active / draining
 //	  +4  u32  subscriber pid
 //	  +8  i64  heartbeat — atomic unix nanos, stored by the subscriber
+//	  +16 u32  gen       — atomic lease generation, bumped by AcquirePeer
 //
 // A subscriber refreshes its heartbeat for as long as it may still hold
-// slot references. When the publisher sees a heartbeat older than the
-// lease timeout — subscriber crashed, or drained and left — the reaper
-// clears that peer's owner bit from every slot (releasing the reference
-// iff the bit was still set) and frees the entry. Idempotence of
-// releaseShared makes the reaper safe to race with a slow subscriber
-// that is still releasing normally.
+// slot references, and stores the hbDrained sentinel once the last one
+// is released. The reaper frees an entry — clearing the peer's owner
+// bit from every slot, releasing the reference iff the bit was still
+// set — when it sees the sentinel, or when the heartbeat is older than
+// the lease timeout AND the subscriber is provably gone: for an ACTIVE
+// peer a stale heartbeat alone may just mean a stalled process
+// (SIGSTOP, swap storm, debugger), so the pid is probed first; a
+// DRAINING peer already lost its connection and keeps heartbeating
+// until drained, so age alone suffices there. The lease generation
+// closes the remaining ABA: every lease of a peer id gets a fresh gen,
+// Share/Unshare and the mapper's heartbeat/Resolve/release all validate
+// it, so a reaped-and-reused peer id rejects stale writers instead of
+// corrupting the new lease's reference counts.
 type peerSlot struct {
 	state     atomic.Uint32
 	pid       uint32
 	heartbeat atomic.Int64
-	_         [peerEntry - 16]byte
+	gen       atomic.Uint32
+	_         [peerEntry - 20]byte
 }
 
 func ctlSize() int { return alignUp(hdrBytes+MaxPeers*peerEntry, pageSize) }
@@ -118,13 +127,14 @@ func NewStore(opts Options) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := f.Truncate(int64(ctlSize())); err == nil {
-			s.ctl, err = mapFile(f, ctlSize())
+		mapErr := f.Truncate(int64(ctlSize()))
+		if mapErr == nil {
+			s.ctl, mapErr = mapFile(f, ctlSize())
 		}
 		f.Close()
 		if s.ctl == nil {
 			os.Remove(ctlPath(prefix))
-			return nil, fmt.Errorf("shm: mapping control segment: %w", err)
+			return nil, fmt.Errorf("shm: mapping control segment: %w", mapErr)
 		}
 		s.prefix = prefix
 		break
@@ -234,10 +244,13 @@ func (s *Store) Release(handle uint64, raw []byte) {
 }
 
 // Share grants peer a reference to the message in handle's slot and
-// returns the descriptor to send. length is the payload size actually
-// used. The caller must still hold the message (publisher baseline
-// alive), which guarantees the slot cannot be recycled concurrently.
-func (s *Store) Share(handle uint64, peer int, length int) (Descriptor, error) {
+// returns the descriptor to send. gen is the lease generation returned
+// by AcquirePeer: a mismatch means the lease was reaped (and the peer
+// id possibly re-issued) since the caller's handshake, so no reference
+// is minted. length is the payload size actually used. The caller must
+// still hold the message (publisher baseline alive), which guarantees
+// the slot cannot be recycled concurrently.
+func (s *Store) Share(handle uint64, peer int, gen uint32, length int) (Descriptor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -247,8 +260,8 @@ func (s *Store) Share(handle uint64, peer int, length int) (Descriptor, error) {
 	if !ok || peer < 0 || peer >= MaxPeers {
 		return Descriptor{}, fmt.Errorf("shm: share: bad handle %#x / peer %d", handle, peer)
 	}
-	if peerAt(s.ctl, peer).state.Load() != peerActive {
-		return Descriptor{}, fmt.Errorf("shm: share: peer %d not active", peer)
+	if e := peerAt(s.ctl, peer); e.state.Load() != peerActive || e.gen.Load() != gen {
+		return Descriptor{}, fmt.Errorf("shm: share: peer %d lease lost", peer)
 	}
 	if length < 0 || length > seg.slotSize {
 		return Descriptor{}, fmt.Errorf("shm: share: length %d exceeds slot size %d", length, seg.slotSize)
@@ -267,34 +280,46 @@ func (s *Store) Share(handle uint64, peer int, length int) (Descriptor, error) {
 
 // Unshare returns peer's reference on handle's slot without the
 // descriptor ever reaching the subscriber — the undo path for frames
-// dropped from a full send queue.
-func (s *Store) Unshare(handle uint64, peer int) {
+// dropped from a full send queue. gen must be the lease generation the
+// reference was minted under: if the lease has been reaped since, the
+// reaper already returned the reference (and the peer id may belong to
+// a new subscriber), so the release is skipped.
+func (s *Store) Unshare(handle uint64, peer int, gen uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seg, slot, ok := s.lookup(handle); ok && peer >= 0 && peer < MaxPeers {
+	if seg, slot, ok := s.lookup(handle); ok && peer >= 0 && peer < MaxPeers &&
+		peerAt(s.ctl, peer).gen.Load() == gen {
 		releaseShared(seg.slot(slot), peer)
 	}
 }
 
-// AcquirePeer leases a peer id to a subscriber with the given pid. The
-// lease starts with a fresh heartbeat; the subscriber keeps it fresh
-// via Mapper.StartHeartbeat.
-func (s *Store) AcquirePeer(pid uint32) (int, error) {
+// AcquirePeer leases a peer id to a subscriber with the given pid and
+// returns the id plus the lease generation. The lease starts with a
+// fresh heartbeat; the subscriber keeps it fresh via
+// Mapper.StartHeartbeat. The generation is always nonzero (zero means
+// "no validation" to mappers talking to builds without it) and changes
+// on every lease of the same id, so references minted under a reaped
+// lease can never be mistaken for the new occupant's.
+func (s *Store) AcquirePeer(pid uint32) (int, uint32, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	for p := 0; p < MaxPeers; p++ {
 		e := peerAt(s.ctl, p)
 		if e.state.Load() == peerFree {
+			gen := e.gen.Add(1)
+			if gen == 0 {
+				gen = e.gen.Add(1)
+			}
 			e.pid = pid
 			e.heartbeat.Store(time.Now().UnixNano())
 			e.state.Store(peerActive)
-			return p, nil
+			return p, gen, nil
 		}
 	}
-	return 0, ErrNoPeerSlot
+	return 0, 0, ErrNoPeerSlot
 }
 
 // RetirePeer marks a peer draining: the connection is gone, but the
@@ -337,11 +362,25 @@ func (s *Store) reapStale() {
 	}
 	for p := 0; p < MaxPeers; p++ {
 		e := peerAt(s.ctl, p)
-		if e.state.Load() == peerFree {
+		state := e.state.Load()
+		if state == peerFree {
 			continue
 		}
-		if now-e.heartbeat.Load() <= s.lease.Nanoseconds() {
-			continue
+		if hb := e.heartbeat.Load(); hb != hbDrained {
+			if now-hb <= s.lease.Nanoseconds() {
+				continue
+			}
+			// A stale heartbeat alone does not prove an ACTIVE subscriber
+			// is gone — it may just be stalled (SIGSTOP, swap, a long GC
+			// pause). Reclaiming references it still reads would recycle
+			// slots under it and hand its peer id to someone else, so an
+			// active peer is reaped only once its process no longer
+			// exists. Draining peers have lost their connection and keep
+			// heartbeating until their last release (then store the
+			// drained sentinel), so age alone is decisive for them.
+			if state == peerActive && pidAlive(e.pid) {
+				continue
+			}
 		}
 		for _, seg := range s.segs {
 			for i := 0; i < seg.slotCount; i++ {
