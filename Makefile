@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc chaos fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress chaos fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -36,6 +36,12 @@ bench:
 # the runner skips them gracefully where the platform lacks one.
 bench-ipc:
 	$(GO) run ./cmd/rossf-bench ipc -out BENCH_ipc.json
+
+# Streaming TCP fan-out throughput, batched egress vs the legacy
+# per-frame path (the baseline is measured in the same binary via
+# ros.SetLegacyEgress and recorded in the JSON) -> BENCH_egress.json.
+bench-egress:
+	$(GO) run ./cmd/rossf-bench egress -out BENCH_egress.json
 
 # Regenerate msgs/ from the IDL tree (run after editing msgs/idl).
 generate:

@@ -9,6 +9,7 @@
 //	rossf-bench fig18 [-frames N] [-width W] [-height H]
 //	rossf-bench table1
 //	rossf-bench ipc [-messages N] [-out BENCH_ipc.json]
+//	rossf-bench egress [-messages N] [-repeats N] [-out BENCH_egress.json]
 //	rossf-bench all
 //
 // -full selects the paper's exact run lengths (2000 messages at 10 Hz),
@@ -36,7 +37,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -52,8 +53,10 @@ func run(args []string) error {
 		return runTable1(rest)
 	case "ipc":
 		return runIPC(rest)
+	case "egress":
+		return runEgress(rest)
 	case "all":
-		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC} {
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress} {
 			if err := c(nil); err != nil {
 				return err
 			}
@@ -173,6 +176,32 @@ func runIPC(args []string) error {
 		return err
 	}
 	res, err := bench.RunIPC(bench.IPCConfig{Messages: *messages})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runEgress(args []string) error {
+	fs := flag.NewFlagSet("egress", flag.ContinueOnError)
+	messages := fs.Int("messages", 3000, "measured messages at the smallest payload size")
+	repeats := fs.Int("repeats", 3, "runs per (cell, mode); the best run is reported")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_egress.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunEgress(bench.EgressConfig{Messages: *messages, Repeats: *repeats})
 	if err != nil {
 		return err
 	}

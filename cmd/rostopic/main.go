@@ -217,6 +217,12 @@ func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error
 		fmt.Printf("shm:       %d segments mapped (%d bytes)   %d descriptor transfers   %d tcp fallbacks   %d leases reaped\n",
 			sh.SegmentsMapped, sh.BytesShared, sh.DescriptorSends, sh.Fallbacks, sh.LeasesReaped)
 	}
+	if eg := snap.Egress; eg.Writes > 0 {
+		fmt.Printf("egress:    %d vectored writes (%d frames, %d coalesced)   frames/write p50 %d p95 %d   bytes/write p50 %d p95 %d\n",
+			eg.Writes, eg.Frames, eg.Coalesced,
+			eg.FramesPerWrite.P50, eg.FramesPerWrite.P95,
+			eg.BytesPerWrite.P50, eg.BytesPerWrite.P95)
+	}
 	if s.TransportUnavailable > 0 {
 		fmt.Printf("warning:   publishers exist but were unreachable over this transport in %d reconcile passes\n",
 			s.TransportUnavailable)

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/obs"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+// EgressConfig parameterizes the TCP fan-out throughput matrix: one
+// publisher streaming to N loopback-TCP subscribers as fast as a credit
+// window allows. Unlike the lockstep IPC benchmark, the publisher keeps
+// a backlog in flight, so the write loop sees queued frames and the
+// batched egress path actually engages. Every cell is measured twice —
+// once through the legacy per-frame path (ros.SetLegacyEgress) and once
+// through the vectored batch path — so the result carries its own
+// baseline.
+type EgressConfig struct {
+	Sizes    []int // payload sizes in bytes
+	Fanouts  []int // subscriber counts
+	Messages int   // measured messages at the smallest size (scaled down for larger payloads)
+	Repeats  int   // runs per (cell, mode); the best run is reported
+
+	// Registry receives the run's transport instruments; the batched
+	// rows record the observed frames-per-write from it as proof the
+	// batch path engaged. Defaults to a private registry.
+	Registry *obs.Registry
+}
+
+func (c *EgressConfig) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{4 << 10, 64 << 10, 1 << 20}
+	}
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = []int{1, 4, 8}
+	}
+	if c.Messages == 0 {
+		c.Messages = 3000
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// messagesFor scales the per-cell message count so every cell moves a
+// comparable byte volume: the configured count at <=16 KiB, down to a
+// floor of 64 messages for megabyte payloads.
+func (c *EgressConfig) messagesFor(size int) int {
+	n := c.Messages
+	if size > 16<<10 {
+		n = c.Messages * (16 << 10) / size
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// EgressRow is one (size, fanout) cell. Baseline numbers come from the
+// legacy per-frame egress path (two writes per frame, CRC recomputed
+// per connection) run in the same binary immediately before the batched
+// measurement.
+type EgressRow struct {
+	SizeBytes        int     `json:"size_bytes"`
+	Subscribers      int     `json:"subscribers"`
+	Messages         int     `json:"messages"`
+	BaselineNsPerMsg float64 `json:"baseline_ns_per_msg"`
+	BatchedNsPerMsg  float64 `json:"batched_ns_per_msg"`
+	MsgsPerSec       float64 `json:"msgs_per_sec"`
+	MBPerSec         float64 `json:"mb_per_sec"` // aggregate across subscribers
+	FramesPerWrite   float64 `json:"frames_per_write"`
+	Speedup          float64 `json:"speedup_vs_baseline"`
+}
+
+// EgressResult is the full matrix, serialized to BENCH_egress.json by
+// the bench CLI.
+type EgressResult struct {
+	Baseline string      `json:"baseline"`
+	Rows     []EgressRow `json:"rows"`
+}
+
+// JSON renders the result for BENCH_egress.json.
+func (r *EgressResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Format renders the matrix as a table.
+func (r *EgressResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Egress — streaming TCP fan-out, batched vs per-frame baseline\n")
+	fmt.Fprintf(&b, "  baseline: %s\n", r.Baseline)
+	fmt.Fprintf(&b, "  %-10s %-6s %14s %14s %12s %12s %10s\n",
+		"size", "subs", "base ns/msg", "batch ns/msg", "agg MB/s", "frames/wr", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %-6d %14.0f %14.0f %12.1f %12.1f %9.2fx\n",
+			formatBytes(row.SizeBytes), row.Subscribers, row.BaselineNsPerMsg,
+			row.BatchedNsPerMsg, row.MBPerSec, row.FramesPerWrite, row.Speedup)
+	}
+	return b.String()
+}
+
+// RunEgress measures the matrix.
+func RunEgress(cfg EgressConfig) (*EgressResult, error) {
+	cfg.fillDefaults()
+	res := &EgressResult{
+		Baseline: "legacy per-frame egress: two writes per frame, CRC recomputed per connection (ros.SetLegacyEgress)",
+	}
+	for _, size := range cfg.Sizes {
+		for _, fanout := range cfg.Fanouts {
+			row, err := runEgressCell(size, fanout, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("egress %s/%d: %w", formatBytes(size), fanout, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runEgressCell measures one (size, fanout) cell in both modes,
+// interleaving repeats (legacy, batched, legacy, ...) so slow drift in
+// machine load hits both modes evenly, and keeping the best run of
+// each.
+func runEgressCell(size, fanout int, cfg EgressConfig) (EgressRow, error) {
+	n := cfg.messagesFor(size)
+	row := EgressRow{SizeBytes: size, Subscribers: fanout, Messages: n,
+		BaselineNsPerMsg: math.Inf(1), BatchedNsPerMsg: math.Inf(1)}
+	before := cfg.Registry.Snapshot().Egress
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, legacy := range []bool{true, false} {
+			ns, err := runEgressOnce(size, fanout, n, legacy, cfg)
+			if err != nil {
+				return row, err
+			}
+			if legacy {
+				row.BaselineNsPerMsg = math.Min(row.BaselineNsPerMsg, ns)
+			} else {
+				row.BatchedNsPerMsg = math.Min(row.BatchedNsPerMsg, ns)
+			}
+		}
+	}
+	after := cfg.Registry.Snapshot().Egress
+	if writes := after.Writes - before.Writes; writes > 0 {
+		row.FramesPerWrite = float64(after.Frames-before.Frames) / float64(writes)
+	}
+	row.MsgsPerSec = 1e9 / row.BatchedNsPerMsg
+	row.MBPerSec = float64(size) * float64(fanout) / row.BatchedNsPerMsg * 1e9 / 1e6
+	row.Speedup = row.BaselineNsPerMsg / row.BatchedNsPerMsg
+	return row, nil
+}
+
+// Streaming flow control: the publisher keeps up to egressWindow
+// messages in flight past the slowest subscriber. The window is large
+// enough that the write loop always finds a backlog (batches form) and
+// small enough that the publish queue never overflows (no drops skew
+// the count).
+const (
+	egressWindow    = 128
+	egressQueueSize = 2 * egressWindow
+)
+
+// runEgressOnce stands up a fresh topology and measures one streaming
+// run: publish n messages under the credit window, then wait until
+// every subscriber has received all of them. Returns wall-clock
+// nanoseconds per published message.
+func runEgressOnce(size, fanout, n int, legacy bool, cfg EgressConfig) (float64, error) {
+	prev := ros.SetLegacyEgress(legacy)
+	defer ros.SetLegacyEgress(prev)
+
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("egress_pub", ros.WithMaster(master), ros.WithMetrics(cfg.Registry))
+	if err != nil {
+		return 0, err
+	}
+	defer pubNode.Close()
+	subNode, err := ros.NewNode("egress_sub", ros.WithMaster(master), ros.WithMetrics(cfg.Registry))
+	if err != nil {
+		return 0, err
+	}
+	defer subNode.Close()
+
+	received := make([]atomic.Int64, fanout)
+	for i := 0; i < fanout; i++ {
+		counter := &received[i]
+		sub, err := ros.Subscribe(subNode, "bench/egress", func(m *sensor_msgs.ImageSF) {
+			counter.Add(1)
+		}, ros.WithTransport(ros.TransportTCP))
+		if err != nil {
+			return 0, err
+		}
+		defer sub.Close()
+	}
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, "bench/egress",
+		ros.WithQueueSize(egressQueueSize))
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	if err := waitSubscribers(pub.NumSubscribers, fanout); err != nil {
+		return 0, err
+	}
+
+	slowest := func() int64 {
+		min := received[0].Load()
+		for i := 1; i < fanout; i++ {
+			if v := received[i].Load(); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	capacity := size + 8192
+	publish := func(seq int) error {
+		for int64(seq)-slowest() > egressWindow {
+			time.Sleep(20 * time.Microsecond)
+		}
+		img, err := core.NewWithCapacity[sensor_msgs.ImageSF](capacity)
+		if err != nil {
+			return err
+		}
+		img.Header.Seq = uint32(seq)
+		if err := img.Data.Resize(size); err != nil {
+			return err
+		}
+		d := img.Data.Slice()
+		d[0], d[size-1] = byte(seq), byte(seq)
+		if err := pub.Publish(img); err != nil {
+			return err
+		}
+		_, err = core.Release(img)
+		return err
+	}
+	waitAll := func(want int64) error {
+		deadline := time.Now().Add(2 * time.Minute)
+		for slowest() < want {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("delivery stalled: slowest subscriber at %d/%d", slowest(), want)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return nil
+	}
+
+	warmup := n / 10
+	if warmup < 16 {
+		warmup = 16
+	}
+	for i := 0; i < warmup; i++ {
+		if err := publish(i); err != nil {
+			return 0, err
+		}
+	}
+	if err := waitAll(int64(warmup)); err != nil {
+		return 0, err
+	}
+
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := publish(warmup + i); err != nil {
+			return 0, err
+		}
+	}
+	if err := waitAll(int64(warmup + n)); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(t0)) / float64(n), nil
+}

@@ -11,15 +11,85 @@ import (
 // while giving stable tail quantiles at steady state.
 const histRing = 1024
 
-// Histogram records durations into a fixed ring of recent samples and
-// computes quantiles over them on demand. Observe is one atomic
-// fetch-add plus one atomic store — no locks, no allocation — so it is
-// safe on the publish/dispatch hot path. Quantiles are computed over the
-// most recent histRing observations (a sliding window, not the full
-// history), which is what a live `rostopic stats` wants anyway.
-type Histogram struct {
+// ValueHistogram records int64 samples into a fixed ring of recent
+// observations and computes quantiles over them on demand. Observe is
+// one atomic fetch-add plus one atomic store — no locks, no allocation
+// — so it is safe on the publish/dispatch hot path. Quantiles are
+// computed over the most recent histRing observations (a sliding
+// window, not the full history), which is what a live `rostopic stats`
+// wants anyway. It is the shared ring behind the duration-typed
+// Histogram and the unit-typed egress instruments (frames/write,
+// bytes/write).
+type ValueHistogram struct {
 	n     atomic.Uint64
-	slots [histRing]atomic.Int64 // nanoseconds
+	slots [histRing]atomic.Int64
+}
+
+// Observe records one sample. Safe on a nil histogram.
+func (h *ValueHistogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := h.n.Add(1) - 1
+	h.slots[i%histRing].Store(v)
+}
+
+// Count returns the total number of observations ever recorded.
+func (h *ValueHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// ValueStats is a quantile summary of a ValueHistogram window.
+type ValueStats struct {
+	Count uint64 `json:"count"` // observations ever recorded
+	Min   int64  `json:"min"`   // over the retained window
+	Max   int64  `json:"max"`   //
+	P50   int64  `json:"p50"`   //
+	P95   int64  `json:"p95"`   //
+	P99   int64  `json:"p99"`   //
+}
+
+// Stats summarises the retained window. Concurrent Observe calls may
+// tear individual slots between the count read and the copy; for a
+// monitoring summary that imprecision is acceptable and documented.
+func (h *ValueHistogram) Stats() ValueStats {
+	if h == nil {
+		return ValueStats{}
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return ValueStats{}
+	}
+	w := int(n)
+	if w > histRing {
+		w = histRing
+	}
+	samples := make([]int64, w)
+	for i := 0; i < w; i++ {
+		samples[i] = h.slots[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) int64 {
+		return samples[int(p*float64(w-1))]
+	}
+	return ValueStats{
+		Count: n,
+		Min:   samples[0],
+		Max:   samples[w-1],
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+	}
+}
+
+// Histogram records durations into a fixed ring of recent samples — a
+// duration-typed view over ValueHistogram (same cost contract: one
+// fetch-add plus one store per Observe, no locks, no allocation).
+type Histogram struct {
+	h ValueHistogram
 }
 
 // Observe records one duration. Safe on a nil histogram.
@@ -27,8 +97,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
-	i := h.n.Add(1) - 1
-	h.slots[i%histRing].Store(int64(d))
+	h.h.Observe(int64(d))
 }
 
 // Count returns the total number of observations ever recorded.
@@ -36,7 +105,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.n.Load()
+	return h.h.Count()
 }
 
 // LatencyStats is a quantile summary of a Histogram window.
@@ -49,36 +118,19 @@ type LatencyStats struct {
 	P99   time.Duration `json:"p99_ns"` //
 }
 
-// Stats summarises the retained window. Concurrent Observe calls may
-// tear individual slots between the count read and the copy; for a
-// monitoring summary that imprecision is acceptable and documented.
+// Stats summarises the retained window (see ValueHistogram.Stats for
+// the concurrency caveat).
 func (h *Histogram) Stats() LatencyStats {
 	if h == nil {
 		return LatencyStats{}
 	}
-	n := h.n.Load()
-	if n == 0 {
-		return LatencyStats{}
-	}
-	w := int(n)
-	if w > histRing {
-		w = histRing
-	}
-	samples := make([]int64, w)
-	for i := 0; i < w; i++ {
-		samples[i] = h.slots[i].Load()
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	q := func(p float64) time.Duration {
-		i := int(p * float64(w-1))
-		return time.Duration(samples[i])
-	}
+	v := h.h.Stats()
 	return LatencyStats{
-		Count: n,
-		Min:   time.Duration(samples[0]),
-		Max:   time.Duration(samples[w-1]),
-		P50:   q(0.50),
-		P95:   q(0.95),
-		P99:   q(0.99),
+		Count: v.Count,
+		Min:   time.Duration(v.Min),
+		Max:   time.Duration(v.Max),
+		P50:   time.Duration(v.P50),
+		P95:   time.Duration(v.P95),
+		P99:   time.Duration(v.P99),
 	}
 }

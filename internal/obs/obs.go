@@ -104,6 +104,22 @@ type ShmStats struct {
 	LeasesReaped    Counter // crashed/expired subscriber leases reclaimed by publishers
 }
 
+// EgressStats instruments the batched TCP egress path, registry-wide:
+// every pubConn write loop wired to the registry feeds the same set, so
+// the frames-per-write distribution describes the whole process's
+// socket behaviour. Writes counts vectored writev calls (one per
+// batch); Frames counts frames shipped inside them, so Frames/Writes >
+// 1 is direct evidence batching engaged. Coalesced counts the subset of
+// frames small enough that their bytes were copied into the contiguous
+// batch scratch instead of travelling as their own iovec.
+type EgressStats struct {
+	Writes         Counter        // vectored socket writes (one per batch)
+	Frames         Counter        // frames shipped across all writes
+	Coalesced      Counter        // small frames copied into batch scratch
+	FramesPerWrite ValueHistogram // batch sizes, in frames
+	BytesPerWrite  ValueHistogram // batch sizes, in bytes
+}
+
 // ServiceStats instruments one service endpoint.
 type ServiceStats struct {
 	Calls   Counter   // requests served
@@ -121,6 +137,9 @@ type Registry struct {
 	subs map[string]*SubStats
 	svcs map[string]*ServiceStats
 	shm  ShmStats
+	// egress lives outside mu like shm: instruments are reached through
+	// the nil-safe accessor and updated with atomics only.
+	egress EgressStats
 }
 
 // NewRegistry returns an empty registry.
@@ -140,6 +159,16 @@ func (r *Registry) Shm() *ShmStats {
 		return nil
 	}
 	return &r.shm
+}
+
+// Egress returns the registry's batched-egress instruments. Safe on a
+// nil registry (returns nil; instrument methods tolerate nil
+// receivers).
+func (r *Registry) Egress() *EgressStats {
+	if r == nil {
+		return nil
+	}
+	return &r.egress
 }
 
 var defaultRegistry = NewRegistry()
@@ -226,6 +255,15 @@ type ShmSnapshot struct {
 	LeasesReaped    uint64 `json:"leases_reaped"`
 }
 
+// EgressSnapshot is the JSON form of the batched-egress instruments.
+type EgressSnapshot struct {
+	Writes         uint64     `json:"writes"`
+	Frames         uint64     `json:"frames"`
+	Coalesced      uint64     `json:"coalesced_frames"`
+	FramesPerWrite ValueStats `json:"frames_per_write"`
+	BytesPerWrite  ValueStats `json:"bytes_per_write"`
+}
+
 // ServiceSnapshot is the JSON form of one service's instruments.
 type ServiceSnapshot struct {
 	Calls   uint64       `json:"calls"`
@@ -254,6 +292,7 @@ type Snapshot struct {
 	Time        time.Time                  `json:"time"`
 	Core        CoreSnapshot               `json:"core"`
 	Shm         ShmSnapshot                `json:"shm"`
+	Egress      EgressSnapshot             `json:"egress"`
 	Publishers  map[string]PubSnapshot     `json:"publishers"`
 	Subscribers map[string]SubSnapshot     `json:"subscribers"`
 	Services    map[string]ServiceSnapshot `json:"services"`
@@ -290,6 +329,13 @@ func (r *Registry) Snapshot() Snapshot {
 		DescriptorSends: r.shm.DescriptorSends.Load(),
 		Fallbacks:       r.shm.Fallbacks.Load(),
 		LeasesReaped:    r.shm.LeasesReaped.Load(),
+	}
+	snap.Egress = EgressSnapshot{
+		Writes:         r.egress.Writes.Load(),
+		Frames:         r.egress.Frames.Load(),
+		Coalesced:      r.egress.Coalesced.Load(),
+		FramesPerWrite: r.egress.FramesPerWrite.Stats(),
+		BytesPerWrite:  r.egress.BytesPerWrite.Stats(),
 	}
 	r.mu.Lock()
 	pubs := make(map[string]*PubStats, len(r.pubs))

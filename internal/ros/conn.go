@@ -1,6 +1,7 @@
 package ros
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -61,11 +62,13 @@ func readHeader(conn net.Conn) (map[string]string, error) {
 	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 		return nil, err
 	}
-	total := int(uint32(lenBuf[0]) | uint32(lenBuf[1])<<8 | uint32(lenBuf[2])<<16 | uint32(lenBuf[3])<<24)
-	if total > maxHeaderSize {
-		return nil, fmt.Errorf("%w: header size %d exceeds limit", ErrHandshake, total)
+	// Compare before the int conversion: a length with the top bit set
+	// must be rejected as oversized, not wrapped negative.
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	if size > maxHeaderSize {
+		return nil, fmt.Errorf("%w: header size %d exceeds limit", ErrHandshake, size)
 	}
-	body := make([]byte, total)
+	body := make([]byte, int(size))
 	if _, err := io.ReadFull(conn, body); err != nil {
 		return nil, err
 	}
@@ -77,18 +80,14 @@ func readHeader(conn net.Conn) (map[string]string, error) {
 }
 
 // writeFrame sends one checked message frame: a wire.FrameMagic header
-// carrying the payload length and CRC-32C, then the payload itself. The
-// payload is written directly from its backing storage (an arena, for
-// SFM messages) — the checksum costs one pass over the bytes but no
-// copy, preserving the serialization-free property.
+// carrying the payload length and CRC-32C, then the payload itself, as
+// a single vectored write — header and payload reach the socket in one
+// syscall, and a peer reset can never land between them. The payload is
+// written directly from its backing storage (an arena, for SFM
+// messages) — the checksum costs one pass over the bytes but no copy,
+// preserving the serialization-free property.
 func writeFrame(conn net.Conn, payload []byte) error {
-	var hdr [wire.FrameHeaderSize]byte
-	wire.PutFrameHeader(hdr[:], len(payload), wire.Checksum(payload))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(payload)
-	return err
+	return wire.WriteFrame(conn, payload, wire.Checksum(payload))
 }
 
 // frameReader consumes checked frames from a connection, rejecting

@@ -197,6 +197,13 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 		prev.drop()
 	}
 
+	// One checksum pass per publish: the memoizer hashes the arena on the
+	// first connection that needs each framing variant and every later
+	// connection reuses the stamped value. Legacy mode leaves items
+	// unstamped so the baseline write loop pays the old per-connection
+	// cost.
+	var crcs pubCRC
+	stamp := !legacyEgress.Load()
 	for _, c := range conns {
 		if c.shm != nil {
 			// Zero-copy path: the subscriber gets a 24-byte descriptor into
@@ -215,14 +222,22 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 			if err != nil {
 				return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
 			}
-			c.enqueue(frameItem{ref: &ref, tag: tagInline})
+			it := frameItem{ref: &ref, tag: tagInline}
+			if stamp {
+				it.crc, it.crcOK = crcs.inline(ref.Bytes()), true
+			}
+			c.enqueue(it)
 			continue
 		}
 		ref, err := core.NewRef(m)
 		if err != nil {
 			return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
 		}
-		c.enqueue(frameItem{ref: &ref})
+		it := frameItem{ref: &ref}
+		if stamp {
+			it.crc, it.crcOK = crcs.plain(ref.Bytes()), true
+		}
+		c.enqueue(it)
 	}
 	for _, t := range targets {
 		if err := core.Retain(m); err != nil {
@@ -268,7 +283,14 @@ type frameItem struct {
 	data []byte
 	ref  *core.Ref
 	tag  byte
-	undo func()
+	// crc, when crcOK, is the frame checksum precomputed at publish time
+	// — over the payload on plain connections, over tag||payload on
+	// tagged ones — so N-subscriber fan-out hashes the arena once
+	// instead of once per connection. crcOK false (latched items, legacy
+	// mode) makes the write loop compute it.
+	crc   uint32
+	crcOK bool
+	undo  func()
 }
 
 func (it frameItem) bytes() []byte {
@@ -433,8 +455,21 @@ func (ep *pubEndpoint) fanoutFrame(frame []byte, l *latchedMsg) {
 	if prev != nil && prev.drop != nil {
 		prev.drop()
 	}
+	// Hash the frame once per framing variant, not once per connection
+	// (raw SFM publishers can negotiate shm, so tagged connections are
+	// possible here too).
+	var crcs pubCRC
+	stamp := !legacyEgress.Load()
 	for _, c := range conns {
-		c.enqueue(frameItem{data: frame})
+		it := frameItem{data: frame}
+		if stamp {
+			if c.shm != nil {
+				it.crc, it.crcOK = crcs.inline(frame), true
+			} else {
+				it.crc, it.crcOK = crcs.plain(frame), true
+			}
+		}
+		c.enqueue(it)
 	}
 	for _, t := range targets {
 		t.deliverFrame(frame)
@@ -496,6 +531,7 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 		conn:         conn,
 		writeTimeout: ep.writeTimeout,
 		stats:        ep.stats,
+		egress:       ep.node.metrics.Egress(),
 		shm:          sender,
 		ch:           make(chan frameItem, ep.queueSize),
 		stop:         make(chan struct{}),
@@ -589,8 +625,9 @@ func (ep *pubEndpoint) close() {
 type pubConn struct {
 	conn         net.Conn
 	writeTimeout time.Duration
-	stats        *obs.PubStats // nil when metrics are disabled
-	shm          *shmSender    // non-nil on connections that negotiated shm
+	stats        *obs.PubStats    // nil when metrics are disabled
+	egress       *obs.EgressStats // nil when metrics are disabled
+	shm          *shmSender       // non-nil on connections that negotiated shm
 	ch           chan frameItem
 
 	// latchSeen is the pubSeq of the last publish whose fan-out included
@@ -637,34 +674,38 @@ func (pc *pubConn) enqueue(it frameItem) {
 	}
 }
 
+// writeLoop drains the outbound queue in adaptive batches: it blocks
+// for one item, then collects whatever is already queued — never
+// waiting for more, so an unloaded connection keeps per-frame latency —
+// and ships the run as one vectored write with one deadline (see
+// egress.go). A failed write (including a deadline hit from a
+// subscriber that stopped draining the socket) drops the connection;
+// the subscriber's retry loop re-establishes the link once it recovers.
 func (pc *pubConn) writeLoop() {
+	b := newEgressBatch(pc)
+	defer b.close()
 	for {
 		select {
 		case <-pc.stop:
 			return
 		case it := <-pc.ch:
-			// A per-frame write deadline: if this subscriber has stopped
-			// draining the socket, fail the write and drop the connection
-			// rather than wedging the fanout goroutine. The subscriber's
-			// retry loop re-establishes the link once it recovers.
-			if pc.writeTimeout > 0 {
-				pc.conn.SetWriteDeadline(time.Now().Add(pc.writeTimeout))
-			}
-			// From here the descriptor may reach the peer, so the peer (or
-			// its lease reaper) owns the shm reference — never the undo.
-			it.undo = nil
-			var err error
-			if pc.shm != nil {
-				tag := it.tag
-				if tag == 0 {
-					tag = tagInline // latched/legacy items carry message bytes
+			if legacyEgress.Load() {
+				if !pc.writeOneLegacy(it) {
+					return
 				}
-				err = writeTaggedFrame(pc.conn, tag, it.bytes())
-			} else {
-				err = writeFrame(pc.conn, it.bytes())
+				continue
 			}
-			it.release()
-			if err != nil {
+			b.add(it)
+			for !b.full() {
+				select {
+				case more := <-pc.ch:
+					b.add(more)
+					continue
+				default:
+				}
+				break
+			}
+			if !b.flush() {
 				return
 			}
 		}

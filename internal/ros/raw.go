@@ -143,16 +143,13 @@ func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
 	little := pubHeader[hdrEndian] != endianBig
 	fr := newFrameReader(conn)
 	defer r.sub.noteStreamDamage(fr)
-	scratch := make([]byte, 0, 4096)
+	var scratch scratchBuf
 	for {
 		n, crc, err := fr.next()
 		if err != nil {
 			return
 		}
-		if cap(scratch) < n {
-			scratch = make([]byte, n)
-		}
-		buf := scratch[:n]
+		buf := scratch.take(n)
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}

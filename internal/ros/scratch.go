@@ -1,0 +1,60 @@
+package ros
+
+// scratchBuf is a reusable frame-read buffer with capacity decay. The
+// grow-only scratch it replaces had a pathological retention mode: one
+// 64 MiB frame pinned 64 MiB for the remaining life of the connection,
+// even if every later frame was a few hundred bytes. take grows the
+// buffer on demand exactly as before, but once the capacity is large
+// and a long run of frames uses only a small fraction of it, the buffer
+// shrinks back to the recent peak — steady small traffic releases the
+// spike, while bursty traffic that keeps returning to large frames
+// resets the run counter and keeps its storage.
+type scratchBuf struct {
+	buf   []byte
+	small int // consecutive takes using ≤ cap/4
+	peak  int // largest take inside the current small run
+}
+
+const (
+	// scratchInitCap is the floor capacity — also the decayed target's
+	// minimum, matching the old fixed initial allocation.
+	scratchInitCap = 4096
+	// scratchShrinkMin is the capacity below which decay never triggers:
+	// small buffers are not worth reallocating.
+	scratchShrinkMin = 64 << 10
+	// scratchShrinkAfter is how many consecutive small takes must occur
+	// before the capacity drops — long enough that an alternating
+	// big/small workload never thrashes.
+	scratchShrinkAfter = 32
+)
+
+// take returns a length-n slice backed by the scratch buffer, growing
+// or decaying its capacity as described above. The returned slice is
+// valid until the next take.
+func (s *scratchBuf) take(n int) []byte {
+	if cap(s.buf) < n {
+		c := n
+		if c < scratchInitCap {
+			c = scratchInitCap
+		}
+		s.buf = make([]byte, c)
+		s.small, s.peak = 0, 0
+		return s.buf[:n]
+	}
+	if cap(s.buf) >= scratchShrinkMin && n <= cap(s.buf)/4 {
+		if n > s.peak {
+			s.peak = n
+		}
+		if s.small++; s.small >= scratchShrinkAfter {
+			c := s.peak
+			if c < scratchInitCap {
+				c = scratchInitCap
+			}
+			s.buf = make([]byte, c)
+			s.small, s.peak = 0, 0
+		}
+	} else {
+		s.small, s.peak = 0, 0
+	}
+	return s.buf[:n]
+}

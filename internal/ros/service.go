@@ -191,6 +191,19 @@ func sfmServiceHandler[Req, Resp any](handler func(*Req) (*Resp, error), layout 
 	}
 }
 
+// writeStatusFrame sends a call's 1-byte status together with its
+// response (or error-string) frame as one vectored write: the caller
+// can never observe a status byte whose frame was cut off between two
+// syscalls, and the common case costs one syscall instead of three.
+func writeStatusFrame(conn net.Conn, status byte, payload []byte) error {
+	var hdr [1 + wire.FrameHeaderSize]byte
+	hdr[0] = status
+	wire.PutFrameHeader(hdr[1:], len(payload), wire.Checksum(payload))
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
 // serveCall runs the per-connection request loop.
 func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error {
 	fail := func(msg string) error {
@@ -236,16 +249,13 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 	}()
 
 	fr := newFrameReader(conn)
-	scratch := make([]byte, 0, 4096)
+	var scratch scratchBuf
 	for {
 		n, crc, err := fr.next()
 		if err != nil {
 			return nil // client hung up
 		}
-		if cap(scratch) < n {
-			scratch = make([]byte, n)
-		}
-		frame := scratch[:n]
+		frame := scratch.take(n)
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return nil
 		}
@@ -275,22 +285,13 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 		// blocked Write forever.
 		conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
 		if herr != nil {
-			if _, err := conn.Write([]byte{0}); err != nil {
-				return nil
-			}
-			if err := writeFrame(conn, []byte(herr.Error())); err != nil {
+			if err := writeStatusFrame(conn, 0, []byte(herr.Error())); err != nil {
 				return nil
 			}
 			conn.SetWriteDeadline(zeroTime())
 			continue
 		}
-		if _, err := conn.Write([]byte{1}); err != nil {
-			if release != nil {
-				release()
-			}
-			return nil
-		}
-		werr := writeFrame(conn, respFrame)
+		werr := writeStatusFrame(conn, 1, respFrame)
 		if release != nil {
 			release()
 		}
@@ -335,7 +336,7 @@ type ServiceClient[Req, Resp any] struct {
 	layout  *core.Layout // response layout for endian conversion (SFM)
 	little  bool         // server byte order
 	timeout time.Duration
-	scratch []byte
+	scratch scratchBuf
 }
 
 // SetCallTimeout bounds each subsequent Call: the whole exchange
@@ -490,10 +491,7 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 		}
 		return core.Adopt[Resp](buf, n)
 	}
-	if cap(c.scratch) < n {
-		c.scratch = make([]byte, n)
-	}
-	frame := c.scratch[:n]
+	frame := c.scratch.take(n)
 	if _, err := io.ReadFull(c.conn, frame); err != nil {
 		return nil, err
 	}

@@ -69,18 +69,13 @@ type shmSender struct {
 func (n *Node) shmStats() *obs.ShmStats { return n.metrics.Shm() }
 
 // writeTaggedFrame sends one checked frame whose payload is tag||body,
-// without materializing the concatenation: the tag rides in the same
-// write as the frame header and the body is written from its backing
-// storage (the arena, for inline SFM messages).
+// without materializing the concatenation: header, tag, and body go out
+// as a single vectored write (the tag rides contiguously with the
+// header span) and the body is written from its backing storage (the
+// arena, for inline SFM messages).
 func writeTaggedFrame(conn net.Conn, tag byte, body []byte) error {
-	var hdr [wire.FrameHeaderSize + 1]byte
-	hdr[wire.FrameHeaderSize] = tag
-	wire.PutFrameHeader(hdr[:wire.FrameHeaderSize], len(body)+1, wire.Checksum2(hdr[wire.FrameHeaderSize:], body))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(body)
-	return err
+	t := [1]byte{tag}
+	return wire.WriteTaggedFrame(conn, tag, body, wire.Checksum2(t[:], body))
 }
 
 // negotiateShm runs the publisher side of transport selection: shm is
@@ -128,11 +123,19 @@ func shmItemFor[T any](c *pubConn, m *T) (frameItem, bool) {
 		return frameItem{}, false
 	}
 	store, peer, gen := c.shm.store, c.shm.peer, c.shm.gen
-	return frameItem{
+	it := frameItem{
 		data: d.AppendTo(nil),
 		tag:  tagDescriptor,
 		undo: func() { store.Unshare(h, peer, gen) },
-	}, true
+	}
+	// Descriptors are per-connection (24 bytes), so there is nothing to
+	// share across the fan-out — stamping here just moves the trivial
+	// hash off the write loop.
+	if !legacyEgress.Load() {
+		t := [1]byte{tagDescriptor}
+		it.crc, it.crcOK = wire.Checksum2(t[:], it.data), true
+	}
+	return it, true
 }
 
 // newShmReceiver stands up the subscriber side from the publisher's

@@ -776,16 +776,13 @@ func (r *ros1Runtime[T]) topicMeta() (string, string) { return r.typeName, r.md5
 func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
 	fr := newFrameReader(conn)
 	defer r.sub.noteStreamDamage(fr)
-	scratch := make([]byte, 0, 4096)
+	var scratch scratchBuf
 	for {
 		n, crc, err := fr.next()
 		if err != nil {
 			return
 		}
-		if cap(scratch) < n {
-			scratch = make([]byte, n)
-		}
-		buf := scratch[:n]
+		buf := scratch.take(n)
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}

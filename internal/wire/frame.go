@@ -5,6 +5,8 @@ import (
 	"errors"
 	"hash/crc32"
 	"io"
+	"net"
+	"sync/atomic"
 )
 
 // Transport framing with corruption detection. Every message frame on a
@@ -40,8 +42,19 @@ var ErrFrameTooLarge = errors.New("wire: frame too large")
 // available).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// checksumBytes counts every byte fed through Checksum/Checksum2. It
+// exists so tests can pin the fan-out hashes-once property (an
+// N-subscriber publish must hash the arena once, not N times); one
+// atomic add per call is noise next to the hash itself.
+var checksumBytes atomic.Uint64
+
+// ChecksumBytes reports the total payload bytes hashed by this process
+// so far — a test observability hook, not a performance metric.
+func ChecksumBytes() uint64 { return checksumBytes.Load() }
+
 // Checksum returns the CRC-32C of the payload.
 func Checksum(payload []byte) uint32 {
+	checksumBytes.Add(uint64(len(payload)))
 	return crc32.Checksum(payload, castagnoli)
 }
 
@@ -49,6 +62,7 @@ func Checksum(payload []byte) uint32 {
 // joining them — used for tagged frames, where a one-byte transport tag
 // precedes a payload that must not be copied just to checksum it.
 func Checksum2(a, b []byte) uint32 {
+	checksumBytes.Add(uint64(len(a) + len(b)))
 	return crc32.Update(crc32.Checksum(a, castagnoli), castagnoli, b)
 }
 
@@ -67,6 +81,57 @@ func AppendFrame(dst, payload []byte) []byte {
 	PutFrameHeader(hdr[:], len(payload), Checksum(payload))
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
+}
+
+// AppendFrameHeader appends the FrameHeaderSize-byte header of a frame
+// whose payload is payloadLen bytes with checksum crc. Callers append
+// into reusable storage (a batch's header scratch, a stack array) and
+// ship the payload separately as its own write vector.
+func AppendFrameHeader(dst []byte, payloadLen int, crc uint32) []byte {
+	var hdr [FrameHeaderSize]byte
+	PutFrameHeader(hdr[:], payloadLen, crc)
+	return append(dst, hdr[:]...)
+}
+
+// AppendTaggedFrameHeader appends the header of a tagged frame plus the
+// tag byte itself: the frame's wire payload is tag||body, so the
+// announced length is bodyLen+1 and crc must cover the tag and the
+// body (Checksum2). Header and tag travel contiguously so a vectored
+// write needs only one extra span for the body.
+func AppendTaggedFrameHeader(dst []byte, tag byte, bodyLen int, crc uint32) []byte {
+	var hdr [FrameHeaderSize + 1]byte
+	PutFrameHeader(hdr[:FrameHeaderSize], bodyLen+1, crc)
+	hdr[FrameHeaderSize] = tag
+	return append(dst, hdr[:]...)
+}
+
+// FrameVectors returns the wire spans of one checked frame — the
+// header, encoded into hdrBuf's storage, then the payload — ready for a
+// single vectored write. hdrBuf must have FrameHeaderSize bytes of
+// capacity (its length is ignored).
+func FrameVectors(hdrBuf, payload []byte, crc uint32) net.Buffers {
+	return net.Buffers{AppendFrameHeader(hdrBuf[:0], len(payload), crc), payload}
+}
+
+// WriteFrame writes one checked frame (header then payload) to w as a
+// single vectored write where w supports writev (a *net.TCPConn does),
+// so a peer reset can never land between a half-written header and its
+// payload, and the header costs no extra syscall. Writers without
+// vectored support degrade to sequential writes inside net.Buffers.
+func WriteFrame(w io.Writer, payload []byte, crc uint32) error {
+	var hdr [FrameHeaderSize]byte
+	bufs := FrameVectors(hdr[:], payload, crc)
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// WriteTaggedFrame writes one tagged checked frame (header and tag,
+// then the body) as a single vectored write; crc must cover tag||body.
+func WriteTaggedFrame(w io.Writer, tag byte, body []byte, crc uint32) error {
+	var hdr [FrameHeaderSize + 1]byte
+	bufs := net.Buffers{AppendTaggedFrameHeader(hdr[:0], tag, len(body), crc), body}
+	_, err := bufs.WriteTo(w)
+	return err
 }
 
 // FrameScanner reads checked frame headers from a stream, sliding past
