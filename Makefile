@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc bench-egress chaos fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress chaos chaos-master fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -20,6 +20,13 @@ race:
 # plus a fuzz smoke over the wire framing and IDL parsers.
 chaos: fuzz
 	$(GO) test -race ./internal/chaostest/... ./internal/netsim/
+
+# Graph-plane resilience (DESIGN §3.9): master kill/restart under live
+# traffic and a node<->master netsim partition, plus the masternet
+# replay/liveness unit tier — all under the race detector.
+chaos-master:
+	$(GO) test -race -count=1 -run 'TestMaster' ./internal/chaostest/
+	$(GO) test -race -count=1 -run 'TestRemoteMaster|TestMasterServer|TestDialMaster' ./internal/ros/
 
 # Short fuzz passes: long enough to catch regressions in the frame
 # scanner and parser, short enough for CI.

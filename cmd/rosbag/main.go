@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	rosbag record -master 127.0.0.1:11311 -out run.bag [-duration 10s] topic...
+//	rosbag record -master 127.0.0.1:11311 [-master-timeout 5s] -out run.bag [-duration 10s] topic...
 //	rosbag info  run.bag
-//	rosbag play  -master 127.0.0.1:11311 [-rate 1.0] [-loop] run.bag
+//	rosbag play  -master 127.0.0.1:11311 [-master-timeout 5s] [-rate 1.0] [-loop] run.bag
 package main
 
 import (
@@ -47,6 +47,8 @@ func run(args []string) error {
 func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
+		"retry the initial master dial with backoff for this long (0: single attempt)")
 	out := fs.String("out", "out.bag", "output file")
 	duration := fs.Duration("duration", 10*time.Second, "recording duration")
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +59,7 @@ func record(args []string) error {
 		return fmt.Errorf("record: at least one topic required")
 	}
 
-	master, err := ros.DialMaster(*masterAddr)
+	master, err := ros.DialMasterWithTimeout(*masterAddr, *masterTimeout)
 	if err != nil {
 		return err
 	}
@@ -209,6 +211,8 @@ func info(args []string) error {
 func play(args []string) error {
 	fs := flag.NewFlagSet("play", flag.ContinueOnError)
 	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
+		"retry the initial master dial with backoff for this long (0: single attempt)")
 	rate := fs.Float64("rate", 1.0, "playback speed multiplier")
 	loop := fs.Bool("loop", false, "replay forever")
 	if err := fs.Parse(args); err != nil {
@@ -221,7 +225,7 @@ func play(args []string) error {
 		return fmt.Errorf("play: rate must be positive")
 	}
 
-	master, err := ros.DialMaster(*masterAddr)
+	master, err := ros.DialMasterWithTimeout(*masterAddr, *masterTimeout)
 	if err != nil {
 		return err
 	}

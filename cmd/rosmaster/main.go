@@ -2,9 +2,15 @@
 // different processes discover each other — the analog of the classic
 // roscore name service.
 //
+// The master is stateless: clients journal their own registrations and
+// replay them on reconnect, so killing and restarting rosmaster under
+// live traffic is safe. On SIGTERM it drains gracefully, giving
+// connected clients a grace window to finish in-flight requests and
+// hang up before the remaining connections are severed.
+//
 // Usage:
 //
-//	rosmaster [-addr 127.0.0.1:11311]
+//	rosmaster [-addr 127.0.0.1:11311] [-client-expiry 15s] [-drain 5s]
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rossf/internal/ros"
 )
@@ -27,20 +34,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rosmaster", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:11311", "listen address")
+	expiry := fs.Duration("client-expiry", 0,
+		"expire clients silent for this long (0: default 15s, negative: never)")
+	drain := fs.Duration("drain", 5*time.Second, "SIGTERM grace period for connected clients")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := ros.NewMasterServer(*addr)
+	srv, err := ros.NewMasterServer(*addr, ros.WithClientExpiry(*expiry))
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	fmt.Printf("rosmaster: serving on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("rosmaster: shutting down")
+	fmt.Printf("rosmaster: draining (up to %v)\n", *drain)
+	srv.Shutdown(*drain)
+	fmt.Println("rosmaster: shut down")
 	return nil
 }

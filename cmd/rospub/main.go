@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rospub [-master 127.0.0.1:11311] [-topic camera/image]
+//	rospub [-master 127.0.0.1:11311] [-master-timeout 5s] [-topic camera/image]
 //	       [-rate 10] [-width 256] [-height 256] [-sfm] [-count 0]
 //	       [-metrics 127.0.0.1:0]
 //
@@ -21,6 +21,7 @@ import (
 
 	"rossf/internal/core"
 	"rossf/internal/msg"
+	"rossf/internal/obs"
 	"rossf/internal/ros"
 	"rossf/msgs/sensor_msgs"
 )
@@ -35,6 +36,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rospub", flag.ContinueOnError)
 	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
+		"retry the initial master dial with backoff for this long (0: single attempt)")
 	topic := fs.String("topic", "camera/image", "topic to publish")
 	rate := fs.Int("rate", 10, "publish rate in Hz")
 	width := fs.Int("width", 256, "image width")
@@ -46,7 +49,11 @@ func run(args []string) error {
 		return err
 	}
 
-	master, err := ros.DialMaster(*masterAddr)
+	// The node below defaults to obs.Default(); feeding the master
+	// session the same registry makes graph-plane events (reconnects,
+	// replays, degraded windows) visible on the /metrics endpoint.
+	master, err := ros.DialMasterWithTimeout(*masterAddr, *masterTimeout,
+		ros.WithMasterMetrics(obs.Default()))
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rostopic -master 127.0.0.1:11311 list
+//	rostopic -master 127.0.0.1:11311 [-master-timeout 5s] list
 //	rostopic -master ... info  <topic>
 //	rostopic -master ... hz    <topic> [-window 50]
 //	rostopic -master ... bw    <topic> [-window 50]
@@ -50,6 +50,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rostopic", flag.ContinueOnError)
 	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
+		"retry the initial master dial with backoff for this long (0: single attempt)")
 	window := fs.Int("window", 50, "hz/bw: number of messages to sample")
 	count := fs.Int("count", 5, "echo: messages to print before exiting")
 	idlDir := fs.String("idl", "msgs/idl", "echo: IDL directory for decoding")
@@ -62,7 +64,12 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 
-	master, err := ros.DialMaster(*masterAddr)
+	// One registry shared between the master session and the sampling
+	// subscriber, so `stats` can report graph-plane events (reconnects,
+	// replays, degraded windows) that happen while it samples.
+	reg := obs.NewRegistry()
+	master, err := ros.DialMasterWithTimeout(*masterAddr, *masterTimeout,
+		ros.WithMasterMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -78,7 +85,7 @@ func run(args []string) error {
 	case "bw":
 		return rate(master, fs.Arg(1), *window, true)
 	case "stats":
-		return stats(master, fs.Arg(1), *duration)
+		return stats(master, reg, fs.Arg(1), *duration)
 	case "echo":
 		return echo(master, fs.Arg(1), *count, *idlDir)
 	default:
@@ -184,12 +191,11 @@ func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool) er
 
 // stats samples a topic for the given duration and prints the full
 // instrument set: rate, bandwidth, drops, and latency quantiles.
-func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error {
+func stats(master *ros.RemoteMaster, reg *obs.Registry, topic string, duration time.Duration) error {
 	ti, err := lookupTopic(master, topic)
 	if err != nil {
 		return err
 	}
-	reg := obs.NewRegistry()
 	start := time.Now()
 	node, err := subscribeBoth(master, ti, reg, func(ros.RawMessage) {})
 	if err != nil {
@@ -222,6 +228,11 @@ func stats(master *ros.RemoteMaster, topic string, duration time.Duration) error
 			eg.Writes, eg.Frames, eg.Coalesced,
 			eg.FramesPerWrite.P50, eg.FramesPerWrite.P95,
 			eg.BytesPerWrite.P50, eg.BytesPerWrite.P95)
+	}
+	if g := snap.Graph; g.MasterReconnects > 0 || g.Replays > 0 || g.GhostExpiries > 0 ||
+		g.MalformedLines > 0 || g.Degraded != 0 {
+		fmt.Printf("graph:     %d master reconnects   %d replays (resync p95 %v)   %d ghost expiries   %d malformed lines   degraded sessions: %d\n",
+			g.MasterReconnects, g.Replays, g.Resync.P95, g.GhostExpiries, g.MalformedLines, g.Degraded)
 	}
 	if s.TransportUnavailable > 0 {
 		fmt.Printf("warning:   publishers exist but were unreachable over this transport in %d reconcile passes\n",

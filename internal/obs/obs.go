@@ -120,6 +120,27 @@ type EgressStats struct {
 	BytesPerWrite  ValueHistogram // batch sizes, in bytes
 }
 
+// GraphStats instruments the graph plane (master protocol), registry-
+// wide: every RemoteMaster client and MasterServer wired to the
+// registry feeds the same set. The client side records reconnects,
+// journal replays, resync latency, and the degraded-mode gauge; the
+// server side records ghost-client expiries. MalformedLines is shared:
+// both the client read loop and the server request loop count protocol
+// lines that failed to parse (each side also logs once per connection
+// instead of dropping them invisibly).
+type GraphStats struct {
+	MasterReconnects Counter   // master connections re-established after loss
+	Replays          Counter   // journal replays completed against a (re)connected master
+	ResyncLatency    Histogram // connection-loss detection → replay complete
+	GhostExpiries    Counter   // server: idle clients expired by the liveness watchdog
+	MalformedLines   Counter   // protocol lines that failed JSON parsing (both sides)
+	// Degraded counts master sessions currently in degraded mode
+	// (disconnected, reconnect loop running, calls failing fast). Each
+	// RemoteMaster contributes +1 while degraded, so a process with
+	// several master clients reads the number of broken sessions.
+	Degraded Gauge
+}
+
 // ServiceStats instruments one service endpoint.
 type ServiceStats struct {
 	Calls   Counter   // requests served
@@ -137,9 +158,10 @@ type Registry struct {
 	subs map[string]*SubStats
 	svcs map[string]*ServiceStats
 	shm  ShmStats
-	// egress lives outside mu like shm: instruments are reached through
-	// the nil-safe accessor and updated with atomics only.
+	// egress and graph live outside mu like shm: instruments are reached
+	// through the nil-safe accessors and updated with atomics only.
 	egress EgressStats
+	graph  GraphStats
 }
 
 // NewRegistry returns an empty registry.
@@ -169,6 +191,15 @@ func (r *Registry) Egress() *EgressStats {
 		return nil
 	}
 	return &r.egress
+}
+
+// Graph returns the registry's graph-plane instruments. Safe on a nil
+// registry (returns nil; instrument methods tolerate nil receivers).
+func (r *Registry) Graph() *GraphStats {
+	if r == nil {
+		return nil
+	}
+	return &r.graph
 }
 
 var defaultRegistry = NewRegistry()
@@ -264,6 +295,16 @@ type EgressSnapshot struct {
 	BytesPerWrite  ValueStats `json:"bytes_per_write"`
 }
 
+// GraphSnapshot is the JSON form of the graph-plane instruments.
+type GraphSnapshot struct {
+	MasterReconnects uint64       `json:"master_reconnects"`
+	Replays          uint64       `json:"replays"`
+	Resync           LatencyStats `json:"resync"`
+	GhostExpiries    uint64       `json:"ghost_expiries"`
+	MalformedLines   uint64       `json:"malformed_lines"`
+	Degraded         int64        `json:"degraded"`
+}
+
 // ServiceSnapshot is the JSON form of one service's instruments.
 type ServiceSnapshot struct {
 	Calls   uint64       `json:"calls"`
@@ -293,6 +334,7 @@ type Snapshot struct {
 	Core        CoreSnapshot               `json:"core"`
 	Shm         ShmSnapshot                `json:"shm"`
 	Egress      EgressSnapshot             `json:"egress"`
+	Graph       GraphSnapshot              `json:"graph"`
 	Publishers  map[string]PubSnapshot     `json:"publishers"`
 	Subscribers map[string]SubSnapshot     `json:"subscribers"`
 	Services    map[string]ServiceSnapshot `json:"services"`
@@ -336,6 +378,14 @@ func (r *Registry) Snapshot() Snapshot {
 		Coalesced:      r.egress.Coalesced.Load(),
 		FramesPerWrite: r.egress.FramesPerWrite.Stats(),
 		BytesPerWrite:  r.egress.BytesPerWrite.Stats(),
+	}
+	snap.Graph = GraphSnapshot{
+		MasterReconnects: r.graph.MasterReconnects.Load(),
+		Replays:          r.graph.Replays.Load(),
+		Resync:           r.graph.ResyncLatency.Stats(),
+		GhostExpiries:    r.graph.GhostExpiries.Load(),
+		MalformedLines:   r.graph.MalformedLines.Load(),
+		Degraded:         r.graph.Degraded.Load(),
 	}
 	r.mu.Lock()
 	pubs := make(map[string]*PubStats, len(r.pubs))

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -181,6 +182,44 @@ func TestSnapshotTracksCoreLifecycle(t *testing.T) {
 	after := r.Snapshot().Core
 	if after.Live != before.Live || after.Frees != mid.Frees+1 {
 		t.Fatalf("snapshot did not observe the free: before=%+v after=%+v", before, after)
+	}
+}
+
+func TestGraphSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.Graph()
+	g.MasterReconnects.Inc()
+	g.Replays.Add(2)
+	g.ResyncLatency.Observe(3 * time.Millisecond)
+	g.GhostExpiries.Inc()
+	g.MalformedLines.Add(4)
+	g.Degraded.Add(1)
+
+	snap := r.Snapshot().Graph
+	if snap.MasterReconnects != 1 || snap.Replays != 2 || snap.GhostExpiries != 1 ||
+		snap.MalformedLines != 4 || snap.Degraded != 1 || snap.Resync.Count != 1 {
+		t.Fatalf("graph snapshot = %+v", snap)
+	}
+	g.Degraded.Add(-1)
+	if got := r.Snapshot().Graph.Degraded; got != 0 {
+		t.Fatalf("degraded gauge after recovery = %d, want 0", got)
+	}
+
+	// A nil registry's accessor must not panic (disabled metrics path;
+	// callers substitute a private sink for the nil).
+	var nilReg *Registry
+	if nilReg.Graph() != nil {
+		t.Fatal("nil registry returned non-nil graph stats")
+	}
+
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, key := range []string{"master_reconnects", "replays", "resync", "ghost_expiries", "malformed_lines", "degraded"} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("snapshot JSON missing %q: %s", key, b)
+		}
 	}
 }
 

@@ -5,9 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"rossf/internal/obs"
 )
 
 // The TCP master protocol lets nodes in different processes share one
@@ -18,9 +23,29 @@ import (
 //	client -> server  {"op":"regpub","id":1,"topic":"t","node":"n","addr":"a","type":"y","md5":"m"}
 //	                  {"op":"unregpub","id":2,"handle":7}
 //	                  {"op":"watch","id":3,"topic":"t","type":"y","md5":"m"}
+//	                  {"op":"ping","id":4}                              (liveness heartbeat)
 //	server -> client  {"op":"ok","id":1,"handle":7}
-//	                  {"op":"err","id":1,"msg":"..."}
+//	                  {"op":"err","id":1,"msg":"...","code":"type_mismatch"}
 //	                  {"op":"pubs","handle":9,"pubs":[{"node":"n","addr":"a"}]}  (async push)
+//
+// The master is stateless across restarts: registrations live exactly as
+// long as the client connection that made them. Crash tolerance is
+// therefore client-side — RemoteMaster journals its desired state
+// (publisher/service registrations, active watches) and, when the
+// connection drops, reconnects with bounded exponential backoff and
+// replays the journal against the restarted master, remapping server
+// handles transparently. While disconnected the session is "degraded":
+// established data-plane connections keep flowing untouched and every
+// new master call fails fast with ErrMasterUnavailable instead of
+// hanging. On the server side, a liveness watchdog expires clients that
+// go silent (no request or ping within the expiry window), so a
+// SIGKILLed or partitioned node cannot leave ghost registrations behind.
+
+// ErrMasterUnavailable reports a master call attempted (or in flight)
+// while the connection to the master is down. The client keeps
+// reconnecting in the background; established pub/sub traffic is
+// unaffected. Callers match it with errors.Is.
+var ErrMasterUnavailable = errors.New("ros: master unavailable")
 
 // masterMsg is the single wire envelope of the master protocol.
 type masterMsg struct {
@@ -33,11 +58,21 @@ type masterMsg struct {
 	Type   string       `json:"type,omitempty"`
 	MD5    string       `json:"md5,omitempty"`
 	Msg    string       `json:"msg,omitempty"`
+	Code   string       `json:"code,omitempty"`  // error category ("type_mismatch")
 	Resp   string       `json:"resp,omitempty"`  // service response type
 	Found  bool         `json:"found,omitempty"` // lookupsrv result
 	Pubs   []masterPub  `json:"pubs,omitempty"`
 	Topics []wireTopics `json:"topics,omitempty"`
 }
+
+// opSessionDown is a client-internal sentinel injected into reply
+// channels when the session dies with calls in flight; it never crosses
+// the wire.
+const opSessionDown = "_down"
+
+// codeTypeMismatch tags err responses whose cause is ErrTypeMismatch so
+// the client can rebuild the error category across the wire.
+const codeTypeMismatch = "type_mismatch"
 
 // wireTopics is the JSON shape of TopicInfo.
 type wireTopics struct {
@@ -54,10 +89,56 @@ type masterPub struct {
 	MD5  string `json:"md5"`
 }
 
+// defaultClientExpiry is how long the server lets a client go silent
+// before expiring it and its registrations. RemoteMaster heartbeats at
+// defaultMasterHeartbeat, so a healthy client is never near the limit.
+const defaultClientExpiry = 15 * time.Second
+
+// defaultMasterHeartbeat is the client ping interval; it doubles as the
+// client's detector for silently dead master connections.
+const defaultMasterHeartbeat = 3 * time.Second
+
+// defaultResyncGrace is how long after a journal replay the client
+// treats publisher removals in watch pushes as suspect: right after a
+// master restart other clients are still replaying their own journals,
+// so a momentarily shrunken publisher set must not tear down live
+// subscriber connections. Additions are applied immediately; removals
+// are held back (the delivered set is the union of old and new) until
+// the grace expires, at which point the latest raw set is delivered.
+const defaultResyncGrace = 3 * time.Second
+
+// MasterServerOption configures NewMasterServer.
+type MasterServerOption func(*masterServerConfig)
+
+type masterServerConfig struct {
+	metrics    *obs.Registry
+	metricsSet bool
+	expiry     time.Duration
+}
+
+// WithServerMetrics selects the registry recording the server's graph
+// instruments (ghost expiries, malformed request lines). Default
+// obs.Default(); pass nil to disable.
+func WithServerMetrics(r *obs.Registry) MasterServerOption {
+	return func(c *masterServerConfig) {
+		c.metrics = r
+		c.metricsSet = true
+	}
+}
+
+// WithClientExpiry sets how long a client may go silent (no request, no
+// ping) before the server expires it and cancels its registrations.
+// Zero keeps the default; negative disables expiry entirely.
+func WithClientExpiry(d time.Duration) MasterServerOption {
+	return func(c *masterServerConfig) { c.expiry = d }
+}
+
 // MasterServer serves a LocalMaster over TCP.
 type MasterServer struct {
 	master   *LocalMaster
 	listener net.Listener
+	graph    *obs.GraphStats
+	expiry   time.Duration
 	wg       sync.WaitGroup
 
 	mu     sync.Mutex
@@ -67,14 +148,30 @@ type MasterServer struct {
 
 // NewMasterServer starts serving on addr (e.g. "127.0.0.1:11311", the
 // traditional ROS master port).
-func NewMasterServer(addr string) (*MasterServer, error) {
+func NewMasterServer(addr string, opts ...MasterServerOption) (*MasterServer, error) {
+	cfg := masterServerConfig{expiry: defaultClientExpiry}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.metricsSet {
+		cfg.metrics = obs.Default()
+	}
+	if cfg.expiry == 0 {
+		cfg.expiry = defaultClientExpiry
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ros: master listen: %w", err)
 	}
+	graph := cfg.metrics.Graph()
+	if graph == nil {
+		graph = new(obs.GraphStats) // sink: instruments stay nil-safe to update
+	}
 	s := &MasterServer{
 		master:   NewLocalMaster(),
 		listener: l,
+		graph:    graph,
+		expiry:   cfg.expiry,
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -85,21 +182,40 @@ func NewMasterServer(addr string) (*MasterServer, error) {
 // Addr returns the listening address.
 func (s *MasterServer) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the server and disconnects all clients.
-func (s *MasterServer) Close() error {
+// Close stops the server and disconnects all clients immediately.
+func (s *MasterServer) Close() error { return s.Shutdown(0) }
+
+// Shutdown stops accepting new clients, waits up to grace for connected
+// clients to hang up on their own (in-flight requests finish; idle
+// heartbeating clients will not leave voluntarily, so grace bounds the
+// wait), then severs the remainder and joins all goroutines.
+// cmd/rosmaster calls this on SIGTERM.
+func (s *MasterServer) Shutdown(grace time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+
+	s.listener.Close()
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.mu.Lock()
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
-
-	s.listener.Close()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -134,7 +250,11 @@ func (s *MasterServer) acceptLoop() {
 }
 
 // serveClient owns one client connection: requests are served in order;
-// watch pushes are serialized through the shared encoder mutex.
+// watch pushes are serialized through the shared encoder mutex. A
+// liveness watchdog expires the client — cancelling every registration
+// it made — if it goes silent for longer than the expiry window, so a
+// SIGKILLed or partitioned node cannot leave ghost publishers that
+// subscribers redial forever.
 func (s *MasterServer) serveClient(conn net.Conn) {
 	defer conn.Close()
 	var writeMu sync.Mutex
@@ -158,6 +278,17 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 	nextHandle := int64(1)
 	cancels := make(map[int64]func())
 	defer func() {
+		// Skip the sweep when the whole server is going down: cancelling
+		// registrations then would push shrunken publisher sets to
+		// whichever clients happen to disconnect last — phantom teardown
+		// notifications from a master that is about to not exist. A real
+		// master crash (the case restarts model) is abrupt for everyone.
+		s.mu.Lock()
+		dying := s.closed
+		s.mu.Unlock()
+		if dying {
+			return
+		}
 		handleMu.Lock()
 		defer handleMu.Unlock()
 		for _, cancel := range cancels {
@@ -165,21 +296,68 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 		}
 	}()
 
+	// Liveness watchdog: lastSeen advances on every scanned line (any
+	// request, including pings). If the client goes silent past the
+	// expiry window the watchdog severs it, which runs the deferred
+	// cancel sweep above — the ghost's registrations vanish and every
+	// watcher is notified.
+	var lastSeen atomic.Int64
+	lastSeen.Store(time.Now().UnixNano())
+	if s.expiry > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		tick := s.expiry / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					idle := time.Since(time.Unix(0, lastSeen.Load()))
+					if idle > s.expiry {
+						s.graph.GhostExpiries.Inc()
+						log.Printf("ros: master: expiring silent client %s (idle %v > %v)",
+							conn.RemoteAddr(), idle.Round(time.Millisecond), s.expiry)
+						conn.Close()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	warnedMalformed := false
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
+		lastSeen.Store(time.Now().UnixNano())
 		var req masterMsg
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			s.graph.MalformedLines.Inc()
+			if !warnedMalformed {
+				warnedMalformed = true
+				log.Printf("ros: master: malformed request line from %s (counted, logged once per connection): %v",
+					conn.RemoteAddr(), err)
+			}
 			send(masterMsg{Op: "err", Msg: "malformed request: " + err.Error()})
 			continue
 		}
 		switch req.Op {
+		case "ping":
+			send(masterMsg{Op: "ok", ID: req.ID})
 		case "regpub":
 			unregister, err := s.master.RegisterPublisher(req.Topic, PublisherInfo{
 				NodeName: req.Node, Addr: req.Addr, TypeName: req.Type, MD5: req.MD5,
 			})
 			if err != nil {
-				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				send(errMsg(req.ID, err))
 				continue
 			}
 			handleMu.Lock()
@@ -202,7 +380,7 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 			// client must know the handle before the initial snapshot
 			// push arrives.
 			if err := s.master.CheckTopic(req.Topic, req.Type, req.MD5); err != nil {
-				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				send(errMsg(req.ID, err))
 				continue
 			}
 			handleMu.Lock()
@@ -230,7 +408,7 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 				ReqType: req.Type, RespType: req.Resp, MD5: req.MD5,
 			})
 			if err != nil {
-				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				send(errMsg(req.ID, err))
 				continue
 			}
 			handleMu.Lock()
@@ -242,7 +420,7 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 		case "lookupsrv":
 			info, found, err := s.master.LookupService(req.Topic)
 			if err != nil {
-				send(masterMsg{Op: "err", ID: req.ID, Msg: err.Error()})
+				send(errMsg(req.ID, err))
 				continue
 			}
 			send(masterMsg{Op: "ok", ID: req.ID, Found: found,
@@ -261,46 +439,300 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 	}
 }
 
-// RemoteMaster is the client side: a Master implementation backed by a
-// MasterServer elsewhere.
-type RemoteMaster struct {
+// errMsg builds an err response, tagging the category so the client can
+// reconstruct typed errors across the wire.
+func errMsg(id int64, err error) masterMsg {
+	m := masterMsg{Op: "err", ID: id, Msg: err.Error()}
+	if errors.Is(err, ErrTypeMismatch) {
+		m.Code = codeTypeMismatch
+	}
+	return m
+}
+
+// MasterOption configures DialMaster.
+type MasterOption func(*masterConfig)
+
+type masterConfig struct {
+	retry       RetryPolicy
+	dial        DialFunc
+	metrics     *obs.Registry
+	metricsSet  bool
+	heartbeat   time.Duration
+	resyncGrace time.Duration
+	graceSet    bool
+}
+
+// WithMasterRetry replaces the reconnect schedule used after the master
+// connection drops (default DefaultRetryPolicy: 50ms doubling to 2s
+// with ±50% jitter, retrying forever). MaxAttempts > 0 bounds the
+// attempts; once exhausted the session gives up permanently and every
+// call fails with ErrMasterUnavailable.
+func WithMasterRetry(p RetryPolicy) MasterOption {
+	return func(c *masterConfig) { c.retry = p }
+}
+
+// WithMasterDialer replaces the transport dialer used for the master
+// connection (initial and reconnect) — netsim links use this to model a
+// partition between node and master.
+func WithMasterDialer(d DialFunc) MasterOption {
+	return func(c *masterConfig) { c.dial = d }
+}
+
+// WithMasterMetrics selects the registry recording this session's graph
+// instruments (reconnects, replays, resync latency, degraded gauge).
+// Default obs.Default(); pass nil to disable.
+func WithMasterMetrics(r *obs.Registry) MasterOption {
+	return func(c *masterConfig) {
+		c.metrics = r
+		c.metricsSet = true
+	}
+}
+
+// WithMasterHeartbeat sets the client ping interval (default 3s). Pings
+// keep the client alive past the server's liveness expiry and detect
+// silently dead connections; a ping that cannot complete within twice
+// the interval severs the connection and triggers reconnect. Negative
+// disables heartbeats (tests only — an idle client without heartbeats
+// is eventually expired by the server).
+func WithMasterHeartbeat(d time.Duration) MasterOption {
+	return func(c *masterConfig) { c.heartbeat = d }
+}
+
+// WithMasterResyncGrace sets how long after a journal replay watch
+// pushes are diffed against the pre-outage publisher set before
+// removals are believed (default 3s; see defaultResyncGrace). Zero
+// disables the grace: post-replay pushes are delivered raw.
+func WithMasterResyncGrace(d time.Duration) MasterOption {
+	return func(c *masterConfig) {
+		c.resyncGrace = d
+		c.graceSet = true
+	}
+}
+
+// journalEntry is one unit of desired client state: a publisher or
+// service registration, or an active watch. The journal is the source
+// of truth for replay — serverHandle and gen say where (and whether)
+// the entry currently lives on the wire.
+type journalEntry struct {
+	handle int64  // client handle, stable across reconnects (journal key)
+	op     string // "regpub", "regsrv", "watch"
+	topic  string
+	pub    PublisherInfo // regpub
+	srv    ServiceInfo   // regsrv
+	typ    string        // watch
+	md5    string        // watch
+
+	// serverHandle is the handle the current session's master assigned;
+	// valid only while gen matches the live session's generation.
+	serverHandle int64
+	gen          int64
+
+	// Watch delivery state. routeSeq is assigned under RemoteMaster.mu
+	// when a push is routed to this entry; deliverMu serializes the
+	// callback and doneSeq drops stale (out-of-order) deliveries.
+	cb        func([]PublisherInfo)
+	routeSeq  uint64
+	deliverMu sync.Mutex
+	doneSeq   uint64
+	delivered []PublisherInfo // last set handed to the callback
+	lastRaw   []PublisherInfo // last raw set received from the master
+	haveSets  bool            // delivered/lastRaw are meaningful
+	settling  bool            // within the post-replay resync grace
+}
+
+// deliver routes one publisher-set push (seq assigned under the master
+// mutex) through dedup and resync-grace filtering to the callback.
+func (e *journalEntry) deliver(seq uint64, pubs []PublisherInfo) {
+	e.deliverMu.Lock()
+	defer e.deliverMu.Unlock()
+	if seq <= e.doneSeq {
+		return // a newer push already delivered
+	}
+	e.doneSeq = seq
+	e.lastRaw = pubs
+	eff := pubs
+	if e.settling && e.haveSets {
+		// Right after a replay other clients may not have replayed their
+		// own registrations yet; do not tear down established publishers
+		// on the strength of a momentarily shrunken snapshot. Additions
+		// apply immediately, removals wait for finishSettle.
+		eff = unionPubs(e.delivered, pubs)
+	}
+	if e.haveSets && pubsEqual(eff, e.delivered) {
+		return
+	}
+	e.delivered = eff
+	e.haveSets = true
+	e.cb(eff) // callback contract: must not block; deliverMu serializes order
+}
+
+// finishSettle ends the post-replay grace: if the latest raw set still
+// differs from what was delivered (a publisher really did vanish), the
+// removal is now applied.
+func (e *journalEntry) finishSettle() {
+	e.deliverMu.Lock()
+	defer e.deliverMu.Unlock()
+	if !e.settling {
+		return
+	}
+	e.settling = false
+	if e.lastRaw == nil && !e.haveSets {
+		return
+	}
+	if e.haveSets && pubsEqual(e.lastRaw, e.delivered) {
+		return
+	}
+	e.delivered = e.lastRaw
+	e.haveSets = true
+	e.cb(e.lastRaw)
+}
+
+// beginSettle arms the resync grace for the next pushes.
+func (e *journalEntry) beginSettle() {
+	e.deliverMu.Lock()
+	e.settling = true
+	e.deliverMu.Unlock()
+}
+
+// pubsEqual compares publisher sets by exported identity.
+func pubsEqual(a, b []PublisherInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].NodeName != b[i].NodeName || a[i].Addr != b[i].Addr ||
+			a[i].TypeName != b[i].TypeName || a[i].MD5 != b[i].MD5 {
+			return false
+		}
+	}
+	return true
+}
+
+// unionPubs merges two publisher sets by identity, sorted like the
+// master's snapshots (NodeName, then Addr).
+func unionPubs(a, b []PublisherInfo) []PublisherInfo {
+	type key struct{ node, addr, typ, md5 string }
+	seen := make(map[key]struct{}, len(a)+len(b))
+	out := make([]PublisherInfo, 0, len(a)+len(b))
+	for _, set := range [2][]PublisherInfo{a, b} {
+		for _, p := range set {
+			k := key{p.NodeName, p.Addr, p.TypeName, p.MD5}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeName != out[j].NodeName {
+			return out[i].NodeName < out[j].NodeName
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// masterSession is one live connection to the master. Sessions are
+// replaced wholesale on reconnect; gen stamps which session a journal
+// entry's serverHandle belongs to.
+type masterSession struct {
+	gen  int64
 	conn net.Conn
 	enc  *json.Encoder
 
-	mu      sync.Mutex
-	nextID  int64
-	replies map[int64]chan masterMsg
-	watches map[int64]func([]PublisherInfo)
-	// pending buffers pushes that arrive between the server's "ok" and
-	// the local callback registration.
-	pending map[int64][][]PublisherInfo
-	closed  bool
+	encMu sync.Mutex // serializes request writes
 
-	wg sync.WaitGroup
+	// replies and pending are guarded by RemoteMaster.mu. replies is
+	// set to nil when the session dies; callOn treats that as
+	// ErrMasterUnavailable. pending buffers the latest pubs push per
+	// server handle that arrived before the local callback registration
+	// (full snapshots: only the newest matters).
+	replies map[int64]chan masterMsg
+	pending map[int64][]PublisherInfo
+
+	done chan struct{} // closed once the read loop has torn the session down
+}
+
+// RemoteMaster is the client side: a Master implementation backed by a
+// MasterServer elsewhere. It survives master restarts: a journal of
+// desired state is replayed against the reconnected master and server
+// handles are remapped transparently, so Advertise/Subscribe handles
+// created before a master crash keep working after it.
+type RemoteMaster struct {
+	addr  string
+	cfg   masterConfig
+	graph *obs.GraphStats
+
+	mu            sync.Mutex
+	sess          *masterSession // nil while degraded
+	nextGen       int64
+	nextID        int64
+	nextHandle    int64
+	journal       map[int64]*journalEntry
+	watchByServer map[int64]*journalEntry // current session's server handle → watch entry
+	degraded      bool
+	gaveUp        bool
+	closed        bool
+
+	kickCh  chan struct{} // nudges the manager to replay stranded entries
+	closeCh chan struct{}
+	wg      sync.WaitGroup
 }
 
 var _ Master = (*RemoteMaster)(nil)
 
-// DialMaster connects to a master server.
-func DialMaster(addr string) (*RemoteMaster, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialMaster connects to a master server. The returned client owns a
+// background manager that keeps the session alive: on connection loss
+// it reconnects with bounded exponential backoff plus jitter and
+// replays every registration and watch in its journal.
+func DialMaster(addr string, opts ...MasterOption) (*RemoteMaster, error) {
+	cfg := masterConfig{
+		retry:       DefaultRetryPolicy,
+		heartbeat:   defaultMasterHeartbeat,
+		resyncGrace: defaultResyncGrace,
+		dial: func(addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.retry = cfg.retry.withDefaults()
+	if !cfg.metricsSet {
+		cfg.metrics = obs.Default()
+	}
+	if cfg.heartbeat == 0 {
+		cfg.heartbeat = defaultMasterHeartbeat
+	}
+	if !cfg.graceSet {
+		cfg.resyncGrace = defaultResyncGrace
+	}
+	conn, err := cfg.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("ros: dial master: %w", err)
 	}
-	m := &RemoteMaster{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		replies: make(map[int64]chan masterMsg),
-		watches: make(map[int64]func([]PublisherInfo)),
-		pending: make(map[int64][][]PublisherInfo),
+	graph := cfg.metrics.Graph()
+	if graph == nil {
+		graph = new(obs.GraphStats)
 	}
+	m := &RemoteMaster{
+		addr:          addr,
+		cfg:           cfg,
+		graph:         graph,
+		journal:       make(map[int64]*journalEntry),
+		watchByServer: make(map[int64]*journalEntry),
+		kickCh:        make(chan struct{}, 1),
+		closeCh:       make(chan struct{}),
+	}
+	m.install(conn)
 	m.wg.Add(1)
-	go m.readLoop()
+	go m.manage()
 	return m, nil
 }
 
-// Close disconnects from the master; all registrations vanish server-
-// side with the connection.
+// Close disconnects from the master and stops the reconnect manager.
+// Server-side registrations vanish with the connection.
 func (m *RemoteMaster) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -308,19 +740,95 @@ func (m *RemoteMaster) Close() error {
 		return nil
 	}
 	m.closed = true
+	sess := m.sess
+	if m.degraded {
+		m.degraded = false
+		m.graph.Degraded.Add(-1)
+	}
 	m.mu.Unlock()
-	err := m.conn.Close()
+	close(m.closeCh)
+	var err error
+	if sess != nil {
+		err = sess.conn.Close()
+	}
 	m.wg.Wait()
 	return err
 }
 
-func (m *RemoteMaster) readLoop() {
+// install makes conn the live session and starts its read loop and
+// heartbeat. Returns nil if the client closed meanwhile.
+func (m *RemoteMaster) install(conn net.Conn) *masterSession {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.nextGen++
+	sess := &masterSession{
+		gen:     m.nextGen,
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		replies: make(map[int64]chan masterMsg),
+		pending: make(map[int64][]PublisherInfo),
+		done:    make(chan struct{}),
+	}
+	m.sess = sess
+	if m.degraded {
+		m.degraded = false
+		m.graph.Degraded.Add(-1)
+	}
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go m.readLoop(sess)
+	if m.cfg.heartbeat > 0 {
+		m.wg.Add(1)
+		go m.heartbeat(sess)
+	}
+	return sess
+}
+
+// sessionDown tears the session out of the client: pending calls fail
+// with ErrMasterUnavailable, watch routing is cleared, and the degraded
+// gauge rises. Only the session's own read loop calls it.
+func (m *RemoteMaster) sessionDown(sess *masterSession) {
+	m.mu.Lock()
+	if m.sess == sess {
+		m.sess = nil
+		m.watchByServer = make(map[int64]*journalEntry)
+		if !m.closed && !m.degraded {
+			m.degraded = true
+			m.graph.Degraded.Add(1)
+		}
+	}
+	pending := sess.replies
+	sess.replies = nil
+	sess.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		ch <- masterMsg{Op: opSessionDown} // cap-1 channels with one waiter each: never blocks
+	}
+	close(sess.done)
+}
+
+// readLoop demultiplexes one session's responses and pushes. On any
+// exit — EOF, a scanner error, an oversized line — it fails every
+// in-flight call with ErrMasterUnavailable (nothing blocks forever on a
+// reply channel) and signals the manager to reconnect.
+func (m *RemoteMaster) readLoop(sess *masterSession) {
 	defer m.wg.Done()
-	sc := bufio.NewScanner(m.conn)
+	defer sess.conn.Close()
+	warnedMalformed := false
+	sc := bufio.NewScanner(sess.conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
 		var resp masterMsg
 		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			m.graph.MalformedLines.Inc()
+			if !warnedMalformed {
+				warnedMalformed = true
+				log.Printf("ros: remote master %s: malformed response line (counted, logged once per connection): %v",
+					m.addr, err)
+			}
 			continue
 		}
 		switch resp.Op {
@@ -330,30 +838,296 @@ func (m *RemoteMaster) readLoop() {
 				pubs[i] = PublisherInfo{NodeName: p.Node, Addr: p.Addr, TypeName: p.Type, MD5: p.MD5}
 			}
 			m.mu.Lock()
-			cb := m.watches[resp.Handle]
-			if cb == nil {
-				m.pending[resp.Handle] = append(m.pending[resp.Handle], pubs)
+			e := m.watchByServer[resp.Handle]
+			var seq uint64
+			if e != nil {
+				e.routeSeq++
+				seq = e.routeSeq
+			} else if sess.pending != nil {
+				// Watch acknowledged but callback not yet registered (or
+				// an unknown/stale handle): keep only the newest snapshot.
+				sess.pending[resp.Handle] = pubs
 			}
 			m.mu.Unlock()
-			if cb != nil {
-				cb(pubs)
+			if e != nil {
+				e.deliver(seq, pubs)
 			}
 		default:
 			m.mu.Lock()
-			ch := m.replies[resp.ID]
-			delete(m.replies, resp.ID)
+			var ch chan masterMsg
+			if sess.replies != nil {
+				ch = sess.replies[resp.ID]
+				delete(sess.replies, resp.ID)
+			}
 			m.mu.Unlock()
 			if ch != nil {
 				ch <- resp
 			}
 		}
 	}
-	// Connection gone: fail all pending calls.
+	m.sessionDown(sess)
+}
+
+// heartbeat pings the master at the configured interval. A ping that
+// cannot complete within twice the interval severs the connection; the
+// read loop then fails pending calls and the manager reconnects.
+func (m *RemoteMaster) heartbeat(sess *masterSession) {
+	defer m.wg.Done()
+	interval := m.cfg.heartbeat
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.closeCh:
+			return
+		case <-sess.done:
+			return
+		case <-t.C:
+			if _, err := m.callOn(sess, masterMsg{Op: "ping"}, 2*interval); err != nil {
+				sess.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// kick nudges the manager to run a replay pass (used when a
+// registration lands on a session that died before it was journaled).
+func (m *RemoteMaster) kick() {
+	select {
+	case m.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+// manage is the session manager: it redials after connection loss with
+// the configured backoff, replays the journal against each new session,
+// and arms the resync grace timer for watch deliveries.
+func (m *RemoteMaster) manage() {
+	defer m.wg.Done()
+	var settleC <-chan time.Time
+	var settleTimer *time.Timer
+	for {
+		m.mu.Lock()
+		closed, gaveUp, sess := m.closed, m.gaveUp, m.sess
+		m.mu.Unlock()
+		if closed || gaveUp {
+			return
+		}
+		if sess == nil {
+			if sess = m.redial(); sess == nil {
+				continue // closed or gave up; top of loop exits
+			}
+		}
+		if m.needsReplay(sess) {
+			start := time.Now()
+			watches, ok := m.replay(sess)
+			if !ok {
+				// The session died mid-replay; wait for its read loop to
+				// finish teardown, then reconnect.
+				select {
+				case <-sess.done:
+				case <-m.closeCh:
+					return
+				}
+				continue
+			}
+			m.graph.Replays.Inc()
+			m.graph.ResyncLatency.Observe(time.Since(start))
+			if watches > 0 && m.cfg.resyncGrace > 0 {
+				if settleTimer != nil {
+					settleTimer.Stop()
+				}
+				settleTimer = time.NewTimer(m.cfg.resyncGrace)
+				settleC = settleTimer.C
+			}
+		}
+		select {
+		case <-m.closeCh:
+			if settleTimer != nil {
+				settleTimer.Stop()
+			}
+			return
+		case <-m.kickCh:
+		case <-sess.done:
+		case <-settleC:
+			settleC = nil
+			m.finishSettle()
+		}
+	}
+}
+
+// redial reconnects with the configured backoff. Returns nil when the
+// client closes or the attempt budget is exhausted (gave up: the
+// session is permanently unavailable).
+func (m *RemoteMaster) redial() *masterSession {
+	p := m.cfg.retry
+	for attempt := 1; ; attempt++ {
+		if p.MaxAttempts > 0 && attempt > p.MaxAttempts {
+			m.mu.Lock()
+			m.gaveUp = true
+			m.mu.Unlock()
+			log.Printf("ros: remote master %s: giving up after %d reconnect attempts", m.addr, p.MaxAttempts)
+			return nil
+		}
+		select {
+		case <-m.closeCh:
+			return nil
+		case <-time.After(p.backoff(attempt)):
+		}
+		conn, err := m.cfg.dial(m.addr)
+		if err != nil {
+			continue
+		}
+		sess := m.install(conn)
+		if sess == nil {
+			conn.Close()
+			return nil
+		}
+		m.graph.MasterReconnects.Inc()
+		return sess
+	}
+}
+
+// needsReplay reports whether any journal entry has not been registered
+// on sess.
+func (m *RemoteMaster) needsReplay(sess *masterSession) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for id, ch := range m.replies {
-		ch <- masterMsg{Op: "err", Msg: "master connection closed"}
-		delete(m.replies, id)
+	for _, e := range m.journal {
+		if e.gen != sess.gen {
+			return true
+		}
+	}
+	return false
+}
+
+// replay re-registers every journal entry not yet landed on sess,
+// remapping server handles. Registrations go before watches so resynced
+// snapshots are as complete as this client can make them. Returns the
+// number of watches replayed and false if the session died mid-replay.
+func (m *RemoteMaster) replay(sess *masterSession) (watches int, ok bool) {
+	m.mu.Lock()
+	handles := make([]int64, 0, len(m.journal))
+	for h := range m.journal {
+		handles = append(handles, h)
+	}
+	m.mu.Unlock()
+	sort.Slice(handles, func(i, j int) bool {
+		hi, hj := handles[i], handles[j]
+		m.mu.Lock()
+		ei, ej := m.journal[hi], m.journal[hj]
+		m.mu.Unlock()
+		wi := ei != nil && ei.op == "watch"
+		wj := ej != nil && ej.op == "watch"
+		if wi != wj {
+			return !wi // registrations first
+		}
+		return hi < hj
+	})
+
+	for _, h := range handles {
+		m.mu.Lock()
+		e := m.journal[h]
+		if e == nil || e.gen == sess.gen {
+			m.mu.Unlock()
+			continue // unregistered meanwhile, or already landed
+		}
+		req := replayRequest(e)
+		m.mu.Unlock()
+
+		resp, err := m.callOn(sess, req, masterCallTimeout)
+		if err != nil {
+			if errors.Is(err, ErrMasterUnavailable) {
+				return watches, false
+			}
+			// The restarted master rejected a registration it once
+			// accepted (e.g. another client re-registered a conflicting
+			// type or took the service name first). The entry cannot be
+			// represented any more; drop it rather than wedging replay.
+			log.Printf("ros: remote master %s: replay of %s %q rejected, dropping: %v",
+				m.addr, e.op, e.topic, err)
+			m.mu.Lock()
+			delete(m.journal, h)
+			m.mu.Unlock()
+			continue
+		}
+
+		m.mu.Lock()
+		if _, still := m.journal[h]; !still {
+			// Unregistered concurrently with the replay: take it back.
+			m.mu.Unlock()
+			unreg := unregOp(e.op)
+			m.callOn(sess, masterMsg{Op: unreg, Handle: resp.Handle}, masterCallTimeout) //nolint:errcheck // best-effort
+			continue
+		}
+		e.serverHandle = resp.Handle
+		e.gen = sess.gen
+		var seq uint64
+		var buffered []PublisherInfo
+		var haveBuffered bool
+		if e.op == "watch" {
+			watches++
+			m.watchByServer[resp.Handle] = e
+			if sess.pending != nil {
+				buffered, haveBuffered = sess.pending[resp.Handle]
+				delete(sess.pending, resp.Handle)
+			}
+			if haveBuffered {
+				e.routeSeq++
+				seq = e.routeSeq
+			}
+		}
+		m.mu.Unlock()
+		if e.op == "watch" {
+			e.beginSettle()
+			if haveBuffered {
+				e.deliver(seq, buffered)
+			}
+		}
+	}
+	return watches, true
+}
+
+// finishSettle ends the resync grace on every watch.
+func (m *RemoteMaster) finishSettle() {
+	m.mu.Lock()
+	entries := make([]*journalEntry, 0, len(m.journal))
+	for _, e := range m.journal {
+		if e.op == "watch" {
+			entries = append(entries, e)
+		}
+	}
+	m.mu.Unlock()
+	for _, e := range entries {
+		e.finishSettle()
+	}
+}
+
+// replayRequest builds the wire request re-establishing entry e.
+func replayRequest(e *journalEntry) masterMsg {
+	switch e.op {
+	case "regpub":
+		return masterMsg{Op: "regpub", Topic: e.topic,
+			Node: e.pub.NodeName, Addr: e.pub.Addr, Type: e.pub.TypeName, MD5: e.pub.MD5}
+	case "regsrv":
+		return masterMsg{Op: "regsrv", Topic: e.topic,
+			Node: e.srv.NodeName, Addr: e.srv.Addr,
+			Type: e.srv.ReqType, Resp: e.srv.RespType, MD5: e.srv.MD5}
+	default: // watch
+		return masterMsg{Op: "watch", Topic: e.topic, Type: e.typ, MD5: e.md5}
+	}
+}
+
+// unregOp maps a registration op to its withdrawal op.
+func unregOp(op string) string {
+	switch op {
+	case "regpub":
+		return "unregpub"
+	case "regsrv":
+		return "unregsrv"
+	default:
+		return "unwatch"
 	}
 }
 
@@ -362,73 +1136,196 @@ func (m *RemoteMaster) readLoop() {
 // slow means the connection is effectively dead.
 const masterCallTimeout = 30 * time.Second
 
-// call performs one request/response exchange.
+// call performs one request/response exchange on the live session,
+// failing fast with ErrMasterUnavailable while degraded — a dead master
+// must never hang its callers.
 func (m *RemoteMaster) call(req masterMsg) (masterMsg, error) {
+	m.mu.Lock()
+	closed, gaveUp, sess := m.closed, m.gaveUp, m.sess
+	m.mu.Unlock()
+	switch {
+	case closed:
+		return masterMsg{}, errors.New("ros: remote master closed")
+	case sess == nil && gaveUp:
+		return masterMsg{}, fmt.Errorf("%w: reconnect attempts to %s exhausted", ErrMasterUnavailable, m.addr)
+	case sess == nil:
+		return masterMsg{}, fmt.Errorf("%w: reconnecting to %s", ErrMasterUnavailable, m.addr)
+	}
+	return m.callOn(sess, req, masterCallTimeout)
+}
+
+// callOn performs one request/response exchange on an explicit session
+// (replay and heartbeats target sessions that are not necessarily the
+// one public calls see). Write errors and timeouts sever the connection
+// so the read loop can fail everything else promptly.
+func (m *RemoteMaster) callOn(sess *masterSession, req masterMsg, timeout time.Duration) (masterMsg, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return masterMsg{}, errors.New("ros: remote master closed")
 	}
+	if sess.replies == nil {
+		m.mu.Unlock()
+		return masterMsg{}, fmt.Errorf("%w: connection lost", ErrMasterUnavailable)
+	}
 	m.nextID++
 	req.ID = m.nextID
 	ch := make(chan masterMsg, 1)
-	m.replies[req.ID] = ch
-	err := m.enc.Encode(req)
+	sess.replies[req.ID] = ch
 	m.mu.Unlock()
+
+	sess.encMu.Lock()
+	sess.conn.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	err := sess.enc.Encode(req)
+	sess.conn.SetWriteDeadline(time.Time{})
+	sess.encMu.Unlock()
 	if err != nil {
-		return masterMsg{}, err
+		m.dropReply(sess, req.ID)
+		sess.conn.Close()
+		return masterMsg{}, fmt.Errorf("%w: %v", ErrMasterUnavailable, err)
 	}
+
 	var resp masterMsg
-	timer := time.NewTimer(masterCallTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case resp = <-ch:
 	case <-timer.C:
-		m.mu.Lock()
-		delete(m.replies, req.ID)
-		m.mu.Unlock()
-		return masterMsg{}, errors.New("ros: master call timed out")
+		m.dropReply(sess, req.ID)
+		// A timed-out call means the connection is wedged; sever it so
+		// the read loop fails the rest and the manager reconnects.
+		sess.conn.Close()
+		return masterMsg{}, fmt.Errorf("%w: call timed out after %v", ErrMasterUnavailable, timeout)
 	}
-	if resp.Op == "err" {
+	switch resp.Op {
+	case opSessionDown:
+		return masterMsg{}, fmt.Errorf("%w: connection lost with call in flight", ErrMasterUnavailable)
+	case "err":
 		if resp.Msg == "" {
 			resp.Msg = "master error"
 		}
-		// Preserve the type-mismatch category across the wire so callers
-		// can match it as with a LocalMaster.
-		return masterMsg{}, fmt.Errorf("%w: %s", ErrTypeMismatch, resp.Msg)
+		if resp.Code == codeTypeMismatch {
+			// Preserve the type-mismatch category across the wire so
+			// callers can match it as with a LocalMaster.
+			return masterMsg{}, fmt.Errorf("%w: %s", ErrTypeMismatch, resp.Msg)
+		}
+		return masterMsg{}, fmt.Errorf("ros: master: %s", resp.Msg)
 	}
 	return resp, nil
 }
 
-// RegisterPublisher implements Master.
+// dropReply removes a reply registration (abandoned call).
+func (m *RemoteMaster) dropReply(sess *masterSession, id int64) {
+	m.mu.Lock()
+	if sess.replies != nil {
+		delete(sess.replies, id)
+	}
+	m.mu.Unlock()
+}
+
+// liveSession returns the current session, or a typed error while
+// degraded/closed.
+func (m *RemoteMaster) liveSession() (*masterSession, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case m.closed:
+		return nil, errors.New("ros: remote master closed")
+	case m.sess == nil && m.gaveUp:
+		return nil, fmt.Errorf("%w: reconnect attempts to %s exhausted", ErrMasterUnavailable, m.addr)
+	case m.sess == nil:
+		return nil, fmt.Errorf("%w: reconnecting to %s", ErrMasterUnavailable, m.addr)
+	}
+	return m.sess, nil
+}
+
+// journalize records a successful registration in the journal under a
+// fresh client handle. If the session died between the reply and the
+// journaling, the entry is marked unlanded and the manager is kicked to
+// replay it on the next session.
+func (m *RemoteMaster) journalize(e *journalEntry, sess *masterSession) int64 {
+	m.mu.Lock()
+	m.nextHandle++
+	h := m.nextHandle
+	e.handle = h
+	m.journal[h] = e
+	stranded := m.sess != sess
+	if stranded {
+		e.gen = 0 // serverHandle belongs to a dead session; force replay
+	} else if e.op == "watch" {
+		m.watchByServer[e.serverHandle] = e
+	}
+	m.mu.Unlock()
+	if stranded {
+		m.kick()
+	}
+	return h
+}
+
+// unregister removes a journal entry and best-effort withdraws it from
+// the live session. While degraded there is nothing to withdraw — the
+// master forgot the registration with the connection — so removal from
+// the journal (preventing replay resurrection) is the whole job.
+func (m *RemoteMaster) unregister(h int64) {
+	m.mu.Lock()
+	e := m.journal[h]
+	if e == nil {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.journal, h)
+	var sess *masterSession
+	var serverHandle int64
+	if m.sess != nil && e.gen == m.sess.gen {
+		sess, serverHandle = m.sess, e.serverHandle
+		if e.op == "watch" {
+			delete(m.watchByServer, serverHandle)
+		}
+	}
+	m.mu.Unlock()
+	if sess != nil {
+		m.callOn(sess, masterMsg{Op: unregOp(e.op), Handle: serverHandle}, masterCallTimeout) //nolint:errcheck // best-effort on teardown
+	}
+}
+
+// RegisterPublisher implements Master. The registration is journaled:
+// it survives master restarts until the returned unregister func runs.
 func (m *RemoteMaster) RegisterPublisher(topic string, info PublisherInfo) (func(), error) {
-	resp, err := m.call(masterMsg{
-		Op: "regpub", Topic: topic,
-		Node: info.NodeName, Addr: info.Addr, Type: info.TypeName, MD5: info.MD5,
-	})
+	sess, err := m.liveSession()
 	if err != nil {
 		return nil, err
 	}
-	handle := resp.Handle
-	return func() {
-		m.call(masterMsg{Op: "unregpub", Handle: handle}) //nolint:errcheck // best-effort on teardown
-	}, nil
+	resp, err := m.callOn(sess, masterMsg{
+		Op: "regpub", Topic: topic,
+		Node: info.NodeName, Addr: info.Addr, Type: info.TypeName, MD5: info.MD5,
+	}, masterCallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	e := &journalEntry{op: "regpub", topic: topic, pub: info,
+		serverHandle: resp.Handle, gen: sess.gen}
+	h := m.journalize(e, sess)
+	return func() { m.unregister(h) }, nil
 }
 
-// RegisterService implements Master.
+// RegisterService implements Master. Journaled like RegisterPublisher.
 func (m *RemoteMaster) RegisterService(name string, info ServiceInfo) (func(), error) {
-	resp, err := m.call(masterMsg{
+	sess, err := m.liveSession()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.callOn(sess, masterMsg{
 		Op: "regsrv", Topic: name,
 		Node: info.NodeName, Addr: info.Addr,
 		Type: info.ReqType, Resp: info.RespType, MD5: info.MD5,
-	})
+	}, masterCallTimeout)
 	if err != nil {
 		return nil, err
 	}
-	handle := resp.Handle
-	return func() {
-		m.call(masterMsg{Op: "unregsrv", Handle: handle}) //nolint:errcheck // best-effort on teardown
-	}, nil
+	e := &journalEntry{op: "regsrv", topic: name, srv: info,
+		serverHandle: resp.Handle, gen: sess.gen}
+	h := m.journalize(e, sess)
+	return func() { m.unregister(h) }, nil
 }
 
 // LookupService implements Master.
@@ -460,35 +1357,65 @@ func (m *RemoteMaster) TopicsInfo() ([]TopicInfo, error) {
 	return out, nil
 }
 
-// WatchPublishers implements Master.
+// WatchPublishers implements Master. The watch is journaled: after a
+// master restart it is re-established and the fresh snapshot is diffed
+// against the pre-outage set (see WithMasterResyncGrace), so unchanged
+// publishers are not torn down and redialed.
 func (m *RemoteMaster) WatchPublishers(topic, typeName, md5 string, cb func([]PublisherInfo)) (func(), error) {
-	// Register the callback under the handle the server will assign;
-	// the server sends "ok" before the first push on this connection,
-	// and both are delivered in order by the read loop.
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return nil, errors.New("ros: remote master closed")
-	}
-	m.mu.Unlock()
-
-	resp, err := m.call(masterMsg{Op: "watch", Topic: topic, Type: typeName, MD5: md5})
+	sess, err := m.liveSession()
 	if err != nil {
 		return nil, err
 	}
-	handle := resp.Handle
-	m.mu.Lock()
-	m.watches[handle] = cb
-	buffered := m.pending[handle]
-	delete(m.pending, handle)
-	m.mu.Unlock()
-	for _, pubs := range buffered {
-		cb(pubs)
+	// The server sends "ok" before the first push on this connection and
+	// the read loop preserves that order; a push racing the local
+	// registration below lands in sess.pending and is drained here.
+	resp, err := m.callOn(sess, masterMsg{Op: "watch", Topic: topic, Type: typeName, MD5: md5}, masterCallTimeout)
+	if err != nil {
+		return nil, err
 	}
-	return func() {
-		m.mu.Lock()
-		delete(m.watches, handle)
-		m.mu.Unlock()
-		m.call(masterMsg{Op: "unwatch", Handle: handle}) //nolint:errcheck // best-effort on teardown
-	}, nil
+	e := &journalEntry{op: "watch", topic: topic, typ: typeName, md5: md5,
+		cb: cb, serverHandle: resp.Handle, gen: sess.gen}
+	h := m.journalize(e, sess)
+
+	m.mu.Lock()
+	var seq uint64
+	var buffered []PublisherInfo
+	var haveBuffered bool
+	if sess.pending != nil {
+		buffered, haveBuffered = sess.pending[resp.Handle]
+		delete(sess.pending, resp.Handle)
+	}
+	if haveBuffered {
+		e.routeSeq++
+		seq = e.routeSeq
+	}
+	m.mu.Unlock()
+	if haveBuffered {
+		e.deliver(seq, buffered)
+	}
+	return func() { m.unregister(h) }, nil
+}
+
+// DialMasterWithTimeout dials the master, retrying refused or failed
+// connections with the default backoff schedule until timeout elapses
+// (0 or negative: a single attempt, like DialMaster). CLI tools use it
+// so `rostopic` started a moment before `rosmaster` does not exit on
+// the first refused connection.
+func DialMasterWithTimeout(addr string, timeout time.Duration, opts ...MasterOption) (*RemoteMaster, error) {
+	deadline := time.Now().Add(timeout)
+	p := DefaultRetryPolicy.withDefaults()
+	for attempt := 1; ; attempt++ {
+		m, err := DialMaster(addr, opts...)
+		if err == nil {
+			return m, nil
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		d := p.backoff(attempt)
+		if remaining := time.Until(deadline); d > remaining {
+			d = remaining
+		}
+		time.Sleep(d)
+	}
 }

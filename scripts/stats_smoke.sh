@@ -8,7 +8,7 @@
 #      bandwidth, drops, latency quantiles), and
 #   2. the node's /metrics endpoint serves a JSON snapshot with the
 #      expected schema (node name, per-topic publisher instruments,
-#      core life-cycle gauges).
+#      core life-cycle gauges, graph-plane resilience instruments).
 #
 # Run via `make stats-smoke`. Requires curl; uses jq for JSON schema
 # validation when available, plain key grep otherwise.
@@ -75,6 +75,10 @@ if command -v jq >/dev/null 2>&1; then
         and (.obs.core | has("live") and has("max_live")
              and has("state_published") and has("bytes_live"))
         and (.obs | has("subscribers") and has("services"))
+        and (.obs.graph | has("master_reconnects") and has("replays")
+             and has("resync") and has("ghost_expiries")
+             and has("malformed_lines") and has("degraded"))
+        and (.obs.graph.degraded == 0)
     ' >/dev/null || {
         echo "stats-smoke: /metrics JSON failed schema check:" >&2
         echo "$JSON" >&2
