@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc bench-egress chaos chaos-master fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress bench-fanout chaos chaos-master fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -49,6 +49,16 @@ bench-ipc:
 # ros.SetLegacyEgress and recorded in the JSON) -> BENCH_egress.json.
 bench-egress:
 	$(GO) run ./cmd/rossf-bench egress -out BENCH_egress.json
+
+# Sharded fan-out matrix (1..10000 subscribers x 4KiB/64KiB), sharded
+# egress vs the classic per-connection write loops -> BENCH_fanout.json.
+# The 10000-subscriber cells hold ~20k connection ends; the runner
+# raises RLIMIT_NOFILE when it can, pushes the drain readers into
+# worker subprocesses (`rossf-bench fanout-drain`) when one process
+# cannot hold both ends, and records any still-unrunnable cell as
+# skipped in the JSON.
+bench-fanout:
+	$(GO) run ./cmd/rossf-bench fanout -out BENCH_fanout.json
 
 # Regenerate msgs/ from the IDL tree (run after editing msgs/idl).
 generate:

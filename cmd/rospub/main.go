@@ -6,7 +6,7 @@
 //
 //	rospub [-master 127.0.0.1:11311] [-master-timeout 5s] [-topic camera/image]
 //	       [-rate 10] [-width 256] [-height 256] [-sfm] [-count 0]
-//	       [-metrics 127.0.0.1:0]
+//	       [-shards 0] [-metrics 127.0.0.1:0]
 //
 // With -metrics, the node serves its observability snapshot (per-topic
 // publisher instruments plus message life-cycle gauges) as JSON on
@@ -44,6 +44,8 @@ func run(args []string) error {
 	height := fs.Int("height", 256, "image height")
 	sfm := fs.Bool("sfm", false, "publish serialization-free messages")
 	count := fs.Int("count", 0, "messages to publish (0 = forever)")
+	shards := fs.Int("shards", 0,
+		"egress shard count (>0 forces the sharded fan-out path, <0 disables it, 0 auto-shards on large fan-outs)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics JSON on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,14 +78,18 @@ func run(args []string) error {
 	fmt.Printf("rospub: %s on %q, %dx%d rgb8 (%d KiB) at %d Hz, sfm=%v\n",
 		node.Name(), *topic, *width, *height, payload/1024, *rate, *sfm)
 
-	if *sfm {
-		return publishSFM(node, *topic, *width, *height, interval, *count)
+	var pubOpts []ros.PubOption
+	if *shards != 0 {
+		pubOpts = append(pubOpts, ros.WithEgressShards(*shards))
 	}
-	return publishRegular(node, *topic, *width, *height, interval, *count)
+	if *sfm {
+		return publishSFM(node, *topic, *width, *height, interval, *count, pubOpts)
+	}
+	return publishRegular(node, *topic, *width, *height, interval, *count, pubOpts)
 }
 
-func publishRegular(node *ros.Node, topic string, w, h int, interval time.Duration, count int) error {
-	pub, err := ros.Advertise[sensor_msgs.Image](node, topic)
+func publishRegular(node *ros.Node, topic string, w, h int, interval time.Duration, count int, opts []ros.PubOption) error {
+	pub, err := ros.Advertise[sensor_msgs.Image](node, topic, opts...)
 	if err != nil {
 		return err
 	}
@@ -104,8 +110,8 @@ func publishRegular(node *ros.Node, topic string, w, h int, interval time.Durati
 	return nil
 }
 
-func publishSFM(node *ros.Node, topic string, w, h int, interval time.Duration, count int) error {
-	pub, err := ros.Advertise[sensor_msgs.ImageSF](node, topic)
+func publishSFM(node *ros.Node, topic string, w, h int, interval time.Duration, count int, opts []ros.PubOption) error {
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](node, topic, opts...)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 //	rossf-bench table1
 //	rossf-bench ipc [-messages N] [-out BENCH_ipc.json]
 //	rossf-bench egress [-messages N] [-repeats N] [-out BENCH_egress.json]
+//	rossf-bench fanout [-messages N] [-repeats N] [-shards N] [-maxsubs N] [-out BENCH_fanout.json]
 //	rossf-bench all
 //
 // -full selects the paper's exact run lengths (2000 messages at 10 Hz),
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"rossf/internal/bench"
@@ -37,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -55,8 +57,14 @@ func run(args []string) error {
 		return runIPC(rest)
 	case "egress":
 		return runEgress(rest)
+	case "fanout":
+		return runFanout(rest)
+	case "fanout-drain":
+		// Internal: drain-worker child spawned by the fanout runner so
+		// the 10000-subscriber cells fit under per-process FD limits.
+		return runFanoutDrain(rest)
 	case "all":
-		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress} {
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress, runFanout} {
 			if err := c(nil); err != nil {
 				return err
 			}
@@ -217,6 +225,82 @@ func runEgress(args []string) error {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil
+}
+
+func runFanout(args []string) error {
+	fs := flag.NewFlagSet("fanout", flag.ContinueOnError)
+	messages := fs.Int("messages", 2000, "measured messages per run, before the byte-budget scaling")
+	repeats := fs.Int("repeats", 3, "runs per (cell, mode) below 1000 subscribers; the best run is reported")
+	shards := fs.Int("shards", 0, "egress shard count for the sharded runs (0 = library default)")
+	maxsubs := fs.Int("maxsubs", 0, "largest fan-out in the matrix (0 = full matrix up to 10000)")
+	size := fs.Int("size", 0, "restrict the matrix to this payload size in bytes (0 = all sizes)")
+	maxbaseline := fs.Int("maxbaseline", 0, "largest fan-out also measured unsharded (0 = default 1000)")
+	subs := fs.Int("subs", 0, "restrict the matrix to this one subscriber count (0 = all)")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_fanout.json)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the matrix to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	cfg := bench.FanoutConfig{Messages: *messages, Repeats: *repeats, Shards: *shards,
+		MaxBaselineSubs: *maxbaseline}
+	// Re-exec this binary as drain-worker children for cells whose
+	// connection count exceeds one process's FD limit.
+	if exe, err := os.Executable(); err == nil {
+		cfg.DrainExec = []string{exe, "fanout-drain"}
+	}
+	if *size > 0 {
+		cfg.Sizes = []int{*size}
+	}
+	if *subs > 0 {
+		cfg.Fanouts = []int{*subs}
+	} else if *maxsubs > 0 {
+		for _, f := range []int{1, 8, 100, 1000, 10000} {
+			if f <= *maxsubs {
+				cfg.Fanouts = append(cfg.Fanouts, f)
+			}
+		}
+	}
+	res, err := bench.RunFanout(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runFanoutDrain(args []string) error {
+	fs := flag.NewFlagSet("fanout-drain", flag.ContinueOnError)
+	addr := fs.String("addr", "", "publisher address to drain")
+	conns := fs.Int("conns", 0, "subscriber connections to hold")
+	size := fs.Int("size", 0, "payload size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" || *conns <= 0 || *size <= 0 {
+		return fmt.Errorf("fanout-drain needs -addr, -conns and -size")
+	}
+	return bench.RunFanoutDrain(*addr, *conns, *size)
 }
 
 // findModuleRoot walks up from the working directory to the directory

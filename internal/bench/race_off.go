@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// guards skip under it (instrumentation skews both modes unevenly).
+const raceEnabled = false

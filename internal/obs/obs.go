@@ -120,6 +120,46 @@ type EgressStats struct {
 	BytesPerWrite  ValueHistogram // batch sizes, in bytes
 }
 
+// FanoutStats instruments the sharded egress fan-out plane,
+// registry-wide: every publisher endpoint whose connection count
+// crosses the sharding threshold (or that was configured with a forced
+// shard count) feeds the same set. ShardDrops counts whole-shard queue
+// overflows — one increment means every subscriber behind that shard
+// missed one publish, the sharded analogue of a per-connection queue
+// drop.
+type FanoutStats struct {
+	ActiveShards Gauge   // egress shard loops currently running
+	ShardedConns Gauge   // subscriber connections currently served by shards
+	Rebalances   Counter // connections migrated between shards
+	ShardDrops   Counter // shard-queue overflows (publish dropped for a whole shard)
+}
+
+// EgressShardStats instruments one egress shard: its member count and
+// the socket traffic its writev loop produced. Instances are minted
+// with Registry.EgressShard and live for the registry's lifetime (a
+// shard that shuts down zeroes its Conns gauge but keeps its
+// counters, so post-mortem snapshots still account for every frame).
+type EgressShardStats struct {
+	Conns  Gauge   // member connections currently assigned to this shard
+	Frames Counter // frames delivered across member connections
+	Writes Counter // vectored socket writes issued
+	Bytes  Counter // wire bytes written (headers + payloads)
+}
+
+// RelayStats instruments relay processes (cmd/rosrelay), registry-wide:
+// frames accepted from the origin publisher and re-fanned-out to the
+// relay's own subscriber set. Mismatches counts frames the relay
+// refused to forward because the origin's declared byte order differs
+// from the relay's native one (forwarding would mislabel them).
+type RelayStats struct {
+	Active     Gauge   // relay pumps currently running
+	FramesIn   Counter // frames received from the origin publisher
+	BytesIn    Counter // payload bytes received from the origin
+	FramesOut  Counter // frames handed to the relay's own egress
+	Drops      Counter // frames the relay failed to forward
+	Mismatches Counter // frames refused for byte-order mismatch
+}
+
 // GraphStats instruments the graph plane (master protocol), registry-
 // wide: every RemoteMaster client and MasterServer wired to the
 // registry feeds the same set. The client side records reconnects,
@@ -158,10 +198,16 @@ type Registry struct {
 	subs map[string]*SubStats
 	svcs map[string]*ServiceStats
 	shm  ShmStats
-	// egress and graph live outside mu like shm: instruments are reached
-	// through the nil-safe accessors and updated with atomics only.
+	// egress, fanout, relay and graph live outside mu like shm:
+	// instruments are reached through the nil-safe accessors and updated
+	// with atomics only.
 	egress EgressStats
+	fanout FanoutStats
+	relay  RelayStats
 	graph  GraphStats
+	// eshards holds the per-shard instruments minted by EgressShard, in
+	// mint order. Appends take mu; the instruments themselves are atomic.
+	eshards []*EgressShardStats
 }
 
 // NewRegistry returns an empty registry.
@@ -191,6 +237,41 @@ func (r *Registry) Egress() *EgressStats {
 		return nil
 	}
 	return &r.egress
+}
+
+// Fanout returns the registry's sharded fan-out instruments. Safe on a
+// nil registry (returns nil; instrument methods tolerate nil
+// receivers).
+func (r *Registry) Fanout() *FanoutStats {
+	if r == nil {
+		return nil
+	}
+	return &r.fanout
+}
+
+// Relay returns the registry's relay-tier instruments. Safe on a nil
+// registry (returns nil; instrument methods tolerate nil receivers).
+func (r *Registry) Relay() *RelayStats {
+	if r == nil {
+		return nil
+	}
+	return &r.relay
+}
+
+// EgressShard mints a fresh per-shard instrument set and registers it
+// for snapshots. Safe on a nil registry (returns nil; instrument
+// methods tolerate nil receivers). Shards are expected to be few and
+// long-lived — a bounded pool per busy publisher endpoint — so minted
+// sets are never reclaimed.
+func (r *Registry) EgressShard() *EgressShardStats {
+	if r == nil {
+		return nil
+	}
+	s := &EgressShardStats{}
+	r.mu.Lock()
+	r.eshards = append(r.eshards, s)
+	r.mu.Unlock()
+	return s
 }
 
 // Graph returns the registry's graph-plane instruments. Safe on a nil
@@ -286,13 +367,42 @@ type ShmSnapshot struct {
 	LeasesReaped    uint64 `json:"leases_reaped"`
 }
 
-// EgressSnapshot is the JSON form of the batched-egress instruments.
+// EgressSnapshot is the JSON form of the batched-egress instruments,
+// including the sharded fan-out plane and its per-shard breakdown.
 type EgressSnapshot struct {
-	Writes         uint64     `json:"writes"`
-	Frames         uint64     `json:"frames"`
-	Coalesced      uint64     `json:"coalesced_frames"`
-	FramesPerWrite ValueStats `json:"frames_per_write"`
-	BytesPerWrite  ValueStats `json:"bytes_per_write"`
+	Writes         uint64         `json:"writes"`
+	Frames         uint64         `json:"frames"`
+	Coalesced      uint64         `json:"coalesced_frames"`
+	FramesPerWrite ValueStats     `json:"frames_per_write"`
+	BytesPerWrite  ValueStats     `json:"bytes_per_write"`
+	Fanout         FanoutSnapshot `json:"fanout"`
+}
+
+// FanoutSnapshot is the JSON form of the sharded fan-out instruments.
+type FanoutSnapshot struct {
+	ActiveShards int64                 `json:"active_shards"`
+	ShardedConns int64                 `json:"sharded_conns"`
+	Rebalances   uint64                `json:"rebalances"`
+	ShardDrops   uint64                `json:"shard_drops"`
+	Shards       []EgressShardSnapshot `json:"shards"`
+}
+
+// EgressShardSnapshot is the JSON form of one shard's instruments.
+type EgressShardSnapshot struct {
+	Conns  int64  `json:"conns"`
+	Frames uint64 `json:"frames"`
+	Writes uint64 `json:"writes"`
+	Bytes  uint64 `json:"bytes"`
+}
+
+// RelaySnapshot is the JSON form of the relay-tier instruments.
+type RelaySnapshot struct {
+	Active     int64  `json:"active"`
+	FramesIn   uint64 `json:"frames_in"`
+	BytesIn    uint64 `json:"bytes_in"`
+	FramesOut  uint64 `json:"frames_out"`
+	Drops      uint64 `json:"drops"`
+	Mismatches uint64 `json:"mismatches"`
 }
 
 // GraphSnapshot is the JSON form of the graph-plane instruments.
@@ -334,6 +444,7 @@ type Snapshot struct {
 	Core        CoreSnapshot               `json:"core"`
 	Shm         ShmSnapshot                `json:"shm"`
 	Egress      EgressSnapshot             `json:"egress"`
+	Relay       RelaySnapshot              `json:"relay"`
 	Graph       GraphSnapshot              `json:"graph"`
 	Publishers  map[string]PubSnapshot     `json:"publishers"`
 	Subscribers map[string]SubSnapshot     `json:"subscribers"`
@@ -378,6 +489,32 @@ func (r *Registry) Snapshot() Snapshot {
 		Coalesced:      r.egress.Coalesced.Load(),
 		FramesPerWrite: r.egress.FramesPerWrite.Stats(),
 		BytesPerWrite:  r.egress.BytesPerWrite.Stats(),
+		Fanout: FanoutSnapshot{
+			ActiveShards: r.fanout.ActiveShards.Load(),
+			ShardedConns: r.fanout.ShardedConns.Load(),
+			Rebalances:   r.fanout.Rebalances.Load(),
+			ShardDrops:   r.fanout.ShardDrops.Load(),
+			Shards:       []EgressShardSnapshot{},
+		},
+	}
+	r.mu.Lock()
+	eshards := append([]*EgressShardStats(nil), r.eshards...)
+	r.mu.Unlock()
+	for _, s := range eshards {
+		snap.Egress.Fanout.Shards = append(snap.Egress.Fanout.Shards, EgressShardSnapshot{
+			Conns:  s.Conns.Load(),
+			Frames: s.Frames.Load(),
+			Writes: s.Writes.Load(),
+			Bytes:  s.Bytes.Load(),
+		})
+	}
+	snap.Relay = RelaySnapshot{
+		Active:     r.relay.Active.Load(),
+		FramesIn:   r.relay.FramesIn.Load(),
+		BytesIn:    r.relay.BytesIn.Load(),
+		FramesOut:  r.relay.FramesOut.Load(),
+		Drops:      r.relay.Drops.Load(),
+		Mismatches: r.relay.Mismatches.Load(),
 	}
 	snap.Graph = GraphSnapshot{
 		MasterReconnects: r.graph.MasterReconnects.Load(),

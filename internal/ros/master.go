@@ -17,6 +17,12 @@ type PublisherInfo struct {
 	Addr     string // "host:port" of the publisher's topic listener; "" for inproc-only
 	TypeName string
 	MD5      string
+	// Relay marks a relay-tier endpoint (cmd/rosrelay): a process that
+	// re-publishes the origin's frames to take fan-out load off it.
+	// Subscribers that see relay publishers for a topic attach to exactly
+	// one relay instead of the origin (unless they opt out with
+	// WithoutRelay); relays themselves subscribe with WithoutRelay.
+	Relay bool
 
 	// direct is set when the publisher lives in this process (LocalMaster
 	// only); subscribers attach to it without a socket — the intra-process

@@ -61,6 +61,7 @@ type masterMsg struct {
 	Code   string       `json:"code,omitempty"`  // error category ("type_mismatch")
 	Resp   string       `json:"resp,omitempty"`  // service response type
 	Found  bool         `json:"found,omitempty"` // lookupsrv result
+	Relay  bool         `json:"relay,omitempty"` // regpub: relay-tier endpoint
 	Pubs   []masterPub  `json:"pubs,omitempty"`
 	Topics []wireTopics `json:"topics,omitempty"`
 }
@@ -83,10 +84,11 @@ type wireTopics struct {
 }
 
 type masterPub struct {
-	Node string `json:"node"`
-	Addr string `json:"addr"`
-	Type string `json:"type"`
-	MD5  string `json:"md5"`
+	Node  string `json:"node"`
+	Addr  string `json:"addr"`
+	Type  string `json:"type"`
+	MD5   string `json:"md5"`
+	Relay bool   `json:"relay,omitempty"`
 }
 
 // defaultClientExpiry is how long the server lets a client go silent
@@ -355,6 +357,7 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 		case "regpub":
 			unregister, err := s.master.RegisterPublisher(req.Topic, PublisherInfo{
 				NodeName: req.Node, Addr: req.Addr, TypeName: req.Type, MD5: req.MD5,
+				Relay: req.Relay,
 			})
 			if err != nil {
 				send(errMsg(req.ID, err))
@@ -392,7 +395,7 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 				func(pubs []PublisherInfo) {
 					out := make([]masterPub, len(pubs))
 					for i, p := range pubs {
-						out[i] = masterPub{Node: p.NodeName, Addr: p.Addr, Type: p.TypeName, MD5: p.MD5}
+						out[i] = masterPub{Node: p.NodeName, Addr: p.Addr, Type: p.TypeName, MD5: p.MD5, Relay: p.Relay}
 					}
 					send(masterMsg{Op: "pubs", Handle: h, Pubs: out})
 				})
@@ -835,7 +838,7 @@ func (m *RemoteMaster) readLoop(sess *masterSession) {
 		case "pubs":
 			pubs := make([]PublisherInfo, len(resp.Pubs))
 			for i, p := range resp.Pubs {
-				pubs[i] = PublisherInfo{NodeName: p.Node, Addr: p.Addr, TypeName: p.Type, MD5: p.MD5}
+				pubs[i] = PublisherInfo{NodeName: p.Node, Addr: p.Addr, TypeName: p.Type, MD5: p.MD5, Relay: p.Relay}
 			}
 			m.mu.Lock()
 			e := m.watchByServer[resp.Handle]
@@ -1109,7 +1112,8 @@ func replayRequest(e *journalEntry) masterMsg {
 	switch e.op {
 	case "regpub":
 		return masterMsg{Op: "regpub", Topic: e.topic,
-			Node: e.pub.NodeName, Addr: e.pub.Addr, Type: e.pub.TypeName, MD5: e.pub.MD5}
+			Node: e.pub.NodeName, Addr: e.pub.Addr, Type: e.pub.TypeName, MD5: e.pub.MD5,
+			Relay: e.pub.Relay}
 	case "regsrv":
 		return masterMsg{Op: "regsrv", Topic: e.topic,
 			Node: e.srv.NodeName, Addr: e.srv.Addr,
@@ -1298,6 +1302,7 @@ func (m *RemoteMaster) RegisterPublisher(topic string, info PublisherInfo) (func
 	resp, err := m.callOn(sess, masterMsg{
 		Op: "regpub", Topic: topic,
 		Node: info.NodeName, Addr: info.Addr, Type: info.TypeName, MD5: info.MD5,
+		Relay: info.Relay,
 	}, masterCallTimeout)
 	if err != nil {
 		return nil, err

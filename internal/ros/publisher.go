@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rossf/internal/core"
@@ -30,6 +31,13 @@ type pubConfig struct {
 	queueSize    int
 	latch        bool
 	writeTimeout time.Duration
+	// egressShards: 0 = auto (shard pool once the connection count
+	// crosses autoShardThreshold), > 0 = forced pool of that many shards
+	// from the first connection, < 0 = sharding disabled.
+	egressShards int
+	// relay marks the advertisement as a relay endpoint in the master's
+	// graph (set by the relay tier, not by applications).
+	relay bool
 }
 
 // WithQueueSize sets the per-subscriber outbound queue depth. When the
@@ -54,6 +62,19 @@ func WithLatch() PubOption {
 // of wedging the publisher. d <= 0 disables the deadline.
 func WithWriteTimeout(d time.Duration) PubOption {
 	return func(c *pubConfig) { c.writeTimeout = d }
+}
+
+// WithEgressShards controls sharded egress fan-out (see shard.go).
+// n > 0 forces a pool of n shards serving every TCP subscriber from
+// the first; n == 0 (the default) brings the pool up automatically
+// once more than autoShardThreshold TCP subscribers attach; n < 0
+// disables sharding so every subscriber keeps a dedicated write loop
+// (the classic path, and the baseline the fan-out benchmark measures
+// against). Shm-negotiated connections always use dedicated loops:
+// their descriptors are minted per peer and cannot share a shard's
+// encode-once batch.
+func WithEgressShards(n int) PubOption {
+	return func(c *pubConfig) { c.egressShards = n }
 }
 
 // Publisher publishes messages of type *T on one topic. Create with
@@ -88,6 +109,7 @@ func Advertise[T any](n *Node, topic string, opts ...PubOption) (*Publisher[T], 
 		queueSize:    cfg.queueSize,
 		latch:        cfg.latch,
 		writeTimeout: cfg.writeTimeout,
+		egressShards: cfg.egressShards,
 		stats:        n.metrics.Publisher(topic),
 		conns:        make(map[*pubConn]struct{}),
 		inproc:       make(map[inprocTarget]uint64),
@@ -100,6 +122,7 @@ func Advertise[T any](n *Node, topic string, opts ...PubOption) (*Publisher[T], 
 		Addr:     n.addr,
 		TypeName: typeName,
 		MD5:      md5,
+		Relay:    cfg.relay,
 		direct:   ep,
 	})
 	if err != nil {
@@ -192,18 +215,41 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 			drop: func() { hold.Release() },
 		}
 	}
-	conns, targets, prev := ep.snapshotForPublish(l)
+	// One checksum pass per publish: the memoizer hashes the arena on the
+	// first consumer that needs each framing variant and every later one
+	// reuses the stamped value. When the shard pool is live the plain
+	// variant is computed here, OUTSIDE the endpoint lock, so the
+	// per-shard items minted inside the snapshot's critical section only
+	// copy the memoized value.
+	var crcs pubCRC
+	poolActive := ep.poolActive.Load()
+	if poolActive {
+		if r, err := core.NewRef(m); err == nil {
+			crcs.plain(r.Bytes())
+			r.Release()
+		}
+	}
+	mkShard := func() (frameItem, bool) {
+		r, err := core.NewRef(m)
+		if err != nil {
+			return frameItem{}, false
+		}
+		it := frameItem{ref: &r}
+		it.crc, it.crcOK = crcs.plain(r.Bytes()), true
+		return it, true
+	}
+	conns, targets, prev := ep.snapshotForPublish(l, mkShard)
 	if prev != nil && prev.drop != nil {
 		prev.drop()
 	}
 
-	// One checksum pass per publish: the memoizer hashes the arena on the
-	// first connection that needs each framing variant and every later
-	// connection reuses the stamped value. Legacy mode leaves items
-	// unstamped so the baseline write loop pays the old per-connection
-	// cost.
-	var crcs pubCRC
-	stamp := !legacyEgress.Load()
+	// Legacy mode leaves items unstamped so the baseline write loop pays
+	// the old per-connection checksum. At fan-out 1 stamping is skipped
+	// too (unless the hash already exists): memoization saves nothing
+	// with one consumer, and computing the checksum here would serialise
+	// it with the publish loop instead of overlapping it with the next
+	// publish on the connection's writer goroutine.
+	stamp := !legacyEgress.Load() && (len(conns) > 1 || crcs.plainOK)
 	for _, c := range conns {
 		if c.shm != nil {
 			// Zero-copy path: the subscriber gets a 24-byte descriptor into
@@ -252,7 +298,7 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 		if n, err := core.UsedSize(m); err == nil {
 			st.Bytes.Add(uint64(n))
 		}
-		st.FanOut.Set(int64(len(conns) + len(targets)))
+		st.FanOut.Set(int64(len(conns) + len(targets) + ep.shardFanout()))
 		if l != nil {
 			st.Latched.Set(1)
 		}
@@ -329,6 +375,11 @@ type pubEndpoint struct {
 	endianName string
 	unregister func()
 	stats      *obs.PubStats // nil when the node's metrics are disabled
+	// egressShards is the sharding config (see WithEgressShards);
+	// poolActive mirrors pool != nil so the publish path can decide to
+	// pre-hash outside the lock.
+	egressShards int
+	poolActive   atomic.Bool
 
 	mu sync.Mutex
 	// pubSeq numbers publishes. Each attachment remembers the sequence
@@ -339,6 +390,7 @@ type pubEndpoint struct {
 	pubSeq  uint64
 	conns   map[*pubConn]struct{}
 	inproc  map[inprocTarget]uint64 // value: latchSeen sequence
+	pool    *egressShardPool        // non-nil once sharded fan-out engaged
 	latched *latchedMsg
 	closed  bool
 
@@ -366,8 +418,19 @@ type latchedMsg struct {
 // latched-delivery paths can skip attachments the fan-out already
 // covered (no duplicate of the newest message either). The previous
 // latch is returned for the caller to drop outside the lock.
-func (ep *pubEndpoint) snapshotForPublish(l *latchedMsg) (conns []*pubConn, targets []inprocTarget, prev *latchedMsg) {
+//
+// When the shard pool is live, the same critical section enqueues one
+// item per shard (minted by mkShard), so shard delivery order agrees
+// with join order and the latch sequence — the sharded analogue of the
+// conns snapshot. A publish that races close loses: nothing is
+// snapshotted or enqueued, and the caller's uninstalled latch comes
+// back as prev so its hold is released.
+func (ep *pubEndpoint) snapshotForPublish(l *latchedMsg, mkShard func() (frameItem, bool)) (conns []*pubConn, targets []inprocTarget, prev *latchedMsg) {
 	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, nil, l
+	}
 	ep.pubSeq++
 	seq := ep.pubSeq
 	conns = make([]*pubConn, 0, len(ep.conns))
@@ -379,6 +442,15 @@ func (ep *pubEndpoint) snapshotForPublish(l *latchedMsg) (conns []*pubConn, targ
 	for t := range ep.inproc {
 		targets = append(targets, t)
 		ep.inproc[t] = seq
+	}
+	if ep.pool != nil && mkShard != nil {
+		for _, s := range ep.pool.shards {
+			it, ok := mkShard()
+			if !ok {
+				break
+			}
+			s.enqueue(shardItem{seq: seq, it: it})
+		}
 	}
 	if l != nil {
 		l.seq = seq
@@ -442,8 +514,28 @@ func (ep *pubEndpoint) isClosed() bool {
 
 func (ep *pubEndpoint) numSubscribers() int {
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return len(ep.conns) + len(ep.inproc)
+	n := len(ep.conns) + len(ep.inproc)
+	p := ep.pool
+	ep.mu.Unlock()
+	if p != nil {
+		n += p.memberCount()
+	}
+	return n
+}
+
+// shardFanout returns the number of sharded subscriber connections (0
+// when the pool is not live).
+func (ep *pubEndpoint) shardFanout() int {
+	if !ep.poolActive.Load() {
+		return 0
+	}
+	ep.mu.Lock()
+	p := ep.pool
+	ep.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.memberCount()
 }
 
 // fanoutFrame distributes a serialized frame to all attachments and,
@@ -451,15 +543,26 @@ func (ep *pubEndpoint) numSubscribers() int {
 // fan-out snapshot (see snapshotForPublish). The frame is shared
 // read-only; it must not be mutated afterwards.
 func (ep *pubEndpoint) fanoutFrame(frame []byte, l *latchedMsg) {
-	conns, targets, prev := ep.snapshotForPublish(l)
+	// Hash the frame once per framing variant, not once per connection
+	// (raw SFM publishers can negotiate shm, so tagged connections are
+	// possible here too). With the shard pool live the plain variant is
+	// memoized here, outside the lock, for the per-shard items.
+	var crcs pubCRC
+	if ep.poolActive.Load() {
+		crcs.plain(frame)
+	}
+	mkShard := func() (frameItem, bool) {
+		it := frameItem{data: frame}
+		it.crc, it.crcOK = crcs.plain(frame), true
+		return it, true
+	}
+	conns, targets, prev := ep.snapshotForPublish(l, mkShard)
 	if prev != nil && prev.drop != nil {
 		prev.drop()
 	}
-	// Hash the frame once per framing variant, not once per connection
-	// (raw SFM publishers can negotiate shm, so tagged connections are
-	// possible here too).
-	var crcs pubCRC
-	stamp := !legacyEgress.Load()
+	// Stamping at fan-out 1 is skipped for the same pipelining reason as
+	// the SFM path, unless the hash already exists.
+	stamp := !legacyEgress.Load() && (len(conns) > 1 || crcs.plainOK)
 	for _, c := range conns {
 		it := frameItem{data: frame}
 		if stamp {
@@ -477,7 +580,7 @@ func (ep *pubEndpoint) fanoutFrame(frame []byte, l *latchedMsg) {
 	if st := ep.stats; st != nil {
 		st.Messages.Inc()
 		st.Bytes.Add(uint64(len(frame)))
-		st.FanOut.Set(int64(len(conns) + len(targets)))
+		st.FanOut.Set(int64(len(conns) + len(targets) + ep.shardFanout()))
 		if l != nil {
 			st.Latched.Set(1)
 		}
@@ -533,7 +636,6 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 		stats:        ep.stats,
 		egress:       ep.node.metrics.Egress(),
 		shm:          sender,
-		ch:           make(chan frameItem, ep.queueSize),
 		stop:         make(chan struct{}),
 	}
 	ep.mu.Lock()
@@ -545,6 +647,33 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 		}
 		return errors.New("ros: publisher closed")
 	}
+	// Shard routing: plain TCP connections go to the pool once it is (or
+	// should be) live; shm connections always keep a dedicated loop, as
+	// their descriptors are per-peer. The join, the latch enqueue and the
+	// pool bring-up all happen inside this critical section, so a
+	// concurrent publish either precedes the join (lastSeq covers it) or
+	// follows the latch in the shard's queue.
+	if sender == nil && ep.egressShards >= 0 &&
+		(ep.pool != nil || ep.egressShards > 0 || len(ep.conns) >= autoShardThreshold) {
+		if ep.pool == nil {
+			n := ep.egressShards
+			if n == 0 {
+				n = defaultShardCount
+			}
+			ep.pool = newEgressShardPool(ep, n)
+			ep.poolActive.Store(true)
+		}
+		s := ep.pool.join(pc)
+		if l := ep.latched; l != nil {
+			if it, ok := latchItemFor(l); ok {
+				pc.latchSeen = l.seq
+				s.enqueue(shardItem{seq: l.seq, only: pc, it: it})
+			}
+		}
+		ep.mu.Unlock()
+		return nil
+	}
+	pc.ch = make(chan frameItem, ep.queueSize)
 	ep.conns[pc] = struct{}{}
 	ep.mu.Unlock()
 
@@ -556,6 +685,18 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	}()
 	ep.deliverLatchedTCP(pc)
 	return nil
+}
+
+// latchItemFor builds a queue item carrying the latched message.
+func latchItemFor(l *latchedMsg) (frameItem, bool) {
+	if l.mkItem != nil {
+		it, err := l.mkItem()
+		return it, err == nil
+	}
+	if l.frame != nil {
+		return frameItem{data: l.frame}, true
+	}
+	return frameItem{}, false
 }
 
 // attachInproc adds a same-process subscriber. The subscriber's wire
@@ -589,6 +730,58 @@ func (ep *pubEndpoint) dropConn(pc *pubConn) {
 	pc.teardown()
 }
 
+// dropShardConn detaches a failed sharded connection from its shard and
+// tears it down. Called by the shard's own goroutine, which is the only
+// writer to pc, so no other delivery can be in flight.
+func (ep *pubEndpoint) dropShardConn(s *egressShard, pc *pubConn) {
+	if s.removeMember(pc) {
+		s.stats.Conns.Add(-1)
+		s.pool.fanout.ShardedConns.Add(-1)
+	}
+	pc.teardown()
+}
+
+// maybeRebalance moves one connection from the most- to the
+// least-loaded shard when departures have skewed the pool. The move is
+// enqueued through the source shard's queue (ordered with its
+// deliveries); repeated passes converge one step at a time.
+func (ep *pubEndpoint) maybeRebalance() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.rebalanceLocked()
+}
+
+func (ep *pubEndpoint) rebalanceLocked() {
+	p := ep.pool
+	if p == nil || ep.closed {
+		return
+	}
+	var maxS, minS *egressShard
+	maxN, minN := -1, int(^uint(0)>>1)
+	for _, s := range p.shards {
+		n := s.memberCount()
+		if n > maxN {
+			maxN, maxS = n, s
+		}
+		if n < minN {
+			minN, minS = n, s
+		}
+	}
+	if maxS == nil || maxS == minS || maxN <= minN+1 {
+		return
+	}
+	maxS.mu.Lock()
+	var victim *pubConn
+	if len(maxS.members) > 0 {
+		victim = maxS.members[0]
+	}
+	maxS.mu.Unlock()
+	if victim == nil {
+		return
+	}
+	maxS.enqueue(shardItem{move: &shardMove{c: victim, to: minS}})
+}
+
 func (ep *pubEndpoint) close() {
 	ep.mu.Lock()
 	if ep.closed {
@@ -602,6 +795,7 @@ func (ep *pubEndpoint) close() {
 	}
 	ep.conns = make(map[*pubConn]struct{})
 	ep.inproc = make(map[inprocTarget]uint64)
+	pool := ep.pool
 	latched := ep.latched
 	ep.latched = nil
 	ep.mu.Unlock()
@@ -612,6 +806,11 @@ func (ep *pubEndpoint) close() {
 
 	for _, c := range conns {
 		c.teardown()
+	}
+	if pool != nil {
+		// Shard loops drain their queues and tear down their members on
+		// the way out; ep.wg below waits for them.
+		pool.stopAll()
 	}
 	if ep.unregister != nil {
 		ep.unregister()
@@ -633,6 +832,15 @@ type pubConn struct {
 	// latchSeen is the pubSeq of the last publish whose fan-out included
 	// this connection; guarded by the owning endpoint's mu.
 	latchSeen uint64
+
+	// lastSeq is the newest broadcast sequence already written to a
+	// SHARDED connection — the delivery gate of shard.go. It is accessed
+	// only by the shard goroutine currently servicing the connection;
+	// shard handoffs synchronise through the target shard's mutex, and
+	// the join (under ep.mu) seeds it before any shard can see the
+	// connection. ch is nil on sharded connections: they have no
+	// dedicated write loop.
+	lastSeq uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}

@@ -23,18 +23,26 @@ type RawMessage struct {
 
 // SubscribeRaw attaches to a topic without compiled-in message types,
 // delivering raw frames — the mechanism behind introspection tools like
-// cmd/rostopic. typeName/md5 must match the topic binding (obtain them
-// from the master's TopicsInfo); sfm selects which wire regime to
-// negotiate. Raw subscriptions always use the TCP transport.
+// cmd/rostopic and the relay tier. typeName/md5 must match the topic
+// binding (obtain them from the master's TopicsInfo); sfm selects which
+// wire regime to negotiate. Raw subscriptions always use the TCP
+// transport; of the options, WithRetry, WithConnState and WithoutRelay
+// apply (transport/queue/manager options are typed-path concerns).
 func SubscribeRaw(n *Node, topic, typeName, md5 string, sfm bool,
-	cb func(RawMessage)) (*Subscriber, error) {
+	cb func(RawMessage), opts ...SubOption) (*Subscriber, error) {
+	cfg := subConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Subscriber{
-		node:   n,
-		topic:  topic,
-		retry:  RetryPolicy{}.withDefaults(),
-		stats:  n.metrics.Subscriber(topic),
-		conns:  make(map[string]*subConn),
-		inproc: make(map[*pubEndpoint]struct{}),
+		node:      n,
+		topic:     topic,
+		retry:     cfg.retry.withDefaults(),
+		connState: cfg.connState,
+		noRelay:   cfg.noRelay,
+		stats:     n.metrics.Subscriber(topic),
+		conns:     make(map[string]*subConn),
+		inproc:    make(map[*pubEndpoint]struct{}),
 	}
 	rt := &rawRuntime{sub: s, cb: cb, typeName: typeName, md5: md5, sfm: sfm}
 	if sfm {
@@ -81,6 +89,7 @@ func AdvertiseRaw(n *Node, topic, typeName, md5 string, sfm, littleEndian bool,
 		queueSize:    cfg.queueSize,
 		latch:        cfg.latch,
 		writeTimeout: cfg.writeTimeout,
+		egressShards: cfg.egressShards,
 		endianName:   nativeEndianName(littleEndian),
 		stats:        n.metrics.Publisher(topic),
 		conns:        make(map[*pubConn]struct{}),
@@ -90,7 +99,8 @@ func AdvertiseRaw(n *Node, topic, typeName, md5 string, sfm, littleEndian bool,
 		return nil, err
 	}
 	unregister, err := n.master.RegisterPublisher(topic, PublisherInfo{
-		NodeName: n.name, Addr: n.addr, TypeName: typeName, MD5: md5, direct: ep,
+		NodeName: n.name, Addr: n.addr, TypeName: typeName, MD5: md5,
+		Relay: cfg.relay, direct: ep,
 	})
 	if err != nil {
 		n.unregisterPub(topic)

@@ -1,0 +1,120 @@
+package ros
+
+import (
+	"testing"
+	"time"
+
+	"rossf/internal/obs"
+)
+
+// TestRelayTierDelegation proves the relay tier end to end: a relay
+// advertises the topic with the Relay flag, plain subscribers attach to
+// the relay instead of the origin, WithoutRelay subscribers keep a
+// direct connection, frames flow origin -> relay -> subscriber
+// byte-for-byte, and when the relay dies the subscribers reconcile back
+// to the origin.
+func TestRelayTierDelegation(t *testing.T) {
+	guardGoroutines(t)
+	obs.CheckLeaks(t, 10*time.Second)
+	reg := obs.NewRegistry()
+	m := NewLocalMaster()
+	originNode := shardNode(t, "origin", m, reg)
+	relayNode := shardNode(t, "relay", m, reg)
+	subNode := shardNode(t, "sub", m, reg)
+
+	const topic, typeName, md5 = "relay/out", "shard_test/Raw", "e00011223344556677889900112233ff"
+
+	origin, err := AdvertiseRaw(originNode, topic, typeName, md5, false, true)
+	if err != nil {
+		t.Fatalf("AdvertiseRaw: %v", err)
+	}
+	defer origin.Close()
+
+	relay, err := NewRelay(relayNode, topic, typeName, md5, false)
+	if err != nil {
+		t.Fatalf("NewRelay: %v", err)
+	}
+	defer relay.Close()
+	waitFor(t, 10*time.Second, "relay attached upstream", func() bool {
+		return relay.NumPublishers() == 1 && origin.NumSubscribers() == 1
+	})
+
+	// A plain subscriber must delegate to the relay; a WithoutRelay
+	// subscriber must go straight to the origin.
+	rec := &shardRecorder{}
+	sub, err := SubscribeRaw(subNode, topic, typeName, md5, false, rec.onRaw)
+	if err != nil {
+		t.Fatalf("SubscribeRaw: %v", err)
+	}
+	defer sub.Close()
+	direct := &shardRecorder{}
+	directSub, err := SubscribeRaw(subNode, topic, typeName, md5, false, direct.onRaw, WithoutRelay())
+	if err != nil {
+		t.Fatalf("SubscribeRaw(WithoutRelay): %v", err)
+	}
+	defer directSub.Close()
+
+	waitFor(t, 10*time.Second, "delegated topology", func() bool {
+		// Origin serves the relay and the direct subscriber; the relay
+		// serves the delegated subscriber.
+		return relay.NumSubscribers() == 1 && origin.NumSubscribers() == 2
+	})
+
+	const nMsgs = 10
+	for seq := uint64(0); seq < nMsgs; seq++ {
+		if err := origin.PublishFrame(shardFrame(seq, shardFrameSize(seq))); err != nil {
+			t.Fatalf("PublishFrame(%d): %v", seq, err)
+		}
+		waitFor(t, 10*time.Second, "relayed round", func() bool {
+			return rec.count() == int(seq)+1 && direct.count() == int(seq)+1
+		})
+	}
+	for name, r := range map[string]*shardRecorder{"relayed": rec, "direct": direct} {
+		seqs, errstr := r.snapshot()
+		if errstr != "" {
+			t.Fatalf("%s subscriber: %s", name, errstr)
+		}
+		checkContiguous(t, name+" subscriber", seqs)
+		if len(seqs) != nMsgs || seqs[0] != 0 {
+			t.Fatalf("%s subscriber saw %d frames from %d", name, len(seqs), seqs[0])
+		}
+	}
+
+	rs := reg.Snapshot().Relay
+	if rs.Active != 1 || rs.FramesIn != nMsgs || rs.FramesOut != nMsgs {
+		t.Errorf("relay counters: active=%d in=%d out=%d, want 1/%d/%d",
+			rs.Active, rs.FramesIn, rs.FramesOut, nMsgs, nMsgs)
+	}
+	if rs.Drops != 0 || rs.Mismatches != 0 {
+		t.Errorf("relay counters: drops=%d mismatches=%d, want 0/0", rs.Drops, rs.Mismatches)
+	}
+
+	// Kill the relay: the delegated subscriber must reconcile back to
+	// the origin and pick the stream up again (frames published during
+	// the switchover may be lost; the stream must resume, not stall).
+	relay.Close()
+	resumed := false
+	for seq := uint64(nMsgs); seq < nMsgs+200 && !resumed; seq++ {
+		before := rec.count()
+		if err := origin.PublishFrame(shardFrame(seq, shardFrameSize(seq))); err != nil {
+			t.Fatalf("PublishFrame(%d): %v", seq, err)
+		}
+		deadline := time.Now().Add(50 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if rec.count() > before {
+				resumed = true
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !resumed {
+		t.Fatal("delegated subscriber never resumed from the origin after relay death")
+	}
+	if _, errstr := rec.snapshot(); errstr != "" {
+		t.Fatalf("post-failover frames corrupt: %s", errstr)
+	}
+	if got := reg.Snapshot().Relay.Active; got != 0 {
+		t.Errorf("relay Active gauge = %d after Close, want 0", got)
+	}
+}

@@ -2,11 +2,13 @@ package ros
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"math"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +151,7 @@ type subConfig struct {
 	queueSize int
 	retry     RetryPolicy
 	connState func(addr string, state ConnState)
+	noRelay   bool
 }
 
 // WithTransport selects the subscriber transport mode.
@@ -189,6 +192,15 @@ func WithConnState(cb func(addr string, state ConnState)) SubOption {
 	return func(c *subConfig) { c.connState = cb }
 }
 
+// WithoutRelay makes the subscription ignore relay-tier endpoints and
+// attach straight to origin publishers. Relays use it for their own
+// upstream subscription (a relay feeding itself from another relay
+// would loop); applications use it when they need the origin's
+// latency rather than the relay's capacity.
+func WithoutRelay() SubOption {
+	return func(c *subConfig) { c.noRelay = true }
+}
+
 // Subscriber is a topic subscription. Create with Subscribe, release
 // with Close.
 type Subscriber struct {
@@ -201,6 +213,7 @@ type Subscriber struct {
 	retry       RetryPolicy
 	transport   TransportMode
 	connState   func(addr string, state ConnState)
+	noRelay     bool
 	stats       *obs.SubStats // nil when the node's metrics are disabled
 
 	corrupt atomic.Uint64 // frames rejected by checksum
@@ -387,6 +400,7 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 		retry:     cfg.retry.withDefaults(),
 		transport: cfg.transport,
 		connState: cfg.connState,
+		noRelay:   cfg.noRelay,
 		stats:     n.metrics.Subscriber(topic),
 		conns:     make(map[string]*subConn),
 		inproc:    make(map[*pubEndpoint]struct{}),
@@ -442,9 +456,30 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 		return
 	}
 
+	// Relay delegation: when relay-tier endpoints exist and this
+	// subscription may use TCP and has not opted out, attach to exactly
+	// ONE relay — chosen by a stable hash so a fleet of subscribers
+	// spreads across the relays — and to nothing else. A relay mirrors
+	// every origin publisher of the topic, so attaching to an origin (or
+	// a second relay) as well would deliver duplicates. In every other
+	// case relay endpoints are ignored entirely and the classic per-
+	// publisher reconciliation below applies.
+	var relays []string
+	if mode != TransportInproc && !s.noRelay {
+		for _, p := range pubs {
+			if p.Relay && p.Addr != "" {
+				relays = append(relays, p.Addr)
+			}
+		}
+	}
+	useRelay := len(relays) > 0
+
 	wantTCP := make(map[string]bool)
 	wantInproc := make(map[*pubEndpoint]bool)
 	for _, p := range pubs {
+		if p.Relay || useRelay {
+			continue
+		}
 		useInproc := p.direct != nil && mode != TransportTCP && mode != TransportShm
 		if useInproc {
 			wantInproc[p.direct] = true
@@ -453,6 +488,10 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 		if p.Addr != "" && mode != TransportInproc {
 			wantTCP[p.Addr] = true
 		}
+	}
+	if useRelay {
+		sort.Strings(relays)
+		wantTCP[relays[stableSpread(s.node.name+"|"+s.topic)%uint32(len(relays))]] = true
 	}
 
 	// Publishers exist, but none is reachable over this subscription's
@@ -507,6 +546,16 @@ func (s *Subscriber) onPublishers(pubs []PublisherInfo, mode TransportMode) {
 			delete(s.conns, addr)
 		}
 	}
+}
+
+// stableSpread hashes a subscription identity for deterministic relay
+// selection: the same subscriber always picks the same relay (no
+// connection churn across reconcile passes) while different
+// subscribers spread across the relay set.
+func stableSpread(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	return h.Sum32()
 }
 
 // dialAndRun owns one publisher link for its whole lifetime: it dials,

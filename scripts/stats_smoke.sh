@@ -8,7 +8,9 @@
 #      bandwidth, drops, latency quantiles), and
 #   2. the node's /metrics endpoint serves a JSON snapshot with the
 #      expected schema (node name, per-topic publisher instruments,
-#      core life-cycle gauges, graph-plane resilience instruments).
+#      core life-cycle gauges, graph-plane resilience instruments, and
+#      the sharded fan-out plane: per-shard egress counters plus the
+#      relay-tier gauges).
 #
 # Run via `make stats-smoke`. Requires curl; uses jq for JSON schema
 # validation when available, plain key grep otherwise.
@@ -41,8 +43,11 @@ if [ -z "$MASTER" ]; then
     exit 1
 fi
 
+# -shards 2 forces the sharded egress path, so the rostopic subscription
+# below (plain TCP: rospub does not enable shm) lands in the shard pool
+# and the fanout section of the snapshot carries live per-shard data.
 "$BIN/rospub" -master "$MASTER" -sfm -rate 100 -width 64 -height 64 \
-    -metrics 127.0.0.1:0 >"$BIN/pub.log" 2>&1 &
+    -shards 2 -metrics 127.0.0.1:0 >"$BIN/pub.log" 2>&1 &
 PUB_PID=$!
 METRICS=""
 for _ in $(seq 1 100); do
@@ -79,13 +84,25 @@ if command -v jq >/dev/null 2>&1; then
              and has("resync") and has("ghost_expiries")
              and has("malformed_lines") and has("degraded"))
         and (.obs.graph.degraded == 0)
+        and (.obs.egress | has("writes") and has("frames") and has("coalesced_frames"))
+        and (.obs.egress.fanout.active_shards == 2)
+        and (.obs.egress.fanout | has("sharded_conns") and has("rebalances")
+             and has("shard_drops"))
+        and (.obs.egress.fanout.shards | length == 2)
+        and ([.obs.egress.fanout.shards[]
+              | has("conns") and has("frames") and has("writes") and has("bytes")]
+             | all)
+        and ([.obs.egress.fanout.shards[].frames] | add > 0)
+        and (.obs.relay | has("active") and has("frames_in") and has("bytes_in")
+             and has("frames_out") and has("drops") and has("mismatches"))
     ' >/dev/null || {
         echo "stats-smoke: /metrics JSON failed schema check:" >&2
         echo "$JSON" >&2
         exit 1
     }
 else
-    for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"'; do
+    for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"' \
+        '"fanout"' '"active_shards"' '"shards"' '"relay"' '"frames_in"'; do
         if ! echo "$JSON" | grep -q "$key"; then
             echo "stats-smoke: /metrics JSON missing $key" >&2
             exit 1
