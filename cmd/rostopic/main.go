@@ -220,8 +220,13 @@ func stats(master *ros.RemoteMaster, reg *obs.Registry, topic string, duration t
 	fmt.Printf("latency:   p50 %v   p95 %v   p99 %v   (min %v, max %v)\n",
 		s.Latency.P50, s.Latency.P95, s.Latency.P99, s.Latency.Min, s.Latency.Max)
 	if sh := snap.Shm; sh.SegmentsMapped > 0 || sh.DescriptorSends > 0 || sh.Fallbacks > 0 {
-		fmt.Printf("shm:       %d segments mapped (%d bytes)   %d descriptor transfers   %d tcp fallbacks   %d leases reaped\n",
-			sh.SegmentsMapped, sh.BytesShared, sh.DescriptorSends, sh.Fallbacks, sh.LeasesReaped)
+		fmt.Printf("shm:       %d segments mapped (%d bytes)   %d descriptor transfers   %d promotions   %d tcp fallbacks   %d leases reaped\n",
+			sh.SegmentsMapped, sh.BytesShared, sh.DescriptorSends, sh.Promotions, sh.Fallbacks, sh.LeasesReaped)
+		if sh.Fallbacks > 0 {
+			fr := sh.FallbackReasons
+			fmt.Printf("           fallback reasons: oversized %d   heap_arena %d   peer_table_full %d   remote_peer %d   old_build %d\n",
+				fr.Oversized, fr.HeapArena, fr.PeerTableFull, fr.RemotePeer, fr.OldBuild)
+		}
 	}
 	if eg := snap.Egress; eg.Writes > 0 {
 		fmt.Printf("egress:    %d vectored writes (%d frames, %d coalesced)   frames/write p50 %d p95 %d   bytes/write p50 %d p95 %d\n",

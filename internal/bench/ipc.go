@@ -33,7 +33,11 @@ type IPCConfig struct {
 
 func (c *IPCConfig) fillDefaults() {
 	if len(c.Sizes) == 0 {
-		c.Sizes = []int{4 << 10, 64 << 10, 1 << 20}
+		// The two top cells are the production payloads the large-object
+		// path exists for: 8 MiB ≈ an uncompressed 1080p-class image,
+		// 128 MiB ≈ a dense point cloud — above the largest pooled slot
+		// class, so it exercises the dedicated per-message segments.
+		c.Sizes = []int{4 << 10, 64 << 10, 1 << 20, 8 << 20, 128 << 20}
 	}
 	if c.Messages == 0 {
 		c.Messages = 200
@@ -46,6 +50,49 @@ func (c *IPCConfig) fillDefaults() {
 	}
 }
 
+// cellMessages scales the per-cell message count down for very large
+// payloads: at 128 MiB even a lockstep ping moves gigabytes, and the
+// transport comparison stabilizes long before cfg.Messages iterations.
+func cellMessages(size, messages int) int {
+	switch {
+	case size >= 64<<20 && messages > 20:
+		return 20
+	case size >= 8<<20 && messages > 50:
+		return 50
+	}
+	return messages
+}
+
+// cellWarmup bounds warmup the same way.
+func cellWarmup(size, warmup int) int {
+	if size >= 8<<20 && warmup > 5 {
+		return 5
+	}
+	return warmup
+}
+
+// shmSkipReason reports why a shm cell cannot run, or "" to proceed: a
+// large payload needs headroom in the segment directory (usually
+// /dev/shm, a tmpfs whose size is often half of RAM), and running
+// anyway would end in SIGBUS when the sparse segment fails to commit a
+// page. A free-space probe of 0 means "unknown" and does not skip.
+func shmSkipReason(size int, dir string) string {
+	if size < 8<<20 {
+		return ""
+	}
+	if dir == "" {
+		dir = shm.Dir()
+	}
+	free := shm.DirBytesFree(dir)
+	// Publisher slots plus growth slack; lockstep keeps at most a couple
+	// of messages live at once.
+	need := uint64(size) * 4
+	if free != 0 && free < need {
+		return fmt.Sprintf("segment dir %s has %d bytes free, need %d", dir, free, need)
+	}
+	return ""
+}
+
 // IPC transport labels, in display order.
 const (
 	IPCInproc = "inproc"
@@ -53,7 +100,9 @@ const (
 	IPCTCP    = "tcp"
 )
 
-// IPCRow is one (size, transport) measurement.
+// IPCRow is one (size, transport) measurement. Skipped rows (e.g. a
+// large shm cell without enough /dev/shm headroom) keep their place in
+// the matrix with SkipReason set and the measurements zero.
 type IPCRow struct {
 	SizeBytes    int     `json:"size_bytes"`
 	Transport    string  `json:"transport"`
@@ -62,6 +111,8 @@ type IPCRow struct {
 	MsgsPerSec   float64 `json:"msgs_per_sec"`
 	MBPerSec     float64 `json:"mb_per_sec"`
 	SpeedupVsTCP float64 `json:"speedup_vs_tcp,omitempty"`
+	Skipped      bool    `json:"skipped,omitempty"`
+	SkipReason   string  `json:"skip_reason,omitempty"`
 }
 
 // IPCResult is the full matrix, serialized to BENCH_ipc.json by the
@@ -90,6 +141,11 @@ func (r *IPCResult) Format() string {
 	fmt.Fprintf(&b, "  %-10s %-8s %14s %14s %12s %14s\n",
 		"size", "trans", "ns/msg", "msgs/s", "MB/s", "speedup vs tcp")
 	for _, row := range r.Rows {
+		if row.Skipped {
+			fmt.Fprintf(&b, "  %-10s %-8s skipped: %s\n",
+				formatBytes(row.SizeBytes), row.Transport, row.SkipReason)
+			continue
+		}
 		speedup := ""
 		if row.SpeedupVsTCP > 0 {
 			speedup = fmt.Sprintf("%.1fx", row.SpeedupVsTCP)
@@ -125,6 +181,12 @@ func RunIPC(cfg IPCConfig) (*IPCResult, error) {
 			if tr == IPCShm && !res.ShmAvailable {
 				continue
 			}
+			if tr == IPCShm {
+				if reason := shmSkipReason(size, cfg.Dir); reason != "" {
+					rows[tr] = IPCRow{SizeBytes: size, Transport: tr, Skipped: true, SkipReason: reason}
+					continue
+				}
+			}
 			series, err := runIPCOnce(tr, size, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("ipc %s/%s: %w", formatBytes(size), tr, err)
@@ -150,7 +212,7 @@ func RunIPC(cfg IPCConfig) (*IPCResult, error) {
 			if !ok {
 				continue
 			}
-			if tr != IPCTCP && tcpNs > 0 {
+			if tr != IPCTCP && tcpNs > 0 && row.NsPerMsg > 0 {
 				row.SpeedupVsTCP = tcpNs / row.NsPerMsg
 			}
 			res.Rows = append(res.Rows, row)
@@ -286,12 +348,14 @@ func runIPCOnce(transport string, size int, cfg IPCConfig) (*LatencySeries, erro
 	defer run.Close()
 
 	series := &LatencySeries{Label: fmt.Sprintf("%s %s", transport, formatBytes(size))}
-	for i := 0; i < cfg.Warmup+cfg.Messages; i++ {
+	messages := cellMessages(size, cfg.Messages)
+	warmup := cellWarmup(size, cfg.Warmup)
+	for i := 0; i < warmup+messages; i++ {
 		d, err := run.Ping(i)
 		if err != nil {
 			return nil, err
 		}
-		if i >= cfg.Warmup {
+		if i >= warmup {
 			series.Add(d)
 		}
 	}

@@ -26,6 +26,19 @@ type BackingStore interface {
 	Release(handle uint64, raw []byte)
 }
 
+// ArenaGrower is the optional BackingStore extension for stores whose
+// allocations can extend IN PLACE: GrowArena returns an enlarged arena
+// window whose first byte is the same address as the original
+// allocation, or ok=false when the allocation cannot grow further
+// (tier headroom exhausted, store closed). Address stability is the
+// contract that makes the extension transparent — every pointer into
+// the message, including the user's *T, stays valid. The shm store
+// implements it with sparse per-slot growth headroom, so a grow that
+// escapes its slot class moves to the next tier instead of failing.
+type ArenaGrower interface {
+	GrowArena(handle uint64, need int) ([]byte, bool)
+}
+
 // storeBox wraps a BackingStore for atomic publication on the Manager.
 type storeBox struct{ bs BackingStore }
 
@@ -88,4 +101,51 @@ func SharedHandleOf[T any](m *T, bs BackingStore) (handle uint64, used int, ok b
 		return 0, 0, false
 	}
 	return r.shared, int(r.used), true
+}
+
+// PromoteShared is SharedHandleOf with publish-time promotion: when the
+// message's arena did NOT come from bs (heap pool, external memory,
+// another store), the used bytes are copied ONCE into a slot acquired
+// from bs and the promotion is cached on the record, so steady-state
+// republishers of a heap-arena message converge to zero per-message
+// fallbacks instead of shipping an inline copy forever. The copy is
+// valid as a message because all SFM offsets are relative (the same
+// property Clone relies on). A grow after promotion invalidates the
+// cache; the next publish re-copies. promoted reports that THIS call
+// performed a copy (for the transport's promotion counter); a cached or
+// native handle returns promoted=false.
+//
+// The caller must hold the message for the duration of its use of the
+// returned handle (the transport holds a publish-time reference), which
+// pins the promotion slot through the record's cached baseline
+// reference. Growing a message concurrently with publishing it is an
+// application-level race, exactly as on the inline path.
+func PromoteShared[T any](m *T, bs BackingStore) (handle uint64, used int, promoted, ok bool) {
+	if bs == nil {
+		return 0, 0, false, false
+	}
+	r, err := recordFor(unsafe.Pointer(m))
+	if err != nil {
+		return 0, 0, false, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDestructed {
+		return 0, 0, false, false
+	}
+	if r.hasShared && r.bs == bs {
+		return r.shared, int(r.used), false, true
+	}
+	if r.promoBS == bs && r.promoUsed == r.used {
+		return r.promoHandle, int(r.used), false, true
+	}
+	n := int(r.used)
+	raw, h, acquired := bs.Acquire(n)
+	if !acquired {
+		return 0, 0, false, false
+	}
+	copy(raw[:n], r.arena[:n])
+	r.dropPromoLocked()
+	r.promoHandle, r.promoRaw, r.promoUsed, r.promoBS = h, raw, r.used, bs
+	return h, n, true, true
 }

@@ -61,6 +61,24 @@ type record struct {
 	shared    uint64 // BackingStore handle (valid when hasShared)
 	hasShared bool
 	bs        BackingStore // store that issued the handle
+	// Publish-time promotion cache (PromoteShared): a copy-once shared
+	// slot for a message whose own arena is not store-backed. Valid while
+	// promoBS is non-nil and promoUsed matches used; released on grow
+	// (stale copy) and on destruct.
+	promoHandle uint64
+	promoRaw    []byte
+	promoUsed   uint32
+	promoBS     BackingStore
+}
+
+// dropPromoLocked releases the record's cached promotion slot, if any.
+// Caller holds r.mu; BackingStore.Release takes only the store's own
+// lock, which is never held while entering core.
+func (r *record) dropPromoLocked() {
+	if r.promoBS != nil {
+		r.promoBS.Release(r.promoHandle, r.promoRaw)
+		r.promoHandle, r.promoRaw, r.promoUsed, r.promoBS = 0, nil, 0, nil
+	}
 }
 
 // genCounter issues record generations. A pooled buffer reissued at the
@@ -97,6 +115,30 @@ func (ix *index) remove(r *record) {
 	if i < len(ix.recs) && ix.recs[i] == r {
 		ix.recs = append(ix.recs[:i], ix.recs[i+1:]...)
 	}
+}
+
+// extend moves a record's end address forward after an in-place arena
+// growth (ArenaGrower). The table stays sorted — base is unchanged —
+// but the non-overlap invariant must be re-proven: the store guarantees
+// the grown window is exclusively this allocation's reservation, so no
+// other record can live inside it, and the check is a defensive decline
+// rather than an expected path. Reports whether the extension was
+// applied.
+func (ix *index) extend(r *record, newEnd uintptr) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if newEnd <= r.end {
+		return true
+	}
+	i := sort.Search(len(ix.recs), func(i int) bool { return ix.recs[i].base >= r.base })
+	if i >= len(ix.recs) || ix.recs[i] != r {
+		return false
+	}
+	if i+1 < len(ix.recs) && ix.recs[i+1].base < newEnd {
+		return false
+	}
+	r.end = newEnd
+	return true
 }
 
 // lookup finds the record whose arena contains addr. This is the binary
@@ -299,6 +341,7 @@ func (r *record) release() (bool, error) {
 	r.mu.Lock()
 	prev := r.state
 	r.state = StateDestructed
+	r.dropPromoLocked()
 	r.mu.Unlock()
 	gidx.remove(r)
 	m := r.mgr
@@ -363,17 +406,66 @@ func (r *record) growInto(fieldAddr uintptr, n, align uint32) (rel uint32, regio
 	start := alignUp(r.used, align)
 	capacity := uint32(len(r.arena))
 	if n > capacity || start > capacity-n {
-		return 0, nil, r.state, fmt.Errorf("%w: need %d bytes at offset %d, capacity %d",
-			ErrCapacityExceeded, n, start, capacity)
+		// A grow that escapes the arena's slot class asks the backing
+		// store for an in-place, address-stable extension into the next
+		// tier (shm stores reserve sparse per-slot headroom for exactly
+		// this). Only then does the request fail: heap arenas and
+		// exhausted tiers keep the historical ErrCapacityExceeded.
+		if !r.growTierLocked(start, n) {
+			return 0, nil, r.state, fmt.Errorf("%w: need %d bytes at offset %d, capacity %d",
+				ErrCapacityExceeded, n, start, capacity)
+		}
 	}
 	region = r.arena[start : start+n]
-	clear(region)
+	// Zero from the old used mark, not just the region: the alignment gap
+	// bytes become part of the wire (used advances past them), and a
+	// recycled arena — heap pool buffer or reused shm slot — still holds
+	// the previous occupant's bytes there. Leaving them would ship stale
+	// data in every frame and make wire bytes nondeterministic.
+	clear(r.arena[r.used : start+n])
 	r.used = start + n
 	r.mgr.grows.Add(1)
 	// The descriptor always precedes the region it points at, so the
 	// relative offset is positive and fits the paper's uint32 encoding.
 	rel = uint32(r.base + uintptr(start) - fieldAddr)
 	return rel, region, r.state, nil
+}
+
+// growTierLocked asks the record's backing store for an in-place arena
+// extension large enough to fit a region of n bytes at offset start.
+// Caller holds r.mu. On success r.arena/r.raw are the enlarged window
+// (same base address), the global index covers the new extent, and any
+// cached promotion copy is dropped as stale.
+func (r *record) growTierLocked(start, n uint32) bool {
+	if !r.hasShared {
+		return false
+	}
+	ag, ok := r.bs.(ArenaGrower)
+	if !ok {
+		return false
+	}
+	need := int(start) + int(n)
+	if need < 0 { // uint32 sum overflowed int32 range on 32-bit; be safe
+		return false
+	}
+	newArena, ok := ag.GrowArena(r.shared, need)
+	if !ok || len(newArena) < need {
+		return false
+	}
+	if &newArena[0] != &r.arena[0] {
+		// The store violated address stability; refusing the growth is
+		// the only safe answer — live pointers target the old base.
+		return false
+	}
+	if !gidx.extend(r, r.base+uintptr(len(newArena))) {
+		return false
+	}
+	delta := int64(len(newArena) - len(r.arena))
+	r.arena = newArena
+	r.raw = newArena
+	raiseMax(&r.mgr.maxBytesLive, r.mgr.bytesLive.Add(delta))
+	r.dropPromoLocked()
+	return true
 }
 
 // alignUp rounds x up to the next multiple of a (a must be a power of two).

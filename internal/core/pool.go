@@ -118,8 +118,20 @@ func (m *Manager) GetBuffer(capacity int) *Buffer {
 			}
 		}
 	}
-	raw := m.pool.get(capacity + arenaAlign - 1)
+	// Ask the pool for the exact capacity: padding the request by
+	// arenaAlign-1 up front pushed any capacity sitting exactly on a class
+	// boundary (1<<maxClassShift most visibly) into the next class — or
+	// out of the pool entirely. Go's allocator aligns []byte backing
+	// arrays of this size far beyond arenaAlign in practice, so the slack
+	// is almost never needed; the rare misaligned allocation is retried
+	// with padding instead of taxing every boundary-sized request.
+	raw := m.pool.get(capacity)
 	off := int((arenaAlign - (uintptr(unsafe.Pointer(&raw[0])) & (arenaAlign - 1))) & (arenaAlign - 1))
+	if len(raw)-off < capacity {
+		m.pool.put(raw)
+		raw = m.pool.get(capacity + arenaAlign - 1)
+		off = int((arenaAlign - (uintptr(unsafe.Pointer(&raw[0])) & (arenaAlign - 1))) & (arenaAlign - 1))
+	}
 	usable := len(raw) - off
 	return &Buffer{raw: raw, arena: raw[off : off+usable : off+usable], mgr: m}
 }

@@ -31,6 +31,36 @@ func TestClassForBoundaries(t *testing.T) {
 	}
 }
 
+// TestGetBufferExactClassBoundary pins the alignment-slack regression:
+// GetBuffer used to pad every pool request by arenaAlign-1, which pushed
+// a capacity sitting exactly on a class boundary into the next class —
+// and a request of exactly the LARGEST class (1<<26) out of the pool
+// entirely, onto a direct allocation that could never be recycled. At
+// the transport layer that turned every 64 MiB receive into a fresh
+// allocation. The request must go to the pool at its exact size; Go's
+// allocator returns arenaAlign-aligned storage for these sizes, so the
+// raw allocation is exactly the class size and fully usable.
+func TestGetBufferExactClassBoundary(t *testing.T) {
+	m := NewManager()
+	for _, capacity := range []int{1 << 10, 1 << 20, 1 << 26} {
+		b := m.GetBuffer(capacity)
+		if len(b.raw) != capacity {
+			t.Errorf("GetBuffer(%d) took a %d-byte raw allocation, want the exact class size",
+				capacity, len(b.raw))
+		}
+		if len(b.Bytes()) < capacity {
+			t.Errorf("GetBuffer(%d) arena has only %d usable bytes", capacity, len(b.Bytes()))
+		}
+		b.Discard()
+	}
+	// One past a boundary still selects the next class, not a short buffer.
+	b := m.GetBuffer(1<<20 + 1)
+	if len(b.raw) != 1<<21 {
+		t.Errorf("GetBuffer(1<<20+1) raw = %d bytes, want next class (1<<21)", len(b.raw))
+	}
+	b.Discard()
+}
+
 // TestPoolGetNeverShort is the property behind classFor: whatever the
 // request size — inside the classes, at their boundaries, or past the
 // largest class — get must return at least that many bytes, and

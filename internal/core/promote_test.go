@@ -1,0 +1,302 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// fakeStore is an in-memory BackingStore for promotion and grow tests:
+// every Acquire hands out a slab carved from a fresh allocation whose
+// tail doubles as in-place growth headroom, and the acquire/release
+// ledger is inspectable. slabCap bounds GrowArena; 0 disables growth.
+type fakeStore struct {
+	mu       sync.Mutex
+	decline  bool
+	relocate bool // GrowArena returns a DIFFERENT base (contract violation)
+	slabCap  int
+	acquires int
+	live     map[uint64][]byte // handle -> full slab
+	next     uint64
+}
+
+func newFakeStore(slabCap int) *fakeStore {
+	return &fakeStore{slabCap: slabCap, live: make(map[uint64][]byte)}
+}
+
+func alignedSlab(n int) []byte {
+	raw := make([]byte, n+arenaAlign)
+	off := int((arenaAlign - (uintptr(unsafe.Pointer(&raw[0])) & (arenaAlign - 1))) & (arenaAlign - 1))
+	return raw[off : off+n : off+n]
+}
+
+func (f *fakeStore) Acquire(capacity int) ([]byte, uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.decline {
+		return nil, 0, false
+	}
+	full := capacity
+	if f.slabCap > full {
+		full = f.slabCap
+	}
+	slab := alignedSlab(full)
+	f.acquires++
+	f.next++
+	f.live[f.next] = slab
+	return slab[:capacity:capacity], f.next, true
+}
+
+func (f *fakeStore) Release(handle uint64, raw []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.live, handle)
+}
+
+func (f *fakeStore) GrowArena(handle uint64, need int) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slab, ok := f.live[handle]
+	if !ok || need > len(slab) {
+		return nil, false
+	}
+	if f.relocate {
+		return alignedSlab(need), true
+	}
+	return slab[:need:need], true
+}
+
+func (f *fakeStore) outstanding() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.live)
+}
+
+// heapImage builds a heap-arena message with deterministic content.
+func heapImage(t *testing.T, rng *rand.Rand, payload int) *testImage {
+	t.Helper()
+	img, err := NewWithCapacity[testImage](1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Height = rng.Uint32()
+	img.Encoding.MustSet("rgb8")
+	img.Data.MustResize(payload)
+	rng.Read(img.Data.Slice())
+	return img
+}
+
+// TestPromoteSharedCopiesOnce: promoting a heap-arena message copies its
+// used bytes into a store slot exactly once; republishing the unchanged
+// message hits the cached promotion (no second copy, same handle), and
+// destructing the message releases the slot.
+func TestPromoteSharedCopiesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := heapImage(t, rng, 512)
+	fs := newFakeStore(0)
+
+	h, used, promoted, ok := PromoteShared(img, fs)
+	if !ok || !promoted {
+		t.Fatalf("PromoteShared: ok=%v promoted=%v, want both true", ok, promoted)
+	}
+	wire, err := Bytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(wire) {
+		t.Fatalf("promoted used = %d, want %d", used, len(wire))
+	}
+	fs.mu.Lock()
+	slot := fs.live[h]
+	fs.mu.Unlock()
+	if !bytes.Equal(slot[:used], wire) {
+		t.Fatal("promoted slot bytes differ from the message's wire bytes")
+	}
+
+	h2, _, promoted2, ok2 := PromoteShared(img, fs)
+	if !ok2 || promoted2 || h2 != h {
+		t.Fatalf("cached promotion: ok=%v promoted=%v handle %#x vs %#x", ok2, promoted2, h2, h)
+	}
+	if fs.acquires != 1 {
+		t.Fatalf("acquires = %d, want 1 (second publish must reuse the cached slot)", fs.acquires)
+	}
+
+	if _, err := Release(img); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.outstanding(); n != 0 {
+		t.Fatalf("%d store slots still live after destruct: promotion leaked", n)
+	}
+}
+
+// TestPromoteSharedNativeHandle: a message whose arena already came from
+// the store needs no promotion — PromoteShared returns the native handle
+// without touching the store again.
+func TestPromoteSharedNativeHandle(t *testing.T) {
+	fs := newFakeStore(0)
+	mgr := NewManager()
+	mgr.SetBackingStore(fs)
+	img, err := NewIn[testImage](mgr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantH, wantUsed, ok := SharedHandleOf(img, fs)
+	if !ok {
+		t.Fatal("store-backed message has no shared handle")
+	}
+	h, used, promoted, ok := PromoteShared(img, fs)
+	if !ok || promoted {
+		t.Fatalf("native handle: ok=%v promoted=%v, want ok and no copy", ok, promoted)
+	}
+	if h != wantH || used != wantUsed {
+		t.Fatalf("PromoteShared = (%#x, %d), SharedHandleOf = (%#x, %d)", h, used, wantH, wantUsed)
+	}
+	if fs.acquires != 1 { // the NewIn allocation, nothing more
+		t.Fatalf("acquires = %d, want 1", fs.acquires)
+	}
+	if _, err := Release(img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromoteSharedInvalidatedByGrow: growing the message after a
+// promotion stales the cached copy — the next promotion re-copies the
+// new used size and releases the old slot.
+func TestPromoteSharedInvalidatedByGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img, err := NewWithCapacity[testImage](1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Data.MustResize(256)
+	rng.Read(img.Data.Slice())
+	fs := newFakeStore(0)
+
+	h1, _, _, ok := PromoteShared(img, fs)
+	if !ok {
+		t.Fatal("first promotion declined")
+	}
+	img.Encoding.MustSet("rgba8") // grows used past the promoted snapshot
+	h2, used2, promoted, ok := PromoteShared(img, fs)
+	if !ok || !promoted {
+		t.Fatalf("post-grow promotion: ok=%v promoted=%v, want fresh copy", ok, promoted)
+	}
+	if h2 == h1 {
+		t.Fatal("post-grow promotion reused the stale slot")
+	}
+	if n := fs.outstanding(); n != 1 {
+		t.Fatalf("%d slots live after re-promotion, want 1 (old slot must be released)", n)
+	}
+	wire, _ := Bytes(img)
+	fs.mu.Lock()
+	slot := fs.live[h2]
+	fs.mu.Unlock()
+	if used2 != len(wire) || !bytes.Equal(slot[:used2], wire) {
+		t.Fatal("re-promoted slot does not match the grown message")
+	}
+	if _, err := Release(img); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.outstanding(); n != 0 {
+		t.Fatalf("%d slots live after destruct", n)
+	}
+}
+
+// TestPromoteSharedDeclined: a store refusing the Acquire (full,
+// oversized) yields ok=false and no side effects — the transport then
+// counts a reasoned fallback and ships inline bytes.
+func TestPromoteSharedDeclined(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := heapImage(t, rng, 128)
+	defer Release(img) //nolint:errcheck
+	fs := newFakeStore(0)
+	fs.decline = true
+	if _, _, _, ok := PromoteShared(img, fs); ok {
+		t.Fatal("PromoteShared succeeded against a declining store")
+	}
+	if _, _, _, ok := PromoteShared(img, nil); ok {
+		t.Fatal("PromoteShared succeeded against a nil store")
+	}
+}
+
+// TestGrowAcrossClassesInPlace: a store-backed message that outgrows its
+// arena extends IN PLACE through core.ArenaGrower — same base address,
+// larger capacity, data intact — instead of failing or relocating.
+func TestGrowAcrossClassesInPlace(t *testing.T) {
+	fs := newFakeStore(1 << 16)
+	mgr := NewManager()
+	mgr.SetBackingStore(fs)
+	img, err := NewIn[testImage](mgr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := CapacityOf(img); c != 4096 {
+		t.Fatalf("initial capacity = %d, want 4096", c)
+	}
+	base := uintptr(unsafe.Pointer(img))
+	if err := img.Data.Resize(20000); err != nil {
+		t.Fatalf("Resize across the slot class: %v", err)
+	}
+	if got := uintptr(unsafe.Pointer(img)); got != base {
+		t.Fatalf("arena moved under a live message: %#x -> %#x", base, got)
+	}
+	if c, _ := CapacityOf(img); c < 20000 {
+		t.Fatalf("capacity after grow = %d, want >= 20000", c)
+	}
+	d := img.Data.Slice()
+	d[0], d[len(d)-1] = 0xaa, 0xbb
+	if used, _ := UsedSize(img); used < 20000 {
+		t.Fatalf("used = %d after grow", used)
+	}
+	if _, err := Release(img); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.outstanding(); n != 0 {
+		t.Fatalf("%d slots live after destruct", n)
+	}
+}
+
+// TestGrowBeyondTierFailsLoudly: when the store's headroom is exhausted
+// the grow must surface ErrCapacityExceeded — never silently relocate
+// the arena or drop to the heap.
+func TestGrowBeyondTierFailsLoudly(t *testing.T) {
+	fs := newFakeStore(1 << 14)
+	mgr := NewManager()
+	mgr.SetBackingStore(fs)
+	img, err := NewIn[testImage](mgr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(img) //nolint:errcheck
+	if err := img.Data.Resize(1 << 15); !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("grow past the store tier: err=%v, want ErrCapacityExceeded", err)
+	}
+}
+
+// TestGrowRejectsRelocatingStore: a buggy store returning a different
+// base address from GrowArena violates the address-stability contract;
+// core must refuse the grow rather than corrupt its index.
+func TestGrowRejectsRelocatingStore(t *testing.T) {
+	fs := newFakeStore(1 << 16)
+	fs.relocate = true
+	mgr := NewManager()
+	mgr.SetBackingStore(fs)
+	img, err := NewIn[testImage](mgr, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Release(img) //nolint:errcheck
+	base := uintptr(unsafe.Pointer(img))
+	if err := img.Data.Resize(20000); !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("relocating grow: err=%v, want ErrCapacityExceeded", err)
+	}
+	if got := uintptr(unsafe.Pointer(img)); got != base {
+		t.Fatalf("message moved despite the refused grow")
+	}
+	if err := CheckIndexInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -96,12 +96,34 @@ type SubStats struct {
 // ShmStats instruments the shared-memory transport, registry-wide: one
 // set of gauges per process serves every store and mapper wired to the
 // registry.
+//
+// Fallbacks is the aggregate: every shm-capable path that shipped an
+// inline TCP copy instead of a descriptor. The per-reason counters
+// split it by WHY, because "negotiated shm but fell back" is a
+// transparency bug (Agnocast's silent-degradation failure mode) whose
+// fix depends entirely on the reason: oversized means the message
+// exceeds the transport's hard cap (by design), heap_arena means the
+// arena predates the store and promotion also failed, peer_table_full /
+// remote_peer / old_build are negotiation-time declines. Rare races
+// (e.g. a Share losing to a concurrent lease reap) count only in the
+// aggregate, so the total may slightly exceed the reason sum.
+//
+// BytesShared counts MAPPED extent, which since the v2 strided layout
+// is a sparse virtual reservation — physical pages are committed only
+// where messages actually wrote.
 type ShmStats struct {
 	SegmentsMapped  Gauge   // segments currently mmap'd (store + mapper sides)
-	BytesShared     Gauge   // bytes of segment capacity currently mapped
+	BytesShared     Gauge   // bytes of segment extent currently mapped (sparse)
 	DescriptorSends Counter // messages delivered as descriptors instead of payloads
 	Fallbacks       Counter // shm-capable paths that fell back to TCP (negotiation or per-message)
 	LeasesReaped    Counter // crashed/expired subscriber leases reclaimed by publishers
+	Promotions      Counter // heap-arena messages copied once into a shared slot at publish
+
+	FallbackOversized     Counter // message capacity above the transport's hard cap
+	FallbackHeapArena     Counter // heap-backed arena and publish-time promotion failed
+	FallbackPeerTableFull Counter // subscriber declined: no free peer lease slot
+	FallbackRemotePeer    Counter // subscriber offered shm but lives on another host/boot
+	FallbackOldBuild      Counter // peer speaks an incompatible shm protocol revision
 }
 
 // EgressStats instruments the batched TCP egress path, registry-wide:
@@ -360,11 +382,24 @@ type SubSnapshot struct {
 
 // ShmSnapshot is the JSON form of the shared-memory transport gauges.
 type ShmSnapshot struct {
-	SegmentsMapped  int64  `json:"segments_mapped"`
-	BytesShared     int64  `json:"bytes_shared"`
-	DescriptorSends uint64 `json:"descriptor_sends"`
-	Fallbacks       uint64 `json:"fallbacks"`
-	LeasesReaped    uint64 `json:"leases_reaped"`
+	SegmentsMapped  int64               `json:"segments_mapped"`
+	BytesShared     int64               `json:"bytes_shared"`
+	DescriptorSends uint64              `json:"descriptor_sends"`
+	Fallbacks       uint64              `json:"fallbacks"`
+	FallbackReasons ShmFallbackSnapshot `json:"fallbacks_by_reason"`
+	Promotions      uint64              `json:"promotions"`
+	LeasesReaped    uint64              `json:"leases_reaped"`
+}
+
+// ShmFallbackSnapshot breaks the aggregate fallback counter down by
+// reason. The aggregate may slightly exceed the sum: rare races (a
+// Share losing to a concurrent lease reap) have no dedicated reason.
+type ShmFallbackSnapshot struct {
+	Oversized     uint64 `json:"oversized"`
+	HeapArena     uint64 `json:"heap_arena"`
+	PeerTableFull uint64 `json:"peer_table_full"`
+	RemotePeer    uint64 `json:"remote_peer"`
+	OldBuild      uint64 `json:"old_build"`
 }
 
 // EgressSnapshot is the JSON form of the batched-egress instruments,
@@ -481,7 +516,15 @@ func (r *Registry) Snapshot() Snapshot {
 		BytesShared:     r.shm.BytesShared.Load(),
 		DescriptorSends: r.shm.DescriptorSends.Load(),
 		Fallbacks:       r.shm.Fallbacks.Load(),
-		LeasesReaped:    r.shm.LeasesReaped.Load(),
+		FallbackReasons: ShmFallbackSnapshot{
+			Oversized:     r.shm.FallbackOversized.Load(),
+			HeapArena:     r.shm.FallbackHeapArena.Load(),
+			PeerTableFull: r.shm.FallbackPeerTableFull.Load(),
+			RemotePeer:    r.shm.FallbackRemotePeer.Load(),
+			OldBuild:      r.shm.FallbackOldBuild.Load(),
+		},
+		Promotions:   r.shm.Promotions.Load(),
+		LeasesReaped: r.shm.LeasesReaped.Load(),
 	}
 	snap.Egress = EgressSnapshot{
 		Writes:         r.egress.Writes.Load(),

@@ -8,6 +8,7 @@ import (
 	"net"
 	"time"
 
+	"rossf/internal/shm"
 	"rossf/internal/wire"
 )
 
@@ -33,9 +34,24 @@ const (
 // maxHeaderSize bounds connection headers; real TCPROS headers are tiny.
 const maxHeaderSize = 1 << 16
 
-// maxFrameSize bounds message frames (64 MiB, matching the largest arena
-// size class).
+// maxFrameSize bounds message frames on plain TCP connections (64 MiB,
+// the largest pooled arena class). The tight bound is what keeps
+// corrupted length fields cheap on lossy links: a damaged header
+// claiming more than the cap is skipped by magic-rescan over already
+// buffered bytes, instead of stalling the reader on gigabytes that
+// will never arrive.
 const maxFrameSize = 1 << 26
+
+// maxTaggedFrameSize bounds frames on shm-negotiated connections: one
+// transport tag byte plus the shared-memory transport's message cap.
+// Any message that can travel as a descriptor must also survive an
+// inline trip on the same connection (a transient per-message
+// fallback), so this cap must match shm.MaxMessageBytes — and these
+// links are same-machine loopback, where a corrupted length field is
+// not a realistic failure, so the loose bound costs nothing. Messages
+// above maxFrameSize cannot ship inline on plain TCP links (remote
+// peers); that cross-machine path is the TZC roadmap item.
+const maxTaggedFrameSize = shm.MaxMessageBytes + 1
 
 // ErrHandshake reports a connection-header negotiation failure.
 var ErrHandshake = errors.New("ros: handshake failed")
@@ -100,6 +116,13 @@ type frameReader struct {
 
 func newFrameReader(conn net.Conn) *frameReader {
 	return &frameReader{conn: conn, scan: wire.NewFrameScanner(conn, maxFrameSize)}
+}
+
+// newTaggedFrameReader builds the reader for an shm-negotiated
+// connection, whose inline-fallback frames may be as large as the
+// shared-memory message cap.
+func newTaggedFrameReader(conn net.Conn) *frameReader {
+	return &frameReader{conn: conn, scan: wire.NewFrameScanner(conn, maxTaggedFrameSize)}
 }
 
 // next returns the next frame's payload length and expected checksum.

@@ -3,6 +3,7 @@ package ros
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"rossf/internal/core"
 	"rossf/internal/obs"
+	"rossf/internal/shm"
 	"rossf/internal/wire"
 )
 
@@ -253,22 +255,29 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 	for _, c := range conns {
 		if c.shm != nil {
 			// Zero-copy path: the subscriber gets a 24-byte descriptor into
-			// the shared slot the message already lives in.
-			if it, ok := shmItemFor(c, m); ok {
+			// the shared slot the message lives in — natively, or via a
+			// copy-once promotion for heap-backed arenas.
+			it, promoted, outcome := shmItemFor(c, m)
+			if promoted {
+				if st := ep.node.shmStats(); st != nil {
+					st.Promotions.Inc()
+				}
+			}
+			if outcome == shmShared {
 				c.enqueue(it)
 				continue
 			}
-			// Arena not in this connection's store (heap-backed, oversized,
-			// or from another store): the bytes travel inline, still framed
-			// for the tagged connection.
-			if st := ep.node.shmStats(); st != nil {
-				st.Fallbacks.Inc()
-			}
+			// No shared slot to point at: the bytes travel inline, still
+			// framed for the tagged connection, and the fallback is
+			// counted by reason (and eventually warned about) — silent
+			// degradation off the descriptor path is a bug signal.
+			used, _ := core.UsedSize(m)
+			ep.noteShmFallback(used, outcome)
 			ref, err := core.NewRef(m)
 			if err != nil {
 				return fmt.Errorf("ros: publish %s: %w", ep.typeName, err)
 			}
-			it := frameItem{ref: &ref, tag: tagInline}
+			it = frameItem{ref: &ref, tag: tagInline}
 			if stamp {
 				it.crc, it.crcOK = crcs.inline(ref.Bytes()), true
 			}
@@ -304,6 +313,35 @@ func publishSFM[T any](ep *pubEndpoint, m *T) error {
 		}
 	}
 	return nil
+}
+
+// shmFallbackWarnAfter is how many per-message fallbacks a
+// shm-negotiated topic tolerates before the warn-once log fires: one
+// miss is routine (a message allocated before the store attached),
+// persistence is a degraded topic nobody would otherwise notice.
+const shmFallbackWarnAfter = 8
+
+// noteShmFallback counts one per-message inline fallback on a
+// shm-negotiated connection, split by reason: above the transport cap
+// is oversized (by design), anything else that promotion could not
+// place is heap_arena, and a lease lost under Share is a transient
+// counted only in the aggregate. Persistent fallback logs once per
+// endpoint, mirroring the subscriber's transport-unavailable warning.
+func (ep *pubEndpoint) noteShmFallback(used int, outcome shmOutcome) {
+	if st := ep.node.shmStats(); st != nil {
+		st.Fallbacks.Inc()
+		if outcome == shmNoSlot {
+			if used > shm.MaxMessageBytes {
+				st.FallbackOversized.Inc()
+			} else {
+				st.FallbackHeapArena.Inc()
+			}
+		}
+	}
+	if n := ep.shmFallbacks.Add(1); n >= shmFallbackWarnAfter && !ep.shmFallbackWarned.Swap(true) {
+		log.Printf("ros: topic %q negotiated shared memory but %d message(s) fell back to inline TCP copies; see shm.fallbacks_by_reason in /metrics or `rostopic stats` for the cause",
+			ep.topic, n)
+	}
 }
 
 // inprocTarget is a same-process subscriber attachment.
@@ -380,6 +418,13 @@ type pubEndpoint struct {
 	// pre-hash outside the lock.
 	egressShards int
 	poolActive   atomic.Bool
+
+	// shmFallbacks counts this endpoint's per-message inline fallbacks
+	// on shm-negotiated connections; shmFallbackWarned arms the
+	// warn-once log for a persistently degraded topic — the publisher
+	// analogue of the subscriber's silently-empty-subscription warning.
+	shmFallbacks      atomic.Uint64
+	shmFallbackWarned atomic.Bool
 
 	mu sync.Mutex
 	// pubSeq numbers publishes. Each attachment remembers the sequence

@@ -172,10 +172,12 @@ func TestFrameSizeBounds(t *testing.T) {
 		_, _, err := newFrameReader(server).next()
 		errs <- err
 	}()
-	// A well-formed header claiming a ~2 GiB payload: the scanner must
-	// treat it as stream damage (scan past it) rather than allocate.
+	// A well-formed header claiming a ~4 GiB payload — past every frame
+	// cap (plain maxFrameSize and the shm-tagged 2 GiB ceiling alike):
+	// the scanner must treat it as stream damage (scan past it) rather
+	// than allocate.
 	var hdr [wire.FrameHeaderSize]byte
-	wire.PutFrameHeader(hdr[:], 0x7fffffff, 0)
+	wire.PutFrameHeader(hdr[:], 0xffffffff, 0)
 	client.Write(hdr[:])
 	client.Close()
 	select {

@@ -89,6 +89,17 @@ func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *
 	store := ep.node.shmStore
 	shmOK := ep.sfm && store != nil && req[hdrBootID] == shm.BootID()
 	if wire.NegotiateTransport(req[hdrTransports], shmOK) != wire.TransportNameShm {
+		// A subscriber that offered shm against a shm-capable endpoint
+		// but presented a different boot id lives on another machine (or
+		// across a reboot): a by-design TCP fallback, but counted so the
+		// fallback total always has an explanation.
+		if ep.sfm && store != nil && req[hdrBootID] != shm.BootID() &&
+			wire.OffersTransport(req[hdrTransports], wire.TransportNameShm) {
+			if st := ep.node.shmStats(); st != nil {
+				st.Fallbacks.Inc()
+				st.FallbackRemotePeer.Inc()
+			}
+		}
 		return map[string]string{hdrTransport: wire.TransportNameTCP}, nil
 	}
 	pid, _ := strconv.ParseUint(req[hdrPID], 10, 32)
@@ -97,6 +108,7 @@ func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *
 		// Peer table full: this subscriber runs over TCP.
 		if st := ep.node.shmStats(); st != nil {
 			st.Fallbacks.Inc()
+			st.FallbackPeerTableFull.Inc()
 		}
 		return map[string]string{hdrTransport: wire.TransportNameTCP}, nil
 	}
@@ -109,21 +121,42 @@ func (ep *pubEndpoint) negotiateShm(req map[string]string) (map[string]string, *
 	}, &shmSender{store: store, peer: peer, gen: gen}
 }
 
+// shmOutcome classifies one attempt to ship a message as a descriptor,
+// so the publish path can count (and warn about) the right fallback
+// reason instead of folding every miss into one number.
+type shmOutcome int
+
+const (
+	// shmShared: the descriptor item was built; publish it.
+	shmShared shmOutcome = iota
+	// shmNoSlot: the arena is not in this connection's store and
+	// publish-time promotion could not place a copy either (message
+	// above the transport cap, or the store declined).
+	shmNoSlot
+	// shmLeaseLost: the slot was ready but the subscriber's lease raced
+	// away under Share — a transient, not a classified reason.
+	shmLeaseLost
+)
+
 // shmItemFor builds a descriptor queue item for message m on c's shm
-// grant: it verifies the arena lives in this connection's store, mints
-// the peer's slot reference, and encodes the descriptor. ok=false means
-// the message cannot travel as a descriptor and must go inline.
-func shmItemFor[T any](c *pubConn, m *T) (frameItem, bool) {
-	h, used, ok := core.SharedHandleOf(m, c.shm.store)
+// grant. A message whose arena already lives in this connection's store
+// ships as-is; a heap-backed one is PROMOTED — copied once into a
+// shared slot cached on the message record — so a republisher converges
+// to zero fallbacks instead of shipping an inline copy forever.
+// promoted reports that this call paid the copy (the caller's
+// Promotions counter); outcomes other than shmShared mean the message
+// must go inline.
+func shmItemFor[T any](c *pubConn, m *T) (it frameItem, promoted bool, outcome shmOutcome) {
+	h, used, promoted, ok := core.PromoteShared(m, c.shm.store)
 	if !ok {
-		return frameItem{}, false
+		return frameItem{}, false, shmNoSlot
 	}
 	d, err := c.shm.store.Share(h, c.shm.peer, c.shm.gen, used)
 	if err != nil {
-		return frameItem{}, false
+		return frameItem{}, promoted, shmLeaseLost
 	}
 	store, peer, gen := c.shm.store, c.shm.peer, c.shm.gen
-	it := frameItem{
+	it = frameItem{
 		data: d.AppendTo(nil),
 		tag:  tagDescriptor,
 		undo: func() { store.Unshare(h, peer, gen) },
@@ -135,7 +168,7 @@ func shmItemFor[T any](c *pubConn, m *T) (frameItem, bool) {
 		t := [1]byte{tagDescriptor}
 		it.crc, it.crcOK = wire.Checksum2(t[:], it.data), true
 	}
-	return it, true
+	return it, promoted, shmShared
 }
 
 // newShmReceiver stands up the subscriber side from the publisher's
@@ -183,7 +216,7 @@ func newShmReceiver(reply map[string]string, stats *obs.ShmStats) (*shm.Mapper, 
 // path. Endianness conversion is skipped by construction — negotiation
 // only picks shm for same-boot peers.
 func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
-	fr := newFrameReader(conn)
+	fr := newTaggedFrameReader(conn)
 	defer r.sub.noteStreamDamage(fr)
 	for {
 		n, crc, err := fr.next()

@@ -3,10 +3,12 @@ package ros_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +17,31 @@ import (
 	"rossf/internal/ros"
 	"rossf/internal/shm"
 )
+
+// procBuffer collects a re-exec'd child's output; unlike bytes.Buffer
+// it is safe to poll while the child is still writing.
+type procBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *procBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *procBuffer) Contains(s string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.Contains(b.buf.Bytes(), []byte(s))
+}
+
+func (b *procBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // newShmStore builds a private store on a throwaway directory and makes
 // sure it outlives the nodes of the test (node cleanups registered
@@ -130,6 +157,81 @@ func TestShmDescriptorPath(t *testing.T) {
 	}
 	if snap.Shm.Fallbacks != 0 {
 		t.Errorf("Fallbacks = %d, want 0", snap.Shm.Fallbacks)
+	}
+}
+
+// TestShmHeapArenaPromotion is the publish-time promotion acceptance:
+// a message allocated from a plain HEAP manager reaching a
+// shm-negotiated connection must migrate copy-once into a shared slot
+// and travel as a descriptor — a promotion, not a fallback. Republishing
+// the unchanged message must reuse the cached promotion (still one
+// copy total).
+func TestShmHeapArenaPromotion(t *testing.T) {
+	reg := obs.NewRegistry()
+	store := newShmStore(t, reg)
+
+	m := ros.NewLocalMaster()
+	pubNode := newNodeOpts(t, "pub", ros.WithMaster(m), ros.WithShmStore(store), ros.WithMetrics(reg))
+	subNode := newNodeOpts(t, "sub", ros.WithMaster(m), ros.WithMetrics(reg))
+
+	got := make(chan []byte, 8)
+	_, err := ros.Subscribe(subNode, "lidar/cloud", func(img *testImageSF) {
+		got <- append([]byte(nil), img.Data.Slice()...)
+	}, ros.WithTransport(ros.TransportShm))
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	pub, err := ros.Advertise[testImageSF](pubNode, "lidar/cloud")
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+	eventually(t, "subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	// Heap arena: no store on this manager, as in code that allocated the
+	// message before the node (or a library unaware of shm) published it.
+	img, err := core.NewWithCapacity[testImageSF](1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Data.MustResize(2048)
+	for i := range img.Data.Slice() {
+		img.Data.Slice()[i] = byte(i * 3)
+	}
+	// Sequential republishes: the subscriber adopts the shared slot at
+	// its mapped address, so the previous delivery must be consumed
+	// before the same slot is shared again — the normal cadence of a
+	// republished message. Each round must hit the cached promotion.
+	const republishes = 3
+	for i := 0; i < republishes; i++ {
+		if err := pub.Publish(img); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+		select {
+		case d := <-got:
+			if len(d) != 2048 || d[100] != 300%256 {
+				t.Errorf("delivery %d: len=%d d[100]=%#x", i, len(d), d[100])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+	if _, err := core.Release(img); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Shm.DescriptorSends < republishes {
+		t.Errorf("DescriptorSends = %d, want >= %d (heap message must still ride the descriptor path)",
+			snap.Shm.DescriptorSends, republishes)
+	}
+	if snap.Shm.Promotions != 1 {
+		t.Errorf("Promotions = %d, want exactly 1 (copy once, then the cached slot)", snap.Shm.Promotions)
+	}
+	if snap.Shm.Fallbacks != 0 {
+		t.Errorf("Fallbacks = %d, want 0 — a heap arena is a promotion, not a fallback", snap.Shm.Fallbacks)
+	}
+	if snap.Shm.FallbackReasons.HeapArena != 0 {
+		t.Errorf("heap_arena fallbacks = %d, want 0", snap.Shm.FallbackReasons.HeapArena)
 	}
 }
 
@@ -303,8 +405,12 @@ func TestShmTwoProcessZeroCopy(t *testing.T) {
 		shmWantEnv+"="+strconv.Itoa(want),
 		shmPayloadEnv+"="+strconv.Itoa(payload),
 	)
-	var out bytes.Buffer
-	cmd.Stdout, cmd.Stderr = &out, &out
+	out := &procBuffer{}
+	cmd.Stdout, cmd.Stderr = out, out
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatalf("stdin pipe: %v", err)
+	}
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting child: %v", err)
 	}
@@ -325,7 +431,7 @@ func TestShmTwoProcessZeroCopy(t *testing.T) {
 	// Publish until the child confirms receipt of `want` messages; the
 	// generous cap only bounds a broken run.
 	done := false
-	for i := 0; i < 500 && !done; i++ {
+	for i := 0; i < 500 && !done && !out.Contains("CHILD_OK"); i++ {
 		img, err := core.NewIn[testImageSF](mgr, payload+8192)
 		if err != nil {
 			t.Fatalf("core.NewIn: %v", err)
@@ -346,6 +452,11 @@ func TestShmTwoProcessZeroCopy(t *testing.T) {
 		case <-time.After(10 * time.Millisecond):
 		}
 	}
+	// The child holds its subscription — and its lease — until stdin
+	// closes, so the last Publish above strictly precedes the lease
+	// drain: no publish can race the teardown into a spurious
+	// lease-lost fallback.
+	stdin.Close()
 	if !done {
 		select {
 		case <-exited:
@@ -356,7 +467,7 @@ func TestShmTwoProcessZeroCopy(t *testing.T) {
 	if waitErr != nil {
 		t.Fatalf("child failed: %v\n%s", waitErr, out.String())
 	}
-	if !bytes.Contains(out.Bytes(), []byte("CHILD_OK")) {
+	if !out.Contains("CHILD_OK") {
 		t.Fatalf("child did not confirm zero-copy receipt:\n%s", out.String())
 	}
 
@@ -369,10 +480,148 @@ func TestShmTwoProcessZeroCopy(t *testing.T) {
 	}
 }
 
-// TestShmChildHelper is the subscriber half of TestShmTwoProcessZeroCopy,
-// run in a child process. It subscribes over shm, verifies each 1 MiB
-// payload in place, and prints CHILD_OK once it has received enough —
-// including proof (mapped segments) that delivery used descriptors.
+// TestShmTwoProcessLargeMessage is the large-object acceptance test: a
+// real child process subscribes over shm and the parent publishes
+// point-cloud-sized 128 MiB messages end-to-end. Every one must travel
+// as a descriptor — Fallbacks stays exactly zero — which is the
+// tentpole fix: before the large-object tier, anything above the 64 MiB
+// slot class silently dropped to inline TCP. The payloads are written
+// sparsely (three stamped bytes per message), so the test is cheap on
+// memory despite the sizes.
+func TestShmTwoProcessLargeMessage(t *testing.T) {
+	if !shm.Available() {
+		t.Skip("shared-memory transport unavailable on this platform")
+	}
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	const (
+		topic   = "shm/acceptance_large"
+		want    = 3
+		payload = 128 << 20
+	)
+	dir := t.TempDir()
+	if free := shm.DirBytesFree(dir); free > 0 && free < 4*uint64(payload) {
+		t.Skipf("only %d bytes free under %s, need %d", free, dir, 4*payload)
+	}
+
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewMasterServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	reg := obs.NewRegistry()
+	store, err := shm.NewStore(shm.Options{Dir: dir, Stats: reg.Shm()})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	t.Cleanup(func() {
+		waitIdle(t, store)
+		store.Close()
+	})
+	mgr := core.NewManager()
+	mgr.SetBackingStore(store)
+
+	rm, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatalf("DialMaster: %v", err)
+	}
+	t.Cleanup(func() { rm.Close() })
+	node := newNodeOpts(t, "shmlargeparent", ros.WithMaster(rm), ros.WithShmStore(store), ros.WithMetrics(reg))
+	pub, err := ros.Advertise[testImageSF](node, topic)
+	if err != nil {
+		t.Fatalf("Advertise: %v", err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestShmChildHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		shmChildEnv+"=1",
+		shmMasterEnv+"="+srv.Addr(),
+		shmTopicEnv+"="+topic,
+		shmWantEnv+"="+strconv.Itoa(want),
+		shmPayloadEnv+"="+strconv.Itoa(payload),
+	)
+	out := &procBuffer{}
+	cmd.Stdout, cmd.Stderr = out, out
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatalf("stdin pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	var waitErr error
+	exited := make(chan struct{})
+	go func() { waitErr = cmd.Wait(); close(exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	})
+
+	eventually(t, "child subscriber connection", func() bool { return pub.NumSubscribers() == 1 })
+
+	done := false
+	for i := 0; i < 300 && !done && !out.Contains("CHILD_OK"); i++ {
+		img, err := core.NewIn[testImageSF](mgr, payload+8192)
+		if err != nil {
+			t.Fatalf("core.NewIn(128 MiB): %v", err)
+		}
+		img.Height = uint32(i)
+		img.Data.MustResize(payload)
+		d := img.Data.Slice()
+		d[0], d[payload/2], d[payload-1] = byte(i), byte(i), byte(i)
+		if err := pub.Publish(img); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		if _, err := core.Release(img); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+		select {
+		case <-exited:
+			done = true
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	// The child holds its lease until stdin closes (see the zero-copy
+	// variant above), keeping the teardown ordering deterministic.
+	stdin.Close()
+	if !done {
+		select {
+		case <-exited:
+		case <-time.After(25 * time.Second):
+			t.Fatalf("child never exited; output so far:\n%s", out.String())
+		}
+	}
+	if waitErr != nil {
+		t.Fatalf("child failed: %v\n%s", waitErr, out.String())
+	}
+	if !out.Contains("CHILD_OK") {
+		t.Fatalf("child did not confirm zero-copy receipt:\n%s", out.String())
+	}
+
+	snap := reg.Snapshot()
+	if snap.Shm.DescriptorSends < want {
+		t.Errorf("DescriptorSends = %d, want >= %d", snap.Shm.DescriptorSends, want)
+	}
+	if snap.Shm.Fallbacks != 0 {
+		t.Errorf("Fallbacks = %d, want 0 — 128 MiB messages must ride the large-object tier, not TCP (reasons: %+v)",
+			snap.Shm.Fallbacks, snap.Shm.FallbackReasons)
+	}
+	if snap.Shm.FallbackReasons.Oversized != 0 {
+		t.Errorf("oversized fallbacks = %d for messages under MaxMessageBytes", snap.Shm.FallbackReasons.Oversized)
+	}
+}
+
+// TestShmChildHelper is the subscriber half of TestShmTwoProcessZeroCopy
+// (1 MiB payloads) and TestShmTwoProcessLargeMessage (128 MiB), run in a
+// child process. It subscribes over shm, verifies each payload's stamps
+// in place, and prints CHILD_OK once it has received enough — including
+// proof (mapped segments) that delivery used descriptors.
 func TestShmChildHelper(t *testing.T) {
 	if os.Getenv(shmChildEnv) != "1" {
 		t.Skip("helper for TestShmTwoProcessZeroCopy")
@@ -426,4 +675,9 @@ func TestShmChildHelper(t *testing.T) {
 		t.Fatalf("no segments mapped: delivery did not use shared memory")
 	}
 	fmt.Printf("CHILD_OK n=%d mapped=%d\n", received, snap.Shm.SegmentsMapped)
+	// Hold the subscription — and this peer's lease — until the parent
+	// closes stdin: it stops publishing on CHILD_OK first, so the lease
+	// drain can never race a Publish into a spurious lease-lost
+	// fallback.
+	io.Copy(io.Discard, os.Stdin) //nolint:errcheck // EOF is the signal
 }

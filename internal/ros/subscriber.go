@@ -658,11 +658,14 @@ func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent boo
 		}
 		if !okRT || err != nil {
 			// The publisher selected shm but this side cannot stand it up
-			// (mapping failure, malformed reply): disable shm on this link
-			// and redial — the next handshake offers TCP only.
+			// (incompatible segment layout, mapping failure, malformed
+			// reply — all shapes of a protocol-revision mismatch): disable
+			// shm on this link and redial; the next handshake offers TCP
+			// only.
 			sc.disableShm()
 			if st := s.node.shmStats(); st != nil {
 				st.Fallbacks.Inc()
+				st.FallbackOldBuild.Inc()
 			}
 			return false, false
 		}

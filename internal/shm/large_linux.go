@@ -1,0 +1,38 @@
+//go:build linux
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// FALLOC_FL_* flags for fallocate(2); the pair deallocates a file range
+// while keeping the apparent size, so sparse segment extents stay
+// sparse after a grown slot is recycled.
+const (
+	fallocKeepSize  = 0x01
+	fallocPunchHole = 0x02
+)
+
+// punchHole returns the pages of f in [off, off+n) to the OS while
+// keeping the file's apparent size; subsequent reads (from any mapping)
+// see zeros. Best-effort: an unsupported filesystem just keeps the
+// pages resident, which costs memory but never correctness.
+func punchHole(f *os.File, off, n int) {
+	if f == nil || n <= 0 {
+		return
+	}
+	_ = syscall.Fallocate(int(f.Fd()), fallocPunchHole|fallocKeepSize, int64(off), int64(n))
+}
+
+// DirBytesFree reports the free bytes of the filesystem backing dir, or
+// 0 when unknown. Benchmarks and large-payload tests use it as a
+// skip-guard so a small /dev/shm degrades to a skip, not a SIGBUS.
+func DirBytesFree(dir string) uint64 {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0
+	}
+	return uint64(st.Bavail) * uint64(st.Bsize)
+}

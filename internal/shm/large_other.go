@@ -1,0 +1,14 @@
+//go:build !linux
+
+package shm
+
+import "os"
+
+// punchHole is a no-op off Linux: recycled growth headroom stays
+// resident until the segment is unlinked. Correctness is unaffected —
+// the next slot occupant overwrites what it uses.
+func punchHole(f *os.File, off, n int) {}
+
+// DirBytesFree reports 0 (unknown) off Linux; callers treat 0 as "no
+// capacity information" and skip their guard.
+func DirBytesFree(dir string) uint64 { return 0 }

@@ -160,7 +160,10 @@ func (m *Mapper) Resolve(d Descriptor) ([]byte, func(), error) {
 		m.stats.SegmentsMapped.Add(1)
 		m.stats.BytesShared.Add(int64(seg.size()))
 	}
-	if int(d.Slot) >= seg.slotCount || int(d.Length) > seg.slotSize {
+	// Length is bounded by the slot STRIDE, not the slot class: a
+	// message that grew in place carries a length beyond slotSize, and
+	// the stride-wide window is mapped (sparsely) on this side too.
+	if int(d.Slot) >= seg.slotCount || int(d.Length) > seg.stride {
 		return nil, nil, fmt.Errorf("%w: descriptor out of bounds (slot %d, len %d)", ErrBadSegment, d.Slot, d.Length)
 	}
 	st := seg.slot(int(d.Slot))
@@ -172,7 +175,7 @@ func (m *Mapper) Resolve(d Descriptor) ([]byte, func(), error) {
 		return nil, nil, ErrStale
 	}
 	m.outstanding++
-	mem := seg.data(int(d.Slot))[:d.Length]
+	mem := seg.dataSpan(int(d.Slot), int(d.Length))
 	var once sync.Once
 	release := func() {
 		once.Do(func() {

@@ -8,22 +8,33 @@ import (
 	"unsafe"
 )
 
-// Segment file layout (all integers little-endian, header fields fixed
-// at creation, per-slot state updated atomically in place):
+// Segment file layout v2 (all integers little-endian, header fields
+// fixed at creation, per-slot state updated atomically in place):
 //
 //	offset 0            64-byte file header
 //	  +0  u32  magic "RSHS"
 //	  +4  u32  version
 //	  +8  u64  segment id
-//	  +16 u32  slot size (power of two)
-//	  +20 u32  slot count
+//	  +16 u32  slot size (power of two; may exceed maxSlotSize for a
+//	           large-object segment)
+//	  +20 u32  slot count (1 for large-object segments)
 //	  +24 u64  creation time, unix nanos
+//	  +32 u64  slot stride (≥ slot size, page-multiple)
 //	offset 64           slot header ring: slotCount × 64-byte entries
 //	  +0  i32  refs     — atomic; publisher baseline + one per sharing peer
 //	  +4  u32  owner    — atomic bitmask of peers holding a reference
 //	  +8  u64  gen      — atomic generation, bumped when the slot is reused
 //	  +16 u32  used     — payload length of the current message
-//	offset align4K(64+slotCount*64)   slot data: slotCount × slotSize bytes
+//	offset align4K(64+slotCount*64)   slot data: slotCount × stride bytes
+//
+// The stride is the v2 change: each slot reserves stride bytes but only
+// slotSize are granted initially. The file is truncated to the full
+// strided extent at creation and both sides map all of it; tmpfs keeps
+// unwritten pages sparse, so the reservation is free until a message
+// actually grows into it. Because the whole extent is mapped up front,
+// publisher-side growth (Store.GrowArena) is pure bookkeeping — no
+// remap, no new pointer — and subscriber-side resolutions of a grown
+// message need nothing beyond a stride-wide bounds check.
 //
 // The refs/owner pair implements idempotent cross-process release: a
 // releaser (subscriber callback return, or the publisher's lease reaper
@@ -34,9 +45,17 @@ type segment struct {
 	id        uint64
 	slotSize  int
 	slotCount int
+	stride    int
 	dataOff   int
 	mem       []byte
 	file      string
+	// Publisher-side only fields. f is the creating fd, retained so
+	// grown or oversized pages can be hole-punched back to the OS when
+	// a slot is recycled; grown tracks the capacity currently granted
+	// per slot (slotSize ≤ grown[i] ≤ stride). Mappers leave both zero.
+	f     *os.File
+	grown []int
+	large bool // dedicated single-slot segment above the pooled classes
 }
 
 type slotState struct {
@@ -47,25 +66,30 @@ type slotState struct {
 	_     [slotHdr - 24]byte
 }
 
-// segmentSize returns the file size for a geometry.
-func segmentSize(slotSize, slotCount int) int {
-	return alignUp(hdrBytes+slotCount*slotHdr, pageSize) + slotCount*slotSize
+// segmentExtent returns the mapped (and apparent file) size for a
+// geometry — the strided data region, most of it sparse in practice.
+func segmentExtent(slotCount, stride int) int {
+	return alignUp(hdrBytes+slotCount*slotHdr, pageSize) + slotCount*stride
 }
 
-// createSegment creates and maps a new segment file.
-func createSegment(path string, id uint64, slotSize, slotCount int, now int64) (*segment, error) {
-	size := segmentSize(slotSize, slotCount)
+// createSegment creates and maps a new segment file (publisher side).
+// The file is truncated to the full strided extent; tmpfs allocates
+// pages lazily, so apparent size ≫ physical size is the normal state.
+// The fd is retained on the returned segment for hole punching.
+func createSegment(path string, id uint64, slotSize, slotCount, stride int, now int64) (*segment, error) {
+	size := segmentExtent(slotCount, stride)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
 		os.Remove(path)
 		return nil, err
 	}
 	mem, err := mapFile(f, size)
 	if err != nil {
+		f.Close()
 		os.Remove(path)
 		return nil, err
 	}
@@ -75,18 +99,30 @@ func createSegment(path string, id uint64, slotSize, slotCount int, now int64) (
 	binary.LittleEndian.PutUint32(mem[16:], uint32(slotSize))
 	binary.LittleEndian.PutUint32(mem[20:], uint32(slotCount))
 	binary.LittleEndian.PutUint64(mem[24:], uint64(now))
+	binary.LittleEndian.PutUint64(mem[32:], uint64(stride))
+	grown := make([]int, slotCount)
+	for i := range grown {
+		grown[i] = slotSize
+	}
 	return &segment{
 		id:        id,
 		slotSize:  slotSize,
 		slotCount: slotCount,
+		stride:    stride,
 		dataOff:   alignUp(hdrBytes+slotCount*slotHdr, pageSize),
 		mem:       mem,
 		file:      path,
+		f:         f,
+		grown:     grown,
+		large:     slotSize > maxSlotSize,
 	}, nil
 }
 
 // openSegment maps an existing segment file (subscriber side) and
-// validates its header against this build's layout.
+// validates its header against this build's layout. A v1 segment (or a
+// v3 future one) is rejected as ErrBadSegment — the ros layer then
+// falls back to TCP and counts the old_build reason — rather than
+// being misread with the wrong geometry.
 func openSegment(path string, wantID uint64) (*segment, error) {
 	// Read-write: subscribers update reference counts in place.
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
@@ -114,10 +150,13 @@ func openSegment(path string, wantID uint64) (*segment, error) {
 	s.id = binary.LittleEndian.Uint64(mem[8:])
 	s.slotSize = int(binary.LittleEndian.Uint32(mem[16:]))
 	s.slotCount = int(binary.LittleEndian.Uint32(mem[20:]))
+	s.stride = int(binary.LittleEndian.Uint64(mem[32:]))
 	s.dataOff = alignUp(hdrBytes+s.slotCount*slotHdr, pageSize)
-	if s.id != wantID || s.slotSize < minSlotSize || s.slotSize > maxSlotSize ||
+	s.large = s.slotSize > maxSlotSize
+	if s.id != wantID || s.slotSize < minSlotSize || s.slotSize > maxLargeBytes ||
 		s.slotCount <= 0 || s.slotCount > maxSlots ||
-		int(fi.Size()) < segmentSize(s.slotSize, s.slotCount) {
+		s.stride < s.slotSize || s.stride > maxLargeBytes || s.stride%pageSize != 0 ||
+		int(fi.Size()) < segmentExtent(s.slotCount, s.stride) {
 		unmapFile(mem)
 		return nil, fmt.Errorf("%w: %s inconsistent geometry", ErrBadSegment, path)
 	}
@@ -131,11 +170,15 @@ func (s *segment) slot(i int) *slotState {
 	return (*slotState)(unsafe.Pointer(&s.mem[hdrBytes+i*slotHdr]))
 }
 
-// data returns slot i's full data window.
-func (s *segment) data(i int) []byte {
-	off := s.dataOff + i*s.slotSize
-	return s.mem[off : off+s.slotSize : off+s.slotSize]
+// dataSpan returns the first n bytes of slot i's data window. n may
+// exceed slotSize up to the stride (a grown message).
+func (s *segment) dataSpan(i, n int) []byte {
+	off := s.dataOff + i*s.stride
+	return s.mem[off : off+n : off+n]
 }
+
+// data returns slot i's initially granted data window.
+func (s *segment) data(i int) []byte { return s.dataSpan(i, s.slotSize) }
 
 // setUsed records the payload length for the slot's current message.
 // Written only by the publisher between allocation and share, so a
@@ -144,12 +187,35 @@ func (s *segment) setUsed(i int, n int) {
 	binary.LittleEndian.PutUint32(s.mem[hdrBytes+i*slotHdr+16:], uint32(n))
 }
 
-func (s *segment) size() int { return segmentSize(s.slotSize, s.slotCount) }
+func (s *segment) size() int { return segmentExtent(s.slotCount, s.stride) }
 
-// close unmaps the segment and optionally unlinks its file.
+// punchSlack returns slot i's pages beyond keep bytes to the OS
+// (publisher side, creating fd retained). Used when recycling a slot
+// whose previous occupant grew past its class, so sparse headroom does
+// not stay physically resident forever. Best-effort: on platforms or
+// filesystems without hole punching the pages simply stay, which is a
+// memory-footprint matter, never a correctness one — the next occupant
+// overwrites what it uses and never reads past its own writes.
+func (s *segment) punchSlack(i, keep int) {
+	if s.f == nil || i >= len(s.grown) || s.grown[i] <= keep {
+		return
+	}
+	off := s.dataOff + i*s.stride + keep
+	punchHole(s.f, off, s.grown[i]-keep)
+	s.grown[i] = keep
+}
+
+// close unmaps the segment, closes the retained fd (publisher side) and
+// optionally unlinks its file. Unlinking is safe while other processes
+// still have the file mapped: a mapping survives unlink, so a mapper
+// holding resolutions keeps its bytes until its own unmap.
 func (s *segment) close(unlink bool) {
 	unmapFile(s.mem)
 	s.mem = nil
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
 	if unlink {
 		os.Remove(s.file)
 	}

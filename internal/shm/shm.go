@@ -37,13 +37,19 @@ import (
 
 // Segment geometry. Slot sizes are powers of two between minSlotSize
 // and maxSlotSize; a segment holds slotCount equal slots plus a header
-// ring of per-slot state. Capacities above maxSlotSize are declined by
-// the store and served from the process-local heap (the message then
-// travels inline over TCP framing).
+// ring of per-slot state. Slots are laid out at a STRIDE larger than
+// the slot size, and the file is truncated to the full strided extent
+// at creation: tmpfs files are sparse, so the reservation costs nothing
+// until written, and a message that outgrows its slot class extends IN
+// PLACE into its own stride headroom (core.ArenaGrower) instead of
+// falling back to the heap — arena addresses never move under a live
+// message. Capacities above maxSlotSize get a dedicated single-slot
+// "large-object" segment (same descriptor format, same lease
+// machinery) rather than being declined.
 const (
 	segMagic  = 0x53485352 // "RSHS" little-endian
 	ctlMagic  = 0x43485352 // "RSHC"
-	shmVer    = 1
+	shmVer    = 2          // v2: strided sparse layout (+32 u64 stride)
 	pageSize  = 4096
 	hdrBytes  = 64 // segment/control file header
 	slotHdr   = 64 // per-slot header ring entry
@@ -51,6 +57,19 @@ const (
 
 	minSlotSize = 4096
 	maxSlotSize = 1 << 26
+
+	// slotGrowth is the stride multiplier for pooled slots: each slot
+	// reserves slotGrowth× its class size of sparse headroom, so a grow
+	// can cross log2(slotGrowth) size classes without moving.
+	slotGrowth = 16
+
+	// maxLargeBytes caps a single message (Descriptor.Length is u32 and
+	// large-object reservations double the rounded capacity).
+	maxLargeBytes = 1 << 31
+
+	// largeCacheSegs bounds idle large-object segments kept mapped for
+	// reuse; extras are unlinked on release.
+	largeCacheSegs = 2
 
 	// MaxPeers bounds simultaneous shm subscribers per publisher
 	// process: slot ownership is a 32-bit per-peer bitmask.
@@ -62,6 +81,12 @@ const (
 	minSlots       = 4
 	maxSlots       = 512
 )
+
+// MaxMessageBytes is the largest message capacity the transport can
+// serve from shared memory. Anything at or below it that still falls
+// back to TCP is a bug (the fallback reason tells which); above it the
+// oversized fallback is by design.
+const MaxMessageBytes = maxLargeBytes
 
 // Peer lease states in the control segment.
 const (
@@ -134,8 +159,12 @@ func Enable() (*Store, error) {
 	return defaultStore, defaultErr
 }
 
-// slotSizeFor rounds a capacity up to the slot-size class serving it,
-// or 0 when the capacity is too large for the transport.
+// slotSizeFor rounds a capacity up to the pooled slot-size class
+// serving it, or 0 when the capacity is above the largest pooled class
+// (the store then serves it from a dedicated large-object segment).
+// A capacity of exactly maxSlotSize is servable: the class loop is
+// inclusive, matching core's pool where 1<<maxClassShift is the largest
+// pooled — not the first rejected — request.
 func slotSizeFor(capacity int) int {
 	if capacity > maxSlotSize {
 		return 0
@@ -145,6 +174,22 @@ func slotSizeFor(capacity int) int {
 		s <<= 1
 	}
 	return s
+}
+
+// strideFor returns the per-slot stride (reserved sparse extent) for a
+// slot class: slotGrowth× the class size, capped at maxLargeBytes. The
+// reservation is virtual — tmpfs commits pages only when written — so
+// even the top pooled class can keep real growth headroom, crossing
+// from pooled sizes into large-object territory without ever moving.
+func strideFor(slotSize int) int {
+	stride := slotSize * slotGrowth
+	if stride > maxLargeBytes {
+		stride = maxLargeBytes
+	}
+	if stride < slotSize {
+		stride = slotSize
+	}
+	return stride
 }
 
 // alignUp rounds n up to the next multiple of align (a power of two).

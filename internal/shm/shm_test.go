@@ -112,8 +112,22 @@ func TestAcquireReuseGeneration(t *testing.T) {
 	if !s.Idle() {
 		t.Fatal("store not idle after full release")
 	}
-	if _, _, ok := s.Acquire(maxSlotSize + 1); ok {
-		t.Fatal("Acquire accepted capacity above the largest slot class")
+	// Above the pooled classes the store no longer declines: the request
+	// lands in a dedicated large-object segment instead of silently
+	// dropping the message to the heap (and the topic to TCP).
+	rawL, hL, ok := s.Acquire(maxSlotSize + 1)
+	if !ok {
+		t.Fatal("Acquire declined capacity above the largest slot class")
+	}
+	if len(rawL) < maxSlotSize+1 {
+		t.Fatalf("large slot short: %d", len(rawL))
+	}
+	if segL, _, ok := s.lookup(hL); !ok || !segL.large {
+		t.Fatalf("capacity above the pooled classes not served by a large segment")
+	}
+	s.Release(hL, rawL)
+	if _, _, ok := s.Acquire(maxLargeBytes + 1); ok {
+		t.Fatal("Acquire accepted capacity above MaxMessageBytes")
 	}
 }
 

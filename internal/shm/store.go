@@ -72,10 +72,14 @@ type Options struct {
 }
 
 // Store is the publisher side of the transport: it owns the segment
-// files, implements core.BackingStore so message allocations land in
-// shared slots, tracks per-subscriber leases, and reaps references
-// abandoned by crashed subscribers. All methods are safe for concurrent
-// use.
+// files, implements core.BackingStore (and core.ArenaGrower, for
+// in-place cross-class resizes) so message allocations land in shared
+// slots, tracks per-subscriber leases, and reaps references abandoned
+// by crashed subscribers. All methods are safe for concurrent use.
+//
+// Entries of segs may be nil: a trimmed large-object segment, or a
+// segment already torn down during a deferred Close, leaves a tombstone
+// so handle and descriptor segment ids stay stable.
 type Store struct {
 	mu      sync.Mutex
 	prefix  string
@@ -86,13 +90,15 @@ type Store struct {
 	closed  bool
 	stop    chan struct{}
 	done    chan struct{}
-	shareSq uint64 // descriptor sends, for tests
+	td      chan struct{} // closed when the final teardown has run
+	shareSq uint64        // descriptor sends, for tests
 }
 
 // NewStore creates a segment store under opts.Dir and starts its lease
-// reaper. The caller must Close it; Close only after every store-backed
-// message has been released, since it unmaps the publisher's view of
-// the segments.
+// reaper. The caller must Close it once every store-backed message has
+// been released; segments still pinned by live subscriber leases at
+// Close time are torn down later, when their last lease drains (see
+// Close and TeardownDone).
 func NewStore(opts Options) (*Store, error) {
 	if !mmapSupported {
 		return nil, ErrUnavailable
@@ -116,6 +122,7 @@ func NewStore(opts Options) (*Store, error) {
 		stats: stats,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
+		td:    make(chan struct{}),
 	}
 	// The O_EXCL create of the control file claims the prefix.
 	for attempt := 0; ; attempt++ {
@@ -173,11 +180,17 @@ func (s *Store) lookup(handle uint64) (*segment, int, bool) {
 
 // Acquire implements core.BackingStore: it claims a free slot (reusing
 // one whose references have all dropped, else growing a new segment)
-// and returns its page-aligned data window. Declines — capacity above
-// the largest slot class, store closed, or segment creation failure —
-// make the manager fall back to its process-local heap, which at the
-// transport level means the message travels inline over TCP framing.
+// and returns its page-aligned data window. Capacities above the
+// largest pooled class get a dedicated single-slot large-object
+// segment, so images and point clouds ride the descriptor path like
+// everything else. The only declines left — capacity above
+// MaxMessageBytes, store closed, segment creation failure — make the
+// manager fall back to its process-local heap, which at the transport
+// level means the message travels inline over TCP framing.
 func (s *Store) Acquire(capacity int) ([]byte, uint64, bool) {
+	if capacity > maxSlotSize {
+		return s.acquireLarge(capacity)
+	}
 	slotSize := slotSizeFor(capacity)
 	if slotSize == 0 {
 		return nil, 0, false
@@ -188,7 +201,7 @@ func (s *Store) Acquire(capacity int) ([]byte, uint64, bool) {
 		return nil, 0, false
 	}
 	for segIdx, seg := range s.segs {
-		if seg == nil || seg.slotSize != slotSize {
+		if seg == nil || seg.large || seg.slotSize != slotSize {
 			continue
 		}
 		for i := 0; i < seg.slotCount; i++ {
@@ -197,7 +210,7 @@ func (s *Store) Acquire(capacity int) ([]byte, uint64, bool) {
 			// references only reach zero after the last owner bit is
 			// cleared, and no new references appear without this lock.
 			if st.owner.Load() == 0 && st.refs.Load() == 0 {
-				s.claimLocked(seg, i)
+				s.claimLocked(seg, i, slotSize)
 				return seg.data(i), handleFor(segIdx, i), true
 			}
 		}
@@ -210,21 +223,81 @@ func (s *Store) Acquire(capacity int) ([]byte, uint64, bool) {
 		slotCount = maxSlots
 	}
 	id := uint64(len(s.segs))
-	seg, err := createSegment(segPath(s.prefix, id), id, slotSize, slotCount, time.Now().UnixNano())
+	seg, err := createSegment(segPath(s.prefix, id), id, slotSize, slotCount,
+		strideFor(slotSize), time.Now().UnixNano())
 	if err != nil {
 		return nil, 0, false
 	}
 	s.segs = append(s.segs, seg)
 	s.stats.SegmentsMapped.Add(1)
 	s.stats.BytesShared.Add(int64(seg.size()))
-	s.claimLocked(seg, 0)
+	s.claimLocked(seg, 0, slotSize)
 	return seg.data(0), handleFor(int(id), 0), true
 }
 
+// acquireLarge serves a capacity above the pooled classes from a
+// dedicated single-slot segment: reuse the tightest idle large segment
+// whose stride fits, else create one whose stride reserves doubling
+// headroom over the rounded capacity (sparse, so the reservation is
+// free until grown into).
+func (s *Store) acquireLarge(capacity int) ([]byte, uint64, bool) {
+	if capacity > maxLargeBytes {
+		return nil, 0, false
+	}
+	grant := alignUp(capacity, pageSize)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, false
+	}
+	best := -1
+	for segIdx, seg := range s.segs {
+		if seg == nil || !seg.large || seg.stride < grant {
+			continue
+		}
+		st := seg.slot(0)
+		if st.owner.Load() != 0 || st.refs.Load() != 0 {
+			continue
+		}
+		if best < 0 || seg.stride < s.segs[best].stride {
+			best = segIdx
+		}
+	}
+	if best >= 0 {
+		seg := s.segs[best]
+		s.claimLocked(seg, 0, grant)
+		return seg.dataSpan(0, grant), handleFor(best, 0), true
+	}
+	stride := pageSize
+	for stride < grant {
+		stride <<= 1
+	}
+	if stride <= maxLargeBytes/2 {
+		stride <<= 1
+	}
+	id := uint64(len(s.segs))
+	seg, err := createSegment(segPath(s.prefix, id), id, grant, 1, stride, time.Now().UnixNano())
+	if err != nil {
+		return nil, 0, false
+	}
+	s.segs = append(s.segs, seg)
+	s.stats.SegmentsMapped.Add(1)
+	s.stats.BytesShared.Add(int64(seg.size()))
+	s.claimLocked(seg, 0, grant)
+	return seg.dataSpan(0, grant), handleFor(int(id), 0), true
+}
+
 // claimLocked initializes a slot for a new message: next generation
-// (invalidating any stale descriptor), publisher baseline reference,
-// no peer owners.
-func (s *Store) claimLocked(seg *segment, slot int) {
+// (invalidating any stale descriptor), publisher baseline reference, no
+// peer owners, and a granted window of grant bytes. Pages the previous
+// occupant grew beyond the new grant are punched back to the OS so
+// sparse stride headroom does not accumulate physically.
+func (s *Store) claimLocked(seg *segment, slot, grant int) {
+	if grant < seg.grown[slot] {
+		seg.punchSlack(slot, grant)
+	} else {
+		seg.grown[slot] = grant
+	}
 	st := seg.slot(slot)
 	st.gen.Add(1)
 	st.owner.Store(0)
@@ -232,14 +305,78 @@ func (s *Store) claimLocked(seg *segment, slot int) {
 	seg.setUsed(slot, 0)
 }
 
+// GrowArena implements core.ArenaGrower: extend handle's granted data
+// window in place, within the slot's stride reservation. The returned
+// slice starts at the same address as the original Acquire — the
+// address-stability contract the core index relies on — and no syscall
+// or remap is involved, because the whole strided extent is mapped (and
+// the file truncated to it) at segment creation. ok=false when the
+// stride is exhausted; the caller's grow then fails loudly instead of
+// silently relocating.
+func (s *Store) GrowArena(handle uint64, need int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	seg, slot, ok := s.lookup(handle)
+	if !ok || need <= 0 || need > seg.stride {
+		return nil, false
+	}
+	grant := seg.grown[slot]
+	for grant < need {
+		grant <<= 1
+	}
+	if grant > seg.stride {
+		grant = seg.stride
+	}
+	if grant > seg.grown[slot] {
+		seg.grown[slot] = grant
+	}
+	return seg.dataSpan(slot, seg.grown[slot]), true
+}
+
 // Release implements core.BackingStore: the manager destructed the
 // message, dropping the publisher's baseline reference. Peers still
-// reading the slot keep it pinned through their own references.
+// reading the slot keep it pinned through their own references. A
+// large-object release also trims the idle large-segment cache.
 func (s *Store) Release(handle uint64, raw []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seg, slot, ok := s.lookup(handle); ok {
-		seg.slot(slot).refs.Add(-1)
+	seg, slot, ok := s.lookup(handle)
+	if !ok {
+		return
+	}
+	seg.slot(slot).refs.Add(-1)
+	if seg.large {
+		s.trimLargeLocked()
+	}
+}
+
+// trimLargeLocked unlinks idle large-object segments beyond the small
+// reuse cache, oldest first. Unlink-while-mapped is safe: a subscriber
+// that already mapped the file keeps its pages until its own unmap, and
+// no valid descriptor can reference an idle slot (idle means no owner
+// bits, hence no outstanding shares).
+func (s *Store) trimLargeLocked() {
+	var idle []int
+	for segIdx, seg := range s.segs {
+		if seg == nil || !seg.large {
+			continue
+		}
+		st := seg.slot(0)
+		if st.owner.Load() == 0 && st.refs.Load() == 0 {
+			idle = append(idle, segIdx)
+		}
+	}
+	for len(idle) > largeCacheSegs {
+		idx := idle[0]
+		idle = idle[1:]
+		seg := s.segs[idx]
+		s.stats.SegmentsMapped.Add(-1)
+		s.stats.BytesShared.Add(-int64(seg.size()))
+		seg.close(true)
+		s.segs[idx] = nil
 	}
 }
 
@@ -247,9 +384,10 @@ func (s *Store) Release(handle uint64, raw []byte) {
 // returns the descriptor to send. gen is the lease generation returned
 // by AcquirePeer: a mismatch means the lease was reaped (and the peer
 // id possibly re-issued) since the caller's handshake, so no reference
-// is minted. length is the payload size actually used. The caller must
-// still hold the message (publisher baseline alive), which guarantees
-// the slot cannot be recycled concurrently.
+// is minted. length is the payload size actually used; it may exceed
+// the slot class when the message grew in place, up to the granted
+// window. The caller must still hold the message (publisher baseline
+// alive), which guarantees the slot cannot be recycled concurrently.
 func (s *Store) Share(handle uint64, peer int, gen uint32, length int) (Descriptor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,8 +401,8 @@ func (s *Store) Share(handle uint64, peer int, gen uint32, length int) (Descript
 	if e := peerAt(s.ctl, peer); e.state.Load() != peerActive || e.gen.Load() != gen {
 		return Descriptor{}, fmt.Errorf("shm: share: peer %d lease lost", peer)
 	}
-	if length < 0 || length > seg.slotSize {
-		return Descriptor{}, fmt.Errorf("shm: share: length %d exceeds slot size %d", length, seg.slotSize)
+	if length < 0 || length > seg.grown[slot] {
+		return Descriptor{}, fmt.Errorf("shm: share: length %d exceeds granted window %d", length, seg.grown[slot])
 	}
 	st := seg.slot(slot)
 	bit := uint32(1) << uint(peer)
@@ -338,7 +476,9 @@ func (s *Store) RetirePeer(peer int) {
 }
 
 // reapLoop periodically reclaims peers whose heartbeat exceeded the
-// lease timeout.
+// lease timeout. It stops at Close; a deferred teardown continues
+// reaping from the janitor instead, because draining the last lease is
+// exactly what unblocks the teardown.
 func (s *Store) reapLoop() {
 	defer close(s.done)
 	tick := time.NewTicker(s.lease / 4)
@@ -348,18 +488,18 @@ func (s *Store) reapLoop() {
 		case <-s.stop:
 			return
 		case <-tick.C:
-			s.reapStale()
+			s.mu.Lock()
+			if !s.closed {
+				s.reapPeersLocked(time.Now().UnixNano())
+			}
+			s.mu.Unlock()
 		}
 	}
 }
 
-func (s *Store) reapStale() {
-	now := time.Now().UnixNano()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
+// reapPeersLocked frees peer entries whose lease is decidably over and
+// returns every slot reference they still held. Caller holds s.mu.
+func (s *Store) reapPeersLocked(now int64) {
 	for p := 0; p < MaxPeers; p++ {
 		e := peerAt(s.ctl, p)
 		state := e.state.Load()
@@ -383,6 +523,9 @@ func (s *Store) reapStale() {
 			}
 		}
 		for _, seg := range s.segs {
+			if seg == nil {
+				continue
+			}
 			for i := 0; i < seg.slotCount; i++ {
 				releaseShared(seg.slot(i), p)
 			}
@@ -411,14 +554,26 @@ func (s *Store) Idle() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, seg := range s.segs {
-		for i := 0; i < seg.slotCount; i++ {
-			st := seg.slot(i)
-			if st.refs.Load() != 0 || st.owner.Load() != 0 {
-				return false
-			}
+		if seg == nil {
+			continue
+		}
+		if segBusy(seg) {
+			return false
 		}
 	}
 	return true
+}
+
+// segBusy reports whether any slot still carries references or owner
+// bits — i.e. the segment's memory may still be read by someone.
+func segBusy(seg *segment) bool {
+	for i := 0; i < seg.slotCount; i++ {
+		st := seg.slot(i)
+		if st.refs.Load() != 0 || st.owner.Load() != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Shares returns the total number of successful Share calls.
@@ -428,8 +583,21 @@ func (s *Store) Shares() uint64 {
 	return s.shareSq
 }
 
-// Close stops the reaper, unmaps every segment and unlinks the files.
-// All store-backed messages must have been released first.
+// TeardownDone returns a channel closed once the store's final teardown
+// has run: every segment unmapped and unlinked, control file removed.
+// With no busy segments at Close this happens inside Close; otherwise a
+// janitor finishes the job when the last subscriber lease drains.
+func (s *Store) TeardownDone() <-chan struct{} { return s.td }
+
+// Close stops the reaper and tears the store down. Segments whose every
+// slot is fully released are unmapped and unlinked immediately. A
+// segment still pinned — typically a subscriber holding a resolved
+// message, or a crashed subscriber whose lease has not yet expired — is
+// NOT unlinked out from under its readers: a janitor keeps the mapping
+// (and keeps reaping stale leases, which is what eventually drains a
+// dead subscriber's references) and finishes the teardown when the last
+// reference goes. TeardownDone signals that point. Store-backed
+// messages owned by THIS process must have been released before Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -441,14 +609,58 @@ func (s *Store) Close() error {
 	close(s.stop)
 	<-s.done
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, seg := range s.segs {
+	done := s.teardownLocked()
+	s.mu.Unlock()
+	if !done {
+		go s.janitor()
+	}
+	return nil
+}
+
+// teardownLocked unlinks every drained segment and, once none remain
+// busy, unmaps the control table, removes its file, and closes td.
+// Caller holds s.mu; reports whether teardown completed.
+func (s *Store) teardownLocked() bool {
+	busy := false
+	for idx, seg := range s.segs {
+		if seg == nil {
+			continue
+		}
+		if segBusy(seg) {
+			busy = true
+			continue
+		}
 		s.stats.SegmentsMapped.Add(-1)
 		s.stats.BytesShared.Add(-int64(seg.size()))
 		seg.close(true)
+		s.segs[idx] = nil
+	}
+	if busy {
+		return false
 	}
 	s.segs = nil
-	unmapFile(s.ctl)
-	s.ctl = nil
-	return os.Remove(ctlPath(s.prefix))
+	if s.ctl != nil {
+		unmapFile(s.ctl)
+		s.ctl = nil
+		os.Remove(ctlPath(s.prefix))
+	}
+	close(s.td)
+	return true
+}
+
+// janitor finishes a deferred teardown: keep reaping stale leases (the
+// reapLoop has already exited) and retry the teardown until the last
+// busy segment drains.
+func (s *Store) janitor() {
+	tick := time.NewTicker(s.lease / 4)
+	defer tick.Stop()
+	for range tick.C {
+		s.mu.Lock()
+		s.reapPeersLocked(time.Now().UnixNano())
+		done := s.teardownLocked()
+		s.mu.Unlock()
+		if done {
+			return
+		}
+	}
 }

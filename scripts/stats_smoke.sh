@@ -95,6 +95,12 @@ if command -v jq >/dev/null 2>&1; then
         and ([.obs.egress.fanout.shards[].frames] | add > 0)
         and (.obs.relay | has("active") and has("frames_in") and has("bytes_in")
              and has("frames_out") and has("drops") and has("mismatches"))
+        and (.obs.shm | has("segments_mapped") and has("bytes_shared")
+             and has("descriptor_sends") and has("fallbacks")
+             and has("promotions") and has("leases_reaped"))
+        and (.obs.shm.fallbacks_by_reason
+             | has("oversized") and has("heap_arena") and has("peer_table_full")
+               and has("remote_peer") and has("old_build"))
     ' >/dev/null || {
         echo "stats-smoke: /metrics JSON failed schema check:" >&2
         echo "$JSON" >&2
@@ -102,7 +108,8 @@ if command -v jq >/dev/null 2>&1; then
     }
 else
     for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"' \
-        '"fanout"' '"active_shards"' '"shards"' '"relay"' '"frames_in"'; do
+        '"fanout"' '"active_shards"' '"shards"' '"relay"' '"frames_in"' \
+        '"fallbacks_by_reason"' '"heap_arena"' '"promotions"'; do
         if ! echo "$JSON" | grep -q "$key"; then
             echo "stats-smoke: /metrics JSON missing $key" >&2
             exit 1
