@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc bench-egress bench-fanout chaos chaos-master fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress bench-fanout bench-netfield chaos chaos-master fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadFrame -fuzztime=10s ./internal/wire/
 	$(GO) test -run=NONE -fuzz=FuzzParse$$ -fuzztime=10s ./internal/msg/
 	$(GO) test -run=NONE -fuzz=FuzzParseSrv -fuzztime=10s ./internal/msg/
+	$(GO) test -run=NONE -fuzz=FuzzSparseDecoder -fuzztime=10s ./internal/fieldwire/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -59,6 +60,12 @@ bench-egress:
 # skipped in the JSON.
 bench-fanout:
 	$(GO) run ./cmd/rossf-bench fanout -out BENCH_fanout.json
+
+# Field-wire partial transmission over netsim 10 GbE: bytes on the wire
+# and latency for a header-only sensor_msgs/Image consumer, masked
+# subscription vs the full-frame baseline -> BENCH_netfield.json.
+bench-netfield:
+	$(GO) run ./cmd/rossf-bench netfield -out BENCH_netfield.json
 
 # Regenerate msgs/ from the IDL tree (run after editing msgs/idl).
 generate:

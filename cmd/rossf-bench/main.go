@@ -11,6 +11,7 @@
 //	rossf-bench ipc [-messages N] [-out BENCH_ipc.json]
 //	rossf-bench egress [-messages N] [-repeats N] [-out BENCH_egress.json]
 //	rossf-bench fanout [-messages N] [-repeats N] [-shards N] [-maxsubs N] [-out BENCH_fanout.json]
+//	rossf-bench netfield [-messages N] [-repeats N] [-fields a,b] [-out BENCH_netfield.json]
 //	rossf-bench all
 //
 // -full selects the paper's exact run lengths (2000 messages at 10 Hz),
@@ -24,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"rossf/internal/bench"
@@ -39,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|netfield|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -59,12 +61,14 @@ func run(args []string) error {
 		return runEgress(rest)
 	case "fanout":
 		return runFanout(rest)
+	case "netfield":
+		return runNetfield(rest)
 	case "fanout-drain":
 		// Internal: drain-worker child spawned by the fanout runner so
 		// the 10000-subscriber cells fit under per-process FD limits.
 		return runFanoutDrain(rest)
 	case "all":
-		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress, runFanout} {
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress, runFanout, runNetfield} {
 			if err := c(nil); err != nil {
 				return err
 			}
@@ -272,6 +276,43 @@ func runFanout(args []string) error {
 		}
 	}
 	res, err := bench.RunFanout(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runNetfield(args []string) error {
+	fs := flag.NewFlagSet("netfield", flag.ContinueOnError)
+	messages := fs.Int("messages", 200, "measured messages per (size, mode) run")
+	repeats := fs.Int("repeats", 3, "runs per (size, mode); the best run is reported")
+	fields := fs.String("fields", "", "comma-separated field mask (default: the full std_msgs/Header)")
+	gbps := fs.Float64("gbps", 10, "simulated link bandwidth in Gb/s")
+	latency := fs.Duration("latency", 50*time.Microsecond, "simulated one-way latency")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_netfield.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.NetfieldConfig{
+		Messages: *messages,
+		Repeats:  *repeats,
+		Link:     netsim.Link{BitsPerSecond: *gbps * 1e9, Latency: *latency},
+	}
+	if *fields != "" {
+		cfg.Fields = strings.Split(*fields, ",")
+	}
+	res, err := bench.RunNetfield(cfg)
 	if err != nil {
 		return err
 	}

@@ -6,14 +6,23 @@
 //	rostopic -master 127.0.0.1:11311 [-master-timeout 5s] list
 //	rostopic -master ... info  <topic>
 //	rostopic -master ... hz    <topic> [-window 50]
-//	rostopic -master ... bw    <topic> [-window 50]
+//	rostopic -master ... bw    <topic> [-window 50] [-fields a,b]
 //	rostopic -master ... stats <topic> [-duration 5s]
-//	rostopic -master ... echo  <topic> [-count 5] [-idl msgs/idl]
+//	rostopic -master ... echo  <topic> [-count 5] [-idl msgs/idl] [-fields a,b]
 //
 // echo decodes both ROS1-format and SFM-format topics through the IDL
 // registry (the SFM skeleton layout is recomputed from the IDL with the
 // same rules the generator uses). Cross-endian SFM frames are shown as
 // summaries only.
+//
+// -fields declares a field mask on the sampling subscription: the
+// publisher transmits only the byte ranges backing the named dotted
+// paths (e.g. header.stamp,header.frame_id) and the remaining fields
+// read as typed zeros. Masks require an SFM-regime topic; publishers
+// that cannot honor the mask fall back to full frames, so the flag is
+// an upper bound on savings, never a correctness risk. With bw this
+// measures the masked wire rate — compare against a run without the
+// flag to see the reduction.
 //
 // hz, bw, and stats all read the observability registry (internal/obs)
 // that the node's subscriber instruments write into — the same counters
@@ -56,8 +65,18 @@ func run(args []string) error {
 	count := fs.Int("count", 5, "echo: messages to print before exiting")
 	idlDir := fs.String("idl", "msgs/idl", "echo: IDL directory for decoding")
 	duration := fs.Duration("duration", 5*time.Second, "stats: sampling window")
+	fieldsFlag := fs.String("fields", "",
+		"echo/bw: comma-separated field paths to request (SFM topics; partial transmission)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var fields []string
+	if *fieldsFlag != "" {
+		for _, f := range strings.Split(*fieldsFlag, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fields = append(fields, f)
+			}
+		}
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: rostopic [-master addr] <list|info|hz|bw|stats|echo> [topic]")
@@ -81,13 +100,13 @@ func run(args []string) error {
 	case "info":
 		return info(master, fs.Arg(1))
 	case "hz":
-		return rate(master, fs.Arg(1), *window, false)
+		return rate(master, fs.Arg(1), *window, false, nil)
 	case "bw":
-		return rate(master, fs.Arg(1), *window, true)
+		return rate(master, fs.Arg(1), *window, true, fields)
 	case "stats":
 		return stats(master, reg, fs.Arg(1), *duration)
 	case "echo":
-		return echo(master, fs.Arg(1), *count, *idlDir)
+		return echo(master, fs.Arg(1), *count, *idlDir, fields)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -135,15 +154,23 @@ func info(master *ros.RemoteMaster, topic string) error {
 // publisher speaks (tried SFM first, then ROS1; only the matching one
 // connects). The node records into reg, so callers read traffic off the
 // per-topic subscriber instruments instead of counting in callbacks.
+// A non-empty field mask pins the subscription to the SFM regime
+// (partial transmission has no meaning for serialized frames).
 func subscribeBoth(master *ros.RemoteMaster, ti ros.TopicInfo, reg *obs.Registry,
-	cb func(ros.RawMessage)) (*ros.Node, error) {
+	fields []string, cb func(ros.RawMessage)) (*ros.Node, error) {
 	node, err := ros.NewNode("rostopic", ros.WithMaster(master), ros.WithoutListener(),
 		ros.WithMetrics(reg))
 	if err != nil {
 		return nil, err
 	}
-	for _, sfm := range []bool{true, false} {
-		if _, err := ros.SubscribeRaw(node, ti.Name, ti.TypeName, ti.MD5, sfm, cb); err != nil {
+	regimes := []bool{true, false}
+	var opts []ros.SubOption
+	if len(fields) > 0 {
+		regimes = []bool{true}
+		opts = append(opts, ros.WithFields(fields...))
+	}
+	for _, sfm := range regimes {
+		if _, err := ros.SubscribeRaw(node, ti.Name, ti.TypeName, ti.MD5, sfm, cb, opts...); err != nil {
 			node.Close()
 			return nil, err
 		}
@@ -156,14 +183,14 @@ func topicSample(reg *obs.Registry, topic string) obs.SubSnapshot {
 	return reg.Snapshot().Subscribers[topic]
 }
 
-func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool) error {
+func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool, fields []string) error {
 	ti, err := lookupTopic(master, topic)
 	if err != nil {
 		return err
 	}
 	reg := obs.NewRegistry()
 	start := time.Now()
-	node, err := subscribeBoth(master, ti, reg, func(ros.RawMessage) {})
+	node, err := subscribeBoth(master, ti, reg, fields, func(ros.RawMessage) {})
 	if err != nil {
 		return err
 	}
@@ -181,8 +208,12 @@ func rate(master *ros.RemoteMaster, topic string, window int, bandwidth bool) er
 		return fmt.Errorf("no messages on %s within 30s", topic)
 	}
 	if bandwidth {
-		fmt.Printf("%s: %.2f MB/s over %d messages\n",
-			topic, float64(s.Bytes)/elapsed/1e6, s.Messages)
+		masked := ""
+		if len(fields) > 0 {
+			masked = fmt.Sprintf("   (masked to %s)", strings.Join(fields, ","))
+		}
+		fmt.Printf("%s: %.2f MB/s over %d messages%s\n",
+			topic, float64(s.Bytes)/elapsed/1e6, s.Messages, masked)
 	} else {
 		fmt.Printf("%s: %.2f Hz over %d messages\n", topic, float64(s.Messages)/elapsed, s.Messages)
 	}
@@ -197,7 +228,7 @@ func stats(master *ros.RemoteMaster, reg *obs.Registry, topic string, duration t
 		return err
 	}
 	start := time.Now()
-	node, err := subscribeBoth(master, ti, reg, func(ros.RawMessage) {})
+	node, err := subscribeBoth(master, ti, reg, nil, func(ros.RawMessage) {})
 	if err != nil {
 		return err
 	}
@@ -234,6 +265,17 @@ func stats(master *ros.RemoteMaster, reg *obs.Registry, topic string, duration t
 			eg.FramesPerWrite.P50, eg.FramesPerWrite.P95,
 			eg.BytesPerWrite.P50, eg.BytesPerWrite.P95)
 	}
+	if fw := snap.Fieldwire; fw.MaskedSubscriptions > 0 || fw.SparseFrames > 0 ||
+		fw.MaskRejects > 0 || fw.DecodeErrors > 0 || fw.MaskFallbacks > 0 {
+		fmt.Printf("fieldwire: %d masked subscriptions   %d sparse frames (%d bytes saved)   %d full frames   %d decode errors   %d fallbacks\n",
+			fw.MaskedSubscriptions, fw.SparseFrames, fw.BytesSaved, fw.FullFrames,
+			fw.DecodeErrors, fw.MaskFallbacks)
+		if fw.MaskRejects > 0 {
+			rr := fw.RejectReasons
+			fmt.Printf("           mask rejects: %d   by reason: no_wire_map %d   unmappable_field %d   variable_tail %d\n",
+				fw.MaskRejects, rr.NoMap, rr.Unmappable, rr.VarTail)
+		}
+	}
 	if g := snap.Graph; g.MasterReconnects > 0 || g.Replays > 0 || g.GhostExpiries > 0 ||
 		g.MalformedLines > 0 || g.Degraded != 0 {
 		fmt.Printf("graph:     %d master reconnects   %d replays (resync p95 %v)   %d ghost expiries   %d malformed lines   degraded sessions: %d\n",
@@ -246,7 +288,7 @@ func stats(master *ros.RemoteMaster, reg *obs.Registry, topic string, duration t
 	return nil
 }
 
-func echo(master *ros.RemoteMaster, topic string, count int, idlDir string) error {
+func echo(master *ros.RemoteMaster, topic string, count int, idlDir string, fields []string) error {
 	ti, err := lookupTopic(master, topic)
 	if err != nil {
 		return err
@@ -259,7 +301,7 @@ func echo(master *ros.RemoteMaster, topic string, count int, idlDir string) erro
 
 	done := make(chan struct{})
 	var printed atomic.Int64
-	node, err := subscribeBoth(master, ti, obs.NewRegistry(), func(m ros.RawMessage) {
+	node, err := subscribeBoth(master, ti, obs.NewRegistry(), fields, func(m ros.RawMessage) {
 		if printed.Load() >= int64(count) {
 			return
 		}

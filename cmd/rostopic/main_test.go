@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+// fixture is one live topic behind a TCP master server: the CLI under
+// test dials the master address exactly as a user would.
+type fixture struct {
+	addr  string
+	topic string
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func startFixture(t *testing.T, topic string) *fixture {
+	t.Helper()
+	srv, err := ros.NewMasterServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	master, err := ros.DialMaster(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { master.Close() })
+	node, err := ros.NewNode("rostopic_test_pub", ros.WithMaster(master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](node, topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{addr: srv.Addr(), topic: topic, stop: make(chan struct{})}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer pub.Close()
+		for i := uint32(0); ; i++ {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			img, err := core.NewWithCapacity[sensor_msgs.ImageSF](16 << 10)
+			if err != nil {
+				return
+			}
+			img.Header.Seq = i
+			img.Header.Stamp.Sec = 7
+			img.Header.FrameID.MustSet("cam0")
+			img.Height = 480
+			img.Width = 640
+			img.Encoding.MustSet("rgb8")
+			if img.Data.Resize(8<<10) != nil || pub.Publish(img) != nil {
+				core.Release(img)
+				return
+			}
+			core.Release(img)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	t.Cleanup(func() { close(f.stop); f.wg.Wait() })
+	return f
+}
+
+// runCapture invokes the CLI entry point and returns what it printed.
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() { defer close(done); io.Copy(&buf, r) }()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	<-done
+	if runErr != nil {
+		t.Fatalf("rostopic %s: %v", strings.Join(args, " "), runErr)
+	}
+	return buf.String()
+}
+
+func TestBWFieldsFlag(t *testing.T) {
+	f := startFixture(t, "/cli/bw_fields")
+
+	out := runCapture(t, "-master", f.addr, "-window", "5", "bw", f.topic)
+	if !strings.Contains(out, "MB/s") || strings.Contains(out, "masked") {
+		t.Fatalf("unmasked bw output unexpected: %q", out)
+	}
+	masked := runCapture(t, "-master", f.addr, "-window", "5",
+		"-fields", "header.seq,header.stamp", "bw", f.topic)
+	if !strings.Contains(masked, "(masked to header.seq,header.stamp)") {
+		t.Fatalf("masked bw output missing mask note: %q", masked)
+	}
+}
+
+func TestEchoFieldsFlag(t *testing.T) {
+	f := startFixture(t, "/cli/echo_fields")
+
+	out := runCapture(t, "-master", f.addr, "-count", "1",
+		"-idl", "../../msgs/idl", "-fields", "header.seq,header.frame_id",
+		"echo", f.topic)
+	// Requested fields carry published values; everything else reads as
+	// typed zeros because those byte ranges never crossed the wire.
+	for _, want := range []string{"frame_id: cam0", "height: 0", "width: 0", "data: <0 bytes>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("masked echo output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "height: 480") || strings.Contains(out, "rgb8") {
+		t.Errorf("masked echo leaked unrequested field bytes:\n%s", out)
+	}
+
+	full := runCapture(t, "-master", f.addr, "-count", "1",
+		"-idl", "../../msgs/idl", "echo", f.topic)
+	for _, want := range []string{"height: 480", "width: 640", "encoding: rgb8", "data: <8192 bytes>"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("full echo output missing %q:\n%s", want, full)
+		}
+	}
+}

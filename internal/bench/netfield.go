@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rossf/internal/core"
+	"rossf/internal/msg"
+	"rossf/internal/netsim"
+	"rossf/internal/obs"
+	"rossf/internal/ros"
+	"rossf/msgs/sensor_msgs"
+)
+
+// NetfieldConfig parameterizes the field-wire benchmark: one publisher
+// streaming sensor_msgs/Image over a simulated 10 GbE link to a
+// consumer that only reads the header. Each size is measured twice —
+// once with a full subscription and once with a subscriber-declared
+// field mask — so every row carries its own baseline for bytes on the
+// wire and end-to-end latency.
+type NetfieldConfig struct {
+	Sizes    []int // image data sizes in bytes
+	Messages int   // measured messages per (size, mode) run
+	Repeats  int   // runs per (size, mode); the best run is reported
+
+	// Fields is the mask the header-only consumer declares. The default
+	// requests the full std_msgs/Header.
+	Fields []string
+
+	// Link simulates the network; defaults to netsim.TenGigE.
+	Link netsim.Link
+
+	// Registry receives the publisher's fieldwire instruments; the
+	// result records sparse-frame counts from it as proof the masked
+	// runs actually used partial transmission. Defaults to a private
+	// registry.
+	Registry *obs.Registry
+}
+
+func (c *NetfieldConfig) fillDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{64 << 10, 1 << 20}
+	}
+	if c.Messages == 0 {
+		c.Messages = 200
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	if len(c.Fields) == 0 {
+		c.Fields = []string{"header.seq", "header.stamp", "header.frame_id"}
+	}
+	if c.Link.BitsPerSecond == 0 {
+		c.Link = netsim.TenGigE
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// NetfieldRow is one payload size: full-subscription baseline versus
+// the masked header-only consumer over the same link.
+type NetfieldRow struct {
+	SizeBytes         int     `json:"size_bytes"`
+	Messages          int     `json:"messages"`
+	FullBytesPerMsg   float64 `json:"full_bytes_per_msg"`
+	MaskedBytesPerMsg float64 `json:"masked_bytes_per_msg"`
+	BytesReductionX   float64 `json:"bytes_reduction_x"`
+	FullMeanNs        float64 `json:"full_mean_latency_ns"`
+	MaskedMeanNs      float64 `json:"masked_mean_latency_ns"`
+	FullP95Ns         float64 `json:"full_p95_latency_ns"`
+	MaskedP95Ns       float64 `json:"masked_p95_latency_ns"`
+	LatencyReduction  float64 `json:"latency_reduction_pct"`
+}
+
+// NetfieldResult is the benchmark output, serialized to
+// BENCH_netfield.json by the bench CLI.
+type NetfieldResult struct {
+	Link         string        `json:"link"`
+	Fields       []string      `json:"fields"`
+	Rows         []NetfieldRow `json:"rows"`
+	SparseFrames uint64        `json:"sparse_frames"`
+	BytesSaved   uint64        `json:"bytes_saved"`
+}
+
+// JSON renders the result for BENCH_netfield.json.
+func (r *NetfieldResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Format renders the result as a table.
+func (r *NetfieldResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Netfield — header-only Image consumer over %s, masked vs full subscription\n", r.Link)
+	fmt.Fprintf(&b, "  mask: %s\n", strings.Join(r.Fields, ","))
+	fmt.Fprintf(&b, "  %-10s %14s %14s %10s %12s %12s %10s\n",
+		"size", "full B/msg", "masked B/msg", "bytes", "full lat", "masked lat", "latency")
+	fmt.Fprintf(&b, "  %-10s %14s %14s %10s %12s %12s %10s\n",
+		"", "", "", "reduction", "(mean)", "(mean)", "reduction")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %14.0f %14.0f %9.1fx %12v %12v %9.1f%%\n",
+			formatBytes(row.SizeBytes), row.FullBytesPerMsg, row.MaskedBytesPerMsg,
+			row.BytesReductionX,
+			time.Duration(row.FullMeanNs).Round(time.Microsecond),
+			time.Duration(row.MaskedMeanNs).Round(time.Microsecond),
+			row.LatencyReduction)
+	}
+	fmt.Fprintf(&b, "  sparse frames: %d   bytes saved on the wire: %d\n", r.SparseFrames, r.BytesSaved)
+	return b.String()
+}
+
+// RunNetfield measures the matrix.
+func RunNetfield(cfg NetfieldConfig) (*NetfieldResult, error) {
+	cfg.fillDefaults()
+	res := &NetfieldResult{
+		Link:   fmt.Sprintf("netsim %.0f Gb/s, %v one-way", cfg.Link.BitsPerSecond/1e9, cfg.Link.Latency),
+		Fields: cfg.Fields,
+	}
+	before := cfg.Registry.Snapshot().Fieldwire
+	for _, size := range cfg.Sizes {
+		row, err := runNetfieldCell(size, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netfield %s: %w", formatBytes(size), err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	after := cfg.Registry.Snapshot().Fieldwire
+	res.SparseFrames = after.SparseFrames - before.SparseFrames
+	res.BytesSaved = after.BytesSaved - before.BytesSaved
+	return res, nil
+}
+
+// runNetfieldCell measures one size in both modes, interleaving repeats
+// (full, masked, full, ...) so machine-load drift hits both evenly, and
+// keeping the best run of each. Bytes per message are deterministic per
+// mode; the last run's figure is reported.
+func runNetfieldCell(size int, cfg NetfieldConfig) (NetfieldRow, error) {
+	row := NetfieldRow{SizeBytes: size, Messages: cfg.Messages,
+		FullMeanNs: math.Inf(1), MaskedMeanNs: math.Inf(1)}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, masked := range []bool{false, true} {
+			bytesPerMsg, lat, err := runNetfieldOnce(size, masked, cfg)
+			if err != nil {
+				return row, err
+			}
+			mean := float64(lat.Mean())
+			if masked {
+				row.MaskedBytesPerMsg = bytesPerMsg
+				if mean < row.MaskedMeanNs {
+					row.MaskedMeanNs = mean
+					row.MaskedP95Ns = float64(lat.Percentile(95))
+				}
+			} else {
+				row.FullBytesPerMsg = bytesPerMsg
+				if mean < row.FullMeanNs {
+					row.FullMeanNs = mean
+					row.FullP95Ns = float64(lat.Percentile(95))
+				}
+			}
+		}
+	}
+	if row.MaskedBytesPerMsg > 0 {
+		row.BytesReductionX = row.FullBytesPerMsg / row.MaskedBytesPerMsg
+	}
+	if row.FullMeanNs > 0 {
+		row.LatencyReduction = (row.FullMeanNs - row.MaskedMeanNs) / row.FullMeanNs * 100
+	}
+	return row, nil
+}
+
+// runNetfieldOnce stands up a fresh topology — publisher on a clean
+// node, subscriber dialing through the simulated link — and runs a
+// lockstep stream of n messages, timing each delivery against the
+// publish stamp. Returns wire bytes per message (from the subscriber's
+// transport instruments, so it counts what actually crossed the link)
+// and the latency series.
+func runNetfieldOnce(size int, masked bool, cfg NetfieldConfig) (float64, *LatencySeries, error) {
+	const topic = "bench/netfield"
+	master := ros.NewLocalMaster()
+	pubNode, err := ros.NewNode("netfield_pub", ros.WithMaster(master), ros.WithMetrics(cfg.Registry))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer pubNode.Close()
+	runReg := obs.NewRegistry()
+	subNode, err := ros.NewNode("netfield_sub", ros.WithMaster(master),
+		ros.WithDialer(cfg.Link.Dialer()), ros.WithMetrics(runReg))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer subNode.Close()
+
+	got := make(chan time.Duration, 1)
+	opts := []ros.SubOption{ros.WithTransport(ros.TransportTCP)}
+	if masked {
+		opts = append(opts, ros.WithFields(cfg.Fields...))
+	}
+	sub, err := ros.Subscribe(subNode, topic, func(m *sensor_msgs.ImageSF) {
+		got <- time.Since(m.Header.Stamp.ToTime())
+	}, opts...)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer sub.Close()
+	pub, err := ros.Advertise[sensor_msgs.ImageSF](pubNode, topic)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer pub.Close()
+	if err := waitSubscribers(pub.NumSubscribers, 1); err != nil {
+		return 0, nil, err
+	}
+
+	capacity := size + 8192
+	step := func(seq int) (time.Duration, error) {
+		img, err := core.NewWithCapacity[sensor_msgs.ImageSF](capacity)
+		if err != nil {
+			return 0, err
+		}
+		img.Header.Seq = uint32(seq)
+		img.Header.FrameID.MustSet("netfield")
+		img.Height = 1
+		img.Width = uint32(size)
+		img.Encoding.MustSet("mono8")
+		if err := img.Data.Resize(size); err != nil {
+			return 0, err
+		}
+		d := img.Data.Slice()
+		d[0], d[size-1] = byte(seq), byte(seq)
+		img.Header.Stamp = msg.NewTime(time.Now())
+		if err := pub.Publish(img); err != nil {
+			return 0, err
+		}
+		if _, err := core.Release(img); err != nil {
+			return 0, err
+		}
+		select {
+		case lat := <-got:
+			return lat, nil
+		case <-time.After(10 * time.Second):
+			return 0, fmt.Errorf("delivery stalled at message %d (masked=%v)", seq, masked)
+		}
+	}
+
+	const warmup = 16
+	for i := 0; i < warmup; i++ {
+		if _, err := step(i); err != nil {
+			return 0, nil, err
+		}
+	}
+	bytesBefore := runReg.Snapshot().Subscribers[topic].Bytes
+	series := &LatencySeries{Label: fmt.Sprintf("%s masked=%v", formatBytes(size), masked)}
+	for i := 0; i < cfg.Messages; i++ {
+		lat, err := step(warmup + i)
+		if err != nil {
+			return 0, nil, err
+		}
+		series.Add(lat)
+	}
+	bytesAfter := runReg.Snapshot().Subscribers[topic].Bytes
+	return float64(bytesAfter-bytesBefore) / float64(cfg.Messages), series, nil
+}

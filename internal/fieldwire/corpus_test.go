@@ -1,0 +1,215 @@
+package fieldwire_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rossf/internal/core"
+	"rossf/internal/fieldwire"
+	"rossf/msgs/geometry_msgs"
+	"rossf/msgs/sensor_msgs"
+	"rossf/msgs/std_msgs"
+	"rossf/msgs/stereo_msgs"
+)
+
+// The corpus test cross-validates the generated field wire maps (emitted
+// by sfmgen from the spec-driven SFMLayout) against the reflection-
+// derived core.Layout of the generated structs: same field order, same
+// offsets, same skeleton footprints, across nested messages, fixed
+// arrays, strings, and sequences. Field names differ by design (wire
+// maps use ROS snake_case, reflection sees Go names), so the comparison
+// is positional.
+
+func corpusLayout[T any](t *testing.T, name string) (*fieldwire.Map, *core.Layout) {
+	t.Helper()
+	m, ok := fieldwire.MapFor(name)
+	if !ok {
+		t.Fatalf("no wire map registered for %s", name)
+	}
+	l, err := core.LayoutOf[T]()
+	if err != nil {
+		t.Fatalf("core.LayoutOf(%s): %v", name, err)
+	}
+	return m, l
+}
+
+// matchNodes positionally compares wire-map nodes with reflection
+// fields at a common base offset.
+func matchNodes(t *testing.T, path string, nodes []fieldwire.Node, fields []core.Field) {
+	t.Helper()
+	if len(nodes) != len(fields) {
+		t.Fatalf("%s: %d wire-map nodes vs %d reflected fields", path, len(nodes), len(fields))
+	}
+	for i := range nodes {
+		n, f := &nodes[i], &fields[i]
+		at := fmt.Sprintf("%s.%s(%s)", path, n.Name, f.Name)
+		if n.Off != int(f.Off) {
+			t.Fatalf("%s: off %d vs %d", at, n.Off, f.Off)
+		}
+		switch n.Kind {
+		case fieldwire.KScalar:
+			// Time/Duration are 8-byte scalars in the wire map but
+			// two-word nested structs under reflection.
+			switch f.Kind {
+			case core.KindScalar:
+				if n.Len != int(f.Size) {
+					t.Fatalf("%s: scalar len %d vs %d", at, n.Len, f.Size)
+				}
+			case core.KindNested:
+				if n.Len != int(f.Elem.Size) {
+					t.Fatalf("%s: scalar len %d vs nested size %d", at, n.Len, f.Elem.Size)
+				}
+			default:
+				t.Fatalf("%s: KScalar vs reflected kind %d", at, f.Kind)
+			}
+		case fieldwire.KString:
+			if f.Kind != core.KindString || n.Len != 8 {
+				t.Fatalf("%s: KString len %d vs kind %d", at, n.Len, f.Kind)
+			}
+		case fieldwire.KVector:
+			if f.Kind != core.KindVector || n.Len != 8 {
+				t.Fatalf("%s: KVector len %d vs kind %d", at, n.Len, f.Kind)
+			}
+			if f.Elem != nil && n.ElemSize != int(f.Elem.Size) {
+				t.Fatalf("%s: vector elem size %d vs %d", at, n.ElemSize, f.Elem.Size)
+			}
+		case fieldwire.KNested:
+			if f.Kind != core.KindNested {
+				t.Fatalf("%s: KNested vs reflected kind %d", at, f.Kind)
+			}
+			if n.Len != int(f.Elem.Size) {
+				t.Fatalf("%s: nested len %d vs %d", at, n.Len, f.Elem.Size)
+			}
+			matchNodes(t, at, n.Elem, f.Elem.Fields)
+		case fieldwire.KArray:
+			if f.Kind != core.KindArray {
+				t.Fatalf("%s: KArray vs reflected kind %d", at, f.Kind)
+			}
+			if n.ArrayLen != f.Len || n.ElemSize != int(f.Elem.Size) {
+				t.Fatalf("%s: array %dx%d vs %dx%d", at, n.ArrayLen, n.ElemSize, f.Len, f.Elem.Size)
+			}
+			if len(n.Elem) == 1 && n.Elem[0].Kind == fieldwire.KNested && !f.Elem.Scalar {
+				matchNodes(t, at+"[]", n.Elem[0].Elem, f.Elem.Fields)
+			}
+		default:
+			t.Fatalf("%s: unknown wire-map kind %d", at, n.Kind)
+		}
+	}
+}
+
+func checkType[T any](t *testing.T, name string) {
+	t.Run(name, func(t *testing.T) {
+		m, l := corpusLayout[T](t, name)
+		if m.Size != int(l.Size) {
+			t.Fatalf("%s: map size %d vs reflected %d", name, m.Size, l.Size)
+		}
+		matchNodes(t, name, m.Fields, l.Fields)
+	})
+}
+
+func TestWireMapsMatchReflectedLayouts(t *testing.T) {
+	checkType[std_msgs.HeaderSF](t, "std_msgs/Header")
+	checkType[std_msgs.StringSF](t, "std_msgs/String")
+	checkType[sensor_msgs.ImageSF](t, "sensor_msgs/Image")
+	checkType[sensor_msgs.CameraInfoSF](t, "sensor_msgs/CameraInfo")
+	checkType[sensor_msgs.PointCloudSF](t, "sensor_msgs/PointCloud")
+	checkType[sensor_msgs.PointCloud2SF](t, "sensor_msgs/PointCloud2")
+	checkType[sensor_msgs.LaserScanSF](t, "sensor_msgs/LaserScan")
+	checkType[geometry_msgs.PoseStampedSF](t, "geometry_msgs/PoseStamped")
+	checkType[geometry_msgs.PoseWithCovarianceSF](t, "geometry_msgs/PoseWithCovariance")
+	checkType[stereo_msgs.DisparityImageSF](t, "stereo_msgs/DisparityImage")
+}
+
+// TestWireMapIDsRoundTrip walks every registered path-addressable node
+// and checks ID→range→path→range closure, plus ID density (1..N with no
+// gaps — the enumeration the stability contract is defined over).
+func TestWireMapIDsRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"std_msgs/Header",
+		"sensor_msgs/Image",
+		"sensor_msgs/CameraInfo",
+		"sensor_msgs/PointCloud",
+		"geometry_msgs/PoseStamped",
+		"stereo_msgs/DisparityImage",
+	} {
+		m, ok := fieldwire.MapFor(name)
+		if !ok {
+			t.Fatalf("no wire map for %s", name)
+		}
+		var walk func(nodes []fieldwire.Node, prefix string)
+		seen := map[uint32]string{}
+		walk = func(nodes []fieldwire.Node, prefix string) {
+			for i := range nodes {
+				n := &nodes[i]
+				path := n.Name
+				if prefix != "" {
+					path = prefix + "." + n.Name
+				}
+				if n.ID == 0 {
+					t.Fatalf("%s: addressable node %s has ID 0", name, path)
+				}
+				if prev, dup := seen[n.ID]; dup {
+					t.Fatalf("%s: ID %d reused by %s and %s", name, n.ID, prev, path)
+				}
+				seen[n.ID] = path
+				r, gotPath, ok := m.RangeOfID(n.ID)
+				if !ok || gotPath != path {
+					t.Fatalf("%s: RangeOfID(%d) = %q, %v; want %q", name, n.ID, gotPath, ok, path)
+				}
+				byPath, err := m.RangeOf(path)
+				if err != nil || byPath != r {
+					t.Fatalf("%s: RangeOf(%s) = %+v (%v), RangeOfID = %+v", name, path, byPath, err, r)
+				}
+				if n.Kind == fieldwire.KNested {
+					walk(n.Elem, path)
+				}
+			}
+		}
+		walk(m.Fields, "")
+		for id := uint32(1); id <= uint32(len(seen)); id++ {
+			if _, ok := seen[id]; !ok {
+				t.Fatalf("%s: ID space has a gap at %d (total %d)", name, id, len(seen))
+			}
+		}
+	}
+}
+
+// TestWireMapKnownRanges pins a few hand-computed ranges so a silent
+// layout change in either computation trips something human-readable.
+func TestWireMapKnownRanges(t *testing.T) {
+	img, ok := fieldwire.MapFor("sensor_msgs/Image")
+	if !ok {
+		t.Fatal("no wire map for sensor_msgs/Image")
+	}
+	for _, c := range []struct {
+		path string
+		want fieldwire.Range
+	}{
+		{"header", fieldwire.Range{Off: 0, Len: 20}},
+		{"header.seq", fieldwire.Range{Off: 0, Len: 4}},
+		{"header.stamp", fieldwire.Range{Off: 4, Len: 8}},
+		{"header.frame_id", fieldwire.Range{Off: 12, Len: 8}},
+		{"height", fieldwire.Range{Off: 20, Len: 4}},
+		{"data", fieldwire.Range{Off: 44, Len: 8}},
+	} {
+		got, err := img.RangeOf(c.path)
+		if err != nil {
+			t.Fatalf("RangeOf(%s): %v", c.path, err)
+		}
+		if got != c.want {
+			t.Fatalf("RangeOf(%s) = %+v, want %+v", c.path, got, c.want)
+		}
+	}
+	// CameraInfo: fixed float64 arrays (D is a sequence, K/R/P fixed).
+	ci, ok := fieldwire.MapFor("sensor_msgs/CameraInfo")
+	if !ok {
+		t.Fatal("no wire map for sensor_msgs/CameraInfo")
+	}
+	k, err := ci.RangeOf("K")
+	if err != nil {
+		t.Fatalf("RangeOf(K): %v", err)
+	}
+	if k.Len != 9*8 {
+		t.Fatalf("K len = %d, want 72", k.Len)
+	}
+}

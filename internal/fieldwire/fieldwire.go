@@ -1,0 +1,192 @@
+// Package fieldwire implements selective field transmission for SFM
+// messages on the network path (TZC-style partial transmission with
+// subscriber-declared field masks).
+//
+// sfmgen emits a per-message *field wire map*: a tree of nodes mirroring
+// the message's SFM skeleton, each node carrying the field's {off, len}
+// range inside the skeleton plus a stable numeric ID. A subscriber
+// declares the fields it reads ("header.stamp", "header.frame_id");
+// the publisher resolves that mask against the map and transmits only
+// the requested byte ranges — fixed skeleton ranges plus, for strings
+// and sequences reachable from the mask, the variable-length payload
+// their descriptors point at. The receive side materializes a sparse
+// arena: transmitted ranges are copied (each under its own CRC),
+// everything else is zero-filled. Because an SFM string/vector
+// descriptor of all zeroes reads as empty, an unrequested field is a
+// typed miss (empty/zero value), never garbage.
+package fieldwire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies a field node in a wire map.
+type Kind uint8
+
+const (
+	// KScalar is a fixed-size primitive (including Time/Duration, which
+	// occupy 8 bytes in the skeleton).
+	KScalar Kind = 1 + iota
+	// KString is an 8-byte string descriptor {padded len, rel off}.
+	KString
+	// KVector is an 8-byte sequence descriptor {count, rel off}.
+	KVector
+	// KNested is an embedded message; Elem holds its named children.
+	KNested
+	// KArray is a fixed-length array; Elem (when present) holds one
+	// unnamed pseudo-node describing a single element.
+	KArray
+)
+
+// Node describes one field (or array/vector element shape) in a wire
+// map. Off is relative to the enclosing node's start; Len is the
+// field's skeleton footprint (descriptors count 8, not their payload).
+type Node struct {
+	// ID is a stable identifier: 1-based depth-first enumeration over
+	// the path-addressable nodes (named fields, descending through
+	// nested messages). Nodes inside an array/vector element pseudo-node
+	// are not path-addressable and carry ID 0. IDs are stable as long
+	// as the IDL field order is — the same condition under which the
+	// MD5 is stable.
+	ID       uint32
+	Name     string
+	Off      int
+	Len      int
+	Kind     Kind
+	ElemSize int // KArray, KVector: skeleton size of one element
+	ArrayLen int // KArray: element count
+	Elem     []Node
+}
+
+// Map is the field wire map of one message type: the skeleton size and
+// the top-level field nodes.
+type Map struct {
+	Type   string
+	Size   int
+	Fields []Node
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Map{}
+)
+
+// Register installs the wire map for a message type. Generated code
+// calls this from init; a duplicate registration is an error.
+func Register(typeName string, m Map) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[typeName]; ok {
+		return fmt.Errorf("fieldwire: duplicate map for %q", typeName)
+	}
+	m.Type = typeName
+	registry[typeName] = &m
+	return nil
+}
+
+// MapFor returns the registered wire map for a message type.
+func MapFor(typeName string) (*Map, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[typeName]
+	return m, ok
+}
+
+// Range is a byte range inside a message's arena.
+type Range struct {
+	Off int
+	Len int
+}
+
+// End returns the exclusive end offset.
+func (r Range) End() int { return r.Off + r.Len }
+
+// find walks a dotted field path through nested nodes and returns the
+// node plus its absolute skeleton offset.
+func (m *Map) find(path string) (*Node, int, error) {
+	nodes, abs := m.Fields, 0
+	var cur *Node
+	rest := path
+	for rest != "" {
+		seg := rest
+		if i := indexByte(rest, '.'); i >= 0 {
+			seg, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if cur != nil {
+			if cur.Kind != KNested {
+				return nil, 0, fmt.Errorf("%w: %q is not a nested message in %q", ErrUnknownField, cur.Name, path)
+			}
+			nodes = cur.Elem
+		}
+		cur = nil
+		for i := range nodes {
+			if nodes[i].Name == seg {
+				cur = &nodes[i]
+				break
+			}
+		}
+		if cur == nil {
+			return nil, 0, fmt.Errorf("%w: %q (at %q)", ErrUnknownField, path, seg)
+		}
+		abs += cur.Off
+	}
+	if cur == nil {
+		return nil, 0, fmt.Errorf("%w: empty path", ErrUnknownField)
+	}
+	return cur, abs, nil
+}
+
+// RangeOf returns the absolute skeleton range of a dotted field path —
+// a test and tooling hook; the hot path resolves whole masks instead.
+func (m *Map) RangeOf(path string) (Range, error) {
+	n, abs, err := m.find(path)
+	if err != nil {
+		return Range{}, err
+	}
+	return Range{Off: abs, Len: n.Len}, nil
+}
+
+// RangeOfID returns the absolute skeleton range and dotted path of a
+// stable field ID, or false when the ID is unknown. Only statically
+// addressable nodes (ID != 0) are found.
+func (m *Map) RangeOfID(id uint32) (Range, string, bool) {
+	if id == 0 {
+		return Range{}, "", false
+	}
+	return rangeOfID(m.Fields, 0, "", id)
+}
+
+func rangeOfID(nodes []Node, base int, prefix string, id uint32) (Range, string, bool) {
+	for i := range nodes {
+		n := &nodes[i]
+		if n.ID == 0 {
+			continue
+		}
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "." + n.Name
+		}
+		if n.ID == id {
+			return Range{Off: base + n.Off, Len: n.Len}, path, true
+		}
+		if n.Kind == KNested {
+			if r, p, ok := rangeOfID(n.Elem, base+n.Off, path, id); ok {
+				return r, p, ok
+			}
+		}
+	}
+	return Range{}, "", false
+}
+
+// indexByte avoids importing strings for one call site.
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,387 @@
+package fieldwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// testMap builds a hand-written wire map shaped like a small
+// sensor-style message:
+//
+//	Header { seq u32 @0; stamp time @8; frame_id string @16 }  (size 24)
+//	Img {
+//	  header Header @0            (len 24)
+//	  height u32    @24
+//	  width  u32    @28
+//	  data   u8[]   @32           (vector descriptor)
+//	  pts    Point[2] @40         (Point{x f64, y f64}, 16 bytes each)
+//	}                              (size 72)
+func testMap() *Map {
+	point := []Node{
+		{ID: 0, Name: "x", Off: 0, Len: 8, Kind: KScalar},
+		{ID: 0, Name: "y", Off: 8, Len: 8, Kind: KScalar},
+	}
+	return &Map{
+		Type: "test_msgs/Img",
+		Size: 72,
+		Fields: []Node{
+			{ID: 1, Name: "header", Off: 0, Len: 24, Kind: KNested, Elem: []Node{
+				{ID: 2, Name: "seq", Off: 0, Len: 4, Kind: KScalar},
+				{ID: 3, Name: "stamp", Off: 8, Len: 8, Kind: KScalar},
+				{ID: 4, Name: "frame_id", Off: 16, Len: 8, Kind: KString},
+			}},
+			{ID: 5, Name: "height", Off: 24, Len: 4, Kind: KScalar},
+			{ID: 6, Name: "width", Off: 28, Len: 4, Kind: KScalar},
+			{ID: 7, Name: "data", Off: 32, Len: 8, Kind: KVector, ElemSize: 1},
+			{ID: 8, Name: "pts", Off: 40, Len: 32, Kind: KArray, ElemSize: 16, ArrayLen: 2,
+				Elem: []Node{{Kind: KNested, Len: 16, Elem: point}}},
+		},
+	}
+}
+
+// testMsg builds an arena image matching testMap: 72-byte skeleton,
+// frame_id payload ("cam0" padded to 8) at 72, data payload (16 bytes)
+// at 80. Total 96 bytes.
+func testMsg() []byte {
+	msg := make([]byte, 96)
+	le := binary.NativeEndian
+	le.PutUint32(msg[0:], 7)                  // header.seq
+	le.PutUint64(msg[8:], 0x1122334455667788) // header.stamp
+	le.PutUint32(msg[16:], 8)                 // frame_id padded len
+	le.PutUint32(msg[20:], 72-16)             // frame_id rel off
+	copy(msg[72:], "cam0\x00\x00\x00\x00")
+	le.PutUint32(msg[24:], 480)   // height
+	le.PutUint32(msg[28:], 640)   // width
+	le.PutUint32(msg[32:], 16)    // data count
+	le.PutUint32(msg[36:], 80-32) // data rel off
+	for i := 0; i < 16; i++ {
+		msg[80+i] = byte(0xA0 + i)
+	}
+	for i := 0; i < 32; i++ {
+		msg[40+i] = byte(i) // pts raw bytes
+	}
+	return msg
+}
+
+func TestRangeOfPaths(t *testing.T) {
+	m := testMap()
+	cases := []struct {
+		path string
+		want Range
+	}{
+		{"header", Range{0, 24}},
+		{"header.seq", Range{0, 4}},
+		{"header.stamp", Range{8, 8}},
+		{"header.frame_id", Range{16, 8}},
+		{"height", Range{24, 4}},
+		{"data", Range{32, 8}},
+		{"pts", Range{40, 32}},
+	}
+	for _, c := range cases {
+		got, err := m.RangeOf(c.path)
+		if err != nil {
+			t.Fatalf("RangeOf(%q): %v", c.path, err)
+		}
+		if got != c.want {
+			t.Fatalf("RangeOf(%q) = %+v, want %+v", c.path, got, c.want)
+		}
+	}
+	if _, err := m.RangeOf("nope"); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("RangeOf(nope) err = %v, want ErrUnknownField", err)
+	}
+	if _, err := m.RangeOf("height.x"); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("RangeOf(height.x) err = %v, want ErrUnknownField", err)
+	}
+}
+
+func TestRangeOfIDRoundTrip(t *testing.T) {
+	m := testMap()
+	for id := uint32(1); id <= 8; id++ {
+		r, path, ok := m.RangeOfID(id)
+		if !ok {
+			t.Fatalf("RangeOfID(%d) not found", id)
+		}
+		byPath, err := m.RangeOf(path)
+		if err != nil {
+			t.Fatalf("RangeOf(%q): %v", path, err)
+		}
+		if r != byPath {
+			t.Fatalf("ID %d (%s): range %+v != by-path %+v", id, path, r, byPath)
+		}
+	}
+	if _, _, ok := m.RangeOfID(0); ok {
+		t.Fatal("RangeOfID(0) should not resolve")
+	}
+	if _, _, ok := m.RangeOfID(99); ok {
+		t.Fatal("RangeOfID(99) should not resolve")
+	}
+}
+
+func TestResolveMergesAndChasesDescriptors(t *testing.T) {
+	m := testMap()
+	mk, err := m.Resolve([]string{"header.stamp", "header.frame_id"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	// stamp {8,8} and frame_id {16,8} are adjacent: one fixed range.
+	if len(mk.fixed) != 1 || mk.fixed[0] != (Range{8, 16}) {
+		t.Fatalf("fixed = %+v, want [{8 16}]", mk.fixed)
+	}
+	msg := testMsg()
+	ranges, err := mk.AppendRanges(nil, msg)
+	if err != nil {
+		t.Fatalf("AppendRanges: %v", err)
+	}
+	want := []Range{{8, 16}, {72, 8}}
+	if len(ranges) != len(want) {
+		t.Fatalf("ranges = %+v, want %+v", ranges, want)
+	}
+	for i := range want {
+		if ranges[i] != want[i] {
+			t.Fatalf("ranges = %+v, want %+v", ranges, want)
+		}
+	}
+	if mk.MaxRanges() < len(ranges) {
+		t.Fatalf("MaxRanges %d < produced %d", mk.MaxRanges(), len(ranges))
+	}
+}
+
+func TestResolveOverlapAndDedupe(t *testing.T) {
+	m := testMap()
+	// "header" subsumes "header.stamp"; the frame_id descriptor is
+	// reachable from both paths but must be chased once.
+	mk, err := m.Resolve([]string{"header", "header.stamp"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(mk.fixed) != 1 || mk.fixed[0] != (Range{0, 24}) {
+		t.Fatalf("fixed = %+v, want [{0 24}]", mk.fixed)
+	}
+	if len(mk.descs) != 1 {
+		t.Fatalf("descs = %+v, want one (frame_id)", mk.descs)
+	}
+}
+
+func TestResolveVectorPayload(t *testing.T) {
+	m := testMap()
+	mk, err := m.Resolve([]string{"data"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	ranges, err := mk.AppendRanges(nil, testMsg())
+	if err != nil {
+		t.Fatalf("AppendRanges: %v", err)
+	}
+	want := []Range{{32, 8}, {80, 16}}
+	if len(ranges) != 2 || ranges[0] != want[0] || ranges[1] != want[1] {
+		t.Fatalf("ranges = %+v, want %+v", ranges, want)
+	}
+}
+
+func TestResolveEmptyDescriptorSkipsPayload(t *testing.T) {
+	m := testMap()
+	mk, err := m.Resolve([]string{"header.frame_id"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	msg := testMsg()
+	binary.NativeEndian.PutUint32(msg[16:], 0) // empty frame_id
+	ranges, err := mk.AppendRanges(nil, msg)
+	if err != nil {
+		t.Fatalf("AppendRanges: %v", err)
+	}
+	if len(ranges) != 1 || ranges[0] != (Range{16, 8}) {
+		t.Fatalf("ranges = %+v, want just the descriptor", ranges)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	m := testMap()
+	if _, err := m.Resolve([]string{"missing"}); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("unknown field err = %v", err)
+	}
+	if _, err := m.Resolve(nil); !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("empty list err = %v", err)
+	}
+	var nilMap *Map
+	if _, err := nilMap.Resolve([]string{"x"}); !errors.Is(err, ErrNoMap) {
+		t.Fatalf("nil map err = %v", err)
+	}
+	// A vector whose elements hold strings cannot be masked.
+	vt := &Map{Type: "t/V", Size: 8, Fields: []Node{
+		{ID: 1, Name: "names", Off: 0, Len: 8, Kind: KVector, ElemSize: 8,
+			Elem: []Node{{Kind: KString, Len: 8}}},
+	}}
+	if _, err := vt.Resolve([]string{"names"}); !errors.Is(err, ErrVarTail) {
+		t.Fatalf("var tail err = %v", err)
+	}
+	if got := RejectReason(ErrNoMap); got != ReasonNoMap {
+		t.Fatalf("reason = %q", got)
+	}
+	if got := RejectReason(ErrVarTail); got != ReasonVarTail {
+		t.Fatalf("reason = %q", got)
+	}
+	if got := RejectReason(ErrUnknownField); got != ReasonUnmappable {
+		t.Fatalf("reason = %q", got)
+	}
+}
+
+func TestAppendRangesBadDescriptor(t *testing.T) {
+	m := testMap()
+	mk, err := m.Resolve([]string{"data"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	msg := testMsg()
+	binary.NativeEndian.PutUint32(msg[36:], 1<<30) // rel off out of bounds
+	if _, err := mk.AppendRanges(nil, msg); err == nil {
+		t.Fatal("expected descriptor bounds error")
+	}
+	short := testMsg()[:16]
+	if _, err := mk.AppendRanges(nil, short); err == nil {
+		t.Fatal("expected short-message error")
+	}
+}
+
+// encodeSparse builds a complete sparse payload (table + range bytes)
+// the way the egress path lays it out on the wire.
+func encodeSparse(fullSize int, ranges []Range, msg []byte) []byte {
+	p := AppendTable(nil, fullSize, ranges, msg)
+	for _, r := range ranges {
+		p = append(p, msg[r.Off:r.End()]...)
+	}
+	return p
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	m := testMap()
+	mk, err := m.Resolve([]string{"header.stamp", "header.frame_id"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	msg := testMsg()
+	ranges, err := mk.AppendRanges(nil, msg)
+	if err != nil {
+		t.Fatalf("AppendRanges: %v", err)
+	}
+	payload := encodeSparse(len(msg), ranges, msg)
+	var dec Decoder
+	fullSize, err := dec.Parse(payload, 1<<20)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if fullSize != len(msg) {
+		t.Fatalf("fullSize = %d, want %d", fullSize, len(msg))
+	}
+	dst := make([]byte, fullSize)
+	for i := range dst {
+		dst[i] = 0xFF // materialize must overwrite every byte
+	}
+	if err := dec.Materialize(payload, dst); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// Transmitted: stamp+frame_id descriptor region and string payload.
+	if !bytes.Equal(dst[8:24], msg[8:24]) || !bytes.Equal(dst[72:80], msg[72:80]) {
+		t.Fatal("transmitted ranges differ")
+	}
+	// Typed miss: untransmitted regions are zero — seq, height, width,
+	// and the data vector descriptor all read as zero/empty.
+	for _, off := range []int{0, 24, 28, 32, 36, 40, 80} {
+		if binary.NativeEndian.Uint32(dst[off:]) != 0 {
+			t.Fatalf("offset %d not zeroed: %x", off, dst[off:off+4])
+		}
+	}
+}
+
+func TestSparseFullRoundTrip(t *testing.T) {
+	msg := testMsg()
+	payload := AppendFullTable(nil, len(msg))
+	payload = append(payload, msg...)
+	var dec Decoder
+	fullSize, err := dec.Parse(payload, 1<<20)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	dst := make([]byte, fullSize)
+	if err := dec.Materialize(payload, dst); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if !bytes.Equal(dst, msg) {
+		t.Fatal("full payload round trip differs")
+	}
+}
+
+func TestSparseParseRejects(t *testing.T) {
+	msg := testMsg()
+	good := encodeSparse(len(msg), []Range{{8, 16}, {72, 8}}, msg)
+	var dec Decoder
+
+	corrupt := func(name string, mutate func(p []byte) []byte) {
+		p := mutate(append([]byte(nil), good...))
+		if _, err := dec.Parse(p, 1<<20); err == nil {
+			t.Fatalf("%s: Parse accepted damage", name)
+		}
+	}
+	corrupt("bad magic", func(p []byte) []byte { p[0] ^= 0xFF; return p })
+	corrupt("bad version", func(p []byte) []byte { p[4] = 9; return p })
+	corrupt("unknown flags", func(p []byte) []byte { p[5] = 0x80; return p })
+	corrupt("short header", func(p []byte) []byte { return p[:8] })
+	corrupt("truncated table", func(p []byte) []byte { return p[:HeaderSize+4] })
+	corrupt("oversized full", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[8:12], 1<<31-1)
+		return p
+	})
+	corrupt("zero-length range", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[HeaderSize+4:], 0)
+		return p
+	})
+	corrupt("overlapping ranges", func(p []byte) []byte {
+		// Second range starts before the first ends.
+		binary.LittleEndian.PutUint32(p[HeaderSize+RangeSize:], 10)
+		return p
+	})
+	corrupt("range out of bounds", func(p []byte) []byte {
+		binary.LittleEndian.PutUint32(p[HeaderSize+RangeSize:], 95)
+		return p
+	})
+	corrupt("length mismatch", func(p []byte) []byte { return p[:len(p)-1] })
+	corrupt("trailing bytes", func(p []byte) []byte { return append(p, 0) })
+	corrupt("full with ranges", func(p []byte) []byte { p[5] = FlagFull; return p })
+
+	// Range CRC damage parses but fails Materialize.
+	p := append([]byte(nil), good...)
+	p[len(p)-1] ^= 0xFF
+	n, err := dec.Parse(p, 1<<20)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := dec.Materialize(p, make([]byte, n)); !errors.Is(err, ErrRangeCRC) {
+		t.Fatalf("Materialize err = %v, want ErrRangeCRC", err)
+	}
+
+	// Too many ranges.
+	huge := AppendHeader(nil, 0, MaxRanges+1, 64)
+	if _, err := dec.Parse(huge, 1<<20); err == nil {
+		t.Fatal("accepted oversized range count")
+	}
+
+	// Full-size above the caller's cap.
+	if _, err := dec.Parse(good, 8); err == nil {
+		t.Fatal("accepted full size above cap")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	name := "fieldwire_test/Dup"
+	if err := Register(name, *testMap()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := Register(name, *testMap()); err == nil {
+		t.Fatal("duplicate Register accepted")
+	}
+	if m, ok := MapFor(name); !ok || m.Size != 72 {
+		t.Fatalf("MapFor = %+v, %v", m, ok)
+	}
+}

@@ -1,0 +1,252 @@
+package fieldwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mask resolution: a subscriber's field list becomes (a) merged fixed
+// skeleton ranges and (b) the set of string/vector descriptors reachable
+// from those fields, whose variable-length payloads are located per
+// message at encode time by chasing the descriptor.
+
+// Reject errors. Each maps to one per-reason obs counter via
+// RejectReason; a publisher that rejects a mask answers the handshake
+// with the reason string and the connection falls back to full frames.
+var (
+	// ErrNoMap: the publisher has no wire map for the topic's type (an
+	// old build, or a raw/ROS1 publisher).
+	ErrNoMap = errors.New("fieldwire: no wire map for type")
+	// ErrUnknownField: a requested path does not name a field.
+	ErrUnknownField = errors.New("fieldwire: unknown field")
+	// ErrVarTail: a requested field contains variable-length data nested
+	// inside a variable-length sequence (e.g. a vector of messages that
+	// themselves hold strings). Those payloads cannot be located from
+	// the skeleton alone, so the mask is rejected rather than silently
+	// truncated.
+	ErrVarTail = errors.New("fieldwire: variable-length tail not maskable")
+)
+
+// Reject reason strings — stable wire/obs identifiers.
+const (
+	ReasonNoMap       = "no_wire_map"
+	ReasonUnmappable  = "unmappable_field"
+	ReasonVarTail     = "variable_tail"
+	ReasonUnsupported = "unsupported" // peer-reported reason we don't know
+)
+
+// RejectReason maps a Resolve error to its stable reason string.
+func RejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrNoMap):
+		return ReasonNoMap
+	case errors.Is(err, ErrVarTail):
+		return ReasonVarTail
+	case errors.Is(err, ErrUnknownField):
+		return ReasonUnmappable
+	default:
+		return ReasonUnsupported
+	}
+}
+
+// errShortMessage reports a message smaller than the skeleton ranges the
+// mask needs — a malformed publish; the frame ships whole instead.
+var errShortMessage = errors.New("fieldwire: message shorter than mask ranges")
+
+// errBadDescriptor reports a descriptor pointing outside the message.
+var errBadDescriptor = errors.New("fieldwire: descriptor points outside message")
+
+// maskDesc is one string/vector descriptor the mask must chase at
+// encode time to find its payload range.
+type maskDesc struct {
+	off      int  // absolute skeleton offset of the 8-byte descriptor
+	elemSize int  // vector element skeleton size (1 for strings)
+	str      bool // string: first word is the padded byte length
+}
+
+// Mask is a resolved field mask: ready to turn any message of its type
+// into a range list.
+type Mask struct {
+	typeName string
+	paths    []string
+	fixed    []Range // merged, sorted skeleton ranges
+	descs    []maskDesc
+}
+
+// Type returns the message type the mask was resolved against.
+func (mk *Mask) Type() string { return mk.typeName }
+
+// Paths returns the requested field paths (normalized order preserved).
+func (mk *Mask) Paths() []string { return mk.paths }
+
+// MaxRanges bounds the number of ranges AppendRanges can produce for
+// any message: the fixed ranges plus one payload range per descriptor
+// (merging only ever shrinks the list). Encoders pre-size buffers with
+// it.
+func (mk *Mask) MaxRanges() int { return len(mk.fixed) + len(mk.descs) }
+
+// Resolve turns a list of dotted field paths into a Mask, or a typed
+// reject error (ErrUnknownField, ErrVarTail; ErrNoMap is returned by
+// callers that found no map to resolve against).
+func (m *Map) Resolve(paths []string) (*Mask, error) {
+	if m == nil {
+		return nil, ErrNoMap
+	}
+	mk := &Mask{typeName: m.Type}
+	var fixed []Range
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, abs, err := m.find(p)
+		if err != nil {
+			return nil, err
+		}
+		if n.Len > 0 {
+			fixed = append(fixed, Range{Off: abs, Len: n.Len})
+		}
+		if err := collectDescs(n, abs, &mk.descs); err != nil {
+			return nil, fmt.Errorf("%w (field %q)", err, p)
+		}
+		mk.paths = append(mk.paths, p)
+	}
+	if len(mk.paths) == 0 {
+		return nil, fmt.Errorf("%w: empty field list", ErrUnknownField)
+	}
+	mk.fixed = mergeRanges(fixed)
+	mk.descs = dedupeDescs(mk.descs)
+	return mk, nil
+}
+
+// collectDescs gathers every string/vector descriptor inside node n
+// (absolute offset abs), erroring with ErrVarTail when a descriptor
+// hides inside a vector element (its payload location is per-element
+// dynamic state the skeleton cannot address).
+func collectDescs(n *Node, abs int, out *[]maskDesc) error {
+	switch n.Kind {
+	case KScalar:
+	case KString:
+		*out = append(*out, maskDesc{off: abs, elemSize: 1, str: true})
+	case KVector:
+		if len(n.Elem) > 0 && subtreeHasDescs(&n.Elem[0]) {
+			return ErrVarTail
+		}
+		es := n.ElemSize
+		if es <= 0 {
+			es = 1
+		}
+		*out = append(*out, maskDesc{off: abs, elemSize: es})
+	case KNested:
+		for i := range n.Elem {
+			c := &n.Elem[i]
+			if err := collectDescs(c, abs+c.Off, out); err != nil {
+				return err
+			}
+		}
+	case KArray:
+		if len(n.Elem) == 0 {
+			return nil // scalar elements: the fixed range covers them
+		}
+		e := &n.Elem[0]
+		for i := 0; i < n.ArrayLen; i++ {
+			if err := collectDescs(e, abs+i*n.ElemSize, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// subtreeHasDescs reports whether a node's subtree contains any
+// string/vector descriptor.
+func subtreeHasDescs(n *Node) bool {
+	switch n.Kind {
+	case KString, KVector:
+		return true
+	case KNested, KArray:
+		for i := range n.Elem {
+			if subtreeHasDescs(&n.Elem[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AppendRanges appends the byte ranges of msg selected by the mask to
+// dst (which callers reuse across messages) and returns the sorted,
+// merged list. An error means this message cannot be sliced (short
+// buffer, descriptor out of bounds) — the caller ships it whole.
+func (mk *Mask) AppendRanges(dst []Range, msg []byte) ([]Range, error) {
+	for _, r := range mk.fixed {
+		if r.End() > len(msg) {
+			return dst, errShortMessage
+		}
+		dst = append(dst, r)
+	}
+	for _, d := range mk.descs {
+		if d.off+8 > len(msg) {
+			return dst, errShortMessage
+		}
+		count := binary.NativeEndian.Uint32(msg[d.off:])
+		if count == 0 {
+			continue // empty string/vector: nothing beyond the descriptor
+		}
+		rel := binary.NativeEndian.Uint32(msg[d.off+4:])
+		plen := int64(count) * int64(d.elemSize)
+		start := int64(d.off) + int64(rel)
+		if start < int64(d.off)+8 || start+plen > int64(len(msg)) {
+			return dst, errBadDescriptor
+		}
+		dst = append(dst, Range{Off: int(start), Len: int(plen)})
+	}
+	return mergeRanges(dst), nil
+}
+
+// mergeRanges sorts ranges by offset and merges overlapping or
+// adjacent ones in place. Insertion sort keeps the per-message encode
+// path allocation-free; range lists are small (one per mask field plus
+// one per reachable descriptor) and usually already ordered.
+func mergeRanges(rs []Range) []Range {
+	if len(rs) < 2 {
+		return rs
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Off < rs[j-1].Off; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Off <= last.End() {
+			if r.End() > last.End() {
+				last.Len = r.End() - last.Off
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// dedupeDescs drops duplicate descriptor offsets (a mask naming both
+// "header" and "header.frame_id" reaches the same descriptor twice).
+func dedupeDescs(ds []maskDesc) []maskDesc {
+	if len(ds) < 2 {
+		return ds
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].off < ds[j].off })
+	out := ds[:1]
+	for _, d := range ds[1:] {
+		if d.off == out[len(out)-1].off {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package fieldwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rossf/internal/wire"
+)
+
+// Sparse frame payload layout. A connection that negotiated a field
+// mask frames messages exactly like a plain TCP connection (RSFM
+// header, outer CRC over the whole payload), but the payload is a
+// sparse encoding instead of the raw arena:
+//
+//	offset 0   u32  magic ("RSFP", little-endian)
+//	offset 4   u8   version (1)
+//	offset 5   u8   flags (FlagFull)
+//	offset 6   u16  range count
+//	offset 8   u32  full message size
+//	offset 12  range table: rangeCount × {u32 off, u32 len, u32 crc}
+//	...        range payloads, concatenated in table order
+//
+// Each table entry carries the CRC-32C of its payload bytes, so the
+// receiver verifies every copied range independently before adopting
+// the materialized arena. A FlagFull payload has rangeCount == 0 and
+// carries the complete message after the header — the per-message
+// fallback a masked connection uses when a message cannot be sliced
+// (or slicing would not save bytes), keeping decode uniform.
+const (
+	// SparseMagic marks a sparse payload ("RSFP" little-endian).
+	SparseMagic uint32 = 'R' | 'S'<<8 | 'F'<<16 | 'P'<<24
+	// SparseVersion is the current encoding version.
+	SparseVersion = 1
+	// HeaderSize is the fixed sparse-payload header length.
+	HeaderSize = 12
+	// RangeSize is the length of one range-table entry.
+	RangeSize = 12
+	// FlagFull marks a payload carrying the complete message.
+	FlagFull = 0x01
+	// MaxRanges bounds a decodable range table; masks resolve to far
+	// fewer, so anything larger is damage.
+	MaxRanges = 4096
+)
+
+// TableLen returns the length of a sparse header plus an n-entry range
+// table.
+func TableLen(n int) int { return HeaderSize + n*RangeSize }
+
+// ErrSparse reports a malformed sparse payload; wrapped by every decode
+// failure.
+var ErrSparse = errors.New("fieldwire: malformed sparse payload")
+
+// ErrRangeCRC reports a range whose payload failed its table CRC.
+var ErrRangeCRC = fmt.Errorf("%w: range checksum mismatch", ErrSparse)
+
+// AppendHeader appends a sparse header to dst.
+func AppendHeader(dst []byte, flags byte, rangeCount, fullSize int) []byte {
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:4], SparseMagic)
+	h[4] = SparseVersion
+	h[5] = flags
+	binary.LittleEndian.PutUint16(h[6:8], uint16(rangeCount))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(fullSize))
+	return append(dst, h[:]...)
+}
+
+// AppendTable appends the header and range table for a masked message:
+// per-range CRCs are computed here over msg's bytes. The range payloads
+// themselves are NOT appended — encoders ship them as separate write
+// vectors straight from the arena.
+func AppendTable(dst []byte, fullSize int, ranges []Range, msg []byte) []byte {
+	dst = AppendHeader(dst, 0, len(ranges), fullSize)
+	var e [RangeSize]byte
+	for _, r := range ranges {
+		binary.LittleEndian.PutUint32(e[0:4], uint32(r.Off))
+		binary.LittleEndian.PutUint32(e[4:8], uint32(r.Len))
+		binary.LittleEndian.PutUint32(e[8:12], wire.Checksum(msg[r.Off:r.End()]))
+		dst = append(dst, e[:]...)
+	}
+	return dst
+}
+
+// AppendFullTable appends the header of a FlagFull payload (the message
+// bytes follow as their own write vector; the outer frame CRC covers
+// them).
+func AppendFullTable(dst []byte, fullSize int) []byte {
+	return AppendHeader(dst, FlagFull, 0, fullSize)
+}
+
+// Decoder validates and materializes sparse payloads. It is reusable
+// per connection; the parsed range list persists between Parse and
+// Materialize.
+type Decoder struct {
+	full     bool
+	fullSize int
+	tableLen int
+	ranges   []sparseRange
+}
+
+type sparseRange struct {
+	off, len int
+	crc      uint32
+}
+
+// Parse validates a sparse payload's header and range table and returns
+// the full (materialized) message size. It checks everything that can
+// be checked without touching range bytes: magic, version, unknown
+// flags, table bounds, strictly increasing non-overlapping in-bounds
+// ranges, and that the payload length equals the table plus the ranges
+// exactly. maxFull bounds the materialized size (the transport's frame
+// cap). Any error means the frame is damage — the caller drops it (and
+// after repeated failures falls back to full-frame framing).
+func (d *Decoder) Parse(payload []byte, maxFull int) (int, error) {
+	d.full, d.fullSize, d.tableLen, d.ranges = false, 0, 0, d.ranges[:0]
+	if len(payload) < HeaderSize {
+		return 0, fmt.Errorf("%w: short header (%d bytes)", ErrSparse, len(payload))
+	}
+	if binary.LittleEndian.Uint32(payload[0:4]) != SparseMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrSparse)
+	}
+	if v := payload[4]; v != SparseVersion {
+		return 0, fmt.Errorf("%w: unknown version %d", ErrSparse, v)
+	}
+	flags := payload[5]
+	if flags&^byte(FlagFull) != 0 {
+		return 0, fmt.Errorf("%w: unknown flags %#x", ErrSparse, flags)
+	}
+	n := int(binary.LittleEndian.Uint16(payload[6:8]))
+	fullSize := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if fullSize < 0 || fullSize > maxFull {
+		return 0, fmt.Errorf("%w: full size %d exceeds limit %d", ErrSparse, fullSize, maxFull)
+	}
+	if flags&FlagFull != 0 {
+		if n != 0 {
+			return 0, fmt.Errorf("%w: full payload with %d ranges", ErrSparse, n)
+		}
+		if len(payload)-HeaderSize != fullSize {
+			return 0, fmt.Errorf("%w: full payload length %d != size %d", ErrSparse, len(payload)-HeaderSize, fullSize)
+		}
+		d.full, d.fullSize, d.tableLen = true, fullSize, HeaderSize
+		return fullSize, nil
+	}
+	if n > MaxRanges {
+		return 0, fmt.Errorf("%w: %d ranges exceeds limit", ErrSparse, n)
+	}
+	tl := TableLen(n)
+	if len(payload) < tl {
+		return 0, fmt.Errorf("%w: truncated range table", ErrSparse)
+	}
+	prevEnd, sum := 0, 0
+	for i := 0; i < n; i++ {
+		e := payload[HeaderSize+i*RangeSize:]
+		off := int(binary.LittleEndian.Uint32(e[0:4]))
+		l := int(binary.LittleEndian.Uint32(e[4:8]))
+		crc := binary.LittleEndian.Uint32(e[8:12])
+		if l <= 0 || off < prevEnd || int64(off)+int64(l) > int64(fullSize) {
+			return 0, fmt.Errorf("%w: range %d [%d,%d) invalid (prev end %d, full %d)",
+				ErrSparse, i, off, off+l, prevEnd, fullSize)
+		}
+		prevEnd = off + l
+		sum += l
+		d.ranges = append(d.ranges, sparseRange{off: off, len: l, crc: crc})
+	}
+	if len(payload)-tl != sum {
+		return 0, fmt.Errorf("%w: payload carries %d range bytes, table claims %d", ErrSparse, len(payload)-tl, sum)
+	}
+	d.fullSize, d.tableLen = fullSize, tl
+	return fullSize, nil
+}
+
+// Materialize copies the parsed ranges of payload into dst (which must
+// be exactly the full size Parse returned), zero-filling every
+// untransmitted gap, and verifies each range against its table CRC
+// before returning. On error dst is partially written and must be
+// discarded. For a FlagFull payload the message is copied whole (the
+// outer frame CRC already covered it).
+func (d *Decoder) Materialize(payload, dst []byte) error {
+	if len(dst) != d.fullSize {
+		return fmt.Errorf("%w: destination %d bytes, need %d", ErrSparse, len(dst), d.fullSize)
+	}
+	if d.full {
+		copy(dst, payload[HeaderSize:])
+		return nil
+	}
+	cursor, prev := d.tableLen, 0
+	for i, r := range d.ranges {
+		b := payload[cursor : cursor+r.len]
+		if wire.Checksum(b) != r.crc {
+			return fmt.Errorf("%w (range %d)", ErrRangeCRC, i)
+		}
+		clear(dst[prev:r.off])
+		copy(dst[r.off:], b)
+		cursor, prev = cursor+r.len, r.off+r.len
+	}
+	clear(dst[prev:])
+	return nil
+}

@@ -452,5 +452,86 @@ func (g *Generator) emitRegistration(f *fileWriter, pkg string, names []string) 
 		f.printf("\tmustRegister(core.RegisterLayout[%sSF](%q, %d))\n", n, full, capacity)
 	}
 	f.printf("}\n\n")
-	f.printf("func mustRegister(err error) {\n\tif err != nil {\n\t\tpanic(err)\n\t}\n}\n")
+	f.printf("func mustRegister(err error) {\n\tif err != nil {\n\t\tpanic(err)\n\t}\n}\n\n")
+}
+
+// emitFieldwire renders the package's field wire maps: for every
+// message, the {off,len} skeleton tree that selective field
+// transmission resolves subscriber masks against. The tree mirrors the
+// SFM layout computation, so a map's ranges are valid byte ranges of
+// the generated struct's arena image.
+func (g *Generator) emitFieldwire(f *fileWriter, names []string) error {
+	f.addImport(g.FieldwirePath)
+	f.printf("// Field wire maps for selective field transmission: stable field\n")
+	f.printf("// IDs over the SFM skeleton's {off,len} ranges (see\n")
+	f.printf("// internal/fieldwire). Registered separately from the layouts so a\n")
+	f.printf("// failure here names the wire-map step.\n")
+	f.printf("func init() {\n")
+	for _, full := range names {
+		l, err := g.Reg.SFMLayoutOf(full)
+		if err != nil {
+			return err
+		}
+		f.printf("\tmustRegister(fieldwire.Register(%q, fieldwire.Map{Size: %d, Fields: []fieldwire.Node{\n", full, l.Size)
+		id := uint32(0)
+		g.emitFieldwireNodes(f, l, &id, true)
+		f.printf("\t}}))\n")
+	}
+	f.printf("}\n")
+	return nil
+}
+
+// emitFieldwireNodes renders the node list of one (sub)layout.
+// addressable is false inside array/vector element pseudo-nodes, whose
+// fields are not path-addressable and therefore carry ID 0.
+func (g *Generator) emitFieldwireNodes(f *fileWriter, l *msg.SFMLayout, id *uint32, addressable bool) {
+	for i := range l.Fields {
+		g.emitFieldwireNode(f, &l.Fields[i], id, addressable)
+	}
+}
+
+func (g *Generator) emitFieldwireNode(f *fileWriter, fd *msg.SFMField, id *uint32, addressable bool) {
+	var nid uint32
+	if addressable {
+		*id++
+		nid = *id
+	}
+	t := fd.Type
+	base := t.Base()
+	head := fmt.Sprintf("{ID: %d, Name: %q, Off: %d", nid, fd.Name, fd.Off)
+	switch {
+	case !t.IsArray && base.Prim == msg.PString:
+		f.printf("%s, Len: 8, Kind: fieldwire.KString},\n", head)
+	case !t.IsArray && base.Prim != msg.PNone:
+		// Scalars, including Time/Duration (8 skeleton bytes).
+		f.printf("%s, Len: %d, Kind: fieldwire.KScalar},\n", head, fd.ElemSize)
+	case !t.IsArray:
+		f.printf("%s, Len: %d, Kind: fieldwire.KNested, Elem: []fieldwire.Node{\n", head, fd.Nested.Size)
+		g.emitFieldwireNodes(f, fd.Nested, id, addressable)
+		f.printf("}},\n")
+	case t.ArrayLen >= 0:
+		f.printf("%s, Len: %d, Kind: fieldwire.KArray, ElemSize: %d, ArrayLen: %d",
+			head, fd.ElemSize*t.ArrayLen, fd.ElemSize, t.ArrayLen)
+		g.emitFieldwireElem(f, fd, base)
+		f.printf("},\n")
+	default:
+		f.printf("%s, Len: 8, Kind: fieldwire.KVector, ElemSize: %d", head, fd.ElemSize)
+		g.emitFieldwireElem(f, fd, base)
+		f.printf("},\n")
+	}
+}
+
+// emitFieldwireElem appends the single element pseudo-node of an array
+// or vector whose elements carry structure (strings or nested
+// messages); scalar elements need none — the enclosing range or
+// descriptor payload covers them wholesale.
+func (g *Generator) emitFieldwireElem(f *fileWriter, fd *msg.SFMField, base msg.TypeSpec) {
+	switch {
+	case base.Prim == msg.PString:
+		f.printf(", Elem: []fieldwire.Node{{Kind: fieldwire.KString, Len: 8}}")
+	case base.Prim == msg.PNone:
+		f.printf(", Elem: []fieldwire.Node{{Kind: fieldwire.KNested, Len: %d, Elem: []fieldwire.Node{\n", fd.Nested.Size)
+		g.emitFieldwireNodes(f, fd.Nested, nil, false)
+		f.printf("}}}")
+	}
 }

@@ -142,6 +142,30 @@ type EgressStats struct {
 	BytesPerWrite  ValueHistogram // batch sizes, in bytes
 }
 
+// FieldwireStats instruments selective field transmission
+// (internal/fieldwire), registry-wide. MaskedSubscriptions counts mask
+// negotiations that succeeded (publisher side at accept, subscriber
+// side on entering the sparse pump — a process doing both counts both).
+// BytesSaved is wire payload bytes NOT sent relative to full frames on
+// masked connections. Rejects break down by the stable reason strings
+// of fieldwire.RejectReason; DecodeErrors and MaskFallbacks instrument
+// the subscriber side (malformed sparse payloads dropped, and
+// connections that gave masks up and redialed for full frames).
+type FieldwireStats struct {
+	MaskedSubscriptions Counter // field masks successfully negotiated
+	SparseFrames        Counter // frames shipped as range tables
+	FullFrames          Counter // frames shipped whole on masked conns (per-message fallback)
+	BytesSaved          Counter // payload bytes elided vs full frames
+	MaskRejects         Counter // masks the publisher refused (conn falls back to full frames)
+
+	RejectNoMap      Counter // publisher has no wire map for the type (old build / raw)
+	RejectUnmappable Counter // a requested path names no field
+	RejectVarTail    Counter // variable-length data nested inside a sequence
+
+	DecodeErrors  Counter // malformed sparse payloads dropped by a subscriber
+	MaskFallbacks Counter // subscriber conns that disabled masks and redialed
+}
+
 // FanoutStats instruments the sharded egress fan-out plane,
 // registry-wide: every publisher endpoint whose connection count
 // crosses the sharding threshold (or that was configured with a forced
@@ -223,10 +247,11 @@ type Registry struct {
 	// egress, fanout, relay and graph live outside mu like shm:
 	// instruments are reached through the nil-safe accessors and updated
 	// with atomics only.
-	egress EgressStats
-	fanout FanoutStats
-	relay  RelayStats
-	graph  GraphStats
+	egress    EgressStats
+	fanout    FanoutStats
+	relay     RelayStats
+	graph     GraphStats
+	fieldwire FieldwireStats
 	// eshards holds the per-shard instruments minted by EgressShard, in
 	// mint order. Appends take mu; the instruments themselves are atomic.
 	eshards []*EgressShardStats
@@ -259,6 +284,16 @@ func (r *Registry) Egress() *EgressStats {
 		return nil
 	}
 	return &r.egress
+}
+
+// Fieldwire returns the registry's selective-field-transmission
+// instruments. Safe on a nil registry (returns nil; instrument methods
+// tolerate nil receivers).
+func (r *Registry) Fieldwire() *FieldwireStats {
+	if r == nil {
+		return nil
+	}
+	return &r.fieldwire
 }
 
 // Fanout returns the registry's sharded fan-out instruments. Safe on a
@@ -430,6 +465,27 @@ type EgressShardSnapshot struct {
 	Bytes  uint64 `json:"bytes"`
 }
 
+// FieldwireSnapshot is the JSON form of the selective-field-
+// transmission instruments.
+type FieldwireSnapshot struct {
+	MaskedSubscriptions uint64                  `json:"masked_subscriptions"`
+	SparseFrames        uint64                  `json:"sparse_frames"`
+	FullFrames          uint64                  `json:"full_frames"`
+	BytesSaved          uint64                  `json:"bytes_saved"`
+	MaskRejects         uint64                  `json:"mask_rejects"`
+	RejectReasons       FieldwireRejectSnapshot `json:"rejects_by_reason"`
+	DecodeErrors        uint64                  `json:"decode_errors"`
+	MaskFallbacks       uint64                  `json:"mask_fallbacks"`
+}
+
+// FieldwireRejectSnapshot breaks mask rejects down by reason (the
+// stable strings of fieldwire.RejectReason).
+type FieldwireRejectSnapshot struct {
+	NoMap      uint64 `json:"no_wire_map"`
+	Unmappable uint64 `json:"unmappable_field"`
+	VarTail    uint64 `json:"variable_tail"`
+}
+
 // RelaySnapshot is the JSON form of the relay-tier instruments.
 type RelaySnapshot struct {
 	Active     int64  `json:"active"`
@@ -479,6 +535,7 @@ type Snapshot struct {
 	Core        CoreSnapshot               `json:"core"`
 	Shm         ShmSnapshot                `json:"shm"`
 	Egress      EgressSnapshot             `json:"egress"`
+	Fieldwire   FieldwireSnapshot          `json:"fieldwire"`
 	Relay       RelaySnapshot              `json:"relay"`
 	Graph       GraphSnapshot              `json:"graph"`
 	Publishers  map[string]PubSnapshot     `json:"publishers"`
@@ -550,6 +607,20 @@ func (r *Registry) Snapshot() Snapshot {
 			Writes: s.Writes.Load(),
 			Bytes:  s.Bytes.Load(),
 		})
+	}
+	snap.Fieldwire = FieldwireSnapshot{
+		MaskedSubscriptions: r.fieldwire.MaskedSubscriptions.Load(),
+		SparseFrames:        r.fieldwire.SparseFrames.Load(),
+		FullFrames:          r.fieldwire.FullFrames.Load(),
+		BytesSaved:          r.fieldwire.BytesSaved.Load(),
+		MaskRejects:         r.fieldwire.MaskRejects.Load(),
+		RejectReasons: FieldwireRejectSnapshot{
+			NoMap:      r.fieldwire.RejectNoMap.Load(),
+			Unmappable: r.fieldwire.RejectUnmappable.Load(),
+			VarTail:    r.fieldwire.RejectVarTail.Load(),
+		},
+		DecodeErrors:  r.fieldwire.DecodeErrors.Load(),
+		MaskFallbacks: r.fieldwire.MaskFallbacks.Load(),
 	}
 	snap.Relay = RelaySnapshot{
 		Active:     r.relay.Active.Load(),

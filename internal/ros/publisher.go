@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rossf/internal/core"
+	"rossf/internal/fieldwire"
 	"rossf/internal/obs"
 	"rossf/internal/shm"
 	"rossf/internal/wire"
@@ -425,6 +426,9 @@ type pubEndpoint struct {
 	// analogue of the subscriber's silently-empty-subscription warning.
 	shmFallbacks      atomic.Uint64
 	shmFallbackWarned atomic.Bool
+	// maskRejectWarned arms the warn-once log for rejected subscriber
+	// field masks (see noteMaskReject).
+	maskRejectWarned atomic.Bool
 
 	mu sync.Mutex
 	// pubSeq numbers publishes. Each attachment remembers the sequence
@@ -667,6 +671,23 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	for k, v := range shmFields {
 		reply[k] = v
 	}
+	// Field-mask negotiation: only SFM topics can slice, and shm wins —
+	// a descriptor-moving link has nothing left to save. A reject names
+	// its reason in the reply and the connection proceeds full-frame.
+	var mask *fieldwire.Mask
+	if list := req[hdrFields]; list != "" && ep.sfm && sender == nil {
+		m, merr := ep.resolveFieldMask(list)
+		if merr != nil {
+			reply[hdrFieldwireReject] = fieldwire.RejectReason(merr)
+			ep.noteMaskReject(merr)
+		} else {
+			reply[hdrFieldwire] = fieldwireV1
+			mask = m
+			if fw := ep.node.fieldwireStats(); fw != nil {
+				fw.MaskedSubscriptions.Inc()
+			}
+		}
+	}
 	if err := writeHeader(conn, reply); err != nil {
 		if sender != nil {
 			sender.store.RetirePeer(sender.peer)
@@ -681,6 +702,8 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 		stats:        ep.stats,
 		egress:       ep.node.metrics.Egress(),
 		shm:          sender,
+		mask:         mask,
+		fw:           ep.node.fieldwireStats(),
 		stop:         make(chan struct{}),
 	}
 	ep.mu.Lock()
@@ -694,11 +717,12 @@ func (ep *pubEndpoint) acceptConn(conn net.Conn, req map[string]string) error {
 	}
 	// Shard routing: plain TCP connections go to the pool once it is (or
 	// should be) live; shm connections always keep a dedicated loop, as
-	// their descriptors are per-peer. The join, the latch enqueue and the
-	// pool bring-up all happen inside this critical section, so a
-	// concurrent publish either precedes the join (lastSeq covers it) or
-	// follows the latch in the shard's queue.
-	if sender == nil && ep.egressShards >= 0 &&
+	// their descriptors are per-peer, and so do mask-negotiated ones,
+	// whose frames are encoded per connection. The join, the latch
+	// enqueue and the pool bring-up all happen inside this critical
+	// section, so a concurrent publish either precedes the join (lastSeq
+	// covers it) or follows the latch in the shard's queue.
+	if sender == nil && mask == nil && ep.egressShards >= 0 &&
 		(ep.pool != nil || ep.egressShards > 0 || len(ep.conns) >= autoShardThreshold) {
 		if ep.pool == nil {
 			n := ep.egressShards
@@ -869,9 +893,11 @@ func (ep *pubEndpoint) close() {
 type pubConn struct {
 	conn         net.Conn
 	writeTimeout time.Duration
-	stats        *obs.PubStats    // nil when metrics are disabled
-	egress       *obs.EgressStats // nil when metrics are disabled
-	shm          *shmSender       // non-nil on connections that negotiated shm
+	stats        *obs.PubStats       // nil when metrics are disabled
+	egress       *obs.EgressStats    // nil when metrics are disabled
+	shm          *shmSender          // non-nil on connections that negotiated shm
+	mask         *fieldwire.Mask     // non-nil on connections that negotiated a field mask
+	fw           *obs.FieldwireStats // nil when metrics are disabled
 	ch           chan frameItem
 
 	// latchSeen is the pubSeq of the last publish whose fan-out included
@@ -935,6 +961,10 @@ func (pc *pubConn) enqueue(it frameItem) {
 // subscriber that stopped draining the socket) drops the connection;
 // the subscriber's retry loop re-establishes the link once it recovers.
 func (pc *pubConn) writeLoop() {
+	if pc.mask != nil {
+		pc.writeLoopSparse()
+		return
+	}
 	b := newEgressBatch(pc)
 	defer b.close()
 	for {

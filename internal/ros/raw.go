@@ -34,12 +34,16 @@ func SubscribeRaw(n *Node, topic, typeName, md5 string, sfm bool,
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if len(cfg.fields) > 0 && !sfm {
+		return nil, errors.New("ros: WithFields requires the sfm wire regime")
+	}
 	s := &Subscriber{
 		node:      n,
 		topic:     topic,
 		retry:     cfg.retry.withDefaults(),
 		connState: cfg.connState,
 		noRelay:   cfg.noRelay,
+		fields:    cfg.fields,
 		stats:     n.metrics.Subscriber(topic),
 		conns:     make(map[string]*subConn),
 		inproc:    make(map[*pubEndpoint]struct{}),

@@ -152,6 +152,7 @@ type subConfig struct {
 	retry     RetryPolicy
 	connState func(addr string, state ConnState)
 	noRelay   bool
+	fields    []string // field mask offered at handshake (see WithFields)
 }
 
 // WithTransport selects the subscriber transport mode.
@@ -214,6 +215,7 @@ type Subscriber struct {
 	transport   TransportMode
 	connState   func(addr string, state ConnState)
 	noRelay     bool
+	fields      []string      // field mask offered at handshake
 	stats       *obs.SubStats // nil when the node's metrics are disabled
 
 	corrupt atomic.Uint64 // frames rejected by checksum
@@ -401,6 +403,7 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 		transport: cfg.transport,
 		connState: cfg.connState,
 		noRelay:   cfg.noRelay,
+		fields:    cfg.fields,
 		stats:     n.metrics.Subscriber(topic),
 		conns:     make(map[string]*subConn),
 		inproc:    make(map[*pubEndpoint]struct{}),
@@ -417,6 +420,9 @@ func Subscribe[T any](n *Node, topic string, cb func(*T), opts ...SubOption) (*S
 		s.rt = &sfmRuntime[T]{sub: s, cb: cb, layout: layout, mgr: cfg.manager,
 			typeName: typeName, md5: md5}
 	case isSerializableType[T]():
+		if len(cfg.fields) > 0 {
+			return nil, fmt.Errorf("ros: subscribe %s: WithFields requires a serialization-free message type", typeName)
+		}
 		s.rt = &ros1Runtime[T]{sub: s, cb: cb, typeName: typeName, md5: md5}
 	default:
 		return nil, fmt.Errorf("ros: type %T implements neither Serializable nor SFMessage", new(T))
@@ -639,6 +645,9 @@ func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent boo
 		fields[hdrPID] = pidString()
 		fields[hdrBootID] = shm.BootID()
 	}
+	if sfm && len(s.fields) > 0 && !sc.fieldsDisabled() {
+		fields[hdrFields] = s.fieldsOffer()
+	}
 	if err := writeHeader(conn, fields); err != nil {
 		return false, false
 	}
@@ -672,6 +681,18 @@ func (s *Subscriber) runOnce(addr string, sc *subConn) (connected, permanent boo
 		s.notifyState(addr, ConnConnected)
 		rt.runConnShm(conn, mp)
 		mp.Close()
+		return true, false
+	}
+	if reply[hdrFieldwire] == fieldwireV1 {
+		rt, okRT := s.rt.(sparseRuntime)
+		if !okRT {
+			// The publisher accepted a mask this runtime cannot decode —
+			// a protocol-revision mismatch. Redial mask-less.
+			sc.disableFields()
+			return false, false
+		}
+		s.notifyState(addr, ConnConnected)
+		rt.runConnSparse(conn, reply, sc)
 		return true, false
 	}
 	s.notifyState(addr, ConnConnected)
@@ -732,12 +753,13 @@ func (s *Subscriber) Close() {
 // read or a backoff sleep. Across reconnect attempts the same subConn
 // is rebound to each new connection.
 type subConn struct {
-	mu     sync.Mutex
-	addr   string
-	conn   net.Conn
-	closed bool
-	noShm  bool // link-local shm opt-out after a failed shm setup
-	done   chan struct{}
+	mu       sync.Mutex
+	addr     string
+	conn     net.Conn
+	closed   bool
+	noShm    bool // link-local shm opt-out after a failed shm setup
+	noFields bool // link-local field-mask opt-out after decode failures
+	done     chan struct{}
 }
 
 func newSubConn(addr string) *subConn {
@@ -771,6 +793,20 @@ func (c *subConn) shmDisabled() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.noShm
+}
+
+// disableFields stops this link from offering a field mask on future
+// redials (after persistent sparse-decode failure).
+func (c *subConn) disableFields() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noFields = true
+}
+
+func (c *subConn) fieldsDisabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.noFields
 }
 
 // sleep waits for d or until the link closes; it reports false when the

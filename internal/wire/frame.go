@@ -66,6 +66,15 @@ func Checksum2(a, b []byte) uint32 {
 	return crc32.Update(crc32.Checksum(a, castagnoli), castagnoli, b)
 }
 
+// ChecksumUpdate extends a CRC-32C state with more payload bytes:
+// ChecksumUpdate(Checksum(a), b) == Checksum(a||b). It exists for
+// frames assembled from several non-contiguous spans (the sparse
+// field-wire encoding), where the concatenation never materializes.
+func ChecksumUpdate(crc uint32, p []byte) uint32 {
+	checksumBytes.Add(uint64(len(p)))
+	return crc32.Update(crc, castagnoli, p)
+}
+
 // PutFrameHeader encodes a frame header into hdr, which must be at
 // least FrameHeaderSize bytes.
 func PutFrameHeader(hdr []byte, payloadLen int, crc uint32) {

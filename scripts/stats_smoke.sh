@@ -101,6 +101,11 @@ if command -v jq >/dev/null 2>&1; then
         and (.obs.shm.fallbacks_by_reason
              | has("oversized") and has("heap_arena") and has("peer_table_full")
                and has("remote_peer") and has("old_build"))
+        and (.obs.fieldwire | has("masked_subscriptions") and has("sparse_frames")
+             and has("full_frames") and has("bytes_saved") and has("mask_rejects")
+             and has("decode_errors") and has("mask_fallbacks"))
+        and (.obs.fieldwire.rejects_by_reason
+             | has("no_wire_map") and has("unmappable_field") and has("variable_tail"))
     ' >/dev/null || {
         echo "stats-smoke: /metrics JSON failed schema check:" >&2
         echo "$JSON" >&2
@@ -109,7 +114,9 @@ if command -v jq >/dev/null 2>&1; then
 else
     for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"' \
         '"fanout"' '"active_shards"' '"shards"' '"relay"' '"frames_in"' \
-        '"fallbacks_by_reason"' '"heap_arena"' '"promotions"'; do
+        '"fallbacks_by_reason"' '"heap_arena"' '"promotions"' \
+        '"fieldwire"' '"masked_subscriptions"' '"sparse_frames"' '"bytes_saved"' \
+        '"mask_rejects"' '"rejects_by_reason"' '"no_wire_map"'; do
         if ! echo "$JSON" | grep -q "$key"; then
             echo "stats-smoke: /metrics JSON missing $key" >&2
             exit 1
