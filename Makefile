@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc bench-egress bench-fanout bench-netfield chaos chaos-master fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress bench-fanout bench-netfield bench-ingress mutex-smoke chaos chaos-master fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -60,6 +60,22 @@ bench-egress:
 # skipped in the JSON.
 bench-fanout:
 	$(GO) run ./cmd/rossf-bench fanout -out BENCH_fanout.json
+
+# Receive-side matrix: batched ingress drain (one Read wakeup draining
+# many frames) vs the legacy two-syscalls-per-frame path, measured in
+# the same binary via ros.SetLegacyIngress, plus the sharded-registry
+# contention cells (64 goroutines x 10k topics; scan-stall bound vs the
+# single-mutex layout) -> BENCH_ingress.json.
+bench-ingress:
+	$(GO) run ./cmd/rossf-bench ingress -out BENCH_ingress.json
+
+# Mutex-contention smoke: with mutex profiling at fraction 1, hammer
+# per-topic instrument lookups (64 goroutines x 10k topics), then read
+# the node's own /debug/pprof/mutex endpoint and assert the obs
+# registry no longer dominates the recorded contention (exit 1 if it
+# does).
+mutex-smoke:
+	$(GO) run ./cmd/rossf-bench mutexsmoke
 
 # Field-wire partial transmission over netsim 10 GbE: bytes on the wire
 # and latency for a header-only sensor_msgs/Image consumer, masked

@@ -12,6 +12,8 @@
 //	rossf-bench egress [-messages N] [-repeats N] [-out BENCH_egress.json]
 //	rossf-bench fanout [-messages N] [-repeats N] [-shards N] [-maxsubs N] [-out BENCH_fanout.json]
 //	rossf-bench netfield [-messages N] [-repeats N] [-fields a,b] [-out BENCH_netfield.json]
+//	rossf-bench ingress [-frames N] [-repeats N] [-goroutines N] [-topics N] [-out BENCH_ingress.json]
+//	rossf-bench mutexsmoke [-goroutines N] [-topics N]
 //	rossf-bench all
 //
 // -full selects the paper's exact run lengths (2000 messages at 10 Hz),
@@ -41,7 +43,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|netfield|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|netfield|ingress|mutexsmoke|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -63,12 +65,16 @@ func run(args []string) error {
 		return runFanout(rest)
 	case "netfield":
 		return runNetfield(rest)
+	case "ingress":
+		return runIngress(rest)
+	case "mutexsmoke":
+		return runMutexSmoke(rest)
 	case "fanout-drain":
 		// Internal: drain-worker child spawned by the fanout runner so
 		// the 10000-subscriber cells fit under per-process FD limits.
 		return runFanoutDrain(rest)
 	case "all":
-		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress, runFanout, runNetfield} {
+		for _, c := range []func([]string) error{runFig13, runFig14, runFig16, runFig18, runTable1, runIPC, runEgress, runFanout, runNetfield, runIngress, runMutexSmoke} {
 			if err := c(nil); err != nil {
 				return err
 			}
@@ -326,6 +332,59 @@ func runNetfield(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runIngress(args []string) error {
+	fs := flag.NewFlagSet("ingress", flag.ContinueOnError)
+	frames := fs.Int("frames", 30000, "measured frames at the smallest payload size")
+	repeats := fs.Int("repeats", 3, "runs per (cell, mode); the best run is reported")
+	goroutines := fs.Int("goroutines", 64, "workers in the registry-contention cells")
+	topics := fs.Int("topics", 10000, "topic namespace width in the registry-contention cells")
+	ops := fs.Int("ops", 50000, "lookups per worker in the registry-contention cells")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_ingress.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunIngress(bench.IngressConfig{
+		Frames: *frames, Repeats: *repeats,
+		Goroutines: *goroutines, Topics: *topics, Ops: *ops,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runMutexSmoke(args []string) error {
+	fs := flag.NewFlagSet("mutexsmoke", flag.ContinueOnError)
+	goroutines := fs.Int("goroutines", 64, "workers hammering per-topic lookups")
+	topics := fs.Int("topics", 10000, "topic namespace width")
+	ops := fs.Int("ops", 20000, "lookups per worker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunMutexSmoke(bench.MutexSmokeConfig{
+		Goroutines: *goroutines, Topics: *topics, Ops: *ops,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if !res.Pass {
+		return fmt.Errorf("obs registry dominates the mutex profile (%.1f%% >= 50%%)", res.ObsShare*100)
 	}
 	return nil
 }

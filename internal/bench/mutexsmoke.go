@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"rossf/internal/obs"
+	"rossf/internal/ros"
+)
+
+// MutexSmokeConfig drives the registry-contention mutex profile check:
+// with mutex profiling at fraction 1, the identical workload — a
+// lookup storm under continuous introspection scans — runs through a
+// single-mutex replica of the pre-sharding registry layout and through
+// the real striped obs.Registry, then the node's own
+// /debug/pprof/mutex endpoint is read. Two design points keep the
+// verdict honest:
+//
+//   - The in-process baseline is required for the share to mean
+//     anything. When the smoke's hammer is the only lock activity in
+//     the process, the registry would trivially be ~100% of whatever
+//     contention exists, however small; measured against the same
+//     workload on one lock, "no longer dominates" does mean something.
+//   - The scans are what make the profile deterministic. A pure lookup
+//     storm on a small host barely parks: each lookup holds its lock
+//     for nanoseconds, so a waiter almost never blocks and the profile
+//     reads ~0 for both layouts — a vacuous pass. A scan holds the
+//     lock for a full table (or stripe) walk, so lookups reliably park
+//     behind it and record real blocked time: the whole table's worth
+//     behind the single mutex, one stripe's worth behind the shards.
+type MutexSmokeConfig struct {
+	Goroutines int // defaults to 64
+	Topics     int // defaults to 10000
+	Ops        int // lookups per goroutine; defaults to 20000
+}
+
+// MutexSmokeResult reports what the profile showed.
+type MutexSmokeResult struct {
+	TotalContentionNs    int64   // summed delay across all profiled mutexes
+	BaselineContentionNs int64   // the slice attributed to the single-mutex replica
+	ObsContentionNs      int64   // the slice attributed to rossf/internal/obs frames
+	ObsShare             float64 // obs / (obs + baseline)
+	Pass                 bool    // ObsShare below the dominance threshold
+}
+
+// mutexDominanceShare is the pass line: under the identical lookup
+// storm, the striped registry counts as "no longer dominating" when it
+// records less than half of the contention split between it and the
+// single-mutex baseline — i.e. strictly less blocked time than the
+// pre-sharding layout it replaced.
+const mutexDominanceShare = 0.5
+
+// RunMutexSmoke runs the contention workload and evaluates the profile.
+func RunMutexSmoke(cfg MutexSmokeConfig) (*MutexSmokeResult, error) {
+	if cfg.Goroutines == 0 {
+		cfg.Goroutines = 64
+	}
+	if cfg.Topics == 0 {
+		cfg.Topics = 10000
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 20000
+	}
+
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+
+	reg := obs.NewRegistry()
+	node, err := ros.NewNode("mutex_smoke",
+		ros.WithMaster(ros.NewLocalMaster()),
+		ros.WithMetrics(reg),
+		ros.WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+
+	// Same storm, two layouts: the single-lock replica first, then the
+	// striped registry. Both land in the one mutex profile the endpoint
+	// serves; frame attribution separates them.
+	baseline := &singleMutexObs{pubs: make(map[string]*obs.PubStats)}
+	for _, name := range contentionNames(cfg.Topics) {
+		baseline.publisher(name)
+		reg.Publisher(name)
+	}
+	runUnderScans(
+		func() { baseline.scanHold() },
+		func() {
+			contentionWorkers(cfg.Goroutines, cfg.Topics, cfg.Ops, func(name string) {
+				baseline.publisher(name).Messages.Inc()
+			})
+		})
+	runUnderScans(
+		func() { reg.Snapshot() },
+		func() {
+			contentionWorkers(cfg.Goroutines, cfg.Topics, cfg.Ops, func(name string) {
+				reg.Publisher(name).Messages.Inc()
+			})
+		})
+
+	resp, err := http.Get("http://" + node.MetricsAddr() + "/debug/pprof/mutex?debug=1")
+	if err != nil {
+		return nil, fmt.Errorf("fetch mutex profile: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mutex profile endpoint returned %s", resp.Status)
+	}
+	res, err := evalMutexProfile(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if res.ObsContentionNs+res.BaselineContentionNs == 0 {
+		return nil, fmt.Errorf("mutex profile recorded no registry contention at all — the workload did not exercise the locks, verdict would be vacuous")
+	}
+	return res, nil
+}
+
+// runUnderScans runs workload while a scanner goroutine performs scans
+// back to back, stopping the scanner when the workload returns.
+func runUnderScans(scan, workload func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				scan()
+			}
+		}
+	}()
+	workload()
+	close(done)
+	<-finished
+}
+
+// evalMutexProfile parses the debug=1 text form of the mutex profile: a
+// "cycles/second=N" header, then sample records of
+// "cycles count @ pc pc ..." each followed by
+// "#\t0x... pkg.func+off file:line" frame lines. A sample's delay is
+// attributed to the obs registry when any of its frames lives in
+// rossf/internal/obs, and to the baseline when any frame is the
+// single-mutex replica's lookup (obs wins if both somehow appear — it
+// is the innermost callee).
+func evalMutexProfile(r io.Reader) (*MutexSmokeResult, error) {
+	cyclesPerNs := 1.0
+	res := &MutexSmokeResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var sampleCycles int64
+	var sampleIsObs, sampleIsBaseline, inSample bool
+	flush := func() {
+		if !inSample {
+			return
+		}
+		ns := int64(float64(sampleCycles) / cyclesPerNs)
+		res.TotalContentionNs += ns
+		if sampleIsObs {
+			res.ObsContentionNs += ns
+		} else if sampleIsBaseline {
+			res.BaselineContentionNs += ns
+		}
+		inSample, sampleIsObs, sampleIsBaseline = false, false, false
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cycles/second="):
+			if hz, err := strconv.ParseFloat(strings.TrimPrefix(line, "cycles/second="), 64); err == nil && hz > 0 {
+				cyclesPerNs = hz / 1e9
+			}
+		case strings.HasPrefix(line, "#"):
+			if inSample {
+				if strings.Contains(line, "rossf/internal/obs.") {
+					sampleIsObs = true
+				} else if strings.Contains(line, "singleMutexObs") {
+					sampleIsBaseline = true
+				}
+			}
+		case strings.Contains(line, " @ "):
+			flush()
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if cyc, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					sampleCycles = cyc
+					inSample = true
+				}
+			}
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if split := res.ObsContentionNs + res.BaselineContentionNs; split > 0 {
+		res.ObsShare = float64(res.ObsContentionNs) / float64(split)
+	}
+	res.Pass = res.ObsShare < mutexDominanceShare
+	return res, nil
+}
+
+// Format renders the smoke verdict.
+func (r *MutexSmokeResult) Format() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"Mutex smoke — striped obs registry vs single-mutex baseline, identical lookup storm\n"+
+			"  single-mutex baseline: %d ns blocked\n"+
+			"  striped obs registry:  %d ns blocked (%.1f%% of the split)\n"+
+			"  profile total:         %d ns blocked\n"+
+			"  threshold:             obs < %.0f%% of obs+baseline\n"+
+			"  %s\n",
+		r.BaselineContentionNs, r.ObsContentionNs, r.ObsShare*100,
+		r.TotalContentionNs, mutexDominanceShare*100, verdict)
+}

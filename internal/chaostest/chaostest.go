@@ -177,6 +177,13 @@ func (r *receiver) accept(body string) {
 	r.seen[i] = struct{}{}
 }
 
+// total returns how many payloads reached the callback, valid or not.
+func (r *receiver) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint64(r.count)
+}
+
 // distinct returns how many distinct valid sequence numbers arrived.
 func (r *receiver) distinct() int {
 	r.mu.Lock()

@@ -234,36 +234,68 @@ type ServiceStats struct {
 	Latency Histogram // request → response latency
 }
 
-// Registry is a namespace of per-topic and per-service instruments.
-// Instrument lookup takes a mutex; the instruments themselves are
-// returned once, cached by the caller, and updated with atomics only —
-// nothing on a message hot path ever touches the registry lock.
-type Registry struct {
+// registryShardCount is the number of hash stripes the instrument maps
+// are split across. Power of two so the stripe index is a mask; 16
+// stripes keep 64 concurrent lookup goroutines mostly collision-free
+// while the per-stripe maps stay dense.
+const registryShardCount = 16
+
+// registryShard is one stripe of the instrument namespace: its own lock
+// plus the slice of each map whose keys hash here.
+type registryShard struct {
 	mu   sync.Mutex
 	pubs map[string]*PubStats
 	subs map[string]*SubStats
 	svcs map[string]*ServiceStats
-	shm  ShmStats
-	// egress, fanout, relay and graph live outside mu like shm:
-	// instruments are reached through the nil-safe accessors and updated
-	// with atomics only.
+}
+
+// shardIndex stripes an instrument name with FNV-1a (inlined so lookup
+// allocates nothing).
+func shardIndex(key string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return h & (registryShardCount - 1)
+}
+
+// Registry is a namespace of per-topic and per-service instruments.
+// Instrument lookup takes one stripe's mutex — distinct topics hash to
+// distinct stripes, so concurrent lookups on a 10k-topic graph don't
+// serialize on a single lock. The instruments themselves are returned
+// once, cached by the caller, and updated with atomics only — nothing
+// on a message hot path ever touches a registry lock. Snapshots merge
+// the stripes, so aggregated views are identical to the single-map
+// layout's.
+type Registry struct {
+	shards [registryShardCount]registryShard
+	shm    ShmStats
+	// egress, fanout, relay and graph live outside the stripe locks like
+	// shm: instruments are reached through the nil-safe accessors and
+	// updated with atomics only.
 	egress    EgressStats
 	fanout    FanoutStats
 	relay     RelayStats
 	graph     GraphStats
 	fieldwire FieldwireStats
 	// eshards holds the per-shard instruments minted by EgressShard, in
-	// mint order. Appends take mu; the instruments themselves are atomic.
-	eshards []*EgressShardStats
+	// mint order, under its own small lock (mints are rare; snapshots
+	// copy the slice).
+	eshardMu sync.Mutex
+	eshards  []*EgressShardStats
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		pubs: make(map[string]*PubStats),
-		subs: make(map[string]*SubStats),
-		svcs: make(map[string]*ServiceStats),
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].pubs = make(map[string]*PubStats)
+		r.shards[i].subs = make(map[string]*SubStats)
+		r.shards[i].svcs = make(map[string]*ServiceStats)
 	}
+	return r
 }
 
 // Shm returns the registry's shared-memory transport instruments. Safe
@@ -325,9 +357,9 @@ func (r *Registry) EgressShard() *EgressShardStats {
 		return nil
 	}
 	s := &EgressShardStats{}
-	r.mu.Lock()
+	r.eshardMu.Lock()
 	r.eshards = append(r.eshards, s)
-	r.mu.Unlock()
+	r.eshardMu.Unlock()
 	return s
 }
 
@@ -352,12 +384,13 @@ func (r *Registry) Publisher(topic string) *PubStats {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.pubs[topic]
+	sh := &r.shards[shardIndex(topic)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.pubs[topic]
 	if s == nil {
 		s = &PubStats{}
-		r.pubs[topic] = s
+		sh.pubs[topic] = s
 	}
 	return s
 }
@@ -368,12 +401,13 @@ func (r *Registry) Subscriber(topic string) *SubStats {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.subs[topic]
+	sh := &r.shards[shardIndex(topic)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.subs[topic]
 	if s == nil {
 		s = &SubStats{}
-		r.subs[topic] = s
+		sh.subs[topic] = s
 	}
 	return s
 }
@@ -384,12 +418,13 @@ func (r *Registry) Service(name string) *ServiceStats {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.svcs[name]
+	sh := &r.shards[shardIndex(name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.svcs[name]
 	if s == nil {
 		s = &ServiceStats{}
-		r.svcs[name] = s
+		sh.svcs[name] = s
 	}
 	return s
 }
@@ -597,9 +632,9 @@ func (r *Registry) Snapshot() Snapshot {
 			Shards:       []EgressShardSnapshot{},
 		},
 	}
-	r.mu.Lock()
+	r.eshardMu.Lock()
 	eshards := append([]*EgressShardStats(nil), r.eshards...)
-	r.mu.Unlock()
+	r.eshardMu.Unlock()
 	for _, s := range eshards {
 		snap.Egress.Fanout.Shards = append(snap.Egress.Fanout.Shards, EgressShardSnapshot{
 			Conns:  s.Conns.Load(),
@@ -638,20 +673,30 @@ func (r *Registry) Snapshot() Snapshot {
 		MalformedLines:   r.graph.MalformedLines.Load(),
 		Degraded:         r.graph.Degraded.Load(),
 	}
-	r.mu.Lock()
-	pubs := make(map[string]*PubStats, len(r.pubs))
-	for k, v := range r.pubs {
-		pubs[k] = v
+	// Merge the stripes: each shard is copied under its own lock, so a
+	// snapshot never stalls lookups on other stripes. The merged view is
+	// identical to the single-map layout's — stripe assignment is an
+	// implementation detail no key ever sees. The destination maps are
+	// pre-sized from a cheap counting pass so no stripe's lock hold pays
+	// for a rehash.
+	np, ns, nv := r.stripeLens()
+	pubs := make(map[string]*PubStats, np)
+	subs := make(map[string]*SubStats, ns)
+	svcs := make(map[string]*ServiceStats, nv)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.pubs {
+			pubs[k] = v
+		}
+		for k, v := range sh.subs {
+			subs[k] = v
+		}
+		for k, v := range sh.svcs {
+			svcs[k] = v
+		}
+		sh.mu.Unlock()
 	}
-	subs := make(map[string]*SubStats, len(r.subs))
-	for k, v := range r.subs {
-		subs[k] = v
-	}
-	svcs := make(map[string]*ServiceStats, len(r.svcs))
-	for k, v := range r.svcs {
-		svcs[k] = v
-	}
-	r.mu.Unlock()
 	for k, v := range pubs {
 		snap.Publishers[k] = PubSnapshot{
 			Messages: v.Messages.Load(),
@@ -683,21 +728,74 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// ScanHolds measures, for each stripe, how long an aggregation scan
+// holds that stripe's lock — the merge loop in Snapshot copies a
+// stripe's instrument maps while data-plane lookups hashing to the same
+// stripe wait. The largest entry bounds the stall any single lookup can
+// see behind introspection; the single-lock layout this replaced held
+// one lock across the whole table for the same scan. The contention
+// bench (rossf-bench ingress) compares the two.
+func (r *Registry) ScanHolds() []time.Duration {
+	if r == nil {
+		return nil
+	}
+	out := make([]time.Duration, 0, registryShardCount)
+	np, ns, nv := r.stripeLens()
+	pubs := make(map[string]*PubStats, np)
+	subs := make(map[string]*SubStats, ns)
+	svcs := make(map[string]*ServiceStats, nv)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		t0 := time.Now()
+		sh.mu.Lock()
+		for k, v := range sh.pubs {
+			pubs[k] = v
+		}
+		for k, v := range sh.subs {
+			subs[k] = v
+		}
+		for k, v := range sh.svcs {
+			svcs[k] = v
+		}
+		sh.mu.Unlock()
+		out = append(out, time.Since(t0))
+	}
+	return out
+}
+
+// stripeLens counts the instruments per class across all stripes (each
+// stripe under its own brief lock) so merge destinations can be
+// pre-sized before any copying hold begins.
+func (r *Registry) stripeLens() (pubs, subs, svcs int) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		pubs += len(sh.pubs)
+		subs += len(sh.subs)
+		svcs += len(sh.svcs)
+		sh.mu.Unlock()
+	}
+	return pubs, subs, svcs
+}
+
 // Topics returns the sorted union of topics with publisher or
 // subscriber instruments (for CLI display).
 func (r *Registry) Topics() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	set := make(map[string]struct{}, len(r.pubs)+len(r.subs))
-	for k := range r.pubs {
-		set[k] = struct{}{}
+	set := make(map[string]struct{})
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for k := range sh.pubs {
+			set[k] = struct{}{}
+		}
+		for k := range sh.subs {
+			set[k] = struct{}{}
+		}
+		sh.mu.Unlock()
 	}
-	for k := range r.subs {
-		set[k] = struct{}{}
-	}
-	r.mu.Unlock()
 	out := make([]string, 0, len(set))
 	for k := range set {
 		out = append(out, k)

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// singleLockRegistry is the pre-sharding reference layout: one mutex
+// over the whole instrument namespace. The equivalence test drives an
+// identical workload through it and through the sharded Registry, then
+// requires byte-identical aggregated views.
+type singleLockRegistry struct {
+	mu   sync.Mutex
+	pubs map[string]*PubStats
+	subs map[string]*SubStats
+}
+
+func (r *singleLockRegistry) publisher(topic string) *PubStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.pubs[topic]
+	if s == nil {
+		s = &PubStats{}
+		r.pubs[topic] = s
+	}
+	return s
+}
+
+func (r *singleLockRegistry) subscriber(topic string) *SubStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.subs[topic]
+	if s == nil {
+		s = &SubStats{}
+		r.subs[topic] = s
+	}
+	return s
+}
+
+// TestShardedRegistryEquivalence drives the same concurrent workload —
+// interleaved instrument lookups and atomic updates across many topics
+// — into the sharded Registry and the single-lock reference, then
+// requires the sharded snapshot's per-topic aggregates to be
+// byte-identical (as JSON) to the reference's. Stripe assignment must
+// be invisible in every aggregated view.
+func TestShardedRegistryEquivalence(t *testing.T) {
+	const workers = 16
+	const topicsPerWorker = 50
+
+	sharded := NewRegistry()
+	ref := &singleLockRegistry{
+		pubs: map[string]*PubStats{},
+		subs: map[string]*SubStats{},
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < topicsPerWorker; i++ {
+				topic := fmt.Sprintf("/shardeq/w%d/t%d", w, i)
+				// Lookup several times (idempotent create) and update both
+				// registries identically.
+				sp, rp := sharded.Publisher(topic), ref.publisher(topic)
+				sharded.Publisher(topic) // second lookup must return the same instrument
+				for k := 0; k < 7; k++ {
+					sp.Messages.Inc()
+					rp.Messages.Inc()
+				}
+				sp.Bytes.Add(uint64(w*1000 + i))
+				rp.Bytes.Add(uint64(w*1000 + i))
+				ss, rs := sharded.Subscriber(topic), ref.subscriber(topic)
+				ss.Messages.Add(3)
+				rs.Messages.Add(3)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := sharded.Snapshot()
+	if len(snap.Publishers) != workers*topicsPerWorker {
+		t.Fatalf("sharded snapshot has %d publishers, want %d", len(snap.Publishers), workers*topicsPerWorker)
+	}
+	// Build the reference's view through the same snapshot structs and
+	// compare as canonical JSON: identical keys, identical values.
+	refPubs := map[string]PubSnapshot{}
+	for k, v := range ref.pubs {
+		refPubs[k] = PubSnapshot{
+			Messages: v.Messages.Load(),
+			Bytes:    v.Bytes.Load(),
+			Drops:    v.Drops.Load(),
+			FanOut:   v.FanOut.Load(),
+			Latched:  v.Latched.Load(),
+		}
+	}
+	refSubs := map[string]SubSnapshot{}
+	for k, v := range ref.subs {
+		refSubs[k] = SubSnapshot{
+			Messages:             v.Messages.Load(),
+			Bytes:                v.Bytes.Load(),
+			Drops:                v.Drops.Load(),
+			Reconnects:           v.Reconnects.Load(),
+			Corrupt:              v.Corrupt.Load(),
+			Stale:                v.Stale.Load(),
+			TransportUnavailable: v.TransportUnavailable.Load(),
+			Latency:              v.Latency.Stats(),
+		}
+	}
+	gotPubs, _ := json.Marshal(snap.Publishers)
+	wantPubs, _ := json.Marshal(refPubs)
+	if string(gotPubs) != string(wantPubs) {
+		t.Fatalf("sharded publisher snapshot differs from single-lock reference\nsharded: %.200s\nref:     %.200s", gotPubs, wantPubs)
+	}
+	gotSubs, _ := json.Marshal(snap.Subscribers)
+	wantSubs, _ := json.Marshal(refSubs)
+	if string(gotSubs) != string(wantSubs) {
+		t.Fatalf("sharded subscriber snapshot differs from single-lock reference\nsharded: %.200s\nref:     %.200s", gotSubs, wantSubs)
+	}
+
+	// Topics() must be the sorted union, independent of striping.
+	topics := sharded.Topics()
+	if len(topics) != workers*topicsPerWorker {
+		t.Fatalf("Topics() returned %d names, want %d", len(topics), workers*topicsPerWorker)
+	}
+	for i := 1; i < len(topics); i++ {
+		if topics[i-1] >= topics[i] {
+			t.Fatalf("Topics() not sorted at %d: %q >= %q", i, topics[i-1], topics[i])
+		}
+	}
+}
+
+// TestShardedRegistryLookupStability: a topic's instrument pointer is
+// minted once and returned forever after, under concurrent first-touch
+// races.
+func TestShardedRegistryLookupStability(t *testing.T) {
+	r := NewRegistry()
+	const topic = "/stable/topic"
+	const workers = 32
+	ptrs := make([]*PubStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ptrs[w] = r.Publisher(topic)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ptrs[w] != ptrs[0] {
+			t.Fatalf("worker %d got a different instrument pointer", w)
+		}
+	}
+}
+
+// TestShardedRegistrySnapshotDuringChurn runs snapshots concurrently
+// with lookups and updates — the race detector turns any unguarded
+// stripe access into a failure, and snapshots must always be internally
+// consistent (no torn map reads).
+func TestShardedRegistrySnapshotDuringChurn(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Publisher(fmt.Sprintf("/churn/w%d/t%d", w, i%100)).Messages.Inc()
+				r.Subscriber(fmt.Sprintf("/churn/w%d/t%d", w, i%100)).Messages.Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		snap := r.Snapshot()
+		for k := range snap.Publishers {
+			if k == "" {
+				t.Fatal("empty topic key in snapshot")
+			}
+		}
+		r.Topics()
+	}
+	close(stop)
+	wg.Wait()
+}

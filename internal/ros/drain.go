@@ -53,3 +53,41 @@ func DialDrain(addr, topic, typeName, md5, callerID string, sfm bool) (net.Conn,
 	conn.SetDeadline(zeroTime())
 	return conn, nil
 }
+
+// DrainFrames consumes count checked frames from a drained connection
+// through the subscriber's own frame-reading path — batched ingress by
+// default, the sequential per-frame path under SetLegacyIngress — with
+// per-frame CRC verification exactly as the receive pumps do. It is the
+// ingress bench's measurement loop: the real reader, none of the
+// dispatch. progress (optional) is called with the running total after
+// every verified frame, so a pacing publisher can run a credit window
+// against it. Corrupt frames are dropped and do not count.
+func DrainFrames(conn net.Conn, count int, progress func(delivered int)) error {
+	fr := newFrameReader(conn)
+	defer fr.release()
+	var scratch scratchBuf
+	for delivered := 0; delivered < count; {
+		n, crc, err := fr.next()
+		if err != nil {
+			return err
+		}
+		buf, ok, err := fr.payload(n)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			buf = scratch.take(n)
+			if err := fr.readFull(buf); err != nil {
+				return err
+			}
+		}
+		if !fr.verify(buf, crc) {
+			continue
+		}
+		delivered++
+		if progress != nil {
+			progress(delivered)
+		}
+	}
+	return nil
+}

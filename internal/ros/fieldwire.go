@@ -1,7 +1,6 @@
 package ros
 
 import (
-	"io"
 	"log"
 	"net"
 	"strings"
@@ -309,9 +308,19 @@ func (r *sfmRuntime[T]) runConnSparse(conn net.Conn, pubHeader map[string]string
 		if err != nil {
 			return
 		}
-		payload := scratch.take(n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		r.sub.noteResync(fr)
+		// Sparse payloads are parsed and materialized before the next
+		// reader call, so the batch's in-place slice is safe; oversized
+		// payloads and the legacy path copy through scratch.
+		payload, ok, err := fr.payload(n)
+		if err != nil {
 			return
+		}
+		if !ok {
+			payload = scratch.take(n)
+			if err := fr.readFull(payload); err != nil {
+				return
+			}
 		}
 		if !fr.verify(payload, crc) {
 			r.sub.noteCorrupt()
@@ -374,9 +383,16 @@ func (r *rawSFMRuntime) runConnSparse(conn net.Conn, pubHeader map[string]string
 		if err != nil {
 			return
 		}
-		payload := scratch.take(n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		r.sub.noteResync(fr)
+		payload, ok, err := fr.payload(n)
+		if err != nil {
 			return
+		}
+		if !ok {
+			payload = scratch.take(n)
+			if err := fr.readFull(payload); err != nil {
+				return
+			}
 		}
 		if !fr.verify(payload, crc) {
 			r.sub.noteCorrupt()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ErrTypeMismatch reports a topic being used with two different message
@@ -58,13 +59,48 @@ type Master interface {
 	LookupService(name string) (ServiceInfo, bool, error)
 }
 
+// masterShardCount stripes the topic table; power of two so the index
+// is a mask. Matches the obs registry's stripe count: both tables face
+// the same 10k-topic contention profile.
+const masterShardCount = 16
+
+// masterShard is one stripe of the topic table: its own lock plus the
+// topics whose names hash here. Register/watch/unregister on a topic
+// touch only its stripe, so distinct topics never contend.
+type masterShard struct {
+	mu     sync.Mutex
+	topics map[string]*topicState
+}
+
+// masterShardIndex stripes a topic name with FNV-1a (inlined so lookup
+// allocates nothing).
+func masterShardIndex(key string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return h & (masterShardCount - 1)
+}
+
 // LocalMaster is the in-process Master used by single-process graphs and
 // tests. cmd/rosmaster wraps it with a TCP protocol for multi-process
-// graphs.
+// graphs. The topic table is hash-striped so concurrent registrations
+// and watches on distinct topics proceed in parallel; services keep
+// their own small lock. Introspection (Topics, TopicsInfo) merges the
+// stripes and sorts, so tool output is identical to the single-lock
+// layout's.
 type LocalMaster struct {
-	mu       sync.Mutex
-	topics   map[string]*topicState
+	shards [masterShardCount]masterShard
+
+	svcMu    sync.Mutex
 	services map[string]ServiceInfo
+}
+
+// shardFor returns the stripe owning a topic name.
+func (m *LocalMaster) shardFor(topic string) *masterShard {
+	return &m.shards[masterShardIndex(topic)]
 }
 
 type topicState struct {
@@ -79,25 +115,26 @@ var _ Master = (*LocalMaster)(nil)
 
 // NewLocalMaster returns an empty in-process master.
 func NewLocalMaster() *LocalMaster {
-	return &LocalMaster{
-		topics:   make(map[string]*topicState),
-		services: make(map[string]ServiceInfo),
+	m := &LocalMaster{services: make(map[string]ServiceInfo)}
+	for i := range m.shards {
+		m.shards[i].topics = make(map[string]*topicState)
 	}
+	return m
 }
 
 // RegisterService implements Master. Duplicate registrations are
 // refused (in ROS the newer server silently replaces the older one; we
 // prefer the explicit error).
 func (m *LocalMaster) RegisterService(name string, info ServiceInfo) (func(), error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.svcMu.Lock()
+	defer m.svcMu.Unlock()
 	if prev, dup := m.services[name]; dup {
 		return nil, fmt.Errorf("ros: service %q already served by node %s", name, prev.NodeName)
 	}
 	m.services[name] = info
 	return func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		m.svcMu.Lock()
+		defer m.svcMu.Unlock()
 		if cur, ok := m.services[name]; ok && cur == info {
 			delete(m.services, name)
 		}
@@ -106,14 +143,16 @@ func (m *LocalMaster) RegisterService(name string, info ServiceInfo) (func(), er
 
 // LookupService implements Master.
 func (m *LocalMaster) LookupService(name string) (ServiceInfo, bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.svcMu.Lock()
+	defer m.svcMu.Unlock()
 	info, ok := m.services[name]
 	return info, ok, nil
 }
 
-func (m *LocalMaster) topic(name, typeName, md5 string) (*topicState, error) {
-	ts, ok := m.topics[name]
+// topic resolves (or creates) a topic's state. Callers hold the stripe
+// lock returned by shardFor(name).
+func (sh *masterShard) topic(name, typeName, md5 string) (*topicState, error) {
+	ts, ok := sh.topics[name]
 	if !ok {
 		ts = &topicState{
 			typeName: typeName,
@@ -121,7 +160,7 @@ func (m *LocalMaster) topic(name, typeName, md5 string) (*topicState, error) {
 			pubs:     make(map[int64]PublisherInfo),
 			watchers: make(map[int64]func([]PublisherInfo)),
 		}
-		m.topics[name] = ts
+		sh.topics[name] = ts
 		return ts, nil
 	}
 	if ts.typeName != typeName || ts.md5 != md5 {
@@ -131,7 +170,8 @@ func (m *LocalMaster) topic(name, typeName, md5 string) (*topicState, error) {
 	return ts, nil
 }
 
-// snapshot returns the sorted publisher list. Callers hold m.mu.
+// snapshot returns the sorted publisher list. Callers hold the owning
+// stripe's lock.
 func (ts *topicState) snapshot() []PublisherInfo {
 	out := make([]PublisherInfo, 0, len(ts.pubs))
 	for _, p := range ts.pubs {
@@ -147,7 +187,7 @@ func (ts *topicState) snapshot() []PublisherInfo {
 }
 
 // notify fans the current snapshot out to all watchers. Callers hold
-// m.mu; callbacks must not block.
+// the owning stripe's lock; callbacks must not block.
 func (ts *topicState) notify() {
 	snap := ts.snapshot()
 	for _, cb := range ts.watchers {
@@ -159,17 +199,19 @@ func (ts *topicState) notify() {
 // registering anything. The master protocol server uses it to report
 // type mismatches before acknowledging a watch.
 func (m *LocalMaster) CheckTopic(topic, typeName, md5 string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, err := m.topic(topic, typeName, md5)
+	sh := m.shardFor(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, err := sh.topic(topic, typeName, md5)
 	return err
 }
 
 // RegisterPublisher implements Master.
 func (m *LocalMaster) RegisterPublisher(topic string, info PublisherInfo) (func(), error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, err := m.topic(topic, info.TypeName, info.MD5)
+	sh := m.shardFor(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts, err := sh.topic(topic, info.TypeName, info.MD5)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +220,8 @@ func (m *LocalMaster) RegisterPublisher(topic string, info PublisherInfo) (func(
 	ts.pubs[id] = info
 	ts.notify()
 	return func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		delete(ts.pubs, id)
 		ts.notify()
 	}, nil
@@ -187,9 +229,10 @@ func (m *LocalMaster) RegisterPublisher(topic string, info PublisherInfo) (func(
 
 // WatchPublishers implements Master.
 func (m *LocalMaster) WatchPublishers(topic, typeName, md5 string, cb func([]PublisherInfo)) (func(), error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, err := m.topic(topic, typeName, md5)
+	sh := m.shardFor(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts, err := sh.topic(topic, typeName, md5)
 	if err != nil {
 		return nil, err
 	}
@@ -198,8 +241,8 @@ func (m *LocalMaster) WatchPublishers(topic, typeName, md5 string, cb func([]Pub
 	ts.watchers[id] = cb
 	cb(ts.snapshot())
 	return func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		delete(ts.watchers, id)
 	}, nil
 }
@@ -207,11 +250,14 @@ func (m *LocalMaster) WatchPublishers(topic, typeName, md5 string, cb func([]Pub
 // Topics returns the names of all known topics, sorted (for
 // introspection tools).
 func (m *LocalMaster) Topics() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.topics))
-	for name := range m.topics {
-		out = append(out, name)
+	var out []string
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for name := range sh.topics {
+			out = append(out, name)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -225,18 +271,62 @@ type TopicInfo struct {
 	NumPublishers int
 }
 
+// ScanHolds measures, for each stripe, how long an introspection scan
+// (the TopicsInfo walk) holds that stripe's lock while registrations
+// and watches hashing to the same stripe wait. The largest entry bounds
+// the stall any single graph operation can see behind introspection;
+// the single-lock table this replaced held one lock across the whole
+// walk. The contention bench (rossf-bench ingress) compares the two.
+func (m *LocalMaster) ScanHolds() []time.Duration {
+	out := make([]time.Duration, 0, masterShardCount)
+	infos := make([]TopicInfo, 0, m.topicCount())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		t0 := time.Now()
+		sh.mu.Lock()
+		for name, ts := range sh.topics {
+			infos = append(infos, TopicInfo{
+				Name:          name,
+				TypeName:      ts.typeName,
+				MD5:           ts.md5,
+				NumPublishers: len(ts.pubs),
+			})
+		}
+		sh.mu.Unlock()
+		out = append(out, time.Since(t0))
+	}
+	return out
+}
+
+// topicCount sums the stripe table sizes (each stripe under its own
+// brief lock) so introspection output can be pre-sized before any
+// copying hold begins — no stripe's lock hold pays for a realloc.
+func (m *LocalMaster) topicCount() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.topics)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // TopicsInfo returns all topics with their bindings, sorted by name.
 func (m *LocalMaster) TopicsInfo() []TopicInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]TopicInfo, 0, len(m.topics))
-	for name, ts := range m.topics {
-		out = append(out, TopicInfo{
-			Name:          name,
-			TypeName:      ts.typeName,
-			MD5:           ts.md5,
-			NumPublishers: len(ts.pubs),
-		})
+	out := make([]TopicInfo, 0, m.topicCount())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for name, ts := range sh.topics {
+			out = append(out, TopicInfo{
+				Name:          name,
+				TypeName:      ts.typeName,
+				MD5:           ts.md5,
+				NumPublishers: len(ts.pubs),
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -2,7 +2,6 @@ package ros
 
 import (
 	"errors"
-	"io"
 	"net"
 	"time"
 )
@@ -163,9 +162,19 @@ func (r *rawRuntime) runConn(conn net.Conn, pubHeader map[string]string) {
 		if err != nil {
 			return
 		}
-		buf := scratch.take(n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		r.sub.noteResync(fr)
+		// The callback runs synchronously, so frames can be handed out
+		// straight from the batch buffer (the scratch contract is already
+		// "valid during the callback").
+		buf, ok, err := fr.payload(n)
+		if err != nil {
 			return
+		}
+		if !ok {
+			buf = scratch.take(n)
+			if err := fr.readFull(buf); err != nil {
+				return
+			}
 		}
 		if !fr.verify(buf, crc) {
 			r.sub.noteCorrupt()

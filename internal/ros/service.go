@@ -3,7 +3,6 @@ package ros
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -249,15 +248,25 @@ func (ep *serviceEndpoint) serveCall(conn net.Conn, req map[string]string) error
 	}()
 
 	fr := newFrameReader(conn)
+	defer fr.release()
 	var scratch scratchBuf
 	for {
 		n, crc, err := fr.next()
 		if err != nil {
 			return nil // client hung up
 		}
-		frame := scratch.take(n)
-		if _, err := io.ReadFull(conn, frame); err != nil {
+		// Handlers consume the request before the next reader call
+		// (deserialize or copy-to-arena), so in-place batch slices are
+		// safe; oversized requests and the legacy path copy via scratch.
+		frame, ok, err := fr.payload(n)
+		if err != nil {
 			return nil
+		}
+		if !ok {
+			frame = scratch.take(n)
+			if err := fr.readFull(frame); err != nil {
+				return nil
+			}
 		}
 		var respFrame []byte
 		var release func()
@@ -418,8 +427,13 @@ func NewServiceClient[Req, Resp any](n *Node, name string) (*ServiceClient[Req, 
 	return c, nil
 }
 
-// Close disconnects the client.
-func (c *ServiceClient[Req, Resp]) Close() error { return c.conn.Close() }
+// Close disconnects the client and returns its batch buffer to the
+// ingress pool.
+func (c *ServiceClient[Req, Resp]) Close() error {
+	err := c.conn.Close()
+	c.fr.release()
+	return err
+}
 
 // Call performs one request/response exchange. For serialization-free
 // types the returned response is arena-backed: release it with
@@ -452,9 +466,12 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 		}
 	}
 
-	// Status byte, then the response or error frame.
+	// Status byte, then the response or error frame — all through the
+	// shared ingress reader, so the server's single vectored
+	// status+frame write is drained by one read wakeup instead of the
+	// old three ReadFull syscalls (status, header, body).
 	var status [1]byte
-	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+	if err := c.fr.readFull(status[:]); err != nil {
 		return nil, err
 	}
 	n, crc, err := c.fr.next()
@@ -463,7 +480,7 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 	}
 	if status[0] == 0 {
 		msg := make([]byte, n)
-		if _, err := io.ReadFull(c.conn, msg); err != nil {
+		if err := c.fr.readFull(msg); err != nil {
 			return nil, err
 		}
 		if !c.fr.verify(msg, crc) {
@@ -474,7 +491,7 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 
 	if c.sfm {
 		buf := core.Default().GetBuffer(n)
-		if _, err := io.ReadFull(c.conn, buf.Bytes()[:n]); err != nil {
+		if err := c.fr.readFull(buf.Bytes()[:n]); err != nil {
 			buf.Discard()
 			return nil, err
 		}
@@ -491,9 +508,15 @@ func (c *ServiceClient[Req, Resp]) Call(req *Req) (*Resp, error) {
 		}
 		return core.Adopt[Resp](buf, n)
 	}
-	frame := c.scratch.take(n)
-	if _, err := io.ReadFull(c.conn, frame); err != nil {
+	frame, ok, err := c.fr.payload(n)
+	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		frame = c.scratch.take(n)
+		if err := c.fr.readFull(frame); err != nil {
+			return nil, err
+		}
 	}
 	if !c.fr.verify(frame, crc) {
 		return nil, fmt.Errorf("ros: service %q reply: %w", c.name, wire.ErrCorruptFrame)

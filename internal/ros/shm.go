@@ -2,7 +2,6 @@ package ros
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"strconv"
@@ -223,12 +222,13 @@ func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
 		if err != nil {
 			return
 		}
+		r.sub.noteResync(fr)
 		if n < 1 {
 			r.sub.noteCorrupt()
 			continue
 		}
 		var tag [1]byte
-		if _, err := io.ReadFull(conn, tag[:]); err != nil {
+		if err := fr.readFull(tag[:]); err != nil {
 			return
 		}
 		body := n - 1
@@ -236,13 +236,13 @@ func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
 		case tagDescriptor:
 			var db [shm.DescriptorSize]byte
 			if body != shm.DescriptorSize {
-				if !discardBody(conn, body) {
+				if fr.discard(body) != nil {
 					return
 				}
 				r.sub.noteCorrupt()
 				continue
 			}
-			if _, err := io.ReadFull(conn, db[:]); err != nil {
+			if err := fr.readFull(db[:]); err != nil {
 				return
 			}
 			if wire.Checksum2(tag[:], db[:]) != crc {
@@ -276,7 +276,7 @@ func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
 			r.deliverAdopted(m, len(mem))
 		case tagInline:
 			buf := r.mgr.GetBuffer(body)
-			if _, err := io.ReadFull(conn, buf.Bytes()[:body]); err != nil {
+			if err := fr.readFull(buf.Bytes()[:body]); err != nil {
 				buf.Discard()
 				return
 			}
@@ -294,19 +294,12 @@ func (r *sfmRuntime[T]) runConnShm(conn net.Conn, mp *shm.Mapper) {
 		default:
 			// Unknown tag from a future build: skip the frame, keep the
 			// stream.
-			if !discardBody(conn, body) {
+			if fr.discard(body) != nil {
 				return
 			}
 			r.sub.noteCorrupt()
 		}
 	}
-}
-
-// discardBody consumes and drops body bytes of an unusable frame so the
-// stream stays framed; false means the connection died.
-func discardBody(conn net.Conn, body int) bool {
-	_, err := io.CopyN(io.Discard, conn, int64(body))
-	return err == nil
 }
 
 // pidString is this process's pid for the handshake offer.

@@ -3,7 +3,6 @@ package ros
 import (
 	"fmt"
 	"hash/fnv"
-	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -242,11 +241,23 @@ func (s *Subscriber) CorruptFrames() uint64 { return s.corrupt.Load() }
 // hunting for a frame boundary after damage.
 func (s *Subscriber) ResyncedBytes() uint64 { return s.resyncs.Load() }
 
-// noteStreamDamage folds one connection's resync counter into the
-// subscription total when its frame pump exits (corruption rejections
-// are counted live at each drop).
+// noteStreamDamage folds a connection's still-unfolded resync bytes
+// into the subscription total when its frame pump exits (per-frame
+// folds via noteResync keep the counter live mid-stream), and returns
+// the pump's batch buffer to the ingress pool for the next connection.
 func (s *Subscriber) noteStreamDamage(fr *frameReader) {
-	s.resyncs.Add(fr.skipped())
+	s.noteResync(fr)
+	fr.release()
+}
+
+// noteResync folds any bytes the reader skipped resynchronizing since
+// the last fold. Pumps call it after every frame — almost always a
+// zero delta and no atomic touched — so introspection sees stream
+// damage while the connection is still alive.
+func (s *Subscriber) noteResync(fr *frameReader) {
+	if d := fr.skippedDelta(); d != 0 {
+		s.resyncs.Add(d)
+	}
 }
 
 // noteCorrupt records one frame rejected by an integrity check, both in
@@ -870,9 +881,20 @@ func (r *ros1Runtime[T]) runConn(conn net.Conn, _ map[string]string) {
 		if err != nil {
 			return
 		}
-		buf := scratch.take(n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		r.sub.noteResync(fr)
+		// Fast path: the frame is already in the batch buffer — deserialize
+		// straight out of it (deliverFrame consumes the bytes before the
+		// next reader call). Oversized frames and the legacy path fall back
+		// to the scratch copy.
+		buf, ok, err := fr.payload(n)
+		if err != nil {
 			return
+		}
+		if !ok {
+			buf = scratch.take(n)
+			if err := fr.readFull(buf); err != nil {
+				return
+			}
 		}
 		if !fr.verify(buf, crc) {
 			r.sub.noteCorrupt()
@@ -943,8 +965,11 @@ func (r *sfmRuntime[T]) runConn(conn net.Conn, pubHeader map[string]string) {
 		if err != nil {
 			return
 		}
+		r.sub.noteResync(fr)
 		buf := r.mgr.GetBuffer(n)
-		if _, err := io.ReadFull(conn, buf.Bytes()[:n]); err != nil {
+		// The payload lands in the arena: readFull copies any batched
+		// prefix and streams the remainder straight into the arena buffer.
+		if err := fr.readFull(buf.Bytes()[:n]); err != nil {
 			buf.Discard()
 			return
 		}
