@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ipc bench-egress bench-fanout bench-netfield bench-ingress mutex-smoke chaos chaos-master fuzz generate experiments examples stats-smoke clean
+.PHONY: all build test race bench bench-ipc bench-egress bench-fanout bench-netfield bench-ingress bench-failover mutex-smoke chaos chaos-master chaos-failover fuzz generate experiments examples stats-smoke clean
 
 all: build test
 
@@ -27,6 +27,15 @@ chaos: fuzz
 chaos-master:
 	$(GO) test -race -count=1 -run 'TestMaster' ./internal/chaostest/
 	$(GO) test -race -count=1 -run 'TestRemoteMaster|TestMasterServer|TestDialMaster' ./internal/ros/
+
+# Warm-standby failover (DESIGN §3.14): SIGKILL the primary under live
+# registration + data traffic, standby promotes within the lease, zero
+# registrations and zero messages lost, stale-epoch zombie fenced —
+# plus the replication/promotion unit tier — all under the race
+# detector.
+chaos-failover:
+	$(GO) test -race -count=1 -run 'TestMasterFailover' ./internal/chaostest/
+	$(GO) test -race -count=1 -run 'TestStandby|TestStaleEpoch|TestPromoted|TestClientSkips|TestReplayConvergenceAcrossPromotion|TestMultiAddressDialShape|TestUnadopted' ./internal/ros/
 
 # Short fuzz passes: long enough to catch regressions in the frame
 # scanner and parser, short enough for CI.
@@ -76,6 +85,13 @@ bench-ingress:
 # does).
 mutex-smoke:
 	$(GO) run ./cmd/rossf-bench mutexsmoke
+
+# Warm-standby failover at scale: a 100k-registration graph loaded
+# through a replicated master pair, then the primary is killed —
+# promotion latency, full-graph recovery time, and a completeness audit
+# -> BENCH_failover.json.
+bench-failover:
+	$(GO) run ./cmd/rossf-bench failover -out BENCH_failover.json
 
 # Field-wire partial transmission over netsim 10 GbE: bytes on the wire
 # and latency for a header-only sensor_msgs/Image consumer, masked

@@ -46,7 +46,8 @@ func run(args []string) error {
 
 func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
-	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterAddr := fs.String("master", ros.DefaultMasterAddr(),
+		"rosmaster address; comma-separate failover candidates (default $ROS_MASTER_URI)")
 	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
 		"retry the initial master dial with backoff for this long (0: single attempt)")
 	out := fs.String("out", "out.bag", "output file")
@@ -210,7 +211,8 @@ func info(args []string) error {
 
 func play(args []string) error {
 	fs := flag.NewFlagSet("play", flag.ContinueOnError)
-	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterAddr := fs.String("master", ros.DefaultMasterAddr(),
+		"rosmaster address; comma-separate failover candidates (default $ROS_MASTER_URI)")
 	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
 		"retry the initial master dial with backoff for this long (0: single attempt)")
 	rate := fs.Float64("rate", 1.0, "playback speed multiplier")

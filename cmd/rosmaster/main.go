@@ -8,9 +8,18 @@
 // connected clients a grace window to finish in-flight requests and
 // hang up before the remaining connections are severed.
 //
+// For high availability run a warm-standby pair: a second rosmaster
+// started with -standby pointing at the primary replicates its
+// registration table, serves reads, and self-promotes (bumping the
+// cluster epoch) when the primary misses its lease. Clients configured
+// with both addresses (comma-separated ROS_MASTER_URI or -master lists)
+// fail over automatically; a restarted stale primary is fenced by the
+// epoch it finds persisted in -epoch-file.
+//
 // Usage:
 //
 //	rosmaster [-addr 127.0.0.1:11311] [-client-expiry 15s] [-drain 5s]
+//	          [-standby primaryAddr] [-lease 5s] [-epoch-file path]
 package main
 
 import (
@@ -37,15 +46,38 @@ func run(args []string) error {
 	expiry := fs.Duration("client-expiry", 0,
 		"expire clients silent for this long (0: default 15s, negative: never)")
 	drain := fs.Duration("drain", 5*time.Second, "SIGTERM grace period for connected clients")
+	standby := fs.String("standby", "",
+		"run as warm standby of the primary at this address (comma-separated candidates allowed)")
+	lease := fs.Duration("lease", 0,
+		"replication lease: a standby promotes after this much primary silence (0: default 5s)")
+	epochFile := fs.String("epoch-file", "",
+		"persist the cluster epoch here across restarts (empty: in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := ros.NewMasterServer(*addr, ros.WithClientExpiry(*expiry))
+	opts := []ros.MasterServerOption{
+		ros.WithClientExpiry(*expiry),
+		ros.WithPrimaryLease(*lease),
+		ros.WithEpochFile(*epochFile),
+	}
+	if *standby != "" {
+		opts = append(opts, ros.WithStandby(*standby))
+	} else if e := ros.LoadEpochFile(*epochFile); e > 0 {
+		opts = append(opts, ros.WithEpoch(e))
+	}
+	srv, err := ros.NewMasterServer(*addr, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rosmaster: serving on %s\n", srv.Addr())
+	if *standby != "" {
+		fmt.Printf("rosmaster: standby on %s following %s (lease %v)\n", srv.Addr(), *standby, *lease)
+	} else {
+		// The first line stays machine-parsable (scripts extract the
+		// address after "serving on "); the epoch gets its own line.
+		fmt.Printf("rosmaster: serving on %s\n", srv.Addr())
+		fmt.Printf("rosmaster: epoch %d\n", srv.Epoch())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -39,7 +39,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rosrelay", flag.ContinueOnError)
-	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterAddr := fs.String("master", ros.DefaultMasterAddr(),
+		"rosmaster address; comma-separate failover candidates (default $ROS_MASTER_URI)")
 	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
 		"retry the initial master dial with backoff for this long (0: single attempt)")
 	topic := fs.String("topic", "", "topic to relay (required)")

@@ -13,6 +13,7 @@
 //	rossf-bench fanout [-messages N] [-repeats N] [-shards N] [-maxsubs N] [-out BENCH_fanout.json]
 //	rossf-bench netfield [-messages N] [-repeats N] [-fields a,b] [-out BENCH_netfield.json]
 //	rossf-bench ingress [-frames N] [-repeats N] [-goroutines N] [-topics N] [-out BENCH_ingress.json]
+//	rossf-bench failover [-entries N] [-topics N] [-lease D] [-out BENCH_failover.json]
 //	rossf-bench mutexsmoke [-goroutines N] [-topics N]
 //	rossf-bench all
 //
@@ -43,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|netfield|ingress|mutexsmoke|all> [flags]")
+		return fmt.Errorf("usage: rossf-bench <fig13|fig14|fig16|fig18|table1|ipc|egress|fanout|netfield|ingress|failover|mutexsmoke|all> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -67,6 +68,8 @@ func run(args []string) error {
 		return runNetfield(rest)
 	case "ingress":
 		return runIngress(rest)
+	case "failover":
+		return runFailover(rest)
 	case "mutexsmoke":
 		return runMutexSmoke(rest)
 	case "fanout-drain":
@@ -319,6 +322,35 @@ func runNetfield(args []string) error {
 		cfg.Fields = strings.Split(*fields, ",")
 	}
 	res, err := bench.RunNetfield(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if *out != "" {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func runFailover(args []string) error {
+	fs := flag.NewFlagSet("failover", flag.ContinueOnError)
+	entries := fs.Int("entries", 100000, "registrations pushed through the pair before the kill")
+	topics := fs.Int("topics", 1024, "distinct topics the entries spread over")
+	lease := fs.Duration("lease", 500*time.Millisecond, "primary lease governing standby promotion")
+	out := fs.String("out", "", "write the result as JSON to this file (e.g. BENCH_failover.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := bench.RunFailover(bench.FailoverConfig{
+		Entries: *entries, Topics: *topics, Lease: *lease,
+	})
 	if err != nil {
 		return err
 	}

@@ -58,7 +58,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rostopic", flag.ContinueOnError)
-	masterAddr := fs.String("master", "127.0.0.1:11311", "rosmaster address")
+	masterAddr := fs.String("master", ros.DefaultMasterAddr(),
+		"rosmaster address; comma-separate failover candidates (default $ROS_MASTER_URI)")
 	masterTimeout := fs.Duration("master-timeout", 5*time.Second,
 		"retry the initial master dial with backoff for this long (0: single attempt)")
 	window := fs.Int("window", 50, "hz/bw: number of messages to sample")

@@ -68,6 +68,20 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
+// SetMax raises the gauge to v if v is larger than the current value
+// (monotonic high-water update, e.g. the highest master epoch seen).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // PubStats instruments one publisher endpoint.
 type PubStats struct {
 	Messages Counter // publishes fanned out
@@ -225,6 +239,26 @@ type GraphStats struct {
 	// RemoteMaster contributes +1 while degraded, so a process with
 	// several master clients reads the number of broken sessions.
 	Degraded Gauge
+
+	// Warm-standby failover instruments (DESIGN §3.14). Failovers counts
+	// client sessions re-established against a DIFFERENT master address
+	// than the previous session's (a reconnect to the same master is only
+	// a MasterReconnect). FailedCandidates counts master candidates
+	// skipped during redial — refused dials, stale-epoch zombies,
+	// unpromoted standbys — each also logged once per candidate.
+	Failovers        Counter
+	FailedCandidates Counter
+	// Epoch is the highest master epoch observed: servers publish their
+	// own epoch, clients the highest seen in any response. Updated with
+	// SetMax so a registry shared between a client and a server reads the
+	// cluster's newest epoch.
+	Epoch Gauge
+	// ReplLastContact is the unix-nanosecond timestamp of the last
+	// replication traffic a standby received from its primary (0 when the
+	// process is not a follower). Snapshots convert it to
+	// replication_lag_ms; a growing lag means the primary has gone silent
+	// and the lease clock toward self-promotion is running.
+	ReplLastContact Gauge
 }
 
 // ServiceStats instruments one service endpoint.
@@ -539,6 +573,13 @@ type GraphSnapshot struct {
 	GhostExpiries    uint64       `json:"ghost_expiries"`
 	MalformedLines   uint64       `json:"malformed_lines"`
 	Degraded         int64        `json:"degraded"`
+	Failovers        uint64       `json:"failovers"`
+	FailedCandidates uint64       `json:"failed_candidates"`
+	Epoch            int64        `json:"epoch"`
+	// ReplicationLagMs is the age, in milliseconds, of the last
+	// replication traffic a standby in this process received from its
+	// primary; 0 when no follower is running.
+	ReplicationLagMs int64 `json:"replication_lag_ms"`
 }
 
 // ServiceSnapshot is the JSON form of one service's instruments.
@@ -672,6 +713,14 @@ func (r *Registry) Snapshot() Snapshot {
 		GhostExpiries:    r.graph.GhostExpiries.Load(),
 		MalformedLines:   r.graph.MalformedLines.Load(),
 		Degraded:         r.graph.Degraded.Load(),
+		Failovers:        r.graph.Failovers.Load(),
+		FailedCandidates: r.graph.FailedCandidates.Load(),
+		Epoch:            r.graph.Epoch.Load(),
+	}
+	if last := r.graph.ReplLastContact.Load(); last > 0 {
+		if lag := (time.Now().UnixNano() - last) / int64(time.Millisecond); lag > 0 {
+			snap.Graph.ReplicationLagMs = lag
+		}
 	}
 	// Merge the stripes: each shard is copied under its own lock, so a
 	// snapshot never stalls lookups on other stripes. The merged view is

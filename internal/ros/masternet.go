@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,18 @@ type masterMsg struct {
 	Relay  bool         `json:"relay,omitempty"` // regpub: relay-tier endpoint
 	Pubs   []masterPub  `json:"pubs,omitempty"`
 	Topics []wireTopics `json:"topics,omitempty"`
+
+	// Replication + failover fields (DESIGN §3.14). Epoch rides on every
+	// response (servers stamp their current epoch) and on every request
+	// (clients echo the highest epoch they have seen — a lower-epoch
+	// zombie master answers err:stale_epoch and fences itself). The rest
+	// carry the standby feed: repl_sync/repl_snap/repl_op/repl_hb.
+	Epoch int64     `json:"epoch,omitempty"`
+	Seq   uint64    `json:"seq,omitempty"`   // repl_op/repl_hb/repl_snap sequence
+	Kind  string    `json:"kind,omitempty"`  // repl_op kind (regpub/unregpub/regsrv/unregsrv)
+	Owner int64     `json:"owner,omitempty"` // repl_op registration owner id
+	RPubs []replReg `json:"rpubs,omitempty"` // repl_snap publisher table
+	RSrvs []replReg `json:"rsrvs,omitempty"` // repl_snap service table
 }
 
 // opSessionDown is a client-internal sentinel injected into reply
@@ -74,6 +87,17 @@ const opSessionDown = "_down"
 // codeTypeMismatch tags err responses whose cause is ErrTypeMismatch so
 // the client can rebuild the error category across the wire.
 const codeTypeMismatch = "type_mismatch"
+
+// codeStaleEpoch tags err responses from a fenced master: the cluster
+// has moved to a higher epoch than this server's, so it refuses every
+// operation. Clients treat it like an unavailable master and fail over
+// to the next candidate address.
+const codeStaleEpoch = "stale_epoch"
+
+// codeStandby tags err responses from an unpromoted standby rejecting a
+// write. Clients with pending registrations rotate to the next
+// candidate; read-only clients may keep using the standby.
+const codeStandby = "standby"
 
 // wireTopics is the JSON shape of TopicInfo.
 type wireTopics struct {
@@ -116,6 +140,11 @@ type masterServerConfig struct {
 	metrics    *obs.Registry
 	metricsSet bool
 	expiry     time.Duration
+	standby    string // primary address(es) to follow; "" boots as primary
+	lease      time.Duration
+	epoch      int64
+	epochFile  string
+	dialRepl   DialFunc
 }
 
 // WithServerMetrics selects the registry recording the server's graph
@@ -135,13 +164,69 @@ func WithClientExpiry(d time.Duration) MasterServerOption {
 	return func(c *masterServerConfig) { c.expiry = d }
 }
 
-// MasterServer serves a LocalMaster over TCP.
+// WithStandby boots the server as a warm standby following the primary
+// at addr (comma-separated candidates allowed). A standby replicates
+// the primary's registration table, serves reads, rejects writes with
+// err:standby, and self-promotes — bumping the epoch — once the
+// primary's lease expires (see WithPrimaryLease).
+func WithStandby(addr string) MasterServerOption {
+	return func(c *masterServerConfig) { c.standby = addr }
+}
+
+// WithPrimaryLease sets the replication lease window (default 5s). On a
+// standby it is the silence threshold that triggers self-promotion; on
+// a primary it sets the follower heartbeat cadence (lease/3). Run both
+// sides of a pair with the same value.
+func WithPrimaryLease(d time.Duration) MasterServerOption {
+	return func(c *masterServerConfig) { c.lease = d }
+}
+
+// WithEpoch sets the server's starting epoch (default 1 for a primary,
+// 0 for a standby, which learns the epoch from its primary). Restart
+// tooling passes the persisted epoch here so a once-failed-over primary
+// comes back knowing it may be stale.
+func WithEpoch(e int64) MasterServerOption {
+	return func(c *masterServerConfig) { c.epoch = e }
+}
+
+// WithEpochFile persists the epoch to path on boot and promotion, and
+// is the natural companion of LoadEpochFile in restart scripts.
+func WithEpochFile(path string) MasterServerOption {
+	return func(c *masterServerConfig) { c.epochFile = path }
+}
+
+// WithReplicationDialer replaces the dialer the standby uses toward its
+// primary (and the promoted standby uses for fencing probes) — netsim
+// links use this to model a partition inside the master pair.
+func WithReplicationDialer(d DialFunc) MasterServerOption {
+	return func(c *masterServerConfig) { c.dialRepl = d }
+}
+
+// MasterServer serves a LocalMaster over TCP — as a write-accepting
+// primary, or as a warm standby replicating one (see WithStandby and
+// DESIGN §3.14).
 type MasterServer struct {
-	master   *LocalMaster
-	listener net.Listener
-	graph    *obs.GraphStats
-	expiry   time.Duration
-	wg       sync.WaitGroup
+	master    *LocalMaster
+	listener  net.Listener
+	graph     *obs.GraphStats
+	expiry    time.Duration
+	lease     time.Duration
+	standby   string // primary address(es) this server follows / fences
+	epochFile string
+	dialRepl  DialFunc
+	wg        sync.WaitGroup
+	closeCh   chan struct{}
+
+	epoch    atomic.Int64
+	primary  atomic.Bool // accepts writes (boot primary, or promoted standby)
+	fenced   atomic.Bool // observed a higher epoch: rejects everything
+	ownerSeq atomic.Int64
+
+	// repl is the primary-side replication hub; replica/replicaMu hold
+	// the standby-side applied state until promotion transfers it.
+	repl      replHub
+	replicaMu sync.Mutex
+	replica   map[replKey]*regEntry
 
 	mu     sync.Mutex
 	closed bool
@@ -151,7 +236,7 @@ type MasterServer struct {
 // NewMasterServer starts serving on addr (e.g. "127.0.0.1:11311", the
 // traditional ROS master port).
 func NewMasterServer(addr string, opts ...MasterServerOption) (*MasterServer, error) {
-	cfg := masterServerConfig{expiry: defaultClientExpiry}
+	cfg := masterServerConfig{expiry: defaultClientExpiry, lease: defaultPrimaryLease}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -160,6 +245,12 @@ func NewMasterServer(addr string, opts ...MasterServerOption) (*MasterServer, er
 	}
 	if cfg.expiry == 0 {
 		cfg.expiry = defaultClientExpiry
+	}
+	if cfg.lease <= 0 {
+		cfg.lease = defaultPrimaryLease
+	}
+	if cfg.dialRepl == nil {
+		cfg.dialRepl = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -170,12 +261,40 @@ func NewMasterServer(addr string, opts ...MasterServerOption) (*MasterServer, er
 		graph = new(obs.GraphStats) // sink: instruments stay nil-safe to update
 	}
 	s := &MasterServer{
-		master:   NewLocalMaster(),
-		listener: l,
-		graph:    graph,
-		expiry:   cfg.expiry,
-		conns:    make(map[net.Conn]struct{}),
+		master:    NewLocalMaster(),
+		listener:  l,
+		graph:     graph,
+		expiry:    cfg.expiry,
+		lease:     cfg.lease,
+		standby:   cfg.standby,
+		epochFile: cfg.epochFile,
+		dialRepl:  cfg.dialRepl,
+		closeCh:   make(chan struct{}),
+		replica:   make(map[replKey]*regEntry),
+		conns:     make(map[net.Conn]struct{}),
 	}
+	s.repl.table = make(map[replKey]*regEntry)
+	s.repl.followers = make(map[*replFollower]struct{})
+	if cfg.standby != "" {
+		// A standby learns the epoch from its primary's snapshot; a
+		// configured epoch only raises the floor (stale sources are then
+		// rejected from the first handshake).
+		s.epoch.Store(cfg.epoch)
+		s.wg.Add(1)
+		go s.follow()
+	} else {
+		epoch := cfg.epoch
+		if fromFile := LoadEpochFile(cfg.epochFile); fromFile > epoch {
+			epoch = fromFile
+		}
+		if epoch <= 0 {
+			epoch = 1
+		}
+		s.epoch.Store(epoch)
+		s.primary.Store(true)
+		s.persistEpoch(epoch)
+	}
+	s.graph.Epoch.SetMax(s.epoch.Load())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -201,6 +320,7 @@ func (s *MasterServer) Shutdown(grace time.Duration) error {
 	s.closed = true
 	s.mu.Unlock()
 
+	close(s.closeCh)
 	s.listener.Close()
 	deadline := time.Now().Add(grace)
 	for time.Now().Before(deadline) {
@@ -262,6 +382,9 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 	var writeMu sync.Mutex
 	enc := json.NewEncoder(conn)
 	send := func(m masterMsg) {
+		// Every response carries the server's current epoch so clients
+		// learn about promotions from ordinary traffic.
+		m.Epoch = s.epoch.Load()
 		writeMu.Lock()
 		defer writeMu.Unlock()
 		// Watch pushes run on the master's notify path; a stalled client
@@ -275,6 +398,17 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 		}
 		conn.SetWriteDeadline(time.Time{})
 	}
+
+	// owner scopes this connection's registrations in the replication
+	// table; follower is non-nil once the peer identifies itself as a
+	// standby via repl_sync.
+	owner := s.nextOwner()
+	var follower *replFollower
+	defer func() {
+		if follower != nil {
+			s.removeFollower(follower)
+		}
+	}()
 
 	var handleMu sync.Mutex
 	nextHandle := int64(1)
@@ -351,11 +485,46 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 			send(masterMsg{Op: "err", Msg: "malformed request: " + err.Error()})
 			continue
 		}
+		// Epoch fence: a request carrying a higher epoch proves a newer
+		// primary exists — this server is a zombie and must stop serving
+		// before it splits the graph. Once fenced, everything (including
+		// reads: a stale graph is as dangerous as a stale write) is
+		// rejected with the code clients use to fail over.
+		if req.Epoch > s.epoch.Load() {
+			s.fence(req.Epoch)
+		}
+		if s.fenced.Load() {
+			send(masterMsg{Op: "err", ID: req.ID, Code: codeStaleEpoch,
+				Msg: fmt.Sprintf("master epoch %d is stale, cluster has moved on", s.epoch.Load())})
+			continue
+		}
 		switch req.Op {
 		case "ping":
 			send(masterMsg{Op: "ok", ID: req.ID})
+		case "repl_ping":
+			// Follower keepalive: advances lastSeen (above), no response.
+		case "repl_sync":
+			// A standby asks to follow us. Only a primary can feed it.
+			if !s.primary.Load() {
+				send(masterMsg{Op: "err", ID: req.ID, Code: codeStandby,
+					Msg: "cannot replicate from an unpromoted standby"})
+				continue
+			}
+			if follower != nil {
+				s.removeFollower(follower)
+			}
+			follower = s.addFollower(func() { conn.Close() }, send)
 		case "regpub":
-			unregister, err := s.master.RegisterPublisher(req.Topic, PublisherInfo{
+			if !s.primary.Load() {
+				send(masterMsg{Op: "err", ID: req.ID, Code: codeStandby,
+					Msg: "standby master rejects writes until promotion"})
+				continue
+			}
+			handleMu.Lock()
+			h := nextHandle
+			nextHandle++
+			handleMu.Unlock()
+			unregister, err := s.registerPub(owner, h, req.Topic, PublisherInfo{
 				NodeName: req.Node, Addr: req.Addr, TypeName: req.Type, MD5: req.MD5,
 				Relay: req.Relay,
 			})
@@ -364,8 +533,6 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 				continue
 			}
 			handleMu.Lock()
-			h := nextHandle
-			nextHandle++
 			cancels[h] = unregister
 			handleMu.Unlock()
 			send(masterMsg{Op: "ok", ID: req.ID, Handle: h})
@@ -406,7 +573,16 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 			cancels[h] = cancel
 			handleMu.Unlock()
 		case "regsrv":
-			unregister, err := s.master.RegisterService(req.Topic, ServiceInfo{
+			if !s.primary.Load() {
+				send(masterMsg{Op: "err", ID: req.ID, Code: codeStandby,
+					Msg: "standby master rejects writes until promotion"})
+				continue
+			}
+			handleMu.Lock()
+			h := nextHandle
+			nextHandle++
+			handleMu.Unlock()
+			unregister, err := s.registerSrv(owner, h, req.Topic, ServiceInfo{
 				NodeName: req.Node, Addr: req.Addr,
 				ReqType: req.Type, RespType: req.Resp, MD5: req.MD5,
 			})
@@ -415,8 +591,6 @@ func (s *MasterServer) serveClient(conn net.Conn) {
 				continue
 			}
 			handleMu.Lock()
-			h := nextHandle
-			nextHandle++
 			cancels[h] = unregister
 			handleMu.Unlock()
 			send(masterMsg{Op: "ok", ID: req.ID, Handle: h})
@@ -463,6 +637,7 @@ type masterConfig struct {
 	heartbeat   time.Duration
 	resyncGrace time.Duration
 	graceSet    bool
+	extraAddrs  []string
 }
 
 // WithMasterRetry replaces the reconnect schedule used after the master
@@ -479,6 +654,16 @@ func WithMasterRetry(p RetryPolicy) MasterOption {
 // partition between node and master.
 func WithMasterDialer(d DialFunc) MasterOption {
 	return func(c *masterConfig) { c.dial = d }
+}
+
+// WithMasterAddrs appends failover candidates to the address given to
+// DialMaster (which itself may be comma-separated, mirroring
+// ROS_MASTER_URI). The client rotates through the candidate list inside
+// its reconnect loop: a dead, fenced, or unpromoted-standby master
+// makes it move to the next address, replay its journal there, and
+// resync its watches — established data-plane flows are untouched.
+func WithMasterAddrs(addrs ...string) MasterOption {
+	return func(c *masterConfig) { c.extraAddrs = append(c.extraAddrs, addrs...) }
 }
 
 // WithMasterMetrics selects the registry recording this session's graph
@@ -641,6 +826,7 @@ func unionPubs(a, b []PublisherInfo) []PublisherInfo {
 // entry's serverHandle belongs to.
 type masterSession struct {
 	gen  int64
+	addr string
 	conn net.Conn
 	enc  *json.Encoder
 
@@ -663,11 +849,17 @@ type masterSession struct {
 // handles are remapped transparently, so Advertise/Subscribe handles
 // created before a master crash keep working after it.
 type RemoteMaster struct {
-	addr  string
+	addrs []string // failover candidates, in preference order
 	cfg   masterConfig
 	graph *obs.GraphStats
 
+	epoch atomic.Int64 // highest master epoch seen; echoed in every request
+
 	mu            sync.Mutex
+	addr          string // address of the current (or last) session
+	addrIdx       int    // next candidate to dial
+	lastInstalled string // address of the previous session (failover detection)
+	warnedCand    map[string]bool
 	sess          *masterSession // nil while degraded
 	nextGen       int64
 	nextID        int64
@@ -685,10 +877,13 @@ type RemoteMaster struct {
 
 var _ Master = (*RemoteMaster)(nil)
 
-// DialMaster connects to a master server. The returned client owns a
+// DialMaster connects to a master server. The address may list several
+// comma-separated failover candidates (and WithMasterAddrs appends
+// more); the first reachable one wins. The returned client owns a
 // background manager that keeps the session alive: on connection loss
-// it reconnects with bounded exponential backoff plus jitter and
-// replays every registration and watch in its journal.
+// it reconnects with bounded exponential backoff plus jitter — rotating
+// through the candidate list — and replays every registration and watch
+// in its journal against whichever master it lands on.
 func DialMaster(addr string, opts ...MasterOption) (*RemoteMaster, error) {
 	cfg := masterConfig{
 		retry:       DefaultRetryPolicy,
@@ -711,27 +906,88 @@ func DialMaster(addr string, opts ...MasterOption) (*RemoteMaster, error) {
 	if !cfg.graceSet {
 		cfg.resyncGrace = defaultResyncGrace
 	}
-	conn, err := cfg.dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("ros: dial master: %w", err)
+	addrs := splitMasterAddrs(addr)
+	for _, extra := range cfg.extraAddrs {
+		addrs = append(addrs, splitMasterAddrs(extra)...)
 	}
 	graph := cfg.metrics.Graph()
 	if graph == nil {
 		graph = new(obs.GraphStats)
 	}
 	m := &RemoteMaster{
-		addr:          addr,
+		addrs:         addrs,
 		cfg:           cfg,
 		graph:         graph,
+		warnedCand:    make(map[string]bool),
 		journal:       make(map[int64]*journalEntry),
 		watchByServer: make(map[int64]*journalEntry),
 		kickCh:        make(chan struct{}, 1),
 		closeCh:       make(chan struct{}),
 	}
-	m.install(conn)
+	var conn net.Conn
+	var err error
+	dialed := ""
+	for i, a := range addrs {
+		if conn, err = cfg.dial(a); err == nil {
+			m.mu.Lock()
+			m.addrIdx = i
+			m.mu.Unlock()
+			dialed = a
+			break
+		}
+		if i < len(addrs)-1 {
+			m.noteFailedCandidate(a, err.Error())
+		}
+	}
+	if conn == nil {
+		return nil, fmt.Errorf("ros: dial master %s: %w", strings.Join(addrs, ","), err)
+	}
+	m.install(conn, dialed)
 	m.wg.Add(1)
 	go m.manage()
 	return m, nil
+}
+
+// noteFailedCandidate records one skipped failover candidate: the
+// counter always moves, the log fires once per candidate per client
+// (redial loops hit the same dead address many times per second), and
+// the rotation index advances so the next attempt tries a different
+// master.
+func (m *RemoteMaster) noteFailedCandidate(addr, reason string) {
+	m.graph.FailedCandidates.Inc()
+	m.mu.Lock()
+	warned := m.warnedCand[addr]
+	m.warnedCand[addr] = true
+	if len(m.addrs) > 0 && m.addrs[m.addrIdx] == addr {
+		m.addrIdx = (m.addrIdx + 1) % len(m.addrs)
+	}
+	m.mu.Unlock()
+	if !warned {
+		log.Printf("ros: remote master: skipping candidate %s: %s (logged once per candidate)", addr, reason)
+	}
+}
+
+// noteEpoch raises the highest-seen master epoch (echoed in every
+// subsequent request so stale masters can recognize themselves).
+func (m *RemoteMaster) noteEpoch(e int64) {
+	for {
+		cur := m.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if m.epoch.CompareAndSwap(cur, e) {
+			m.graph.Epoch.SetMax(e)
+			return
+		}
+	}
+}
+
+// currentAddr returns the address of the current (or most recent)
+// session for log and error text.
+func (m *RemoteMaster) currentAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.addr
 }
 
 // Close disconnects from the master and stops the reconnect manager.
@@ -758,9 +1014,9 @@ func (m *RemoteMaster) Close() error {
 	return err
 }
 
-// install makes conn the live session and starts its read loop and
-// heartbeat. Returns nil if the client closed meanwhile.
-func (m *RemoteMaster) install(conn net.Conn) *masterSession {
+// install makes conn (dialed at addr) the live session and starts its
+// read loop and heartbeat. Returns nil if the client closed meanwhile.
+func (m *RemoteMaster) install(conn net.Conn, addr string) *masterSession {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -769,6 +1025,7 @@ func (m *RemoteMaster) install(conn net.Conn) *masterSession {
 	m.nextGen++
 	sess := &masterSession{
 		gen:     m.nextGen,
+		addr:    addr,
 		conn:    conn,
 		enc:     json.NewEncoder(conn),
 		replies: make(map[int64]chan masterMsg),
@@ -776,11 +1033,18 @@ func (m *RemoteMaster) install(conn net.Conn) *masterSession {
 		done:    make(chan struct{}),
 	}
 	m.sess = sess
+	m.addr = addr
+	failover := m.lastInstalled != "" && m.lastInstalled != addr
+	m.lastInstalled = addr
 	if m.degraded {
 		m.degraded = false
 		m.graph.Degraded.Add(-1)
 	}
 	m.mu.Unlock()
+	if failover {
+		m.graph.Failovers.Inc()
+		log.Printf("ros: remote master: failing over to %s", addr)
+	}
 	m.wg.Add(1)
 	go m.readLoop(sess)
 	if m.cfg.heartbeat > 0 {
@@ -830,9 +1094,12 @@ func (m *RemoteMaster) readLoop(sess *masterSession) {
 			if !warnedMalformed {
 				warnedMalformed = true
 				log.Printf("ros: remote master %s: malformed response line (counted, logged once per connection): %v",
-					m.addr, err)
+					sess.addr, err)
 			}
 			continue
+		}
+		if resp.Epoch > 0 {
+			m.noteEpoch(resp.Epoch)
 		}
 		switch resp.Op {
 		case "pubs":
@@ -960,9 +1227,11 @@ func (m *RemoteMaster) manage() {
 	}
 }
 
-// redial reconnects with the configured backoff. Returns nil when the
-// client closes or the attempt budget is exhausted (gave up: the
-// session is permanently unavailable).
+// redial reconnects with the configured backoff, rotating through the
+// failover candidates: a failed dial skips to the next address (counted
+// and warn-once logged), so a dead primary costs one backoff step, not
+// forever. Returns nil when the client closes or the attempt budget is
+// exhausted (gave up: the session is permanently unavailable).
 func (m *RemoteMaster) redial() *masterSession {
 	p := m.cfg.retry
 	for attempt := 1; ; attempt++ {
@@ -970,7 +1239,8 @@ func (m *RemoteMaster) redial() *masterSession {
 			m.mu.Lock()
 			m.gaveUp = true
 			m.mu.Unlock()
-			log.Printf("ros: remote master %s: giving up after %d reconnect attempts", m.addr, p.MaxAttempts)
+			log.Printf("ros: remote master %s: giving up after %d reconnect attempts",
+				strings.Join(m.addrs, ","), p.MaxAttempts)
 			return nil
 		}
 		select {
@@ -978,11 +1248,15 @@ func (m *RemoteMaster) redial() *masterSession {
 			return nil
 		case <-time.After(p.backoff(attempt)):
 		}
-		conn, err := m.cfg.dial(m.addr)
+		m.mu.Lock()
+		addr := m.addrs[m.addrIdx]
+		m.mu.Unlock()
+		conn, err := m.cfg.dial(addr)
 		if err != nil {
+			m.noteFailedCandidate(addr, err.Error())
 			continue
 		}
-		sess := m.install(conn)
+		sess := m.install(conn, addr)
 		if sess == nil {
 			conn.Close()
 			return nil
@@ -1044,12 +1318,20 @@ func (m *RemoteMaster) replay(sess *masterSession) (watches int, ok bool) {
 			if errors.Is(err, ErrMasterUnavailable) {
 				return watches, false
 			}
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				// Close raced the replay: not a rejection, so keep the
+				// journal intact and stop quietly.
+				return watches, false
+			}
 			// The restarted master rejected a registration it once
 			// accepted (e.g. another client re-registered a conflicting
 			// type or took the service name first). The entry cannot be
 			// represented any more; drop it rather than wedging replay.
 			log.Printf("ros: remote master %s: replay of %s %q rejected, dropping: %v",
-				m.addr, e.op, e.topic, err)
+				sess.addr, e.op, e.topic, err)
 			m.mu.Lock()
 			delete(m.journal, h)
 			m.mu.Unlock()
@@ -1145,15 +1427,15 @@ const masterCallTimeout = 30 * time.Second
 // must never hang its callers.
 func (m *RemoteMaster) call(req masterMsg) (masterMsg, error) {
 	m.mu.Lock()
-	closed, gaveUp, sess := m.closed, m.gaveUp, m.sess
+	closed, gaveUp, sess, addr := m.closed, m.gaveUp, m.sess, m.addr
 	m.mu.Unlock()
 	switch {
 	case closed:
 		return masterMsg{}, errors.New("ros: remote master closed")
 	case sess == nil && gaveUp:
-		return masterMsg{}, fmt.Errorf("%w: reconnect attempts to %s exhausted", ErrMasterUnavailable, m.addr)
+		return masterMsg{}, fmt.Errorf("%w: reconnect attempts to %s exhausted", ErrMasterUnavailable, addr)
 	case sess == nil:
-		return masterMsg{}, fmt.Errorf("%w: reconnecting to %s", ErrMasterUnavailable, m.addr)
+		return masterMsg{}, fmt.Errorf("%w: reconnecting to %s", ErrMasterUnavailable, addr)
 	}
 	return m.callOn(sess, req, masterCallTimeout)
 }
@@ -1174,6 +1456,9 @@ func (m *RemoteMaster) callOn(sess *masterSession, req masterMsg, timeout time.D
 	}
 	m.nextID++
 	req.ID = m.nextID
+	// Carry the highest epoch this client has seen: a master that fell
+	// behind a failover recognizes itself in this field and fences.
+	req.Epoch = m.epoch.Load()
 	ch := make(chan masterMsg, 1)
 	sess.replies[req.ID] = ch
 	m.mu.Unlock()
@@ -1208,10 +1493,20 @@ func (m *RemoteMaster) callOn(sess *masterSession, req masterMsg, timeout time.D
 		if resp.Msg == "" {
 			resp.Msg = "master error"
 		}
-		if resp.Code == codeTypeMismatch {
+		switch resp.Code {
+		case codeTypeMismatch:
 			// Preserve the type-mismatch category across the wire so
 			// callers can match it as with a LocalMaster.
 			return masterMsg{}, fmt.Errorf("%w: %s", ErrTypeMismatch, resp.Msg)
+		case codeStaleEpoch, codeStandby:
+			// This master cannot serve us — fenced zombie or unpromoted
+			// standby. Sever the session so the manager rotates to the
+			// next candidate, and wrap ErrMasterUnavailable so journal
+			// replay retries the entry there instead of dropping it.
+			m.noteFailedCandidate(sess.addr, resp.Code+": "+resp.Msg)
+			sess.conn.Close()
+			return masterMsg{}, fmt.Errorf("%w: master %s rejected call (%s)",
+				ErrMasterUnavailable, sess.addr, resp.Code)
 		}
 		return masterMsg{}, fmt.Errorf("ros: master: %s", resp.Msg)
 	}

@@ -82,8 +82,12 @@ if command -v jq >/dev/null 2>&1; then
         and (.obs | has("subscribers") and has("services"))
         and (.obs.graph | has("master_reconnects") and has("replays")
              and has("resync") and has("ghost_expiries")
-             and has("malformed_lines") and has("degraded"))
+             and has("malformed_lines") and has("degraded")
+             and has("failovers") and has("failed_candidates")
+             and has("epoch") and has("replication_lag_ms"))
         and (.obs.graph.degraded == 0)
+        and (.obs.graph.failovers == 0)
+        and (.obs.graph.epoch >= 1)
         and (.obs.egress | has("writes") and has("frames") and has("coalesced_frames"))
         and (.obs.egress.fanout.active_shards == 2)
         and (.obs.egress.fanout | has("sharded_conns") and has("rebalances")
@@ -114,6 +118,7 @@ if command -v jq >/dev/null 2>&1; then
 else
     for key in '"node"' '"obs"' '"publishers"' '"core"' '"live"' '"max_live"' \
         '"fanout"' '"active_shards"' '"shards"' '"relay"' '"frames_in"' \
+        '"failovers"' '"failed_candidates"' '"epoch"' '"replication_lag_ms"' \
         '"fallbacks_by_reason"' '"heap_arena"' '"promotions"' \
         '"fieldwire"' '"masked_subscriptions"' '"sparse_frames"' '"bytes_saved"' \
         '"mask_rejects"' '"rejects_by_reason"' '"no_wire_map"'; do
